@@ -1,0 +1,124 @@
+//! Ablation benchmarks of CNLR's design choices (DESIGN.md §3):
+//! queue-only vs busy-only vs combined digests, own-load-only vs 1-hop
+//! aggregation, and the probability floor. Each variant runs the same small
+//! saturated scenario; the reported measure is wall time, while the printed
+//! PDR (via `eprintln` once per config) documents the quality effect —
+//! the full quality ablation lives in the fig8/tab2 harness bins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use cnlr::{CnlrConfig, Scheme};
+
+fn run_variant(cfg: CnlrConfig) -> cnlr::RunResults {
+    cnlr::ScenarioBuilder::new()
+        .seed(11)
+        .grid(6, 6, 180.0)
+        .scheme(Scheme::Cnlr(cfg))
+        .flows(12, 6.0, 512)
+        .duration(wmn_sim::SimDuration::from_secs(12))
+        .warmup(wmn_sim::SimDuration::from_secs(3))
+        .build()
+        .expect("build")
+        .run()
+}
+
+fn run_with_mac(mac: wmn_mac::MacParams) -> cnlr::RunResults {
+    cnlr::ScenarioBuilder::new()
+        .seed(11)
+        .grid(6, 6, 180.0)
+        .scheme(Scheme::Cnlr(CnlrConfig::default()))
+        .mac(mac)
+        .flows(12, 6.0, 512)
+        .duration(wmn_sim::SimDuration::from_secs(12))
+        .warmup(wmn_sim::SimDuration::from_secs(3))
+        .build()
+        .expect("build")
+        .run()
+}
+
+fn bench_rts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mac_ablation");
+    g.sample_size(10);
+    let variants: Vec<(&str, wmn_mac::MacParams)> = vec![
+        ("rts_off", Default::default()),
+        ("rts_all_unicast", wmn_mac::MacParams { rts_threshold: Some(0), ..Default::default() }),
+        (
+            "control_priority",
+            wmn_mac::MacParams { control_priority: true, ..Default::default() },
+        ),
+    ];
+    for (name, mac) in variants {
+        let probe = run_with_mac(mac.clone());
+        eprintln!(
+            "[mac:{name}] pdr={:.3} collisions={} rts_sent={} disc={:.2}",
+            probe.pdr(),
+            probe.medium.collisions,
+            probe.mac.rts_sent,
+            probe.discovery_success,
+        );
+        g.bench_function(name, |b| b.iter(|| black_box(run_with_mac(mac.clone()).events)));
+    }
+    g.finish();
+}
+
+fn run_with_routing(routing: wmn_routing::RoutingConfig) -> cnlr::RunResults {
+    cnlr::ScenarioBuilder::new()
+        .seed(11)
+        .grid(6, 6, 180.0)
+        .scheme(Scheme::Cnlr(CnlrConfig::default()))
+        .routing(routing)
+        .flows(12, 6.0, 512)
+        .duration(wmn_sim::SimDuration::from_secs(12))
+        .warmup(wmn_sim::SimDuration::from_secs(3))
+        .build()
+        .expect("build")
+        .run()
+}
+
+fn bench_expanding_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing_ablation");
+    g.sample_size(10);
+    for (name, ring) in [("full_ttl", false), ("expanding_ring", true)] {
+        let routing =
+            wmn_routing::RoutingConfig { expanding_ring: ring, ..Default::default() };
+        let probe = run_with_routing(routing.clone());
+        eprintln!(
+            "[ring:{name}] pdr={:.3} rreq_tx={} disc={:.2}",
+            probe.pdr(),
+            probe.rreq_tx,
+            probe.discovery_success
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_with_routing(routing.clone()).events))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let variants: Vec<(&str, CnlrConfig)> = vec![
+        ("combined", CnlrConfig::default()),
+        ("queue_only", CnlrConfig { w_busy: 0.0, ..CnlrConfig::default() }),
+        ("busy_only", CnlrConfig { w_queue: 0.0, ..CnlrConfig::default() }),
+        ("own_load_only", CnlrConfig { w_self: 1.0, ..CnlrConfig::default() }),
+        ("neighbours_only", CnlrConfig { w_self: 0.0, ..CnlrConfig::default() }),
+        ("high_floor", CnlrConfig { p_min: 0.6, ..CnlrConfig::default() }),
+        ("density_corrected", CnlrConfig { density_gamma: 0.5, ..CnlrConfig::default() }),
+    ];
+    let mut g = c.benchmark_group("cnlr_ablation");
+    g.sample_size(10);
+    for (name, cfg) in variants {
+        let probe = run_variant(cfg);
+        eprintln!(
+            "[ablation:{name}] pdr={:.3} rreq/disc={:.1} jain={:.3}",
+            probe.pdr(),
+            probe.rreq_tx_per_discovery,
+            probe.jain_forwarding
+        );
+        g.bench_function(name, |b| b.iter(|| black_box(run_variant(cfg).events)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations, bench_rts, bench_expanding_ring);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Microbenchmarks of the simulator's hot paths: the future-event list,
+//! the RNG, the path-loss/PER physics, and a full small scenario
+//! (events/second of the integrated stack).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use wmn_radio::{PathLoss, PhyParams, Rate};
+use wmn_sim::{EventQueue, SimRng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        let mut rng = SimRng::new(1);
+        let times: Vec<SimTime> = (0..10_000).map(|_| SimTime(rng.below(1 << 40))).collect();
+        b.iter_batched(
+            || times.clone(),
+            |times| {
+                let mut q = EventQueue::with_capacity(10_000);
+                for (i, t) in times.into_iter().enumerate() {
+                    q.schedule(t, i);
+                }
+                let mut sum = 0usize;
+                while let Some((_, v)) = q.pop() {
+                    sum += v;
+                }
+                black_box(sum)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/f64_x1k", |b| {
+        let mut rng = SimRng::new(2);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1_000 {
+                acc += rng.f64();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_physics(c: &mut Criterion) {
+    let phy = PhyParams::classic_802_11b();
+    c.bench_function("radio/rx_power_x1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..=1_000u32 {
+                acc += phy.rx_power_dbm(i as f64, 0, i);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("radio/per_x1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..=1_000u32 {
+                let sinr = i as f64 * 0.01;
+                acc += Rate::Dqpsk2Mbps.per(sinr, 4096);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("radio/two_ray_loss_x1k", |b| {
+        let m = PathLoss::default_two_ray();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..=1_000u32 {
+                acc += m.loss_db(i as f64);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_full_scenario(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario");
+    g.sample_size(10);
+    g.bench_function("small_5x5_10s", |b| {
+        b.iter(|| {
+            let r = cnlr::ScenarioBuilder::new()
+                .seed(3)
+                .grid(5, 5, 180.0)
+                .flows(4, 2.0, 512)
+                .duration(wmn_sim::SimDuration::from_secs(10))
+                .warmup(wmn_sim::SimDuration::from_secs(2))
+                .build()
+                .expect("build")
+                .run();
+            black_box(r.events)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng, bench_physics, bench_full_scenario);
+criterion_main!(benches);

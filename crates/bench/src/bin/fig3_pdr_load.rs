@@ -1,0 +1,29 @@
+//! Fig. 3 — packet delivery ratio vs offered load.
+//!
+//! 8×8 backbone, 8 pkt/s × 512 B CBR flows, flow count swept 5–40.
+//! Expected shape: all schemes ≈ 1 at light load; CNLR degrades latest and
+//! leads at saturation (it discovers through, and routes around, quiet
+//! regions); flooding and counter collapse together (both storm-limited).
+
+use wmn_bench::{emit, standard_schemes, sweep_durations, sweep_figure, FigureSpec};
+
+fn main() {
+    let spec = FigureSpec {
+        id: "fig3",
+        title: "Packet delivery ratio vs offered load",
+        x_label: "flows",
+    };
+    let (dur, warm) = sweep_durations();
+    let xs: Vec<f64> =
+        if wmn_bench::quick_mode() { vec![10.0, 40.0] } else { vec![5.0, 10.0, 20.0, 30.0, 40.0, 50.0] };
+    let schemes = standard_schemes();
+    let build = move |flows: f64, scheme: &cnlr::Scheme, seed: u64| {
+        cnlr::presets::backbone(8, 0, seed)
+            .scheme(scheme.clone())
+            .flows(flows as usize, 8.0, 512)
+            .duration(dur)
+            .warmup(warm)
+    };
+    let t = sweep_figure(&spec, "PDR", &xs, &schemes, build, |r| r.pdr());
+    emit(&spec, "", &t);
+}

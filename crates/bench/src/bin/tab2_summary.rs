@@ -1,0 +1,56 @@
+//! Tab. 2 — full-metric summary at the reference operating point
+//! (8×8 backbone, 30 flows @ 8 pkt/s — just past the contention knee).
+
+use cnlr::Scheme;
+use wmn_bench::{quick_mode, replication_seeds, sweep_durations};
+use wmn_metrics::{run_replications, MeanCi, ResultTable};
+
+fn main() {
+    let (dur, warm) = sweep_durations();
+    let flows = if quick_mode() { 15 } else { 30 };
+    let mut table = ResultTable::new(
+        "tab2 — Summary at the reference point (8×8, 30 flows @ 8 pkt/s)",
+        &[
+            "scheme",
+            "PDR",
+            "delay_ms",
+            "goodput_kbps",
+            "rreq/disc",
+            "SRB",
+            "NRL",
+            "Jain",
+            "disc_success",
+        ],
+    );
+    for scheme in Scheme::evaluation_set() {
+        let seeds = replication_seeds();
+        let runs = run_replications(&seeds, wmn_metrics::default_threads(), |seed| {
+            cnlr::presets::backbone(8, 0, seed)
+                .scheme(scheme.clone())
+                .flows(flows, 8.0, 512)
+                .duration(dur)
+                .warmup(warm)
+                .build()
+                .expect("build")
+                .run()
+        });
+        let col = |f: &dyn Fn(&cnlr::RunResults) -> f64| {
+            MeanCi::from_samples(&runs.iter().map(|r| f(r)).collect::<Vec<_>>()).display(3)
+        };
+        table.add_row(vec![
+            scheme.label(),
+            col(&|r| r.pdr()),
+            col(&|r| r.mean_delay_ms()),
+            col(&|r| r.goodput_kbps),
+            col(&|r| r.rreq_tx_per_discovery),
+            col(&|r| r.saved_rebroadcast),
+            col(&|r| r.normalized_routing_load),
+            col(&|r| r.jain_forwarding),
+            col(&|r| r.discovery_success),
+        ]);
+        eprintln!("[tab2] {} done", scheme.label());
+    }
+    println!("{}", table.to_markdown());
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/tab2.csv", table.to_csv());
+}

@@ -1,0 +1,170 @@
+//! `wmn-bench` — the experiment harness.
+//!
+//! One binary per reconstructed table/figure (see DESIGN.md §3). Each binary
+//! sweeps its x-axis over every scheme, replicates over seeds, prints the
+//! figure as a markdown table (mean ±95 % CI) and writes a CSV under
+//! `results/`. `QUICK=1` in the environment shrinks seeds/durations for CI.
+
+use cnlr::{RunResults, ScenarioBuilder, Scheme};
+use wmn_metrics::{run_replications, seeds_from, MeanCi, ResultTable};
+
+/// Metadata of one reconstructed figure.
+#[derive(Clone, Copy, Debug)]
+pub struct FigureSpec {
+    /// Identifier (`fig1`, `tab2`, …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// x-axis label.
+    pub x_label: &'static str,
+}
+
+/// Whether quick mode (fewer seeds, shorter runs) is requested.
+pub fn quick_mode() -> bool {
+    std::env::var("QUICK").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+}
+
+/// Replication seeds for the current mode.
+pub fn replication_seeds() -> Vec<u64> {
+    seeds_from(0xC41B, if quick_mode() { 2 } else { 5 })
+}
+
+/// Run one `(x, scheme)` cell: replicate over seeds and aggregate `metric`.
+pub fn run_cell<F, M>(x: f64, scheme: &Scheme, build: &F, metric: &M) -> MeanCi
+where
+    F: Fn(f64, &Scheme, u64) -> ScenarioBuilder + Sync,
+    M: Fn(&RunResults) -> f64 + Sync,
+{
+    let seeds = replication_seeds();
+    let threads = wmn_metrics::default_threads();
+    let values = run_replications(&seeds, threads, |seed| {
+        let results = build(x, scheme, seed)
+            .build()
+            .unwrap_or_else(|e| panic!("scenario build failed at x={x}: {e}"))
+            .run();
+        metric(&results)
+    });
+    MeanCi::from_samples(&values)
+}
+
+/// A named metric extractor.
+pub type Metric<'a> = (&'a str, &'a (dyn Fn(&RunResults) -> f64 + Sync));
+
+/// Sweep a full figure once, extracting several metrics from the same runs:
+/// one [`ResultTable`] per metric, rows = x values, one column per scheme.
+pub fn sweep_figure_multi<F>(
+    spec: &FigureSpec,
+    metrics: &[Metric<'_>],
+    xs: &[f64],
+    schemes: &[Scheme],
+    build: F,
+) -> Vec<ResultTable>
+where
+    F: Fn(f64, &Scheme, u64) -> ScenarioBuilder + Sync,
+{
+    let mut headers: Vec<String> = vec![spec.x_label.to_string()];
+    headers.extend(schemes.iter().map(Scheme::label));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut tables: Vec<ResultTable> = metrics
+        .iter()
+        .map(|(name, _)| {
+            ResultTable::new(format!("{} — {} ({name})", spec.id, spec.title), &header_refs)
+        })
+        .collect();
+    let seeds = replication_seeds();
+    let threads = wmn_metrics::default_threads();
+    for &x in xs {
+        let mut rows: Vec<Vec<String>> =
+            metrics.iter().map(|_| vec![format!("{x}")]).collect();
+        for scheme in schemes {
+            let runs = run_replications(&seeds, threads, |seed| {
+                build(x, scheme, seed)
+                    .build()
+                    .unwrap_or_else(|e| panic!("scenario build failed at x={x}: {e}"))
+                    .run()
+            });
+            for (mi, (_, metric)) in metrics.iter().enumerate() {
+                let values: Vec<f64> = runs.iter().map(|r| metric(r)).collect();
+                rows[mi].push(MeanCi::from_samples(&values).display(3));
+            }
+        }
+        for (table, row) in tables.iter_mut().zip(rows) {
+            table.add_row(row);
+        }
+        eprintln!("[{}] {} = {} done", spec.id, spec.x_label, x);
+    }
+    tables
+}
+
+/// Single-metric convenience wrapper over [`sweep_figure_multi`].
+pub fn sweep_figure<F, M>(
+    spec: &FigureSpec,
+    metric_name: &str,
+    xs: &[f64],
+    schemes: &[Scheme],
+    build: F,
+    metric: M,
+) -> ResultTable
+where
+    F: Fn(f64, &Scheme, u64) -> ScenarioBuilder + Sync,
+    M: Fn(&RunResults) -> f64 + Sync,
+{
+    sweep_figure_multi(spec, &[(metric_name, &metric)], xs, schemes, build)
+        .pop()
+        .expect("one table")
+}
+
+/// Print a table and persist it under `results/<id>[_suffix].csv`.
+pub fn emit(spec: &FigureSpec, suffix: &str, table: &ResultTable) {
+    println!("{}", table.to_markdown());
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let name = if suffix.is_empty() {
+        format!("{}.csv", spec.id)
+    } else {
+        format!("{}_{}.csv", spec.id, suffix)
+    };
+    let path = dir.join(name);
+    if let Err(e) = std::fs::write(&path, table.to_csv()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("[{}] wrote {}", spec.id, path.display());
+    }
+}
+
+/// The standard scheme set.
+pub fn standard_schemes() -> Vec<Scheme> {
+    Scheme::evaluation_set()
+}
+
+/// Run duration knobs shared by the figure binaries:
+/// `(duration, warmup)`.
+pub fn sweep_durations() -> (wmn_sim::SimDuration, wmn_sim::SimDuration) {
+    if quick_mode() {
+        (wmn_sim::SimDuration::from_secs(20), wmn_sim::SimDuration::from_secs(5))
+    } else {
+        (wmn_sim::SimDuration::from_secs(60), wmn_sim::SimDuration::from_secs(10))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let a = replication_seeds();
+        let b = replication_seeds();
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.sort_unstable();
+        c.dedup();
+        assert_eq!(a.len(), c.len());
+    }
+
+    #[test]
+    fn durations_ordered() {
+        let (d, w) = sweep_durations();
+        assert!(d > w);
+    }
+}

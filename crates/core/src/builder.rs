@@ -1,0 +1,395 @@
+//! Scenario construction — the library's main entry point.
+//!
+//! ```
+//! use cnlr::{Scheme, ScenarioBuilder};
+//! use wmn_sim::SimDuration;
+//!
+//! let results = ScenarioBuilder::new()
+//!     .seed(1)
+//!     .grid(4, 4, 180.0)
+//!     .scheme(Scheme::Flooding)
+//!     .flows(2, 2.0, 512)
+//!     .duration(SimDuration::from_secs(15))
+//!     .warmup(SimDuration::from_secs(3))
+//!     .build()
+//!     .expect("valid scenario")
+//!     .run();
+//! assert!(results.summary.sent > 0);
+//! ```
+
+use crate::event::Event;
+use crate::medium::Medium;
+use crate::network::Network;
+use crate::node::{rng_domain, Node};
+use crate::results::RunResults;
+use crate::scheme::Scheme;
+use wmn_mac::MacParams;
+use wmn_mobility::MobilityConfig;
+use wmn_radio::PhyParams;
+use wmn_routing::{FlowId, NodeId, RoutingAction, RoutingConfig};
+use wmn_sim::{Engine, SimDuration, SimRng, SimTime};
+use wmn_topology::{ConnectivityGraph, Placement, Region, SpatialIndex, Vec2};
+use wmn_traffic::{FlowSpec, FlowState, FlowTracker, TrafficPattern};
+
+/// Scenario-construction errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// The generated topology was not connected after all retries.
+    Disconnected,
+    /// Fewer than two nodes — no flows possible.
+    TooSmall,
+    /// Could not find enough flow endpoint pairs with the requested
+    /// separation.
+    NoFlowPairs,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Disconnected => write!(f, "topology not connected"),
+            BuildError::TooSmall => write!(f, "need at least 2 nodes"),
+            BuildError::NoFlowPairs => write!(f, "could not draw flow endpoints"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// How flows are chosen.
+#[derive(Clone, Debug)]
+enum FlowPlan {
+    Random {
+        count: usize,
+        pps: f64,
+        payload: usize,
+        min_hops: u32,
+    },
+    Explicit(Vec<FlowSpec>),
+}
+
+/// Fluent scenario builder.
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    seed: u64,
+    region: Region,
+    placement: Placement,
+    scheme: Scheme,
+    phy: PhyParams,
+    mac: MacParams,
+    routing: RoutingConfig,
+    backbone_mobility: MobilityConfig,
+    mobile_clients: Option<(usize, MobilityConfig)>,
+    flow_plan: FlowPlan,
+    duration: SimDuration,
+    warmup: SimDuration,
+    require_connected: bool,
+    position_sample: SimDuration,
+    event_budget: u64,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScenarioBuilder {
+    /// A 1000 m × 1000 m field with a 10×10 lightly-perturbed router grid,
+    /// classic 802.11b PHY, flooding, no traffic.
+    pub fn new() -> Self {
+        ScenarioBuilder {
+            seed: 1,
+            region: Region::square(1000.0),
+            placement: Placement::Grid { rows: 10, cols: 10, jitter_frac: 0.15 },
+            scheme: Scheme::Flooding,
+            phy: PhyParams::classic_802_11b(),
+            mac: MacParams::default(),
+            routing: RoutingConfig::default(),
+            backbone_mobility: MobilityConfig::Static,
+            mobile_clients: None,
+            flow_plan: FlowPlan::Random { count: 0, pps: 4.0, payload: 512, min_hops: 2 },
+            duration: SimDuration::from_secs(60),
+            warmup: SimDuration::from_secs(10),
+            require_connected: true,
+            position_sample: SimDuration::from_millis(250),
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Master seed (replications vary this).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Deployment field.
+    pub fn region(mut self, region: Region) -> Self {
+        self.region = region;
+        self
+    }
+
+    /// `rows × cols` router grid scaled so that the grid pitch equals
+    /// `pitch_m` (the field is resized accordingly).
+    pub fn grid(mut self, rows: usize, cols: usize, pitch_m: f64) -> Self {
+        self.region = Region::new(cols as f64 * pitch_m, rows as f64 * pitch_m);
+        self.placement = Placement::Grid { rows, cols, jitter_frac: 0.15 };
+        self
+    }
+
+    /// Arbitrary placement inside the current region.
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Route-discovery scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// PHY parameter overrides.
+    pub fn phy(mut self, phy: PhyParams) -> Self {
+        self.phy = phy;
+        self
+    }
+
+    /// MAC parameter overrides.
+    pub fn mac(mut self, mac: MacParams) -> Self {
+        self.mac = mac;
+        self
+    }
+
+    /// Routing parameter overrides.
+    pub fn routing(mut self, routing: RoutingConfig) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Make the backbone itself mobile (ad-hoc style scenarios).
+    pub fn backbone_mobility(mut self, m: MobilityConfig) -> Self {
+        self.backbone_mobility = m;
+        self
+    }
+
+    /// Add `count` mobile client nodes with the given model.
+    pub fn mobile_clients(mut self, count: usize, m: MobilityConfig) -> Self {
+        self.mobile_clients = Some((count, m));
+        self
+    }
+
+    /// `count` random CBR flows at `pps` packets/s with `payload`-byte
+    /// packets between endpoints at least 2 hops apart.
+    pub fn flows(mut self, count: usize, pps: f64, payload: usize) -> Self {
+        self.flow_plan = FlowPlan::Random { count, pps, payload, min_hops: 2 };
+        self
+    }
+
+    /// Like [`ScenarioBuilder::flows`] with an explicit hop-separation
+    /// requirement.
+    pub fn flows_min_hops(mut self, count: usize, pps: f64, payload: usize, min_hops: u32) -> Self {
+        self.flow_plan = FlowPlan::Random { count, pps, payload, min_hops };
+        self
+    }
+
+    /// Fully explicit flow list.
+    pub fn explicit_flows(mut self, flows: Vec<FlowSpec>) -> Self {
+        self.flow_plan = FlowPlan::Explicit(flows);
+        self
+    }
+
+    /// Total simulated time.
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Statistics warm-up (flows start inside this window).
+    pub fn warmup(mut self, w: SimDuration) -> Self {
+        self.warmup = w;
+        self
+    }
+
+    /// Whether to reject disconnected topologies (default true).
+    pub fn require_connected(mut self, yes: bool) -> Self {
+        self.require_connected = yes;
+        self
+    }
+
+    /// Cap engine events (runaway protection in tests).
+    pub fn event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Construct the simulation.
+    pub fn build(self) -> Result<Simulation, BuildError> {
+        let mut scen_rng = SimRng::derive(self.seed, rng_domain::SCENARIO, 0);
+
+        // --- Topology -------------------------------------------------
+        let range = self.phy.nominal_range_m();
+        let backbone_count = self.placement.count();
+        let client_count = self.mobile_clients.as_ref().map_or(0, |(c, _)| *c);
+        let total = backbone_count + client_count;
+        if total < 2 {
+            return Err(BuildError::TooSmall);
+        }
+
+        let mut positions = Vec::new();
+        let mut graph = None;
+        for _attempt in 0..50 {
+            positions = self.placement.generate(self.region, &mut scen_rng);
+            for _ in 0..client_count {
+                positions.push(Vec2::new(
+                    scen_rng.range_f64(0.0, self.region.width),
+                    scen_rng.range_f64(0.0, self.region.height),
+                ));
+            }
+            let g = ConnectivityGraph::from_positions(self.region, &positions, range);
+            if !self.require_connected || g.is_connected() {
+                graph = Some(g);
+                break;
+            }
+            positions.clear();
+        }
+        let graph = graph.ok_or(BuildError::Disconnected)?;
+
+        // --- Flows ----------------------------------------------------
+        let flow_specs: Vec<FlowSpec> = match &self.flow_plan {
+            FlowPlan::Explicit(fs) => fs.clone(),
+            FlowPlan::Random { count, pps, payload, min_hops } => {
+                let mut specs = Vec::with_capacity(*count);
+                let mut attempts = 0u32;
+                while specs.len() < *count {
+                    attempts += 1;
+                    if attempts > 5000 {
+                        return Err(BuildError::NoFlowPairs);
+                    }
+                    let src = scen_rng.below_usize(total);
+                    let dst = scen_rng.below_usize(total);
+                    if src == dst {
+                        continue;
+                    }
+                    match graph.hop_distance(src, dst) {
+                        Some(h) if h >= *min_hops => {}
+                        _ => continue,
+                    }
+                    // Stagger starts across the first part of the warm-up.
+                    let start = SimTime::ZERO
+                        + SimDuration::from_millis(500)
+                        + SimDuration(
+                            scen_rng.below(self.warmup.as_nanos().saturating_sub(500_000_000).max(1)),
+                        );
+                    specs.push(FlowSpec {
+                        id: FlowId(specs.len() as u32),
+                        src: NodeId(src as u32),
+                        dst: NodeId(dst as u32),
+                        payload: *payload,
+                        start,
+                        stop: SimTime::ZERO + self.duration,
+                        pattern: TrafficPattern::cbr_pps(*pps),
+                    });
+                }
+                specs
+            }
+        };
+
+        // --- Nodes ----------------------------------------------------
+        let mut nodes = Vec::with_capacity(total);
+        for (i, &pos) in positions.iter().enumerate() {
+            let mobility = if i < backbone_count {
+                self.backbone_mobility
+            } else {
+                self.mobile_clients.as_ref().expect("client without config").1
+            };
+            nodes.push(Node::new(
+                i as u32,
+                self.seed,
+                self.mac.clone(),
+                self.routing.clone(),
+                self.scheme.build(),
+                mobility,
+                pos,
+                self.region,
+                SimTime::ZERO,
+            ));
+        }
+
+        // --- Assembly ---------------------------------------------------
+        let interference = self.phy.interference_range_m();
+        let spatial = SpatialIndex::new(self.region, interference.max(50.0) / 2.0, &positions);
+        let medium = Medium::new(
+            self.phy.clone(),
+            total,
+            SimRng::derive(self.seed, rng_domain::MEDIUM, 0),
+            25.0,
+        );
+        let tracker = FlowTracker::new(SimTime::ZERO + self.warmup);
+        let flows: Vec<FlowState> = flow_specs.iter().copied().map(FlowState::new).collect();
+        let traffic_rng = SimRng::derive(self.seed, rng_domain::TRAFFIC, 0);
+        let mut network = Network::new(
+            nodes,
+            medium,
+            spatial,
+            tracker,
+            flows,
+            traffic_rng,
+            self.position_sample,
+        );
+
+        // --- Engine priming --------------------------------------------
+        let mut engine =
+            Engine::new(SimTime::ZERO + self.duration).with_event_budget(self.event_budget);
+        for i in 0..network.nodes.len() {
+            let mut acts = Vec::new();
+            network.nodes[i].routing.start(SimTime::ZERO, &mut acts);
+            for a in acts {
+                if let RoutingAction::SetTimer { timer, at } = a {
+                    engine.prime(at, Event::RoutingTimer { node: i as u32, timer });
+                }
+            }
+            if network.nodes[i].mobility.is_mobile() {
+                let next = network.nodes[i].mobility.next_update();
+                if next != SimTime::MAX {
+                    engine.prime(next, Event::MobilityUpdate { node: i as u32 });
+                }
+            }
+        }
+        if network.any_mobile() {
+            engine.prime(SimTime::ZERO + self.position_sample, Event::PositionSample);
+        }
+        for (idx, spec) in flow_specs.iter().enumerate() {
+            engine.prime(spec.start, Event::TrafficEmit { flow_idx: idx });
+        }
+
+        let scheme_label = self.scheme.label();
+        let measured = self.duration.saturating_sub(self.warmup);
+        Ok(Simulation { engine, network, scheme_label, measured })
+    }
+}
+
+/// A fully-primed simulation, ready to run.
+pub struct Simulation {
+    engine: Engine<Event>,
+    /// The network world (public for white-box integration tests).
+    pub network: Network,
+    scheme_label: String,
+    measured: SimDuration,
+}
+
+impl Simulation {
+    /// Run to the horizon and collect results.
+    pub fn run(self) -> RunResults {
+        self.run_with_network().0
+    }
+
+    /// Run to the horizon, returning both the aggregate results and the
+    /// final network state (per-flow trackers, per-node tables and stats —
+    /// for white-box analysis and the per-flow examples).
+    pub fn run_with_network(mut self) -> (RunResults, Network) {
+        let report = self.engine.run(&mut self.network);
+        let results =
+            RunResults::collect(&self.network, &report, self.scheme_label, self.measured);
+        (results, self.network)
+    }
+}

@@ -1,0 +1,58 @@
+//! The unified simulation event vocabulary.
+
+use wmn_mac::TimerKind;
+use wmn_routing::{Packet, RoutingTimer};
+
+/// Every event the integrated network world can process.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A MAC-layer timer at `node` (contention, ACK timeout, SIFS).
+    MacTimer {
+        /// Node index.
+        node: u32,
+        /// Which MAC timer.
+        kind: TimerKind,
+        /// Generation (stale generations are ignored by the MAC).
+        gen: u64,
+    },
+    /// A routing-layer timer at `node`.
+    RoutingTimer {
+        /// Node index.
+        node: u32,
+        /// Timer payload.
+        timer: RoutingTimer,
+    },
+    /// A transmission by `node` leaves the air.
+    TxEnd {
+        /// Transmitter.
+        node: u32,
+        /// Medium transmission id.
+        tx_id: u64,
+    },
+    /// A reception window closes at `node`.
+    RxEnd {
+        /// Receiver.
+        node: u32,
+        /// Medium transmission id.
+        tx_id: u64,
+    },
+    /// A jittered routing broadcast is due for MAC submission.
+    DelayedBroadcast {
+        /// Origin node.
+        node: u32,
+        /// The packet to broadcast.
+        packet: Packet,
+    },
+    /// A flow emits its next packet.
+    TrafficEmit {
+        /// Index into the scenario's flow list.
+        flow_idx: usize,
+    },
+    /// A mobility trajectory change at `node`.
+    MobilityUpdate {
+        /// Node index.
+        node: u32,
+    },
+    /// Periodic spatial-index refresh for mobile nodes.
+    PositionSample,
+}

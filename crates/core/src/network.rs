@@ -1,0 +1,345 @@
+//! The integrated network world: event dispatch across all layers.
+//!
+//! All cross-layer plumbing happens here through an explicit work queue:
+//! MAC actions, routing actions and medium effects are drained iteratively
+//! (never recursively), so arbitrarily long action chains — a reception that
+//! triggers a forward that fills a queue that starts a transmission — are
+//! processed within one event without stack growth.
+
+use crate::event::Event;
+use crate::medium::{Medium, MediumEffect};
+use crate::node::Node;
+use std::collections::VecDeque;
+use wmn_mac::{DropReason, MacAction, MacAddr, BROADCAST};
+use wmn_routing::{DataDropReason, DataPacket, NodeId, Packet, RoutingAction};
+use wmn_sim::{Scheduler, SimDuration, SimTime, World};
+use wmn_sim::SimRng;
+use wmn_topology::SpatialIndex;
+use wmn_metrics::TimeSeries;
+use wmn_traffic::{FlowState, FlowTracker};
+
+/// Network-layer data-loss counters by cause.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DropCounters {
+    /// Interface queue overflow.
+    pub queue_full: u64,
+    /// No route at an intermediate hop.
+    pub no_route: u64,
+    /// Discovery buffer overflow at the origin.
+    pub buffer_overflow: u64,
+    /// Route discovery failed after all retries.
+    pub discovery_failed: u64,
+    /// Link-layer retry limit on the path.
+    pub link_failure: u64,
+}
+
+impl DropCounters {
+    /// Total dropped data packets.
+    pub fn total(&self) -> u64 {
+        self.queue_full
+            + self.no_route
+            + self.buffer_overflow
+            + self.discovery_failed
+            + self.link_failure
+    }
+}
+
+enum Work {
+    Mac(u32, MacAction),
+    Routing(u32, RoutingAction),
+    Medium(MediumEffect),
+}
+
+/// The simulated network (implements [`World`]).
+pub struct Network {
+    /// All node stacks.
+    pub nodes: Vec<Node>,
+    /// The shared radio medium.
+    pub medium: Medium,
+    /// Positions (kept fresh for mobile nodes by sampling events).
+    pub spatial: SpatialIndex,
+    /// Per-flow delivery bookkeeping.
+    pub tracker: FlowTracker,
+    /// Flow emission state.
+    pub flows: Vec<FlowState>,
+    /// Data-loss counters.
+    pub drops: DropCounters,
+    /// Per-second delivery events (for convergence/transient views).
+    pub delivery_timeline: TimeSeries,
+    traffic_rng: SimRng,
+    position_sample: SimDuration,
+    work: VecDeque<Work>,
+}
+
+impl Network {
+    /// Assemble a network (used by the scenario builder).
+    pub fn new(
+        nodes: Vec<Node>,
+        medium: Medium,
+        spatial: SpatialIndex,
+        tracker: FlowTracker,
+        flows: Vec<FlowState>,
+        traffic_rng: SimRng,
+        position_sample: SimDuration,
+    ) -> Self {
+        Network {
+            nodes,
+            medium,
+            spatial,
+            tracker,
+            flows,
+            drops: DropCounters::default(),
+            delivery_timeline: TimeSeries::new(SimDuration::from_secs(1)),
+            traffic_rng,
+            position_sample,
+            work: VecDeque::with_capacity(64),
+        }
+    }
+
+    /// True if any node can move.
+    pub fn any_mobile(&self) -> bool {
+        self.nodes.iter().any(|n| n.mobility.is_mobile())
+    }
+
+    fn drain(&mut self, sched: &mut Scheduler<Event>) {
+        let now = sched.now();
+        while let Some(w) = self.work.pop_front() {
+            match w {
+                Work::Mac(node, act) => self.apply_mac(node, act, now, sched),
+                Work::Routing(node, act) => self.apply_routing(node, act, now, sched),
+                Work::Medium(eff) => self.apply_medium(eff, now, sched),
+            }
+        }
+    }
+
+    fn queue_mac(&mut self, node: u32, acts: Vec<MacAction>) {
+        self.work.extend(acts.into_iter().map(|a| Work::Mac(node, a)));
+    }
+
+    fn queue_routing(&mut self, node: u32, acts: Vec<RoutingAction>) {
+        self.work.extend(acts.into_iter().map(|a| Work::Routing(node, a)));
+    }
+
+    fn queue_medium(&mut self, effects: Vec<MediumEffect>) {
+        self.work.extend(effects.into_iter().map(Work::Medium));
+    }
+
+    fn submit_to_mac(&mut self, node: u32, packet: Packet, dst: MacAddr, now: SimTime) {
+        let n = &mut self.nodes[node as usize];
+        let sdu = n.make_sdu(packet, dst);
+        let mut acts = Vec::new();
+        n.mac.enqueue(sdu, now, &mut acts);
+        self.queue_mac(node, acts);
+    }
+
+    fn apply_mac(&mut self, node: u32, act: MacAction, now: SimTime, sched: &mut Scheduler<Event>) {
+        match act {
+            MacAction::StartTx(frame) => {
+                let payload = if frame.kind == wmn_mac::FrameKind::Data {
+                    self.nodes[node as usize].outgoing.get(&frame.sdu_id).cloned()
+                } else {
+                    None
+                };
+                let mut fx = Vec::new();
+                self.medium.start_tx(node, frame, payload, now, &self.spatial, &mut fx);
+                self.queue_medium(fx);
+            }
+            MacAction::Deliver(frame) => {
+                // Deliveries are normally intercepted in `apply_medium`; a
+                // bare Deliver without payload can only be an ACK-free test
+                // path — ignore defensively.
+                debug_assert!(frame.sdu_id != 0, "unexpected bare Deliver");
+            }
+            MacAction::TxOutcome { sdu_id, dst, ok, retries: _ } => {
+                let payload = self.nodes[node as usize].take_payload(sdu_id);
+                if !ok {
+                    let cross = self.nodes[node as usize].cross_layer(now);
+                    let _ = cross;
+                    let mut racts = Vec::new();
+                    self.nodes[node as usize].routing.on_link_failure(
+                        NodeId(dst.0),
+                        payload,
+                        now,
+                        &mut racts,
+                    );
+                    self.queue_routing(node, racts);
+                }
+            }
+            MacAction::SetTimer { kind, at, gen } => {
+                sched.at(at, Event::MacTimer { node, kind, gen });
+            }
+            MacAction::Drop { sdu_id, reason } => match reason {
+                DropReason::QueueFull => {
+                    if let Some(Packet::Data(_)) = self.nodes[node as usize].take_payload(sdu_id) {
+                        self.drops.queue_full += 1;
+                    }
+                }
+                // Retry-limit drops are followed by TxOutcome{ok: false},
+                // which owns the payload hand-off to routing.
+                DropReason::RetryLimit => {}
+            },
+        }
+    }
+
+    fn apply_routing(
+        &mut self,
+        node: u32,
+        act: RoutingAction,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    ) {
+        match act {
+            RoutingAction::Broadcast { packet, delay } => {
+                if delay.is_zero() {
+                    self.submit_to_mac(node, packet, BROADCAST, now);
+                } else {
+                    sched.after(delay, Event::DelayedBroadcast { node, packet });
+                }
+            }
+            RoutingAction::Unicast { packet, next_hop } => {
+                self.submit_to_mac(node, packet, MacAddr(next_hop.0), now);
+            }
+            RoutingAction::Deliver(data) => {
+                self.tracker.on_delivered(data.flow, data.created, now, data.payload);
+                self.delivery_timeline.mark(now);
+            }
+            RoutingAction::SetTimer { timer, at } => {
+                sched.at(at, Event::RoutingTimer { node, timer });
+            }
+            RoutingAction::DataDropped { packet: _, reason } => match reason {
+                DataDropReason::NoRoute => self.drops.no_route += 1,
+                DataDropReason::BufferOverflow => self.drops.buffer_overflow += 1,
+                DataDropReason::DiscoveryFailed => self.drops.discovery_failed += 1,
+                DataDropReason::LinkFailure => self.drops.link_failure += 1,
+                DataDropReason::Expired => self.drops.discovery_failed += 1,
+            },
+        }
+    }
+
+    fn apply_medium(&mut self, eff: MediumEffect, now: SimTime, sched: &mut Scheduler<Event>) {
+        match eff {
+            MediumEffect::Channel { node, busy } => {
+                let mut acts = Vec::new();
+                self.nodes[node as usize].mac.on_channel(busy, now, &mut acts);
+                self.queue_mac(node, acts);
+            }
+            MediumEffect::ScheduleTxEnd { node, tx_id, at } => {
+                sched.at(at, Event::TxEnd { node, tx_id });
+            }
+            MediumEffect::ScheduleRxEnd { node, tx_id, at } => {
+                sched.at(at, Event::RxEnd { node, tx_id });
+            }
+            MediumEffect::TxComplete { node } => {
+                let mut acts = Vec::new();
+                self.nodes[node as usize].mac.on_tx_complete(now, &mut acts);
+                self.queue_mac(node, acts);
+            }
+            MediumEffect::Deliver { node, frame, packet, rx_dbm } => {
+                let mut acts = Vec::new();
+                self.nodes[node as usize].mac.on_rx_frame(frame, now, &mut acts);
+                for a in acts {
+                    if let MacAction::Deliver(f) = a {
+                        if let Some(pkt) = packet.clone() {
+                            let from = NodeId(f.src.0);
+                            let mut cross = self.nodes[node as usize].cross_layer(now);
+                            cross.last_rx_dbm = Some(rx_dbm);
+                            let mut racts = Vec::new();
+                            self.nodes[node as usize].routing.on_packet(
+                                pkt, from, &cross, now, &mut racts,
+                            );
+                            self.queue_routing(node, racts);
+                        }
+                    } else {
+                        self.work.push_back(Work::Mac(node, a));
+                    }
+                }
+            }
+        }
+    }
+
+    fn emit_traffic(&mut self, flow_idx: usize, now: SimTime, sched: &mut Scheduler<Event>) {
+        let (seq, next) = self.flows[flow_idx].emit(now, &mut self.traffic_rng);
+        let spec = *self.flows[flow_idx].spec();
+        let data = DataPacket {
+            flow: spec.id,
+            seq,
+            src: spec.src,
+            dst: spec.dst,
+            payload: spec.payload,
+            created: now,
+        };
+        self.tracker.on_sent(spec.id, now);
+        let mut racts = Vec::new();
+        self.nodes[spec.src.index()].routing.send_data(data, now, &mut racts);
+        self.queue_routing(spec.src.0, racts);
+        if let Some(t) = next {
+            if t <= sched.horizon() {
+                sched.at(t, Event::TrafficEmit { flow_idx });
+            }
+        }
+    }
+
+    fn update_position(&mut self, node: u32, now: SimTime) {
+        let n = &mut self.nodes[node as usize];
+        let p = n.mobility.position(now);
+        self.spatial.update(node as usize, p);
+    }
+}
+
+impl World for Network {
+    type Event = Event;
+
+    fn handle(&mut self, event: Event, sched: &mut Scheduler<Event>) {
+        let now = sched.now();
+        match event {
+            Event::MacTimer { node, kind, gen } => {
+                let mut acts = Vec::new();
+                self.nodes[node as usize].mac.on_timer(kind, gen, now, &mut acts);
+                self.queue_mac(node, acts);
+            }
+            Event::RoutingTimer { node, timer } => {
+                let cross = self.nodes[node as usize].cross_layer(now);
+                let mut racts = Vec::new();
+                self.nodes[node as usize].routing.on_timer(timer, &cross, now, &mut racts);
+                self.queue_routing(node, racts);
+            }
+            Event::TxEnd { node: _, tx_id } => {
+                let mut fx = Vec::new();
+                self.medium.tx_end(tx_id, now, &mut fx);
+                self.queue_medium(fx);
+            }
+            Event::RxEnd { node, tx_id } => {
+                let mut fx = Vec::new();
+                self.medium.rx_end(node, tx_id, now, &mut fx);
+                self.queue_medium(fx);
+            }
+            Event::DelayedBroadcast { node, packet } => {
+                self.submit_to_mac(node, packet, BROADCAST, now);
+            }
+            Event::TrafficEmit { flow_idx } => {
+                self.emit_traffic(flow_idx, now, sched);
+            }
+            Event::MobilityUpdate { node } => {
+                let Node { mobility, mobility_rng, .. } = &mut self.nodes[node as usize];
+                mobility.advance(now, mobility_rng);
+                self.update_position(node, now);
+                let next = self.nodes[node as usize].mobility.next_update();
+                if next < sched.horizon() && next != SimTime::MAX {
+                    sched.at(next, Event::MobilityUpdate { node });
+                }
+            }
+            Event::PositionSample => {
+                for i in 0..self.nodes.len() {
+                    if self.nodes[i].mobility.is_mobile() {
+                        self.update_position(i as u32, now);
+                    }
+                }
+                let next = now + self.position_sample;
+                if next <= sched.horizon() {
+                    sched.at(next, Event::PositionSample);
+                }
+            }
+        }
+        self.drain(sched);
+    }
+}

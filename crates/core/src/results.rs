@@ -1,0 +1,164 @@
+//! Run-level result collection.
+
+use crate::medium::MediumStats;
+use crate::network::{DropCounters, Network};
+use wmn_mac::MacStats;
+use wmn_metrics::{hotspot_factor, jain_index};
+use wmn_routing::RoutingStats;
+use wmn_sim::{RunReport, SimDuration};
+use wmn_traffic::TrackerSummary;
+
+/// Everything a single simulation run produces, aggregated network-wide.
+#[derive(Clone, Debug)]
+pub struct RunResults {
+    /// Scheme label.
+    pub scheme: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Flow count.
+    pub flows: usize,
+    /// Measured (post-warm-up) interval, seconds.
+    pub measured_s: f64,
+    /// Flow-level delivery summary.
+    pub summary: TrackerSummary,
+    /// Aggregate goodput over the measured interval, kb/s.
+    pub goodput_kbps: f64,
+    /// Total RREQ transmissions (originated + forwarded).
+    pub rreq_tx: u64,
+    /// RREQ transmissions per discovery attempt.
+    pub rreq_tx_per_discovery: f64,
+    /// Saved-rebroadcast ratio: `1 − forwarded / first_copies_received`
+    /// (0 for blind flooding by construction, higher = fewer rebroadcasts).
+    pub saved_rebroadcast: f64,
+    /// Fraction of discoveries that found a route.
+    pub discovery_success: f64,
+    /// All control transmissions (RREQ + RREP + RERR + HELLO).
+    pub control_tx: u64,
+    /// Normalised routing load: control transmissions per delivered packet.
+    pub normalized_routing_load: f64,
+    /// Jain fairness of per-node forwarded-data counts.
+    pub jain_forwarding: f64,
+    /// Max/mean ratio of per-node forwarded-data counts.
+    pub hotspot: f64,
+    /// Highest interface-queue occupancy seen anywhere.
+    pub max_queue_peak: usize,
+    /// Data losses by cause.
+    pub drops: DropCounters,
+    /// Network-wide routing counters.
+    pub routing: RoutingStats,
+    /// Network-wide MAC counters.
+    pub mac: MacStats,
+    /// Medium loss counters.
+    pub medium: MediumStats,
+    /// Engine events processed.
+    pub events: u64,
+    /// Delivered packets per second, per 1-second bin from t = 0 (includes
+    /// the warm-up, so the discovery transient is visible).
+    pub delivery_rate_pps: Vec<f64>,
+    /// Total radio energy consumed network-wide, joules.
+    pub energy_total_j: f64,
+    /// Energy per delivered data packet, millijoules.
+    pub energy_per_delivered_mj: f64,
+    /// Communication-only (tx + rx) energy per delivered packet,
+    /// millijoules — the scheme-discriminating efficiency metric (idle
+    /// draw is identical across schemes).
+    pub comm_energy_per_delivered_mj: f64,
+    /// Highest single-node energy consumption, joules.
+    pub energy_max_node_j: f64,
+}
+
+impl RunResults {
+    /// Harvest results from a finished network.
+    pub fn collect(
+        network: &Network,
+        report: &RunReport,
+        scheme: String,
+        measured: SimDuration,
+    ) -> Self {
+        let mut routing = RoutingStats::default();
+        let mut mac = MacStats::default();
+        let mut per_node_forwarded = Vec::with_capacity(network.nodes.len());
+        let mut max_queue_peak = 0usize;
+        for node in &network.nodes {
+            routing.accumulate(node.routing.stats());
+            let m = node.mac.stats();
+            mac.data_tx_attempts += m.data_tx_attempts;
+            mac.broadcast_tx += m.broadcast_tx;
+            mac.acks_sent += m.acks_sent;
+            mac.acks_skipped += m.acks_skipped;
+            mac.rts_sent += m.rts_sent;
+            mac.cts_sent += m.cts_sent;
+            mac.cts_timeouts += m.cts_timeouts;
+            mac.nav_updates += m.nav_updates;
+            mac.retries += m.retries;
+            mac.drops_retry += m.drops_retry;
+            mac.drops_queue_full += m.drops_queue_full;
+            mac.delivered += m.delivered;
+            mac.duplicates_suppressed += m.duplicates_suppressed;
+            per_node_forwarded.push(node.routing.stats().data_forwarded as f64);
+            max_queue_peak = max_queue_peak.max(node.mac.queue().peak());
+        }
+        let mut energy_total = 0.0f64;
+        let mut energy_max = 0.0f64;
+        let mut comm_energy = 0.0f64;
+        for i in 0..network.nodes.len() {
+            let e = network.medium.energy_joules(i as u32, report.end_time);
+            energy_total += e;
+            energy_max = energy_max.max(e);
+            comm_energy += network.medium.comm_energy_joules(i as u32, report.end_time);
+        }
+        let summary = network.tracker.summary();
+        let rreq_tx = routing.rreq_originated + routing.rreq_forwarded;
+        let first_copies = routing.rreq_received.saturating_sub(routing.rreq_duplicates);
+        let discoveries = routing.discoveries_started.max(1);
+        let finished =
+            routing.discoveries_succeeded + routing.discoveries_failed;
+        RunResults {
+            scheme,
+            nodes: network.nodes.len(),
+            flows: network.flows.len(),
+            measured_s: measured.as_secs_f64(),
+            goodput_kbps: network.tracker.goodput_bps(measured) / 1000.0,
+            rreq_tx,
+            rreq_tx_per_discovery: rreq_tx as f64 / discoveries as f64,
+            saved_rebroadcast: if first_copies == 0 {
+                0.0
+            } else {
+                1.0 - (routing.rreq_forwarded as f64 / first_copies as f64).min(1.0)
+            },
+            discovery_success: if finished == 0 {
+                1.0
+            } else {
+                routing.discoveries_succeeded as f64 / finished as f64
+            },
+            control_tx: routing.control_tx(),
+            normalized_routing_load: routing.control_tx() as f64
+                / summary.delivered.max(1) as f64,
+            jain_forwarding: jain_index(&per_node_forwarded),
+            hotspot: hotspot_factor(&per_node_forwarded),
+            max_queue_peak,
+            drops: network.drops,
+            routing,
+            mac,
+            medium: *network.medium.stats(),
+            events: report.events_processed,
+            delivery_rate_pps: network.delivery_timeline.rates().map(|(_, r)| r).collect(),
+            energy_total_j: energy_total,
+            energy_per_delivered_mj: energy_total * 1_000.0 / summary.delivered.max(1) as f64,
+            comm_energy_per_delivered_mj: comm_energy * 1_000.0
+                / summary.delivered.max(1) as f64,
+            energy_max_node_j: energy_max,
+            summary,
+        }
+    }
+
+    /// Packet delivery ratio shortcut.
+    pub fn pdr(&self) -> f64 {
+        self.summary.delivery_ratio
+    }
+
+    /// Mean end-to-end delay in milliseconds.
+    pub fn mean_delay_ms(&self) -> f64 {
+        self.summary.mean_delay_s * 1000.0
+    }
+}

@@ -1,0 +1,111 @@
+//! Scheme selection: one enum covering the paper's contribution and every
+//! baseline it is compared against.
+
+use crate::policy::{CnlrConfig, CnlrPolicy, VapCnlr, VapConfig};
+use wmn_routing::{CounterBased, DistanceBased, Flooding, Gossip, GossipK, RebroadcastPolicy};
+use wmn_sim::SimDuration;
+
+/// A route-discovery scheme under evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Scheme {
+    /// Blind flooding (classic AODV discovery).
+    Flooding,
+    /// GOSSIP1(p) fixed-probability forwarding.
+    Gossip {
+        /// Forwarding probability.
+        p: f64,
+    },
+    /// GOSSIP1(p, k): flood for the first `k` hops.
+    GossipK {
+        /// Forwarding probability beyond hop `k`.
+        p: f64,
+        /// Certain-forwarding hop horizon.
+        k: u8,
+    },
+    /// Counter-based suppression.
+    Counter {
+        /// Duplicate threshold.
+        threshold: u32,
+        /// Maximum random assessment delay.
+        rad: SimDuration,
+    },
+    /// Distance-based suppression (RSSI-inferred): suppress first copies
+    /// received above `strong_dbm`.
+    Distance {
+        /// Suppression power threshold, dBm.
+        strong_dbm: f64,
+    },
+    /// Cross-layer Neighbourhood Load Routing (the paper's contribution).
+    Cnlr(CnlrConfig),
+    /// CNLR with velocity-aware damping (mobile-client extension).
+    VapCnlr(CnlrConfig, VapConfig),
+}
+
+impl Scheme {
+    /// The canonical baseline set the evaluation sweeps over.
+    pub fn evaluation_set() -> Vec<Scheme> {
+        vec![
+            Scheme::Flooding,
+            Scheme::Gossip { p: 0.65 },
+            Scheme::Counter { threshold: 3, rad: SimDuration::from_millis(10) },
+            Scheme::Cnlr(CnlrConfig::default()),
+        ]
+    }
+
+    /// Instantiate the policy object.
+    pub fn build(&self) -> Box<dyn RebroadcastPolicy> {
+        match self {
+            Scheme::Flooding => Box::new(Flooding::new()),
+            Scheme::Gossip { p } => Box::new(Gossip::new(*p)),
+            Scheme::GossipK { p, k } => Box::new(GossipK::new(*p, *k)),
+            Scheme::Counter { threshold, rad } => Box::new(CounterBased::new(*threshold, *rad)),
+            Scheme::Distance { strong_dbm } => Box::new(DistanceBased::new(*strong_dbm)),
+            Scheme::Cnlr(cfg) => Box::new(CnlrPolicy::new(*cfg)),
+            Scheme::VapCnlr(cfg, vap) => Box::new(VapCnlr::new(*cfg, *vap)),
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            Scheme::Flooding => "flooding".into(),
+            Scheme::Gossip { p } => format!("gossip({p:.2})"),
+            Scheme::GossipK { p, k } => format!("gossip({p:.2},k{k})"),
+            Scheme::Counter { threshold, .. } => format!("counter(C{threshold})"),
+            Scheme::Distance { strong_dbm } => format!("distance({strong_dbm:.0}dBm)"),
+            Scheme::Cnlr(_) => "cnlr".into(),
+            Scheme::VapCnlr(..) => "vap-cnlr".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_correct_policies() {
+        assert_eq!(Scheme::Flooding.build().name(), "flooding");
+        assert_eq!(Scheme::Gossip { p: 0.5 }.build().name(), "gossip");
+        assert_eq!(Scheme::GossipK { p: 0.5, k: 2 }.build().name(), "gossip-k");
+        assert_eq!(
+            Scheme::Counter { threshold: 3, rad: SimDuration::from_millis(10) }.build().name(),
+            "counter"
+        );
+        assert_eq!(Scheme::Distance { strong_dbm: -75.0 }.build().name(), "distance");
+        assert_eq!(Scheme::Cnlr(CnlrConfig::default()).build().name(), "cnlr");
+        assert_eq!(
+            Scheme::VapCnlr(CnlrConfig::default(), VapConfig::default()).build().name(),
+            "vap-cnlr"
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let set = Scheme::evaluation_set();
+        let mut labels: Vec<String> = set.iter().map(Scheme::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), set.len());
+    }
+}

@@ -1,0 +1,184 @@
+//! Property/fuzz tests of the radio medium's bookkeeping.
+//!
+//! Random frames are injected at random nodes/times and the returned
+//! effects are executed in timestamp order (as the engine would). The
+//! medium must maintain its invariants for every interleaving: every
+//! transmission ends exactly once, every scheduled reception window closes,
+//! the transmission record drains, carrier-sense states return to idle, and
+//! every delivered frame was decodable at its receiver.
+
+use cnlr::medium::{Medium, MediumEffect};
+use proptest::prelude::*;
+use wmn_mac::{FrameKind, MacAddr, MacFrame, BROADCAST};
+use wmn_radio::PhyParams;
+use wmn_sim::{SimRng, SimTime};
+use wmn_topology::{Region, SpatialIndex, Vec2};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Pending {
+    TxEnd { at: u64, tx_id: u64, seq: u64 },
+    RxEnd { at: u64, node: u32, tx_id: u64, seq: u64 },
+}
+
+impl Pending {
+    fn at(&self) -> (u64, u64) {
+        match *self {
+            Pending::TxEnd { at, seq, .. } => (at, seq),
+            Pending::RxEnd { at, seq, .. } => (at, seq),
+        }
+    }
+}
+
+fn drive(
+    n_nodes: usize,
+    frames: Vec<(usize, u64, bool)>, // (src, start_offset_us, broadcast)
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let region = Region::square(1200.0);
+    let mut rng = SimRng::new(seed);
+    let positions: Vec<Vec2> = (0..n_nodes)
+        .map(|_| Vec2::new(rng.range_f64(0.0, 1200.0), rng.range_f64(0.0, 1200.0)))
+        .collect();
+    let idx = SpatialIndex::new(region, 300.0, &positions);
+    let mut medium = Medium::new(PhyParams::classic_802_11b(), n_nodes, SimRng::new(seed ^ 1), 25.0);
+
+    // Track which nodes are transmitting so we only inject legal start_tx
+    // calls (the MAC guarantees no double transmit).
+    let mut transmitting = vec![false; n_nodes];
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut seq = 0u64;
+    let mut effects = Vec::new();
+    let mut delivered = 0u64;
+    let mut started = 0u64;
+
+    let mut inject = frames.into_iter().peekable();
+    let mut now_us = 0u64;
+
+    loop {
+        // Alternate: inject due frames, then process due pending events.
+        let next_pending = pending.iter().min_by_key(|p| p.at()).copied();
+        let next_inject = inject.peek().map(|&(_, t, _)| t);
+        match (next_pending, next_inject) {
+            (None, None) => break,
+            (p, i) => {
+                let take_inject = match (p, i) {
+                    (Some(p), Some(i)) => i <= p.at().0,
+                    (None, Some(_)) => true,
+                    _ => false,
+                };
+                if take_inject {
+                    let (src, t, bcast) = inject.next().expect("peeked");
+                    now_us = now_us.max(t);
+                    let src = src % n_nodes;
+                    if transmitting[src] {
+                        continue; // illegal injection; skip
+                    }
+                    transmitting[src] = true;
+                    started += 1;
+                    let frame = MacFrame {
+                        kind: FrameKind::Data,
+                        src: MacAddr(src as u32),
+                        dst: if bcast { BROADCAST } else { MacAddr(((src + 1) % n_nodes) as u32) },
+                        air_bytes: 100,
+                        sdu_id: seq + 1,
+                        nav_us: 0,
+                    };
+                    effects.clear();
+                    medium.start_tx(
+                        src as u32,
+                        frame,
+                        None,
+                        SimTime::from_micros(now_us),
+                        &idx,
+                        &mut effects,
+                    );
+                    for e in effects.drain(..) {
+                        seq += 1;
+                        match e {
+                            MediumEffect::ScheduleTxEnd { tx_id, at, .. } => {
+                                pending.push(Pending::TxEnd {
+                                    at: at.as_nanos() / 1_000,
+                                    tx_id,
+                                    seq,
+                                });
+                            }
+                            MediumEffect::ScheduleRxEnd { node, tx_id, at } => {
+                                pending.push(Pending::RxEnd {
+                                    at: at.as_nanos() / 1_000,
+                                    node,
+                                    tx_id,
+                                    seq,
+                                });
+                            }
+                            MediumEffect::Deliver { .. } => {
+                                prop_assert!(false, "delivery before rx end");
+                            }
+                            _ => {}
+                        }
+                    }
+                } else {
+                    let p = next_pending.expect("checked");
+                    pending.retain(|q| q != &p);
+                    now_us = now_us.max(p.at().0);
+                    effects.clear();
+                    match p {
+                        Pending::TxEnd { tx_id, at, .. } => {
+                            medium.tx_end(tx_id, SimTime::from_micros(at), &mut effects);
+                        }
+                        Pending::RxEnd { node, tx_id, at, .. } => {
+                            medium.rx_end(node, tx_id, SimTime::from_micros(at), &mut effects);
+                        }
+                    }
+                    for e in effects.drain(..) {
+                        match e {
+                            MediumEffect::TxComplete { node } => {
+                                prop_assert!(transmitting[node as usize]);
+                                transmitting[node as usize] = false;
+                            }
+                            MediumEffect::Deliver { node, frame, .. } => {
+                                delivered += 1;
+                                prop_assert_ne!(frame.src.0, node, "self-delivery");
+                            }
+                            MediumEffect::ScheduleRxEnd { .. } | MediumEffect::ScheduleTxEnd { .. } => {
+                                prop_assert!(false, "late scheduling from end events");
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Every transmission ended; sense states all idle.
+    prop_assert!(transmitting.iter().all(|t| !t), "a radio never finished");
+    for node in 0..n_nodes as u32 {
+        prop_assert!(!medium.sensed_busy(node), "node {node} stuck busy");
+    }
+    prop_assert_eq!(medium.stats().tx_started, started);
+    prop_assert!(medium.stats().delivered >= delivered);
+    // Energy meters are finite and ordered (tx costs more than idle).
+    let end = SimTime::from_micros(now_us + 1_000_000);
+    for node in 0..n_nodes as u32 {
+        let e = medium.energy_joules(node, end);
+        let c = medium.comm_energy_joules(node, end);
+        prop_assert!(e.is_finite() && e > 0.0);
+        prop_assert!(c >= 0.0 && c < e);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn medium_invariants_hold_under_random_traffic(
+        seed in any::<u64>(),
+        n_nodes in 2usize..20,
+        frames in prop::collection::vec((0usize..20, 0u64..2_000_000, any::<bool>()), 1..60),
+    ) {
+        let mut sorted = frames;
+        sorted.sort_by_key(|&(_, t, _)| t);
+        drive(n_nodes, sorted, seed)?;
+    }
+}

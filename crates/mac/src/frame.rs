@@ -1,0 +1,139 @@
+//! MAC addressing and frame descriptors.
+//!
+//! The MAC does not own upper-layer payloads: a frame carries an opaque
+//! `sdu_id` that the network layer uses to correlate its packet. This keeps
+//! the MAC free of generics and lets the integration crate store payloads
+//! once per transmission instead of per receiver.
+
+use std::fmt;
+
+/// A link-layer address (dense node index).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub u32);
+
+/// The link-layer broadcast address.
+pub const BROADCAST: MacAddr = MacAddr(u32::MAX);
+
+impl MacAddr {
+    /// True for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == BROADCAST
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_broadcast() {
+            write!(f, "*")
+        } else {
+            write!(f, "m{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Frame type on the air.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A data frame (carries an upper-layer SDU).
+    Data,
+    /// A link-layer acknowledgement.
+    Ack,
+    /// Request-to-send (virtual carrier sense handshake).
+    Rts,
+    /// Clear-to-send.
+    Cts,
+}
+
+/// A frame as it appears on the medium.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MacFrame {
+    /// Frame type.
+    pub kind: FrameKind,
+    /// Transmitter address.
+    pub src: MacAddr,
+    /// Receiver address (may be [`BROADCAST`] for data).
+    pub dst: MacAddr,
+    /// Bytes on air after the PLCP header (MAC header + payload + FCS).
+    pub air_bytes: usize,
+    /// Upper-layer correlation id (0 for control frames).
+    pub sdu_id: u64,
+    /// Network-allocation-vector duration advertised by this frame, µs
+    /// (802.11 Duration field). Overhearing radios defer this long past the
+    /// frame's end.
+    pub nav_us: u32,
+}
+
+impl MacFrame {
+    /// Construct an ACK answering a frame from `data_src`.
+    pub fn ack(me: MacAddr, data_src: MacAddr, ack_bytes: usize) -> Self {
+        MacFrame {
+            kind: FrameKind::Ack,
+            src: me,
+            dst: data_src,
+            air_bytes: ack_bytes,
+            sdu_id: 0,
+            nav_us: 0,
+        }
+    }
+
+    /// Construct an RTS towards `dst` reserving `nav_us`.
+    pub fn rts(me: MacAddr, dst: MacAddr, rts_bytes: usize, nav_us: u32) -> Self {
+        MacFrame { kind: FrameKind::Rts, src: me, dst, air_bytes: rts_bytes, sdu_id: 0, nav_us }
+    }
+
+    /// Construct a CTS answering an RTS from `rts_src`, echoing the
+    /// remaining reservation.
+    pub fn cts(me: MacAddr, rts_src: MacAddr, cts_bytes: usize, nav_us: u32) -> Self {
+        MacFrame {
+            kind: FrameKind::Cts,
+            src: me,
+            dst: rts_src,
+            air_bytes: cts_bytes,
+            sdu_id: 0,
+            nav_us,
+        }
+    }
+}
+
+/// An upper-layer service data unit waiting in the interface queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MacSdu {
+    /// Correlation id assigned by the network layer.
+    pub id: u64,
+    /// Link-layer destination.
+    pub dst: MacAddr,
+    /// Payload bytes (network header + body), before MAC overhead.
+    pub bytes: usize,
+    /// Control-plane SDU (RREQ/RREP/RERR/HELLO). Honoured only when the
+    /// MAC's priority queueing is enabled.
+    pub priority: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_detection() {
+        assert!(BROADCAST.is_broadcast());
+        assert!(!MacAddr(0).is_broadcast());
+        assert_eq!(format!("{BROADCAST}"), "*");
+        assert_eq!(format!("{}", MacAddr(7)), "m7");
+    }
+
+    #[test]
+    fn ack_construction() {
+        let ack = MacFrame::ack(MacAddr(1), MacAddr(2), 14);
+        assert_eq!(ack.kind, FrameKind::Ack);
+        assert_eq!(ack.src, MacAddr(1));
+        assert_eq!(ack.dst, MacAddr(2));
+        assert_eq!(ack.air_bytes, 14);
+        assert_eq!(ack.sdu_id, 0);
+    }
+}

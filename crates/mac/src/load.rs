@@ -1,0 +1,214 @@
+//! Cross-layer load instrumentation.
+//!
+//! CNLR's central idea is that the MAC already *knows* how loaded a region
+//! is: its queue is filling and its carrier sense is pinned busy. This module
+//! turns those raw observations into the [`LoadDigest`] the routing layer
+//! piggybacks on HELLO beacons.
+
+use wmn_sim::{SimDuration, SimTime};
+
+/// A node's local load summary, as shared with its neighbourhood.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct LoadDigest {
+    /// Smoothed interface-queue utilisation in `[0, 1]`.
+    pub queue_util: f64,
+    /// Fraction of recent time the channel was sensed busy (incl. own
+    /// transmissions) in `[0, 1]`.
+    pub busy_ratio: f64,
+    /// Smoothed MAC service time (head-of-queue → transmitted), seconds.
+    pub mac_service_s: f64,
+}
+
+impl LoadDigest {
+    /// Scalar load index in `[0, 1]`: the CNLR combination
+    /// `w_q·queue + w_b·busy` (service time is reported but not folded in;
+    /// it is redundant with busy ratio at equilibrium).
+    pub fn index(&self, w_queue: f64, w_busy: f64) -> f64 {
+        debug_assert!(w_queue >= 0.0 && w_busy >= 0.0);
+        let denom = (w_queue + w_busy).max(f64::EPSILON);
+        ((w_queue * self.queue_util + w_busy * self.busy_ratio) / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// Windowed channel-busy-ratio and service-time tracker.
+#[derive(Clone, Debug)]
+pub struct LoadMonitor {
+    /// Measurement window.
+    window: SimDuration,
+    /// EWMA weight applied per completed window.
+    alpha: f64,
+    /// Start of the current window.
+    window_start: SimTime,
+    /// Busy time accumulated in the current window.
+    busy_in_window: SimDuration,
+    /// When the channel last turned busy (`None` while idle).
+    busy_since: Option<SimTime>,
+    /// Smoothed busy ratio.
+    busy_ewma: f64,
+    /// Smoothed MAC service time, seconds.
+    service_ewma_s: f64,
+    service_alpha: f64,
+    service_samples: u64,
+}
+
+impl LoadMonitor {
+    /// Create a monitor with the given averaging window.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "zero load window");
+        LoadMonitor {
+            window,
+            alpha: 0.3,
+            window_start: SimTime::ZERO,
+            busy_in_window: SimDuration::ZERO,
+            busy_since: None,
+            busy_ewma: 0.0,
+            service_ewma_s: 0.0,
+            service_alpha: 0.2,
+            service_samples: 0,
+        }
+    }
+
+    /// Report a channel-state transition (`busy = true` when sensed busy or
+    /// transmitting). Idempotent: repeated reports of the same state are
+    /// accepted.
+    pub fn channel_state(&mut self, now: SimTime, busy: bool) {
+        self.roll_windows(now);
+        match (self.busy_since, busy) {
+            (None, true) => self.busy_since = Some(now),
+            (Some(since), false) => {
+                self.busy_in_window += now.since(since.max(self.window_start));
+                self.busy_since = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Record one completed MAC service (head-of-queue to success/abandon).
+    pub fn record_service(&mut self, service: SimDuration) {
+        let s = service.as_secs_f64();
+        if self.service_samples == 0 {
+            self.service_ewma_s = s;
+        } else {
+            self.service_ewma_s =
+                self.service_alpha * s + (1.0 - self.service_alpha) * self.service_ewma_s;
+        }
+        self.service_samples += 1;
+    }
+
+    /// The smoothed busy ratio as of `now`.
+    pub fn busy_ratio(&mut self, now: SimTime) -> f64 {
+        self.roll_windows(now);
+        // Blend the committed EWMA with the partial current window so the
+        // estimate responds during long busy periods.
+        let elapsed = now.since(self.window_start);
+        if elapsed.is_zero() {
+            return self.busy_ewma;
+        }
+        let mut busy = self.busy_in_window;
+        if let Some(since) = self.busy_since {
+            busy += now.since(since.max(self.window_start));
+        }
+        let partial = (busy.as_secs_f64() / elapsed.as_secs_f64()).clamp(0.0, 1.0);
+        let w = (elapsed.as_secs_f64() / self.window.as_secs_f64()).min(1.0) * self.alpha;
+        (1.0 - w) * self.busy_ewma + w * partial
+    }
+
+    /// Smoothed MAC service time, seconds.
+    pub fn service_time_s(&self) -> f64 {
+        self.service_ewma_s
+    }
+
+    /// Close out any windows that fully elapsed before `now`.
+    fn roll_windows(&mut self, now: SimTime) {
+        while now.since(self.window_start) >= self.window {
+            let window_end = self.window_start + self.window;
+            let mut busy = self.busy_in_window;
+            if let Some(since) = self.busy_since {
+                busy += window_end.since(since.max(self.window_start));
+            }
+            let ratio = (busy.as_secs_f64() / self.window.as_secs_f64()).clamp(0.0, 1.0);
+            self.busy_ewma = self.alpha * ratio + (1.0 - self.alpha) * self.busy_ewma;
+            self.window_start = window_end;
+            self.busy_in_window = SimDuration::ZERO;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn idle_channel_reads_zero() {
+        let mut m = LoadMonitor::new(SimDuration::from_millis(100));
+        assert_eq!(m.busy_ratio(t(1000)), 0.0);
+    }
+
+    #[test]
+    fn fully_busy_converges_to_one() {
+        let mut m = LoadMonitor::new(SimDuration::from_millis(100));
+        m.channel_state(t(0), true);
+        let r = m.busy_ratio(t(5000));
+        assert!(r > 0.95, "busy ratio {r}");
+    }
+
+    #[test]
+    fn half_busy_converges_to_half() {
+        let mut m = LoadMonitor::new(SimDuration::from_millis(100));
+        // Alternate 10 ms busy / 10 ms idle for 4 seconds.
+        for i in 0..200 {
+            m.channel_state(t(20 * i), true);
+            m.channel_state(t(20 * i + 10), false);
+        }
+        let r = m.busy_ratio(t(4000));
+        assert!((r - 0.5).abs() < 0.05, "busy ratio {r}");
+    }
+
+    #[test]
+    fn ratio_decays_after_busy_period_ends() {
+        let mut m = LoadMonitor::new(SimDuration::from_millis(100));
+        m.channel_state(t(0), true);
+        m.channel_state(t(1000), false);
+        let high = m.busy_ratio(t(1000));
+        let later = m.busy_ratio(t(3000));
+        assert!(high > 0.9);
+        assert!(later < high * 0.2, "decayed to {later}");
+    }
+
+    #[test]
+    fn idempotent_state_reports() {
+        let mut m = LoadMonitor::new(SimDuration::from_millis(100));
+        m.channel_state(t(0), true);
+        m.channel_state(t(5), true); // repeated busy
+        m.channel_state(t(10), false);
+        m.channel_state(t(12), false); // repeated idle
+        let r = m.busy_ratio(t(100));
+        assert!(r > 0.0 && r < 0.5);
+    }
+
+    #[test]
+    fn service_time_ewma() {
+        let mut m = LoadMonitor::new(SimDuration::from_millis(100));
+        assert_eq!(m.service_time_s(), 0.0);
+        m.record_service(SimDuration::from_millis(10));
+        assert!((m.service_time_s() - 0.010).abs() < 1e-9);
+        for _ in 0..100 {
+            m.record_service(SimDuration::from_millis(30));
+        }
+        assert!((m.service_time_s() - 0.030).abs() < 0.002);
+    }
+
+    #[test]
+    fn digest_index_combines_and_clamps() {
+        let d = LoadDigest { queue_util: 0.5, busy_ratio: 1.0, mac_service_s: 0.0 };
+        assert!((d.index(1.0, 1.0) - 0.75).abs() < 1e-12);
+        assert!((d.index(1.0, 0.0) - 0.5).abs() < 1e-12);
+        assert!((d.index(0.0, 1.0) - 1.0).abs() < 1e-12);
+        let zero = LoadDigest::default();
+        assert_eq!(zero.index(1.0, 1.0), 0.0);
+    }
+}

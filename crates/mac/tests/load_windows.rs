@@ -1,0 +1,51 @@
+//! Load-monitor behaviour across window boundaries and long idle gaps.
+
+use wmn_mac::{LoadDigest, LoadMonitor};
+use wmn_sim::{SimDuration, SimTime};
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+#[test]
+fn busy_interval_spanning_many_windows() {
+    let mut m = LoadMonitor::new(SimDuration::from_millis(100));
+    // One busy stretch crossing 20 windows, queried only at the end.
+    m.channel_state(t(50), true);
+    m.channel_state(t(2_050), false);
+    let r = m.busy_ratio(t(2_100));
+    assert!(r > 0.8, "long busy stretch under-counted: {r}");
+}
+
+#[test]
+fn query_far_in_future_decays_fully() {
+    let mut m = LoadMonitor::new(SimDuration::from_millis(100));
+    m.channel_state(t(0), true);
+    m.channel_state(t(500), false);
+    let r = m.busy_ratio(t(60_000));
+    assert!(r < 1e-3, "stale busy ratio {r}");
+}
+
+#[test]
+fn service_time_first_sample_not_averaged_with_zero() {
+    let mut m = LoadMonitor::new(SimDuration::from_millis(100));
+    m.record_service(SimDuration::from_millis(50));
+    assert!((m.service_time_s() - 0.050).abs() < 1e-12);
+}
+
+#[test]
+fn digest_index_weights_are_relative() {
+    let d = LoadDigest { queue_util: 1.0, busy_ratio: 0.0, mac_service_s: 0.0 };
+    // Doubling both weights changes nothing.
+    assert!((d.index(1.0, 3.0) - d.index(2.0, 6.0)).abs() < 1e-12);
+    assert!((d.index(1.0, 3.0) - 0.25).abs() < 1e-12);
+}
+
+#[test]
+fn zero_weight_pair_is_safe() {
+    let d = LoadDigest { queue_util: 0.7, busy_ratio: 0.3, mac_service_s: 0.0 };
+    // Degenerate weights must not divide by zero.
+    let v = d.index(0.0, 0.0);
+    assert!(v.is_finite());
+    assert!((0.0..=1.0).contains(&v));
+}

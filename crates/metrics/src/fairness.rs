@@ -1,0 +1,98 @@
+//! Load-distribution fairness measures.
+//!
+//! CNLR's load-balancing claim is quantified with Jain's fairness index over
+//! per-node forwarding counts, plus the max/mean ratio as a hotspot measure.
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`, in `(0, 1]`. 1 = perfectly
+/// even, `1/n` = one node carries everything. Returns 1.0 for empty or
+/// all-zero inputs (vacuously fair).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    debug_assert!(xs.iter().all(|x| *x >= 0.0), "negative load");
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sum_sq)
+}
+
+/// Max-to-mean ratio (≥ 1): the hotspot factor. Returns 1.0 for empty or
+/// all-zero inputs.
+pub fn hotspot_factor(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if mean <= 0.0 {
+        return 1.0;
+    }
+    xs.iter().cloned().fold(f64::MIN, f64::max) / mean
+}
+
+/// Coefficient of variation (σ/μ), 0 when degenerate.
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_perfectly_fair() {
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_single_hog() {
+        let xs = [10.0, 0.0, 0.0, 0.0];
+        assert!((jain_index(&xs) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_known_value() {
+        // (1+2+3)² / (3·(1+4+9)) = 36/42.
+        assert!((jain_index(&[1.0, 2.0, 3.0]) - 36.0 / 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_degenerate() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn jain_is_scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 5.0]);
+        let b = jain_index(&[10.0, 20.0, 50.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotspot() {
+        assert!((hotspot_factor(&[1.0, 1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(hotspot_factor(&[2.0, 2.0]), 1.0);
+        assert_eq!(hotspot_factor(&[]), 1.0);
+        assert_eq!(hotspot_factor(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn cov() {
+        assert_eq!(coefficient_of_variation(&[3.0, 3.0, 3.0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[1.0]), 0.0);
+        // mean 3, sample sd √2 → cov = √2/3.
+        let c = coefficient_of_variation(&[2.0, 4.0]);
+        assert!((c - std::f64::consts::SQRT_2 / 3.0).abs() < 1e-12, "cov {c}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Fixed-memory log-scaled histogram for latency-like quantities.
+
+/// A base-2 logarithmic histogram with linear sub-buckets: 2 % relative
+/// error on quantiles across twelve decades, in a few KiB.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    /// `buckets[major][minor]`; major = exponent, minor = linear subdivision.
+    counts: Vec<[u64; SUBBUCKETS]>,
+    underflow: u64,
+    total: u64,
+    /// Smallest representable value (values below count as underflow).
+    floor: f64,
+}
+
+const SUBBUCKETS: usize = 16;
+const MAJORS: usize = 40;
+
+impl LogHistogram {
+    /// Histogram covering `[floor, floor·2⁴⁰)`.
+    pub fn new(floor: f64) -> Self {
+        assert!(floor > 0.0 && floor.is_finite());
+        LogHistogram {
+            counts: vec![[0; SUBBUCKETS]; MAJORS],
+            underflow: 0,
+            total: 0,
+            floor,
+        }
+    }
+
+    /// Suitable default for second-denominated delays: 1 µs floor.
+    pub fn for_delays() -> Self {
+        LogHistogram::new(1e-6)
+    }
+
+    fn index_of(&self, x: f64) -> Option<(usize, usize)> {
+        if x < self.floor {
+            return None;
+        }
+        let ratio = x / self.floor;
+        let major = ratio.log2().floor() as usize;
+        let major = major.min(MAJORS - 1);
+        let base = self.floor * (1u64 << major) as f64;
+        let minor = (((x - base) / base) * SUBBUCKETS as f64) as usize;
+        Some((major, minor.min(SUBBUCKETS - 1)))
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite() && x >= 0.0, "bad sample {x}");
+        self.total += 1;
+        match self.index_of(x) {
+            None => self.underflow += 1,
+            Some((maj, min)) => self.counts[maj][min] += 1,
+        }
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]` (returns 0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.floor;
+        }
+        for maj in 0..MAJORS {
+            for min in 0..SUBBUCKETS {
+                seen += self.counts[maj][min];
+                if seen >= target {
+                    let base = self.floor * (1u64 << maj) as f64;
+                    // Bucket midpoint.
+                    return base * (1.0 + (min as f64 + 0.5) / SUBBUCKETS as f64);
+                }
+            }
+        }
+        self.floor * (1u64 << (MAJORS - 1)) as f64 * 2.0
+    }
+
+    /// Merge another histogram with identical parameters.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.floor, other.floor, "incompatible histograms");
+        self.underflow += other.underflow;
+        self.total += other.total;
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += *y;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut h = LogHistogram::for_delays();
+        // 1..=10000 ms.
+        for i in 1..=10_000u64 {
+            h.record(i as f64 * 1e-3);
+        }
+        assert_eq!(h.count(), 10_000);
+        for (q, expect) in [(0.5, 5.0), (0.95, 9.5), (0.99, 9.9)] {
+            let got = h.quantile(q);
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.05, "q{q}: got {got}, want {expect}");
+        }
+    }
+
+    #[test]
+    fn empty_quantile_zero() {
+        let h = LogHistogram::for_delays();
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn underflow_maps_to_floor() {
+        let mut h = LogHistogram::new(1.0);
+        h.record(0.001);
+        h.record(0.5);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.5), 1.0);
+    }
+
+    #[test]
+    fn merge_matches_union() {
+        let mut a = LogHistogram::for_delays();
+        let mut b = LogHistogram::for_delays();
+        let mut whole = LogHistogram::for_delays();
+        for i in 1..=1000u64 {
+            let x = i as f64 * 1e-4;
+            whole.record(x);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        for q in [0.1, 0.5, 0.9] {
+            assert!((a.quantile(q) - whole.quantile(q)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merge_incompatible_panics() {
+        let mut a = LogHistogram::new(1.0);
+        let b = LogHistogram::new(2.0);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn extreme_values_clamp() {
+        let mut h = LogHistogram::for_delays();
+        h.record(1e30); // far beyond range — clamps into the top bucket
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0) > 1e5);
+    }
+}

@@ -1,0 +1,25 @@
+//! `wmn-metrics` — measurement, aggregation and reporting.
+//!
+//! Replaces the awk-over-trace-files post-processing of an ns-2 evaluation
+//! with typed streaming statistics: Welford mean/variance accumulators,
+//! log-scaled latency histograms, Jain's fairness index (CNLR's
+//! load-balance metric), Student-t confidence intervals over replications, a
+//! crossbeam-parallel replication runner, and markdown/CSV result tables.
+
+#![warn(missing_docs)]
+
+pub mod ci;
+pub mod fairness;
+pub mod histogram;
+pub mod replicate;
+pub mod series;
+pub mod table;
+pub mod welford;
+
+pub use ci::{t_critical_95, MeanCi};
+pub use fairness::{coefficient_of_variation, hotspot_factor, jain_index};
+pub use histogram::LogHistogram;
+pub use replicate::{default_threads, run_replications, seeds_from};
+pub use series::{Bin, TimeSeries};
+pub use table::{fmt_f, ResultTable};
+pub use welford::Welford;

@@ -1,0 +1,159 @@
+//! Time-binned series — metrics as a function of simulation time.
+//!
+//! Used for convergence/transient views: delivery ratio per second, queue
+//! build-up over time, etc. Values are accumulated into fixed-width bins;
+//! each bin exposes count/sum/mean.
+
+use wmn_sim::{SimDuration, SimTime};
+
+/// One accumulation bin.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Bin {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of sample values.
+    pub sum: f64,
+}
+
+impl Bin {
+    /// Mean of the bin's samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A fixed-bin time series starting at t = 0.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    width: SimDuration,
+    bins: Vec<Bin>,
+}
+
+impl TimeSeries {
+    /// Create a series with the given bin width.
+    pub fn new(bin_width: SimDuration) -> Self {
+        assert!(!bin_width.is_zero(), "zero bin width");
+        TimeSeries { width: bin_width, bins: Vec::new() }
+    }
+
+    fn bin_index(&self, t: SimTime) -> usize {
+        (t.as_nanos() / self.width.as_nanos()) as usize
+    }
+
+    /// Record `value` at time `t`.
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        let i = self.bin_index(t);
+        if i >= self.bins.len() {
+            self.bins.resize(i + 1, Bin::default());
+        }
+        let b = &mut self.bins[i];
+        b.count += 1;
+        b.sum += value;
+    }
+
+    /// Record an event (value 1) at `t` — turns the series into a rate
+    /// counter (`bin.count / bin_width`).
+    pub fn mark(&mut self, t: SimTime) {
+        self.record(t, 1.0);
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> SimDuration {
+        self.width
+    }
+
+    /// All bins (trailing empty bins up to the last recorded one included).
+    pub fn bins(&self) -> &[Bin] {
+        &self.bins
+    }
+
+    /// `(bin_start_time, mean)` pairs.
+    pub fn means(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, b)| (SimTime(self.width.as_nanos() * i as u64), b.mean()))
+    }
+
+    /// `(bin_start_time, events_per_second)` pairs.
+    pub fn rates(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        let secs = self.width.as_secs_f64();
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, b)| (SimTime(self.width.as_nanos() * i as u64), b.count as f64 / secs))
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn binning_and_means() {
+        let mut s = TimeSeries::new(SimDuration::from_secs(1));
+        s.record(t(100), 2.0);
+        s.record(t(900), 4.0);
+        s.record(t(1_500), 10.0);
+        s.record(t(3_100), 1.0);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.bins()[0], Bin { count: 2, sum: 6.0 });
+        assert!((s.bins()[0].mean() - 3.0).abs() < 1e-12);
+        assert!((s.bins()[1].mean() - 10.0).abs() < 1e-12);
+        assert_eq!(s.bins()[2].mean(), 0.0); // empty gap bin
+        let means: Vec<(SimTime, f64)> = s.means().collect();
+        assert_eq!(means[3], (t(3_000), 1.0));
+    }
+
+    #[test]
+    fn rates() {
+        let mut s = TimeSeries::new(SimDuration::from_millis(500));
+        for i in 0..10 {
+            s.mark(t(i * 100)); // 10 events in the first second
+        }
+        let rates: Vec<f64> = s.rates().map(|(_, r)| r).collect();
+        assert_eq!(rates.len(), 2);
+        assert!((rates[0] - 10.0).abs() < 1e-12); // 5 events / 0.5 s
+        assert!((rates[1] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new(SimDuration::from_secs(1));
+        assert!(s.is_empty());
+        assert_eq!(s.means().count(), 0);
+    }
+
+    #[test]
+    fn boundary_lands_in_upper_bin() {
+        let mut s = TimeSeries::new(SimDuration::from_secs(1));
+        s.record(t(1_000), 5.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.bins()[0].count, 0);
+        assert_eq!(s.bins()[1].count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bin width")]
+    fn zero_width_rejected() {
+        TimeSeries::new(SimDuration::ZERO);
+    }
+}

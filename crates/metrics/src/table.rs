@@ -1,0 +1,143 @@
+//! Result-table rendering (markdown and CSV).
+//!
+//! The bench harness prints each reconstructed figure as rows of a table;
+//! this keeps the output diff-able and directly pasteable into
+//! EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned results table.
+#[derive(Clone, Debug)]
+pub struct ResultTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Create a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        ResultTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let _ = writeln!(out);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {cell:<w$} |");
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (title as a `#` comment line).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let escape = |s: &String| -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let _ = writeln!(out, "{}", self.headers.iter().map(escape).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(escape).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Format a float with sensible width for tables.
+pub fn fmt_f(x: f64, precision: usize) -> String {
+    format!("{x:.precision$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultTable {
+        let mut t = ResultTable::new("Fig. 1", &["scheme", "pdr"]);
+        t.add_row(vec!["flooding".into(), "0.82".into()]);
+        t.add_row(vec!["cnlr".into(), "0.93".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### Fig. 1"));
+        assert!(md.contains("| scheme"));
+        assert!(md.contains("| cnlr"));
+        let lines: Vec<&str> = md.lines().collect();
+        // title, blank, header, separator, 2 rows
+        assert_eq!(lines.len(), 6);
+        assert!(lines[3].starts_with("|--"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = ResultTable::new("T", &["a", "b"]);
+        t.add_row(vec!["x,y".into(), "q\"uote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"q\"\"uote\""));
+        assert!(csv.starts_with("# T\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = ResultTable::new("T", &["a", "b"]);
+        t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_helper() {
+        assert_eq!(fmt_f(0.91637, 3), "0.916");
+        assert_eq!(sample().len(), 2);
+        assert!(!sample().is_empty());
+    }
+}

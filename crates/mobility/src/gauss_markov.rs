@@ -1,0 +1,192 @@
+//! Gauss–Markov mobility — temporally correlated velocity.
+//!
+//! Speed and direction evolve as first-order autoregressive processes:
+//! `s' = α·s + (1−α)·s̄ + √(1−α²)·σ_s·N`, likewise for direction. Between
+//! updates motion is linear. Near the field border the mean direction is
+//! steered towards the centre (the standard edge treatment), and any residual
+//! overshoot is reflected.
+
+use wmn_sim::{SimDuration, SimRng, SimTime};
+use wmn_topology::{Region, Vec2};
+
+/// Gauss–Markov state for one node.
+#[derive(Clone, Debug)]
+pub struct GaussMarkov {
+    region: Region,
+    mean_speed: f64,
+    alpha: f64,
+    sigma_speed: f64,
+    sigma_dir: f64,
+    interval: SimDuration,
+    /// Segment start.
+    at: Vec2,
+    since: SimTime,
+    speed: f64,
+    direction: f64,
+    /// Mean direction (steered near borders).
+    mean_dir: f64,
+}
+
+impl GaussMarkov {
+    /// Create a walker at `start`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        start: Vec2,
+        region: Region,
+        mean_speed: f64,
+        alpha: f64,
+        sigma_speed: f64,
+        sigma_dir: f64,
+        update_s: f64,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha out of [0,1]");
+        assert!(mean_speed > 0.0 && update_s > 0.0);
+        let direction = rng.range_f64(0.0, std::f64::consts::TAU);
+        GaussMarkov {
+            region,
+            mean_speed,
+            alpha,
+            sigma_speed,
+            sigma_dir,
+            interval: SimDuration::from_secs_f64(update_s),
+            at: region.clamp(start),
+            since: now,
+            speed: mean_speed,
+            direction,
+            mean_dir: direction,
+        }
+    }
+
+    /// Current velocity vector (constant within a segment).
+    pub fn velocity(&self) -> Vec2 {
+        Vec2::new(self.direction.cos(), self.direction.sin()) * self.speed
+    }
+
+    /// Position at `t` within the current segment.
+    pub fn position(&self, t: SimTime) -> Vec2 {
+        let dt = t.since(self.since).as_secs_f64();
+        let raw = self.at + self.velocity() * dt;
+        // Clamp transient overshoot within a segment; `advance` reflects
+        // properly at segment boundaries.
+        self.region.clamp(raw)
+    }
+
+    /// End of the current segment.
+    pub fn next_update(&self) -> SimTime {
+        self.since + self.interval
+    }
+
+    /// Draw the next speed/direction and start a new segment.
+    pub fn advance(&mut self, now: SimTime, rng: &mut SimRng) {
+        // Commit the position, reflecting if the segment grazed a border.
+        let dt = now.since(self.since).as_secs_f64();
+        let raw = self.at + self.velocity() * dt;
+        let (reflected, flip) = self.region.reflect(raw);
+        self.at = reflected;
+        if flip.x < 0.0 || flip.y < 0.0 {
+            let v = self.velocity();
+            let v2 = Vec2::new(v.x * flip.x, v.y * flip.y);
+            self.direction = v2.y.atan2(v2.x);
+        }
+        self.since = now;
+
+        // Border steering: point the mean direction at the centre when
+        // within 10% of an edge.
+        let margin_x = self.region.width * 0.1;
+        let margin_y = self.region.height * 0.1;
+        if self.at.x < margin_x
+            || self.at.x > self.region.width - margin_x
+            || self.at.y < margin_y
+            || self.at.y > self.region.height - margin_y
+        {
+            let towards = self.region.center() - self.at;
+            self.mean_dir = towards.y.atan2(towards.x);
+        }
+
+        let sq = (1.0 - self.alpha * self.alpha).max(0.0).sqrt();
+        self.speed = (self.alpha * self.speed
+            + (1.0 - self.alpha) * self.mean_speed
+            + sq * self.sigma_speed * rng.standard_normal())
+        .max(0.0);
+        self.direction = self.alpha * self.direction
+            + (1.0 - self.alpha) * self.mean_dir
+            + sq * self.sigma_dir * rng.standard_normal();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walker(alpha: f64, seed: u64) -> (GaussMarkov, SimRng) {
+        let mut rng = SimRng::new(seed);
+        let gm = GaussMarkov::new(
+            Vec2::new(250.0, 250.0),
+            Region::square(500.0),
+            8.0,
+            alpha,
+            2.0,
+            0.4,
+            1.0,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        (gm, rng)
+    }
+
+    #[test]
+    fn segments_are_linear() {
+        let (gm, _) = walker(0.8, 1);
+        let p0 = gm.position(SimTime::ZERO);
+        let p_half = gm.position(SimTime::from_millis(500));
+        let p1 = gm.position(SimTime::from_secs(1));
+        assert!((p0.distance(p_half) - p_half.distance(p1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn update_cadence_is_fixed() {
+        let (mut gm, mut rng) = walker(0.8, 2);
+        assert_eq!(gm.next_update(), SimTime::from_secs(1));
+        gm.advance(SimTime::from_secs(1), &mut rng);
+        assert_eq!(gm.next_update(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn alpha_one_keeps_velocity_until_border() {
+        let (mut gm, mut rng) = walker(1.0, 3);
+        let v0 = gm.velocity();
+        gm.advance(SimTime::from_secs(1), &mut rng);
+        let v1 = gm.velocity();
+        assert!((v0 - v1).norm() < 1e-9, "velocity changed under alpha = 1");
+    }
+
+    #[test]
+    fn long_run_speed_near_mean() {
+        let (mut gm, mut rng) = walker(0.7, 4);
+        let mut sum = 0.0;
+        let n = 5_000;
+        for i in 0..n {
+            gm.advance(SimTime::from_secs(i + 1), &mut rng);
+            sum += gm.velocity().norm();
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 8.0).abs() < 1.0, "mean speed {mean}");
+    }
+
+    #[test]
+    fn stays_in_region_for_long_runs() {
+        let (mut gm, mut rng) = walker(0.9, 5);
+        for i in 0..10_000u64 {
+            let t = SimTime::from_secs(i + 1);
+            let p = gm.position(t);
+            assert!(gm.position(t).is_finite());
+            assert!(
+                (0.0..=500.0).contains(&p.x) && (0.0..=500.0).contains(&p.y),
+                "escaped to {p:?} at {t}"
+            );
+            gm.advance(t, &mut rng);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Manhattan-grid mobility — motion constrained to a street grid.
+//!
+//! The node travels along streets spaced `block_m` apart. At each
+//! intersection it continues straight with probability 0.5, or turns
+//! left/right with probability 0.25 each (headings that would leave the
+//! field are excluded before the draw). Speed is redrawn per street segment
+//! from a clamped normal distribution.
+
+use wmn_sim::{SimDuration, SimRng, SimTime};
+use wmn_topology::{Region, Vec2};
+
+/// The four street headings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Heading {
+    East,
+    North,
+    West,
+    South,
+}
+
+impl Heading {
+    fn delta(self) -> (i64, i64) {
+        match self {
+            Heading::East => (1, 0),
+            Heading::North => (0, 1),
+            Heading::West => (-1, 0),
+            Heading::South => (0, -1),
+        }
+    }
+
+    fn left(self) -> Heading {
+        match self {
+            Heading::East => Heading::North,
+            Heading::North => Heading::West,
+            Heading::West => Heading::South,
+            Heading::South => Heading::East,
+        }
+    }
+
+    fn right(self) -> Heading {
+        self.left().left().left()
+    }
+
+    fn unit(self) -> Vec2 {
+        let (dx, dy) = self.delta();
+        Vec2::new(dx as f64, dy as f64)
+    }
+}
+
+/// Manhattan mobility state for one node.
+#[derive(Clone, Debug)]
+pub struct Manhattan {
+    region: Region,
+    block: f64,
+    mean_speed: f64,
+    sigma_speed: f64,
+    /// Grid extents (number of intersections per axis).
+    nx: i64,
+    ny: i64,
+    /// Current segment: from intersection `(ix, iy)` heading `dir`.
+    ix: i64,
+    iy: i64,
+    dir: Heading,
+    speed: f64,
+    depart: SimTime,
+    arrive: SimTime,
+}
+
+impl Manhattan {
+    /// Create a walker; `start` is snapped to the nearest intersection.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        start: Vec2,
+        region: Region,
+        block_m: f64,
+        mean_speed: f64,
+        sigma_speed: f64,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(block_m > 0.0 && mean_speed > 0.0);
+        let nx = (region.width / block_m).floor() as i64;
+        let ny = (region.height / block_m).floor() as i64;
+        assert!(nx >= 1 && ny >= 1, "field too small for block size");
+        let ix = ((start.x / block_m).round() as i64).clamp(0, nx);
+        let iy = ((start.y / block_m).round() as i64).clamp(0, ny);
+        let mut m = Manhattan {
+            region,
+            block: block_m,
+            mean_speed,
+            sigma_speed,
+            nx,
+            ny,
+            ix,
+            iy,
+            dir: Heading::East,
+            speed: mean_speed,
+            depart: now,
+            arrive: now,
+        };
+        m.dir = m.pick_heading(None, rng);
+        m.start_segment(now, rng);
+        m
+    }
+
+    fn valid(&self, h: Heading) -> bool {
+        let (dx, dy) = h.delta();
+        let (tx, ty) = (self.ix + dx, self.iy + dy);
+        (0..=self.nx).contains(&tx) && (0..=self.ny).contains(&ty)
+    }
+
+    /// Turn decision: straight 0.5, left 0.25, right 0.25, filtered to
+    /// headings that stay inside the grid (falling back to any valid
+    /// heading, including U-turns at dead ends).
+    fn pick_heading(&self, current: Option<Heading>, rng: &mut SimRng) -> Heading {
+        if let Some(cur) = current {
+            let mut options: Vec<(Heading, f64)> = Vec::with_capacity(3);
+            if self.valid(cur) {
+                options.push((cur, 0.5));
+            }
+            if self.valid(cur.left()) {
+                options.push((cur.left(), 0.25));
+            }
+            if self.valid(cur.right()) {
+                options.push((cur.right(), 0.25));
+            }
+            if !options.is_empty() {
+                let total: f64 = options.iter().map(|&(_, w)| w).sum();
+                let mut draw = rng.f64() * total;
+                for &(h, w) in &options {
+                    if draw < w {
+                        return h;
+                    }
+                    draw -= w;
+                }
+                return options.last().expect("nonempty").0;
+            }
+            // Dead end in all three directions: U-turn.
+            return cur.left().left();
+        }
+        // Initial heading: uniform over valid ones.
+        let all = [Heading::East, Heading::North, Heading::West, Heading::South];
+        let valid: Vec<Heading> = all.into_iter().filter(|&h| self.valid(h)).collect();
+        *rng.choose(&valid).expect("isolated intersection")
+    }
+
+    fn start_segment(&mut self, now: SimTime, rng: &mut SimRng) {
+        self.speed = (self.mean_speed + self.sigma_speed * rng.standard_normal()).max(1.0);
+        self.depart = now;
+        self.arrive = now + SimDuration::from_secs_f64(self.block / self.speed);
+    }
+
+    fn intersection(&self, ix: i64, iy: i64) -> Vec2 {
+        self.region
+            .clamp(Vec2::new(ix as f64 * self.block, iy as f64 * self.block))
+    }
+
+    /// Position at `t` within the current segment.
+    pub fn position(&self, t: SimTime) -> Vec2 {
+        let from = self.intersection(self.ix, self.iy);
+        let (dx, dy) = self.dir.delta();
+        let to = self.intersection(self.ix + dx, self.iy + dy);
+        if t <= self.depart {
+            return from;
+        }
+        if t >= self.arrive {
+            return to;
+        }
+        let frac =
+            t.since(self.depart).as_secs_f64() / self.arrive.since(self.depart).as_secs_f64();
+        from.lerp(to, frac)
+    }
+
+    /// Velocity at `t`.
+    pub fn velocity(&self, t: SimTime) -> Vec2 {
+        if t < self.depart || t >= self.arrive {
+            Vec2::ZERO
+        } else {
+            self.dir.unit() * self.speed
+        }
+    }
+
+    /// Arrival at the next intersection.
+    pub fn next_update(&self) -> SimTime {
+        self.arrive
+    }
+
+    /// Arrive at the next intersection and choose the next street.
+    pub fn advance(&mut self, now: SimTime, rng: &mut SimRng) {
+        if now < self.arrive {
+            return;
+        }
+        let (dx, dy) = self.dir.delta();
+        self.ix += dx;
+        self.iy += dy;
+        self.dir = self.pick_heading(Some(self.dir), rng);
+        self.start_segment(now, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walker(seed: u64) -> (Manhattan, SimRng) {
+        let mut rng = SimRng::new(seed);
+        let m = Manhattan::new(
+            Vec2::new(100.0, 100.0),
+            Region::square(200.0),
+            50.0,
+            10.0,
+            0.0,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        (m, rng)
+    }
+
+    #[test]
+    fn moves_along_grid_lines() {
+        let (mut m, mut rng) = walker(1);
+        for _ in 0..200 {
+            let t = m.next_update();
+            let mid = SimTime(t.as_nanos() - 1);
+            let p = m.position(mid);
+            // At least one coordinate is on a street (multiple of 50).
+            let on_x = (p.x / 50.0 - (p.x / 50.0).round()).abs() < 1e-6;
+            let on_y = (p.y / 50.0 - (p.y / 50.0).round()).abs() < 1e-6;
+            assert!(on_x || on_y, "off-street at {p:?}");
+            m.advance(t, &mut rng);
+        }
+    }
+
+    #[test]
+    fn segment_time_matches_block_over_speed() {
+        let (m, _) = walker(2);
+        // sigma = 0 → speed exactly 10, block 50 → 5 s per segment.
+        assert_eq!(m.next_update(), SimTime::from_secs(5));
+        let v = m.velocity(SimTime::from_secs(1)).norm();
+        assert!((v - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_leaves_region() {
+        let (mut m, mut rng) = walker(3);
+        for _ in 0..2_000 {
+            let t = m.next_update();
+            let p = m.position(t);
+            assert!(
+                (0.0..=200.0).contains(&p.x) && (0.0..=200.0).contains(&p.y),
+                "escaped to {p:?}"
+            );
+            m.advance(t, &mut rng);
+        }
+    }
+
+    #[test]
+    fn corner_start_works() {
+        let mut rng = SimRng::new(4);
+        let mut m = Manhattan::new(
+            Vec2::new(0.0, 0.0),
+            Region::square(200.0),
+            50.0,
+            10.0,
+            2.0,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        for _ in 0..100 {
+            let t = m.next_update();
+            assert!(m.position(t).is_finite());
+            m.advance(t, &mut rng);
+        }
+    }
+
+    #[test]
+    fn turns_occur() {
+        let (mut m, mut rng) = walker(5);
+        let mut xs = std::collections::HashSet::new();
+        let mut ys = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let t = m.next_update();
+            m.advance(t, &mut rng);
+            xs.insert(m.ix);
+            ys.insert(m.iy);
+        }
+        assert!(xs.len() > 1, "never moved in x");
+        assert!(ys.len() > 1, "never moved in y");
+    }
+}

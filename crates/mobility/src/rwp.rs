@@ -1,0 +1,226 @@
+//! Random Waypoint — the canonical MANET client model.
+//!
+//! Each epoch the node picks a uniform destination in the field and a
+//! uniform speed in `[v_min, v_max]`, travels there in a straight line, then
+//! pauses. `v_min > 0` is enforced to avoid the well-known average-speed
+//! decay pathology of `v_min = 0`.
+
+use wmn_sim::{SimDuration, SimRng, SimTime};
+use wmn_topology::{Region, Vec2};
+
+#[derive(Clone, Copy, Debug)]
+enum Phase {
+    /// Travelling `from → to`, departing/arriving at the stored times.
+    Leg { from: Vec2, to: Vec2, depart: SimTime, arrive: SimTime },
+    /// Paused at a waypoint until the stored time.
+    Pause { at: Vec2, until: SimTime },
+}
+
+/// Random-waypoint state for one node.
+#[derive(Clone, Debug)]
+pub struct RandomWaypoint {
+    region: Region,
+    v_min: f64,
+    v_max: f64,
+    pause: SimDuration,
+    phase: Phase,
+}
+
+impl RandomWaypoint {
+    /// Start at `start`; the first leg begins immediately.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        start: Vec2,
+        region: Region,
+        v_min: f64,
+        v_max: f64,
+        pause_s: f64,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(v_min > 0.0, "v_min must be positive (RWP speed-decay pathology)");
+        assert!(v_max >= v_min, "v_max < v_min");
+        assert!(pause_s >= 0.0);
+        let mut rwp = RandomWaypoint {
+            region,
+            v_min,
+            v_max,
+            pause: SimDuration::from_secs_f64(pause_s),
+            phase: Phase::Pause { at: region.clamp(start), until: now },
+        };
+        rwp.start_leg(now, rng);
+        rwp
+    }
+
+    fn start_leg(&mut self, now: SimTime, rng: &mut SimRng) {
+        let from = match self.phase {
+            Phase::Pause { at, .. } => at,
+            Phase::Leg { to, .. } => to,
+        };
+        let to = Vec2::new(
+            rng.range_f64(0.0, self.region.width),
+            rng.range_f64(0.0, self.region.height),
+        );
+        let speed = rng.range_f64(self.v_min, self.v_max).max(self.v_min);
+        let dist = from.distance(to);
+        let travel = SimDuration::from_secs_f64(dist / speed);
+        self.phase = Phase::Leg { from, to, depart: now, arrive: now + travel };
+    }
+
+    /// Position at `t` (exact linear interpolation on a leg).
+    pub fn position(&self, t: SimTime) -> Vec2 {
+        match self.phase {
+            Phase::Pause { at, .. } => at,
+            Phase::Leg { from, to, depart, arrive } => {
+                if t <= depart {
+                    return from;
+                }
+                if t >= arrive {
+                    return to;
+                }
+                let span = arrive.since(depart).as_secs_f64();
+                let frac = t.since(depart).as_secs_f64() / span;
+                from.lerp(to, frac)
+            }
+        }
+    }
+
+    /// Velocity at `t` (zero while paused).
+    pub fn velocity(&self, t: SimTime) -> Vec2 {
+        match self.phase {
+            Phase::Pause { .. } => Vec2::ZERO,
+            Phase::Leg { from, to, depart, arrive } => {
+                if t < depart || t >= arrive {
+                    return Vec2::ZERO;
+                }
+                let span = arrive.since(depart).as_secs_f64();
+                if span <= 0.0 {
+                    return Vec2::ZERO;
+                }
+                (to - from) / span
+            }
+        }
+    }
+
+    /// When the current phase ends.
+    pub fn next_update(&self) -> SimTime {
+        match self.phase {
+            Phase::Pause { until, .. } => until,
+            Phase::Leg { arrive, .. } => arrive,
+        }
+    }
+
+    /// Transition at a phase boundary.
+    pub fn advance(&mut self, now: SimTime, rng: &mut SimRng) {
+        match self.phase {
+            Phase::Leg { to, arrive, .. } if now >= arrive => {
+                if self.pause.is_zero() {
+                    self.phase = Phase::Pause { at: to, until: now };
+                    self.start_leg(now, rng);
+                } else {
+                    self.phase = Phase::Pause { at: to, until: now + self.pause };
+                }
+            }
+            Phase::Pause { until, .. } if now >= until => {
+                self.start_leg(now, rng);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(pause: f64) -> (RandomWaypoint, SimRng) {
+        let mut rng = SimRng::new(5);
+        let rwp = RandomWaypoint::new(
+            Vec2::new(50.0, 50.0),
+            Region::square(100.0),
+            2.0,
+            4.0,
+            pause,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        (rwp, rng)
+    }
+
+    #[test]
+    fn leg_interpolates_linearly() {
+        let (rwp, _) = setup(1.0);
+        let t_end = rwp.next_update();
+        let start = rwp.position(SimTime::ZERO);
+        let end = rwp.position(t_end);
+        let mid = rwp.position(SimTime(t_end.as_nanos() / 2));
+        assert!((start.distance(mid) - mid.distance(end)).abs() < 1e-6);
+        assert_eq!(start, Vec2::new(50.0, 50.0));
+    }
+
+    #[test]
+    fn speed_within_bounds_on_leg() {
+        let (rwp, _) = setup(1.0);
+        let v = rwp.velocity(SimTime(rwp.next_update().as_nanos() / 2)).norm();
+        assert!((2.0..=4.0 + 1e-9).contains(&v), "speed {v}");
+    }
+
+    #[test]
+    fn pause_freezes_node() {
+        let (mut rwp, mut rng) = setup(3.0);
+        let arrive = rwp.next_update();
+        let dest = rwp.position(arrive);
+        rwp.advance(arrive, &mut rng);
+        // Paused: holds position, zero velocity, resumes after 3 s.
+        assert_eq!(rwp.next_update(), arrive + SimDuration::from_secs(3));
+        let during = arrive + SimDuration::from_secs(1);
+        assert_eq!(rwp.position(during), dest);
+        assert_eq!(rwp.velocity(during), Vec2::ZERO);
+        let resume = rwp.next_update();
+        rwp.advance(resume, &mut rng);
+        assert!(rwp.next_update() > resume);
+    }
+
+    #[test]
+    fn zero_pause_chains_legs() {
+        let (mut rwp, mut rng) = setup(0.0);
+        let a1 = rwp.next_update();
+        let p1 = rwp.position(a1);
+        rwp.advance(a1, &mut rng);
+        // Immediately on a new leg starting from the old destination.
+        assert!(rwp.next_update() > a1);
+        assert_eq!(rwp.position(a1), p1);
+        assert!(rwp.velocity(a1 + SimDuration::from_millis(1)).norm() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "v_min")]
+    fn zero_v_min_rejected() {
+        let mut rng = SimRng::new(1);
+        RandomWaypoint::new(
+            Vec2::ZERO,
+            Region::square(10.0),
+            0.0,
+            1.0,
+            0.0,
+            SimTime::ZERO,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn long_run_distribution_covers_field() {
+        let (mut rwp, mut rng) = setup(0.5);
+        let mut min = Vec2::new(f64::MAX, f64::MAX);
+        let mut max = Vec2::new(f64::MIN, f64::MIN);
+        for _ in 0..300 {
+            let t = rwp.next_update();
+            let p = rwp.position(t);
+            min = Vec2::new(min.x.min(p.x), min.y.min(p.y));
+            max = Vec2::new(max.x.max(p.x), max.y.max(p.y));
+            rwp.advance(t, &mut rng);
+        }
+        assert!(max.x - min.x > 60.0, "x spread {}", max.x - min.x);
+        assert!(max.y - min.y > 60.0, "y spread {}", max.y - min.y);
+    }
+}

@@ -1,0 +1,32 @@
+//! The trivial stationary "model" (mesh routers).
+
+use wmn_topology::Vec2;
+
+/// A node pinned at a fixed position.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StaticPoint {
+    position: Vec2,
+}
+
+impl StaticPoint {
+    /// Pin a node at `position`.
+    pub fn new(position: Vec2) -> Self {
+        StaticPoint { position }
+    }
+
+    /// The (constant) position.
+    pub fn position(&self) -> Vec2 {
+        self.position
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_position() {
+        let p = StaticPoint::new(Vec2::new(3.0, 4.0));
+        assert_eq!(p.position(), Vec2::new(3.0, 4.0));
+    }
+}

@@ -1,0 +1,228 @@
+//! Link-budget evaluation: the PHY parameter set and reception outcomes.
+//!
+//! The `Medium` (in the integration crate) tracks which transmissions overlap
+//! in time; this module answers the pure physics questions: what power does a
+//! receiver see, is the channel sensed busy, does a frame survive given the
+//! interference it experienced.
+
+use crate::modulation::Rate;
+use crate::pathloss::PathLoss;
+use crate::units::{db_to_linear, dbm_to_mw};
+
+/// Boltzmann constant × 290 K in mW/Hz (thermal noise density).
+const THERMAL_NOISE_MW_PER_HZ: f64 = 4.0045e-18;
+
+/// Radio/PHY parameter set shared by all nodes of a scenario.
+#[derive(Clone, Debug)]
+pub struct PhyParams {
+    /// Transmit power, dBm.
+    pub tx_power_dbm: f64,
+    /// Combined antenna gains (tx + rx), dB.
+    pub antenna_gain_db: f64,
+    /// Propagation model.
+    pub path_loss: PathLoss,
+    /// Minimum received power to attempt frame decode, dBm.
+    pub rx_threshold_dbm: f64,
+    /// Received power above which the medium is sensed busy, dBm.
+    pub cs_threshold_dbm: f64,
+    /// SIR required for the stronger of two overlapping frames to survive
+    /// (capture), dB.
+    pub capture_threshold_db: f64,
+    /// Receiver noise figure, dB.
+    pub noise_figure_db: f64,
+    /// Rate for unicast data frames.
+    pub data_rate: Rate,
+    /// Rate for broadcast/control frames (RREQ, HELLO, ACK).
+    pub basic_rate: Rate,
+    /// Seed for deterministic per-link shadowing.
+    pub shadow_seed: u64,
+}
+
+impl PhyParams {
+    /// Calibrate thresholds so that the nominal communication range is
+    /// `range_m` and carrier sensing extends to `cs_factor × range_m`
+    /// (ns-2's classic 250 m / 550 m pair is `cs_factor ≈ 2.2`).
+    pub fn calibrated(path_loss: PathLoss, range_m: f64, cs_factor: f64) -> Self {
+        let tx_power_dbm = 24.5; // ≈ 281 mW, the ns-2 802.11 default
+        let antenna_gain_db = 0.0;
+        let rx_threshold_dbm = tx_power_dbm + antenna_gain_db - path_loss.loss_db(range_m);
+        let cs_threshold_dbm =
+            tx_power_dbm + antenna_gain_db - path_loss.loss_db(range_m * cs_factor);
+        PhyParams {
+            tx_power_dbm,
+            antenna_gain_db,
+            path_loss,
+            rx_threshold_dbm,
+            cs_threshold_dbm,
+            capture_threshold_db: 10.0,
+            noise_figure_db: 6.0,
+            data_rate: Rate::Dqpsk2Mbps,
+            basic_rate: Rate::Dbpsk1Mbps,
+            shadow_seed: 0x5EED,
+        }
+    }
+
+    /// The classic ns-2 802.11b setup: two-ray ground, 250 m range, 550 m
+    /// carrier sense.
+    pub fn classic_802_11b() -> Self {
+        PhyParams::calibrated(PathLoss::default_two_ray(), 250.0, 2.2)
+    }
+
+    /// Received power over a link of length `d` between nodes `a` and `b`
+    /// (ids only matter when shadowing is enabled), dBm.
+    pub fn rx_power_dbm(&self, d: f64, a: u32, b: u32) -> f64 {
+        self.tx_power_dbm + self.antenna_gain_db
+            - self.path_loss.loss_db_link(d, self.shadow_seed, a, b)
+    }
+
+    /// Receiver noise floor (thermal + noise figure), mW.
+    pub fn noise_floor_mw(&self) -> f64 {
+        THERMAL_NOISE_MW_PER_HZ
+            * crate::modulation::DSSS_BANDWIDTH_HZ
+            * db_to_linear(self.noise_figure_db)
+    }
+
+    /// The maximum distance at which a transmission can still move the
+    /// carrier-sense needle. Signals from farther away are ignored entirely;
+    /// this bounds the per-transmission neighbour query.
+    ///
+    /// With shadowing enabled a margin of `3σ` is added so that
+    /// constructively-shadowed links are not truncated.
+    pub fn interference_range_m(&self) -> f64 {
+        let budget = self.tx_power_dbm + self.antenna_gain_db - self.cs_threshold_dbm;
+        let margin = match self.path_loss {
+            PathLoss::LogDistance { sigma_db, .. } => 3.0 * sigma_db,
+            _ => 0.0,
+        };
+        self.path_loss.range_for_loss(budget + margin)
+    }
+
+    /// Nominal (interference-free) communication range implied by the
+    /// receive threshold.
+    pub fn nominal_range_m(&self) -> f64 {
+        self.path_loss
+            .range_for_loss(self.tx_power_dbm + self.antenna_gain_db - self.rx_threshold_dbm)
+    }
+
+    /// Can a frame at `rx_dbm` be decoded at all (ignoring interference)?
+    pub fn is_decodable(&self, rx_dbm: f64) -> bool {
+        rx_dbm >= self.rx_threshold_dbm
+    }
+
+    /// Does power `rx_dbm` make the medium appear busy?
+    pub fn is_sensed(&self, rx_dbm: f64) -> bool {
+        rx_dbm >= self.cs_threshold_dbm
+    }
+
+    /// SINR (linear) of a signal at `signal_dbm` against summed interference
+    /// `interference_mw` plus the noise floor.
+    ///
+    /// Note on the interference model: DSSS processing gain does **not**
+    /// apply to co-channel 802.11 interference (the interferer uses the same
+    /// spreading family, so it is not noise-like after despreading).
+    /// Overlapping same-network frames are therefore adjudicated by the
+    /// ns-2-style *capture rule* ([`PhyParams::captures`]) — collision unless
+    /// the signal is `capture_threshold_db` above the strongest interferer —
+    /// while this SINR feeds the BER model for the *noise* decision only.
+    pub fn sinr(&self, signal_dbm: f64, interference_mw: f64) -> f64 {
+        dbm_to_mw(signal_dbm) / (interference_mw + self.noise_floor_mw())
+    }
+
+    /// Whether the signal *captures* the channel over a single competing
+    /// signal (used when a stronger frame arrives mid-reception).
+    pub fn captures(&self, signal_dbm: f64, competitor_dbm: f64) -> bool {
+        signal_dbm - competitor_dbm >= self.capture_threshold_db
+    }
+}
+
+/// What the PHY concluded about one frame reception attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RxOutcome {
+    /// Frame decoded successfully.
+    Ok,
+    /// Frame destroyed by a colliding transmission (no capture).
+    Collision,
+    /// Frame lost to channel noise (BER draw failed).
+    NoiseError,
+    /// Signal below the receive threshold (sensed at most).
+    BelowThreshold,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_calibration_hits_250_and_550_m() {
+        let p = PhyParams::classic_802_11b();
+        let nominal = p.nominal_range_m();
+        assert!((nominal - 250.0).abs() < 1.0, "nominal {nominal}");
+        let interference = p.interference_range_m();
+        assert!((interference - 550.0).abs() < 2.0, "interference {interference}");
+    }
+
+    #[test]
+    fn decode_and_sense_thresholds_order() {
+        let p = PhyParams::classic_802_11b();
+        assert!(p.rx_threshold_dbm > p.cs_threshold_dbm);
+        let at_200 = p.rx_power_dbm(200.0, 0, 1);
+        let at_400 = p.rx_power_dbm(400.0, 0, 1);
+        let at_800 = p.rx_power_dbm(800.0, 0, 1);
+        assert!(p.is_decodable(at_200));
+        assert!(!p.is_decodable(at_400));
+        assert!(p.is_sensed(at_400));
+        assert!(!p.is_sensed(at_800));
+    }
+
+    #[test]
+    fn noise_floor_magnitude() {
+        let p = PhyParams::classic_802_11b();
+        // Thermal noise over 22 MHz ≈ −100.6 dBm; +6 dB NF ≈ −94.6 dBm.
+        let dbm = crate::units::mw_to_dbm(p.noise_floor_mw());
+        assert!((dbm + 94.6).abs() < 0.5, "noise {dbm} dBm");
+    }
+
+    #[test]
+    fn sinr_without_interference_is_snr() {
+        let p = PhyParams::classic_802_11b();
+        let s = p.rx_power_dbm(100.0, 0, 1);
+        let sinr = p.sinr(s, 0.0);
+        let snr_db = crate::units::linear_to_db(sinr);
+        assert!(snr_db > 20.0, "snr {snr_db}");
+        // Adding interference strictly lowers it.
+        assert!(p.sinr(s, dbm_to_mw(-90.0)) < sinr);
+    }
+
+    #[test]
+    fn capture_threshold() {
+        let p = PhyParams::classic_802_11b();
+        assert!(p.captures(-60.0, -71.0));
+        assert!(p.captures(-60.0, -70.0));
+        assert!(!p.captures(-60.0, -69.0));
+    }
+
+    #[test]
+    fn short_link_has_good_sinr_against_far_interferer() {
+        let p = PhyParams::classic_802_11b();
+        let signal = p.rx_power_dbm(50.0, 0, 1);
+        let interferer = dbm_to_mw(p.rx_power_dbm(500.0, 2, 1));
+        let sinr = p.sinr(signal, interferer);
+        // 50 m signal vs 500 m interferer: SINR must clear the decode bar
+        // for DQPSK comfortably.
+        assert!(p.data_rate.per(sinr, 4096) < 1e-6);
+    }
+
+    #[test]
+    fn co_located_interferer_collides_under_capture_rule() {
+        let p = PhyParams::classic_802_11b();
+        let signal = p.rx_power_dbm(200.0, 0, 1);
+        let interferer = p.rx_power_dbm(180.0, 2, 1);
+        // Comparable powers: neither side captures → both frames are lost.
+        assert!(!p.captures(signal, interferer));
+        assert!(!p.captures(interferer, signal));
+        // A close-in sender over a distant interferer does capture.
+        let near = p.rx_power_dbm(40.0, 0, 1);
+        let far = p.rx_power_dbm(400.0, 2, 1);
+        assert!(p.captures(near, far));
+    }
+}

@@ -1,0 +1,60 @@
+//! Frame airtime computation (802.11b DSSS PLCP).
+
+use crate::modulation::Rate;
+use wmn_sim::SimDuration;
+
+/// Long-preamble PLCP: 144 preamble bits + 48 header bits, always at 1 Mb/s.
+pub const PLCP_OVERHEAD_US: u64 = 192;
+
+/// Air-propagation allowance used in ACK/CTS timeout accounting, µs.
+/// (1 µs covers 300 m, the maximum link span in our scenarios.)
+pub const PROPAGATION_US: u64 = 1;
+
+/// Time a frame of `payload_bytes` (MAC header + body + FCS, i.e. everything
+/// after the PLCP header) occupies the air at `rate`.
+pub fn airtime(payload_bytes: usize, rate: Rate) -> SimDuration {
+    let payload_ns = (payload_bytes as f64 * 8.0 / rate.bits_per_sec() * 1e9).round() as u64;
+    SimDuration::from_micros(PLCP_OVERHEAD_US) + wmn_sim::SimDuration(payload_ns)
+}
+
+/// Number of payload bits protected by the error model (the PLCP part is
+/// sent at the most robust rate and treated as always decodable once the
+/// receiver locks on).
+pub fn error_model_bits(payload_bytes: usize) -> usize {
+    payload_bytes * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plcp_only_for_empty_frame() {
+        assert_eq!(airtime(0, Rate::Dbpsk1Mbps), SimDuration::from_micros(192));
+    }
+
+    #[test]
+    fn one_mbps_byte_is_8_us() {
+        let t = airtime(100, Rate::Dbpsk1Mbps);
+        assert_eq!(t, SimDuration::from_micros(192 + 800));
+    }
+
+    #[test]
+    fn two_mbps_halves_payload_time() {
+        let t1 = airtime(1000, Rate::Dbpsk1Mbps) - SimDuration::from_micros(192);
+        let t2 = airtime(1000, Rate::Dqpsk2Mbps) - SimDuration::from_micros(192);
+        assert_eq!(t1.as_nanos(), 2 * t2.as_nanos());
+    }
+
+    #[test]
+    fn typical_data_frame() {
+        // 512 B payload + 34 B MAC overhead at 2 Mb/s: 192 + 546·8/2 = 2376 µs.
+        let t = airtime(546, Rate::Dqpsk2Mbps);
+        assert_eq!(t, SimDuration::from_micros(192 + 2184));
+    }
+
+    #[test]
+    fn error_bits() {
+        assert_eq!(error_model_bits(512), 4096);
+    }
+}

@@ -1,0 +1,29 @@
+//! `wmn-radio` — the PHY substrate: propagation, modulation and link budget.
+//!
+//! The CNLR paper's evaluation (like every WMN paper of its period) rests on
+//! an ns-2-style 802.11b physical layer. This crate rebuilds that substrate
+//! from scratch as pure physics:
+//!
+//! * [`PathLoss`] — free-space, two-ray-ground and log-distance(+shadowing)
+//!   propagation,
+//! * [`Rate`] — DSSS/CCK bit-error and packet-error models,
+//! * [`PhyParams`] — the calibrated link budget (receive / carrier-sense /
+//!   capture thresholds, noise floor, SINR),
+//! * [`frame`] — PLCP-accurate airtime computation.
+//!
+//! Time-domain bookkeeping (which transmissions overlap at a receiver) lives
+//! in the integration crate; everything here is side-effect-free and
+//! exhaustively unit-tested against textbook reference values.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod frame;
+pub mod modulation;
+pub mod pathloss;
+pub mod units;
+
+pub use channel::{PhyParams, RxOutcome};
+pub use frame::airtime;
+pub use modulation::Rate;
+pub use pathloss::PathLoss;

@@ -1,0 +1,157 @@
+//! Bit-error and packet-error models for the 802.11b PHY.
+//!
+//! The CNLR-era evaluations run 802.11 at the 1/2 Mb/s DSSS rates (RREQ
+//! broadcasts always go at the basic rate). We model BER as a function of
+//! post-despreading Eb/N0, derived from SINR by the processing-gain relation
+//! `Eb/N0 = SINR · (B / R)` with B = 22 MHz DSSS bandwidth.
+
+use crate::units::q_function;
+
+/// DSSS channel bandwidth, Hz.
+pub const DSSS_BANDWIDTH_HZ: f64 = 22e6;
+
+/// A PHY transmission rate with its modulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rate {
+    /// 1 Mb/s DBPSK (the 802.11b basic/broadcast rate).
+    Dbpsk1Mbps,
+    /// 2 Mb/s DQPSK.
+    Dqpsk2Mbps,
+    /// 5.5 Mb/s CCK.
+    Cck5_5Mbps,
+    /// 11 Mb/s CCK.
+    Cck11Mbps,
+}
+
+impl Rate {
+    /// Bit rate in bits per second.
+    pub fn bits_per_sec(self) -> f64 {
+        match self {
+            Rate::Dbpsk1Mbps => 1e6,
+            Rate::Dqpsk2Mbps => 2e6,
+            Rate::Cck5_5Mbps => 5.5e6,
+            Rate::Cck11Mbps => 11e6,
+        }
+    }
+
+    /// Bit-error probability at the given **linear** SINR.
+    ///
+    /// DBPSK: `0.5·exp(−γ_b)`; DQPSK: standard approximation
+    /// `Q(sqrt(2·γ_b)·sin(π/8))·2` bounded to [0, 0.5]; CCK rates use the
+    /// 8-chip CCK union-bound approximation. All are the forms used by the
+    /// ns-2/Qualnet 802.11b error models.
+    pub fn ber(self, sinr_linear: f64) -> f64 {
+        if sinr_linear <= 0.0 {
+            return 0.5;
+        }
+        let gain = DSSS_BANDWIDTH_HZ / self.bits_per_sec();
+        let eb_n0 = sinr_linear * gain;
+        let ber = match self {
+            Rate::Dbpsk1Mbps => 0.5 * (-eb_n0).exp(),
+            Rate::Dqpsk2Mbps => {
+                // Differential QPSK ≈ 2·Q(√(2γ)·sin(π/8)) for moderate γ.
+                2.0 * q_function((2.0 * eb_n0).sqrt() * (std::f64::consts::PI / 8.0).sin() * 2.0)
+            }
+            Rate::Cck5_5Mbps => {
+                // Union bound over 8 CCK codewords (Pursley–Taipale form).
+                8.0 * q_function((4.0 * eb_n0).sqrt()).min(0.5)
+            }
+            Rate::Cck11Mbps => {
+                // 64-codeword CCK, dominated by nearest neighbours.
+                24.0 * q_function((2.0 * eb_n0).sqrt()).min(0.5)
+            }
+        };
+        ber.clamp(0.0, 0.5)
+    }
+
+    /// Packet-error probability for `bits` independent bit decisions.
+    pub fn per(self, sinr_linear: f64, bits: usize) -> f64 {
+        let ber = self.ber(sinr_linear);
+        if ber <= 0.0 {
+            return 0.0;
+        }
+        // 1 − (1 − b)^n, computed stably via ln1p for small b.
+        let log_ok = (bits as f64) * (-ber).ln_1p();
+        (1.0 - log_ok.exp()).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_decreases_with_sinr() {
+        for rate in [Rate::Dbpsk1Mbps, Rate::Dqpsk2Mbps, Rate::Cck5_5Mbps, Rate::Cck11Mbps] {
+            let mut last = 0.6;
+            for i in 0..60 {
+                let sinr = 10f64.powf(-3.0 + i as f64 * 0.1); // −30…+30 dB
+                let b = rate.ber(sinr);
+                assert!(b <= last + 1e-12, "{rate:?} at step {i}");
+                assert!((0.0..=0.5).contains(&b));
+                last = b;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_or_negative_sinr_is_coin_flip() {
+        assert_eq!(Rate::Dbpsk1Mbps.ber(0.0), 0.5);
+        assert_eq!(Rate::Dqpsk2Mbps.ber(-1.0), 0.5);
+    }
+
+    #[test]
+    fn dbpsk_closed_form() {
+        // γb = SINR · 22: at SINR = 1 (0 dB), Eb/N0 = 22 → BER = 0.5·e⁻²² ≈ 1.4e-10.
+        let b = Rate::Dbpsk1Mbps.ber(1.0);
+        assert!((b - 0.5 * (-22.0f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn higher_rates_need_more_sinr() {
+        // At a fixed marginal SINR the faster rates must be no more robust.
+        let sinr = 0.05; // −13 dB
+        let b1 = Rate::Dbpsk1Mbps.ber(sinr);
+        let b2 = Rate::Dqpsk2Mbps.ber(sinr);
+        let b11 = Rate::Cck11Mbps.ber(sinr);
+        assert!(b1 <= b2 + 1e-12, "b1 {b1} b2 {b2}");
+        assert!(b2 <= b11 + 1e-12, "b2 {b2} b11 {b11}");
+    }
+
+    #[test]
+    fn per_limits() {
+        // Very high SINR → PER ~ 0 even for long frames.
+        assert!(Rate::Dbpsk1Mbps.per(100.0, 12_000) < 1e-9);
+        // Very low SINR → PER ~ 1 for any real frame.
+        assert!(Rate::Dbpsk1Mbps.per(1e-6, 1_000) > 0.999);
+        // Zero-length frame never errors.
+        assert_eq!(Rate::Dbpsk1Mbps.per(0.001, 0), 0.0);
+    }
+
+    #[test]
+    fn per_increases_with_length() {
+        // Pick an SINR where both PERs are interior (not saturated at 1).
+        let sinr = 1.0;
+        let p_short = Rate::Dqpsk2Mbps.per(sinr, 500);
+        let p_long = Rate::Dqpsk2Mbps.per(sinr, 5_000);
+        assert!(p_short > 0.0 && p_long < 1.0, "p_short {p_short} p_long {p_long}");
+        assert!(p_long > p_short);
+    }
+
+    #[test]
+    fn per_matches_direct_formula() {
+        let sinr = 0.15;
+        let ber = Rate::Cck11Mbps.ber(sinr);
+        let direct = 1.0 - (1.0 - ber).powi(800);
+        let stable = Rate::Cck11Mbps.per(sinr, 800);
+        assert!((direct - stable).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_report_bitrates() {
+        assert_eq!(Rate::Dbpsk1Mbps.bits_per_sec(), 1e6);
+        assert_eq!(Rate::Dqpsk2Mbps.bits_per_sec(), 2e6);
+        assert_eq!(Rate::Cck5_5Mbps.bits_per_sec(), 5.5e6);
+        assert_eq!(Rate::Cck11Mbps.bits_per_sec(), 11e6);
+    }
+}

@@ -1,0 +1,67 @@
+//! Cross-model calibration checks that span modules (pathloss × channel).
+
+use wmn_radio::{PathLoss, PhyParams, Rate};
+
+#[test]
+fn shadowed_phy_extends_interference_margin() {
+    let plain = PhyParams::calibrated(
+        PathLoss::LogDistance { frequency_hz: 2.4e9, exponent: 3.0, reference_m: 1.0, sigma_db: 0.0 },
+        250.0,
+        2.0,
+    );
+    let shadowed = PhyParams::calibrated(
+        PathLoss::LogDistance { frequency_hz: 2.4e9, exponent: 3.0, reference_m: 1.0, sigma_db: 6.0 },
+        250.0,
+        2.0,
+    );
+    // The 3σ margin must widen the truncation radius.
+    assert!(shadowed.interference_range_m() > plain.interference_range_m() * 1.2);
+}
+
+#[test]
+fn shadowing_makes_some_long_links_decodable() {
+    let phy = PhyParams::calibrated(
+        PathLoss::LogDistance { frequency_hz: 2.4e9, exponent: 3.0, reference_m: 1.0, sigma_db: 8.0 },
+        250.0,
+        2.0,
+    );
+    // At 1.2× nominal range, the deterministic link is dead, but across
+    // many link identities some are constructively shadowed.
+    let mut decodable = 0;
+    let n = 2_000;
+    for i in 0..n {
+        let p = phy.rx_power_dbm(300.0, i, i + 1);
+        if phy.is_decodable(p) {
+            decodable += 1;
+        }
+    }
+    assert!(decodable > n / 50, "only {decodable}/{n} links shadow-boosted");
+    assert!(decodable < n / 2, "{decodable}/{n} — shadowing too generous");
+}
+
+#[test]
+fn data_rate_needs_more_power_than_basic_rate() {
+    // At marginal SNR, the 2 Mb/s frame must fail more often than the
+    // 1 Mb/s frame of equal length.
+    let phy = PhyParams::classic_802_11b();
+    let snr = phy.sinr(phy.rx_threshold_dbm + 1.0, 0.0);
+    let per_basic = phy.basic_rate.per(snr, 4096);
+    let per_data = phy.data_rate.per(snr, 4096);
+    assert!(per_data >= per_basic);
+}
+
+#[test]
+fn per_is_deterministic_function() {
+    let r = Rate::Dqpsk2Mbps;
+    assert_eq!(r.per(0.37, 1234).to_bits(), r.per(0.37, 1234).to_bits());
+}
+
+#[test]
+fn free_space_range_exceeds_two_ray_range_at_same_budget() {
+    // Beyond the crossover, two-ray decays faster, so for the same link
+    // budget free space reaches farther.
+    let budget = 95.0;
+    let fs = PathLoss::FreeSpace { frequency_hz: 2.4e9 }.range_for_loss(budget);
+    let tr = PathLoss::default_two_ray().range_for_loss(budget);
+    assert!(fs > tr, "fs {fs} vs two-ray {tr}");
+}

@@ -1,0 +1,85 @@
+//! Property-based tests of the PHY models.
+
+use proptest::prelude::*;
+use wmn_radio::{PathLoss, PhyParams, Rate};
+
+proptest! {
+    /// Loss is monotone non-decreasing in distance for every model.
+    #[test]
+    fn loss_monotone(
+        f in 0.4e9f64..6e9,
+        exponent in 2.0f64..5.0,
+        d1 in 1.0f64..10_000.0,
+        factor in 1.0f64..10.0,
+    ) {
+        let d2 = d1 * factor;
+        for m in [
+            PathLoss::FreeSpace { frequency_hz: f },
+            PathLoss::TwoRayGround { frequency_hz: f, tx_height_m: 1.5, rx_height_m: 1.5 },
+            PathLoss::LogDistance { frequency_hz: f, exponent, reference_m: 1.0, sigma_db: 0.0 },
+        ] {
+            prop_assert!(m.loss_db(d2) >= m.loss_db(d1) - 1e-9, "{m:?}");
+        }
+    }
+
+    /// range_for_loss inverts loss_db within 0.5 %.
+    #[test]
+    fn range_inverts_loss(d in 2.0f64..20_000.0) {
+        let m = PathLoss::default_two_ray();
+        let back = m.range_for_loss(m.loss_db(d));
+        prop_assert!((back - d).abs() / d < 5e-3, "{d} -> {back}");
+    }
+
+    /// BER is within [0, 0.5] and monotone non-increasing in SINR.
+    #[test]
+    fn ber_bounded_and_monotone(sinr_db in -40.0f64..40.0, step_db in 0.1f64..10.0) {
+        let s1 = 10f64.powf(sinr_db / 10.0);
+        let s2 = 10f64.powf((sinr_db + step_db) / 10.0);
+        for rate in [Rate::Dbpsk1Mbps, Rate::Dqpsk2Mbps, Rate::Cck5_5Mbps, Rate::Cck11Mbps] {
+            let b1 = rate.ber(s1);
+            let b2 = rate.ber(s2);
+            prop_assert!((0.0..=0.5).contains(&b1));
+            prop_assert!(b2 <= b1 + 1e-12, "{rate:?}");
+        }
+    }
+
+    /// PER is a probability, monotone in frame length.
+    #[test]
+    fn per_valid(sinr_db in -20.0f64..30.0, bits in 1usize..65_536) {
+        let s = 10f64.powf(sinr_db / 10.0);
+        let p1 = Rate::Dqpsk2Mbps.per(s, bits);
+        let p2 = Rate::Dqpsk2Mbps.per(s, bits * 2);
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!(p2 >= p1 - 1e-12);
+    }
+
+    /// Shadowing is symmetric in the link endpoints for any seed.
+    #[test]
+    fn shadowing_symmetric(seed in any::<u64>(), a in any::<u32>(), b in any::<u32>(), d in 1.0f64..2000.0) {
+        let m = PathLoss::LogDistance {
+            frequency_hz: 2.4e9, exponent: 3.0, reference_m: 1.0, sigma_db: 6.0,
+        };
+        prop_assert_eq!(
+            m.loss_db_link(d, seed, a, b).to_bits(),
+            m.loss_db_link(d, seed, b, a).to_bits()
+        );
+    }
+
+    /// Calibrated PHYs honour their nominal range within 1 %.
+    #[test]
+    fn calibration_hits_range(range in 50.0f64..1000.0, cs in 1.2f64..4.0) {
+        let p = PhyParams::calibrated(PathLoss::default_two_ray(), range, cs);
+        let got = p.nominal_range_m();
+        prop_assert!((got - range).abs() / range < 0.01, "{range} -> {got}");
+        prop_assert!(p.interference_range_m() > got);
+    }
+
+    /// Decodable implies sensible (rx threshold above cs threshold).
+    #[test]
+    fn decodable_implies_sensed(range in 50.0f64..1000.0, power in -120.0f64..0.0) {
+        let p = PhyParams::calibrated(PathLoss::default_two_ray(), range, 2.2);
+        if p.is_decodable(power) {
+            prop_assert!(p.is_sensed(power));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Network-layer addressing.
+
+use std::fmt;
+
+/// A network-layer node address. In this stack node ids are dense indices
+/// shared with the link layer (one radio per node).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// The network-layer broadcast address.
+pub const BROADCAST_NODE: NodeId = NodeId(u32::MAX);
+
+impl NodeId {
+    /// True for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == BROADCAST_NODE
+    }
+
+    /// Dense index for table lookups. Must not be called on broadcast.
+    pub fn index(self) -> usize {
+        debug_assert!(!self.is_broadcast());
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_broadcast() {
+            write!(f, "n*")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_and_format() {
+        assert!(BROADCAST_NODE.is_broadcast());
+        assert!(!NodeId(3).is_broadcast());
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{BROADCAST_NODE}"), "n*");
+        assert_eq!(NodeId(7).index(), 7);
+    }
+}

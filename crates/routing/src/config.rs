@@ -1,0 +1,125 @@
+//! Routing-engine configuration (AODV constants, RFC 3561 era defaults).
+
+use wmn_sim::SimDuration;
+
+/// Tunables of the reactive routing engine, identical across schemes so
+/// that comparisons isolate the rebroadcast policy.
+#[derive(Clone, Debug)]
+pub struct RoutingConfig {
+    /// Maximum additional discovery attempts after the first (RREQ_RETRIES).
+    pub rreq_retries: u32,
+    /// Base wait for a route reply; doubles per retry (NET_TRAVERSAL_TIME).
+    pub rreq_timeout: SimDuration,
+    /// Initial TTL on RREQs (fixed; no expanding-ring search so that
+    /// overhead comparisons across schemes are not confounded).
+    pub rreq_ttl: u8,
+    /// Active-route lifetime, refreshed on every use.
+    pub route_lifetime: SimDuration,
+    /// Duplicate-cache lifetime (PATH_DISCOVERY_TIME).
+    pub seen_lifetime: SimDuration,
+    /// HELLO beacon interval.
+    pub hello_interval: SimDuration,
+    /// Neighbour considered lost after this silence
+    /// (ALLOWED_HELLO_LOSS × hello_interval).
+    pub neighbor_timeout: SimDuration,
+    /// Table/cache sweep cadence.
+    pub sweep_interval: SimDuration,
+    /// Data packets buffered per destination while discovering.
+    pub buffer_capacity: usize,
+    /// Whether intermediate nodes with fresh routes may answer RREQs
+    /// (off = destination-only, the setting used for overhead studies).
+    pub intermediate_reply: bool,
+    /// Expanding-ring search (RFC 3561 §6.4): first RREQ goes out with
+    /// `ring_start_ttl`, each retry adds `ring_increment` until
+    /// `ring_threshold`, beyond which the full `rreq_ttl` is used. Off by
+    /// default so that overhead comparisons across schemes are not
+    /// confounded; the ablation harness switches it on.
+    pub expanding_ring: bool,
+    /// Initial ring TTL.
+    pub ring_start_ttl: u8,
+    /// Ring growth per retry.
+    pub ring_increment: u8,
+    /// Ring ceiling before jumping to the full TTL.
+    pub ring_threshold: u8,
+}
+
+impl Default for RoutingConfig {
+    fn default() -> Self {
+        let hello = SimDuration::from_secs(1);
+        RoutingConfig {
+            rreq_retries: 2,
+            rreq_timeout: SimDuration::from_millis(1000),
+            rreq_ttl: 32,
+            route_lifetime: SimDuration::from_secs(10),
+            seen_lifetime: SimDuration::from_secs(5),
+            hello_interval: hello,
+            neighbor_timeout: hello * 3,
+            sweep_interval: SimDuration::from_millis(500),
+            buffer_capacity: 64,
+            intermediate_reply: false,
+            expanding_ring: false,
+            ring_start_ttl: 2,
+            ring_increment: 2,
+            ring_threshold: 7,
+        }
+    }
+}
+
+impl RoutingConfig {
+    /// Discovery timeout for attempt `retry` (0-based): binary backoff.
+    pub fn timeout_for_attempt(&self, retry: u32) -> SimDuration {
+        self.rreq_timeout * (1u64 << retry.min(6))
+    }
+
+    /// The TTL for discovery attempt `retry` (0-based) under the current
+    /// ring policy.
+    pub fn ttl_for_attempt(&self, retry: u32) -> u8 {
+        if !self.expanding_ring {
+            return self.rreq_ttl;
+        }
+        let ttl = self.ring_start_ttl.saturating_add(
+            self.ring_increment.saturating_mul(retry.min(255) as u8),
+        );
+        if ttl > self.ring_threshold {
+            self.rreq_ttl
+        } else {
+            ttl.min(self.rreq_ttl)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_consistent() {
+        let c = RoutingConfig::default();
+        assert_eq!(c.neighbor_timeout, c.hello_interval * 3);
+        assert!(c.seen_lifetime < c.route_lifetime);
+        assert!(!c.intermediate_reply);
+    }
+
+    #[test]
+    fn ring_ttl_schedule() {
+        let mut c = RoutingConfig::default();
+        assert_eq!(c.ttl_for_attempt(0), c.rreq_ttl, "ring off by default");
+        c.expanding_ring = true;
+        assert_eq!(c.ttl_for_attempt(0), 2);
+        assert_eq!(c.ttl_for_attempt(1), 4);
+        assert_eq!(c.ttl_for_attempt(2), 6);
+        // 8 > threshold 7 → full TTL.
+        assert_eq!(c.ttl_for_attempt(3), c.rreq_ttl);
+        assert_eq!(c.ttl_for_attempt(200), c.rreq_ttl);
+    }
+
+    #[test]
+    fn timeout_backoff() {
+        let c = RoutingConfig::default();
+        assert_eq!(c.timeout_for_attempt(0), SimDuration::from_secs(1));
+        assert_eq!(c.timeout_for_attempt(1), SimDuration::from_secs(2));
+        assert_eq!(c.timeout_for_attempt(2), SimDuration::from_secs(4));
+        // Clamped exponent guards against overflow.
+        assert_eq!(c.timeout_for_attempt(40), SimDuration::from_secs(64));
+    }
+}

@@ -1,0 +1,195 @@
+//! The HELLO-maintained neighbour table.
+//!
+//! This is where the "neighbourhood" of *Neighbourhood Load Routing* lives:
+//! each entry stores the neighbour's latest [`LoadDigest`] and velocity, so a
+//! node can compute the aggregated neighbourhood load CNLR keys its
+//! forwarding probability on.
+
+use crate::addr::NodeId;
+use std::collections::HashMap;
+use wmn_mac::LoadDigest;
+use wmn_sim::{SimDuration, SimTime};
+
+/// Per-neighbour state.
+#[derive(Clone, Copy, Debug)]
+pub struct Neighbor {
+    /// Last time any packet was heard from this neighbour.
+    pub last_heard: SimTime,
+    /// Their advertised load digest.
+    pub load: LoadDigest,
+    /// Their advertised velocity, m/s.
+    pub velocity: (f64, f64),
+}
+
+/// The 1-hop neighbour table.
+#[derive(Clone, Debug)]
+pub struct NeighborTable {
+    entries: HashMap<NodeId, Neighbor>,
+    timeout: SimDuration,
+}
+
+impl NeighborTable {
+    /// Neighbours not heard for `timeout` are considered gone (canonically
+    /// `ALLOWED_HELLO_LOSS × hello_interval`).
+    pub fn new(timeout: SimDuration) -> Self {
+        NeighborTable { entries: HashMap::new(), timeout }
+    }
+
+    /// Record a HELLO (full update).
+    pub fn heard_hello(
+        &mut self,
+        from: NodeId,
+        load: LoadDigest,
+        velocity: (f64, f64),
+        now: SimTime,
+    ) {
+        self.entries
+            .insert(from, Neighbor { last_heard: now, load, velocity });
+    }
+
+    /// Record that any frame was heard from `from` (refreshes liveness only;
+    /// keeps the last digest).
+    pub fn heard_any(&mut self, from: NodeId, now: SimTime) {
+        self.entries
+            .entry(from)
+            .and_modify(|n| n.last_heard = now)
+            .or_insert(Neighbor {
+                last_heard: now,
+                load: LoadDigest::default(),
+                velocity: (0.0, 0.0),
+            });
+    }
+
+    /// Look up a live neighbour.
+    pub fn get(&self, id: NodeId, now: SimTime) -> Option<&Neighbor> {
+        self.entries
+            .get(&id)
+            .filter(|n| now.since(n.last_heard) < self.timeout)
+    }
+
+    /// Number of live neighbours.
+    pub fn live_count(&self, now: SimTime) -> usize {
+        self.entries
+            .values()
+            .filter(|n| now.since(n.last_heard) < self.timeout)
+            .count()
+    }
+
+    /// Mean of a neighbour-load statistic over live neighbours, or `None`
+    /// when there are none.
+    pub fn mean_neighbor_load<F: Fn(&LoadDigest) -> f64>(
+        &self,
+        now: SimTime,
+        f: F,
+    ) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for nb in self.entries.values() {
+            if now.since(nb.last_heard) < self.timeout {
+                sum += f(&nb.load);
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Remove timed-out neighbours, returning their ids (treated as broken
+    /// links by the caller).
+    pub fn sweep(&mut self, now: SimTime) -> Vec<NodeId> {
+        let timeout = self.timeout;
+        let mut gone: Vec<NodeId> = self
+            .entries
+            .iter()
+            .filter(|(_, n)| now.since(n.last_heard) >= timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        gone.sort_unstable();
+        for id in &gone {
+            self.entries.remove(id);
+        }
+        gone
+    }
+
+    /// Iterate live neighbours.
+    pub fn iter_live(&self, now: SimTime) -> impl Iterator<Item = (&NodeId, &Neighbor)> {
+        let timeout = self.timeout;
+        self.entries
+            .iter()
+            .filter(move |(_, n)| now.since(n.last_heard) < timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn digest(q: f64) -> LoadDigest {
+        LoadDigest { queue_util: q, busy_ratio: q, mac_service_s: 0.0 }
+    }
+
+    #[test]
+    fn hello_installs_and_expires() {
+        let mut nt = NeighborTable::new(SimDuration::from_secs(3));
+        nt.heard_hello(NodeId(1), digest(0.5), (1.0, 0.0), t(0));
+        assert!(nt.get(NodeId(1), t(2)).is_some());
+        assert!(nt.get(NodeId(1), t(3)).is_none());
+        assert_eq!(nt.live_count(t(2)), 1);
+        assert_eq!(nt.live_count(t(3)), 0);
+    }
+
+    #[test]
+    fn heard_any_refreshes_without_clobbering_digest() {
+        let mut nt = NeighborTable::new(SimDuration::from_secs(3));
+        nt.heard_hello(NodeId(1), digest(0.7), (0.0, 0.0), t(0));
+        nt.heard_any(NodeId(1), t(2));
+        let n = nt.get(NodeId(1), t(4)).expect("still live");
+        assert_eq!(n.load.queue_util, 0.7);
+        assert_eq!(n.last_heard, t(2));
+    }
+
+    #[test]
+    fn heard_any_creates_default_entry() {
+        let mut nt = NeighborTable::new(SimDuration::from_secs(3));
+        nt.heard_any(NodeId(2), t(1));
+        let n = nt.get(NodeId(2), t(2)).unwrap();
+        assert_eq!(n.load.queue_util, 0.0);
+    }
+
+    #[test]
+    fn mean_load_over_live_only() {
+        let mut nt = NeighborTable::new(SimDuration::from_secs(3));
+        nt.heard_hello(NodeId(1), digest(0.2), (0.0, 0.0), t(0));
+        nt.heard_hello(NodeId(2), digest(0.6), (0.0, 0.0), t(5));
+        // At t = 6, node 1 is stale; only node 2 counts.
+        let m = nt.mean_neighbor_load(t(6), |d| d.queue_util).unwrap();
+        assert!((m - 0.6).abs() < 1e-12);
+        // At t = 1 both alive → mean 0.4... only node1 exists then (node2
+        // heard at t=5). Check empty case too.
+        let empty = NeighborTable::new(SimDuration::from_secs(3));
+        assert!(empty.mean_neighbor_load(t(0), |d| d.queue_util).is_none());
+    }
+
+    #[test]
+    fn sweep_returns_departed() {
+        let mut nt = NeighborTable::new(SimDuration::from_secs(3));
+        nt.heard_hello(NodeId(1), digest(0.1), (0.0, 0.0), t(0));
+        nt.heard_hello(NodeId(2), digest(0.1), (0.0, 0.0), t(4));
+        let gone = nt.sweep(t(5));
+        assert_eq!(gone, vec![NodeId(1)]);
+        assert_eq!(nt.live_count(t(5)), 1);
+        assert!(nt.sweep(t(5)).is_empty());
+    }
+
+    #[test]
+    fn iter_live_filters() {
+        let mut nt = NeighborTable::new(SimDuration::from_secs(3));
+        nt.heard_hello(NodeId(1), digest(0.1), (0.0, 0.0), t(0));
+        nt.heard_hello(NodeId(2), digest(0.1), (0.0, 0.0), t(4));
+        let live: Vec<NodeId> = nt.iter_live(t(5)).map(|(&id, _)| id).collect();
+        assert_eq!(live, vec![NodeId(2)]);
+    }
+}

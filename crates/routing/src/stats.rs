@@ -1,0 +1,111 @@
+//! Routing-layer counters feeding the evaluation figures.
+
+/// Lifetime per-node routing counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoutingStats {
+    /// Discoveries this node originated (including retries).
+    pub rreq_originated: u64,
+    /// RREQs this node rebroadcast.
+    pub rreq_forwarded: u64,
+    /// RREQ copies received (all copies).
+    pub rreq_received: u64,
+    /// First-copy RREQs the policy decided to suppress.
+    pub rreq_suppressed: u64,
+    /// Duplicate RREQ copies (never forwarded).
+    pub rreq_duplicates: u64,
+    /// RREPs generated as discovery target.
+    pub rrep_generated: u64,
+    /// RREPs forwarded towards an origin.
+    pub rrep_forwarded: u64,
+    /// RREPs dropped for lack of a reverse route.
+    pub rrep_dropped: u64,
+    /// RERR packets sent.
+    pub rerr_sent: u64,
+    /// HELLO beacons sent.
+    pub hello_sent: u64,
+    /// Data packets forwarded for other nodes.
+    pub data_forwarded: u64,
+    /// Data packets delivered to the local application.
+    pub data_delivered: u64,
+    /// Data packets originated by the local application.
+    pub data_originated: u64,
+    /// Data dropped: no route at an intermediate node.
+    pub data_dropped_no_route: u64,
+    /// Data dropped: discovery ultimately failed.
+    pub data_dropped_discovery: u64,
+    /// Data dropped: discovery buffer overflow.
+    pub data_dropped_buffer: u64,
+    /// Data dropped: link-level failure mid-path.
+    pub data_dropped_link: u64,
+    /// Discoveries begun (unique targets, not retries).
+    pub discoveries_started: u64,
+    /// Discoveries that produced a route.
+    pub discoveries_succeeded: u64,
+    /// Discoveries abandoned after all retries.
+    pub discoveries_failed: u64,
+}
+
+impl RoutingStats {
+    /// Total control packets transmitted by this node
+    /// (RREQ + RREP + RERR + HELLO).
+    pub fn control_tx(&self) -> u64 {
+        self.rreq_originated
+            + self.rreq_forwarded
+            + self.rrep_generated
+            + self.rrep_forwarded
+            + self.rerr_sent
+            + self.hello_sent
+    }
+
+    /// Element-wise accumulation (for network-wide totals).
+    pub fn accumulate(&mut self, other: &RoutingStats) {
+        self.rreq_originated += other.rreq_originated;
+        self.rreq_forwarded += other.rreq_forwarded;
+        self.rreq_received += other.rreq_received;
+        self.rreq_suppressed += other.rreq_suppressed;
+        self.rreq_duplicates += other.rreq_duplicates;
+        self.rrep_generated += other.rrep_generated;
+        self.rrep_forwarded += other.rrep_forwarded;
+        self.rrep_dropped += other.rrep_dropped;
+        self.rerr_sent += other.rerr_sent;
+        self.hello_sent += other.hello_sent;
+        self.data_forwarded += other.data_forwarded;
+        self.data_delivered += other.data_delivered;
+        self.data_originated += other.data_originated;
+        self.data_dropped_no_route += other.data_dropped_no_route;
+        self.data_dropped_discovery += other.data_dropped_discovery;
+        self.data_dropped_buffer += other.data_dropped_buffer;
+        self.data_dropped_link += other.data_dropped_link;
+        self.discoveries_started += other.discoveries_started;
+        self.discoveries_succeeded += other.discoveries_succeeded;
+        self.discoveries_failed += other.discoveries_failed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_total() {
+        let s = RoutingStats {
+            rreq_originated: 2,
+            rreq_forwarded: 10,
+            rrep_generated: 1,
+            rrep_forwarded: 3,
+            rerr_sent: 1,
+            hello_sent: 20,
+            ..Default::default()
+        };
+        assert_eq!(s.control_tx(), 37);
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let mut a = RoutingStats { rreq_forwarded: 5, data_delivered: 7, ..Default::default() };
+        let b = RoutingStats { rreq_forwarded: 3, data_delivered: 2, ..Default::default() };
+        a.accumulate(&b);
+        assert_eq!(a.rreq_forwarded, 8);
+        assert_eq!(a.data_delivered, 9);
+    }
+}

@@ -1,0 +1,161 @@
+//! Fuzzing the routing engine with random packet/timer/link-event scripts.
+//!
+//! The engine must never panic, and its actions must satisfy basic sanity
+//! for any input interleaving: unicasts go to real neighbours-ish ids,
+//! forwarded RREQs always have decremented TTL and incremented hop count,
+//! and timers are never armed in the past.
+
+use proptest::prelude::*;
+use wmn_mac::LoadDigest;
+use wmn_routing::{
+    CrossLayer, CounterBased, DataPacket, Flooding, FlowId, Gossip, Hello, NodeId, Packet, Rerr,
+    Rrep, Rreq, RreqKey, Routing, RoutingAction, RoutingConfig, RoutingTimer,
+};
+use wmn_sim::{SimDuration, SimRng, SimTime};
+
+fn make_packet(op: u8, rng: &mut SimRng, now: SimTime) -> Packet {
+    let node = |r: &mut SimRng| NodeId(r.below(8) as u32);
+    match op % 5 {
+        0 => Packet::Rreq(Rreq {
+            key: RreqKey { origin: node(rng), id: rng.below(6) as u32 },
+            origin_seq: rng.below(100) as u32,
+            target: node(rng),
+            target_seq: (rng.chance(0.5)).then(|| rng.below(100) as u32),
+            hop_count: rng.below(30) as u8,
+            path_load: rng.f64() * 5.0,
+            ttl: 1 + rng.below(32) as u8,
+        }),
+        1 => Packet::Rrep(Rrep {
+            origin: node(rng),
+            target: node(rng),
+            target_seq: rng.below(100) as u32,
+            hop_count: rng.below(30) as u8,
+            path_load: rng.f64() * 5.0,
+        }),
+        2 => Packet::Rerr(Rerr {
+            unreachable: (0..rng.below(4)).map(|_| (node(rng), rng.below(100) as u32)).collect(),
+        }),
+        3 => Packet::Hello(Hello {
+            seq: rng.below(1000) as u32,
+            load: LoadDigest {
+                queue_util: rng.f64(),
+                busy_ratio: rng.f64(),
+                mac_service_s: rng.f64() * 0.1,
+            },
+            velocity: (rng.range_f64(-20.0, 20.0), rng.range_f64(-20.0, 20.0)),
+        }),
+        _ => Packet::Data(DataPacket {
+            flow: FlowId(rng.below(4) as u32),
+            seq: rng.below(1000) as u32,
+            src: node(rng),
+            dst: node(rng),
+            payload: 512,
+            created: now,
+        }),
+    }
+}
+
+fn check_actions(me: NodeId, now: SimTime, actions: &[RoutingAction]) -> Result<(), TestCaseError> {
+    for a in actions {
+        match a {
+            RoutingAction::Unicast { next_hop, .. } => {
+                prop_assert_ne!(*next_hop, me, "self next hop");
+                prop_assert!(!next_hop.is_broadcast(), "broadcast next hop");
+            }
+            RoutingAction::Broadcast { packet, .. } => {
+                if let Packet::Rreq(r) = packet {
+                    prop_assert!(r.ttl >= 1, "forwarded dead RREQ");
+                }
+            }
+            RoutingAction::SetTimer { at, .. } => {
+                prop_assert!(*at >= now, "timer in the past");
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn run_script(policy_sel: u8, seed: u64, script: Vec<(u8, u8, u64)>) -> Result<(), TestCaseError> {
+    let me = NodeId(0);
+    let policy: Box<dyn wmn_routing::RebroadcastPolicy> = match policy_sel % 3 {
+        0 => Box::new(Flooding::new()),
+        1 => Box::new(Gossip::new(0.6)),
+        _ => Box::new(CounterBased::new(2, SimDuration::from_millis(10))),
+    };
+    let mut engine = Routing::new(me, RoutingConfig::default(), policy, SimRng::new(seed));
+    let mut rng = SimRng::new(seed ^ 0xABCD);
+    let mut now = SimTime::ZERO;
+    let mut out = Vec::new();
+    let mut timers: Vec<(RoutingTimer, SimTime)> = Vec::new();
+    engine.start(now, &mut out);
+    timers.extend(out.iter().filter_map(|a| match a {
+        RoutingAction::SetTimer { timer, at } => Some((*timer, *at)),
+        _ => None,
+    }));
+    let cross = CrossLayer::default();
+
+    for (op, sub, dt) in script {
+        now = now + SimDuration::from_micros(1 + dt % 2_000_000);
+        out.clear();
+        match op % 4 {
+            0 => {
+                // Receive a random packet from a random non-self neighbour.
+                let from = NodeId(1 + rng.below(7) as u32);
+                let pkt = make_packet(sub, &mut rng, now);
+                engine.on_packet(pkt, from, &cross, now, &mut out);
+            }
+            1 => {
+                // Application send.
+                let dst = NodeId(1 + rng.below(7) as u32);
+                let data = DataPacket {
+                    flow: FlowId(0),
+                    seq: rng.below(1000) as u32,
+                    src: me,
+                    dst,
+                    payload: 512,
+                    created: now,
+                };
+                engine.send_data(data, now, &mut out);
+            }
+            2 => {
+                // Fire a previously armed timer (may be stale — engine must
+                // cope).
+                if let Some((timer, _)) = timers.pop() {
+                    engine.on_timer(timer, &cross, now, &mut out);
+                }
+            }
+            _ => {
+                // Link failure report.
+                let nh = NodeId(1 + rng.below(7) as u32);
+                let pkt = rng
+                    .chance(0.5)
+                    .then(|| make_packet(4, &mut rng, now));
+                engine.on_link_failure(nh, pkt, now, &mut out);
+            }
+        }
+        check_actions(me, now, &out)?;
+        timers.extend(out.iter().filter_map(|a| match a {
+            RoutingAction::SetTimer { timer, at } => Some((*timer, *at)),
+            _ => None,
+        }));
+        // Bound the timer backlog so the script terminates.
+        if timers.len() > 256 {
+            timers.drain(0..128);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn routing_engine_never_panics(
+        policy in 0u8..3,
+        seed in any::<u64>(),
+        script in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u64>()), 1..150),
+    ) {
+        run_script(policy, seed, script)?;
+    }
+}

@@ -1,0 +1,47 @@
+//! Randomised consistency between NeighborTable operations.
+
+use wmn_mac::LoadDigest;
+use wmn_routing::{NeighborTable, NodeId};
+use wmn_sim::{SimDuration, SimRng, SimTime};
+
+#[test]
+fn live_count_matches_iter_and_sweep_under_random_traffic() {
+    let mut rng = SimRng::new(99);
+    let timeout = SimDuration::from_secs(3);
+    let mut nt = NeighborTable::new(timeout);
+    let mut last_heard: std::collections::HashMap<u32, u64> = Default::default();
+    let mut now_ms = 0u64;
+    for _ in 0..2_000 {
+        now_ms += rng.below(800);
+        let now = SimTime::from_millis(now_ms);
+        let id = rng.below(12) as u32;
+        match rng.below(3) {
+            0 => {
+                nt.heard_hello(
+                    NodeId(id),
+                    LoadDigest { queue_util: rng.f64(), busy_ratio: rng.f64(), mac_service_s: 0.0 },
+                    (0.0, 0.0),
+                    now,
+                );
+                last_heard.insert(id, now_ms);
+            }
+            1 => {
+                nt.heard_any(NodeId(id), now);
+                last_heard.insert(id, now_ms);
+            }
+            _ => {
+                let gone = nt.sweep(now);
+                for g in &gone {
+                    let heard = last_heard.remove(&g.0).expect("swept unknown neighbour");
+                    assert!(now_ms - heard >= 3_000, "swept live neighbour");
+                }
+            }
+        }
+        // Model check: live_count equals the reference count.
+        let expect = last_heard.values().filter(|&&h| now_ms - h < 3_000).count();
+        assert_eq!(nt.live_count(now), expect, "at t={now_ms}ms");
+        assert_eq!(nt.iter_live(now).count(), expect);
+        // Mean load defined iff someone is live.
+        assert_eq!(nt.mean_neighbor_load(now, |d| d.queue_util).is_some(), expect > 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests of routing-table and duplicate-cache invariants.
+
+use proptest::prelude::*;
+use wmn_routing::table::seq_newer;
+use wmn_routing::{NodeId, RouteTable, SeenCache, RreqKey};
+use wmn_sim::{SimDuration, SimTime};
+
+proptest! {
+    /// After any sequence of offers/breaks/sweeps, a valid route is never
+    /// expired and never points through a broken link that was not
+    /// re-offered.
+    #[test]
+    fn route_table_invariants(
+        ops in prop::collection::vec(
+            (0u8..4, 0u32..6, 0u32..6, 0u32..40, 0u64..30), 0..120),
+    ) {
+        let mut rt = RouteTable::new();
+        let life = SimDuration::from_secs(3);
+        let mut now = SimTime::ZERO;
+        for (op, dst, via, seq, dt) in ops {
+            now = now + SimDuration::from_millis(dt * 100);
+            let dst = NodeId(dst);
+            let via = NodeId(via);
+            match op {
+                0 => { rt.offer(dst, via, 2, seq, 2.0, life, now); }
+                1 => { rt.break_link(via); }
+                2 => { rt.sweep(now); }
+                _ => { rt.refresh(dst, life, now); }
+            }
+            // Invariant: valid_route() results are valid and unexpired.
+            for probe in 0..6u32 {
+                if let Some(e) = rt.valid_route(NodeId(probe), now) {
+                    prop_assert!(e.valid);
+                    prop_assert!(e.expires > now);
+                }
+            }
+        }
+    }
+
+    /// Sequence-number ordering is a strict total order on distinct values
+    /// within half the wrap range.
+    #[test]
+    fn seq_newer_antisymmetric(a in any::<u32>(), delta in 1u32..(u32::MAX / 2)) {
+        let b = a.wrapping_add(delta);
+        prop_assert!(seq_newer(b, a));
+        prop_assert!(!seq_newer(a, b));
+        prop_assert!(!seq_newer(a, a));
+    }
+
+    /// The seen cache counts copies exactly and sweeps strictly by first
+    /// reception time.
+    #[test]
+    fn seen_cache_counts(
+        records in prop::collection::vec((0u32..8, 0u64..100), 0..100),
+    ) {
+        let mut cache = SeenCache::new(SimDuration::from_secs(5));
+        let mut model: std::collections::HashMap<u32, u32> = Default::default();
+        for (id, t_ms) in records {
+            let key = RreqKey { origin: NodeId(1), id };
+            let prior = cache.record(key, SimTime::from_millis(t_ms));
+            let m = model.entry(id).or_insert(0);
+            prop_assert_eq!(prior, *m);
+            *m += 1;
+            prop_assert_eq!(cache.copies(key), *m);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Lightweight, allocation-bounded event tracing.
+//!
+//! Traces are an opt-in debugging aid: a bounded ring buffer of formatted
+//! records. When disabled (the default) tracing costs one branch per call and
+//! performs no formatting, which keeps the hot path clean for benchmarks.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Severity/verbosity of a trace record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Protocol-visible milestones (route found, flow finished).
+    Info,
+    /// Per-packet events (tx, rx, drop).
+    Packet,
+    /// MAC/PHY micro-events (backoff, carrier sense).
+    Detail,
+}
+
+/// One captured record.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// When the record was emitted.
+    pub time: SimTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Free-form subsystem tag, e.g. `"mac"`.
+    pub tag: &'static str,
+    /// Formatted message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {:>6}] {}", self.time, self.tag, self.message)
+    }
+}
+
+/// A bounded trace sink.
+pub struct Tracer {
+    enabled_level: Option<TraceLevel>,
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// A disabled tracer (records nothing).
+    pub fn disabled() -> Self {
+        Tracer { enabled_level: None, capacity: 0, records: VecDeque::new(), dropped: 0 }
+    }
+
+    /// A tracer capturing records at or below `level`, keeping the most
+    /// recent `capacity` records.
+    pub fn enabled(level: TraceLevel, capacity: usize) -> Self {
+        Tracer {
+            enabled_level: Some(level),
+            capacity,
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// True when a record at `level` would be kept. Callers should test this
+    /// before formatting an expensive message.
+    #[inline]
+    pub fn wants(&self, level: TraceLevel) -> bool {
+        matches!(self.enabled_level, Some(max) if level <= max)
+    }
+
+    /// Emit a record (no-op unless [`Tracer::wants`] the level).
+    pub fn emit(&mut self, time: SimTime, level: TraceLevel, tag: &'static str, message: String) {
+        if !self.wants(level) {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord { time, level, tag, message });
+    }
+
+    /// Captured records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Convenience macro: `trace!(tracer, now, Packet, "mac", "tx {}", id)`.
+#[macro_export]
+macro_rules! sim_trace {
+    ($tracer:expr, $now:expr, $level:ident, $tag:expr, $($arg:tt)*) => {
+        if $tracer.wants($crate::trace::TraceLevel::$level) {
+            $tracer.emit($now, $crate::trace::TraceLevel::$level, $tag, format!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.emit(SimTime::ZERO, TraceLevel::Info, "x", "hello".into());
+        assert!(t.is_empty());
+        assert!(!t.wants(TraceLevel::Info));
+    }
+
+    #[test]
+    fn level_filtering() {
+        let mut t = Tracer::enabled(TraceLevel::Packet, 16);
+        assert!(t.wants(TraceLevel::Info));
+        assert!(t.wants(TraceLevel::Packet));
+        assert!(!t.wants(TraceLevel::Detail));
+        t.emit(SimTime::ZERO, TraceLevel::Detail, "mac", "ignored".into());
+        t.emit(SimTime::ZERO, TraceLevel::Info, "mac", "kept".into());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Tracer::enabled(TraceLevel::Info, 3);
+        for i in 0..5 {
+            t.emit(SimTime::from_secs(i), TraceLevel::Info, "t", format!("r{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let msgs: Vec<&str> = t.records().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["r2", "r3", "r4"]);
+    }
+
+    #[test]
+    fn macro_formats_lazily() {
+        let mut t = Tracer::enabled(TraceLevel::Info, 4);
+        sim_trace!(t, SimTime::ZERO, Info, "tag", "value {}", 42);
+        sim_trace!(t, SimTime::ZERO, Detail, "tag", "skipped {}", 43);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.records().next().unwrap().message, "value 42");
+    }
+
+    #[test]
+    fn display_format() {
+        let r = TraceRecord {
+            time: SimTime::from_secs(1),
+            level: TraceLevel::Info,
+            tag: "mac",
+            message: "m".into(),
+        };
+        let s = format!("{r}");
+        assert!(s.contains("mac"));
+        assert!(s.contains("1.000000s"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the simulation substrate.
+
+use proptest::prelude::*;
+use wmn_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+proptest! {
+    /// below(n) is always within range, for any seed and bound.
+    #[test]
+    fn rng_below_in_range(seed in any::<u64>(), n in 1u64..u64::MAX) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    /// range_f64 stays within its interval.
+    #[test]
+    fn rng_range_f64_in_range(seed in any::<u64>(), lo in -1e9f64..1e9, width in 1e-6f64..1e9) {
+        let mut rng = SimRng::new(seed);
+        let hi = lo + width;
+        for _ in 0..16 {
+            let v = rng.range_f64(lo, hi);
+            prop_assert!(v >= lo && v < hi, "{v} outside [{lo}, {hi})");
+        }
+    }
+
+    /// Derived streams are reproducible.
+    #[test]
+    fn rng_derive_reproducible(seed in any::<u64>(), dom in any::<u64>(), idx in any::<u64>()) {
+        let mut a = SimRng::derive(seed, dom, idx);
+        let mut b = SimRng::derive(seed, dom, idx);
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+        prop_assert_eq!(a.f64().to_bits(), b.f64().to_bits());
+    }
+
+    /// Exponential draws are non-negative and finite.
+    #[test]
+    fn rng_exponential_valid(seed in any::<u64>(), mean in 1e-9f64..1e9) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..16 {
+            let v = rng.exponential(mean);
+            prop_assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+
+    /// Shuffle yields a permutation.
+    #[test]
+    fn rng_shuffle_is_permutation(seed in any::<u64>(), len in 0usize..64) {
+        let mut rng = SimRng::new(seed);
+        let mut v: Vec<usize> = (0..len).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+
+    /// The event queue pops in non-decreasing time order with FIFO ties,
+    /// for any schedule.
+    #[test]
+    fn queue_is_stable_priority_order(times in prop::collection::vec(0u64..1_000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), (t, i));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((t, (pt, i))) = q.pop() {
+            prop_assert_eq!(t.as_nanos(), pt);
+            if let Some((lt, li)) = last {
+                prop_assert!(pt > lt || (pt == lt && i > li), "order violated");
+            }
+            last = Some((pt, i));
+        }
+    }
+
+    /// Time arithmetic: (t + d) − t == d and (t + d) − d == t.
+    #[test]
+    fn time_arithmetic_inverts(t in 0u64..(1u64 << 62), d in 0u64..(1u64 << 60)) {
+        let t = SimTime(t);
+        let d = SimDuration(d);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!(t.since(t + d), SimDuration::ZERO);
+        prop_assert_eq!((t + d).since(t), d);
+    }
+
+    /// mul_f64 by reciprocal factors round-trips within 1 ns per unit.
+    #[test]
+    fn duration_scale_bounds(d in 0u64..(1u64 << 40), k in 0.0f64..1000.0) {
+        let dur = SimDuration(d);
+        let scaled = dur.mul_f64(k);
+        let expect = d as f64 * k;
+        prop_assert!((scaled.as_nanos() as f64 - expect).abs() <= 0.5 + expect * 1e-12);
+    }
+}

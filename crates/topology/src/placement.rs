@@ -1,0 +1,233 @@
+//! Node placement generators.
+//!
+//! Wireless-mesh evaluations of the CNLR era use two canonical layouts:
+//! a regular (or lightly perturbed) grid of static mesh routers, and a
+//! uniform random scatter for ad-hoc comparisons. A clustered layout is
+//! included for hotspot experiments.
+
+use crate::region::Region;
+use crate::vec2::Vec2;
+use wmn_sim::SimRng;
+
+/// A placement strategy.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Placement {
+    /// A `rows × cols` grid centred in the field. If `jitter_frac > 0`,
+    /// each node is displaced uniformly by up to `jitter_frac` of the cell
+    /// pitch in each axis (a "perturbed grid", the standard WMN backbone
+    /// layout).
+    Grid {
+        /// Number of grid rows.
+        rows: usize,
+        /// Number of grid columns.
+        cols: usize,
+        /// Relative jitter, `0.0..=0.5` of the cell pitch.
+        jitter_frac: f64,
+    },
+    /// `count` nodes placed independently and uniformly at random.
+    UniformRandom {
+        /// Number of nodes.
+        count: usize,
+    },
+    /// Uniform random with a minimum pairwise separation (rejection
+    /// sampling; falls back to unconstrained placement if the field is too
+    /// crowded to satisfy the separation).
+    MinSeparation {
+        /// Number of nodes.
+        count: usize,
+        /// Minimum pairwise distance in metres.
+        min_dist: f64,
+    },
+    /// Gaussian clusters: `clusters` centre points placed uniformly, then
+    /// `count` nodes assigned round-robin and scattered around their centre
+    /// with the given standard deviation.
+    Clustered {
+        /// Number of nodes.
+        count: usize,
+        /// Number of cluster centres.
+        clusters: usize,
+        /// Scatter standard deviation in metres.
+        sigma: f64,
+    },
+}
+
+impl Placement {
+    /// The number of nodes this placement produces.
+    pub fn count(&self) -> usize {
+        match *self {
+            Placement::Grid { rows, cols, .. } => rows * cols,
+            Placement::UniformRandom { count } => count,
+            Placement::MinSeparation { count, .. } => count,
+            Placement::Clustered { count, .. } => count,
+        }
+    }
+
+    /// Generate node positions inside `region` using `rng`.
+    pub fn generate(&self, region: Region, rng: &mut SimRng) -> Vec<Vec2> {
+        match *self {
+            Placement::Grid { rows, cols, jitter_frac } => {
+                grid(region, rows, cols, jitter_frac, rng)
+            }
+            Placement::UniformRandom { count } => uniform(region, count, rng),
+            Placement::MinSeparation { count, min_dist } => {
+                min_separation(region, count, min_dist, rng)
+            }
+            Placement::Clustered { count, clusters, sigma } => {
+                clustered(region, count, clusters, sigma, rng)
+            }
+        }
+    }
+}
+
+fn grid(region: Region, rows: usize, cols: usize, jitter_frac: f64, rng: &mut SimRng) -> Vec<Vec2> {
+    assert!(rows > 0 && cols > 0, "empty grid");
+    assert!((0.0..=0.5).contains(&jitter_frac), "jitter_frac out of range");
+    let pitch_x = region.width / cols as f64;
+    let pitch_y = region.height / rows as f64;
+    let mut out = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let base = Vec2::new((c as f64 + 0.5) * pitch_x, (r as f64 + 0.5) * pitch_y);
+            let p = if jitter_frac > 0.0 {
+                let jx = rng.range_f64(-jitter_frac, jitter_frac) * pitch_x;
+                let jy = rng.range_f64(-jitter_frac, jitter_frac) * pitch_y;
+                region.clamp(base + Vec2::new(jx, jy))
+            } else {
+                base
+            };
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn uniform(region: Region, count: usize, rng: &mut SimRng) -> Vec<Vec2> {
+    (0..count)
+        .map(|_| Vec2::new(rng.range_f64(0.0, region.width), rng.range_f64(0.0, region.height)))
+        .collect()
+}
+
+fn min_separation(region: Region, count: usize, min_dist: f64, rng: &mut SimRng) -> Vec<Vec2> {
+    let min_sq = min_dist * min_dist;
+    let mut out: Vec<Vec2> = Vec::with_capacity(count);
+    // Cap the total rejection work; beyond it we accept violating points so
+    // that pathological parameters still terminate.
+    let mut attempts_left: u64 = 1000 * count as u64;
+    while out.len() < count {
+        let p = Vec2::new(rng.range_f64(0.0, region.width), rng.range_f64(0.0, region.height));
+        let ok = attempts_left == 0 || out.iter().all(|q| q.distance_sq(p) >= min_sq);
+        attempts_left = attempts_left.saturating_sub(1);
+        if ok {
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn clustered(region: Region, count: usize, clusters: usize, sigma: f64, rng: &mut SimRng) -> Vec<Vec2> {
+    assert!(clusters > 0, "need at least one cluster");
+    let centers: Vec<Vec2> = uniform(region, clusters, rng);
+    (0..count)
+        .map(|i| {
+            let c = centers[i % clusters];
+            let p = c + Vec2::new(rng.normal(0.0, sigma), rng.normal(0.0, sigma));
+            region.clamp(p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> Region {
+        Region::square(1000.0)
+    }
+
+    #[test]
+    fn grid_count_and_bounds() {
+        let mut rng = SimRng::new(1);
+        let p = Placement::Grid { rows: 5, cols: 4, jitter_frac: 0.0 };
+        assert_eq!(p.count(), 20);
+        let pts = p.generate(region(), &mut rng);
+        assert_eq!(pts.len(), 20);
+        assert!(pts.iter().all(|&p| region().contains(p)));
+        // Unjittered grid spacing: first two points are one x-pitch apart.
+        assert!((pts[1].x - pts[0].x - 250.0).abs() < 1e-9);
+        assert_eq!(pts[0].y, pts[1].y);
+    }
+
+    #[test]
+    fn grid_jitter_stays_in_field_and_perturbs() {
+        let mut rng = SimRng::new(2);
+        let plain = Placement::Grid { rows: 7, cols: 7, jitter_frac: 0.0 }
+            .generate(region(), &mut rng);
+        let jit = Placement::Grid { rows: 7, cols: 7, jitter_frac: 0.3 }
+            .generate(region(), &mut rng);
+        assert!(jit.iter().all(|&p| region().contains(p)));
+        let moved = plain
+            .iter()
+            .zip(&jit)
+            .filter(|(a, b)| a.distance(**b) > 1e-9)
+            .count();
+        assert!(moved > 40, "jitter moved only {moved} nodes");
+    }
+
+    #[test]
+    fn uniform_statistics() {
+        let mut rng = SimRng::new(3);
+        let pts = Placement::UniformRandom { count: 10_000 }.generate(region(), &mut rng);
+        assert!(pts.iter().all(|&p| region().contains(p)));
+        let mean_x = pts.iter().map(|p| p.x).sum::<f64>() / pts.len() as f64;
+        let mean_y = pts.iter().map(|p| p.y).sum::<f64>() / pts.len() as f64;
+        assert!((mean_x - 500.0).abs() < 15.0, "mean_x {mean_x}");
+        assert!((mean_y - 500.0).abs() < 15.0, "mean_y {mean_y}");
+    }
+
+    #[test]
+    fn min_separation_is_respected() {
+        let mut rng = SimRng::new(4);
+        let pts = Placement::MinSeparation { count: 50, min_dist: 80.0 }
+            .generate(region(), &mut rng);
+        assert_eq!(pts.len(), 50);
+        for i in 0..pts.len() {
+            for j in 0..i {
+                assert!(pts[i].distance(pts[j]) >= 80.0 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn min_separation_terminates_when_infeasible() {
+        let mut rng = SimRng::new(5);
+        // 500 nodes with 200 m separation cannot fit in 1 km² — must still
+        // return the requested count.
+        let pts = Placement::MinSeparation { count: 500, min_dist: 200.0 }
+            .generate(region(), &mut rng);
+        assert_eq!(pts.len(), 500);
+    }
+
+    #[test]
+    fn clustered_concentrates_mass() {
+        let mut rng = SimRng::new(6);
+        let pts = Placement::Clustered { count: 300, clusters: 3, sigma: 30.0 }
+            .generate(region(), &mut rng);
+        assert_eq!(pts.len(), 300);
+        assert!(pts.iter().all(|&p| region().contains(p)));
+        // Nodes in the same cluster (stride 3 apart) are close to each other
+        // far more often than random pairs would be.
+        let close = pts
+            .windows(4)
+            .filter(|w| w[0].distance(w[3]) < 200.0)
+            .count();
+        assert!(close > 200, "only {close} same-cluster neighbours close");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = Placement::UniformRandom { count: 32 };
+        let a = p.generate(region(), &mut SimRng::new(9));
+        let b = p.generate(region(), &mut SimRng::new(9));
+        assert_eq!(a, b);
+    }
+}

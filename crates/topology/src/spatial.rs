@@ -1,0 +1,216 @@
+//! A uniform-grid spatial index over node positions.
+//!
+//! Radio delivery is the hot loop of the simulator: every transmission must
+//! find all nodes within interference range. A uniform bucket grid makes that
+//! an O(occupied cells) query instead of O(N), and supports incremental
+//! position updates as mobile nodes move.
+
+use crate::region::Region;
+use crate::vec2::Vec2;
+
+/// Spatial index mapping node ids (dense `usize` indices) to grid cells.
+#[derive(Clone, Debug)]
+pub struct SpatialIndex {
+    region: Region,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    /// cell -> node ids in that cell
+    buckets: Vec<Vec<u32>>,
+    /// node id -> (cell, position)
+    nodes: Vec<(usize, Vec2)>,
+}
+
+impl SpatialIndex {
+    /// Build an index over `positions`. `cell_size` should be close to the
+    /// query radius for best performance (each query then scans ≤ 9 cells
+    /// plus a ring).
+    pub fn new(region: Region, cell_size: f64, positions: &[Vec2]) -> Self {
+        assert!(cell_size > 0.0 && cell_size.is_finite(), "bad cell size");
+        let cols = (region.width / cell_size).ceil().max(1.0) as usize;
+        let rows = (region.height / cell_size).ceil().max(1.0) as usize;
+        let mut idx = SpatialIndex {
+            region,
+            cell: cell_size,
+            cols,
+            rows,
+            buckets: vec![Vec::new(); cols * rows],
+            nodes: Vec::with_capacity(positions.len()),
+        };
+        for (id, &p) in positions.iter().enumerate() {
+            let c = idx.cell_of(p);
+            idx.buckets[c].push(id as u32);
+            idx.nodes.push((c, p));
+        }
+        idx
+    }
+
+    fn cell_of(&self, p: Vec2) -> usize {
+        let q = self.region.clamp(p);
+        let cx = ((q.x / self.cell) as usize).min(self.cols - 1);
+        let cy = ((q.y / self.cell) as usize).min(self.rows - 1);
+        cy * self.cols + cx
+    }
+
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current position of a node.
+    pub fn position(&self, id: usize) -> Vec2 {
+        self.nodes[id].1
+    }
+
+    /// Move node `id` to `p`, updating buckets incrementally.
+    pub fn update(&mut self, id: usize, p: Vec2) {
+        let (old_cell, _) = self.nodes[id];
+        let new_cell = self.cell_of(p);
+        if new_cell != old_cell {
+            let bucket = &mut self.buckets[old_cell];
+            let pos = bucket
+                .iter()
+                .position(|&n| n as usize == id)
+                .expect("node missing from its bucket");
+            bucket.swap_remove(pos);
+            self.buckets[new_cell].push(id as u32);
+        }
+        self.nodes[id] = (new_cell, p);
+    }
+
+    /// Collect all node ids strictly within `radius` of `center`, excluding
+    /// `exclude` (pass `usize::MAX` to exclude none). Results are appended
+    /// to `out` in ascending id order.
+    pub fn query_radius(&self, center: Vec2, radius: f64, exclude: usize, out: &mut Vec<u32>) {
+        out.clear();
+        let r_sq = radius * radius;
+        let min_cx = (((center.x - radius) / self.cell).floor().max(0.0)) as usize;
+        let min_cy = (((center.y - radius) / self.cell).floor().max(0.0)) as usize;
+        let max_cx = (((center.x + radius) / self.cell).floor() as usize).min(self.cols - 1);
+        let max_cy = (((center.y + radius) / self.cell).floor() as usize).min(self.rows - 1);
+        for cy in min_cy..=max_cy {
+            for cx in min_cx..=max_cx {
+                for &id in &self.buckets[cy * self.cols + cx] {
+                    if id as usize == exclude {
+                        continue;
+                    }
+                    if self.nodes[id as usize].1.distance_sq(center) <= r_sq {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+
+    /// Convenience wrapper returning a fresh vector.
+    pub fn neighbors_of(&self, id: usize, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.query_radius(self.nodes[id].1, radius, id, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_sim::SimRng;
+
+    fn brute_force(positions: &[Vec2], center: Vec2, radius: f64, exclude: usize) -> Vec<u32> {
+        let r_sq = radius * radius;
+        positions
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| i != exclude && p.distance_sq(center) <= r_sq)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let region = Region::square(500.0);
+        let mut rng = SimRng::new(21);
+        let positions: Vec<Vec2> = (0..200)
+            .map(|_| Vec2::new(rng.range_f64(0.0, 500.0), rng.range_f64(0.0, 500.0)))
+            .collect();
+        let idx = SpatialIndex::new(region, 60.0, &positions);
+        let mut out = Vec::new();
+        for i in 0..positions.len() {
+            idx.query_radius(positions[i], 75.0, i, &mut out);
+            assert_eq!(out, brute_force(&positions, positions[i], 75.0, i), "node {i}");
+        }
+    }
+
+    #[test]
+    fn update_moves_node_between_cells() {
+        let region = Region::square(100.0);
+        let positions = vec![Vec2::new(5.0, 5.0), Vec2::new(95.0, 95.0)];
+        let mut idx = SpatialIndex::new(region, 10.0, &positions);
+        let mut out = Vec::new();
+        idx.query_radius(Vec2::new(95.0, 95.0), 10.0, usize::MAX, &mut out);
+        assert_eq!(out, vec![1]);
+        idx.update(0, Vec2::new(92.0, 92.0));
+        idx.query_radius(Vec2::new(95.0, 95.0), 10.0, usize::MAX, &mut out);
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(idx.position(0), Vec2::new(92.0, 92.0));
+    }
+
+    #[test]
+    fn update_within_same_cell() {
+        let region = Region::square(100.0);
+        let positions = vec![Vec2::new(5.0, 5.0)];
+        let mut idx = SpatialIndex::new(region, 50.0, &positions);
+        idx.update(0, Vec2::new(6.0, 6.0));
+        assert_eq!(idx.position(0), Vec2::new(6.0, 6.0));
+        let mut out = Vec::new();
+        idx.query_radius(Vec2::new(6.0, 6.0), 1.0, usize::MAX, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn exclude_is_honoured() {
+        let region = Region::square(10.0);
+        let positions = vec![Vec2::new(5.0, 5.0), Vec2::new(5.1, 5.0)];
+        let idx = SpatialIndex::new(region, 5.0, &positions);
+        assert_eq!(idx.neighbors_of(0, 1.0), vec![1]);
+        assert_eq!(idx.neighbors_of(1, 1.0), vec![0]);
+    }
+
+    #[test]
+    fn out_of_field_positions_are_clamped_into_cells() {
+        let region = Region::square(10.0);
+        let positions = vec![Vec2::new(-1.0, 20.0)];
+        let idx = SpatialIndex::new(region, 3.0, &positions);
+        assert_eq!(idx.len(), 1);
+        let mut out = Vec::new();
+        // Query near the clamped corner.
+        idx.query_radius(Vec2::new(0.0, 10.0), 25.0, usize::MAX, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn random_updates_keep_index_consistent() {
+        let region = Region::square(300.0);
+        let mut rng = SimRng::new(22);
+        let mut positions: Vec<Vec2> = (0..100)
+            .map(|_| Vec2::new(rng.range_f64(0.0, 300.0), rng.range_f64(0.0, 300.0)))
+            .collect();
+        let mut idx = SpatialIndex::new(region, 40.0, &positions);
+        for _ in 0..2_000 {
+            let id = rng.below_usize(100);
+            let p = Vec2::new(rng.range_f64(0.0, 300.0), rng.range_f64(0.0, 300.0));
+            idx.update(id, p);
+            positions[id] = p;
+        }
+        let mut out = Vec::new();
+        for i in 0..100 {
+            idx.query_radius(positions[i], 50.0, i, &mut out);
+            assert_eq!(out, brute_force(&positions, positions[i], 50.0, i));
+        }
+    }
+}

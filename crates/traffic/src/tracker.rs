@@ -1,0 +1,195 @@
+//! Per-flow delivery bookkeeping.
+
+use std::collections::HashMap;
+use wmn_routing::FlowId;
+use wmn_sim::{SimDuration, SimTime};
+
+/// Per-flow counters.
+#[derive(Clone, Copy, Debug, Default)]
+struct FlowRecord {
+    sent: u64,
+    delivered: u64,
+    delivered_bytes: u64,
+    delay_sum_s: f64,
+    delay_max_s: f64,
+}
+
+/// Tracks end-to-end delivery per flow (and in aggregate).
+///
+/// Packets created during the warm-up period are excluded from statistics —
+/// standard practice so that route-discovery transients do not bias the
+/// steady-state figures.
+#[derive(Clone, Debug)]
+pub struct FlowTracker {
+    warmup_end: SimTime,
+    flows: HashMap<FlowId, FlowRecord>,
+    delays_s: Vec<f64>,
+}
+
+/// Aggregate results over all tracked flows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrackerSummary {
+    /// Packets offered after warm-up.
+    pub sent: u64,
+    /// Packets delivered whose creation was after warm-up.
+    pub delivered: u64,
+    /// Delivered ÷ sent (1.0 for an idle network).
+    pub delivery_ratio: f64,
+    /// Mean end-to-end delay, seconds.
+    pub mean_delay_s: f64,
+    /// 95th-percentile delay, seconds.
+    pub p95_delay_s: f64,
+    /// Maximum delay, seconds.
+    pub max_delay_s: f64,
+    /// Delivered application bytes.
+    pub delivered_bytes: u64,
+}
+
+impl FlowTracker {
+    /// Track deliveries, ignoring packets created before `warmup_end`.
+    pub fn new(warmup_end: SimTime) -> Self {
+        FlowTracker { warmup_end, flows: HashMap::new(), delays_s: Vec::new() }
+    }
+
+    /// Record a packet handed to the routing layer at its source.
+    pub fn on_sent(&mut self, flow: FlowId, created: SimTime) {
+        if created < self.warmup_end {
+            return;
+        }
+        self.flows.entry(flow).or_default().sent += 1;
+    }
+
+    /// Record a delivery at the destination application.
+    pub fn on_delivered(&mut self, flow: FlowId, created: SimTime, now: SimTime, bytes: usize) {
+        if created < self.warmup_end {
+            return;
+        }
+        let delay = now.since(created);
+        let rec = self.flows.entry(flow).or_default();
+        rec.delivered += 1;
+        rec.delivered_bytes += bytes as u64;
+        let d = delay.as_secs_f64();
+        rec.delay_sum_s += d;
+        rec.delay_max_s = rec.delay_max_s.max(d);
+        self.delays_s.push(d);
+    }
+
+    /// Delivery ratio of a single flow (`None` if it never sent).
+    pub fn flow_pdr(&self, flow: FlowId) -> Option<f64> {
+        let rec = self.flows.get(&flow)?;
+        (rec.sent > 0).then(|| rec.delivered as f64 / rec.sent as f64)
+    }
+
+    /// Aggregate summary. `duration` is the measured interval for
+    /// throughput computations by the caller.
+    pub fn summary(&self) -> TrackerSummary {
+        let mut sent = 0;
+        let mut delivered = 0;
+        let mut delivered_bytes = 0;
+        let mut delay_sum = 0.0;
+        let mut delay_max: f64 = 0.0;
+        for rec in self.flows.values() {
+            sent += rec.sent;
+            delivered += rec.delivered;
+            delivered_bytes += rec.delivered_bytes;
+            delay_sum += rec.delay_sum_s;
+            delay_max = delay_max.max(rec.delay_max_s);
+        }
+        let mut sorted = self.delays_s.clone();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN delay"));
+        let p95 = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted[((sorted.len() as f64 * 0.95) as usize).min(sorted.len() - 1)]
+        };
+        TrackerSummary {
+            sent,
+            delivered,
+            delivery_ratio: if sent == 0 { 1.0 } else { delivered as f64 / sent as f64 },
+            mean_delay_s: if delivered == 0 { 0.0 } else { delay_sum / delivered as f64 },
+            p95_delay_s: p95,
+            max_delay_s: delay_max,
+            delivered_bytes,
+        }
+    }
+
+    /// Aggregate goodput in bits per second over `duration`.
+    pub fn goodput_bps(&self, duration: SimDuration) -> f64 {
+        if duration.is_zero() {
+            return 0.0;
+        }
+        self.summary().delivered_bytes as f64 * 8.0 / duration.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn counts_and_ratio() {
+        let mut tr = FlowTracker::new(SimTime::ZERO);
+        for i in 0..10 {
+            tr.on_sent(FlowId(1), t(i * 100));
+        }
+        for i in 0..7 {
+            tr.on_delivered(FlowId(1), t(i * 100), t(i * 100 + 30), 512);
+        }
+        let s = tr.summary();
+        assert_eq!(s.sent, 10);
+        assert_eq!(s.delivered, 7);
+        assert!((s.delivery_ratio - 0.7).abs() < 1e-12);
+        assert!((s.mean_delay_s - 0.030).abs() < 1e-9);
+        assert_eq!(s.delivered_bytes, 7 * 512);
+        assert_eq!(tr.flow_pdr(FlowId(1)), Some(0.7));
+        assert_eq!(tr.flow_pdr(FlowId(9)), None);
+    }
+
+    #[test]
+    fn warmup_exclusion() {
+        let mut tr = FlowTracker::new(t(1000));
+        tr.on_sent(FlowId(1), t(500)); // warm-up — ignored
+        tr.on_sent(FlowId(1), t(1500));
+        tr.on_delivered(FlowId(1), t(500), t(600), 512); // ignored
+        tr.on_delivered(FlowId(1), t(1500), t(1600), 512);
+        let s = tr.summary();
+        assert_eq!(s.sent, 1);
+        assert_eq!(s.delivered, 1);
+    }
+
+    #[test]
+    fn p95_and_max() {
+        let mut tr = FlowTracker::new(SimTime::ZERO);
+        for i in 1..=100u64 {
+            tr.on_sent(FlowId(1), t(0));
+            tr.on_delivered(FlowId(1), t(0), SimTime::from_millis(i), 100);
+        }
+        let s = tr.summary();
+        assert!((s.max_delay_s - 0.100).abs() < 1e-9);
+        assert!((s.p95_delay_s - 0.096).abs() < 2e-3, "p95 {}", s.p95_delay_s);
+    }
+
+    #[test]
+    fn goodput() {
+        let mut tr = FlowTracker::new(SimTime::ZERO);
+        tr.on_sent(FlowId(1), t(0));
+        tr.on_delivered(FlowId(1), t(0), t(10), 1000);
+        let g = tr.goodput_bps(SimDuration::from_secs(10));
+        assert!((g - 800.0).abs() < 1e-9);
+        assert_eq!(tr.goodput_bps(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn empty_tracker_is_benign() {
+        let tr = FlowTracker::new(SimTime::ZERO);
+        let s = tr.summary();
+        assert_eq!(s.sent, 0);
+        assert_eq!(s.delivery_ratio, 1.0);
+        assert_eq!(s.mean_delay_s, 0.0);
+        assert_eq!(s.p95_delay_s, 0.0);
+    }
+}

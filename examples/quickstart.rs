@@ -1,0 +1,36 @@
+//! Quickstart: build a small wireless mesh, run CNLR, print the results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use wmn::{CnlrConfig, ScenarioBuilder, Scheme};
+use wmn::sim::SimDuration;
+
+fn main() {
+    // A 6×6 mesh-router grid at 180 m pitch (≈ 1.1 km² field), eight CBR
+    // flows of 512-byte packets at 4 packets/s, CNLR route discovery.
+    let results = ScenarioBuilder::new()
+        .seed(42)
+        .grid(6, 6, 180.0)
+        .scheme(Scheme::Cnlr(CnlrConfig::default()))
+        .flows(8, 4.0, 512)
+        .duration(SimDuration::from_secs(30))
+        .warmup(SimDuration::from_secs(5))
+        .build()
+        .expect("connected scenario")
+        .run();
+
+    println!("scheme              : {}", results.scheme);
+    println!("nodes / flows       : {} / {}", results.nodes, results.flows);
+    println!("packets sent        : {}", results.summary.sent);
+    println!("packets delivered   : {}", results.summary.delivered);
+    println!("delivery ratio      : {:.3}", results.pdr());
+    println!("mean delay          : {:.1} ms", results.mean_delay_ms());
+    println!("p95 delay           : {:.1} ms", results.summary.p95_delay_s * 1e3);
+    println!("goodput             : {:.1} kb/s", results.goodput_kbps);
+    println!("RREQ tx / discovery : {:.1}", results.rreq_tx_per_discovery);
+    println!("discovery success   : {:.2}", results.discovery_success);
+    println!("Jain fairness       : {:.3}", results.jain_forwarding);
+    println!("engine events       : {}", results.events);
+}

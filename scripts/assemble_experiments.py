@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Assemble EXPERIMENTS.md from the template and the tables emitted by the
+experiment binaries (results/*.log). Re-run after ./scripts/run_all_experiments.sh."""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+TEMPLATE = ROOT / "docs" / "EXPERIMENTS.template.md"
+OUT = ROOT / "EXPERIMENTS.md"
+RESULTS = ROOT / "results"
+
+LOG_FOR = {
+    "tab1": "tab1_params.log",
+    "fig1": "fig1_overhead_size.log",
+    "fig2": "fig2_reachability.log",
+    "fig3": "fig3_pdr_load.log",
+    "fig4": "fig4_delay_load.log",
+    "fig5": "fig5_throughput.log",
+    "fig6": "fig6_load_balance.log",
+    "fig7": "fig7_mobility.log",
+    "fig8": "fig8_hello_ablation.log",
+    "fig9": "fig9_energy.log",
+    "fig10": "fig10_gateway.log",
+    "tab2": "tab2_summary.log",
+}
+
+
+def tables_in(log_path: Path):
+    """Extract each '### title' markdown table block from a log file."""
+    if not log_path.exists():
+        return []
+    blocks = []
+    for part in log_path.read_text().split("### ")[1:]:
+        lines = part.splitlines()
+        tbl = ["### " + lines[0]]
+        for line in lines[1:]:
+            if line.startswith("|") or line == "":
+                tbl.append(line)
+            else:
+                break
+        blocks.append("\n".join(tbl).rstrip())
+    return blocks
+
+
+def main():
+    template = TEMPLATE.read_text()
+
+    def substitute(match):
+        fig_id, index = match.group(1), int(match.group(2) or 0)
+        blocks = tables_in(RESULTS / LOG_FOR[fig_id])
+        if index < len(blocks):
+            return blocks[index]
+        return f"*(table `{fig_id}[{index}]` not yet generated — run `./scripts/run_all_experiments.sh`)*"
+
+    out = re.sub(r"<!-- TABLE:(\w+)(?::(\d+))? -->", substitute, template)
+    OUT.write_text(out)
+    print(f"wrote {OUT}")
+    missing = out.count("not yet generated")
+    if missing:
+        print(f"warning: {missing} tables missing", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

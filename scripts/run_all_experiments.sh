@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerate every reconstructed table/figure. QUICK=1 for a fast pass.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+bins=(tab1_params fig1_overhead_size fig2_reachability fig3_pdr_load fig4_delay_load \
+      fig5_throughput fig6_load_balance fig7_mobility fig8_hello_ablation fig9_energy fig10_gateway tab2_summary)
+mkdir -p results
+for b in "${bins[@]}"; do
+  echo "=== $b ==="
+  cargo run --release -q -p wmn-bench --bin "$b" 2>&1 | tee "results/${b}.log"
+done
+echo "ALL EXPERIMENTS DONE"

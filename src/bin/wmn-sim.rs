@@ -1,0 +1,290 @@
+//! `wmn-sim` — command-line scenario runner.
+//!
+//! Runs a single mesh scenario and prints the full result record. Example:
+//!
+//! ```sh
+//! wmn-sim --grid 8 --pitch 180 --scheme cnlr --flows 30 --pps 8 \
+//!         --duration 60 --warmup 10 --seed 1
+//! ```
+//!
+//! Arguments are hand-parsed (no CLI dependency); `--help` lists them.
+
+use wmn::mobility::MobilityConfig;
+use wmn::sim::SimDuration;
+use wmn::{CnlrConfig, ScenarioBuilder, Scheme, VapConfig};
+
+/// Parsed CLI options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    pub grid: usize,
+    pub pitch: f64,
+    pub scheme: Scheme,
+    pub flows: usize,
+    pub pps: f64,
+    pub payload: usize,
+    pub duration_s: f64,
+    pub warmup_s: f64,
+    pub seed: u64,
+    pub clients: usize,
+    pub client_speed: f64,
+    pub csv: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            grid: 8,
+            pitch: 180.0,
+            scheme: Scheme::Cnlr(CnlrConfig::default()),
+            flows: 20,
+            pps: 4.0,
+            payload: 512,
+            duration_s: 60.0,
+            warmup_s: 10.0,
+            seed: 1,
+            clients: 0,
+            client_speed: 10.0,
+            csv: false,
+        }
+    }
+}
+
+const HELP: &str = "\
+wmn-sim — run one wireless-mesh scenario
+
+OPTIONS (defaults in brackets):
+  --grid N          N×N router grid [8]
+  --pitch M         grid pitch in metres [180]
+  --scheme S        flooding | gossip:P | gossip:P:K | counter:C | distance:DBM | cnlr | vap [cnlr]
+  --flows N         random CBR flows [20]
+  --pps R           packets per second per flow [4]
+  --payload B       payload bytes [512]
+  --duration S      simulated seconds [60]
+  --warmup S        statistics warm-up seconds [10]
+  --seed N          master seed [1]
+  --clients N       mobile RWP clients [0]
+  --client-speed V  client max speed m/s [10]
+  --csv             emit one CSV line instead of the report
+  --help            this text
+";
+
+/// Parse a scheme spec like `gossip:0.65` or `counter:3`.
+pub fn parse_scheme(s: &str) -> Result<Scheme, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    match parts[0] {
+        "flooding" | "flood" => Ok(Scheme::Flooding),
+        "gossip" => {
+            let p: f64 = parts
+                .get(1)
+                .ok_or("gossip needs :P")?
+                .parse()
+                .map_err(|e| format!("bad gossip p: {e}"))?;
+            if let Some(k) = parts.get(2) {
+                let k: u8 = k.parse().map_err(|e| format!("bad gossip k: {e}"))?;
+                Ok(Scheme::GossipK { p, k })
+            } else {
+                Ok(Scheme::Gossip { p })
+            }
+        }
+        "counter" => {
+            let c: u32 = parts
+                .get(1)
+                .ok_or("counter needs :C")?
+                .parse()
+                .map_err(|e| format!("bad counter threshold: {e}"))?;
+            Ok(Scheme::Counter { threshold: c, rad: SimDuration::from_millis(10) })
+        }
+        "distance" => {
+            let dbm: f64 = parts
+                .get(1)
+                .ok_or("distance needs :DBM")?
+                .parse()
+                .map_err(|e| format!("bad distance threshold: {e}"))?;
+            Ok(Scheme::Distance { strong_dbm: dbm })
+        }
+        "cnlr" => Ok(Scheme::Cnlr(CnlrConfig::default())),
+        "vap" | "vap-cnlr" => Ok(Scheme::VapCnlr(CnlrConfig::default(), VapConfig::default())),
+        other => Err(format!("unknown scheme '{other}'")),
+    }
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--grid" => o.grid = val("--grid")?.parse().map_err(|e| format!("--grid: {e}"))?,
+            "--pitch" => o.pitch = val("--pitch")?.parse().map_err(|e| format!("--pitch: {e}"))?,
+            "--scheme" => o.scheme = parse_scheme(val("--scheme")?)?,
+            "--flows" => o.flows = val("--flows")?.parse().map_err(|e| format!("--flows: {e}"))?,
+            "--pps" => o.pps = val("--pps")?.parse().map_err(|e| format!("--pps: {e}"))?,
+            "--payload" => {
+                o.payload = val("--payload")?.parse().map_err(|e| format!("--payload: {e}"))?
+            }
+            "--duration" => {
+                o.duration_s = val("--duration")?.parse().map_err(|e| format!("--duration: {e}"))?
+            }
+            "--warmup" => {
+                o.warmup_s = val("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?
+            }
+            "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--clients" => {
+                o.clients = val("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?
+            }
+            "--client-speed" => {
+                o.client_speed =
+                    val("--client-speed")?.parse().map_err(|e| format!("--client-speed: {e}"))?
+            }
+            "--csv" => o.csv = true,
+            "--help" | "-h" => return Err(HELP.to_string()),
+            other => return Err(format!("unknown flag '{other}'\n\n{HELP}")),
+        }
+    }
+    if o.grid < 2 {
+        return Err("--grid must be ≥ 2".into());
+    }
+    if o.warmup_s >= o.duration_s {
+        return Err("--warmup must be below --duration".into());
+    }
+    Ok(o)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut builder = ScenarioBuilder::new()
+        .seed(opts.seed)
+        .grid(opts.grid, opts.grid, opts.pitch)
+        .scheme(opts.scheme.clone())
+        .flows(opts.flows, opts.pps, opts.payload)
+        .duration(SimDuration::from_secs_f64(opts.duration_s))
+        .warmup(SimDuration::from_secs_f64(opts.warmup_s));
+    if opts.clients > 0 {
+        builder = builder.mobile_clients(
+            opts.clients,
+            MobilityConfig::RandomWaypoint {
+                v_min: 1.0,
+                v_max: opts.client_speed.max(1.0),
+                pause_s: 2.0,
+            },
+        );
+    }
+
+    let r = match builder.build() {
+        Ok(sim) => sim.run(),
+        Err(e) => {
+            eprintln!("scenario rejected: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if opts.csv {
+        println!(
+            "scheme,nodes,flows,seed,pdr,mean_delay_ms,p95_delay_ms,goodput_kbps,rreq_per_disc,srb,nrl,jain,collisions,energy_mj_per_pkt"
+        );
+        println!(
+            "{},{},{},{},{:.4},{:.2},{:.2},{:.1},{:.2},{:.3},{:.3},{:.3},{},{:.2}",
+            r.scheme,
+            r.nodes,
+            r.flows,
+            opts.seed,
+            r.pdr(),
+            r.mean_delay_ms(),
+            r.summary.p95_delay_s * 1e3,
+            r.goodput_kbps,
+            r.rreq_tx_per_discovery,
+            r.saved_rebroadcast,
+            r.normalized_routing_load,
+            r.jain_forwarding,
+            r.medium.collisions,
+            r.comm_energy_per_delivered_mj,
+        );
+        return;
+    }
+
+    println!("scheme                  : {}", r.scheme);
+    println!("nodes / flows / seed    : {} / {} / {}", r.nodes, r.flows, opts.seed);
+    println!("sent / delivered        : {} / {}", r.summary.sent, r.summary.delivered);
+    println!("delivery ratio          : {:.4}", r.pdr());
+    println!("mean / p95 delay        : {:.1} / {:.1} ms", r.mean_delay_ms(), r.summary.p95_delay_s * 1e3);
+    println!("goodput                 : {:.1} kb/s", r.goodput_kbps);
+    println!("RREQ tx / discovery     : {:.1}", r.rreq_tx_per_discovery);
+    println!("saved rebroadcasts      : {:.1} %", r.saved_rebroadcast * 100.0);
+    println!("normalized routing load : {:.3}", r.normalized_routing_load);
+    println!("discovery success       : {:.3}", r.discovery_success);
+    println!("Jain fairness / hotspot : {:.3} / {:.1}", r.jain_forwarding, r.hotspot);
+    println!("collisions / noise loss : {} / {}", r.medium.collisions, r.medium.noise_losses);
+    println!("drops (q/nr/bo/df/lf)   : {}/{}/{}/{}/{}",
+        r.drops.queue_full, r.drops.no_route, r.drops.buffer_overflow,
+        r.drops.discovery_failed, r.drops.link_failure);
+    println!("comm energy / delivered : {:.2} mJ", r.comm_energy_per_delivered_mj);
+    println!("events processed        : {}", r.events);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn defaults_when_empty() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o, Options::default());
+    }
+
+    #[test]
+    fn full_parse() {
+        let o = parse_args(&argv(
+            "--grid 6 --pitch 200 --scheme gossip:0.7 --flows 12 --pps 6 \
+             --payload 256 --duration 30 --warmup 5 --seed 9 --clients 4 \
+             --client-speed 15 --csv",
+        ))
+        .unwrap();
+        assert_eq!(o.grid, 6);
+        assert_eq!(o.pitch, 200.0);
+        assert_eq!(o.scheme, Scheme::Gossip { p: 0.7 });
+        assert_eq!(o.flows, 12);
+        assert_eq!(o.payload, 256);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.clients, 4);
+        assert!(o.csv);
+    }
+
+    #[test]
+    fn scheme_parsing() {
+        assert_eq!(parse_scheme("flooding").unwrap(), Scheme::Flooding);
+        assert_eq!(parse_scheme("gossip:0.5").unwrap(), Scheme::Gossip { p: 0.5 });
+        assert_eq!(parse_scheme("gossip:0.5:2").unwrap(), Scheme::GossipK { p: 0.5, k: 2 });
+        assert!(matches!(parse_scheme("counter:4").unwrap(), Scheme::Counter { threshold: 4, .. }));
+        assert!(matches!(parse_scheme("distance:-75").unwrap(), Scheme::Distance { .. }));
+        assert!(parse_scheme("distance").is_err());
+        assert!(matches!(parse_scheme("cnlr").unwrap(), Scheme::Cnlr(_)));
+        assert!(matches!(parse_scheme("vap").unwrap(), Scheme::VapCnlr(..)));
+        assert!(parse_scheme("nope").is_err());
+        assert!(parse_scheme("gossip").is_err());
+        assert!(parse_scheme("gossip:x").is_err());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_args(&argv("--grid")).is_err());
+        assert!(parse_args(&argv("--bogus 1")).is_err());
+        assert!(parse_args(&argv("--grid 1")).is_err());
+        assert!(parse_args(&argv("--duration 5 --warmup 9")).is_err());
+        assert!(parse_args(&argv("--help")).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! `wmn` — the workspace façade crate.
+//!
+//! Re-exports the full CNLR reproduction stack under one roof so that
+//! downstream users (and this repository's own `examples/` and `tests/`)
+//! depend on a single crate:
+//!
+//! * [`cnlr`] — the paper's contribution and the scenario API,
+//! * the substrate crates under their short names
+//!   ([`sim`], [`topology`], [`radio`], [`mac`], [`mobility`], [`routing`],
+//!   [`traffic`], [`metrics`]).
+//!
+//! See `README.md` for the quickstart and `DESIGN.md` for the system
+//! inventory.
+
+pub use cnlr;
+pub use cnlr::{
+    BuildError, CnlrConfig, CnlrPolicy, DropCounters, Event, Medium, MediumEffect, MediumStats,
+    Network, Node, RunResults, ScenarioBuilder, Scheme, Simulation, VapCnlr, VapConfig,
+};
+
+pub use wmn_mac as mac;
+pub use wmn_metrics as metrics;
+pub use wmn_mobility as mobility;
+pub use wmn_radio as radio;
+pub use wmn_routing as routing;
+pub use wmn_sim as sim;
+pub use wmn_topology as topology;
+pub use wmn_traffic as traffic;
+
+/// Evaluation presets (the reconstructed Table 1 and standard scenarios).
+pub mod presets {
+    pub use cnlr::presets::*;
+}
