@@ -6,7 +6,7 @@
 //! `results/`. `QUICK=1` in the environment shrinks seeds/durations for CI.
 
 use cnlr::{RunResults, ScenarioBuilder, Scheme};
-use wmn_metrics::{run_replications, seeds_from, MeanCi, ResultTable};
+use wmn_metrics::{run_jobs, run_replications, seeds_from, MeanCi, ResultTable};
 
 /// Metadata of one reconstructed figure.
 #[derive(Clone, Copy, Debug)]
@@ -50,8 +50,46 @@ where
 /// A named metric extractor.
 pub type Metric<'a> = (&'a str, &'a (dyn Fn(&RunResults) -> f64 + Sync));
 
+/// Decompose a flattened sweep job index into `(x, scheme, seed)` indices.
+/// Seed is the fastest-varying axis so one cell's replications stay
+/// contiguous in the result vector.
+fn job_coords(i: usize, n_schemes: usize, n_seeds: usize) -> (usize, usize, usize) {
+    let (cell, si) = (i / n_seeds, i % n_seeds);
+    (cell / n_schemes, cell % n_schemes, si)
+}
+
+/// Append a JSONL benchmark record to the file named by `$BENCH_JSON`
+/// (no-op when the variable is unset). The bench harness concatenates these
+/// lines into the dated `BENCH_*.json` snapshot at the repo root.
+pub fn record_bench(kind: &str, name: &str, wall_s: f64, jobs: usize) {
+    let Ok(path) = std::env::var("BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(mut f) => {
+            let _ = writeln!(
+                f,
+                "{{\"kind\":\"{kind}\",\"name\":\"{name}\",\"wall_s\":{wall_s:.3},\
+                 \"jobs\":{jobs},\"threads\":{},\"quick\":{}}}",
+                wmn_metrics::default_threads(),
+                quick_mode(),
+            );
+        }
+        Err(e) => eprintln!("warning: could not append to {path}: {e}"),
+    }
+}
+
 /// Sweep a full figure once, extracting several metrics from the same runs:
 /// one [`ResultTable`] per metric, rows = x values, one column per scheme.
+///
+/// The whole sweep is flattened into a single `(x, scheme, seed)` job queue
+/// so the thread pool stays saturated across cell boundaries (replication
+/// counts are small relative to core counts, so a per-cell pool spends most
+/// of its time waiting on the slowest seed). Results come back in job-index
+/// order, which keeps the aggregation — and therefore every table — exactly
+/// as deterministic as the nested-loop version.
 pub fn sweep_figure_multi<F>(
     spec: &FigureSpec,
     metrics: &[Metric<'_>],
@@ -62,6 +100,7 @@ pub fn sweep_figure_multi<F>(
 where
     F: Fn(f64, &Scheme, u64) -> ScenarioBuilder + Sync,
 {
+    let t0 = std::time::Instant::now();
     let mut headers: Vec<String> = vec![spec.x_label.to_string()];
     headers.extend(schemes.iter().map(Scheme::label));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
@@ -73,26 +112,32 @@ where
         .collect();
     let seeds = replication_seeds();
     let threads = wmn_metrics::default_threads();
-    for &x in xs {
+    let n_jobs = xs.len() * schemes.len() * seeds.len();
+    eprintln!("[{}] {} jobs on {} threads", spec.id, n_jobs, threads);
+    let runs = run_jobs(n_jobs, threads, |i| {
+        let (xi, schi, si) = job_coords(i, schemes.len(), seeds.len());
+        let (x, scheme, seed) = (xs[xi], &schemes[schi], seeds[si]);
+        build(x, scheme, seed)
+            .build()
+            .unwrap_or_else(|e| panic!("scenario build failed at x={x}: {e}"))
+            .run()
+    });
+    for (xi, &x) in xs.iter().enumerate() {
         let mut rows: Vec<Vec<String>> =
             metrics.iter().map(|_| vec![format!("{x}")]).collect();
-        for scheme in schemes {
-            let runs = run_replications(&seeds, threads, |seed| {
-                build(x, scheme, seed)
-                    .build()
-                    .unwrap_or_else(|e| panic!("scenario build failed at x={x}: {e}"))
-                    .run()
-            });
+        for schi in 0..schemes.len() {
+            let base = (xi * schemes.len() + schi) * seeds.len();
+            let cell = &runs[base..base + seeds.len()];
             for (mi, (_, metric)) in metrics.iter().enumerate() {
-                let values: Vec<f64> = runs.iter().map(|r| metric(r)).collect();
+                let values: Vec<f64> = cell.iter().map(|r| metric(r)).collect();
                 rows[mi].push(MeanCi::from_samples(&values).display(3));
             }
         }
         for (table, row) in tables.iter_mut().zip(rows) {
             table.add_row(row);
         }
-        eprintln!("[{}] {} = {} done", spec.id, spec.x_label, x);
     }
+    record_bench("sweep", spec.id, t0.elapsed().as_secs_f64(), n_jobs);
     tables
 }
 
@@ -166,5 +211,23 @@ mod tests {
     fn durations_ordered() {
         let (d, w) = sweep_durations();
         assert!(d > w);
+    }
+
+    #[test]
+    fn job_coords_cover_the_sweep_in_order() {
+        // 3 x-values × 2 schemes × 5 seeds: the flattened index must walk
+        // seeds fastest, then schemes, then x — exactly the nested-loop
+        // order the aggregation slices assume.
+        let (nx, nsch, nseed) = (3, 2, 5);
+        let mut expect = Vec::new();
+        for xi in 0..nx {
+            for schi in 0..nsch {
+                for si in 0..nseed {
+                    expect.push((xi, schi, si));
+                }
+            }
+        }
+        let got: Vec<_> = (0..nx * nsch * nseed).map(|i| job_coords(i, nsch, nseed)).collect();
+        assert_eq!(got, expect);
     }
 }

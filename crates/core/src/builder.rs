@@ -85,6 +85,7 @@ pub struct ScenarioBuilder {
     require_connected: bool,
     position_sample: SimDuration,
     event_budget: u64,
+    link_cache: bool,
 }
 
 impl Default for ScenarioBuilder {
@@ -113,6 +114,7 @@ impl ScenarioBuilder {
             require_connected: true,
             position_sample: SimDuration::from_millis(250),
             event_budget: u64::MAX,
+            link_cache: true,
         }
     }
 
@@ -222,6 +224,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Enable/disable the medium's link-budget cache (default enabled).
+    ///
+    /// Runs are bit-identical either way for the same seed — disabling only
+    /// exists so the equivalence tests can prove exactly that.
+    pub fn link_cache(mut self, enabled: bool) -> Self {
+        self.link_cache = enabled;
+        self
+    }
+
     /// Construct the simulation.
     pub fn build(self) -> Result<Simulation, BuildError> {
         let mut scen_rng = SimRng::derive(self.seed, rng_domain::SCENARIO, 0);
@@ -323,7 +334,8 @@ impl ScenarioBuilder {
             total,
             SimRng::derive(self.seed, rng_domain::MEDIUM, 0),
             25.0,
-        );
+        )
+        .with_link_cache(self.link_cache);
         let tracker = FlowTracker::new(SimTime::ZERO + self.warmup);
         let flows: Vec<FlowState> = flow_specs.iter().copied().map(FlowState::new).collect();
         let traffic_rng = SimRng::derive(self.seed, rng_domain::TRAFFIC, 0);

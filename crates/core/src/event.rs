@@ -29,10 +29,9 @@ pub enum Event {
         /// Medium transmission id.
         tx_id: u64,
     },
-    /// A reception window closes at `node`.
+    /// All reception windows for one transmission close (they share a single
+    /// end instant, so one event serves every receiver).
     RxEnd {
-        /// Receiver.
-        node: u32,
         /// Medium transmission id.
         tx_id: u64,
     },
@@ -40,8 +39,10 @@ pub enum Event {
     DelayedBroadcast {
         /// Origin node.
         node: u32,
-        /// The packet to broadcast.
-        packet: Packet,
+        /// The packet to broadcast (boxed: these events are rare, and
+        /// keeping `Event` small keeps every future-event-list operation
+        /// cheap for the hot event kinds).
+        packet: Box<Packet>,
     },
     /// A flow emits its next packet.
     TrafficEmit {

@@ -30,8 +30,10 @@ struct ActiveTx {
     src: u32,
     frame: MacFrame,
     packet: Option<Packet>,
-    /// Receivers whose RxEnd has not fired yet.
-    pending_rx: u32,
+    /// Every radio that sensed the frame, in ascending id order. All their
+    /// reception windows close at the same instant (fixed propagation
+    /// allowance), so one batched RxEnd event serves the whole list.
+    receivers: Vec<u32>,
 }
 
 /// A reception attempt in progress at one radio.
@@ -69,6 +71,48 @@ pub struct MediumStats {
     pub aborted_by_tx: u64,
     /// Signal onsets ignored because the radio was already transmitting.
     pub missed_while_tx: u64,
+    /// Perf counter: deterministic link-budget (pathloss) evaluations.
+    /// On a static topology this stops growing once every transmitter has
+    /// warmed its cache line — the per-tx hot path then performs zero
+    /// `log10` evaluations.
+    pub pathloss_evals: u64,
+    /// Perf counter: transmissions served entirely from the link cache.
+    pub link_cache_hits: u64,
+}
+
+impl MediumStats {
+    /// The physics outcome counters (everything except the perf counters).
+    ///
+    /// Cached and uncached runs of the same seed must agree on these
+    /// exactly; they intentionally differ on `pathloss_evals` /
+    /// `link_cache_hits`.
+    pub fn physics(&self) -> [u64; 7] {
+        [
+            self.tx_started,
+            self.collisions,
+            self.captures,
+            self.noise_losses,
+            self.delivered,
+            self.aborted_by_tx,
+            self.missed_while_tx,
+        ]
+    }
+}
+
+/// Memoized link budgets for one transmitter, valid while the spatial
+/// index's epoch is unchanged.
+#[derive(Clone, Debug)]
+struct CachedLinks {
+    /// Position epoch the entries were computed at (`u64::MAX` = never).
+    epoch: u64,
+    /// Sensible receivers in ascending id order with their rx power, dBm.
+    entries: Vec<(u32, f64)>,
+}
+
+impl CachedLinks {
+    fn empty() -> Self {
+        CachedLinks { epoch: u64::MAX, entries: Vec::new() }
+    }
 }
 
 /// What the network layer must do after a medium call.
@@ -90,10 +134,13 @@ pub enum MediumEffect {
         /// Absolute time.
         at: SimTime,
     },
-    /// Schedule an end-of-reception event at a receiver.
+    /// Schedule the batched end-of-reception event for a transmission.
+    ///
+    /// All receivers of one frame close their reception windows at the same
+    /// instant, so a single event covers every radio that sensed it — this
+    /// keeps the future-event list ~an order of magnitude smaller than a
+    /// per-receiver schedule.
     ScheduleRxEnd {
-        /// Receiver.
-        node: u32,
         /// Transmission id.
         tx_id: u64,
         /// Absolute time.
@@ -133,6 +180,11 @@ pub struct Medium {
     range_slack: f64,
     /// Scratch buffer for neighbour queries.
     scratch: Vec<u32>,
+    /// Per-transmitter link-budget cache, keyed on the spatial epoch.
+    links: Vec<CachedLinks>,
+    /// Whether the link cache is consulted (disable to cross-check
+    /// determinism; results must be bit-identical either way).
+    cache_enabled: bool,
     energy_params: EnergyParams,
     energy: Vec<EnergyMeter>,
 }
@@ -144,7 +196,12 @@ impl Medium {
         Medium {
             phy,
             prop: SimDuration::from_micros(radio_frame::PROPAGATION_US),
-            states: vec![RadioState::default(); n],
+            // Pre-reserve the signal lists: a handful of concurrent signals
+            // per radio is the steady state, and reserving up front keeps
+            // per-tx allocation out of the hot path.
+            states: (0..n)
+                .map(|_| RadioState { signals: Vec::with_capacity(8), ..RadioState::default() })
+                .collect(),
             active: HashMap::new(),
             next_tx_id: 0,
             rng,
@@ -152,9 +209,20 @@ impl Medium {
             interference_range,
             range_slack,
             scratch: Vec::new(),
+            links: vec![CachedLinks::empty(); n],
+            cache_enabled: true,
             energy_params: EnergyParams::default(),
             energy: vec![EnergyMeter::new(SimTime::ZERO); n],
         }
+    }
+
+    /// Enable or disable the link-budget cache (enabled by default).
+    ///
+    /// Disabling recomputes every link budget per transmission — useful only
+    /// to cross-check that cached runs are bit-identical.
+    pub fn with_link_cache(mut self, enabled: bool) -> Self {
+        self.cache_enabled = enabled;
+        self
     }
 
     /// Energy consumed by `node` up to `until`, joules.
@@ -254,23 +322,21 @@ impl Medium {
         let end = now + airtime;
         out.push(MediumEffect::ScheduleTxEnd { node: src, tx_id, at: end });
 
-        // Find every radio that can sense this transmission.
-        let src_pos = positions.position(src as usize);
-        let mut nbrs = std::mem::take(&mut self.scratch);
-        positions.query_radius(
-            src_pos,
-            self.interference_range + self.range_slack,
-            src as usize,
-            &mut nbrs,
-        );
-        let mut pending = 0u32;
-        for &r in nbrs.iter() {
-            let rx_pos = positions.position(r as usize);
-            let rx_dbm = self.rx_power(src_pos, rx_pos, src, r);
-            if !self.phy.is_sensed(rx_dbm) {
-                continue; // too weak to matter
-            }
-            pending += 1;
+        // Find every radio that can sense this transmission. On a static
+        // topology the (receiver, rx power) list is invariant per
+        // transmitter, so it is memoized keyed on the position epoch; any
+        // node movement bumps the epoch and forces recomputation.
+        let epoch = positions.epoch();
+        let hit = self.cache_enabled && self.links[src as usize].epoch == epoch;
+        let mut entries = std::mem::take(&mut self.links[src as usize].entries);
+        if hit {
+            self.stats.link_cache_hits += 1;
+        } else {
+            self.compute_links(src, positions, &mut entries);
+        }
+        let mut receivers = Vec::with_capacity(entries.len());
+        for &(r, rx_dbm) in entries.iter() {
+            receivers.push(r);
             let st = &mut self.states[r as usize];
             st.signals.push((tx_id, rx_dbm));
 
@@ -303,94 +369,106 @@ impl Medium {
                     cur.corrupted = true;
                 }
             }
-            out.push(MediumEffect::ScheduleRxEnd { node: r, tx_id, at: end + self.prop });
             self.update_sense(r, out);
             self.update_energy(r, now);
         }
+        if !receivers.is_empty() {
+            out.push(MediumEffect::ScheduleRxEnd { tx_id, at: end + self.prop });
+        }
+        self.links[src as usize] =
+            CachedLinks { epoch: if self.cache_enabled { epoch } else { u64::MAX }, entries };
+
+        self.active.insert(tx_id, ActiveTx { src, frame, packet, receivers });
+    }
+
+    /// Recompute the sensible-receiver list and link budgets for `src`.
+    fn compute_links(&mut self, src: u32, positions: &SpatialIndex, entries: &mut Vec<(u32, f64)>) {
+        entries.clear();
+        let src_pos = positions.position(src as usize);
+        let mut nbrs = std::mem::take(&mut self.scratch);
+        positions.query_radius(
+            src_pos,
+            self.interference_range + self.range_slack,
+            src as usize,
+            &mut nbrs,
+        );
+        for &r in nbrs.iter() {
+            let rx_pos = positions.position(r as usize);
+            self.stats.pathloss_evals += 1;
+            let rx_dbm = self.rx_power(src_pos, rx_pos, src, r);
+            if self.phy.is_sensed(rx_dbm) {
+                entries.push((r, rx_dbm));
+            }
+            // else: too weak to matter.
+        }
         nbrs.clear();
         self.scratch = nbrs;
-
-        self.active.insert(tx_id, ActiveTx { src, frame, packet, pending_rx: pending });
     }
 
     /// The transmitter's frame has left the air.
     pub fn tx_end(&mut self, tx_id: u64, now: SimTime, out: &mut Vec<MediumEffect>) {
         let tx = self.active.get_mut(&tx_id).expect("tx_end for unknown tx");
         let src = tx.src;
-        let done = tx.pending_rx == 0;
+        let done = tx.receivers.is_empty();
         let st = &mut self.states[src as usize];
         debug_assert_eq!(st.transmitting, Some(tx_id));
         st.transmitting = None;
         out.push(MediumEffect::TxComplete { node: src });
         if done {
+            // Nobody sensed the frame, so no RxEnd event will fire.
             self.active.remove(&tx_id);
         }
         self.update_energy(src, now);
     }
 
-    /// A reception window closed at `node` for `tx_id`.
-    pub fn rx_end(&mut self, node: u32, tx_id: u64, now: SimTime, out: &mut Vec<MediumEffect>) {
-        // Remove the signal.
-        {
+    /// All reception windows for `tx_id` closed (they end at the same
+    /// instant): adjudicate the frame at every radio that sensed it.
+    pub fn rx_end(&mut self, tx_id: u64, now: SimTime, out: &mut Vec<MediumEffect>) {
+        // TxEnd (at `end`) always precedes RxEnd (at `end + prop`, same-time
+        // ties broken by schedule order), so the record can be removed here.
+        let tx = self.active.remove(&tx_id).expect("rx_end for unknown tx");
+        debug_assert_ne!(self.states[tx.src as usize].transmitting, Some(tx_id));
+        let rate = self.rate_for(&tx.frame);
+        let bits = radio_frame::error_model_bits(tx.frame.air_bytes);
+        for &node in &tx.receivers {
             let st = &mut self.states[node as usize];
+            // Remove the signal.
             if let Some(pos) = st.signals.iter().position(|&(id, _)| id == tx_id) {
                 st.signals.swap_remove(pos);
             }
-        }
-
-        // Decide the frame's fate if this radio was locked onto it.
-        let attempt = {
-            let st = &mut self.states[node as usize];
-            match st.receiving {
+            // Decide the frame's fate if this radio was locked onto it.
+            let attempt = match st.receiving {
                 Some(a) if a.tx_id == tx_id => {
                     st.receiving = None;
                     Some(a)
                 }
                 _ => None,
-            }
-        };
-
-        let (frame, packet) = {
-            let tx = self.active.get_mut(&tx_id).expect("rx_end for unknown tx");
-            tx.pending_rx -= 1;
-            (tx.frame, tx.packet.clone())
-        };
-
-        if let Some(a) = attempt {
-            if a.corrupted {
-                self.stats.collisions += 1;
-            } else {
-                let rate = self.rate_for(&frame);
-                let snr = self.phy.sinr(a.power_dbm, 0.0);
-                let per = rate.per(snr, radio_frame::error_model_bits(frame.air_bytes));
-                if self.rng.chance(per) {
-                    self.stats.noise_losses += 1;
+            };
+            if let Some(a) = attempt {
+                if a.corrupted {
+                    self.stats.collisions += 1;
                 } else {
-                    // Every decoded frame is handed to the MAC: the MAC owns
-                    // address filtering so it can honour NAV reservations
-                    // carried by frames addressed to others.
-                    self.stats.delivered += 1;
-                    out.push(MediumEffect::Deliver {
-                        node,
-                        frame,
-                        packet,
-                        rx_dbm: a.power_dbm,
-                    });
+                    let snr = self.phy.sinr(a.power_dbm, 0.0);
+                    let per = rate.per(snr, bits);
+                    if self.rng.chance(per) {
+                        self.stats.noise_losses += 1;
+                    } else {
+                        // Every decoded frame is handed to the MAC: the MAC
+                        // owns address filtering so it can honour NAV
+                        // reservations carried by frames addressed to others.
+                        self.stats.delivered += 1;
+                        out.push(MediumEffect::Deliver {
+                            node,
+                            frame: tx.frame,
+                            packet: tx.packet.clone(),
+                            rx_dbm: a.power_dbm,
+                        });
+                    }
                 }
             }
+            self.update_sense(node, out);
+            self.update_energy(node, now);
         }
-
-        // Clean up the transmission record once everyone is done.
-        let finished = {
-            let tx = self.active.get(&tx_id).expect("tx vanished");
-            tx.pending_rx == 0 && self.states[tx.src as usize].transmitting != Some(tx_id)
-        };
-        if finished {
-            self.active.remove(&tx_id);
-        }
-
-        self.update_sense(node, out);
-        self.update_energy(node, now);
     }
 
     fn rx_power(&self, a_pos: Vec2, b_pos: Vec2, a: u32, b: u32) -> f64 {
@@ -437,9 +515,7 @@ mod tests {
         let mut out = Vec::new();
         for e in effects {
             match *e {
-                MediumEffect::ScheduleRxEnd { node, tx_id, at } => {
-                    m.rx_end(node, tx_id, at, &mut out)
-                }
+                MediumEffect::ScheduleRxEnd { tx_id, at } => m.rx_end(tx_id, at, &mut out),
                 MediumEffect::ScheduleTxEnd { tx_id, at, .. } => m.tx_end(tx_id, at, &mut out),
                 _ => {}
             }
@@ -469,7 +545,7 @@ mod tests {
             })
             .collect();
         assert_eq!(busy, vec![1, 2]);
-        let done = run_rx_ends(&mut m, &fx.clone());
+        let done = run_rx_ends(&mut m, &fx);
         // Only node 1 decodes.
         let delivered: Vec<u32> = done
             .iter()
@@ -501,7 +577,7 @@ mod tests {
         let (mut m, idx) = setup(pos);
         let mut fx = Vec::new();
         m.start_tx(0, ucast_frame(0, 1), None, SimTime::ZERO, &idx, &mut fx);
-        let done = run_rx_ends(&mut m, &fx.clone());
+        let done = run_rx_ends(&mut m, &fx);
         let delivered: Vec<u32> = done
             .iter()
             .filter_map(|e| match e {
@@ -527,7 +603,7 @@ mod tests {
         let mut fx = Vec::new();
         m.start_tx(0, bcast_frame(0), None, SimTime::ZERO, &idx, &mut fx);
         m.start_tx(2, bcast_frame(2), None, SimTime::ZERO, &idx, &mut fx);
-        let done = run_rx_ends(&mut m, &fx.clone());
+        let done = run_rx_ends(&mut m, &fx);
         assert!(
             !done.iter().any(|e| matches!(e, MediumEffect::Deliver { node: 1, .. })),
             "equal-power overlap must collide"
@@ -548,7 +624,7 @@ mod tests {
         let mut fx = Vec::new();
         m.start_tx(0, bcast_frame(0), None, SimTime::ZERO, &idx, &mut fx);
         m.start_tx(2, bcast_frame(2), None, SimTime::ZERO, &idx, &mut fx);
-        let done = run_rx_ends(&mut m, &fx.clone());
+        let done = run_rx_ends(&mut m, &fx);
         let delivered: Vec<(u32, u32)> = done
             .iter()
             .filter_map(|e| match e {
@@ -570,7 +646,7 @@ mod tests {
         m.start_tx(0, bcast_frame(0), None, SimTime::ZERO, &idx, &mut fx);
         // Node 1 also transmits while 0's frame is incoming.
         m.start_tx(1, bcast_frame(1), None, SimTime(1000), &idx, &mut fx);
-        let done = run_rx_ends(&mut m, &fx.clone());
+        let done = run_rx_ends(&mut m, &fx);
         // Node 1 was transmitting when 0's frame arrived... 0's frame
         // arrived first, so node 1 was receiving and its own tx aborted
         // the reception.
@@ -589,7 +665,7 @@ mod tests {
             velocity: (0.0, 0.0),
         });
         m.start_tx(0, bcast_frame(0), Some(pkt.clone()), SimTime::ZERO, &idx, &mut fx);
-        let done = run_rx_ends(&mut m, &fx.clone());
+        let done = run_rx_ends(&mut m, &fx);
         let got = done
             .iter()
             .find_map(|e| match e {
@@ -607,9 +683,103 @@ mod tests {
         let mut fx = Vec::new();
         m.start_tx(0, bcast_frame(0), None, SimTime::ZERO, &idx, &mut fx);
         assert_eq!(m.active.len(), 1);
-        let _ = run_rx_ends(&mut m, &fx.clone());
+        let _ = run_rx_ends(&mut m, &fx);
         assert!(m.active.is_empty(), "transmission record leaked");
         assert!(!m.sensed_busy(1));
+    }
+
+    #[test]
+    fn warm_cache_does_zero_pathloss_evals() {
+        let pos = vec![
+            Vec2::new(100.0, 1000.0),
+            Vec2::new(300.0, 1000.0),
+            Vec2::new(550.0, 1000.0),
+            Vec2::new(1000.0, 1000.0),
+        ];
+        let (mut m, idx) = setup(pos);
+        let mut fx = Vec::new();
+        m.start_tx(0, bcast_frame(0), None, SimTime::ZERO, &idx, &mut fx);
+        let _ = run_rx_ends(&mut m, &fx);
+        let evals_after_warmup = m.stats().pathloss_evals;
+        assert!(evals_after_warmup > 0, "first tx must evaluate the link budget");
+
+        // Every further transmission from node 0 on the static topology is
+        // served from the cache: zero new pathloss (log10) evaluations.
+        for t in 1..=10u64 {
+            let mut fx = Vec::new();
+            m.start_tx(0, bcast_frame(0), None, SimTime(t * 10_000_000), &idx, &mut fx);
+            let _ = run_rx_ends(&mut m, &fx);
+        }
+        assert_eq!(m.stats().pathloss_evals, evals_after_warmup);
+        assert_eq!(m.stats().link_cache_hits, 10);
+    }
+
+    #[test]
+    fn movement_invalidates_link_cache() {
+        let pos = vec![Vec2::new(900.0, 1000.0), Vec2::new(1100.0, 1000.0)];
+        let (mut m, mut idx) = setup(pos);
+        let mut fx = Vec::new();
+        m.start_tx(0, bcast_frame(0), None, SimTime::ZERO, &idx, &mut fx);
+        let _ = run_rx_ends(&mut m, &fx);
+        let warm_evals = m.stats().pathloss_evals;
+
+        // Node 1 moves out of interference range: the epoch bump must force
+        // a recompute (cache miss, no hit counted) and the new entry list
+        // must exclude it. No neighbour remains, so `pathloss_evals` stays
+        // flat — the miss shows up in the hit counter instead.
+        idx.update(1, Vec2::new(1900.0, 1000.0));
+        let mut fx = Vec::new();
+        m.start_tx(0, bcast_frame(0), None, SimTime(20_000_000), &idx, &mut fx);
+        let _ = run_rx_ends(&mut m, &fx);
+        assert_eq!(m.stats().link_cache_hits, 0, "stale cache served after movement");
+        assert!(
+            !fx.iter().any(|e| matches!(e, MediumEffect::Channel { node: 1, .. })),
+            "out-of-range receiver still sensed from stale cache"
+        );
+
+        // Moving back within range forces another recompute that actually
+        // re-evaluates the link budget.
+        idx.update(1, Vec2::new(1200.0, 1000.0));
+        let mut fx = Vec::new();
+        m.start_tx(0, bcast_frame(0), None, SimTime(40_000_000), &idx, &mut fx);
+        assert!(m.stats().pathloss_evals > warm_evals, "no recompute after moving back");
+        assert!(
+            fx.iter().any(|e| matches!(e, MediumEffect::Channel { node: 1, busy: true })),
+            "in-range receiver not sensing after recompute"
+        );
+    }
+
+    #[test]
+    fn cached_and_uncached_medium_agree() {
+        let pos: Vec<Vec2> = (0..6).map(|i| Vec2::new(150.0 + 180.0 * i as f64, 1000.0)).collect();
+        let run = |cache: bool| {
+            let phy = PhyParams::classic_802_11b();
+            let idx = SpatialIndex::new(Region::square(2000.0), 300.0, &pos);
+            let mut m =
+                Medium::new(phy, pos.len(), SimRng::new(7), 25.0).with_link_cache(cache);
+            let mut all = Vec::new();
+            for round in 0..4u64 {
+                for src in 0..pos.len() as u32 {
+                    let mut fx = Vec::new();
+                    let at = SimTime(round * 40_000_000 + src as u64 * 6_000_000);
+                    m.start_tx(src, bcast_frame(src), None, at, &idx, &mut fx);
+                    all.extend(run_rx_ends(&mut m, &fx));
+                }
+            }
+            // Keep the rx power as raw bits: cached and uncached must be
+            // bit-identical, not just approximately equal.
+            let delivered: Vec<(u32, u32, u64)> = all
+                .iter()
+                .filter_map(|e| match e {
+                    MediumEffect::Deliver { node, frame, rx_dbm, .. } => {
+                        Some((*node, frame.src.0, rx_dbm.to_bits()))
+                    }
+                    _ => None,
+                })
+                .collect();
+            (delivered, m.stats().physics())
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::event::Event;
 use crate::medium::{Medium, MediumEffect};
 use crate::node::Node;
 use std::collections::VecDeque;
-use wmn_mac::{DropReason, MacAction, MacAddr, BROADCAST};
+use wmn_mac::{DropReason, MacAction, MacAddr, TimerKind, BROADCAST};
 use wmn_routing::{DataDropReason, DataPacket, NodeId, Packet, RoutingAction};
 use wmn_sim::{Scheduler, SimDuration, SimTime, World};
 use wmn_sim::SimRng;
@@ -69,6 +69,51 @@ pub struct Network {
     traffic_rng: SimRng,
     position_sample: SimDuration,
     work: VecDeque<Work>,
+    /// Reusable action/effect buffers: one short-lived `Vec` per event adds
+    /// up to hundreds of thousands of allocations per run, so each layer's
+    /// output is collected into a recycled buffer instead. A buffer is
+    /// `take`n before the layer call and returned (empty) right after the
+    /// drain, so the call sites never hold two of the same kind at once.
+    scratch_mac: Vec<MacAction>,
+    scratch_routing: Vec<RoutingAction>,
+    scratch_fx: Vec<MediumEffect>,
+    /// One gate per (node, MAC timer kind); see [`TimerGate`].
+    timer_gates: Vec<[TimerGate; 3]>,
+}
+
+/// Heap-traffic gate for MAC timers.
+///
+/// The DCF re-arms its Main timer on every carrier-sense edge and cancels
+/// the previous arming with a generation bump, so under load most scheduled
+/// timer events fire stale and no-op — they exist only to be discarded.
+/// Instead of pushing every re-arm into the future-event list, the gate
+/// keeps the newest request *parked* while an event with an earlier-or-equal
+/// deadline is already in flight, and re-issues it when that event fires.
+/// A parked request that is superseded before the fire is dropped outright:
+/// generations are strictly increasing per kind, so its delivery would have
+/// been a stale no-op anyway. The MAC sees exactly the same live-generation
+/// `on_timer` calls either way.
+#[derive(Clone, Copy, Default)]
+struct TimerGate {
+    /// Scheduled (not yet fired) events for this (node, kind).
+    inflight: u32,
+    /// Deadline of the in-flight event; only valid while `known`.
+    front_at: SimTime,
+    /// True only while exactly one event is in flight and its deadline is
+    /// tracked. With two or more in flight the earliest deadline is no
+    /// longer cheap to know, so the gate stops parking until they drain
+    /// (parking against an unknown deadline could re-issue into the past).
+    known: bool,
+    /// Parked request `(deadline, gen)`, re-issued at the next fire.
+    deferred: Option<(SimTime, u64)>,
+}
+
+fn timer_ix(kind: TimerKind) -> usize {
+    match kind {
+        TimerKind::Main => 0,
+        TimerKind::Ack => 1,
+        TimerKind::Nav => 2,
+    }
 }
 
 impl Network {
@@ -82,6 +127,7 @@ impl Network {
         traffic_rng: SimRng,
         position_sample: SimDuration,
     ) -> Self {
+        let n_nodes = nodes.len();
         Network {
             nodes,
             medium,
@@ -93,6 +139,10 @@ impl Network {
             traffic_rng,
             position_sample,
             work: VecDeque::with_capacity(64),
+            scratch_mac: Vec::with_capacity(8),
+            scratch_routing: Vec::with_capacity(8),
+            scratch_fx: Vec::with_capacity(64),
+            timer_gates: vec![[TimerGate::default(); 3]; n_nodes],
         }
     }
 
@@ -112,24 +162,25 @@ impl Network {
         }
     }
 
-    fn queue_mac(&mut self, node: u32, acts: Vec<MacAction>) {
-        self.work.extend(acts.into_iter().map(|a| Work::Mac(node, a)));
+    fn queue_mac(&mut self, node: u32, acts: &mut Vec<MacAction>) {
+        self.work.extend(acts.drain(..).map(|a| Work::Mac(node, a)));
     }
 
-    fn queue_routing(&mut self, node: u32, acts: Vec<RoutingAction>) {
-        self.work.extend(acts.into_iter().map(|a| Work::Routing(node, a)));
+    fn queue_routing(&mut self, node: u32, acts: &mut Vec<RoutingAction>) {
+        self.work.extend(acts.drain(..).map(|a| Work::Routing(node, a)));
     }
 
-    fn queue_medium(&mut self, effects: Vec<MediumEffect>) {
-        self.work.extend(effects.into_iter().map(Work::Medium));
+    fn queue_medium(&mut self, effects: &mut Vec<MediumEffect>) {
+        self.work.extend(effects.drain(..).map(Work::Medium));
     }
 
     fn submit_to_mac(&mut self, node: u32, packet: Packet, dst: MacAddr, now: SimTime) {
         let n = &mut self.nodes[node as usize];
         let sdu = n.make_sdu(packet, dst);
-        let mut acts = Vec::new();
-        n.mac.enqueue(sdu, now, &mut acts);
-        self.queue_mac(node, acts);
+        let mut acts = std::mem::take(&mut self.scratch_mac);
+        self.nodes[node as usize].mac.enqueue(sdu, now, &mut acts);
+        self.queue_mac(node, &mut acts);
+        self.scratch_mac = acts;
     }
 
     fn apply_mac(&mut self, node: u32, act: MacAction, now: SimTime, sched: &mut Scheduler<Event>) {
@@ -140,9 +191,10 @@ impl Network {
                 } else {
                     None
                 };
-                let mut fx = Vec::new();
+                let mut fx = std::mem::take(&mut self.scratch_fx);
                 self.medium.start_tx(node, frame, payload, now, &self.spatial, &mut fx);
-                self.queue_medium(fx);
+                self.queue_medium(&mut fx);
+                self.scratch_fx = fx;
             }
             MacAction::Deliver(frame) => {
                 // Deliveries are normally intercepted in `apply_medium`; a
@@ -155,18 +207,31 @@ impl Network {
                 if !ok {
                     let cross = self.nodes[node as usize].cross_layer(now);
                     let _ = cross;
-                    let mut racts = Vec::new();
+                    let mut racts = std::mem::take(&mut self.scratch_routing);
                     self.nodes[node as usize].routing.on_link_failure(
                         NodeId(dst.0),
                         payload,
                         now,
                         &mut racts,
                     );
-                    self.queue_routing(node, racts);
+                    self.queue_routing(node, &mut racts);
+                    self.scratch_routing = racts;
                 }
             }
             MacAction::SetTimer { kind, at, gen } => {
-                sched.at(at, Event::MacTimer { node, kind, gen });
+                let g = &mut self.timer_gates[node as usize][timer_ix(kind)];
+                if g.known && at >= g.front_at {
+                    // An event with an earlier-or-equal deadline is already
+                    // in flight: park this request behind it (replacing any
+                    // older, now-stale parked one).
+                    g.deferred = Some((at, gen));
+                } else {
+                    g.deferred = None;
+                    g.inflight += 1;
+                    g.known = g.inflight == 1;
+                    g.front_at = at;
+                    sched.at(at, Event::MacTimer { node, kind, gen });
+                }
             }
             MacAction::Drop { sdu_id, reason } => match reason {
                 DropReason::QueueFull => {
@@ -193,7 +258,7 @@ impl Network {
                 if delay.is_zero() {
                     self.submit_to_mac(node, packet, BROADCAST, now);
                 } else {
-                    sched.after(delay, Event::DelayedBroadcast { node, packet });
+                    sched.after(delay, Event::DelayedBroadcast { node, packet: Box::new(packet) });
                 }
             }
             RoutingAction::Unicast { packet, next_hop } => {
@@ -219,40 +284,44 @@ impl Network {
     fn apply_medium(&mut self, eff: MediumEffect, now: SimTime, sched: &mut Scheduler<Event>) {
         match eff {
             MediumEffect::Channel { node, busy } => {
-                let mut acts = Vec::new();
+                let mut acts = std::mem::take(&mut self.scratch_mac);
                 self.nodes[node as usize].mac.on_channel(busy, now, &mut acts);
-                self.queue_mac(node, acts);
+                self.queue_mac(node, &mut acts);
+                self.scratch_mac = acts;
             }
             MediumEffect::ScheduleTxEnd { node, tx_id, at } => {
                 sched.at(at, Event::TxEnd { node, tx_id });
             }
-            MediumEffect::ScheduleRxEnd { node, tx_id, at } => {
-                sched.at(at, Event::RxEnd { node, tx_id });
+            MediumEffect::ScheduleRxEnd { tx_id, at } => {
+                sched.at(at, Event::RxEnd { tx_id });
             }
             MediumEffect::TxComplete { node } => {
-                let mut acts = Vec::new();
+                let mut acts = std::mem::take(&mut self.scratch_mac);
                 self.nodes[node as usize].mac.on_tx_complete(now, &mut acts);
-                self.queue_mac(node, acts);
+                self.queue_mac(node, &mut acts);
+                self.scratch_mac = acts;
             }
             MediumEffect::Deliver { node, frame, packet, rx_dbm } => {
-                let mut acts = Vec::new();
+                let mut acts = std::mem::take(&mut self.scratch_mac);
                 self.nodes[node as usize].mac.on_rx_frame(frame, now, &mut acts);
-                for a in acts {
+                for a in acts.drain(..) {
                     if let MacAction::Deliver(f) = a {
                         if let Some(pkt) = packet.clone() {
                             let from = NodeId(f.src.0);
                             let mut cross = self.nodes[node as usize].cross_layer(now);
                             cross.last_rx_dbm = Some(rx_dbm);
-                            let mut racts = Vec::new();
+                            let mut racts = std::mem::take(&mut self.scratch_routing);
                             self.nodes[node as usize].routing.on_packet(
                                 pkt, from, &cross, now, &mut racts,
                             );
-                            self.queue_routing(node, racts);
+                            self.queue_routing(node, &mut racts);
+                            self.scratch_routing = racts;
                         }
                     } else {
                         self.work.push_back(Work::Mac(node, a));
                     }
                 }
+                self.scratch_mac = acts;
             }
         }
     }
@@ -269,9 +338,10 @@ impl Network {
             created: now,
         };
         self.tracker.on_sent(spec.id, now);
-        let mut racts = Vec::new();
+        let mut racts = std::mem::take(&mut self.scratch_routing);
         self.nodes[spec.src.index()].routing.send_data(data, now, &mut racts);
-        self.queue_routing(spec.src.0, racts);
+        self.queue_routing(spec.src.0, &mut racts);
+        self.scratch_routing = racts;
         if let Some(t) = next {
             if t <= sched.horizon() {
                 sched.at(t, Event::TrafficEmit { flow_idx });
@@ -293,28 +363,45 @@ impl World for Network {
         let now = sched.now();
         match event {
             Event::MacTimer { node, kind, gen } => {
-                let mut acts = Vec::new();
+                let g = &mut self.timer_gates[node as usize][timer_ix(kind)];
+                debug_assert!(g.inflight > 0, "timer fire with empty gate");
+                g.inflight -= 1;
+                g.known = false;
+                if let Some((at, dgen)) = g.deferred.take() {
+                    // A parked request can only exist behind a single
+                    // in-flight event, so the gate is empty here and the
+                    // re-issue (at `at >= now`) becomes its sole occupant.
+                    g.inflight += 1;
+                    g.known = g.inflight == 1;
+                    g.front_at = at;
+                    sched.at(at, Event::MacTimer { node, kind, gen: dgen });
+                }
+                let mut acts = std::mem::take(&mut self.scratch_mac);
                 self.nodes[node as usize].mac.on_timer(kind, gen, now, &mut acts);
-                self.queue_mac(node, acts);
+                self.queue_mac(node, &mut acts);
+                self.scratch_mac = acts;
             }
             Event::RoutingTimer { node, timer } => {
                 let cross = self.nodes[node as usize].cross_layer(now);
-                let mut racts = Vec::new();
+                let mut racts = std::mem::take(&mut self.scratch_routing);
                 self.nodes[node as usize].routing.on_timer(timer, &cross, now, &mut racts);
-                self.queue_routing(node, racts);
+                self.queue_routing(node, &mut racts);
+                self.scratch_routing = racts;
             }
             Event::TxEnd { node: _, tx_id } => {
-                let mut fx = Vec::new();
+                let mut fx = std::mem::take(&mut self.scratch_fx);
                 self.medium.tx_end(tx_id, now, &mut fx);
-                self.queue_medium(fx);
+                self.queue_medium(&mut fx);
+                self.scratch_fx = fx;
             }
-            Event::RxEnd { node, tx_id } => {
-                let mut fx = Vec::new();
-                self.medium.rx_end(node, tx_id, now, &mut fx);
-                self.queue_medium(fx);
+            Event::RxEnd { tx_id } => {
+                let mut fx = std::mem::take(&mut self.scratch_fx);
+                self.medium.rx_end(tx_id, now, &mut fx);
+                self.queue_medium(&mut fx);
+                self.scratch_fx = fx;
             }
             Event::DelayedBroadcast { node, packet } => {
-                self.submit_to_mac(node, packet, BROADCAST, now);
+                self.submit_to_mac(node, *packet, BROADCAST, now);
             }
             Event::TrafficEmit { flow_idx } => {
                 self.emit_traffic(flow_idx, now, sched);

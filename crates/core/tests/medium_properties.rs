@@ -17,7 +17,7 @@ use wmn_topology::{Region, SpatialIndex, Vec2};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Pending {
     TxEnd { at: u64, tx_id: u64, seq: u64 },
-    RxEnd { at: u64, node: u32, tx_id: u64, seq: u64 },
+    RxEnd { at: u64, tx_id: u64, seq: u64 },
 }
 
 impl Pending {
@@ -102,10 +102,9 @@ fn drive(
                                     seq,
                                 });
                             }
-                            MediumEffect::ScheduleRxEnd { node, tx_id, at } => {
+                            MediumEffect::ScheduleRxEnd { tx_id, at } => {
                                 pending.push(Pending::RxEnd {
                                     at: at.as_nanos() / 1_000,
-                                    node,
                                     tx_id,
                                     seq,
                                 });
@@ -125,8 +124,8 @@ fn drive(
                         Pending::TxEnd { tx_id, at, .. } => {
                             medium.tx_end(tx_id, SimTime::from_micros(at), &mut effects);
                         }
-                        Pending::RxEnd { node, tx_id, at, .. } => {
-                            medium.rx_end(node, tx_id, SimTime::from_micros(at), &mut effects);
+                        Pending::RxEnd { tx_id, at, .. } => {
+                            medium.rx_end(tx_id, SimTime::from_micros(at), &mut effects);
                         }
                     }
                     for e in effects.drain(..) {

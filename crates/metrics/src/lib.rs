@@ -4,7 +4,7 @@
 //! with typed streaming statistics: Welford mean/variance accumulators,
 //! log-scaled latency histograms, Jain's fairness index (CNLR's
 //! load-balance metric), Student-t confidence intervals over replications, a
-//! crossbeam-parallel replication runner, and markdown/CSV result tables.
+//! scoped-thread parallel job pool, and markdown/CSV result tables.
 
 #![warn(missing_docs)]
 
@@ -19,7 +19,7 @@ pub mod welford;
 pub use ci::{t_critical_95, MeanCi};
 pub use fairness::{coefficient_of_variation, hotspot_factor, jain_index};
 pub use histogram::LogHistogram;
-pub use replicate::{default_threads, run_replications, seeds_from};
+pub use replicate::{default_threads, run_jobs, run_replications, seeds_from};
 pub use series::{Bin, TimeSeries};
 pub use table::{fmt_f, ResultTable};
 pub use welford::Welford;

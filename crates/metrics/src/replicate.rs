@@ -1,64 +1,87 @@
-//! Parallel replication — fan seeded runs out across CPU cores.
+//! Parallel job pool — fan seeded runs out across CPU cores.
 //!
 //! Each simulation run is single-threaded and deterministic; statistical
-//! confidence comes from replicating over seeds. Replications are
-//! embarrassingly parallel, so the harness distributes them over a crossbeam
-//! scope. Results are returned **in seed order** regardless of completion
-//! order, keeping downstream aggregation deterministic.
+//! confidence comes from replicating over seeds, and figure sweeps multiply
+//! that by (x value × scheme) cells. Both are embarrassingly parallel, so
+//! the harness flattens whatever it is given into one indexed work queue
+//! executed by a scoped thread pool ([`run_jobs`]). Results are returned
+//! **in job order** regardless of completion order, keeping downstream
+//! aggregation deterministic.
+//!
+//! Workers claim job indices from an atomic counter and ship `(index,
+//! result)` pairs over a channel; the parent thread alone writes the result
+//! slots, so no lock is held per completed run.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc;
+
+/// Run `f(i)` for every `i in 0..jobs`, using up to `threads` worker
+/// threads, and return the outputs in index order.
+///
+/// `f` must be `Sync` (it is shared by reference across workers); per-job
+/// state belongs inside the closure body. Job `i` is always computed from
+/// the same inputs regardless of thread count, so results are identical to
+/// a serial run.
+pub fn run_jobs<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads >= 1);
+    let workers = threads.min(jobs);
+    if workers <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+
+    let mut results: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (next, f) = (&next, &f);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Sole writer of the slots: each index arrives exactly once.
+        for (i, out) in rx {
+            results[i] = Some(out);
+        }
+    });
+    results.into_iter().map(|o| o.expect("missing job result")).collect()
+}
 
 /// Run `f(seed)` for every seed in `seeds`, using up to `threads` worker
 /// threads, and return the outputs in input order.
-///
-/// `f` must be `Sync` (it is shared by reference across workers); per-run
-/// state belongs inside the closure body.
 pub fn run_replications<T, F>(seeds: &[u64], threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    assert!(threads >= 1);
-    let n = seeds.len();
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next: AtomicUsize = AtomicUsize::new(0);
-    let workers = threads.min(n.max(1));
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(seeds[i]);
-                results.lock().expect("poisoned results").insert_at(i, out);
-            });
-        }
-    })
-    .expect("replication worker panicked");
-    results
-        .into_inner()
-        .expect("poisoned results")
-        .into_iter()
-        .map(|o| o.expect("missing replication result"))
-        .collect()
-}
-
-/// Helper trait to keep the hot closure tidy.
-trait InsertAt<T> {
-    fn insert_at(&mut self, i: usize, value: T);
-}
-
-impl<T> InsertAt<T> for Vec<Option<T>> {
-    fn insert_at(&mut self, i: usize, value: T) {
-        self[i] = Some(value);
-    }
+    run_jobs(seeds.len(), threads, |i| f(seeds[i]))
 }
 
 /// A reasonable worker count: physical parallelism minus one (leaving a
 /// core for the coordinating thread), at least 1.
+///
+/// Set the `WMN_THREADS` environment variable (≥ 1) to pin the count —
+/// CI and benchmarks use this for reproducible timings.
 pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("WMN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get().saturating_sub(1).max(1))
         .unwrap_or(1)
@@ -112,6 +135,24 @@ mod tests {
     }
 
     #[test]
+    fn jobs_in_index_order_under_contention() {
+        // Reverse-skewed job durations: late indices finish first, so the
+        // channel delivers out of order and slot writes must reorder.
+        let out = run_jobs(64, 8, |i| {
+            std::thread::sleep(std::time::Duration::from_micros(((64 - i) * 20) as u64));
+            i * 3
+        });
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_serial_matches_parallel() {
+        let serial = run_jobs(100, 1, |i| i as u64 * 7 + 1);
+        let parallel = run_jobs(100, 7, |i| i as u64 * 7 + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn derived_seeds_are_distinct() {
         let seeds = seeds_from(7, 100);
         let mut dedup = seeds.clone();
@@ -126,5 +167,18 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn wmn_threads_env_overrides() {
+        // Serialised with other env-reading tests by running in-process
+        // against a private variable copy.
+        std::env::set_var("WMN_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("WMN_THREADS", "not-a-number");
+        assert!(default_threads() >= 1);
+        std::env::set_var("WMN_THREADS", "0");
+        assert!(default_threads() >= 1);
+        std::env::remove_var("WMN_THREADS");
     }
 }

@@ -68,11 +68,23 @@ impl PhyParams {
         PhyParams::calibrated(PathLoss::default_two_ray(), 250.0, 2.2)
     }
 
+    /// Deterministic link gain between nodes `a` and `b` at distance `d`:
+    /// antenna gains minus path loss minus per-link shadowing, dB.
+    ///
+    /// This is the expensive, *pure* part of the link budget (several
+    /// `log10` evaluations per call) — it depends only on the pair's
+    /// geometry and identity, never on an RNG stream, so callers may cache
+    /// it for as long as positions are unchanged. The stochastic side of
+    /// reception (the per-frame noise/BER draw) is applied separately at
+    /// decode time and is *not* part of this value.
+    pub fn link_gain_db(&self, d: f64, a: u32, b: u32) -> f64 {
+        self.antenna_gain_db - self.path_loss.loss_db_link(d, self.shadow_seed, a, b)
+    }
+
     /// Received power over a link of length `d` between nodes `a` and `b`
     /// (ids only matter when shadowing is enabled), dBm.
     pub fn rx_power_dbm(&self, d: f64, a: u32, b: u32) -> f64 {
-        self.tx_power_dbm + self.antenna_gain_db
-            - self.path_loss.loss_db_link(d, self.shadow_seed, a, b)
+        self.tx_power_dbm + self.link_gain_db(d, a, b)
     }
 
     /// Receiver noise floor (thermal + noise figure), mW.
@@ -172,6 +184,16 @@ mod tests {
         assert!(!p.is_decodable(at_400));
         assert!(p.is_sensed(at_400));
         assert!(!p.is_sensed(at_800));
+    }
+
+    #[test]
+    fn rx_power_is_tx_power_plus_link_gain() {
+        let p = PhyParams::classic_802_11b();
+        for d in [10.0, 120.0, 600.0] {
+            assert_eq!(p.rx_power_dbm(d, 2, 5), p.tx_power_dbm + p.link_gain_db(d, 2, 5));
+        }
+        // Pure/deterministic: repeated evaluation is bit-identical.
+        assert_eq!(p.link_gain_db(333.0, 1, 7), p.link_gain_db(333.0, 1, 7));
     }
 
     #[test]

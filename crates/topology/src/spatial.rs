@@ -19,6 +19,11 @@ pub struct SpatialIndex {
     buckets: Vec<Vec<u32>>,
     /// node id -> (cell, position)
     nodes: Vec<(usize, Vec2)>,
+    /// Position-change counter: bumped by every [`SpatialIndex::update`]
+    /// that actually moves a node. Consumers (the medium's link cache)
+    /// memoize geometry-derived values keyed on this epoch — equal epochs
+    /// guarantee identical positions.
+    epoch: u64,
 }
 
 impl SpatialIndex {
@@ -36,6 +41,7 @@ impl SpatialIndex {
             rows,
             buckets: vec![Vec::new(); cols * rows],
             nodes: Vec::with_capacity(positions.len()),
+            epoch: 0,
         };
         for (id, &p) in positions.iter().enumerate() {
             let c = idx.cell_of(p);
@@ -67,9 +73,20 @@ impl SpatialIndex {
         self.nodes[id].1
     }
 
+    /// The current position epoch. Bumped whenever a node actually moves;
+    /// two queries at the same epoch are guaranteed to see identical
+    /// positions, so geometry-derived caches may key on it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Move node `id` to `p`, updating buckets incrementally.
     pub fn update(&mut self, id: usize, p: Vec2) {
-        let (old_cell, _) = self.nodes[id];
+        let (old_cell, old_p) = self.nodes[id];
+        if p == old_p {
+            return; // No movement: keep the epoch (and dependent caches).
+        }
+        self.epoch += 1;
         let new_cell = self.cell_of(p);
         if new_cell != old_cell {
             let bucket = &mut self.buckets[old_cell];
@@ -191,6 +208,22 @@ mod tests {
         // Query near the clamped corner.
         idx.query_radius(Vec2::new(0.0, 10.0), 25.0, usize::MAX, &mut out);
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn epoch_tracks_actual_movement() {
+        let region = Region::square(100.0);
+        let positions = vec![Vec2::new(5.0, 5.0), Vec2::new(95.0, 95.0)];
+        let mut idx = SpatialIndex::new(region, 10.0, &positions);
+        assert_eq!(idx.epoch(), 0);
+        // A no-op update (same position) must not invalidate caches.
+        idx.update(0, Vec2::new(5.0, 5.0));
+        assert_eq!(idx.epoch(), 0);
+        // Any real movement must, even within the same cell.
+        idx.update(0, Vec2::new(5.5, 5.0));
+        assert_eq!(idx.epoch(), 1);
+        idx.update(1, Vec2::new(20.0, 20.0));
+        assert_eq!(idx.epoch(), 2);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Per-flow delivery bookkeeping.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use wmn_routing::FlowId;
 use wmn_sim::{SimDuration, SimTime};
 
@@ -22,7 +22,10 @@ struct FlowRecord {
 #[derive(Clone, Debug)]
 pub struct FlowTracker {
     warmup_end: SimTime,
-    flows: HashMap<FlowId, FlowRecord>,
+    /// Ordered map: the summary sums floats over all flows, and `HashMap`'s
+    /// per-process hasher would make that sum order (and its last ulp)
+    /// nondeterministic between runs.
+    flows: BTreeMap<FlowId, FlowRecord>,
     delays_s: Vec<f64>,
 }
 
@@ -48,7 +51,7 @@ pub struct TrackerSummary {
 impl FlowTracker {
     /// Track deliveries, ignoring packets created before `warmup_end`.
     pub fn new(warmup_end: SimTime) -> Self {
-        FlowTracker { warmup_end, flows: HashMap::new(), delays_s: Vec::new() }
+        FlowTracker { warmup_end, flows: BTreeMap::new(), delays_s: Vec::new() }
     }
 
     /// Record a packet handed to the routing layer at its source.

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Benchmark snapshot: criterion micro-benches plus one QUICK figure sweep.
+#
+# Writes BENCH_<YYYY-MM-DD>.json at the repo root:
+#   {
+#     "date": "...", "threads": N,
+#     "micro":  [{"kind":"micro","name":"...","ns_per_iter":...}, ...],
+#     "sweeps": [{"kind":"sweep","name":"fig1","wall_s":...,"jobs":...}, ...],
+#     "reference": { ...frozen pre-optimisation numbers... }
+#   }
+#
+# The "reference" block is read from scripts/bench_reference.json (committed,
+# measured on the pre-optimisation tree) so every snapshot carries its own
+# before/after comparison.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_$(date +%F).json"
+TMP_SWEEPS=$(mktemp)
+TMP_MICRO=$(mktemp)
+trap 'rm -f "$TMP_SWEEPS" "$TMP_MICRO"' EXIT
+
+cargo build --release
+
+# Micro benches. The vendored criterion harness prints
+# "bench: <name>  mean <ns> ns/iter  (...)" per benchmark.
+cargo bench -p wmn-bench --bench engine_micro 2>&1 \
+  | tee /dev/stderr \
+  | awk '/^bench: / {
+      printf "{\"kind\":\"micro\",\"name\":\"%s\",\"ns_per_iter\":%s}\n", $2, $4
+    }' > "$TMP_MICRO"
+
+# One full figure in QUICK mode; the sweep harness appends its own JSONL
+# record (wall seconds, job count, thread count) to $BENCH_JSON.
+BENCH_JSON="$TMP_SWEEPS" QUICK=1 ./target/release/fig1_overhead_size >/dev/null
+
+# QUICK output is a reduced sweep, not a figure update: restore the
+# committed full-resolution CSVs if we are in a clean checkout.
+git checkout -- results 2>/dev/null || true
+
+python3 - "$OUT" "$TMP_MICRO" "$TMP_SWEEPS" <<'EOF'
+import datetime, json, os, sys
+
+out, micro_path, sweeps_path = sys.argv[1:4]
+
+def jsonl(path):
+    with open(path) as f:
+        return [json.loads(line) for line in f if line.strip()]
+
+doc = {
+    "date": datetime.date.today().isoformat(),
+    "threads": int(os.environ.get("WMN_THREADS") or os.cpu_count() or 1),
+    "micro": jsonl(micro_path),
+    "sweeps": jsonl(sweeps_path),
+}
+ref_path = os.path.join("scripts", "bench_reference.json")
+if os.path.exists(ref_path):
+    with open(ref_path) as f:
+        doc["reference"] = json.load(f)
+    ref_sweeps = {s["name"]: s["wall_s"] for s in doc["reference"].get("sweeps", [])}
+    for s in doc["sweeps"]:
+        base = ref_sweeps.get(s["name"])
+        if base and s["wall_s"] > 0:
+            s["speedup_vs_reference"] = round(base / s["wall_s"], 2)
+
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+EOF

@@ -1,0 +1,229 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements the subset of criterion's API the workspace's benches use —
+//! `Criterion`, `bench_function`, `benchmark_group`/`sample_size`/`finish`,
+//! `Bencher::iter`/`iter_batched`, `BatchSize` and the
+//! `criterion_group!`/`criterion_main!` macros — as a plain wall-clock
+//! harness.
+//!
+//! Each benchmark is measured over `sample_size` samples; a sample times a
+//! batch of iterations sized so one batch takes ≳5 ms (one iteration for
+//! slow benches). The mean ns/iteration is printed in a stable,
+//! grep-friendly format:
+//!
+//! ```text
+//! bench: <name>  mean <ns> ns/iter  (<samples> samples x <iters> iters)
+//! ```
+//!
+//! When the `BENCH_JSON` environment variable names a file, one JSON object
+//! per benchmark is appended to it (`scripts/bench_baseline.sh` assembles
+//! those records into the `BENCH_<date>.json` perf-trajectory file).
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` inputs are grouped. Only a hint in the real crate;
+/// ignored here beyond API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// (mean ns/iter, samples, iters per sample) of the last run.
+    result: Option<(f64, usize, u64)>,
+}
+
+/// Target wall time for one measured sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(5);
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher { samples, result: None }
+    }
+
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: one untimed warm-up iteration sizes the batches.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed();
+        let iters = if once >= SAMPLE_BUDGET {
+            1
+        } else {
+            (SAMPLE_BUDGET.as_nanos() as u64 / once.as_nanos().max(1) as u64).clamp(1, 10_000_000)
+        };
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            total += t.elapsed();
+        }
+        let mean = total.as_nanos() as f64 / (self.samples as u64 * iters) as f64;
+        self.result = Some((mean, self.samples, iters));
+    }
+
+    /// Measure `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let t0 = Instant::now();
+        black_box(routine(setup()));
+        let once = t0.elapsed(); // Includes setup: a conservative calibration.
+        let iters = if once >= SAMPLE_BUDGET {
+            1
+        } else {
+            (SAMPLE_BUDGET.as_nanos() as u64 / once.as_nanos().max(1) as u64).clamp(1, 1_000_000)
+        };
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            total += t.elapsed();
+        }
+        let mean = total.as_nanos() as f64 / (self.samples as u64 * iters) as f64;
+        self.result = Some((mean, self.samples, iters));
+    }
+}
+
+fn report(name: &str, mean_ns: f64, samples: usize, iters: u64) {
+    println!("bench: {name}  mean {mean_ns:.1} ns/iter  ({samples} samples x {iters} iters)");
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if !path.is_empty() {
+            use std::io::Write;
+            let line = format!(
+                "{{\"kind\":\"criterion\",\"name\":\"{name}\",\"mean_ns\":{mean_ns:.1},\
+                 \"samples\":{samples},\"iters\":{iters}}}\n"
+            );
+            let _ = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(line.as_bytes()));
+        }
+    }
+}
+
+/// The benchmark registry/driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1);
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        let (mean, samples, iters) = b.result.unwrap_or((f64::NAN, 0, 0));
+        report(name, mean, samples, iters);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { prefix: name.to_string(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A named group sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1);
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in this group (reported as `group/name`).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        let (mean, samples, iters) = b.result.unwrap_or((f64::NAN, 0, 0));
+        report(&format!("{}/{}", self.prefix, name), mean, samples, iters);
+        self
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_a_mean() {
+        let mut c = Criterion::default();
+        c.sample_size(3).bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("sum", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

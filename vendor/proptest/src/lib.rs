@@ -1,0 +1,418 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides the subset of proptest's API that the workspace's property tests
+//! actually use: the `proptest!` macro, `prop_assert*` macros, range/tuple/
+//! `any`/`prop::collection::vec` strategies and `ProptestConfig`.
+//!
+//! Semantics: each test runs `ProptestConfig::cases` times with inputs drawn
+//! from a deterministic per-test RNG (seeded from the test's module path and
+//! case index), so failures are reproducible run-to-run. There is no
+//! shrinking — the failing inputs are printed instead.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Test-runner types (mirrors `proptest::test_runner`).
+pub mod test_runner {
+    /// Why a test case failed.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A test-case failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+
+        /// Alias of [`TestCaseError::fail`] kept for API compatibility.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Result type of one property-test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// Per-test configuration (mirrors `proptest::prelude::ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps simulation-heavy suites usable
+        // in constrained CI while still exploring the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// SplitMix64 — the same generator family the simulator uses; good enough
+/// for input generation and fully deterministic.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed a generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)` (n > 0), via 128-bit multiply.
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Derive the RNG for one test case from the test's identity and case index.
+pub fn test_rng(test_path: &str, case: u32) -> TestRng {
+    // FNV-1a over the path, mixed with the case index.
+    let mut h = 0xcbf29ce484222325u64;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    TestRng::new(h ^ ((case as u64) << 32 | 0x5EED))
+}
+
+/// A generator of test inputs (mirrors `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 * span) >> 64;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128 * span) >> 64;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.f64() * (self.end() - self.start())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A0) (A0, A1) (A0, A1, A2) (A0, A1, A2, A3) (A0, A1, A2, A3, A4)
+    (A0, A1, A2, A3, A4, A5)
+}
+
+/// Types with a canonical whole-domain strategy (mirrors
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draw a value from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only — the common expectation in property tests.
+        f64::from_bits(rng.next_u64() % (0x7FF0u64 << 48))
+    }
+}
+
+/// Whole-domain strategy for `T` (mirrors `proptest::prelude::any`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy over the full domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy namespace (mirrors the `proptest::prop` re-export module).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// `Vec` strategy: elements from `element`, length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.len.end - self.len.start).max(1) as u64;
+                let n = self.len.start + rng.below(span) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// The common imports (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Fail the current case unless `cond` holds (early-returns
+/// `Err(TestCaseError)` like the real crate, so it works in helper
+/// functions returning [`test_runner::TestCaseResult`]).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fail the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, …) { body }` becomes
+/// a `#[test]` that runs the body over `cases` deterministic random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n",)+),
+                    $(&$arg),+
+                );
+                let __outcome: $crate::test_runner::TestCaseResult = (move || {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "property failed at case {}/{}: {}\ninputs:\n{}",
+                        __case + 1,
+                        __cfg.cases,
+                        e,
+                        __inputs
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::test_rng("x", 0);
+        let mut b = crate::test_rng("x", 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_rng("x", 1);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_rng("bounds", 0);
+        for _ in 0..1000 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (1.5f64..2.5).generate(&mut rng);
+            assert!((1.5..2.5).contains(&f));
+            let i = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&i));
+            let n = (3usize..=3).generate(&mut rng);
+            assert_eq!(n, 3);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut rng = crate::test_rng("vec", 0);
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u8..4, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 4));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_runs(a in 0u32..100, pair in (0.0f64..1.0, any::<bool>())) {
+            prop_assert!(a < 100);
+            let (f, _b) = pair;
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    fn helper(x: u64) -> TestCaseResult {
+        prop_assert_ne!(x, u64::MAX);
+        Ok(())
+    }
+
+    proptest! {
+        #[test]
+        fn question_mark_works(x in 0u64..10) {
+            helper(x)?;
+            prop_assert_eq!(x.min(9), x);
+        }
+    }
+}
