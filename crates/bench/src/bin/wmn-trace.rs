@@ -1,0 +1,392 @@
+//! `wmn-trace` — query a JSONL telemetry trace.
+//!
+//! ```text
+//! wmn-trace summary [trace.jsonl] [--verify results/fig3_manifest.json]
+//! wmn-trace drops [trace.jsonl] [--by-reason] [--by-node]
+//! wmn-trace timeline [trace.jsonl] --node N [--limit K]
+//! wmn-trace convergence [trace.jsonl] [--bin-s S]
+//! wmn-trace profile [trace.jsonl]
+//! ```
+//!
+//! The trace file defaults to `$WMN_TRACE_PATH`, then `trace.jsonl`.
+//! `summary --verify` cross-checks the trace's event totals against the
+//! counter registry a run manifest recorded; any mismatch is a non-zero
+//! exit (the invariant is exact because instrumentation emits each event
+//! adjacent to its counter increment).
+
+use std::collections::BTreeMap;
+use wmn_telemetry::{
+    counter_for_drop, counter_for_event, parse_object, EventKind, TelemetryEvent,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wmn-trace <summary|drops|timeline|convergence|profile> [trace.jsonl] [options]\n\
+         \n\
+         summary      event totals per kind   [--verify <manifest.json>]\n\
+         drops        discard breakdown       [--by-reason] [--by-node]\n\
+         timeline     one node's event log    --node N [--limit K]\n\
+         convergence  per-bin data counts     [--bin-s S]\n\
+         profile      event-loop probe histograms"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    command: String,
+    path: std::path::PathBuf,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut argv = std::env::args().skip(1);
+        let Some(command) = argv.next() else { usage() };
+        let mut path: Option<std::path::PathBuf> = None;
+        let mut flags = Vec::new();
+        let mut argv = argv.peekable();
+        while let Some(a) = argv.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = match argv.peek() {
+                    Some(v) if !v.starts_with("--") => argv.next(),
+                    _ => None,
+                };
+                flags.push((name.to_string(), value));
+            } else if path.is_none() {
+                path = Some(a.into());
+            } else {
+                usage();
+            }
+        }
+        let path = path
+            .or_else(|| std::env::var("WMN_TRACE_PATH").ok().filter(|p| !p.is_empty()).map(Into::into))
+            .unwrap_or_else(|| "trace.jsonl".into());
+        Args { command, path, flags }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+    }
+}
+
+fn load(path: &std::path::Path) -> Vec<TelemetryEvent> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let mut events = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match TelemetryEvent::from_jsonl(line) {
+            Some(ev) => events.push(ev),
+            None => skipped += 1,
+        }
+    }
+    if skipped > 0 {
+        eprintln!("note: skipped {skipped} unparseable line(s)");
+    }
+    events
+}
+
+fn summary(events: &[TelemetryEvent], args: &Args) {
+    let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut nodes = std::collections::BTreeSet::new();
+    let mut runs = std::collections::BTreeSet::new();
+    let mut t_max = 0u64;
+    for ev in events {
+        *by_kind.entry(ev.kind.name()).or_insert(0) += 1;
+        nodes.insert(ev.node);
+        runs.insert(ev.run);
+        t_max = t_max.max(ev.t_ns);
+    }
+    println!(
+        "{} events | {} runs | {} nodes | span {:.3} s",
+        events.len(),
+        runs.len(),
+        nodes.len(),
+        t_max as f64 / 1e9
+    );
+    println!("\n| kind | count |\n|---|---|");
+    for (kind, count) in &by_kind {
+        println!("| {kind} | {count} |");
+    }
+    if let Some(manifest) = args.value("verify") {
+        verify(events, &by_kind, std::path::Path::new(manifest));
+    }
+}
+
+/// Cross-check event totals against the counter registry in a manifest.
+/// Counters the manifest does not record are treated as 0 (e.g.
+/// `drop_retry_limit`, which by design is never emitted for data).
+fn verify(
+    events: &[TelemetryEvent],
+    by_kind: &BTreeMap<&'static str, u64>,
+    manifest: &std::path::Path,
+) {
+    let text = match std::fs::read_to_string(manifest) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", manifest.display());
+            std::process::exit(1);
+        }
+    };
+    // The manifest writes its counter registry as one flat sub-object on a
+    // single line — extract and parse just that.
+    let counters = text
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("\"counters\": "))
+        .map(|obj| obj.trim_end_matches(','))
+        .and_then(parse_object)
+        .unwrap_or_else(|| {
+            eprintln!("error: no parseable \"counters\" object in {}", manifest.display());
+            std::process::exit(1);
+        });
+    let counter = |name: &str| -> u64 {
+        counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap_or(0)
+    };
+    let mut checked = 0usize;
+    let mut failed = 0usize;
+    let mut check = |counter_name: &str, traced: u64| {
+        let expect = counter(counter_name);
+        checked += 1;
+        if traced != expect {
+            failed += 1;
+            println!("FAIL {counter_name}: trace has {traced}, manifest has {expect}");
+        }
+    };
+    // Seed every counter-mapped kind at 0 so a kind that never reached the
+    // trace still fails against a nonzero manifest counter.
+    let mut by_kind = by_kind.clone();
+    for kind in [
+        "rreq_originate", "rreq_recv", "rreq_duplicate", "rreq_forward", "rreq_suppress",
+        "rrep_generate", "rrep_forward", "rrep_drop", "rerr_send", "hello_send",
+        "data_originate", "data_forward", "data_deliver", "mac_enqueue", "mac_dequeue",
+        "mac_backoff", "phy_tx_start", "phy_rx", "phy_collision", "phy_capture", "phy_noise",
+        "ctrl_drop",
+    ] {
+        by_kind.entry(kind).or_insert(0);
+    }
+    for (kind, count) in &by_kind {
+        if let Some(name) = counter_for_event(kind) {
+            check(name, *count);
+        }
+    }
+    // data_drop maps per reason, not per kind.
+    let mut by_reason: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for ev in events {
+        if let EventKind::DataDrop { reason, .. } = ev.kind {
+            *by_reason.entry(counter_for_drop(reason)).or_insert(0) += 1;
+        }
+    }
+    for r in wmn_telemetry::DropReason::ALL {
+        let name = counter_for_drop(r);
+        if name == "drop_ctrl_queue_full" {
+            continue; // mapped from ctrl_drop above
+        }
+        check(name, by_reason.get(name).copied().unwrap_or(0));
+    }
+    if failed == 0 {
+        println!("\nverify OK: {checked} counters match {}", manifest.display());
+    } else {
+        println!("\nverify FAILED: {failed}/{checked} counters mismatch");
+        std::process::exit(1);
+    }
+}
+
+fn drops(events: &[TelemetryEvent], args: &Args) {
+    let by_reason_only = args.flag("by-reason") && !args.flag("by-node");
+    let by_node_only = args.flag("by-node") && !args.flag("by-reason");
+    let mut by_reason: BTreeMap<String, u64> = BTreeMap::new();
+    let mut by_node: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut data = 0u64;
+    let mut ctrl = 0u64;
+    for ev in events {
+        // Control-frame drops get a `ctrl_` prefix so the table keeps data
+        // and control losses apart even when the underlying reason matches.
+        let reason = match ev.kind {
+            EventKind::DataDrop { reason, .. } => {
+                data += 1;
+                reason.name().to_string()
+            }
+            EventKind::CtrlDrop { reason } => {
+                ctrl += 1;
+                format!("ctrl_{}", reason.name())
+            }
+            _ => continue,
+        };
+        *by_reason.entry(reason).or_insert(0) += 1;
+        *by_node.entry(ev.node).or_insert(0) += 1;
+    }
+    println!("{} drops ({data} data, {ctrl} control)", data + ctrl);
+    if !by_node_only {
+        println!("\n| reason | count |\n|---|---|");
+        for (reason, count) in &by_reason {
+            println!("| {reason} | {count} |");
+        }
+    }
+    if !by_reason_only {
+        println!("\n| node | count |\n|---|---|");
+        for (node, count) in &by_node {
+            println!("| {node} | {count} |");
+        }
+    }
+}
+
+fn timeline(events: &[TelemetryEvent], args: &Args) {
+    let Some(node) = args.value("node").and_then(|v| v.parse::<u32>().ok()) else {
+        eprintln!("timeline requires --node N");
+        std::process::exit(2);
+    };
+    let limit = args
+        .value("limit")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(usize::MAX);
+    let mut printed = 0usize;
+    let total = events.iter().filter(|ev| ev.node == node).count();
+    for ev in events.iter().filter(|ev| ev.node == node) {
+        if printed >= limit {
+            println!("... {} more (raise --limit)", total - printed);
+            break;
+        }
+        println!("{ev}");
+        printed += 1;
+    }
+    if total == 0 {
+        println!("no events for node {node}");
+    }
+}
+
+fn convergence(events: &[TelemetryEvent], args: &Args) {
+    let bin_s = args.value("bin-s").and_then(|v| v.parse::<f64>().ok()).unwrap_or(1.0);
+    if bin_s <= 0.0 {
+        eprintln!("--bin-s must be positive");
+        std::process::exit(2);
+    }
+    let bin_ns = (bin_s * 1e9) as u64;
+    #[derive(Default, Clone)]
+    struct Bin {
+        originated: u64,
+        delivered: u64,
+        dropped: u64,
+        rreq: u64,
+    }
+    let mut bins: Vec<Bin> = Vec::new();
+    let mut first_delivery: BTreeMap<u32, u64> = BTreeMap::new();
+    for ev in events {
+        let counted = matches!(
+            ev.kind,
+            EventKind::DataOriginate { .. }
+                | EventKind::DataDeliver { .. }
+                | EventKind::DataDrop { .. }
+                | EventKind::RreqOriginate { .. }
+                | EventKind::RreqForward { .. }
+        );
+        if !counted {
+            continue;
+        }
+        let i = (ev.t_ns / bin_ns) as usize;
+        if i >= bins.len() {
+            bins.resize(i + 1, Bin::default());
+        }
+        match ev.kind {
+            EventKind::DataOriginate { .. } => bins[i].originated += 1,
+            EventKind::DataDeliver { flow, .. } => {
+                first_delivery.entry(flow).or_insert(ev.t_ns);
+                bins[i].delivered += 1;
+            }
+            EventKind::DataDrop { .. } => bins[i].dropped += 1,
+            EventKind::RreqOriginate { .. } | EventKind::RreqForward { .. } => bins[i].rreq += 1,
+            _ => {}
+        }
+    }
+    println!("| t_s | originated | delivered | dropped | rreq_tx |\n|---|---|---|---|---|");
+    for (i, b) in bins.iter().enumerate() {
+        println!(
+            "| {:.1} | {} | {} | {} | {} |",
+            i as f64 * bin_s,
+            b.originated,
+            b.delivered,
+            b.dropped,
+            b.rreq
+        );
+    }
+    if !first_delivery.is_empty() {
+        println!("\nfirst delivery per flow:");
+        for (flow, t) in &first_delivery {
+            println!("  flow {flow}: {:.3} s", *t as f64 / 1e9);
+        }
+    }
+}
+
+/// Simple fixed-ratio histogram: bucket k covers [lo * 2^k, lo * 2^(k+1)).
+fn histogram(label: &str, unit: &str, values: &[f64]) {
+    if values.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    println!("{label}: {} samples, mean {mean:.1} {unit}, max {max:.1} {unit}", values.len());
+    let lo = values.iter().cloned().filter(|v| *v > 0.0).fold(f64::MAX, f64::min);
+    if !lo.is_finite() || lo == f64::MAX {
+        return;
+    }
+    let mut buckets: BTreeMap<u32, usize> = BTreeMap::new();
+    for v in values {
+        let k = if *v <= lo { 0 } else { (v / lo).log2().floor() as u32 };
+        *buckets.entry(k).or_insert(0) += 1;
+    }
+    let widest = buckets.values().copied().max().unwrap_or(1);
+    for (k, count) in &buckets {
+        let lo_k = lo * f64::powi(2.0, *k as i32);
+        let bar = "#".repeat((count * 40).div_ceil(widest));
+        println!("  [{:>12.1}, {:>12.1}) {:>6} {bar}", lo_k, lo_k * 2.0, count);
+    }
+}
+
+fn profile(events: &[TelemetryEvent]) {
+    let mut rates = Vec::new();
+    let mut heaps = Vec::new();
+    for ev in events {
+        if let EventKind::EngineProbe { rate, heap, .. } = ev.kind {
+            if rate > 0.0 {
+                rates.push(rate);
+            }
+            heaps.push(heap as f64);
+        }
+    }
+    if rates.is_empty() && heaps.is_empty() {
+        println!(
+            "no engine probes in this trace — record with WMN_TELEMETRY=profile"
+        );
+        return;
+    }
+    histogram("events/sec", "ev/s", &rates);
+    println!();
+    histogram("heap depth", "events", &heaps);
+}
+
+fn main() {
+    let args = Args::parse();
+    let events = load(&args.path);
+    match args.command.as_str() {
+        "summary" => summary(&events, &args),
+        "drops" => drops(&events, &args),
+        "timeline" => timeline(&events, &args),
+        "convergence" => convergence(&events, &args),
+        "profile" => profile(&events),
+        _ => usage(),
+    }
+}

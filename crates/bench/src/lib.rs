@@ -7,6 +7,7 @@
 
 use cnlr::{RunResults, ScenarioBuilder, Scheme};
 use wmn_metrics::{run_jobs, run_replications, seeds_from, MeanCi, ResultTable};
+use wmn_telemetry::{git_rev, Counters, RunManifest};
 
 /// Metadata of one reconstructed figure.
 #[derive(Clone, Copy, Debug)]
@@ -137,8 +138,60 @@ where
             table.add_row(row);
         }
     }
-    record_bench("sweep", spec.id, t0.elapsed().as_secs_f64(), n_jobs);
+    let wall_s = t0.elapsed().as_secs_f64();
+    record_bench("sweep", spec.id, wall_s, n_jobs);
+    write_manifest(spec, schemes, &seeds, xs, wall_s, &runs, &[]);
     tables
+}
+
+/// Aggregate the per-run counter registries and attach a provenance
+/// manifest to the figure's `results/` output (`<id>_manifest.json`).
+/// `extra_params` lets a binary record figure-specific knobs on top of the
+/// standard duration/quick/thread set.
+pub fn write_manifest(
+    spec: &FigureSpec,
+    schemes: &[Scheme],
+    seeds: &[u64],
+    xs: &[f64],
+    wall_s: f64,
+    runs: &[RunResults],
+    extra_params: &[(&str, String)],
+) {
+    let mut counters = Counters::new();
+    let mut events = 0u64;
+    for r in runs {
+        for (name, v) in r.counters().iter() {
+            counters.add(name, v);
+        }
+        events += r.events;
+    }
+    let (dur, warm) = sweep_durations();
+    let mut params = vec![
+        ("x_label".to_string(), spec.x_label.to_string()),
+        ("duration_s".to_string(), format!("{}", dur.as_secs_f64())),
+        ("warmup_s".to_string(), format!("{}", warm.as_secs_f64())),
+        ("quick".to_string(), quick_mode().to_string()),
+        ("threads".to_string(), wmn_metrics::default_threads().to_string()),
+        ("replications".to_string(), seeds.len().to_string()),
+        ("runs".to_string(), runs.len().to_string()),
+    ];
+    params.extend(extra_params.iter().map(|(k, v)| (k.to_string(), v.clone())));
+    let manifest = RunManifest {
+        id: spec.id.to_string(),
+        title: spec.title.to_string(),
+        git_rev: git_rev(),
+        schemes: schemes.iter().map(Scheme::label).collect(),
+        seeds: seeds.to_vec(),
+        xs: xs.to_vec(),
+        params,
+        wall_s,
+        events_processed: events,
+        counters,
+    };
+    match manifest.write(std::path::Path::new("results")) {
+        Ok(path) => eprintln!("[{}] wrote {}", spec.id, path.display()),
+        Err(e) => eprintln!("warning: could not write {} manifest: {e}", spec.id),
+    }
 }
 
 /// Single-metric convenience wrapper over [`sweep_figure_multi`].

@@ -28,6 +28,7 @@ use wmn_mobility::MobilityConfig;
 use wmn_radio::PhyParams;
 use wmn_routing::{FlowId, NodeId, RoutingAction, RoutingConfig};
 use wmn_sim::{Engine, SimDuration, SimRng, SimTime};
+use wmn_telemetry::{next_run_id, SharedSink, Tel, TelemetryConfig};
 use wmn_topology::{ConnectivityGraph, Placement, Region, SpatialIndex, Vec2};
 use wmn_traffic::{FlowSpec, FlowState, FlowTracker, TrafficPattern};
 
@@ -54,6 +55,16 @@ impl std::fmt::Display for BuildError {
 }
 
 impl std::error::Error for BuildError {}
+
+/// An explicit sink override — opaque so the builder stays `Debug`.
+#[derive(Clone)]
+struct SinkOverride(SharedSink);
+
+impl std::fmt::Debug for SinkOverride {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SinkOverride(..)")
+    }
+}
 
 /// How flows are chosen.
 #[derive(Clone, Debug)]
@@ -86,6 +97,8 @@ pub struct ScenarioBuilder {
     position_sample: SimDuration,
     event_budget: u64,
     link_cache: bool,
+    telemetry: Option<TelemetryConfig>,
+    telemetry_sink: Option<SinkOverride>,
 }
 
 impl Default for ScenarioBuilder {
@@ -115,6 +128,8 @@ impl ScenarioBuilder {
             position_sample: SimDuration::from_millis(250),
             event_budget: u64::MAX,
             link_cache: true,
+            telemetry: None,
+            telemetry_sink: None,
         }
     }
 
@@ -230,6 +245,21 @@ impl ScenarioBuilder {
     /// exists so the equivalence tests can prove exactly that.
     pub fn link_cache(mut self, enabled: bool) -> Self {
         self.link_cache = enabled;
+        self
+    }
+
+    /// Explicit telemetry configuration. Default: resolved from the
+    /// `WMN_TELEMETRY` family of environment variables at build time.
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
+        self
+    }
+
+    /// Route telemetry events into `sink` instead of the file named by the
+    /// configuration (in-memory sinks for tests and in-process analysis).
+    /// Implies nothing about enablement — the configuration still decides.
+    pub fn telemetry_sink(mut self, sink: SharedSink) -> Self {
+        self.telemetry_sink = Some(SinkOverride(sink));
         self
     }
 
@@ -374,6 +404,23 @@ impl ScenarioBuilder {
             engine.prime(spec.start, Event::TrafficEmit { flow_idx: idx });
         }
 
+        // --- Telemetry --------------------------------------------------
+        // Wired last so the probe event is only ever primed for enabled
+        // runs: a disabled run's event sequence is untouched and therefore
+        // byte-identical to a build without telemetry support.
+        let tel_cfg = self.telemetry.clone().unwrap_or_else(TelemetryConfig::from_env);
+        if tel_cfg.enabled {
+            let sink =
+                self.telemetry_sink.as_ref().map(|s| s.0.clone()).or_else(|| tel_cfg.open_sink());
+            if let Some(sink) = sink {
+                let tel = Tel::new(sink, next_run_id());
+                network.set_telemetry(tel, tel_cfg.probe_interval, tel_cfg.profile);
+                if let Some(tick) = tel_cfg.probe_interval {
+                    engine.prime(SimTime::ZERO + tick, Event::TelemetryProbe);
+                }
+            }
+        }
+
         let scheme_label = self.scheme.label();
         let measured = self.duration.saturating_sub(self.warmup);
         Ok(Simulation { engine, network, scheme_label, measured })
@@ -400,6 +447,7 @@ impl Simulation {
     /// for white-box analysis and the per-flow examples).
     pub fn run_with_network(mut self) -> (RunResults, Network) {
         let report = self.engine.run(&mut self.network);
+        self.network.flush_telemetry();
         let results =
             RunResults::collect(&self.network, &report, self.scheme_label, self.measured);
         (results, self.network)

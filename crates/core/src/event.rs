@@ -56,4 +56,9 @@ pub enum Event {
     },
     /// Periodic spatial-index refresh for mobile nodes.
     PositionSample,
+    /// Periodic telemetry probe: sample every node's cross-layer signals
+    /// (queue occupancy, busy ratio, load estimate, rebroadcast
+    /// probability). Only ever scheduled when telemetry is enabled, so a
+    /// disabled run's event sequence is untouched.
+    TelemetryProbe,
 }

@@ -22,6 +22,7 @@ use wmn_mac::{FrameKind, MacFrame};
 use wmn_radio::{frame as radio_frame, PhyParams, Rate};
 use wmn_routing::Packet;
 use wmn_sim::{SimDuration, SimRng, SimTime};
+use wmn_telemetry::{EventKind, Tel};
 use wmn_topology::{SpatialIndex, Vec2};
 
 /// An in-flight transmission.
@@ -78,6 +79,25 @@ pub struct MediumStats {
     pub pathloss_evals: u64,
     /// Perf counter: transmissions served entirely from the link cache.
     pub link_cache_hits: u64,
+}
+
+impl MediumStats {
+    /// Visit every physics counter as a stable snake_case `(name, value)`
+    /// pair — the export consumed by the unified `wmn_telemetry::Counters`
+    /// registry. The perf counters (`pathloss_evals`, `link_cache_hits`)
+    /// are deliberately excluded: they vary with the cache setting while
+    /// the physics must not, and manifests should agree across both.
+    /// Names are part of the trace/manifest format; do not rename without
+    /// updating `counter_for_event`.
+    pub fn visit(&self, f: &mut dyn FnMut(&'static str, u64)) {
+        f("phy_tx_started", self.tx_started);
+        f("phy_collisions", self.collisions);
+        f("phy_captures", self.captures);
+        f("phy_noise_losses", self.noise_losses);
+        f("phy_delivered", self.delivered);
+        f("phy_aborted_by_tx", self.aborted_by_tx);
+        f("phy_missed_while_tx", self.missed_while_tx);
+    }
 }
 
 impl MediumStats {
@@ -187,6 +207,7 @@ pub struct Medium {
     cache_enabled: bool,
     energy_params: EnergyParams,
     energy: Vec<EnergyMeter>,
+    tel: Tel,
 }
 
 impl Medium {
@@ -213,7 +234,14 @@ impl Medium {
             cache_enabled: true,
             energy_params: EnergyParams::default(),
             energy: vec![EnergyMeter::new(SimTime::ZERO); n],
+            tel: Tel::off(),
         }
+    }
+
+    /// Attach a telemetry handle (disabled by default). The medium emits
+    /// on behalf of many nodes, so events are attributed explicitly.
+    pub fn set_telemetry(&mut self, tel: Tel) {
+        self.tel = tel;
     }
 
     /// Enable or disable the link-budget cache (enabled by default).
@@ -306,6 +334,11 @@ impl Medium {
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
         self.stats.tx_started += 1;
+        self.tel.emit_at(
+            src,
+            now,
+            EventKind::PhyTxStart { tx_id, bytes: frame.air_bytes as u32 },
+        );
 
         // Half duplex: abort any reception in progress at the transmitter.
         {
@@ -352,6 +385,7 @@ impl Medium {
                         if self.phy.captures(rx_dbm, cur.power_dbm) {
                             // The new frame steals the receiver.
                             self.stats.captures += 1;
+                            self.tel.emit_at(r, now, EventKind::PhyCapture { tx_id });
                             st.receiving =
                                 Some(RxAttempt { tx_id, power_dbm: rx_dbm, corrupted: false });
                         } else if !self.phy.captures(cur.power_dbm, rx_dbm) {
@@ -447,16 +481,19 @@ impl Medium {
             if let Some(a) = attempt {
                 if a.corrupted {
                     self.stats.collisions += 1;
+                    self.tel.emit_at(node, now, EventKind::PhyCollision { tx_id });
                 } else {
                     let snr = self.phy.sinr(a.power_dbm, 0.0);
                     let per = rate.per(snr, bits);
                     if self.rng.chance(per) {
                         self.stats.noise_losses += 1;
+                        self.tel.emit_at(node, now, EventKind::PhyNoise { tx_id });
                     } else {
                         // Every decoded frame is handed to the MAC: the MAC
                         // owns address filtering so it can honour NAV
                         // reservations carried by frames addressed to others.
                         self.stats.delivered += 1;
+                        self.tel.emit_at(node, now, EventKind::PhyRx { tx_id });
                         out.push(MediumEffect::Deliver {
                             node,
                             frame: tx.frame,

@@ -12,10 +12,11 @@ use crate::node::Node;
 use std::collections::VecDeque;
 use wmn_mac::{DropReason, MacAction, MacAddr, TimerKind, BROADCAST};
 use wmn_routing::{DataDropReason, DataPacket, NodeId, Packet, RoutingAction};
+use wmn_telemetry::{DropReason as TelDrop, EventKind, Tel};
 use wmn_sim::{Scheduler, SimDuration, SimTime, World};
 use wmn_sim::SimRng;
 use wmn_topology::SpatialIndex;
-use wmn_metrics::TimeSeries;
+use wmn_metrics::{ProbeSeries, TimeSeries};
 use wmn_traffic::{FlowState, FlowTracker};
 
 /// Network-layer data-loss counters by cause.
@@ -31,6 +32,12 @@ pub struct DropCounters {
     pub discovery_failed: u64,
     /// Link-layer retry limit on the path.
     pub link_failure: u64,
+    /// Packet expired in the origin buffer (RREQ TTL exhausted). Was
+    /// previously folded into `discovery_failed`.
+    pub expired: u64,
+    /// Control packets (RREQ/RREP/RERR/HELLO) rejected by a full interface
+    /// queue. Not part of [`DropCounters::total`], which counts data only.
+    pub ctrl_queue_full: u64,
 }
 
 impl DropCounters {
@@ -41,6 +48,21 @@ impl DropCounters {
             + self.buffer_overflow
             + self.discovery_failed
             + self.link_failure
+            + self.expired
+    }
+
+    /// Visit every counter as a stable snake_case `(name, value)` pair —
+    /// the export consumed by the unified `wmn_telemetry::Counters`
+    /// registry. Names are part of the trace/manifest format; they match
+    /// `counter_for_drop` on the corresponding `DropReason`.
+    pub fn visit(&self, f: &mut dyn FnMut(&'static str, u64)) {
+        f("drop_queue_full", self.queue_full);
+        f("drop_no_route", self.no_route);
+        f("drop_buffer_overflow", self.buffer_overflow);
+        f("drop_discovery_failed", self.discovery_failed);
+        f("drop_link_failure", self.link_failure);
+        f("drop_expired", self.expired);
+        f("drop_ctrl_queue_full", self.ctrl_queue_full);
     }
 }
 
@@ -66,6 +88,16 @@ pub struct Network {
     pub drops: DropCounters,
     /// Per-second delivery events (for convergence/transient views).
     pub delivery_timeline: TimeSeries,
+    /// Periodic cross-layer probe feed (empty unless telemetry probes ran).
+    pub probes: ProbeSeries,
+    /// Events dispatched to this world (mirrors the engine's count; the
+    /// world sees every dispatched event exactly once).
+    pub events_handled: u64,
+    tel: Tel,
+    probe_interval: Option<SimDuration>,
+    profile: bool,
+    /// Wall-clock anchor of the previous engine probe: `(instant, events)`.
+    probe_anchor: Option<(std::time::Instant, u64)>,
     traffic_rng: SimRng,
     position_sample: SimDuration,
     work: VecDeque<Work>,
@@ -136,6 +168,12 @@ impl Network {
             flows,
             drops: DropCounters::default(),
             delivery_timeline: TimeSeries::new(SimDuration::from_secs(1)),
+            probes: ProbeSeries::new(SimDuration::from_secs(1)),
+            events_handled: 0,
+            tel: Tel::off(),
+            probe_interval: None,
+            profile: false,
+            probe_anchor: None,
             traffic_rng,
             position_sample,
             work: VecDeque::with_capacity(64),
@@ -149,6 +187,93 @@ impl Network {
     /// True if any node can move.
     pub fn any_mobile(&self) -> bool {
         self.nodes.iter().any(|n| n.mobility.is_mobile())
+    }
+
+    /// Wire a telemetry handle through every layer: the medium, each
+    /// node's MAC and routing engine (re-homed to its node id), and the
+    /// network-level emitters. `probe_interval` enables the periodic
+    /// cross-layer probe (the builder primes the first tick); `profile`
+    /// additionally samples the event loop itself.
+    pub fn set_telemetry(
+        &mut self,
+        tel: Tel,
+        probe_interval: Option<SimDuration>,
+        profile: bool,
+    ) {
+        self.medium.set_telemetry(tel.clone());
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let t = tel.for_node(i as u32);
+            node.mac.set_telemetry(t.clone());
+            node.routing.set_telemetry(t);
+        }
+        if let Some(tick) = probe_interval {
+            self.probes = ProbeSeries::new(tick);
+        }
+        self.tel = tel;
+        self.probe_interval = probe_interval;
+        self.profile = profile;
+    }
+
+    /// Whether probe ticks should be scheduled (telemetry on + interval).
+    pub fn probes_enabled(&self) -> bool {
+        self.tel.on() && self.probe_interval.is_some()
+    }
+
+    /// Flush the telemetry sink (end of run).
+    pub fn flush_telemetry(&self) {
+        self.tel.flush();
+    }
+
+    /// Run one telemetry probe tick: sample every node's cross-layer
+    /// signals, then (under `profile`) the event loop itself.
+    fn telemetry_probe(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        for i in 0..self.nodes.len() {
+            let cross = self.nodes[i].cross_layer(now);
+            let rp = self.nodes[i].routing.probe(&cross, now);
+            self.probes.record(
+                now,
+                cross.own_load.queue_util,
+                cross.own_load.busy_ratio,
+                rp.load,
+                rp.forward_probability,
+            );
+            self.tel.emit_at(
+                i as u32,
+                now,
+                EventKind::NodeProbe {
+                    queue: cross.own_load.queue_util,
+                    busy: cross.own_load.busy_ratio,
+                    load: rp.load,
+                    fwd_p: rp.forward_probability,
+                },
+            );
+        }
+        if self.profile {
+            let wall = std::time::Instant::now();
+            let rate = match self.probe_anchor {
+                Some((t0, e0)) => {
+                    let dt = wall.duration_since(t0).as_secs_f64();
+                    if dt > 0.0 { (self.events_handled - e0) as f64 / dt } else { 0.0 }
+                }
+                None => 0.0,
+            };
+            self.probe_anchor = Some((wall, self.events_handled));
+            self.tel.emit_at(
+                0,
+                now,
+                EventKind::EngineProbe {
+                    events: self.events_handled,
+                    rate,
+                    heap: sched.pending() as u64,
+                },
+            );
+        }
+        if let Some(tick) = self.probe_interval {
+            let next = now + tick;
+            if next <= sched.horizon() {
+                sched.at(next, Event::TelemetryProbe);
+            }
+        }
     }
 
     fn drain(&mut self, sched: &mut Scheduler<Event>) {
@@ -235,12 +360,35 @@ impl Network {
             }
             MacAction::Drop { sdu_id, reason } => match reason {
                 DropReason::QueueFull => {
-                    if let Some(Packet::Data(_)) = self.nodes[node as usize].take_payload(sdu_id) {
-                        self.drops.queue_full += 1;
+                    match self.nodes[node as usize].take_payload(sdu_id) {
+                        Some(Packet::Data(data)) => {
+                            self.drops.queue_full += 1;
+                            self.tel.emit_at(
+                                node,
+                                now,
+                                EventKind::DataDrop {
+                                    reason: TelDrop::QueueFull,
+                                    flow: data.flow.0,
+                                    seq: data.seq,
+                                },
+                            );
+                        }
+                        // Control packets rejected by a full interface
+                        // queue were previously discarded uncounted.
+                        Some(_) => {
+                            self.drops.ctrl_queue_full += 1;
+                            self.tel.emit_at(
+                                node,
+                                now,
+                                EventKind::CtrlDrop { reason: TelDrop::QueueFull },
+                            );
+                        }
+                        None => {}
                     }
                 }
                 // Retry-limit drops are followed by TxOutcome{ok: false},
-                // which owns the payload hand-off to routing.
+                // which owns the payload hand-off to routing (the packet's
+                // terminal fate — salvage or LinkFailure — is decided there).
                 DropReason::RetryLimit => {}
             },
         }
@@ -265,19 +413,47 @@ impl Network {
                 self.submit_to_mac(node, packet, MacAddr(next_hop.0), now);
             }
             RoutingAction::Deliver(data) => {
+                self.tel.emit_at(
+                    node,
+                    now,
+                    EventKind::DataDeliver { flow: data.flow.0, seq: data.seq },
+                );
                 self.tracker.on_delivered(data.flow, data.created, now, data.payload);
                 self.delivery_timeline.mark(now);
             }
             RoutingAction::SetTimer { timer, at } => {
                 sched.at(at, Event::RoutingTimer { node, timer });
             }
-            RoutingAction::DataDropped { packet: _, reason } => match reason {
-                DataDropReason::NoRoute => self.drops.no_route += 1,
-                DataDropReason::BufferOverflow => self.drops.buffer_overflow += 1,
-                DataDropReason::DiscoveryFailed => self.drops.discovery_failed += 1,
-                DataDropReason::LinkFailure => self.drops.link_failure += 1,
-                DataDropReason::Expired => self.drops.discovery_failed += 1,
-            },
+            RoutingAction::DataDropped { packet, reason } => {
+                let why = match reason {
+                    DataDropReason::NoRoute => {
+                        self.drops.no_route += 1;
+                        TelDrop::NoRoute
+                    }
+                    DataDropReason::BufferOverflow => {
+                        self.drops.buffer_overflow += 1;
+                        TelDrop::BufferOverflow
+                    }
+                    DataDropReason::DiscoveryFailed => {
+                        self.drops.discovery_failed += 1;
+                        TelDrop::DiscoveryFailed
+                    }
+                    DataDropReason::LinkFailure => {
+                        self.drops.link_failure += 1;
+                        TelDrop::LinkFailure
+                    }
+                    // Was previously folded into `discovery_failed`.
+                    DataDropReason::Expired => {
+                        self.drops.expired += 1;
+                        TelDrop::Expired
+                    }
+                };
+                self.tel.emit_at(
+                    node,
+                    now,
+                    EventKind::DataDrop { reason: why, flow: packet.flow.0, seq: packet.seq },
+                );
+            }
         }
     }
 
@@ -338,6 +514,8 @@ impl Network {
             created: now,
         };
         self.tracker.on_sent(spec.id, now);
+        self.tel
+            .emit_at(spec.src.0, now, EventKind::DataOriginate { flow: spec.id.0, seq });
         let mut racts = std::mem::take(&mut self.scratch_routing);
         self.nodes[spec.src.index()].routing.send_data(data, now, &mut racts);
         self.queue_routing(spec.src.0, &mut racts);
@@ -361,6 +539,7 @@ impl World for Network {
 
     fn handle(&mut self, event: Event, sched: &mut Scheduler<Event>) {
         let now = sched.now();
+        self.events_handled += 1;
         match event {
             Event::MacTimer { node, kind, gen } => {
                 let g = &mut self.timer_gates[node as usize][timer_ix(kind)];
@@ -425,6 +604,9 @@ impl World for Network {
                 if next <= sched.horizon() {
                     sched.at(next, Event::PositionSample);
                 }
+            }
+            Event::TelemetryProbe => {
+                self.telemetry_probe(now, sched);
             }
         }
         self.drain(sched);

@@ -137,6 +137,14 @@ impl RebroadcastPolicy for CnlrPolicy {
         hop_count as f64 + self.config.beta_load * path_load
     }
 
+    fn forward_probability(&self, ctx: &RreqContext) -> f64 {
+        self.config.probability(ctx)
+    }
+
+    fn load_estimate(&self, ctx: &RreqContext) -> f64 {
+        self.config.neighbourhood_load(ctx)
+    }
+
     fn name(&self) -> &'static str {
         "cnlr"
     }
@@ -207,6 +215,14 @@ impl RebroadcastPolicy for VapCnlr {
 
     fn route_cost(&self, hop_count: u8, path_load: f64) -> f64 {
         hop_count as f64 + self.base.beta_load * path_load
+    }
+
+    fn forward_probability(&self, ctx: &RreqContext) -> f64 {
+        (self.base.probability(ctx) * self.stability(ctx)).max(self.vap.p_floor)
+    }
+
+    fn load_estimate(&self, ctx: &RreqContext) -> f64 {
+        self.base.neighbourhood_load(ctx)
     }
 
     fn name(&self) -> &'static str {

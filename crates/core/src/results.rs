@@ -6,6 +6,7 @@ use wmn_mac::MacStats;
 use wmn_metrics::{hotspot_factor, jain_index};
 use wmn_routing::RoutingStats;
 use wmn_sim::{RunReport, SimDuration};
+use wmn_telemetry::Counters;
 use wmn_traffic::TrackerSummary;
 
 /// Everything a single simulation run produces, aggregated network-wide.
@@ -81,20 +82,7 @@ impl RunResults {
         let mut max_queue_peak = 0usize;
         for node in &network.nodes {
             routing.accumulate(node.routing.stats());
-            let m = node.mac.stats();
-            mac.data_tx_attempts += m.data_tx_attempts;
-            mac.broadcast_tx += m.broadcast_tx;
-            mac.acks_sent += m.acks_sent;
-            mac.acks_skipped += m.acks_skipped;
-            mac.rts_sent += m.rts_sent;
-            mac.cts_sent += m.cts_sent;
-            mac.cts_timeouts += m.cts_timeouts;
-            mac.nav_updates += m.nav_updates;
-            mac.retries += m.retries;
-            mac.drops_retry += m.drops_retry;
-            mac.drops_queue_full += m.drops_queue_full;
-            mac.delivered += m.delivered;
-            mac.duplicates_suppressed += m.duplicates_suppressed;
+            mac.accumulate(node.mac.stats());
             per_node_forwarded.push(node.routing.stats().data_forwarded as f64);
             max_queue_peak = max_queue_peak.max(node.mac.queue().peak());
         }
@@ -150,6 +138,19 @@ impl RunResults {
             energy_max_node_j: energy_max,
             summary,
         }
+    }
+
+    /// The unified counter registry: every routing, MAC, PHY and drop
+    /// counter under its stable snake_case name. This is the single source
+    /// of truth read by `tab2_summary`, run manifests and `wmn-trace
+    /// summary --verify`.
+    pub fn counters(&self) -> Counters {
+        let mut c = Counters::new();
+        self.routing.visit(&mut |name, v| c.add(name, v));
+        self.mac.visit(&mut |name, v| c.add(name, v));
+        self.medium.visit(&mut |name, v| c.add(name, v));
+        self.drops.visit(&mut |name, v| c.add(name, v));
+        c
     }
 
     /// Packet delivery ratio shortcut.

@@ -18,6 +18,7 @@ use crate::load::{LoadDigest, LoadMonitor};
 use crate::params::MacParams;
 use crate::queue::IfQueue;
 use wmn_sim::{SimDuration, SimRng, SimTime};
+use wmn_telemetry::{EventKind, Tel};
 
 /// Which logical timer fired (each carries a generation for cancellation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,6 +105,57 @@ pub struct MacStats {
     pub duplicates_suppressed: u64,
     /// NAV reservations honoured from overheard frames.
     pub nav_updates: u64,
+    /// SDUs accepted into the interface queue.
+    pub enqueued: u64,
+    /// SDUs taken off the interface queue for service.
+    pub dequeued: u64,
+    /// Contention backoffs armed (fresh draws, not freeze/resume).
+    pub backoffs: u64,
+}
+
+impl MacStats {
+    /// Visit every counter as a stable snake_case `(name, value)` pair —
+    /// the export consumed by the unified `wmn_telemetry::Counters`
+    /// registry. Names are part of the trace/manifest format; do not
+    /// rename without updating `counter_for_event`.
+    pub fn visit(&self, f: &mut dyn FnMut(&'static str, u64)) {
+        f("mac_data_tx_attempts", self.data_tx_attempts);
+        f("mac_broadcast_tx", self.broadcast_tx);
+        f("mac_acks_sent", self.acks_sent);
+        f("mac_acks_skipped", self.acks_skipped);
+        f("mac_rts_sent", self.rts_sent);
+        f("mac_cts_sent", self.cts_sent);
+        f("mac_cts_timeouts", self.cts_timeouts);
+        f("mac_retries", self.retries);
+        f("mac_drops_retry", self.drops_retry);
+        f("mac_drops_queue_full", self.drops_queue_full);
+        f("mac_delivered", self.delivered);
+        f("mac_duplicates_suppressed", self.duplicates_suppressed);
+        f("mac_nav_updates", self.nav_updates);
+        f("mac_enqueued", self.enqueued);
+        f("mac_dequeued", self.dequeued);
+        f("mac_backoffs", self.backoffs);
+    }
+
+    /// Element-wise accumulation (for network-wide totals).
+    pub fn accumulate(&mut self, other: &MacStats) {
+        self.data_tx_attempts += other.data_tx_attempts;
+        self.broadcast_tx += other.broadcast_tx;
+        self.acks_sent += other.acks_sent;
+        self.acks_skipped += other.acks_skipped;
+        self.rts_sent += other.rts_sent;
+        self.cts_sent += other.cts_sent;
+        self.cts_timeouts += other.cts_timeouts;
+        self.retries += other.retries;
+        self.drops_retry += other.drops_retry;
+        self.drops_queue_full += other.drops_queue_full;
+        self.delivered += other.delivered;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+        self.nav_updates += other.nav_updates;
+        self.enqueued += other.enqueued;
+        self.dequeued += other.dequeued;
+        self.backoffs += other.backoffs;
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -173,6 +225,7 @@ pub struct Mac {
     nav_gen: u64,
     load: LoadMonitor,
     stats: MacStats,
+    tel: Tel,
     /// Ring of recently delivered (src, sdu_id) pairs for dedup.
     recent_rx: [(MacAddr, u64); DEDUP_RING],
     recent_rx_next: usize,
@@ -203,6 +256,7 @@ impl Mac {
             nav_gen: 0,
             load: LoadMonitor::new(SimDuration::from_millis(100)),
             stats: MacStats::default(),
+            tel: Tel::off(),
             recent_rx: [(BROADCAST, u64::MAX); DEDUP_RING],
             recent_rx_next: 0,
         }
@@ -211,6 +265,11 @@ impl Mac {
     /// This node's address.
     pub fn addr(&self) -> MacAddr {
         self.addr
+    }
+
+    /// Attach a telemetry handle (disabled by default).
+    pub fn set_telemetry(&mut self, tel: Tel) {
+        self.tel = tel;
     }
 
     /// Lifetime counters.
@@ -270,6 +329,8 @@ impl Mac {
             out.push(MacAction::Drop { sdu_id: sdu.id, reason: DropReason::QueueFull });
             return;
         }
+        self.stats.enqueued += 1;
+        self.tel.emit(now, EventKind::MacEnqueue { depth: self.queue.len() as u32 });
         self.service(now, out);
     }
 
@@ -474,6 +535,8 @@ impl Mac {
     fn service(&mut self, now: SimTime, out: &mut Vec<MacAction>) {
         if self.head.is_none() && self.state == CoreState::Idle {
             if let Some(sdu) = self.queue.pop() {
+                self.stats.dequeued += 1;
+                self.tel.emit(now, EventKind::MacDequeue { depth: self.queue.len() as u32 });
                 self.head =
                     Some(Head { sdu, attempts: 0, cw: self.params.cw_min, since: now });
                 self.begin_contention(now, out);
@@ -485,6 +548,8 @@ impl Mac {
         let cw = self.head.expect("contention without head").cw;
         self.state = CoreState::Contend;
         self.remaining_slots = self.rng.below(cw as u64 + 1) as u32;
+        self.stats.backoffs += 1;
+        self.tel.emit(now, EventKind::MacBackoff { slots: self.remaining_slots });
         self.countdown_from = None;
         // Invalidate any stray Main timer from the previous state before
         // (possibly) arming a fresh one.
@@ -530,7 +595,9 @@ impl Mac {
         self.countdown_from = None;
         let head = self.head.as_mut().expect("tx without head");
         head.attempts += 1;
+        let attempts = head.attempts;
         let sdu = head.sdu;
+        self.tel.emit(now, EventKind::MacTxAttempt { retry: attempts - 1 });
         let air_bytes = sdu.bytes + self.params.data_overhead_bytes;
         let use_rts = !sdu.dst.is_broadcast()
             && self.params.rts_threshold.is_some_and(|t| air_bytes > t);

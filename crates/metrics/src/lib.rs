@@ -20,6 +20,6 @@ pub use ci::{t_critical_95, MeanCi};
 pub use fairness::{coefficient_of_variation, hotspot_factor, jain_index};
 pub use histogram::LogHistogram;
 pub use replicate::{default_threads, run_jobs, run_replications, seeds_from};
-pub use series::{Bin, TimeSeries};
+pub use series::{Bin, ProbeSeries, TimeSeries};
 pub use table::{fmt_f, ResultTable};
 pub use welford::Welford;

@@ -99,12 +99,64 @@ impl TimeSeries {
     }
 }
 
+/// The periodic cross-layer probe feed: one [`TimeSeries`] per sampled
+/// signal, all sharing the probe tick as bin width. Each probe records one
+/// sample per node, so a bin's mean is the network-wide mean for that tick.
+#[derive(Clone, Debug)]
+pub struct ProbeSeries {
+    /// Interface-queue utilisation `[0, 1]`.
+    pub queue: TimeSeries,
+    /// Channel busy ratio `[0, 1]`.
+    pub busy: TimeSeries,
+    /// Neighbourhood load estimate `[0, 1]` (0 for load-blind schemes).
+    pub load: TimeSeries,
+    /// Rebroadcast probability the policy would apply.
+    pub fwd_p: TimeSeries,
+}
+
+impl ProbeSeries {
+    /// Create the feed with the probe tick as bin width.
+    pub fn new(tick: SimDuration) -> Self {
+        ProbeSeries {
+            queue: TimeSeries::new(tick),
+            busy: TimeSeries::new(tick),
+            load: TimeSeries::new(tick),
+            fwd_p: TimeSeries::new(tick),
+        }
+    }
+
+    /// Record one node's sample at `t`.
+    pub fn record(&mut self, t: SimTime, queue: f64, busy: f64, load: f64, fwd_p: f64) {
+        self.queue.record(t, queue);
+        self.busy.record(t, busy);
+        self.load.record(t, load);
+        self.fwd_p.record(t, fwd_p);
+    }
+
+    /// True when no probe ever fired.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn t(ms: u64) -> SimTime {
         SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn probe_series_bins_by_tick() {
+        let mut p = ProbeSeries::new(SimDuration::from_secs(1));
+        assert!(p.is_empty());
+        p.record(t(100), 0.5, 0.25, 0.1, 0.9);
+        p.record(t(200), 0.7, 0.75, 0.3, 0.7);
+        assert!((p.queue.bins()[0].mean() - 0.6).abs() < 1e-12);
+        assert!((p.busy.bins()[0].mean() - 0.5).abs() < 1e-12);
+        assert!((p.load.bins()[0].mean() - 0.2).abs() < 1e-12);
+        assert!((p.fwd_p.bins()[0].mean() - 0.8).abs() < 1e-12);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::table::{RouteTable, UpdateOutcome};
 use std::collections::{HashMap, VecDeque};
 use wmn_mac::LoadDigest;
 use wmn_sim::{SimDuration, SimRng, SimTime};
+use wmn_telemetry::{EventKind, Tel};
 
 /// Cross-layer inputs supplied by the node stack on every call.
 #[derive(Clone, Copy, Debug, Default)]
@@ -129,6 +130,20 @@ pub struct Routing {
     answered: HashMap<RreqKey, f64>,
     discovery_gen: u64,
     stats: RoutingStats,
+    tel: Tel,
+}
+
+/// A diagnostic snapshot of the cross-layer signals driving the
+/// rebroadcast decision at one node (the periodic probe payload).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RouteProbe {
+    /// Live 1-hop neighbour count.
+    pub neighbor_count: usize,
+    /// The policy's neighbourhood-load estimate `[0, 1]` (0 when the
+    /// scheme is load-blind).
+    pub load: f64,
+    /// The rebroadcast probability the policy would apply right now.
+    pub forward_probability: f64,
 }
 
 impl Routing {
@@ -157,6 +172,24 @@ impl Routing {
             answered: HashMap::new(),
             discovery_gen: 0,
             stats: RoutingStats::default(),
+            tel: Tel::off(),
+        }
+    }
+
+    /// Attach a telemetry handle (disabled by default; call once after
+    /// construction when event collection is on).
+    pub fn set_telemetry(&mut self, tel: Tel) {
+        self.tel = tel;
+    }
+
+    /// Sample the cross-layer signals as the policy sees them right now
+    /// (the periodic probe; does not touch policy or RNG state).
+    pub fn probe(&mut self, cross: &CrossLayer, now: SimTime) -> RouteProbe {
+        let ctx = self.rreq_context(self.me, 0, cross, now);
+        RouteProbe {
+            neighbor_count: ctx.neighbor_count,
+            load: self.policy.load_estimate(&ctx),
+            forward_probability: self.policy.forward_probability(&ctx),
         }
     }
 
@@ -269,6 +302,7 @@ impl Routing {
         self.seen.record(rreq.key, now);
         self.seen.resolve(rreq.key);
         self.stats.rreq_originated += 1;
+        self.tel.emit(now, EventKind::RreqOriginate { id: self.rreq_id, target: target.0 });
         out.push(RoutingAction::Broadcast { packet: Packet::Rreq(rreq), delay: SimDuration::ZERO });
     }
 
@@ -325,6 +359,7 @@ impl Routing {
             return; // own discovery echoed back
         }
         self.stats.rreq_received += 1;
+        self.tel.emit(now, EventKind::RreqRecv { origin: rreq.key.origin.0, id: rreq.key.id });
         self.neighbors.heard_any(from, now);
 
         let prior = self.seen.record(rreq.key, now);
@@ -364,6 +399,10 @@ impl Routing {
                     path_load: 0.0,
                 };
                 self.stats.rrep_generated += 1;
+                self.tel.emit(
+                    now,
+                    EventKind::RrepGenerate { origin: rrep.origin.0, target: rrep.target.0 },
+                );
                 out.push(RoutingAction::Unicast { packet: Packet::Rrep(rrep), next_hop: from });
             }
             return;
@@ -371,6 +410,8 @@ impl Routing {
 
         if prior > 0 {
             self.stats.rreq_duplicates += 1;
+            self.tel
+                .emit(now, EventKind::RreqDuplicate { origin: rreq.key.origin.0, id: rreq.key.id });
             return;
         }
 
@@ -389,6 +430,10 @@ impl Routing {
                         path_load: e.cost,
                     };
                     self.stats.rrep_generated += 1;
+                    self.tel.emit(
+                        now,
+                        EventKind::RrepGenerate { origin: rrep.origin.0, target: rrep.target.0 },
+                    );
                     self.seen.resolve(rreq.key);
                     out.push(RoutingAction::Unicast {
                         packet: Packet::Rrep(rrep),
@@ -402,6 +447,8 @@ impl Routing {
         if rreq.ttl <= 1 {
             self.seen.resolve(rreq.key);
             self.stats.rreq_suppressed += 1;
+            self.tel
+                .emit(now, EventKind::RreqSuppress { origin: rreq.key.origin.0, id: rreq.key.id });
             return;
         }
 
@@ -411,11 +458,17 @@ impl Routing {
                 self.seen.resolve(rreq.key);
                 let fwd = self.prepare_forward(rreq, &ctx);
                 self.stats.rreq_forwarded += 1;
+                self.tel
+                    .emit(now, EventKind::RreqForward { origin: fwd.key.origin.0, id: fwd.key.id });
                 out.push(RoutingAction::Broadcast { packet: Packet::Rreq(fwd), delay: jitter });
             }
             Decision::Discard => {
                 self.seen.resolve(rreq.key);
                 self.stats.rreq_suppressed += 1;
+                self.tel.emit(
+                    now,
+                    EventKind::RreqSuppress { origin: rreq.key.origin.0, id: rreq.key.id },
+                );
             }
             Decision::Defer { delay } => {
                 self.deferred.insert(rreq.key, rreq);
@@ -489,9 +542,13 @@ impl Routing {
             // Cross-layer accumulation on the forward path as well.
             fwd.path_load += cross.own_load.index(1.0, 1.0);
             self.stats.rrep_forwarded += 1;
+            self.tel
+                .emit(now, EventKind::RrepForward { origin: fwd.origin.0, target: fwd.target.0 });
             out.push(RoutingAction::Unicast { packet: Packet::Rrep(fwd), next_hop });
         } else {
             self.stats.rrep_dropped += 1;
+            self.tel
+                .emit(now, EventKind::RrepDrop { origin: rrep.origin.0, target: rrep.target.0 });
         }
     }
 
@@ -505,6 +562,7 @@ impl Routing {
         }
         if !propagate.is_empty() {
             self.stats.rerr_sent += 1;
+            self.tel.emit(now, EventKind::RerrSend { count: propagate.len() as u32 });
             out.push(RoutingAction::Broadcast {
                 packet: Packet::Rerr(Rerr { unreachable: propagate }),
                 delay: SimDuration::ZERO,
@@ -526,11 +584,13 @@ impl Routing {
             self.table.refresh(data.dst, self.config.route_lifetime, now);
             self.table.refresh(data.src, self.config.route_lifetime, now);
             self.stats.data_forwarded += 1;
+            self.tel.emit(now, EventKind::DataForward { flow: data.flow.0, seq: data.seq });
             out.push(RoutingAction::Unicast { packet: Packet::Data(data), next_hop });
         } else {
             self.stats.data_dropped_no_route += 1;
             let seq = self.table.any_entry(data.dst).map_or(0, |e| e.seq);
             self.stats.rerr_sent += 1;
+            self.tel.emit(now, EventKind::RerrSend { count: 1 });
             out.push(RoutingAction::DataDropped { packet: data, reason: DataDropReason::NoRoute });
             out.push(RoutingAction::Broadcast {
                 packet: Packet::Rerr(Rerr { unreachable: vec![(data.dst, seq)] }),
@@ -555,22 +615,34 @@ impl Routing {
         let broken = self.table.break_link(next_hop);
         if !broken.is_empty() {
             self.stats.rerr_sent += 1;
+            self.tel.emit(now, EventKind::RerrSend { count: broken.len() as u32 });
             out.push(RoutingAction::Broadcast {
                 packet: Packet::Rerr(Rerr { unreachable: broken }),
                 delay: SimDuration::ZERO,
             });
         }
-        if let Some(Packet::Data(data)) = packet {
-            if data.src == self.me {
-                // Salvage by re-discovering.
-                self.buffer_and_discover(data, now, out);
-            } else {
-                self.stats.data_dropped_link += 1;
-                out.push(RoutingAction::DataDropped {
-                    packet: data,
-                    reason: DataDropReason::LinkFailure,
-                });
+        match packet {
+            Some(Packet::Data(data)) => {
+                if data.src == self.me {
+                    // Salvage by re-discovering.
+                    self.buffer_and_discover(data, now, out);
+                } else {
+                    self.stats.data_dropped_link += 1;
+                    out.push(RoutingAction::DataDropped {
+                        packet: data,
+                        reason: DataDropReason::LinkFailure,
+                    });
+                }
             }
+            // A unicast RREP that exhausted its MAC retries is a lost
+            // route answer; count it with the other RREP losses (this was
+            // previously a silent drop).
+            Some(Packet::Rrep(rrep)) => {
+                self.stats.rrep_dropped += 1;
+                self.tel
+                    .emit(now, EventKind::RrepDrop { origin: rrep.origin.0, target: rrep.target.0 });
+            }
+            _ => {}
         }
     }
 
@@ -602,18 +674,27 @@ impl Routing {
                         let ctx = self.rreq_context(key.origin, copies, cross, now);
                         let fwd = self.prepare_forward(rreq, &ctx);
                         self.stats.rreq_forwarded += 1;
+                        self.tel.emit(
+                            now,
+                            EventKind::RreqForward { origin: key.origin.0, id: key.id },
+                        );
                         out.push(RoutingAction::Broadcast {
                             packet: Packet::Rreq(fwd),
                             delay: SimDuration::ZERO,
                         });
                     } else {
                         self.stats.rreq_suppressed += 1;
+                        self.tel.emit(
+                            now,
+                            EventKind::RreqSuppress { origin: key.origin.0, id: key.id },
+                        );
                     }
                 }
             }
             RoutingTimer::Hello => {
                 self.hello_seq = self.hello_seq.wrapping_add(1);
                 self.stats.hello_sent += 1;
+                self.tel.emit(now, EventKind::HelloSend { seq: self.hello_seq });
                 let hello = Hello {
                     seq: self.hello_seq,
                     load: cross.own_load,
@@ -638,6 +719,7 @@ impl Routing {
                 }
                 if !all_broken.is_empty() {
                     self.stats.rerr_sent += 1;
+                    self.tel.emit(now, EventKind::RerrSend { count: all_broken.len() as u32 });
                     out.push(RoutingAction::Broadcast {
                         packet: Packet::Rerr(Rerr { unreachable: all_broken }),
                         delay: SimDuration::ZERO,
@@ -672,6 +754,15 @@ impl Routing {
                 if let Some(e) = self.table.valid_route(data.dst, now) {
                     let next_hop = e.next_hop;
                     out.push(RoutingAction::Unicast { packet: Packet::Data(data), next_hop });
+                } else {
+                    // Defensive: the buffer is keyed by `target == dst`, so
+                    // this branch should be unreachable — but a buffered
+                    // packet must never vanish without a counted drop.
+                    self.stats.data_dropped_discovery += 1;
+                    out.push(RoutingAction::DataDropped {
+                        packet: data,
+                        reason: DataDropReason::DiscoveryFailed,
+                    });
                 }
             }
             return;

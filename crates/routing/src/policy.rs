@@ -80,6 +80,21 @@ pub trait RebroadcastPolicy: Send {
         hop_count as f64
     }
 
+    /// The rebroadcast probability this policy would apply in `ctx` — a
+    /// side-effect-free diagnostic mirror of `on_first_copy` for the
+    /// telemetry probes (deterministic-forward schemes report 1.0).
+    fn forward_probability(&self, ctx: &RreqContext) -> f64 {
+        let _ = ctx;
+        1.0
+    }
+
+    /// The neighbourhood-load estimate this policy derives from `ctx`
+    /// (0 for load-blind schemes; CNLR reports its blended index).
+    fn load_estimate(&self, ctx: &RreqContext) -> f64 {
+        let _ = ctx;
+        0.0
+    }
+
     /// Short scheme name for reports.
     fn name(&self) -> &'static str;
 }
@@ -145,6 +160,10 @@ impl RebroadcastPolicy for Gossip {
         }
     }
 
+    fn forward_probability(&self, _ctx: &RreqContext) -> f64 {
+        self.p
+    }
+
     fn name(&self) -> &'static str {
         "gossip"
     }
@@ -175,6 +194,11 @@ impl RebroadcastPolicy for GossipK {
         } else {
             Decision::Discard
         }
+    }
+
+    fn forward_probability(&self, _ctx: &RreqContext) -> f64 {
+        // Beyond the certainty radius (the steady-state regime).
+        self.p
     }
 
     fn name(&self) -> &'static str {

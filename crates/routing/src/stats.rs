@@ -57,6 +57,33 @@ impl RoutingStats {
             + self.hello_sent
     }
 
+    /// Visit every counter as a stable snake_case `(name, value)` pair —
+    /// the export consumed by the unified `wmn_telemetry::Counters`
+    /// registry. Names are part of the trace/manifest format; do not
+    /// rename without updating `counter_for_event`.
+    pub fn visit(&self, f: &mut dyn FnMut(&'static str, u64)) {
+        f("rreq_originated", self.rreq_originated);
+        f("rreq_forwarded", self.rreq_forwarded);
+        f("rreq_received", self.rreq_received);
+        f("rreq_suppressed", self.rreq_suppressed);
+        f("rreq_duplicates", self.rreq_duplicates);
+        f("rrep_generated", self.rrep_generated);
+        f("rrep_forwarded", self.rrep_forwarded);
+        f("rrep_dropped", self.rrep_dropped);
+        f("rerr_sent", self.rerr_sent);
+        f("hello_sent", self.hello_sent);
+        f("data_forwarded", self.data_forwarded);
+        f("data_delivered", self.data_delivered);
+        f("data_originated", self.data_originated);
+        f("data_dropped_no_route", self.data_dropped_no_route);
+        f("data_dropped_discovery", self.data_dropped_discovery);
+        f("data_dropped_buffer", self.data_dropped_buffer);
+        f("data_dropped_link", self.data_dropped_link);
+        f("discoveries_started", self.discoveries_started);
+        f("discoveries_succeeded", self.discoveries_succeeded);
+        f("discoveries_failed", self.discoveries_failed);
+    }
+
     /// Element-wise accumulation (for network-wide totals).
     pub fn accumulate(&mut self, other: &RoutingStats) {
         self.rreq_originated += other.rreq_originated;
@@ -98,6 +125,28 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.control_tx(), 37);
+    }
+
+    #[test]
+    fn visit_covers_every_field() {
+        // `visit` must export each of the 20 counters exactly once, with
+        // distinct names, and the values must match the struct fields.
+        let mut s = RoutingStats::default();
+        let mut names = Vec::new();
+        s.visit(&mut |n, _| names.push(n));
+        assert_eq!(names.len(), 20);
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate counter names");
+        s.rreq_forwarded = 3;
+        s.discoveries_failed = 9;
+        let mut seen = std::collections::HashMap::new();
+        s.visit(&mut |n, v| {
+            seen.insert(n, v);
+        });
+        assert_eq!(seen["rreq_forwarded"], 3);
+        assert_eq!(seen["discoveries_failed"], 9);
     }
 
     #[test]

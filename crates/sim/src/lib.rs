@@ -2,8 +2,9 @@
 //!
 //! This crate is the substrate every other layer of the CNLR reproduction
 //! stands on: an integer-nanosecond virtual clock, a future-event list with
-//! stable tie-breaking, a self-contained xoshiro256++ RNG with derivable
-//! independent streams, and a bounded trace facility.
+//! stable tie-breaking, and a self-contained xoshiro256++ RNG with
+//! derivable independent streams. (Tracing lives in `wmn-telemetry`, which
+//! replaced this crate's original bounded string-ring tracer.)
 //!
 //! # Design notes
 //!
@@ -45,10 +46,8 @@ pub mod engine;
 pub mod queue;
 pub mod rng;
 pub mod time;
-pub mod trace;
 
 pub use engine::{Engine, RunReport, Scheduler, StopReason, World};
 pub use queue::EventQueue;
 pub use rng::{SimRng, SplitMix64};
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceLevel, TraceRecord, Tracer};

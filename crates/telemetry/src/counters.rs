@@ -1,0 +1,172 @@
+//! The unified counter registry.
+//!
+//! Every per-layer counter struct (`RoutingStats`, `MacStats`,
+//! `MediumStats`, the network drop counters) exports its fields into one
+//! flat registry with stable snake_case names — the single source of truth
+//! read by `tab2_summary`, the run manifest, and the `wmn-trace` verifier.
+
+use crate::json::escape_json;
+
+/// An ordered name → value registry. Insertion order is preserved so
+/// reports are stable; re-adding a name sums into the existing entry
+/// (network-wide aggregation over nodes).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Counters {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl Counters {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Add `value` under `name` (summing with any existing entry).
+    pub fn add(&mut self, name: &'static str, value: u64) {
+        match self.entries.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += value,
+            None => self.entries.push((name, value)),
+        }
+    }
+
+    /// The value under `name` (0 when absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries.iter().find(|(n, _)| *n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// True when `name` is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| *n == name)
+    }
+
+    /// Iterate `(name, value)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of all entries whose name starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.entries.iter().filter(|(n, _)| n.starts_with(prefix)).map(|(_, v)| v).sum()
+    }
+
+    /// Render as a flat JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", escape_json(name), value));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// The registry counter a trace-event kind mirrors, if any.
+///
+/// Instrumentation emits these kinds exactly adjacent to the corresponding
+/// counter increment, so for a complete trace
+/// `count(kind) == counters.get(counter_for_event(kind))` — the invariant
+/// `wmn-trace summary --verify` and the conservation test check. Kinds
+/// without an entry (queue/backoff micro-events, probes) are diagnostic
+/// only.
+pub fn counter_for_event(kind_name: &str) -> Option<&'static str> {
+    Some(match kind_name {
+        "rreq_originate" => "rreq_originated",
+        "rreq_recv" => "rreq_received",
+        "rreq_duplicate" => "rreq_duplicates",
+        "rreq_forward" => "rreq_forwarded",
+        "rreq_suppress" => "rreq_suppressed",
+        "rrep_generate" => "rrep_generated",
+        "rrep_forward" => "rrep_forwarded",
+        "rrep_drop" => "rrep_dropped",
+        "rerr_send" => "rerr_sent",
+        "hello_send" => "hello_sent",
+        "data_originate" => "data_originated",
+        "data_forward" => "data_forwarded",
+        "data_deliver" => "data_delivered",
+        "mac_enqueue" => "mac_enqueued",
+        "mac_dequeue" => "mac_dequeued",
+        "mac_backoff" => "mac_backoffs",
+        "phy_tx_start" => "phy_tx_started",
+        "phy_rx" => "phy_delivered",
+        "phy_collision" => "phy_collisions",
+        "phy_capture" => "phy_captures",
+        "phy_noise" => "phy_noise_losses",
+        "ctrl_drop" => "drop_ctrl_queue_full",
+        _ => return None,
+    })
+}
+
+/// The registry counter for a `data_drop` event with `reason`.
+pub fn counter_for_drop(reason: crate::DropReason) -> &'static str {
+    use crate::DropReason::*;
+    match reason {
+        NoRoute => "drop_no_route",
+        DiscoveryFailed => "drop_discovery_failed",
+        BufferOverflow => "drop_buffer_overflow",
+        LinkFailure => "drop_link_failure",
+        Expired => "drop_expired",
+        QueueFull => "drop_queue_full",
+        RetryLimit => "drop_retry_limit",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sums_and_preserves_order() {
+        let mut c = Counters::new();
+        c.add("b", 2);
+        c.add("a", 1);
+        c.add("b", 3);
+        assert_eq!(c.get("b"), 5);
+        assert_eq!(c.get("a"), 1);
+        assert_eq!(c.get("missing"), 0);
+        let names: Vec<_> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["b", "a"]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn prefix_sum_and_json() {
+        let mut c = Counters::new();
+        c.add("drop_no_route", 4);
+        c.add("drop_queue_full", 6);
+        c.add("rreq_originated", 1);
+        assert_eq!(c.sum_prefix("drop_"), 10);
+        assert_eq!(
+            c.to_json(),
+            "{\"drop_no_route\":4,\"drop_queue_full\":6,\"rreq_originated\":1}"
+        );
+    }
+
+    #[test]
+    fn event_mapping_is_consistent() {
+        // Every mapped kind must be a real kind name (spot-check a few) and
+        // probes must stay unmapped.
+        assert_eq!(counter_for_event("rreq_forward"), Some("rreq_forwarded"));
+        assert_eq!(counter_for_event("phy_rx"), Some("phy_delivered"));
+        assert_eq!(counter_for_event("node_probe"), None);
+        assert_eq!(counter_for_event("engine_probe"), None);
+        assert_eq!(counter_for_event("mac_tx_attempt"), None);
+        assert_eq!(counter_for_event("data_drop"), None, "data_drop maps per reason");
+        for r in crate::DropReason::ALL {
+            assert!(counter_for_drop(r).starts_with("drop_"));
+        }
+    }
+}

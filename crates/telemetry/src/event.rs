@@ -1,0 +1,541 @@
+//! The typed cross-layer event vocabulary and its JSONL wire form.
+//!
+//! Every event is one flat JSON object per line:
+//!
+//! ```json
+//! {"t":1500000000,"run":0,"node":7,"kind":"rreq_forward","origin":3,"id":2}
+//! ```
+//!
+//! `kind` names are stable snake_case identifiers; where an event mirrors a
+//! counter in the [`crate::Counters`] registry the mapping is recorded in
+//! [`crate::counter_for_event`], which is what lets `wmn-trace summary`
+//! cross-check a trace against a run manifest exactly.
+
+use crate::json::{get, parse_object, JsonValue};
+use std::fmt;
+
+/// Why a packet was discarded — the single namespace every layer's drops
+/// map into (exactly one `DropReason` per discarded packet).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DropReason {
+    /// Routing: no route at an intermediate hop.
+    NoRoute,
+    /// Routing: route discovery failed after all retries.
+    DiscoveryFailed,
+    /// Routing: discovery buffer overflowed at the origin.
+    BufferOverflow,
+    /// Routing: link-layer retry limit mid-path.
+    LinkFailure,
+    /// Routing: packet expired in the origin buffer.
+    Expired,
+    /// MAC: interface queue overflow.
+    QueueFull,
+    /// MAC: retry limit (control payloads that have no routing fallback).
+    RetryLimit,
+}
+
+impl DropReason {
+    /// All reasons, in stable reporting order.
+    pub const ALL: [DropReason; 7] = [
+        DropReason::NoRoute,
+        DropReason::DiscoveryFailed,
+        DropReason::BufferOverflow,
+        DropReason::LinkFailure,
+        DropReason::Expired,
+        DropReason::QueueFull,
+        DropReason::RetryLimit,
+    ];
+
+    /// Stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::NoRoute => "no_route",
+            DropReason::DiscoveryFailed => "discovery_failed",
+            DropReason::BufferOverflow => "buffer_overflow",
+            DropReason::LinkFailure => "link_failure",
+            DropReason::Expired => "expired",
+            DropReason::QueueFull => "queue_full",
+            DropReason::RetryLimit => "retry_limit",
+        }
+    }
+
+    /// Inverse of [`DropReason::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        DropReason::ALL.iter().copied().find(|r| r.name() == s)
+    }
+}
+
+/// What happened (the per-kind payload of a [`TelemetryEvent`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// A route discovery RREQ left its origin.
+    RreqOriginate {
+        /// Per-origin discovery id.
+        id: u32,
+        /// Discovery target.
+        target: u32,
+    },
+    /// An RREQ copy arrived (first or duplicate).
+    RreqRecv {
+        /// Discovery origin.
+        origin: u32,
+        /// Discovery id.
+        id: u32,
+    },
+    /// A duplicate RREQ copy was ignored.
+    RreqDuplicate {
+        /// Discovery origin.
+        origin: u32,
+        /// Discovery id.
+        id: u32,
+    },
+    /// A first-copy RREQ was rebroadcast.
+    RreqForward {
+        /// Discovery origin.
+        origin: u32,
+        /// Discovery id.
+        id: u32,
+    },
+    /// A first-copy RREQ was suppressed (policy or TTL).
+    RreqSuppress {
+        /// Discovery origin.
+        origin: u32,
+        /// Discovery id.
+        id: u32,
+    },
+    /// An RREP was generated (by the target or an intermediate).
+    RrepGenerate {
+        /// Discovery origin the RREP travels to.
+        origin: u32,
+        /// Route target it describes.
+        target: u32,
+    },
+    /// An RREP was forwarded along the reverse path.
+    RrepForward {
+        /// Discovery origin.
+        origin: u32,
+        /// Route target.
+        target: u32,
+    },
+    /// An RREP was dropped (no reverse route / link failure).
+    RrepDrop {
+        /// Discovery origin.
+        origin: u32,
+        /// Route target.
+        target: u32,
+    },
+    /// A RERR broadcast left this node.
+    RerrSend {
+        /// Number of unreachable destinations listed.
+        count: u32,
+    },
+    /// A HELLO beacon left this node.
+    HelloSend {
+        /// Beacon sequence number.
+        seq: u32,
+    },
+    /// The application originated a data packet.
+    DataOriginate {
+        /// Flow id.
+        flow: u32,
+        /// Per-flow sequence number.
+        seq: u32,
+    },
+    /// A data packet was forwarded at an intermediate hop.
+    DataForward {
+        /// Flow id.
+        flow: u32,
+        /// Per-flow sequence number.
+        seq: u32,
+    },
+    /// A data packet reached its destination application.
+    DataDeliver {
+        /// Flow id.
+        flow: u32,
+        /// Per-flow sequence number.
+        seq: u32,
+    },
+    /// A data packet was discarded (terminal).
+    DataDrop {
+        /// Why.
+        reason: DropReason,
+        /// Flow id.
+        flow: u32,
+        /// Per-flow sequence number.
+        seq: u32,
+    },
+    /// A control packet (RREQ/RREP/RERR/HELLO) was discarded at the MAC.
+    CtrlDrop {
+        /// Why.
+        reason: DropReason,
+    },
+    /// An MSDU entered the interface queue.
+    MacEnqueue {
+        /// Queue depth after the push.
+        depth: u32,
+    },
+    /// An MSDU left the interface queue for transmission.
+    MacDequeue {
+        /// Queue depth after the pop.
+        depth: u32,
+    },
+    /// A contention backoff was armed.
+    MacBackoff {
+        /// Slots drawn from the contention window.
+        slots: u32,
+    },
+    /// A frame transmission attempt started (first try or retry).
+    MacTxAttempt {
+        /// Retry index (0 = first attempt).
+        retry: u32,
+    },
+    /// A transmission entered the air.
+    PhyTxStart {
+        /// Medium transmission id.
+        tx_id: u64,
+        /// On-air frame bytes.
+        bytes: u32,
+    },
+    /// A frame was received successfully.
+    PhyRx {
+        /// Medium transmission id of the received frame.
+        tx_id: u64,
+    },
+    /// A reception was destroyed by interference.
+    PhyCollision {
+        /// Medium transmission id of the lost frame.
+        tx_id: u64,
+    },
+    /// A reception survived interference via capture.
+    PhyCapture {
+        /// Medium transmission id of the captured frame.
+        tx_id: u64,
+    },
+    /// A reception failed on noise (PER draw).
+    PhyNoise {
+        /// Medium transmission id of the lost frame.
+        tx_id: u64,
+    },
+    /// Periodic per-node sample of the cross-layer signals.
+    NodeProbe {
+        /// Interface-queue utilisation `[0, 1]`.
+        queue: f64,
+        /// Channel busy ratio `[0, 1]`.
+        busy: f64,
+        /// Neighbourhood load estimate `[0, 1]` (0 for load-blind schemes).
+        load: f64,
+        /// Rebroadcast probability the policy would apply right now.
+        fwd_p: f64,
+    },
+    /// Periodic event-loop sample (behind the `profile` flag).
+    EngineProbe {
+        /// Events processed since the run started.
+        events: u64,
+        /// Events per wall-clock second over the last tick.
+        rate: f64,
+        /// Future-event-list depth.
+        heap: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case kind name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::RreqOriginate { .. } => "rreq_originate",
+            EventKind::RreqRecv { .. } => "rreq_recv",
+            EventKind::RreqDuplicate { .. } => "rreq_duplicate",
+            EventKind::RreqForward { .. } => "rreq_forward",
+            EventKind::RreqSuppress { .. } => "rreq_suppress",
+            EventKind::RrepGenerate { .. } => "rrep_generate",
+            EventKind::RrepForward { .. } => "rrep_forward",
+            EventKind::RrepDrop { .. } => "rrep_drop",
+            EventKind::RerrSend { .. } => "rerr_send",
+            EventKind::HelloSend { .. } => "hello_send",
+            EventKind::DataOriginate { .. } => "data_originate",
+            EventKind::DataForward { .. } => "data_forward",
+            EventKind::DataDeliver { .. } => "data_deliver",
+            EventKind::DataDrop { .. } => "data_drop",
+            EventKind::CtrlDrop { .. } => "ctrl_drop",
+            EventKind::MacEnqueue { .. } => "mac_enqueue",
+            EventKind::MacDequeue { .. } => "mac_dequeue",
+            EventKind::MacBackoff { .. } => "mac_backoff",
+            EventKind::MacTxAttempt { .. } => "mac_tx_attempt",
+            EventKind::PhyTxStart { .. } => "phy_tx_start",
+            EventKind::PhyRx { .. } => "phy_rx",
+            EventKind::PhyCollision { .. } => "phy_collision",
+            EventKind::PhyCapture { .. } => "phy_capture",
+            EventKind::PhyNoise { .. } => "phy_noise",
+            EventKind::NodeProbe { .. } => "node_probe",
+            EventKind::EngineProbe { .. } => "engine_probe",
+        }
+    }
+}
+
+/// One structured trace record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TelemetryEvent {
+    /// Simulation time, nanoseconds.
+    pub t_ns: u64,
+    /// Run id (distinguishes concurrent sweep replications sharing a sink).
+    pub run: u32,
+    /// Node the event happened at.
+    pub node: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TelemetryEvent {
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"t\":{},\"run\":{},\"node\":{},\"kind\":\"{}\"",
+            self.t_ns,
+            self.run,
+            self.node,
+            self.kind.name()
+        );
+        match self.kind {
+            EventKind::RreqOriginate { id, target } => {
+                let _ = write!(s, ",\"id\":{id},\"target\":{target}");
+            }
+            EventKind::RreqRecv { origin, id }
+            | EventKind::RreqDuplicate { origin, id }
+            | EventKind::RreqForward { origin, id }
+            | EventKind::RreqSuppress { origin, id } => {
+                let _ = write!(s, ",\"origin\":{origin},\"id\":{id}");
+            }
+            EventKind::RrepGenerate { origin, target }
+            | EventKind::RrepForward { origin, target }
+            | EventKind::RrepDrop { origin, target } => {
+                let _ = write!(s, ",\"origin\":{origin},\"target\":{target}");
+            }
+            EventKind::RerrSend { count } => {
+                let _ = write!(s, ",\"count\":{count}");
+            }
+            EventKind::HelloSend { seq } => {
+                let _ = write!(s, ",\"seq\":{seq}");
+            }
+            EventKind::DataOriginate { flow, seq }
+            | EventKind::DataForward { flow, seq }
+            | EventKind::DataDeliver { flow, seq } => {
+                let _ = write!(s, ",\"flow\":{flow},\"seq\":{seq}");
+            }
+            EventKind::DataDrop { reason, flow, seq } => {
+                let _ = write!(s, ",\"reason\":\"{}\",\"flow\":{flow},\"seq\":{seq}", reason.name());
+            }
+            EventKind::CtrlDrop { reason } => {
+                let _ = write!(s, ",\"reason\":\"{}\"", reason.name());
+            }
+            EventKind::MacEnqueue { depth } | EventKind::MacDequeue { depth } => {
+                let _ = write!(s, ",\"depth\":{depth}");
+            }
+            EventKind::MacBackoff { slots } => {
+                let _ = write!(s, ",\"slots\":{slots}");
+            }
+            EventKind::MacTxAttempt { retry } => {
+                let _ = write!(s, ",\"retry\":{retry}");
+            }
+            EventKind::PhyTxStart { tx_id, bytes } => {
+                let _ = write!(s, ",\"tx_id\":{tx_id},\"bytes\":{bytes}");
+            }
+            EventKind::PhyRx { tx_id }
+            | EventKind::PhyCollision { tx_id }
+            | EventKind::PhyCapture { tx_id }
+            | EventKind::PhyNoise { tx_id } => {
+                let _ = write!(s, ",\"tx_id\":{tx_id}");
+            }
+            EventKind::NodeProbe { queue, busy, load, fwd_p } => {
+                let _ = write!(
+                    s,
+                    ",\"queue\":{queue:.6},\"busy\":{busy:.6},\"load\":{load:.6},\"fwd_p\":{fwd_p:.6}"
+                );
+            }
+            EventKind::EngineProbe { events, rate, heap } => {
+                let _ = write!(s, ",\"events\":{events},\"rate\":{rate:.1},\"heap\":{heap}");
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse one JSONL line. Returns `None` on malformed input or an
+    /// unknown kind (forward compatibility: unknown lines are skippable).
+    pub fn from_jsonl(line: &str) -> Option<Self> {
+        let pairs = parse_object(line)?;
+        let u32_of = |k: &str| get(&pairs, k).and_then(JsonValue::as_u64).map(|v| v as u32);
+        let u64_of = |k: &str| get(&pairs, k).and_then(JsonValue::as_u64);
+        let f64_of = |k: &str| get(&pairs, k).and_then(JsonValue::as_f64);
+        let t_ns = u64_of("t")?;
+        let run = u32_of("run")?;
+        let node = u32_of("node")?;
+        let kind_name = get(&pairs, "kind")?.as_str()?;
+        let reason = || get(&pairs, "reason").and_then(|v| v.as_str()).and_then(DropReason::from_name);
+        let kind = match kind_name {
+            "rreq_originate" => EventKind::RreqOriginate { id: u32_of("id")?, target: u32_of("target")? },
+            "rreq_recv" => EventKind::RreqRecv { origin: u32_of("origin")?, id: u32_of("id")? },
+            "rreq_duplicate" => EventKind::RreqDuplicate { origin: u32_of("origin")?, id: u32_of("id")? },
+            "rreq_forward" => EventKind::RreqForward { origin: u32_of("origin")?, id: u32_of("id")? },
+            "rreq_suppress" => EventKind::RreqSuppress { origin: u32_of("origin")?, id: u32_of("id")? },
+            "rrep_generate" => EventKind::RrepGenerate { origin: u32_of("origin")?, target: u32_of("target")? },
+            "rrep_forward" => EventKind::RrepForward { origin: u32_of("origin")?, target: u32_of("target")? },
+            "rrep_drop" => EventKind::RrepDrop { origin: u32_of("origin")?, target: u32_of("target")? },
+            "rerr_send" => EventKind::RerrSend { count: u32_of("count")? },
+            "hello_send" => EventKind::HelloSend { seq: u32_of("seq")? },
+            "data_originate" => EventKind::DataOriginate { flow: u32_of("flow")?, seq: u32_of("seq")? },
+            "data_forward" => EventKind::DataForward { flow: u32_of("flow")?, seq: u32_of("seq")? },
+            "data_deliver" => EventKind::DataDeliver { flow: u32_of("flow")?, seq: u32_of("seq")? },
+            "data_drop" => EventKind::DataDrop { reason: reason()?, flow: u32_of("flow")?, seq: u32_of("seq")? },
+            "ctrl_drop" => EventKind::CtrlDrop { reason: reason()? },
+            "mac_enqueue" => EventKind::MacEnqueue { depth: u32_of("depth")? },
+            "mac_dequeue" => EventKind::MacDequeue { depth: u32_of("depth")? },
+            "mac_backoff" => EventKind::MacBackoff { slots: u32_of("slots")? },
+            "mac_tx_attempt" => EventKind::MacTxAttempt { retry: u32_of("retry")? },
+            "phy_tx_start" => EventKind::PhyTxStart { tx_id: u64_of("tx_id")?, bytes: u32_of("bytes")? },
+            "phy_rx" => EventKind::PhyRx { tx_id: u64_of("tx_id")? },
+            "phy_collision" => EventKind::PhyCollision { tx_id: u64_of("tx_id")? },
+            "phy_capture" => EventKind::PhyCapture { tx_id: u64_of("tx_id")? },
+            "phy_noise" => EventKind::PhyNoise { tx_id: u64_of("tx_id")? },
+            "node_probe" => EventKind::NodeProbe {
+                queue: f64_of("queue")?,
+                busy: f64_of("busy")?,
+                load: f64_of("load")?,
+                fwd_p: f64_of("fwd_p")?,
+            },
+            "engine_probe" => EventKind::EngineProbe {
+                events: u64_of("events")?,
+                rate: f64_of("rate")?,
+                heap: u64_of("heap")?,
+            },
+            _ => return None,
+        };
+        Some(TelemetryEvent { t_ns, run, node, kind })
+    }
+}
+
+/// Human-oriented one-line rendering (the `--trace` console format that
+/// replaced the old string ring).
+impl fmt::Display for TelemetryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>12.6}s n{:<3} ", self.t_ns as f64 / 1e9, self.node)?;
+        match self.kind {
+            EventKind::RreqOriginate { id, target } => {
+                write!(f, "RREQ originate id={id} -> n{target}")
+            }
+            EventKind::RreqRecv { origin, id } => write!(f, "RREQ recv ({origin},{id})"),
+            EventKind::RreqDuplicate { origin, id } => write!(f, "RREQ dup ({origin},{id})"),
+            EventKind::RreqForward { origin, id } => write!(f, "RREQ forward ({origin},{id})"),
+            EventKind::RreqSuppress { origin, id } => write!(f, "RREQ suppress ({origin},{id})"),
+            EventKind::RrepGenerate { origin, target } => {
+                write!(f, "RREP generate {target} -> {origin}")
+            }
+            EventKind::RrepForward { origin, target } => {
+                write!(f, "RREP forward {target} -> {origin}")
+            }
+            EventKind::RrepDrop { origin, target } => write!(f, "RREP drop {target} -> {origin}"),
+            EventKind::RerrSend { count } => write!(f, "RERR send x{count}"),
+            EventKind::HelloSend { seq } => write!(f, "HELLO send #{seq}"),
+            EventKind::DataOriginate { flow, seq } => write!(f, "DATA originate f{flow}#{seq}"),
+            EventKind::DataForward { flow, seq } => write!(f, "DATA forward f{flow}#{seq}"),
+            EventKind::DataDeliver { flow, seq } => write!(f, "DATA deliver f{flow}#{seq}"),
+            EventKind::DataDrop { reason, flow, seq } => {
+                write!(f, "DATA drop f{flow}#{seq} [{}]", reason.name())
+            }
+            EventKind::CtrlDrop { reason } => write!(f, "CTRL drop [{}]", reason.name()),
+            EventKind::MacEnqueue { depth } => write!(f, "MAC enqueue depth={depth}"),
+            EventKind::MacDequeue { depth } => write!(f, "MAC dequeue depth={depth}"),
+            EventKind::MacBackoff { slots } => write!(f, "MAC backoff slots={slots}"),
+            EventKind::MacTxAttempt { retry } => write!(f, "MAC tx attempt retry={retry}"),
+            EventKind::PhyTxStart { tx_id, bytes } => {
+                write!(f, "PHY tx start #{tx_id} {bytes}B")
+            }
+            EventKind::PhyRx { tx_id } => write!(f, "PHY rx #{tx_id}"),
+            EventKind::PhyCollision { tx_id } => write!(f, "PHY collision #{tx_id}"),
+            EventKind::PhyCapture { tx_id } => write!(f, "PHY capture #{tx_id}"),
+            EventKind::PhyNoise { tx_id } => write!(f, "PHY noise loss #{tx_id}"),
+            EventKind::NodeProbe { queue, busy, load, fwd_p } => write!(
+                f,
+                "PROBE queue={queue:.3} busy={busy:.3} load={load:.3} fwd_p={fwd_p:.3}"
+            ),
+            EventKind::EngineProbe { events, rate, heap } => {
+                write!(f, "ENGINE events={events} rate={rate:.0}/s heap={heap}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<TelemetryEvent> {
+        let mk = |kind| TelemetryEvent { t_ns: 1_500_000_000, run: 3, node: 7, kind };
+        vec![
+            mk(EventKind::RreqOriginate { id: 4, target: 9 }),
+            mk(EventKind::RreqRecv { origin: 1, id: 2 }),
+            mk(EventKind::RreqDuplicate { origin: 1, id: 2 }),
+            mk(EventKind::RreqForward { origin: 1, id: 2 }),
+            mk(EventKind::RreqSuppress { origin: 1, id: 2 }),
+            mk(EventKind::RrepGenerate { origin: 0, target: 9 }),
+            mk(EventKind::RrepForward { origin: 0, target: 9 }),
+            mk(EventKind::RrepDrop { origin: 0, target: 9 }),
+            mk(EventKind::RerrSend { count: 2 }),
+            mk(EventKind::HelloSend { seq: 11 }),
+            mk(EventKind::DataOriginate { flow: 1, seq: 42 }),
+            mk(EventKind::DataForward { flow: 1, seq: 42 }),
+            mk(EventKind::DataDeliver { flow: 1, seq: 42 }),
+            mk(EventKind::DataDrop { reason: DropReason::NoRoute, flow: 1, seq: 42 }),
+            mk(EventKind::CtrlDrop { reason: DropReason::QueueFull }),
+            mk(EventKind::MacEnqueue { depth: 5 }),
+            mk(EventKind::MacDequeue { depth: 4 }),
+            mk(EventKind::MacBackoff { slots: 15 }),
+            mk(EventKind::MacTxAttempt { retry: 2 }),
+            mk(EventKind::PhyTxStart { tx_id: 1234, bytes: 560 }),
+            mk(EventKind::PhyRx { tx_id: 1234 }),
+            mk(EventKind::PhyCollision { tx_id: 1234 }),
+            mk(EventKind::PhyCapture { tx_id: 1234 }),
+            mk(EventKind::PhyNoise { tx_id: 1234 }),
+            mk(EventKind::NodeProbe { queue: 0.25, busy: 0.5, load: 0.375, fwd_p: 0.8 }),
+            mk(EventKind::EngineProbe { events: 100_000, rate: 2.5e6, heap: 128 }),
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip_every_kind() {
+        for ev in samples() {
+            let line = ev.to_jsonl();
+            let back = TelemetryEvent::from_jsonl(&line)
+                .unwrap_or_else(|| panic!("unparseable: {line}"));
+            assert_eq!(back, ev, "roundtrip mismatch for {line}");
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty_and_distinct_per_kind() {
+        let mut seen = std::collections::HashSet::new();
+        for ev in samples() {
+            let s = ev.to_string();
+            assert!(!s.is_empty());
+            assert!(seen.insert(s.clone()), "duplicate rendering: {s}");
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_skippable() {
+        assert!(TelemetryEvent::from_jsonl(
+            "{\"t\":1,\"run\":0,\"node\":0,\"kind\":\"weird_future_thing\"}"
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn drop_reason_names_roundtrip() {
+        for r in DropReason::ALL {
+            assert_eq!(DropReason::from_name(r.name()), Some(r));
+        }
+        assert_eq!(DropReason::from_name("bogus"), None);
+    }
+}

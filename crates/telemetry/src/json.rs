@@ -1,0 +1,268 @@
+//! Minimal hand-rolled JSON helpers (the build environment is offline, so
+//! there is no serde). Only the flat shapes this workspace writes are
+//! supported: one-level objects whose values are numbers, strings, booleans,
+//! null, or arrays of numbers/strings.
+
+/// A parsed JSON value (flat subset).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// A number (all JSON numbers parse as `f64`).
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// An array of scalar values.
+    Arr(Vec<JsonValue>),
+}
+
+impl JsonValue {
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if numeric and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Escape a string for embedding in a JSON document.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        let mut out = String::new();
+        loop {
+            let b = self.peek()?;
+            self.pos += 1;
+            match b {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let e = self.peek()?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            self.pos += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                b => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = if b >= 0xF0 {
+                            4
+                        } else if b >= 0xE0 {
+                            3
+                        } else {
+                            2
+                        };
+                        let chunk = self.bytes.get(start..start + len)?;
+                        out.push_str(std::str::from_utf8(chunk).ok()?);
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+    }
+
+    fn scalar(&mut self) -> Option<JsonValue> {
+        self.skip_ws();
+        match self.peek()? {
+            b'"' => Some(JsonValue::Str(self.string()?)),
+            b't' => {
+                self.pos += 4;
+                Some(JsonValue::Bool(true))
+            }
+            b'f' => {
+                self.pos += 5;
+                Some(JsonValue::Bool(false))
+            }
+            b'n' => {
+                self.pos += 4;
+                Some(JsonValue::Null)
+            }
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.eat(b']') {
+                    return Some(JsonValue::Arr(items));
+                }
+                loop {
+                    items.push(self.scalar()?);
+                    self.skip_ws();
+                    if self.eat(b']') {
+                        return Some(JsonValue::Arr(items));
+                    }
+                    if !self.eat(b',') {
+                        return None;
+                    }
+                }
+            }
+            _ => {
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == b',' || b == b'}' || b == b']' || b.is_ascii_whitespace() {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let s = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+                s.parse::<f64>().ok().map(JsonValue::Num)
+            }
+        }
+    }
+}
+
+/// Parse one flat JSON object into ordered `(key, value)` pairs. Returns
+/// `None` on malformed input (nested objects are not supported).
+pub fn parse_object(line: &str) -> Option<Vec<(String, JsonValue)>> {
+    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    p.skip_ws();
+    if !p.eat(b'{') {
+        return None;
+    }
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.eat(b'}') {
+        return Some(out);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        if !p.eat(b':') {
+            return None;
+        }
+        let val = p.scalar()?;
+        out.push((key, val));
+        p.skip_ws();
+        if p.eat(b'}') {
+            return Some(out);
+        }
+        if !p.eat(b',') {
+            return None;
+        }
+    }
+}
+
+/// Look up a key in parsed object pairs.
+pub fn get<'a>(pairs: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_escapes() {
+        let s = "a\"b\\c\nd\te\u{1}f — ünïcode";
+        let line = format!("{{\"k\":\"{}\"}}", escape_json(s));
+        let pairs = parse_object(&line).expect("parse");
+        assert_eq!(get(&pairs, "k").unwrap().as_str().unwrap(), s);
+    }
+
+    #[test]
+    fn parses_mixed_object() {
+        let pairs = parse_object(
+            "{\"a\": 1.5, \"b\": \"x\", \"c\": true, \"d\": null, \"e\": [1, 2], \"f\": -3}",
+        )
+        .expect("parse");
+        assert_eq!(get(&pairs, "a").unwrap().as_f64(), Some(1.5));
+        assert_eq!(get(&pairs, "b").unwrap().as_str(), Some("x"));
+        assert_eq!(get(&pairs, "c"), Some(&JsonValue::Bool(true)));
+        assert_eq!(get(&pairs, "d"), Some(&JsonValue::Null));
+        assert_eq!(
+            get(&pairs, "e"),
+            Some(&JsonValue::Arr(vec![JsonValue::Num(1.0), JsonValue::Num(2.0)]))
+        );
+        assert_eq!(get(&pairs, "f").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(get(&pairs, "f").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_object("not json").is_none());
+        assert!(parse_object("{\"k\": }").is_none());
+        assert!(parse_object("").is_none());
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(parse_object("{}"), Some(vec![]));
+    }
+}

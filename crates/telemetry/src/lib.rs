@@ -1,0 +1,30 @@
+//! `wmn-telemetry` — the unified observability layer.
+//!
+//! Replaces the old string-ring tracer with a typed, zero-cost-when-off
+//! pipeline: every layer emits [`TelemetryEvent`]s through a cloneable
+//! [`Tel`] handle into a pluggable [`EventSink`] (JSONL file, in-memory for
+//! tests, console for `--trace`). A disabled handle is a single `Option`
+//! branch on the hot path and schedules no extra simulation events, so
+//! disabled runs are byte-identical to an uninstrumented build.
+//!
+//! The crate also owns the [`Counters`] registry (one flat snake_case
+//! namespace over every per-layer counter struct), the [`RunManifest`]
+//! provenance record attached to figure outputs, and the minimal JSON
+//! encode/parse helpers shared with the `wmn-trace` inspector (the build
+//! environment is offline, so serialization is hand-rolled).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod counters;
+pub mod event;
+pub mod json;
+pub mod manifest;
+pub mod sink;
+
+pub use config::{next_run_id, shared_file_sink, TelemetryConfig};
+pub use counters::{counter_for_drop, counter_for_event, Counters};
+pub use event::{DropReason, EventKind, TelemetryEvent};
+pub use json::{escape_json, parse_object, JsonValue};
+pub use manifest::{git_rev, RunManifest};
+pub use sink::{ConsoleSink, EventSink, FileSink, MemorySink, SharedSink, TeeSink, Tel};

@@ -1,0 +1,138 @@
+//! Run manifests: self-describing provenance attached to every figure
+//! binary's `results/` output.
+
+use crate::counters::Counters;
+use crate::json::escape_json;
+
+/// Everything needed to reproduce and audit one figure run.
+#[derive(Clone, Debug, Default)]
+pub struct RunManifest {
+    /// Figure identifier (`fig1`, `tab2`, …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// `git rev-parse HEAD` at run time (`"unknown"` outside a checkout).
+    pub git_rev: String,
+    /// Scheme labels swept.
+    pub schemes: Vec<String>,
+    /// Replication seeds.
+    pub seeds: Vec<u64>,
+    /// x-axis values swept.
+    pub xs: Vec<f64>,
+    /// Free-form `(name, value)` parameters (durations, topology, …).
+    pub params: Vec<(String, String)>,
+    /// Wall-clock duration of the sweep, seconds.
+    pub wall_s: f64,
+    /// Total engine events processed across all replications.
+    pub events_processed: u64,
+    /// Aggregated counter registry across all replications.
+    pub counters: Counters,
+}
+
+impl RunManifest {
+    /// Render as a (pretty-enough) JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"id\": \"{}\",\n", escape_json(&self.id)));
+        s.push_str(&format!("  \"title\": \"{}\",\n", escape_json(&self.title)));
+        s.push_str(&format!("  \"git_rev\": \"{}\",\n", escape_json(&self.git_rev)));
+        let schemes: Vec<String> =
+            self.schemes.iter().map(|l| format!("\"{}\"", escape_json(l))).collect();
+        s.push_str(&format!("  \"schemes\": [{}],\n", schemes.join(", ")));
+        let seeds: Vec<String> = self.seeds.iter().map(u64::to_string).collect();
+        s.push_str(&format!("  \"seeds\": [{}],\n", seeds.join(", ")));
+        let xs: Vec<String> = self.xs.iter().map(|x| format!("{x}")).collect();
+        s.push_str(&format!("  \"xs\": [{}],\n", xs.join(", ")));
+        s.push_str("  \"params\": {");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": \"{}\"", escape_json(k), escape_json(v)));
+        }
+        s.push_str("},\n");
+        s.push_str(&format!("  \"wall_s\": {:.3},\n", self.wall_s));
+        s.push_str(&format!("  \"events_processed\": {},\n", self.events_processed));
+        s.push_str(&format!("  \"counters\": {}\n", self.counters.to_json()));
+        s.push_str("}\n");
+        s
+    }
+
+    /// Write `<dir>/<id>_manifest.json`; returns the path written.
+    pub fn write(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}_manifest.json", self.id));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// The current git revision, or `"unknown"` outside a repository.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{get, parse_object, JsonValue};
+
+    #[test]
+    fn manifest_json_has_all_sections() {
+        let mut counters = Counters::new();
+        counters.add("rreq_originated", 12);
+        let m = RunManifest {
+            id: "figX".into(),
+            title: "PDR vs load".into(),
+            git_rev: "abc123".into(),
+            schemes: vec!["cnlr".into(), "flooding".into()],
+            seeds: vec![1, 2, 3],
+            xs: vec![5.0, 10.0],
+            params: vec![("duration_s".into(), "60".into())],
+            wall_s: 1.25,
+            events_processed: 1000,
+            counters,
+        };
+        let j = m.to_json();
+        for needle in [
+            "\"id\": \"figX\"",
+            "\"git_rev\": \"abc123\"",
+            "\"schemes\": [\"cnlr\", \"flooding\"]",
+            "\"seeds\": [1, 2, 3]",
+            "\"duration_s\": \"60\"",
+            "\"events_processed\": 1000",
+            "\"rreq_originated\":12",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in:\n{j}");
+        }
+        // The counters sub-object is itself parseable.
+        let line = j.lines().find(|l| l.contains("\"counters\"")).unwrap();
+        let obj = line.trim().trim_start_matches("\"counters\": ").trim_end_matches(',');
+        let pairs = parse_object(obj).expect("counters parse");
+        assert_eq!(get(&pairs, "rreq_originated"), Some(&JsonValue::Num(12.0)));
+    }
+
+    #[test]
+    fn write_creates_named_file() {
+        let dir = std::env::temp_dir().join("wmn_manifest_test");
+        let m = RunManifest { id: "figtest".into(), ..RunManifest::default() };
+        let path = m.write(&dir).expect("write");
+        assert!(path.ends_with("figtest_manifest.json"));
+        assert!(path.exists());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn git_rev_never_panics() {
+        let r = git_rev();
+        assert!(!r.is_empty());
+    }
+}

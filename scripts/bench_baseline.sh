@@ -12,6 +12,12 @@
 # The "reference" block is read from scripts/bench_reference.json (committed,
 # measured on the pre-optimisation tree) so every snapshot carries its own
 # before/after comparison.
+#
+# Telemetry hot-path guard: the scenario/small_5x5_10s micro-bench runs with
+# telemetry disabled (the default) and must stay within 10 % of the
+# reference ns_per_iter — a disabled Tel handle is one branch, so any
+# regression here means instrumentation leaked into the hot path. Set
+# BENCH_NO_GUARD=1 to snapshot without failing (e.g. on a slower host).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,4 +73,16 @@ with open(out, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {out}")
+
+# Disabled-telemetry hot-path guard (>10 % regression fails the run).
+GUARDED = "scenario/small_5x5_10s"
+ref_micro = {m["name"]: m["ns_per_iter"] for m in doc.get("reference", {}).get("micro", [])}
+now_micro = {m["name"]: m["ns_per_iter"] for m in doc["micro"]}
+if GUARDED in ref_micro and GUARDED in now_micro:
+    base, now = ref_micro[GUARDED], now_micro[GUARDED]
+    ratio = now / base
+    print(f"guard: {GUARDED} {now:.0f} ns/iter vs reference {base:.0f} ({ratio:.3f}x)")
+    if ratio > 1.10 and not os.environ.get("BENCH_NO_GUARD"):
+        print(f"FAIL: disabled-telemetry bench regressed >10% ({ratio:.3f}x)", file=sys.stderr)
+        sys.exit(1)
 EOF

@@ -11,6 +11,7 @@
 
 use wmn::mobility::MobilityConfig;
 use wmn::sim::SimDuration;
+use wmn::telemetry::{ConsoleSink, SharedSink, TelemetryConfig};
 use wmn::{CnlrConfig, ScenarioBuilder, Scheme, VapConfig};
 
 /// Parsed CLI options.
@@ -28,6 +29,7 @@ pub struct Options {
     pub clients: usize,
     pub client_speed: f64,
     pub csv: bool,
+    pub trace: bool,
 }
 
 impl Default for Options {
@@ -45,6 +47,7 @@ impl Default for Options {
             clients: 0,
             client_speed: 10.0,
             csv: false,
+            trace: false,
         }
     }
 }
@@ -65,7 +68,11 @@ OPTIONS (defaults in brackets):
   --clients N       mobile RWP clients [0]
   --client-speed V  client max speed m/s [10]
   --csv             emit one CSV line instead of the report
+  --trace           print every telemetry event to stderr as it happens
   --help            this text
+
+Set WMN_TELEMETRY=1 (and optionally WMN_TRACE_PATH, WMN_PROBE_MS) to
+record a JSONL trace instead; inspect it with wmn-trace.
 ";
 
 /// Parse a scheme spec like `gossip:0.65` or `counter:3`.
@@ -140,6 +147,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                     val("--client-speed")?.parse().map_err(|e| format!("--client-speed: {e}"))?
             }
             "--csv" => o.csv = true,
+            "--trace" => o.trace = true,
             "--help" | "-h" => return Err(HELP.to_string()),
             other => return Err(format!("unknown flag '{other}'\n\n{HELP}")),
         }
@@ -170,6 +178,12 @@ fn main() {
         .flows(opts.flows, opts.pps, opts.payload)
         .duration(SimDuration::from_secs_f64(opts.duration_s))
         .warmup(SimDuration::from_secs_f64(opts.warmup_s));
+    if opts.trace {
+        // Console tracing: typed events rendered human-readably on stderr
+        // (what the old string-ring tracer used to do).
+        let sink: SharedSink = std::sync::Arc::new(std::sync::Mutex::new(ConsoleSink));
+        builder = builder.telemetry(TelemetryConfig::enabled()).telemetry_sink(sink);
+    }
     if opts.clients > 0 {
         builder = builder.mobile_clients(
             opts.clients,
@@ -225,9 +239,10 @@ fn main() {
     println!("discovery success       : {:.3}", r.discovery_success);
     println!("Jain fairness / hotspot : {:.3} / {:.1}", r.jain_forwarding, r.hotspot);
     println!("collisions / noise loss : {} / {}", r.medium.collisions, r.medium.noise_losses);
-    println!("drops (q/nr/bo/df/lf)   : {}/{}/{}/{}/{}",
+    println!("drops (q/nr/bo/df/lf/ex): {}/{}/{}/{}/{}/{}",
         r.drops.queue_full, r.drops.no_route, r.drops.buffer_overflow,
-        r.drops.discovery_failed, r.drops.link_failure);
+        r.drops.discovery_failed, r.drops.link_failure, r.drops.expired);
+    println!("ctrl drops (queue full) : {}", r.drops.ctrl_queue_full);
     println!("comm energy / delivered : {:.2} mJ", r.comm_energy_per_delivered_mj);
     println!("events processed        : {}", r.events);
 }

@@ -7,7 +7,7 @@
 //! * [`cnlr`] — the paper's contribution and the scenario API,
 //! * the substrate crates under their short names
 //!   ([`sim`], [`topology`], [`radio`], [`mac`], [`mobility`], [`routing`],
-//!   [`traffic`], [`metrics`]).
+//!   [`traffic`], [`metrics`], [`telemetry`]).
 //!
 //! See `README.md` for the quickstart and `DESIGN.md` for the system
 //! inventory.
@@ -24,6 +24,7 @@ pub use wmn_mobility as mobility;
 pub use wmn_radio as radio;
 pub use wmn_routing as routing;
 pub use wmn_sim as sim;
+pub use wmn_telemetry as telemetry;
 pub use wmn_topology as topology;
 pub use wmn_traffic as traffic;
 
