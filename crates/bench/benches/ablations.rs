@@ -5,9 +5,9 @@
 //! PDR (via `eprintln` once per config) documents the quality effect —
 //! the full quality ablation lives in the fig8/tab2 harness bins.
 
+use cnlr::{CnlrConfig, Scheme};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use cnlr::{CnlrConfig, Scheme};
 
 fn run_variant(cfg: CnlrConfig) -> cnlr::RunResults {
     cnlr::ScenarioBuilder::new()
@@ -41,10 +41,19 @@ fn bench_rts(c: &mut Criterion) {
     g.sample_size(10);
     let variants: Vec<(&str, wmn_mac::MacParams)> = vec![
         ("rts_off", Default::default()),
-        ("rts_all_unicast", wmn_mac::MacParams { rts_threshold: Some(0), ..Default::default() }),
+        (
+            "rts_all_unicast",
+            wmn_mac::MacParams {
+                rts_threshold: Some(0),
+                ..Default::default()
+            },
+        ),
         (
             "control_priority",
-            wmn_mac::MacParams { control_priority: true, ..Default::default() },
+            wmn_mac::MacParams {
+                control_priority: true,
+                ..Default::default()
+            },
         ),
     ];
     for (name, mac) in variants {
@@ -56,7 +65,9 @@ fn bench_rts(c: &mut Criterion) {
             probe.mac.rts_sent,
             probe.discovery_success,
         );
-        g.bench_function(name, |b| b.iter(|| black_box(run_with_mac(mac.clone()).events)));
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_with_mac(mac.clone()).events))
+        });
     }
     g.finish();
 }
@@ -79,8 +90,10 @@ fn bench_expanding_ring(c: &mut Criterion) {
     let mut g = c.benchmark_group("routing_ablation");
     g.sample_size(10);
     for (name, ring) in [("full_ttl", false), ("expanding_ring", true)] {
-        let routing =
-            wmn_routing::RoutingConfig { expanding_ring: ring, ..Default::default() };
+        let routing = wmn_routing::RoutingConfig {
+            expanding_ring: ring,
+            ..Default::default()
+        };
         let probe = run_with_routing(routing.clone());
         eprintln!(
             "[ring:{name}] pdr={:.3} rreq_tx={} disc={:.2}",
@@ -98,12 +111,48 @@ fn bench_expanding_ring(c: &mut Criterion) {
 fn bench_ablations(c: &mut Criterion) {
     let variants: Vec<(&str, CnlrConfig)> = vec![
         ("combined", CnlrConfig::default()),
-        ("queue_only", CnlrConfig { w_busy: 0.0, ..CnlrConfig::default() }),
-        ("busy_only", CnlrConfig { w_queue: 0.0, ..CnlrConfig::default() }),
-        ("own_load_only", CnlrConfig { w_self: 1.0, ..CnlrConfig::default() }),
-        ("neighbours_only", CnlrConfig { w_self: 0.0, ..CnlrConfig::default() }),
-        ("high_floor", CnlrConfig { p_min: 0.6, ..CnlrConfig::default() }),
-        ("density_corrected", CnlrConfig { density_gamma: 0.5, ..CnlrConfig::default() }),
+        (
+            "queue_only",
+            CnlrConfig {
+                w_busy: 0.0,
+                ..CnlrConfig::default()
+            },
+        ),
+        (
+            "busy_only",
+            CnlrConfig {
+                w_queue: 0.0,
+                ..CnlrConfig::default()
+            },
+        ),
+        (
+            "own_load_only",
+            CnlrConfig {
+                w_self: 1.0,
+                ..CnlrConfig::default()
+            },
+        ),
+        (
+            "neighbours_only",
+            CnlrConfig {
+                w_self: 0.0,
+                ..CnlrConfig::default()
+            },
+        ),
+        (
+            "high_floor",
+            CnlrConfig {
+                p_min: 0.6,
+                ..CnlrConfig::default()
+            },
+        ),
+        (
+            "density_corrected",
+            CnlrConfig {
+                density_gamma: 0.5,
+                ..CnlrConfig::default()
+            },
+        ),
     ];
     let mut g = c.benchmark_group("cnlr_ablation");
     g.sample_size(10);

@@ -95,5 +95,11 @@ fn bench_full_scenario(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_rng, bench_physics, bench_full_scenario);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_rng,
+    bench_physics,
+    bench_full_scenario
+);
 criterion_main!(benches);

@@ -9,11 +9,27 @@ fn main() {
     let variants: Vec<(&str, Scheme)> = vec![
         ("flooding", Scheme::Flooding),
         ("cnlr b2.0", Scheme::Cnlr(CnlrConfig::default())),
-        ("cnlr b1.0", Scheme::Cnlr(CnlrConfig { beta_load: 1.0, ..CnlrConfig::default() })),
-        ("cnlr b0.5", Scheme::Cnlr(CnlrConfig { beta_load: 0.5, ..CnlrConfig::default() })),
+        (
+            "cnlr b1.0",
+            Scheme::Cnlr(CnlrConfig {
+                beta_load: 1.0,
+                ..CnlrConfig::default()
+            }),
+        ),
+        (
+            "cnlr b0.5",
+            Scheme::Cnlr(CnlrConfig {
+                beta_load: 0.5,
+                ..CnlrConfig::default()
+            }),
+        ),
         (
             "cnlr b1 pmin.45",
-            Scheme::Cnlr(CnlrConfig { beta_load: 1.0, p_min: 0.45, ..CnlrConfig::default() }),
+            Scheme::Cnlr(CnlrConfig {
+                beta_load: 1.0,
+                p_min: 0.45,
+                ..CnlrConfig::default()
+            }),
         ),
     ];
     for flows in [30usize, 40] {
@@ -34,7 +50,10 @@ fn main() {
             let delay =
                 MeanCi::from_samples(&runs.iter().map(|r| r.mean_delay_ms()).collect::<Vec<_>>());
             let rreq = MeanCi::from_samples(
-                &runs.iter().map(|r| r.rreq_tx_per_discovery).collect::<Vec<_>>(),
+                &runs
+                    .iter()
+                    .map(|r| r.rreq_tx_per_discovery)
+                    .collect::<Vec<_>>(),
             );
             println!(
                 "{:<16} pdr={} delay={} rreq/disc={}",

@@ -17,13 +17,18 @@ fn main() {
         x_label: "sources",
     };
     let (dur, warm) = sweep_durations();
-    let xs: Vec<f64> =
-        if wmn_bench::quick_mode() { vec![8.0, 16.0] } else { vec![4.0, 8.0, 12.0, 16.0, 20.0] };
+    let xs: Vec<f64> = if wmn_bench::quick_mode() {
+        vec![8.0, 16.0]
+    } else {
+        vec![4.0, 8.0, 12.0, 16.0, 20.0]
+    };
     let schemes = standard_schemes();
     let build = move |sources: f64, scheme: &cnlr::Scheme, seed: u64| {
         let gateway = NodeId(24); // centre of the 7×7 grid
-        // Sources: the outermost ring, deterministic per count.
-        let ring = [0u32, 6, 42, 48, 3, 21, 27, 45, 1, 5, 7, 13, 35, 41, 43, 47, 2, 4, 14, 20];
+                                  // Sources: the outermost ring, deterministic per count.
+        let ring = [
+            0u32, 6, 42, 48, 3, 21, 27, 45, 1, 5, 7, 13, 35, 41, 43, 47, 2, 4, 14, 20,
+        ];
         let flows: Vec<FlowSpec> = ring
             .iter()
             .take(sources as usize)
@@ -51,7 +56,9 @@ fn main() {
         &spec,
         &[
             ("PDR", &|r: &cnlr::RunResults| r.pdr()),
-            ("hotspot factor (max/mean)", &|r: &cnlr::RunResults| r.hotspot),
+            ("hotspot factor (max/mean)", &|r: &cnlr::RunResults| {
+                r.hotspot
+            }),
             ("mean delay (ms)", &|r: &cnlr::RunResults| r.mean_delay_ms()),
         ],
         &xs,

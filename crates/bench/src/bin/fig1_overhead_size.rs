@@ -31,7 +31,14 @@ fn main() {
     };
     let tables = sweep_figure_multi(
         &spec,
-        &[("RREQ tx per discovery", &|r: &cnlr::RunResults| r.rreq_tx_per_discovery), ("saved-rebroadcast ratio", &|r: &cnlr::RunResults| r.saved_rebroadcast)],
+        &[
+            ("RREQ tx per discovery", &|r: &cnlr::RunResults| {
+                r.rreq_tx_per_discovery
+            }),
+            ("saved-rebroadcast ratio", &|r: &cnlr::RunResults| {
+                r.saved_rebroadcast
+            }),
+        ],
         &xs,
         &schemes,
         build,

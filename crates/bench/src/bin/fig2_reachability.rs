@@ -31,7 +31,12 @@ fn main() {
     };
     let tables = sweep_figure_multi(
         &spec,
-        &[("discovery success ratio", &|r: &cnlr::RunResults| r.discovery_success), ("packet delivery ratio", &|r: &cnlr::RunResults| r.pdr())],
+        &[
+            ("discovery success ratio", &|r: &cnlr::RunResults| {
+                r.discovery_success
+            }),
+            ("packet delivery ratio", &|r: &cnlr::RunResults| r.pdr()),
+        ],
         &xs,
         &schemes,
         build,

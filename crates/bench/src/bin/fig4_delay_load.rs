@@ -14,8 +14,11 @@ fn main() {
         x_label: "flows",
     };
     let (dur, warm) = sweep_durations();
-    let xs: Vec<f64> =
-        if wmn_bench::quick_mode() { vec![10.0, 40.0] } else { vec![5.0, 10.0, 20.0, 30.0, 40.0, 50.0] };
+    let xs: Vec<f64> = if wmn_bench::quick_mode() {
+        vec![10.0, 40.0]
+    } else {
+        vec![5.0, 10.0, 20.0, 30.0, 40.0, 50.0]
+    };
     let schemes = standard_schemes();
     let build = move |flows: f64, scheme: &cnlr::Scheme, seed: u64| {
         cnlr::presets::backbone(8, 0, seed)
@@ -26,7 +29,12 @@ fn main() {
     };
     let tables = sweep_figure_multi(
         &spec,
-        &[("mean delay (ms)", &|r: &cnlr::RunResults| r.mean_delay_ms()), ("p95 delay (ms)", &|r: &cnlr::RunResults| r.summary.p95_delay_s * 1000.0)],
+        &[
+            ("mean delay (ms)", &|r: &cnlr::RunResults| r.mean_delay_ms()),
+            ("p95 delay (ms)", &|r: &cnlr::RunResults| {
+                r.summary.p95_delay_s * 1000.0
+            }),
+        ],
         &xs,
         &schemes,
         build,

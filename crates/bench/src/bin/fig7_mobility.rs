@@ -17,8 +17,11 @@ fn main() {
         x_label: "speed_mps",
     };
     let (dur, warm) = sweep_durations();
-    let xs: Vec<f64> =
-        if wmn_bench::quick_mode() { vec![0.0, 20.0] } else { vec![0.0, 5.0, 10.0, 15.0, 20.0] };
+    let xs: Vec<f64> = if wmn_bench::quick_mode() {
+        vec![0.0, 20.0]
+    } else {
+        vec![0.0, 5.0, 10.0, 15.0, 20.0]
+    };
     let schemes = vec![
         Scheme::Flooding,
         Scheme::Cnlr(CnlrConfig::default()),
@@ -29,7 +32,11 @@ fn main() {
         let mobility = if speed <= 0.0 {
             MobilityConfig::Static
         } else {
-            MobilityConfig::RandomWaypoint { v_min: 1.0, v_max: speed, pause_s: 2.0 }
+            MobilityConfig::RandomWaypoint {
+                v_min: 1.0,
+                v_max: speed,
+                pause_s: 2.0,
+            }
         };
         cnlr::ScenarioBuilder::new()
             .seed(seed)
@@ -42,7 +49,12 @@ fn main() {
     };
     let tables = sweep_figure_multi(
         &spec,
-        &[("PDR", &|r: &cnlr::RunResults| r.pdr()), ("RREQ tx per discovery", &|r: &cnlr::RunResults| r.rreq_tx_per_discovery)],
+        &[
+            ("PDR", &|r: &cnlr::RunResults| r.pdr()),
+            ("RREQ tx per discovery", &|r: &cnlr::RunResults| {
+                r.rreq_tx_per_discovery
+            }),
+        ],
         &xs,
         &schemes,
         build,

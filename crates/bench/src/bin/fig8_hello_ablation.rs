@@ -17,8 +17,11 @@ fn main() {
         x_label: "hello_s",
     };
     let (dur, warm) = sweep_durations();
-    let xs: Vec<f64> =
-        if wmn_bench::quick_mode() { vec![1.0, 4.0] } else { vec![0.5, 1.0, 2.0, 4.0, 8.0] };
+    let xs: Vec<f64> = if wmn_bench::quick_mode() {
+        vec![1.0, 4.0]
+    } else {
+        vec![0.5, 1.0, 2.0, 4.0, 8.0]
+    };
     let schemes = vec![Scheme::Cnlr(CnlrConfig::default())];
     let build = move |hello_s: f64, scheme: &Scheme, seed: u64| {
         let hello = SimDuration::from_secs_f64(hello_s);
@@ -36,7 +39,12 @@ fn main() {
     };
     let tables = sweep_figure_multi(
         &spec,
-        &[("PDR", &|r: &cnlr::RunResults| r.pdr()), ("control tx (total)", &|r: &cnlr::RunResults| r.control_tx as f64)],
+        &[
+            ("PDR", &|r: &cnlr::RunResults| r.pdr()),
+            ("control tx (total)", &|r: &cnlr::RunResults| {
+                r.control_tx as f64
+            }),
+        ],
         &xs,
         &schemes,
         build,

@@ -13,8 +13,11 @@ fn main() {
         x_label: "flows",
     };
     let (dur, warm) = sweep_durations();
-    let xs: Vec<f64> =
-        if wmn_bench::quick_mode() { vec![10.0, 40.0] } else { vec![5.0, 10.0, 20.0, 30.0, 40.0, 50.0] };
+    let xs: Vec<f64> = if wmn_bench::quick_mode() {
+        vec![10.0, 40.0]
+    } else {
+        vec![5.0, 10.0, 20.0, 30.0, 40.0, 50.0]
+    };
     let schemes = standard_schemes();
     let build = move |flows: f64, scheme: &cnlr::Scheme, seed: u64| {
         cnlr::presets::backbone(8, 0, seed)
@@ -26,8 +29,13 @@ fn main() {
     let tables = sweep_figure_multi(
         &spec,
         &[
-            ("comm energy per delivered pkt (mJ)", &|r: &cnlr::RunResults| r.comm_energy_per_delivered_mj),
-            ("max single-node energy (J)", &|r: &cnlr::RunResults| r.energy_max_node_j),
+            (
+                "comm energy per delivered pkt (mJ)",
+                &|r: &cnlr::RunResults| r.comm_energy_per_delivered_mj,
+            ),
+            ("max single-node energy (J)", &|r: &cnlr::RunResults| {
+                r.energy_max_node_j
+            }),
         ],
         &xs,
         &schemes,

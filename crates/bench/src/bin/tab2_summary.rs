@@ -56,7 +56,7 @@ fn main() {
                 .run()
         });
         let col = |f: &dyn Fn(&cnlr::RunResults) -> f64| {
-            MeanCi::from_samples(&runs.iter().map(|r| f(r)).collect::<Vec<_>>()).display(3)
+            MeanCi::from_samples(&runs.iter().map(f).collect::<Vec<_>>()).display(3)
         };
         table.add_row(vec![
             scheme.label(),

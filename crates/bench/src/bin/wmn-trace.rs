@@ -16,7 +16,8 @@
 
 use std::collections::BTreeMap;
 use wmn_telemetry::{
-    counter_for_drop, counter_for_event, parse_object, EventKind, TelemetryEvent,
+    counter_for_ctrl_drop, counter_for_drop, counter_for_event, parse_object, EventKind,
+    TelemetryEvent,
 };
 
 fn usage() -> ! {
@@ -59,9 +60,18 @@ impl Args {
             }
         }
         let path = path
-            .or_else(|| std::env::var("WMN_TRACE_PATH").ok().filter(|p| !p.is_empty()).map(Into::into))
+            .or_else(|| {
+                std::env::var("WMN_TRACE_PATH")
+                    .ok()
+                    .filter(|p| !p.is_empty())
+                    .map(Into::into)
+            })
             .unwrap_or_else(|| "trace.jsonl".into());
-        Args { command, path, flags }
+        Args {
+            command,
+            path,
+            flags,
+        }
     }
 
     fn flag(&self, name: &str) -> bool {
@@ -69,7 +79,10 @@ impl Args {
     }
 
     fn value(&self, name: &str) -> Option<&str> {
-        self.flags.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
     }
 }
 
@@ -145,7 +158,10 @@ fn verify(
         .map(|obj| obj.trim_end_matches(','))
         .and_then(parse_object)
         .unwrap_or_else(|| {
-            eprintln!("error: no parseable \"counters\" object in {}", manifest.display());
+            eprintln!(
+                "error: no parseable \"counters\" object in {}",
+                manifest.display()
+            );
             std::process::exit(1);
         });
     let counter = |name: &str| -> u64 {
@@ -169,11 +185,30 @@ fn verify(
     // trace still fails against a nonzero manifest counter.
     let mut by_kind = by_kind.clone();
     for kind in [
-        "rreq_originate", "rreq_recv", "rreq_duplicate", "rreq_forward", "rreq_suppress",
-        "rrep_generate", "rrep_forward", "rrep_drop", "rerr_send", "hello_send",
-        "data_originate", "data_forward", "data_deliver", "mac_enqueue", "mac_dequeue",
-        "mac_backoff", "phy_tx_start", "phy_rx", "phy_collision", "phy_capture", "phy_noise",
-        "ctrl_drop",
+        "rreq_originate",
+        "rreq_recv",
+        "rreq_duplicate",
+        "rreq_forward",
+        "rreq_suppress",
+        "rrep_generate",
+        "rrep_forward",
+        "rrep_drop",
+        "rerr_send",
+        "hello_send",
+        "data_originate",
+        "data_forward",
+        "data_deliver",
+        "mac_enqueue",
+        "mac_dequeue",
+        "mac_backoff",
+        "phy_tx_start",
+        "phy_rx",
+        "phy_collision",
+        "phy_capture",
+        "phy_noise",
+        "node_down",
+        "node_up",
+        "fault_injected",
     ] {
         by_kind.entry(kind).or_insert(0);
     }
@@ -182,22 +217,36 @@ fn verify(
             check(name, *count);
         }
     }
-    // data_drop maps per reason, not per kind.
+    // data_drop and ctrl_drop map per reason, not per kind.
     let mut by_reason: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut ctrl_by_reason: BTreeMap<&'static str, u64> = BTreeMap::new();
     for ev in events {
-        if let EventKind::DataDrop { reason, .. } = ev.kind {
-            *by_reason.entry(counter_for_drop(reason)).or_insert(0) += 1;
+        match ev.kind {
+            EventKind::DataDrop { reason, .. } => {
+                *by_reason.entry(counter_for_drop(reason)).or_insert(0) += 1;
+            }
+            EventKind::CtrlDrop { reason } => {
+                if let Some(name) = counter_for_ctrl_drop(reason) {
+                    *ctrl_by_reason.entry(name).or_insert(0) += 1;
+                }
+            }
+            _ => {}
         }
     }
     for r in wmn_telemetry::DropReason::ALL {
-        let name = counter_for_drop(r);
-        if name == "drop_ctrl_queue_full" {
-            continue; // mapped from ctrl_drop above
+        check(
+            counter_for_drop(r),
+            by_reason.get(counter_for_drop(r)).copied().unwrap_or(0),
+        );
+        if let Some(name) = counter_for_ctrl_drop(r) {
+            check(name, ctrl_by_reason.get(name).copied().unwrap_or(0));
         }
-        check(name, by_reason.get(name).copied().unwrap_or(0));
     }
     if failed == 0 {
-        println!("\nverify OK: {checked} counters match {}", manifest.display());
+        println!(
+            "\nverify OK: {checked} counters match {}",
+            manifest.display()
+        );
     } else {
         println!("\nverify FAILED: {failed}/{checked} counters mismatch");
         std::process::exit(1);
@@ -252,15 +301,13 @@ fn timeline(events: &[TelemetryEvent], args: &Args) {
         .value("limit")
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(usize::MAX);
-    let mut printed = 0usize;
     let total = events.iter().filter(|ev| ev.node == node).count();
-    for ev in events.iter().filter(|ev| ev.node == node) {
+    for (printed, ev) in events.iter().filter(|ev| ev.node == node).enumerate() {
         if printed >= limit {
             println!("... {} more (raise --limit)", total - printed);
             break;
         }
         println!("{ev}");
-        printed += 1;
     }
     if total == 0 {
         println!("no events for node {node}");
@@ -268,7 +315,10 @@ fn timeline(events: &[TelemetryEvent], args: &Args) {
 }
 
 fn convergence(events: &[TelemetryEvent], args: &Args) {
-    let bin_s = args.value("bin-s").and_then(|v| v.parse::<f64>().ok()).unwrap_or(1.0);
+    let bin_s = args
+        .value("bin-s")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.0);
     if bin_s <= 0.0 {
         eprintln!("--bin-s must be positive");
         std::process::exit(2);
@@ -338,21 +388,37 @@ fn histogram(label: &str, unit: &str, values: &[f64]) {
     let n = values.len() as f64;
     let mean = values.iter().sum::<f64>() / n;
     let max = values.iter().cloned().fold(f64::MIN, f64::max);
-    println!("{label}: {} samples, mean {mean:.1} {unit}, max {max:.1} {unit}", values.len());
-    let lo = values.iter().cloned().filter(|v| *v > 0.0).fold(f64::MAX, f64::min);
+    println!(
+        "{label}: {} samples, mean {mean:.1} {unit}, max {max:.1} {unit}",
+        values.len()
+    );
+    let lo = values
+        .iter()
+        .cloned()
+        .filter(|v| *v > 0.0)
+        .fold(f64::MAX, f64::min);
     if !lo.is_finite() || lo == f64::MAX {
         return;
     }
     let mut buckets: BTreeMap<u32, usize> = BTreeMap::new();
     for v in values {
-        let k = if *v <= lo { 0 } else { (v / lo).log2().floor() as u32 };
+        let k = if *v <= lo {
+            0
+        } else {
+            (v / lo).log2().floor() as u32
+        };
         *buckets.entry(k).or_insert(0) += 1;
     }
     let widest = buckets.values().copied().max().unwrap_or(1);
     for (k, count) in &buckets {
         let lo_k = lo * f64::powi(2.0, *k as i32);
         let bar = "#".repeat((count * 40).div_ceil(widest));
-        println!("  [{:>12.1}, {:>12.1}) {:>6} {bar}", lo_k, lo_k * 2.0, count);
+        println!(
+            "  [{:>12.1}, {:>12.1}) {:>6} {bar}",
+            lo_k,
+            lo_k * 2.0,
+            count
+        );
     }
 }
 
@@ -368,9 +434,7 @@ fn profile(events: &[TelemetryEvent]) {
         }
     }
     if rates.is_empty() && heaps.is_empty() {
-        println!(
-            "no engine probes in this trace — record with WMN_TELEMETRY=profile"
-        );
+        println!("no engine probes in this trace — record with WMN_TELEMETRY=profile");
         return;
     }
     histogram("events/sec", "ev/s", &rates);

@@ -22,7 +22,9 @@ pub struct FigureSpec {
 
 /// Whether quick mode (fewer seeds, shorter runs) is requested.
 pub fn quick_mode() -> bool {
-    std::env::var("QUICK").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+    std::env::var("QUICK")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false)
 }
 
 /// Replication seeds for the current mode.
@@ -63,12 +65,18 @@ fn job_coords(i: usize, n_schemes: usize, n_seeds: usize) -> (usize, usize, usiz
 /// (no-op when the variable is unset). The bench harness concatenates these
 /// lines into the dated `BENCH_*.json` snapshot at the repo root.
 pub fn record_bench(kind: &str, name: &str, wall_s: f64, jobs: usize) {
-    let Ok(path) = std::env::var("BENCH_JSON") else { return };
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
     if path.is_empty() {
         return;
     }
     use std::io::Write;
-    match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
         Ok(mut f) => {
             let _ = writeln!(
                 f,
@@ -108,7 +116,10 @@ where
     let mut tables: Vec<ResultTable> = metrics
         .iter()
         .map(|(name, _)| {
-            ResultTable::new(format!("{} — {} ({name})", spec.id, spec.title), &header_refs)
+            ResultTable::new(
+                format!("{} — {} ({name})", spec.id, spec.title),
+                &header_refs,
+            )
         })
         .collect();
     let seeds = replication_seeds();
@@ -124,13 +135,12 @@ where
             .run()
     });
     for (xi, &x) in xs.iter().enumerate() {
-        let mut rows: Vec<Vec<String>> =
-            metrics.iter().map(|_| vec![format!("{x}")]).collect();
+        let mut rows: Vec<Vec<String>> = metrics.iter().map(|_| vec![format!("{x}")]).collect();
         for schi in 0..schemes.len() {
             let base = (xi * schemes.len() + schi) * seeds.len();
             let cell = &runs[base..base + seeds.len()];
             for (mi, (_, metric)) in metrics.iter().enumerate() {
-                let values: Vec<f64> = cell.iter().map(|r| metric(r)).collect();
+                let values: Vec<f64> = cell.iter().map(metric).collect();
                 rows[mi].push(MeanCi::from_samples(&values).display(3));
             }
         }
@@ -171,7 +181,10 @@ pub fn write_manifest(
         ("duration_s".to_string(), format!("{}", dur.as_secs_f64())),
         ("warmup_s".to_string(), format!("{}", warm.as_secs_f64())),
         ("quick".to_string(), quick_mode().to_string()),
-        ("threads".to_string(), wmn_metrics::default_threads().to_string()),
+        (
+            "threads".to_string(),
+            wmn_metrics::default_threads().to_string(),
+        ),
         ("replications".to_string(), seeds.len().to_string()),
         ("runs".to_string(), runs.len().to_string()),
     ];
@@ -239,9 +252,15 @@ pub fn standard_schemes() -> Vec<Scheme> {
 /// `(duration, warmup)`.
 pub fn sweep_durations() -> (wmn_sim::SimDuration, wmn_sim::SimDuration) {
     if quick_mode() {
-        (wmn_sim::SimDuration::from_secs(20), wmn_sim::SimDuration::from_secs(5))
+        (
+            wmn_sim::SimDuration::from_secs(20),
+            wmn_sim::SimDuration::from_secs(5),
+        )
     } else {
-        (wmn_sim::SimDuration::from_secs(60), wmn_sim::SimDuration::from_secs(10))
+        (
+            wmn_sim::SimDuration::from_secs(60),
+            wmn_sim::SimDuration::from_secs(10),
+        )
     }
 }
 
@@ -280,7 +299,9 @@ mod tests {
                 }
             }
         }
-        let got: Vec<_> = (0..nx * nsch * nseed).map(|i| job_coords(i, nsch, nseed)).collect();
+        let got: Vec<_> = (0..nx * nsch * nseed)
+            .map(|i| job_coords(i, nsch, nseed))
+            .collect();
         assert_eq!(got, expect);
     }
 }

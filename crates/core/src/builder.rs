@@ -19,10 +19,11 @@
 
 use crate::event::Event;
 use crate::medium::Medium;
-use crate::network::Network;
+use crate::network::{Network, RebootKit};
 use crate::node::{rng_domain, Node};
 use crate::results::RunResults;
 use crate::scheme::Scheme;
+use wmn_faults::FaultPlan;
 use wmn_mac::MacParams;
 use wmn_mobility::MobilityConfig;
 use wmn_radio::PhyParams;
@@ -99,6 +100,7 @@ pub struct ScenarioBuilder {
     link_cache: bool,
     telemetry: Option<TelemetryConfig>,
     telemetry_sink: Option<SinkOverride>,
+    faults: Option<FaultPlan>,
 }
 
 impl Default for ScenarioBuilder {
@@ -114,14 +116,23 @@ impl ScenarioBuilder {
         ScenarioBuilder {
             seed: 1,
             region: Region::square(1000.0),
-            placement: Placement::Grid { rows: 10, cols: 10, jitter_frac: 0.15 },
+            placement: Placement::Grid {
+                rows: 10,
+                cols: 10,
+                jitter_frac: 0.15,
+            },
             scheme: Scheme::Flooding,
             phy: PhyParams::classic_802_11b(),
             mac: MacParams::default(),
             routing: RoutingConfig::default(),
             backbone_mobility: MobilityConfig::Static,
             mobile_clients: None,
-            flow_plan: FlowPlan::Random { count: 0, pps: 4.0, payload: 512, min_hops: 2 },
+            flow_plan: FlowPlan::Random {
+                count: 0,
+                pps: 4.0,
+                payload: 512,
+                min_hops: 2,
+            },
             duration: SimDuration::from_secs(60),
             warmup: SimDuration::from_secs(10),
             require_connected: true,
@@ -130,6 +141,7 @@ impl ScenarioBuilder {
             link_cache: true,
             telemetry: None,
             telemetry_sink: None,
+            faults: None,
         }
     }
 
@@ -149,7 +161,11 @@ impl ScenarioBuilder {
     /// `pitch_m` (the field is resized accordingly).
     pub fn grid(mut self, rows: usize, cols: usize, pitch_m: f64) -> Self {
         self.region = Region::new(cols as f64 * pitch_m, rows as f64 * pitch_m);
-        self.placement = Placement::Grid { rows, cols, jitter_frac: 0.15 };
+        self.placement = Placement::Grid {
+            rows,
+            cols,
+            jitter_frac: 0.15,
+        };
         self
     }
 
@@ -198,14 +214,24 @@ impl ScenarioBuilder {
     /// `count` random CBR flows at `pps` packets/s with `payload`-byte
     /// packets between endpoints at least 2 hops apart.
     pub fn flows(mut self, count: usize, pps: f64, payload: usize) -> Self {
-        self.flow_plan = FlowPlan::Random { count, pps, payload, min_hops: 2 };
+        self.flow_plan = FlowPlan::Random {
+            count,
+            pps,
+            payload,
+            min_hops: 2,
+        };
         self
     }
 
     /// Like [`ScenarioBuilder::flows`] with an explicit hop-separation
     /// requirement.
     pub fn flows_min_hops(mut self, count: usize, pps: f64, payload: usize, min_hops: u32) -> Self {
-        self.flow_plan = FlowPlan::Random { count, pps, payload, min_hops };
+        self.flow_plan = FlowPlan::Random {
+            count,
+            pps,
+            payload,
+            min_hops,
+        };
         self
     }
 
@@ -263,6 +289,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Inject a fault plan (node churn, noise bursts, link shifts). A plan
+    /// that expands to no events leaves the run byte-identical to a build
+    /// without one.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Construct the simulation.
     pub fn build(self) -> Result<Simulation, BuildError> {
         let mut scen_rng = SimRng::derive(self.seed, rng_domain::SCENARIO, 0);
@@ -298,7 +332,12 @@ impl ScenarioBuilder {
         // --- Flows ----------------------------------------------------
         let flow_specs: Vec<FlowSpec> = match &self.flow_plan {
             FlowPlan::Explicit(fs) => fs.clone(),
-            FlowPlan::Random { count, pps, payload, min_hops } => {
+            FlowPlan::Random {
+                count,
+                pps,
+                payload,
+                min_hops,
+            } => {
                 let mut specs = Vec::with_capacity(*count);
                 let mut attempts = 0u32;
                 while specs.len() < *count {
@@ -319,7 +358,8 @@ impl ScenarioBuilder {
                     let start = SimTime::ZERO
                         + SimDuration::from_millis(500)
                         + SimDuration(
-                            scen_rng.below(self.warmup.as_nanos().saturating_sub(500_000_000).max(1)),
+                            scen_rng
+                                .below(self.warmup.as_nanos().saturating_sub(500_000_000).max(1)),
                         );
                     specs.push(FlowSpec {
                         id: FlowId(specs.len() as u32),
@@ -341,7 +381,10 @@ impl ScenarioBuilder {
             let mobility = if i < backbone_count {
                 self.backbone_mobility
             } else {
-                self.mobile_clients.as_ref().expect("client without config").1
+                self.mobile_clients
+                    .as_ref()
+                    .expect("client without config")
+                    .1
             };
             nodes.push(Node::new(
                 i as u32,
@@ -387,7 +430,14 @@ impl ScenarioBuilder {
             network.nodes[i].routing.start(SimTime::ZERO, &mut acts);
             for a in acts {
                 if let RoutingAction::SetTimer { timer, at } = a {
-                    engine.prime(at, Event::RoutingTimer { node: i as u32, timer });
+                    engine.prime(
+                        at,
+                        Event::RoutingTimer {
+                            node: i as u32,
+                            timer,
+                            inc: 0,
+                        },
+                    );
                 }
             }
             if network.nodes[i].mobility.is_mobile() {
@@ -404,14 +454,49 @@ impl ScenarioBuilder {
             engine.prime(spec.start, Event::TrafficEmit { flow_idx: idx });
         }
 
+        // --- Faults -----------------------------------------------------
+        // A plan that expands to nothing primes nothing and installs
+        // nothing, so fault-free runs stay byte-identical to a build
+        // without fault support.
+        if let Some(plan) = &self.faults {
+            let horizon = SimTime::ZERO + self.duration;
+            let schedule = plan.expand(
+                self.seed,
+                total as u32,
+                self.region.width,
+                self.region.height,
+                horizon,
+            );
+            if !schedule.is_empty() {
+                for (idx, f) in schedule.iter().enumerate() {
+                    engine.prime(f.at, Event::Fault { idx: idx as u32 });
+                }
+                network.set_faults(
+                    schedule,
+                    RebootKit {
+                        master_seed: self.seed,
+                        mac: self.mac.clone(),
+                        routing: self.routing.clone(),
+                        scheme: self.scheme.clone(),
+                    },
+                );
+            }
+        }
+
         // --- Telemetry --------------------------------------------------
         // Wired last so the probe event is only ever primed for enabled
         // runs: a disabled run's event sequence is untouched and therefore
         // byte-identical to a build without telemetry support.
-        let tel_cfg = self.telemetry.clone().unwrap_or_else(TelemetryConfig::from_env);
+        let tel_cfg = self
+            .telemetry
+            .clone()
+            .unwrap_or_else(TelemetryConfig::from_env);
         if tel_cfg.enabled {
-            let sink =
-                self.telemetry_sink.as_ref().map(|s| s.0.clone()).or_else(|| tel_cfg.open_sink());
+            let sink = self
+                .telemetry_sink
+                .as_ref()
+                .map(|s| s.0.clone())
+                .or_else(|| tel_cfg.open_sink());
             if let Some(sink) = sink {
                 let tel = Tel::new(sink, next_run_id());
                 network.set_telemetry(tel, tel_cfg.probe_interval, tel_cfg.profile);
@@ -423,7 +508,12 @@ impl ScenarioBuilder {
 
         let scheme_label = self.scheme.label();
         let measured = self.duration.saturating_sub(self.warmup);
-        Ok(Simulation { engine, network, scheme_label, measured })
+        Ok(Simulation {
+            engine,
+            network,
+            scheme_label,
+            measured,
+        })
     }
 }
 
@@ -448,8 +538,7 @@ impl Simulation {
     pub fn run_with_network(mut self) -> (RunResults, Network) {
         let report = self.engine.run(&mut self.network);
         self.network.flush_telemetry();
-        let results =
-            RunResults::collect(&self.network, &report, self.scheme_label, self.measured);
+        let results = RunResults::collect(&self.network, &report, self.scheme_label, self.measured);
         (results, self.network)
     }
 }

@@ -24,7 +24,11 @@ impl Default for EnergyParams {
     fn default() -> Self {
         // WaveLAN 2.4 GHz measurements (Feeney–Nilsson): 1.327 W tx,
         // 0.900 W rx, 0.739 W idle.
-        EnergyParams { tx_w: 1.327, rx_w: 0.900, idle_w: 0.739 }
+        EnergyParams {
+            tx_w: 1.327,
+            rx_w: 0.900,
+            idle_w: 0.739,
+        }
     }
 }
 
@@ -37,6 +41,8 @@ pub enum RadioMode {
     Rx,
     /// Transmitting.
     Tx,
+    /// Powered down (crashed node — a fault-schedule state, zero draw).
+    Off,
 }
 
 impl EnergyParams {
@@ -46,6 +52,7 @@ impl EnergyParams {
             RadioMode::Idle => self.idle_w,
             RadioMode::Rx => self.rx_w,
             RadioMode::Tx => self.tx_w,
+            RadioMode::Off => 0.0,
         }
     }
 }
@@ -55,8 +62,8 @@ impl EnergyParams {
 pub struct EnergyMeter {
     mode: RadioMode,
     since: SimTime,
-    /// Accumulated joules per mode: `[idle, rx, tx]`.
-    joules: [f64; 3],
+    /// Accumulated joules per mode: `[idle, rx, tx, off]`.
+    joules: [f64; 4],
 }
 
 fn mode_index(mode: RadioMode) -> usize {
@@ -64,13 +71,18 @@ fn mode_index(mode: RadioMode) -> usize {
         RadioMode::Idle => 0,
         RadioMode::Rx => 1,
         RadioMode::Tx => 2,
+        RadioMode::Off => 3,
     }
 }
 
 impl EnergyMeter {
     /// Start metering at `t0` in idle mode.
     pub fn new(t0: SimTime) -> Self {
-        EnergyMeter { mode: RadioMode::Idle, since: t0, joules: [0.0; 3] }
+        EnergyMeter {
+            mode: RadioMode::Idle,
+            since: t0,
+            joules: [0.0; 4],
+        }
     }
 
     /// Switch to `mode` at `now`, accumulating the previous residence.
@@ -84,7 +96,7 @@ impl EnergyMeter {
         self.since = now;
     }
 
-    fn with_open_interval(&self, until: SimTime, params: &EnergyParams) -> [f64; 3] {
+    fn with_open_interval(&self, until: SimTime, params: &EnergyParams) -> [f64; 4] {
         let mut j = self.joules;
         j[mode_index(self.mode)] += params.power(self.mode) * until.since(self.since).as_secs_f64();
         j
@@ -127,7 +139,11 @@ mod tests {
 
     #[test]
     fn mode_transitions_accumulate() {
-        let p = EnergyParams { tx_w: 2.0, rx_w: 1.0, idle_w: 0.5 };
+        let p = EnergyParams {
+            tx_w: 2.0,
+            rx_w: 1.0,
+            idle_w: 0.5,
+        };
         let mut m = EnergyMeter::new(t(0));
         m.set_mode(RadioMode::Tx, t(1_000), &p); // 1 s idle = 0.5 J
         m.set_mode(RadioMode::Rx, t(2_000), &p); // 1 s tx = 2.0 J
@@ -148,6 +164,16 @@ mod tests {
         // `since` must not advance (no double counting at the old rate).
         let e = m.total_joules(t(10_000), &p);
         assert!((e - 0.739 * 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn off_mode_draws_nothing() {
+        let p = EnergyParams::default();
+        let mut m = EnergyMeter::new(t(0));
+        m.set_mode(RadioMode::Off, t(1_000), &p); // 1 s idle
+        m.set_mode(RadioMode::Idle, t(9_000), &p); // 8 s off = 0 J
+        let e = m.total_joules(t(10_000), &p); // + 1 s idle
+        assert!((e - 0.739 * 2.0).abs() < 1e-9, "{e}");
     }
 
     #[test]

@@ -14,6 +14,9 @@ pub enum Event {
         kind: TimerKind,
         /// Generation (stale generations are ignored by the MAC).
         gen: u64,
+        /// Node incarnation the timer belongs to (stale incarnations —
+        /// timers armed before a crash/reboot — are dropped on dispatch).
+        inc: u32,
     },
     /// A routing-layer timer at `node`.
     RoutingTimer {
@@ -21,6 +24,8 @@ pub enum Event {
         node: u32,
         /// Timer payload.
         timer: RoutingTimer,
+        /// Node incarnation the timer belongs to.
+        inc: u32,
     },
     /// A transmission by `node` leaves the air.
     TxEnd {
@@ -43,6 +48,8 @@ pub enum Event {
         /// keeping `Event` small keeps every future-event-list operation
         /// cheap for the hot event kinds).
         packet: Box<Packet>,
+        /// Node incarnation that queued the broadcast.
+        inc: u32,
     },
     /// A flow emits its next packet.
     TrafficEmit {
@@ -61,4 +68,11 @@ pub enum Event {
     /// probability). Only ever scheduled when telemetry is enabled, so a
     /// disabled run's event sequence is untouched.
     TelemetryProbe,
+    /// A scheduled fault fires (index into the expanded fault schedule).
+    /// Only ever primed when a fault plan is configured, so a no-fault
+    /// run's event sequence is untouched.
+    Fault {
+        /// Index into the network's fault schedule.
+        idx: u32,
+    },
 }

@@ -51,14 +51,18 @@ pub use builder::{BuildError, ScenarioBuilder, Simulation};
 pub use energy::{EnergyMeter, EnergyParams, RadioMode};
 pub use event::Event;
 pub use medium::{Medium, MediumEffect, MediumStats};
-pub use network::{DropCounters, Network};
+pub use network::{DropCounters, FaultCounters, Network, RebootKit};
 pub use node::Node;
 pub use policy::{CnlrConfig, CnlrPolicy, VapCnlr, VapConfig};
 pub use results::RunResults;
 pub use scheme::Scheme;
+pub use wmn_faults::{
+    ChurnModel, FaultKind, FaultPlan, LinkFlapModel, NoiseStormModel, TimedFault,
+};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.
+pub use wmn_faults as faults;
 pub use wmn_mac as mac;
 pub use wmn_metrics as metrics;
 pub use wmn_mobility as mobility;

@@ -119,19 +119,26 @@ impl MediumStats {
     }
 }
 
-/// Memoized link budgets for one transmitter, valid while the spatial
-/// index's epoch is unchanged.
+/// Memoized link budgets for one transmitter, valid while both the spatial
+/// index's position epoch and the medium's link-gain epoch are unchanged.
 #[derive(Clone, Debug)]
 struct CachedLinks {
     /// Position epoch the entries were computed at (`u64::MAX` = never).
     epoch: u64,
+    /// Link-gain epoch (bumped by node crashes/reboots and attenuation
+    /// shifts) the entries were computed at.
+    gain_epoch: u64,
     /// Sensible receivers in ascending id order with their rx power, dBm.
     entries: Vec<(u32, f64)>,
 }
 
 impl CachedLinks {
     fn empty() -> Self {
-        CachedLinks { epoch: u64::MAX, entries: Vec::new() }
+        CachedLinks {
+            epoch: u64::MAX,
+            gain_epoch: u64::MAX,
+            entries: Vec::new(),
+        }
     }
 }
 
@@ -208,6 +215,24 @@ pub struct Medium {
     energy_params: EnergyParams,
     energy: Vec<EnergyMeter>,
     tel: Tel,
+    /// Per-node crashed flag (fault schedule): a down radio neither
+    /// transmits, senses, nor receives.
+    down: Vec<bool>,
+    /// Per-node extra pathloss, dB (link-flap faults; applied to every
+    /// frame the node sends or receives).
+    node_atten_db: Vec<f64>,
+    /// Per-node extra noise floor, dB above thermal (noise-burst faults).
+    extra_noise_db: Vec<f64>,
+    /// Active noise bursts: id → (delta_db, affected nodes), so the
+    /// matching burst end can subtract exactly what it added.
+    bursts: HashMap<u32, (f64, Vec<u32>)>,
+    /// Bumped whenever down/up or attenuation state changes; invalidates
+    /// the per-transmitter link cache. Constant 0 in no-fault runs.
+    gain_epoch: u64,
+    /// True once any fault touched the medium (relaxes the unknown-tx
+    /// assertions: a crash mid-transmission retires the record before its
+    /// TxEnd/RxEnd events fire).
+    faults_seen: bool,
 }
 
 impl Medium {
@@ -221,7 +246,10 @@ impl Medium {
             // per radio is the steady state, and reserving up front keeps
             // per-tx allocation out of the hot path.
             states: (0..n)
-                .map(|_| RadioState { signals: Vec::with_capacity(8), ..RadioState::default() })
+                .map(|_| RadioState {
+                    signals: Vec::with_capacity(8),
+                    ..RadioState::default()
+                })
                 .collect(),
             active: HashMap::new(),
             next_tx_id: 0,
@@ -235,6 +263,12 @@ impl Medium {
             energy_params: EnergyParams::default(),
             energy: vec![EnergyMeter::new(SimTime::ZERO); n],
             tel: Tel::off(),
+            down: vec![false; n],
+            node_atten_db: vec![0.0; n],
+            extra_noise_db: vec![0.0; n],
+            bursts: HashMap::new(),
+            gain_epoch: 0,
+            faults_seen: false,
         }
     }
 
@@ -271,7 +305,9 @@ impl Medium {
     /// Recompute a node's radio mode after a state transition.
     fn update_energy(&mut self, node: u32, now: SimTime) {
         let st = &self.states[node as usize];
-        let mode = if st.transmitting.is_some() {
+        let mode = if self.down[node as usize] {
+            RadioMode::Off
+        } else if st.transmitting.is_some() {
             RadioMode::Tx
         } else if st.receiving.is_some() {
             RadioMode::Rx
@@ -279,6 +315,82 @@ impl Medium {
             RadioMode::Idle
         };
         self.energy[node as usize].set_mode(mode, now, &self.energy_params);
+    }
+
+    /// True while `node` is crashed.
+    pub fn is_down(&self, node: u32) -> bool {
+        self.down[node as usize]
+    }
+
+    /// Crash `node`'s radio: abort any transmission mid-air (receivers
+    /// lose the signal — the frame is cut off, never decodable), drop all
+    /// incoming signal state, power the radio off. `out` receives the
+    /// carrier-sense transitions of receivers that go quiet.
+    pub fn set_node_down(&mut self, node: u32, now: SimTime, out: &mut Vec<MediumEffect>) {
+        self.faults_seen = true;
+        self.down[node as usize] = true;
+        // Abort an outgoing frame mid-air. Its TxEnd/RxEnd events still
+        // fire but find no record, which `tx_end`/`rx_end` tolerate once
+        // faults are active.
+        if let Some(tx_id) = self.states[node as usize].transmitting.take() {
+            if let Some(tx) = self.active.remove(&tx_id) {
+                for &r in &tx.receivers {
+                    let st = &mut self.states[r as usize];
+                    if let Some(pos) = st.signals.iter().position(|&(id, _)| id == tx_id) {
+                        st.signals.swap_remove(pos);
+                    }
+                    if matches!(st.receiving, Some(a) if a.tx_id == tx_id) {
+                        st.receiving = None;
+                    }
+                    self.update_sense(r, out);
+                    self.update_energy(r, now);
+                }
+            }
+        }
+        let st = &mut self.states[node as usize];
+        st.signals.clear();
+        st.receiving = None;
+        // Dead radios sense nothing; no Channel effect — the MAC state is
+        // about to be discarded anyway, and a rebooted MAC starts idle.
+        st.sensed_busy = false;
+        self.gain_epoch += 1;
+        self.update_energy(node, now);
+    }
+
+    /// Power `node`'s radio back on (state was cleaned at crash time).
+    pub fn set_node_up(&mut self, node: u32, now: SimTime) {
+        self.faults_seen = true;
+        self.down[node as usize] = false;
+        self.gain_epoch += 1;
+        self.update_energy(node, now);
+    }
+
+    /// Raise the noise floor at `nodes` by `delta_db` for the duration of
+    /// burst `id`. Affects reception adjudication (SINR at the PER draw),
+    /// not carrier sense.
+    pub fn apply_noise(&mut self, id: u32, delta_db: f64, nodes: &[u32]) {
+        self.faults_seen = true;
+        for &n in nodes {
+            self.extra_noise_db[n as usize] += delta_db;
+        }
+        self.bursts.insert(id, (delta_db, nodes.to_vec()));
+    }
+
+    /// End noise burst `id`, subtracting exactly what it added.
+    pub fn clear_noise(&mut self, id: u32) {
+        if let Some((delta_db, nodes)) = self.bursts.remove(&id) {
+            for n in nodes {
+                self.extra_noise_db[n as usize] -= delta_db;
+            }
+        }
+    }
+
+    /// Shift `node`'s pathloss by `delta_db` on every link it terminates
+    /// (link-flap faults; negative deltas undo prior shifts).
+    pub fn shift_node_atten(&mut self, node: u32, delta_db: f64) {
+        self.faults_seen = true;
+        self.node_atten_db[node as usize] += delta_db;
+        self.gain_epoch += 1;
     }
 
     /// Loss/delivery counters.
@@ -337,7 +449,10 @@ impl Medium {
         self.tel.emit_at(
             src,
             now,
-            EventKind::PhyTxStart { tx_id, bytes: frame.air_bytes as u32 },
+            EventKind::PhyTxStart {
+                tx_id,
+                bytes: frame.air_bytes as u32,
+            },
         );
 
         // Half duplex: abort any reception in progress at the transmitter.
@@ -353,14 +468,20 @@ impl Medium {
 
         let airtime = self.airtime(&frame);
         let end = now + airtime;
-        out.push(MediumEffect::ScheduleTxEnd { node: src, tx_id, at: end });
+        out.push(MediumEffect::ScheduleTxEnd {
+            node: src,
+            tx_id,
+            at: end,
+        });
 
         // Find every radio that can sense this transmission. On a static
         // topology the (receiver, rx power) list is invariant per
         // transmitter, so it is memoized keyed on the position epoch; any
         // node movement bumps the epoch and forces recomputation.
         let epoch = positions.epoch();
-        let hit = self.cache_enabled && self.links[src as usize].epoch == epoch;
+        let hit = self.cache_enabled
+            && self.links[src as usize].epoch == epoch
+            && self.links[src as usize].gain_epoch == self.gain_epoch;
         let mut entries = std::mem::take(&mut self.links[src as usize].entries);
         if hit {
             self.stats.link_cache_hits += 1;
@@ -378,16 +499,22 @@ impl Medium {
             } else if self.phy.is_decodable(rx_dbm) {
                 match st.receiving {
                     None => {
-                        st.receiving =
-                            Some(RxAttempt { tx_id, power_dbm: rx_dbm, corrupted: false });
+                        st.receiving = Some(RxAttempt {
+                            tx_id,
+                            power_dbm: rx_dbm,
+                            corrupted: false,
+                        });
                     }
                     Some(ref mut cur) => {
                         if self.phy.captures(rx_dbm, cur.power_dbm) {
                             // The new frame steals the receiver.
                             self.stats.captures += 1;
                             self.tel.emit_at(r, now, EventKind::PhyCapture { tx_id });
-                            st.receiving =
-                                Some(RxAttempt { tx_id, power_dbm: rx_dbm, corrupted: false });
+                            st.receiving = Some(RxAttempt {
+                                tx_id,
+                                power_dbm: rx_dbm,
+                                corrupted: false,
+                            });
                         } else if !self.phy.captures(cur.power_dbm, rx_dbm) {
                             // Comparable powers: the locked frame dies too.
                             cur.corrupted = true;
@@ -407,12 +534,30 @@ impl Medium {
             self.update_energy(r, now);
         }
         if !receivers.is_empty() {
-            out.push(MediumEffect::ScheduleRxEnd { tx_id, at: end + self.prop });
+            out.push(MediumEffect::ScheduleRxEnd {
+                tx_id,
+                at: end + self.prop,
+            });
         }
-        self.links[src as usize] =
-            CachedLinks { epoch: if self.cache_enabled { epoch } else { u64::MAX }, entries };
+        self.links[src as usize] = CachedLinks {
+            epoch: if self.cache_enabled { epoch } else { u64::MAX },
+            gain_epoch: if self.cache_enabled {
+                self.gain_epoch
+            } else {
+                u64::MAX
+            },
+            entries,
+        };
 
-        self.active.insert(tx_id, ActiveTx { src, frame, packet, receivers });
+        self.active.insert(
+            tx_id,
+            ActiveTx {
+                src,
+                frame,
+                packet,
+                receivers,
+            },
+        );
     }
 
     /// Recompute the sensible-receiver list and link budgets for `src`.
@@ -427,9 +572,17 @@ impl Medium {
             &mut nbrs,
         );
         for &r in nbrs.iter() {
+            if self.down[r as usize] {
+                continue; // dead radios sense nothing
+            }
             let rx_pos = positions.position(r as usize);
             self.stats.pathloss_evals += 1;
-            let rx_dbm = self.rx_power(src_pos, rx_pos, src, r);
+            // The fault attenuations are exactly 0.0 unless a link-flap
+            // model is active (x - 0.0 is bitwise x, so no-fault runs are
+            // untouched).
+            let rx_dbm = self.rx_power(src_pos, rx_pos, src, r)
+                - self.node_atten_db[src as usize]
+                - self.node_atten_db[r as usize];
             if self.phy.is_sensed(rx_dbm) {
                 entries.push((r, rx_dbm));
             }
@@ -441,7 +594,11 @@ impl Medium {
 
     /// The transmitter's frame has left the air.
     pub fn tx_end(&mut self, tx_id: u64, now: SimTime, out: &mut Vec<MediumEffect>) {
-        let tx = self.active.get_mut(&tx_id).expect("tx_end for unknown tx");
+        let Some(tx) = self.active.get_mut(&tx_id) else {
+            // Only a crash mid-transmission retires a record early.
+            debug_assert!(self.faults_seen, "tx_end for unknown tx");
+            return;
+        };
         let src = tx.src;
         let done = tx.receivers.is_empty();
         let st = &mut self.states[src as usize];
@@ -460,7 +617,11 @@ impl Medium {
     pub fn rx_end(&mut self, tx_id: u64, now: SimTime, out: &mut Vec<MediumEffect>) {
         // TxEnd (at `end`) always precedes RxEnd (at `end + prop`, same-time
         // ties broken by schedule order), so the record can be removed here.
-        let tx = self.active.remove(&tx_id).expect("rx_end for unknown tx");
+        let Some(tx) = self.active.remove(&tx_id) else {
+            // Only a crash mid-transmission retires a record early.
+            debug_assert!(self.faults_seen, "rx_end for unknown tx");
+            return;
+        };
         debug_assert_ne!(self.states[tx.src as usize].transmitting, Some(tx_id));
         let rate = self.rate_for(&tx.frame);
         let bits = radio_frame::error_model_bits(tx.frame.air_bytes);
@@ -481,9 +642,20 @@ impl Medium {
             if let Some(a) = attempt {
                 if a.corrupted {
                     self.stats.collisions += 1;
-                    self.tel.emit_at(node, now, EventKind::PhyCollision { tx_id });
+                    self.tel
+                        .emit_at(node, now, EventKind::PhyCollision { tx_id });
                 } else {
-                    let snr = self.phy.sinr(a.power_dbm, 0.0);
+                    // A noise-burst fault raises this receiver's floor by
+                    // `extra` dB: model the rise as equivalent interference
+                    // power. The branch keeps no-fault runs on the exact
+                    // pre-fault arithmetic (`sinr(p, 0.0)`).
+                    let extra = self.extra_noise_db[node as usize];
+                    let interference_mw = if extra > 0.0 {
+                        self.phy.noise_floor_mw() * (10f64.powf(extra / 10.0) - 1.0)
+                    } else {
+                        0.0
+                    };
+                    let snr = self.phy.sinr(a.power_dbm, interference_mw);
                     let per = rate.per(snr, bits);
                     if self.rng.chance(per) {
                         self.stats.noise_losses += 1;
@@ -642,7 +814,9 @@ mod tests {
         m.start_tx(2, bcast_frame(2), None, SimTime::ZERO, &idx, &mut fx);
         let done = run_rx_ends(&mut m, &fx);
         assert!(
-            !done.iter().any(|e| matches!(e, MediumEffect::Deliver { node: 1, .. })),
+            !done
+                .iter()
+                .any(|e| matches!(e, MediumEffect::Deliver { node: 1, .. })),
             "equal-power overlap must collide"
         );
         assert!(m.stats().collisions >= 1);
@@ -687,7 +861,9 @@ mod tests {
         // Node 1 was transmitting when 0's frame arrived... 0's frame
         // arrived first, so node 1 was receiving and its own tx aborted
         // the reception.
-        assert!(!done.iter().any(|e| matches!(e, MediumEffect::Deliver { node: 1, .. })));
+        assert!(!done
+            .iter()
+            .any(|e| matches!(e, MediumEffect::Deliver { node: 1, .. })));
         assert_eq!(m.stats().aborted_by_tx, 1);
     }
 
@@ -701,12 +877,21 @@ mod tests {
             load: Default::default(),
             velocity: (0.0, 0.0),
         });
-        m.start_tx(0, bcast_frame(0), Some(pkt.clone()), SimTime::ZERO, &idx, &mut fx);
+        m.start_tx(
+            0,
+            bcast_frame(0),
+            Some(pkt.clone()),
+            SimTime::ZERO,
+            &idx,
+            &mut fx,
+        );
         let done = run_rx_ends(&mut m, &fx);
         let got = done
             .iter()
             .find_map(|e| match e {
-                MediumEffect::Deliver { node: 1, packet, .. } => packet.clone(),
+                MediumEffect::Deliver {
+                    node: 1, packet, ..
+                } => packet.clone(),
                 _ => None,
             })
             .expect("delivery with payload");
@@ -738,13 +923,23 @@ mod tests {
         m.start_tx(0, bcast_frame(0), None, SimTime::ZERO, &idx, &mut fx);
         let _ = run_rx_ends(&mut m, &fx);
         let evals_after_warmup = m.stats().pathloss_evals;
-        assert!(evals_after_warmup > 0, "first tx must evaluate the link budget");
+        assert!(
+            evals_after_warmup > 0,
+            "first tx must evaluate the link budget"
+        );
 
         // Every further transmission from node 0 on the static topology is
         // served from the cache: zero new pathloss (log10) evaluations.
         for t in 1..=10u64 {
             let mut fx = Vec::new();
-            m.start_tx(0, bcast_frame(0), None, SimTime(t * 10_000_000), &idx, &mut fx);
+            m.start_tx(
+                0,
+                bcast_frame(0),
+                None,
+                SimTime(t * 10_000_000),
+                &idx,
+                &mut fx,
+            );
             let _ = run_rx_ends(&mut m, &fx);
         }
         assert_eq!(m.stats().pathloss_evals, evals_after_warmup);
@@ -768,9 +963,14 @@ mod tests {
         let mut fx = Vec::new();
         m.start_tx(0, bcast_frame(0), None, SimTime(20_000_000), &idx, &mut fx);
         let _ = run_rx_ends(&mut m, &fx);
-        assert_eq!(m.stats().link_cache_hits, 0, "stale cache served after movement");
+        assert_eq!(
+            m.stats().link_cache_hits,
+            0,
+            "stale cache served after movement"
+        );
         assert!(
-            !fx.iter().any(|e| matches!(e, MediumEffect::Channel { node: 1, .. })),
+            !fx.iter()
+                .any(|e| matches!(e, MediumEffect::Channel { node: 1, .. })),
             "out-of-range receiver still sensed from stale cache"
         );
 
@@ -779,21 +979,31 @@ mod tests {
         idx.update(1, Vec2::new(1200.0, 1000.0));
         let mut fx = Vec::new();
         m.start_tx(0, bcast_frame(0), None, SimTime(40_000_000), &idx, &mut fx);
-        assert!(m.stats().pathloss_evals > warm_evals, "no recompute after moving back");
         assert!(
-            fx.iter().any(|e| matches!(e, MediumEffect::Channel { node: 1, busy: true })),
+            m.stats().pathloss_evals > warm_evals,
+            "no recompute after moving back"
+        );
+        assert!(
+            fx.iter().any(|e| matches!(
+                e,
+                MediumEffect::Channel {
+                    node: 1,
+                    busy: true
+                }
+            )),
             "in-range receiver not sensing after recompute"
         );
     }
 
     #[test]
     fn cached_and_uncached_medium_agree() {
-        let pos: Vec<Vec2> = (0..6).map(|i| Vec2::new(150.0 + 180.0 * i as f64, 1000.0)).collect();
+        let pos: Vec<Vec2> = (0..6)
+            .map(|i| Vec2::new(150.0 + 180.0 * i as f64, 1000.0))
+            .collect();
         let run = |cache: bool| {
             let phy = PhyParams::classic_802_11b();
             let idx = SpatialIndex::new(Region::square(2000.0), 300.0, &pos);
-            let mut m =
-                Medium::new(phy, pos.len(), SimRng::new(7), 25.0).with_link_cache(cache);
+            let mut m = Medium::new(phy, pos.len(), SimRng::new(7), 25.0).with_link_cache(cache);
             let mut all = Vec::new();
             for round in 0..4u64 {
                 for src in 0..pos.len() as u32 {
@@ -808,15 +1018,148 @@ mod tests {
             let delivered: Vec<(u32, u32, u64)> = all
                 .iter()
                 .filter_map(|e| match e {
-                    MediumEffect::Deliver { node, frame, rx_dbm, .. } => {
-                        Some((*node, frame.src.0, rx_dbm.to_bits()))
-                    }
+                    MediumEffect::Deliver {
+                        node,
+                        frame,
+                        rx_dbm,
+                        ..
+                    } => Some((*node, frame.src.0, rx_dbm.to_bits())),
                     _ => None,
                 })
                 .collect();
             (delivered, m.stats().physics())
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn down_node_neither_senses_nor_receives() {
+        let pos = vec![Vec2::new(900.0, 1000.0), Vec2::new(1100.0, 1000.0)];
+        let (mut m, idx) = setup(pos);
+        let mut fx = Vec::new();
+        m.set_node_down(1, SimTime::ZERO, &mut fx);
+        assert!(m.is_down(1));
+        m.start_tx(0, bcast_frame(0), None, SimTime::ZERO, &idx, &mut fx);
+        let done = run_rx_ends(&mut m, &fx);
+        assert!(
+            !fx.iter().chain(done.iter()).any(|e| matches!(
+                e,
+                MediumEffect::Channel { node: 1, .. } | MediumEffect::Deliver { node: 1, .. }
+            )),
+            "dead radio interacted with the medium"
+        );
+        // Reboot: the link cache must be invalidated so the node reappears.
+        m.set_node_up(1, SimTime::from_millis(10));
+        let mut fx = Vec::new();
+        m.start_tx(
+            0,
+            bcast_frame(0),
+            None,
+            SimTime::from_millis(10),
+            &idx,
+            &mut fx,
+        );
+        let done = run_rx_ends(&mut m, &fx);
+        assert!(done
+            .iter()
+            .any(|e| matches!(e, MediumEffect::Deliver { node: 1, .. })));
+    }
+
+    #[test]
+    fn crash_mid_transmission_cuts_the_frame() {
+        let pos = vec![Vec2::new(900.0, 1000.0), Vec2::new(1100.0, 1000.0)];
+        let (mut m, idx) = setup(pos);
+        let mut fx = Vec::new();
+        m.start_tx(0, bcast_frame(0), None, SimTime::ZERO, &idx, &mut fx);
+        assert!(m.sensed_busy(1));
+        let mut cut = Vec::new();
+        m.set_node_down(0, SimTime(1000), &mut cut);
+        // The receiver's carrier sense clears with the aborted frame.
+        assert!(cut.iter().any(|e| matches!(
+            e,
+            MediumEffect::Channel {
+                node: 1,
+                busy: false
+            }
+        )));
+        // The already-scheduled TxEnd/RxEnd events find nothing — and panic
+        // nothing.
+        let done = run_rx_ends(&mut m, &fx);
+        assert!(done.is_empty());
+        assert!(m.active.is_empty());
+    }
+
+    #[test]
+    fn noise_burst_destroys_reception_and_clears_exactly() {
+        let pos = vec![Vec2::new(900.0, 1000.0), Vec2::new(1100.0, 1000.0)];
+        let (mut m, idx) = setup(pos);
+        m.apply_noise(0, 80.0, &[1]);
+        let mut fx = Vec::new();
+        m.start_tx(0, bcast_frame(0), None, SimTime::ZERO, &idx, &mut fx);
+        let done = run_rx_ends(&mut m, &fx);
+        assert!(
+            !done
+                .iter()
+                .any(|e| matches!(e, MediumEffect::Deliver { node: 1, .. })),
+            "frame decoded through an 80 dB noise burst"
+        );
+        assert_eq!(m.stats().noise_losses, 1);
+        // Burst over: the floor returns to exactly 0 dB extra.
+        m.clear_noise(0);
+        assert_eq!(m.extra_noise_db[1].to_bits(), 0f64.to_bits());
+        let mut fx = Vec::new();
+        m.start_tx(
+            0,
+            bcast_frame(0),
+            None,
+            SimTime::from_millis(10),
+            &idx,
+            &mut fx,
+        );
+        let done = run_rx_ends(&mut m, &fx);
+        assert!(done
+            .iter()
+            .any(|e| matches!(e, MediumEffect::Deliver { node: 1, .. })));
+    }
+
+    #[test]
+    fn link_shift_beyond_margin_silences_the_link() {
+        let pos = vec![Vec2::new(900.0, 1000.0), Vec2::new(1100.0, 1000.0)];
+        let (mut m, idx) = setup(pos);
+        // Warm the cache first so the shift must invalidate it.
+        let mut fx = Vec::new();
+        m.start_tx(0, bcast_frame(0), None, SimTime::ZERO, &idx, &mut fx);
+        let _ = run_rx_ends(&mut m, &fx);
+        m.shift_node_atten(1, 60.0);
+        let mut fx = Vec::new();
+        m.start_tx(
+            0,
+            bcast_frame(0),
+            None,
+            SimTime::from_millis(10),
+            &idx,
+            &mut fx,
+        );
+        let done = run_rx_ends(&mut m, &fx);
+        assert!(!done
+            .iter()
+            .any(|e| matches!(e, MediumEffect::Deliver { node: 1, .. })));
+        // Undo restores the link exactly.
+        m.shift_node_atten(1, -60.0);
+        assert_eq!(m.node_atten_db[1].to_bits(), 0f64.to_bits());
+        let mut fx = Vec::new();
+        m.start_tx(
+            0,
+            bcast_frame(0),
+            None,
+            SimTime::from_millis(20),
+            &idx,
+            &mut fx,
+        );
+        let done = run_rx_ends(&mut m, &fx);
+        assert!(done
+            .iter()
+            .any(|e| matches!(e, MediumEffect::Deliver { node: 1, .. })));
     }
 
     #[test]

@@ -9,14 +9,16 @@
 use crate::event::Event;
 use crate::medium::{Medium, MediumEffect};
 use crate::node::Node;
+use crate::scheme::Scheme;
 use std::collections::VecDeque;
-use wmn_mac::{DropReason, MacAction, MacAddr, TimerKind, BROADCAST};
-use wmn_routing::{DataDropReason, DataPacket, NodeId, Packet, RoutingAction};
-use wmn_telemetry::{DropReason as TelDrop, EventKind, Tel};
-use wmn_sim::{Scheduler, SimDuration, SimTime, World};
+use wmn_faults::{FaultKind, TimedFault};
+use wmn_mac::{DropReason, MacAction, MacAddr, MacParams, TimerKind, BROADCAST};
+use wmn_metrics::{ProbeSeries, RecoveryTracker, TimeSeries};
+use wmn_routing::{DataDropReason, DataPacket, NodeId, Packet, RoutingAction, RoutingConfig};
 use wmn_sim::SimRng;
-use wmn_topology::SpatialIndex;
-use wmn_metrics::{ProbeSeries, TimeSeries};
+use wmn_sim::{Scheduler, SimDuration, SimTime, World};
+use wmn_telemetry::{DropReason as TelDrop, EventKind, FaultCode, Tel};
+use wmn_topology::{SpatialIndex, Vec2};
 use wmn_traffic::{FlowState, FlowTracker};
 
 /// Network-layer data-loss counters by cause.
@@ -38,6 +40,11 @@ pub struct DropCounters {
     /// Control packets (RREQ/RREP/RERR/HELLO) rejected by a full interface
     /// queue. Not part of [`DropCounters::total`], which counts data only.
     pub ctrl_queue_full: u64,
+    /// Data packets lost in the queues/buffers of a crashing node.
+    pub node_down: u64,
+    /// Control packets lost in the queues of a crashing node. Like
+    /// `ctrl_queue_full`, not part of [`DropCounters::total`].
+    pub ctrl_node_down: u64,
 }
 
 impl DropCounters {
@@ -49,12 +56,15 @@ impl DropCounters {
             + self.discovery_failed
             + self.link_failure
             + self.expired
+            + self.node_down
     }
 
     /// Visit every counter as a stable snake_case `(name, value)` pair —
     /// the export consumed by the unified `wmn_telemetry::Counters`
     /// registry. Names are part of the trace/manifest format; they match
-    /// `counter_for_drop` on the corresponding `DropReason`.
+    /// `counter_for_drop` on the corresponding `DropReason`. The fault
+    /// counters only appear once a fault actually discarded something, so
+    /// no-fault manifests are byte-identical to pre-fault builds.
     pub fn visit(&self, f: &mut dyn FnMut(&'static str, u64)) {
         f("drop_queue_full", self.queue_full);
         f("drop_no_route", self.no_route);
@@ -63,7 +73,55 @@ impl DropCounters {
         f("drop_link_failure", self.link_failure);
         f("drop_expired", self.expired);
         f("drop_ctrl_queue_full", self.ctrl_queue_full);
+        if self.node_down > 0 {
+            f("drop_node_down", self.node_down);
+        }
+        if self.ctrl_node_down > 0 {
+            f("drop_ctrl_node_down", self.ctrl_node_down);
+        }
     }
+}
+
+/// Fault-injection counters (all zero — and absent from the registry —
+/// unless a fault schedule is active).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultCounters {
+    /// Node crashes applied.
+    pub node_down: u64,
+    /// Node reboots applied.
+    pub node_up: u64,
+    /// Non-churn faults applied (noise burst edges, link shifts).
+    pub injected: u64,
+}
+
+impl FaultCounters {
+    /// Export into the unified counter registry (names match
+    /// `counter_for_event` for the corresponding trace kinds). Only
+    /// nonzero counters are visited so no-fault manifests are unchanged.
+    pub fn visit(&self, f: &mut dyn FnMut(&'static str, u64)) {
+        if self.node_down > 0 {
+            f("fault_node_down", self.node_down);
+        }
+        if self.node_up > 0 {
+            f("fault_node_up", self.node_up);
+        }
+        if self.injected > 0 {
+            f("fault_injected", self.injected);
+        }
+    }
+}
+
+/// Everything needed to rebuild a node's protocol stack cold after a
+/// reboot (the builder's construction parameters, kept by the network).
+pub struct RebootKit {
+    /// Master seed (reboot RNG streams are salted with the incarnation).
+    pub master_seed: u64,
+    /// MAC parameters.
+    pub mac: MacParams,
+    /// Routing configuration.
+    pub routing: RoutingConfig,
+    /// Rebroadcast scheme (rebuilt per reboot).
+    pub scheme: Scheme,
 }
 
 enum Work {
@@ -86,8 +144,17 @@ pub struct Network {
     pub flows: Vec<FlowState>,
     /// Data-loss counters.
     pub drops: DropCounters,
+    /// Fault-injection counters.
+    pub faults: FaultCounters,
     /// Per-second delivery events (for convergence/transient views).
     pub delivery_timeline: TimeSeries,
+    /// Per-second send events (denominator for PDR-during-outage).
+    pub sent_timeline: TimeSeries,
+    /// Completed and open outages: `(node, down_s, up_s)`; `None` = still
+    /// down at the horizon.
+    pub outages: Vec<(u32, f64, Option<f64>)>,
+    /// Route-repair latency tracker (fault → next delivery).
+    pub recovery: RecoveryTracker,
     /// Periodic cross-layer probe feed (empty unless telemetry probes ran).
     pub probes: ProbeSeries,
     /// Events dispatched to this world (mirrors the engine's count; the
@@ -111,6 +178,11 @@ pub struct Network {
     scratch_fx: Vec<MediumEffect>,
     /// One gate per (node, MAC timer kind); see [`TimerGate`].
     timer_gates: Vec<[TimerGate; 3]>,
+    /// The expanded fault schedule (empty unless a plan was configured).
+    fault_schedule: Vec<TimedFault>,
+    /// Stack-reconstruction parameters for reboots (present iff faults
+    /// are configured).
+    reboot_kit: Option<RebootKit>,
 }
 
 /// Heap-traffic gate for MAC timers.
@@ -136,8 +208,11 @@ struct TimerGate {
     /// longer cheap to know, so the gate stops parking until they drain
     /// (parking against an unknown deadline could re-issue into the past).
     known: bool,
-    /// Parked request `(deadline, gen)`, re-issued at the next fire.
-    deferred: Option<(SimTime, u64)>,
+    /// Parked request `(deadline, gen, incarnation)`, re-issued at the
+    /// next fire. Cleared when the node crashes (a dead MAC wants no
+    /// timers); the incarnation rides along so a request parked just
+    /// before a crash cannot reach the rebooted MAC.
+    deferred: Option<(SimTime, u64, u32)>,
 }
 
 fn timer_ix(kind: TimerKind) -> usize {
@@ -167,7 +242,11 @@ impl Network {
             tracker,
             flows,
             drops: DropCounters::default(),
+            faults: FaultCounters::default(),
             delivery_timeline: TimeSeries::new(SimDuration::from_secs(1)),
+            sent_timeline: TimeSeries::new(SimDuration::from_secs(1)),
+            outages: Vec::new(),
+            recovery: RecoveryTracker::new(),
             probes: ProbeSeries::new(SimDuration::from_secs(1)),
             events_handled: 0,
             tel: Tel::off(),
@@ -181,7 +260,23 @@ impl Network {
             scratch_routing: Vec::with_capacity(8),
             scratch_fx: Vec::with_capacity(64),
             timer_gates: vec![[TimerGate::default(); 3]; n_nodes],
+            fault_schedule: Vec::new(),
+            reboot_kit: None,
         }
+    }
+
+    /// Install an expanded fault schedule plus the stack-reconstruction
+    /// parameters reboots need. The builder primes one `Event::Fault` per
+    /// entry; nothing here touches the event list, so an empty schedule
+    /// leaves the run byte-identical.
+    pub fn set_faults(&mut self, schedule: Vec<TimedFault>, kit: RebootKit) {
+        self.fault_schedule = schedule;
+        self.reboot_kit = Some(kit);
+    }
+
+    /// The installed fault schedule (empty without a fault plan).
+    pub fn fault_schedule(&self) -> &[TimedFault] {
+        &self.fault_schedule
     }
 
     /// True if any node can move.
@@ -194,12 +289,7 @@ impl Network {
     /// network-level emitters. `probe_interval` enables the periodic
     /// cross-layer probe (the builder primes the first tick); `profile`
     /// additionally samples the event loop itself.
-    pub fn set_telemetry(
-        &mut self,
-        tel: Tel,
-        probe_interval: Option<SimDuration>,
-        profile: bool,
-    ) {
+    pub fn set_telemetry(&mut self, tel: Tel, probe_interval: Option<SimDuration>, profile: bool) {
         self.medium.set_telemetry(tel.clone());
         for (i, node) in self.nodes.iter_mut().enumerate() {
             let t = tel.for_node(i as u32);
@@ -253,7 +343,11 @@ impl Network {
             let rate = match self.probe_anchor {
                 Some((t0, e0)) => {
                     let dt = wall.duration_since(t0).as_secs_f64();
-                    if dt > 0.0 { (self.events_handled - e0) as f64 / dt } else { 0.0 }
+                    if dt > 0.0 {
+                        (self.events_handled - e0) as f64 / dt
+                    } else {
+                        0.0
+                    }
                 }
                 None => 0.0,
             };
@@ -292,7 +386,8 @@ impl Network {
     }
 
     fn queue_routing(&mut self, node: u32, acts: &mut Vec<RoutingAction>) {
-        self.work.extend(acts.drain(..).map(|a| Work::Routing(node, a)));
+        self.work
+            .extend(acts.drain(..).map(|a| Work::Routing(node, a)));
     }
 
     fn queue_medium(&mut self, effects: &mut Vec<MediumEffect>) {
@@ -312,12 +407,16 @@ impl Network {
         match act {
             MacAction::StartTx(frame) => {
                 let payload = if frame.kind == wmn_mac::FrameKind::Data {
-                    self.nodes[node as usize].outgoing.get(&frame.sdu_id).cloned()
+                    self.nodes[node as usize]
+                        .outgoing
+                        .get(&frame.sdu_id)
+                        .cloned()
                 } else {
                     None
                 };
                 let mut fx = std::mem::take(&mut self.scratch_fx);
-                self.medium.start_tx(node, frame, payload, now, &self.spatial, &mut fx);
+                self.medium
+                    .start_tx(node, frame, payload, now, &self.spatial, &mut fx);
                 self.queue_medium(&mut fx);
                 self.scratch_fx = fx;
             }
@@ -327,7 +426,12 @@ impl Network {
                 // path — ignore defensively.
                 debug_assert!(frame.sdu_id != 0, "unexpected bare Deliver");
             }
-            MacAction::TxOutcome { sdu_id, dst, ok, retries: _ } => {
+            MacAction::TxOutcome {
+                sdu_id,
+                dst,
+                ok,
+                retries: _,
+            } => {
                 let payload = self.nodes[node as usize].take_payload(sdu_id);
                 if !ok {
                     let cross = self.nodes[node as usize].cross_layer(now);
@@ -344,18 +448,27 @@ impl Network {
                 }
             }
             MacAction::SetTimer { kind, at, gen } => {
+                let inc = self.nodes[node as usize].incarnation;
                 let g = &mut self.timer_gates[node as usize][timer_ix(kind)];
                 if g.known && at >= g.front_at {
                     // An event with an earlier-or-equal deadline is already
                     // in flight: park this request behind it (replacing any
                     // older, now-stale parked one).
-                    g.deferred = Some((at, gen));
+                    g.deferred = Some((at, gen, inc));
                 } else {
                     g.deferred = None;
                     g.inflight += 1;
                     g.known = g.inflight == 1;
                     g.front_at = at;
-                    sched.at(at, Event::MacTimer { node, kind, gen });
+                    sched.at(
+                        at,
+                        Event::MacTimer {
+                            node,
+                            kind,
+                            gen,
+                            inc,
+                        },
+                    );
                 }
             }
             MacAction::Drop { sdu_id, reason } => match reason {
@@ -380,7 +493,9 @@ impl Network {
                             self.tel.emit_at(
                                 node,
                                 now,
-                                EventKind::CtrlDrop { reason: TelDrop::QueueFull },
+                                EventKind::CtrlDrop {
+                                    reason: TelDrop::QueueFull,
+                                },
                             );
                         }
                         None => {}
@@ -406,7 +521,15 @@ impl Network {
                 if delay.is_zero() {
                     self.submit_to_mac(node, packet, BROADCAST, now);
                 } else {
-                    sched.after(delay, Event::DelayedBroadcast { node, packet: Box::new(packet) });
+                    let inc = self.nodes[node as usize].incarnation;
+                    sched.after(
+                        delay,
+                        Event::DelayedBroadcast {
+                            node,
+                            packet: Box::new(packet),
+                            inc,
+                        },
+                    );
                 }
             }
             RoutingAction::Unicast { packet, next_hop } => {
@@ -416,13 +539,19 @@ impl Network {
                 self.tel.emit_at(
                     node,
                     now,
-                    EventKind::DataDeliver { flow: data.flow.0, seq: data.seq },
+                    EventKind::DataDeliver {
+                        flow: data.flow.0,
+                        seq: data.seq,
+                    },
                 );
-                self.tracker.on_delivered(data.flow, data.created, now, data.payload);
+                self.tracker
+                    .on_delivered(data.flow, data.created, now, data.payload);
                 self.delivery_timeline.mark(now);
+                self.recovery.on_delivery(now);
             }
             RoutingAction::SetTimer { timer, at } => {
-                sched.at(at, Event::RoutingTimer { node, timer });
+                let inc = self.nodes[node as usize].incarnation;
+                sched.at(at, Event::RoutingTimer { node, timer, inc });
             }
             RoutingAction::DataDropped { packet, reason } => {
                 let why = match reason {
@@ -451,7 +580,11 @@ impl Network {
                 self.tel.emit_at(
                     node,
                     now,
-                    EventKind::DataDrop { reason: why, flow: packet.flow.0, seq: packet.seq },
+                    EventKind::DataDrop {
+                        reason: why,
+                        flow: packet.flow.0,
+                        seq: packet.seq,
+                    },
                 );
             }
         }
@@ -461,7 +594,9 @@ impl Network {
         match eff {
             MediumEffect::Channel { node, busy } => {
                 let mut acts = std::mem::take(&mut self.scratch_mac);
-                self.nodes[node as usize].mac.on_channel(busy, now, &mut acts);
+                self.nodes[node as usize]
+                    .mac
+                    .on_channel(busy, now, &mut acts);
                 self.queue_mac(node, &mut acts);
                 self.scratch_mac = acts;
             }
@@ -477,9 +612,16 @@ impl Network {
                 self.queue_mac(node, &mut acts);
                 self.scratch_mac = acts;
             }
-            MediumEffect::Deliver { node, frame, packet, rx_dbm } => {
+            MediumEffect::Deliver {
+                node,
+                frame,
+                packet,
+                rx_dbm,
+            } => {
                 let mut acts = std::mem::take(&mut self.scratch_mac);
-                self.nodes[node as usize].mac.on_rx_frame(frame, now, &mut acts);
+                self.nodes[node as usize]
+                    .mac
+                    .on_rx_frame(frame, now, &mut acts);
                 for a in acts.drain(..) {
                     if let MacAction::Deliver(f) = a {
                         if let Some(pkt) = packet.clone() {
@@ -487,9 +629,9 @@ impl Network {
                             let mut cross = self.nodes[node as usize].cross_layer(now);
                             cross.last_rx_dbm = Some(rx_dbm);
                             let mut racts = std::mem::take(&mut self.scratch_routing);
-                            self.nodes[node as usize].routing.on_packet(
-                                pkt, from, &cross, now, &mut racts,
-                            );
+                            self.nodes[node as usize]
+                                .routing
+                                .on_packet(pkt, from, &cross, now, &mut racts);
                             self.queue_routing(node, &mut racts);
                             self.scratch_routing = racts;
                         }
@@ -505,6 +647,17 @@ impl Network {
     fn emit_traffic(&mut self, flow_idx: usize, now: SimTime, sched: &mut Scheduler<Event>) {
         let (seq, next) = self.flows[flow_idx].emit(now, &mut self.traffic_rng);
         let spec = *self.flows[flow_idx].spec();
+        if let Some(t) = next {
+            if t <= sched.horizon() {
+                sched.at(t, Event::TrafficEmit { flow_idx });
+            }
+        }
+        // A crashed source offers no load: the flow clock (and its RNG
+        // stream) advanced above so emissions resume on schedule at
+        // reboot, but nothing is sent or counted while down.
+        if self.nodes[spec.src.index()].down {
+            return;
+        }
         let data = DataPacket {
             flow: spec.id,
             seq,
@@ -514,23 +667,197 @@ impl Network {
             created: now,
         };
         self.tracker.on_sent(spec.id, now);
-        self.tel
-            .emit_at(spec.src.0, now, EventKind::DataOriginate { flow: spec.id.0, seq });
+        self.sent_timeline.mark(now);
+        self.tel.emit_at(
+            spec.src.0,
+            now,
+            EventKind::DataOriginate {
+                flow: spec.id.0,
+                seq,
+            },
+        );
         let mut racts = std::mem::take(&mut self.scratch_routing);
-        self.nodes[spec.src.index()].routing.send_data(data, now, &mut racts);
+        self.nodes[spec.src.index()]
+            .routing
+            .send_data(data, now, &mut racts);
         self.queue_routing(spec.src.0, &mut racts);
         self.scratch_routing = racts;
-        if let Some(t) = next {
-            if t <= sched.horizon() {
-                sched.at(t, Event::TrafficEmit { flow_idx });
-            }
-        }
     }
 
     fn update_position(&mut self, node: u32, now: SimTime) {
         let n = &mut self.nodes[node as usize];
         let p = n.mobility.position(now);
         self.spatial.update(node as usize, p);
+    }
+
+    /// Apply fault-schedule entry `idx` (primed by the builder).
+    fn apply_fault(&mut self, idx: u32, now: SimTime, _sched: &mut Scheduler<Event>) {
+        let fault = self.fault_schedule[idx as usize];
+        match fault.kind {
+            FaultKind::NodeDown { node } => self.crash_node(node, now),
+            FaultKind::NodeUp { node } => self.reboot_node(node, now),
+            FaultKind::NoiseStart {
+                id,
+                x_m,
+                y_m,
+                radius_m,
+                delta_db,
+            } => {
+                self.faults.injected += 1;
+                self.tel.emit_at(
+                    0,
+                    now,
+                    EventKind::FaultInjected {
+                        fault: FaultCode::NoiseStart,
+                    },
+                );
+                // Membership is decided once, at burst onset: a node that
+                // wanders in or out keeps its onset-time exposure until the
+                // burst ends. Spatial query order is grid order, so sort
+                // for a schedule-independent medium state.
+                let mut hit = Vec::new();
+                self.spatial
+                    .query_radius(Vec2::new(x_m, y_m), radius_m, usize::MAX, &mut hit);
+                hit.sort_unstable();
+                self.medium.apply_noise(id, delta_db, &hit);
+            }
+            FaultKind::NoiseEnd { id } => {
+                self.faults.injected += 1;
+                self.tel.emit_at(
+                    0,
+                    now,
+                    EventKind::FaultInjected {
+                        fault: FaultCode::NoiseEnd,
+                    },
+                );
+                self.medium.clear_noise(id);
+            }
+            FaultKind::LinkShift { node, delta_db } => {
+                self.faults.injected += 1;
+                self.tel.emit_at(
+                    node,
+                    now,
+                    EventKind::FaultInjected {
+                        fault: FaultCode::LinkShift,
+                    },
+                );
+                self.medium.shift_node_atten(node, delta_db);
+            }
+        }
+    }
+
+    /// Crash a node: radio off, queues and tables lost, every discard
+    /// counted exactly once (packet conservation holds through the crash).
+    fn crash_node(&mut self, node: u32, now: SimTime) {
+        if self.nodes[node as usize].down {
+            return;
+        }
+        self.faults.node_down += 1;
+        let inc = self.nodes[node as usize].incarnation;
+        self.tel
+            .emit_at(node, now, EventKind::NodeDown { incarnation: inc });
+        self.nodes[node as usize].down = true;
+        // Parked timer requests die with the incarnation. In-flight timer
+        // events still drain through the gates; the stale-incarnation check
+        // at fire time keeps them away from the rebooted MAC.
+        for g in &mut self.timer_gates[node as usize] {
+            g.deferred = None;
+        }
+        // Radio off: abort any frame mid-air, strip the node from every
+        // in-flight reception, silence its carrier sense.
+        let mut fx = std::mem::take(&mut self.scratch_fx);
+        self.medium.set_node_down(node, now, &mut fx);
+        self.queue_medium(&mut fx);
+        self.scratch_fx = fx;
+        // Everything queued at the interface dies with the node. HashMap
+        // iteration order is unstable, so drain in sdu-id (= enqueue) order
+        // to keep traces deterministic.
+        let mut sdus: Vec<u64> = self.nodes[node as usize].outgoing.keys().copied().collect();
+        sdus.sort_unstable();
+        for sdu in sdus {
+            match self.nodes[node as usize].take_payload(sdu) {
+                Some(Packet::Data(data)) => {
+                    self.drops.node_down += 1;
+                    self.tel.emit_at(
+                        node,
+                        now,
+                        EventKind::DataDrop {
+                            reason: TelDrop::NodeDown,
+                            flow: data.flow.0,
+                            seq: data.seq,
+                        },
+                    );
+                }
+                Some(_) => {
+                    self.drops.ctrl_node_down += 1;
+                    self.tel.emit_at(
+                        node,
+                        now,
+                        EventKind::CtrlDrop {
+                            reason: TelDrop::NodeDown,
+                        },
+                    );
+                }
+                None => {}
+            }
+        }
+        // Data parked in the routing layer awaiting route discovery is
+        // lost too (disjoint from the interface queue drained above).
+        for data in self.nodes[node as usize].routing.drain_buffered() {
+            self.drops.node_down += 1;
+            self.tel.emit_at(
+                node,
+                now,
+                EventKind::DataDrop {
+                    reason: TelDrop::NodeDown,
+                    flow: data.flow.0,
+                    seq: data.seq,
+                },
+            );
+        }
+        self.recovery.on_fault(now);
+        self.outages.push((node, now.as_secs_f64(), None));
+    }
+
+    /// Reboot a crashed node with cold protocol state (fresh incarnation,
+    /// fresh RNG streams, empty tables), and restart its routing layer.
+    fn reboot_node(&mut self, node: u32, now: SimTime) {
+        if !self.nodes[node as usize].down {
+            return;
+        }
+        self.faults.node_up += 1;
+        let (seed, mac, routing, policy) = {
+            let kit = self
+                .reboot_kit
+                .as_ref()
+                .expect("node reboot without a reboot kit");
+            (
+                kit.master_seed,
+                kit.mac.clone(),
+                kit.routing.clone(),
+                kit.scheme.build(),
+            )
+        };
+        self.nodes[node as usize].reboot(seed, mac, routing, policy);
+        let t = self.tel.for_node(node);
+        self.nodes[node as usize].mac.set_telemetry(t.clone());
+        self.nodes[node as usize].routing.set_telemetry(t);
+        self.medium.set_node_up(node, now);
+        let inc = self.nodes[node as usize].incarnation;
+        self.tel
+            .emit_at(node, now, EventKind::NodeUp { incarnation: inc });
+        let mut racts = std::mem::take(&mut self.scratch_routing);
+        self.nodes[node as usize].routing.start(now, &mut racts);
+        self.queue_routing(node, &mut racts);
+        self.scratch_routing = racts;
+        if let Some(o) = self
+            .outages
+            .iter_mut()
+            .rev()
+            .find(|o| o.0 == node && o.2.is_none())
+        {
+            o.2 = Some(now.as_secs_f64());
+        }
     }
 }
 
@@ -541,29 +868,57 @@ impl World for Network {
         let now = sched.now();
         self.events_handled += 1;
         match event {
-            Event::MacTimer { node, kind, gen } => {
+            Event::MacTimer {
+                node,
+                kind,
+                gen,
+                inc,
+            } => {
                 let g = &mut self.timer_gates[node as usize][timer_ix(kind)];
                 debug_assert!(g.inflight > 0, "timer fire with empty gate");
                 g.inflight -= 1;
                 g.known = false;
-                if let Some((at, dgen)) = g.deferred.take() {
+                if let Some((at, dgen, dinc)) = g.deferred.take() {
                     // A parked request can only exist behind a single
                     // in-flight event, so the gate is empty here and the
                     // re-issue (at `at >= now`) becomes its sole occupant.
                     g.inflight += 1;
                     g.known = g.inflight == 1;
                     g.front_at = at;
-                    sched.at(at, Event::MacTimer { node, kind, gen: dgen });
+                    sched.at(
+                        at,
+                        Event::MacTimer {
+                            node,
+                            kind,
+                            gen: dgen,
+                            inc: dinc,
+                        },
+                    );
+                }
+                // Timers scheduled by a previous incarnation (or while the
+                // node is dead) must not fire into the fresh MAC state: the
+                // gate bookkeeping above still drains, the callback doesn't.
+                let n = &self.nodes[node as usize];
+                if n.down || inc != n.incarnation {
+                    return;
                 }
                 let mut acts = std::mem::take(&mut self.scratch_mac);
-                self.nodes[node as usize].mac.on_timer(kind, gen, now, &mut acts);
+                self.nodes[node as usize]
+                    .mac
+                    .on_timer(kind, gen, now, &mut acts);
                 self.queue_mac(node, &mut acts);
                 self.scratch_mac = acts;
             }
-            Event::RoutingTimer { node, timer } => {
+            Event::RoutingTimer { node, timer, inc } => {
+                let n = &self.nodes[node as usize];
+                if n.down || inc != n.incarnation {
+                    return;
+                }
                 let cross = self.nodes[node as usize].cross_layer(now);
                 let mut racts = std::mem::take(&mut self.scratch_routing);
-                self.nodes[node as usize].routing.on_timer(timer, &cross, now, &mut racts);
+                self.nodes[node as usize]
+                    .routing
+                    .on_timer(timer, &cross, now, &mut racts);
                 self.queue_routing(node, &mut racts);
                 self.scratch_routing = racts;
             }
@@ -579,14 +934,27 @@ impl World for Network {
                 self.queue_medium(&mut fx);
                 self.scratch_fx = fx;
             }
-            Event::DelayedBroadcast { node, packet } => {
+            Event::DelayedBroadcast { node, packet, inc } => {
+                let n = &self.nodes[node as usize];
+                if n.down || inc != n.incarnation {
+                    // Control traffic queued by a dead incarnation is
+                    // silently dropped: it was never counted as enqueued.
+                    return;
+                }
                 self.submit_to_mac(node, *packet, BROADCAST, now);
+            }
+            Event::Fault { idx } => {
+                self.apply_fault(idx, now, sched);
             }
             Event::TrafficEmit { flow_idx } => {
                 self.emit_traffic(flow_idx, now, sched);
             }
             Event::MobilityUpdate { node } => {
-                let Node { mobility, mobility_rng, .. } = &mut self.nodes[node as usize];
+                let Node {
+                    mobility,
+                    mobility_rng,
+                    ..
+                } = &mut self.nodes[node as usize];
                 mobility.advance(now, mobility_rng);
                 self.update_position(node, now);
                 let next = self.nodes[node as usize].mobility.next_update();

@@ -1,9 +1,11 @@
 //! The per-node protocol stack: MAC + routing + mobility + payload store.
 
 use std::collections::HashMap;
-use wmn_mac::{Mac, MacAddr, MacParams, MacSdu};
+use wmn_mac::{Mac, MacAddr, MacParams, MacSdu, MacStats};
 use wmn_mobility::{Mobility, MobilityConfig};
-use wmn_routing::{CrossLayer, NodeId, Packet, RebroadcastPolicy, Routing, RoutingConfig};
+use wmn_routing::{
+    CrossLayer, NodeId, Packet, RebroadcastPolicy, Routing, RoutingConfig, RoutingStats,
+};
 use wmn_sim::{SimRng, SimTime};
 use wmn_topology::{Region, Vec2};
 
@@ -22,6 +24,9 @@ pub mod rng_domain {
     pub const SCENARIO: u64 = 5;
     /// Traffic inter-arrival draws.
     pub const TRAFFIC: u64 = 6;
+    // Domain 7 is reserved by `wmn_faults::RNG_DOMAIN_FAULTS` (fault
+    // schedules draw their own streams so enabling a model never perturbs
+    // the layers above).
 }
 
 /// One mesh node's full stack.
@@ -38,6 +43,16 @@ pub struct Node {
     pub mobility_rng: SimRng,
     /// Payloads of SDUs currently queued at / in flight through the MAC.
     pub outgoing: HashMap<u64, Packet>,
+    /// True while the node is crashed (fault schedule).
+    pub down: bool,
+    /// Reboot count: 0 for the boot-time stack, bumped on every reboot.
+    /// Stale-incarnation timer events are dropped on dispatch.
+    pub incarnation: u32,
+    /// MAC counters retired by crashes (reboots start a fresh `Mac`; run
+    /// totals must still include what the dead incarnations did).
+    pub retired_mac: MacStats,
+    /// Routing counters retired by crashes.
+    pub retired_routing: RoutingStats,
     next_sdu: u64,
 }
 
@@ -75,8 +90,45 @@ impl Node {
             mobility,
             mobility_rng,
             outgoing: HashMap::new(),
+            down: false,
+            incarnation: 0,
+            retired_mac: MacStats::default(),
+            retired_routing: RoutingStats::default(),
             next_sdu: 1,
         }
+    }
+
+    /// Restart the protocol stack cold after a crash: fresh MAC and
+    /// routing state (empty tables, empty neighbour set) on new RNG
+    /// streams salted with the incarnation so a rebooted node never
+    /// replays its pre-crash draws. Counters of the dead incarnation are
+    /// retired into `retired_mac`/`retired_routing`; position, mobility
+    /// state and the SDU-id counter survive (the node is the same box at
+    /// the same place — only its volatile state is lost).
+    pub fn reboot(
+        &mut self,
+        master_seed: u64,
+        mac_params: MacParams,
+        routing_config: RoutingConfig,
+        policy: Box<dyn RebroadcastPolicy>,
+    ) {
+        self.incarnation += 1;
+        self.retired_mac.accumulate(self.mac.stats());
+        self.retired_routing.accumulate(self.routing.stats());
+        let stream = self.id as u64 | ((self.incarnation as u64) << 32);
+        self.mac = Mac::new(
+            MacAddr(self.id),
+            mac_params,
+            SimRng::derive(master_seed, rng_domain::MAC, stream),
+        );
+        self.routing = Routing::new(
+            NodeId(self.id),
+            routing_config,
+            policy,
+            SimRng::derive(master_seed, rng_domain::ROUTING, stream),
+        );
+        self.outgoing.clear();
+        self.down = false;
     }
 
     /// Build the MAC SDU for `packet` towards link destination `dst`,
@@ -87,7 +139,12 @@ impl Node {
         let bytes = packet.wire_bytes();
         let priority = !matches!(packet, Packet::Data(_));
         self.outgoing.insert(id, packet);
-        MacSdu { id, dst, bytes, priority }
+        MacSdu {
+            id,
+            dst,
+            bytes,
+            priority,
+        }
     }
 
     /// Reclaim (and forget) the payload of a completed/dropped SDU.
@@ -128,8 +185,12 @@ mod tests {
     #[test]
     fn sdu_ids_are_unique_and_payloads_tracked() {
         let mut n = node(0);
-        let p1 = Packet::Rerr(wmn_routing::Rerr { unreachable: vec![] });
-        let p2 = Packet::Rerr(wmn_routing::Rerr { unreachable: vec![(NodeId(1), 2)] });
+        let p1 = Packet::Rerr(wmn_routing::Rerr {
+            unreachable: vec![],
+        });
+        let p2 = Packet::Rerr(wmn_routing::Rerr {
+            unreachable: vec![(NodeId(1), 2)],
+        });
         let s1 = n.make_sdu(p1.clone(), MacAddr(5));
         let s2 = n.make_sdu(p2.clone(), wmn_mac::BROADCAST);
         assert_ne!(s1.id, s2.id);
@@ -145,6 +206,51 @@ mod tests {
         let c = n.cross_layer(SimTime::from_secs(1));
         assert_eq!(c.own_velocity, (0.0, 0.0));
         assert_eq!(c.own_load.queue_util, 0.0);
+    }
+
+    #[test]
+    fn reboot_starts_cold_with_retired_stats_and_fresh_streams() {
+        let mut n = node(0);
+        // Loopback send: bumps data_originated/delivered on the live stack.
+        let mut actions = Vec::new();
+        let loopback = wmn_routing::DataPacket {
+            flow: wmn_routing::FlowId(0),
+            seq: 0,
+            src: NodeId(0),
+            dst: NodeId(0),
+            payload: 64,
+            created: SimTime::ZERO,
+        };
+        n.routing.send_data(loopback, SimTime::ZERO, &mut actions);
+        assert_eq!(n.routing.stats().data_originated, 1);
+        let p = Packet::Rerr(wmn_routing::Rerr {
+            unreachable: vec![],
+        });
+        let sdu = n.make_sdu(p, MacAddr(5));
+        n.down = true;
+        n.reboot(
+            42,
+            MacParams::default(),
+            RoutingConfig::default(),
+            Box::new(Flooding::new()),
+        );
+        assert!(!n.down);
+        assert_eq!(n.incarnation, 1);
+        assert_eq!(n.retired_routing.data_originated, 1);
+        assert_eq!(
+            n.routing.stats().data_originated,
+            0,
+            "new stack starts cold"
+        );
+        assert!(
+            n.outgoing.is_empty(),
+            "queued payloads do not survive a crash"
+        );
+        // SDU ids keep counting up so old in-flight ids can never collide.
+        let p2 = Packet::Rerr(wmn_routing::Rerr {
+            unreachable: vec![],
+        });
+        assert!(n.make_sdu(p2, MacAddr(5)).id > sdu.id);
     }
 
     #[test]

@@ -162,7 +162,10 @@ pub struct VapConfig {
 
 impl Default for VapConfig {
     fn default() -> Self {
-        VapConfig { v_ref: 10.0, p_floor: 0.15 }
+        VapConfig {
+            v_ref: 10.0,
+            p_floor: 0.15,
+        }
     }
 }
 
@@ -242,7 +245,11 @@ mod tests {
             now: SimTime::ZERO,
             prior_copies: 0,
             neighbor_count: neighbors,
-            own_load: LoadDigest { queue_util: own, busy_ratio: own, mac_service_s: 0.0 },
+            own_load: LoadDigest {
+                queue_util: own,
+                busy_ratio: own,
+                mac_service_s: 0.0,
+            },
             nbr_mean_queue: nbr,
             nbr_mean_busy: nbr,
             own_velocity: (0.0, 0.0),
@@ -253,7 +260,10 @@ mod tests {
 
     fn rreq() -> Rreq {
         Rreq {
-            key: RreqKey { origin: NodeId(0), id: 1 },
+            key: RreqKey {
+                origin: NodeId(0),
+                id: 1,
+            },
             origin_seq: 1,
             target: NodeId(9),
             target_seq: None,
@@ -293,14 +303,20 @@ mod tests {
 
     #[test]
     fn w_self_blends() {
-        let c = CnlrConfig { w_self: 0.25, ..CnlrConfig::default() };
+        let c = CnlrConfig {
+            w_self: 0.25,
+            ..CnlrConfig::default()
+        };
         let l = c.neighbourhood_load(&ctx(0.8, Some(0.4), 5));
         assert!((l - (0.25 * 0.8 + 0.75 * 0.4)).abs() < 1e-12);
     }
 
     #[test]
     fn density_correction_reduces_p_in_dense_areas() {
-        let mut c = CnlrConfig { density_gamma: 1.0, ..CnlrConfig::default() };
+        let mut c = CnlrConfig {
+            density_gamma: 1.0,
+            ..CnlrConfig::default()
+        };
         c.density_ref = 8.0;
         let sparse = c.probability(&ctx(0.0, Some(0.0), 4));
         let dense = c.probability(&ctx(0.0, Some(0.0), 32));
@@ -317,10 +333,18 @@ mod tests {
         let busy = ctx(1.0, Some(1.0), 8);
         let n = 20_000;
         let fwd = (0..n)
-            .filter(|_| matches!(p.on_first_copy(&rreq(), &busy, &mut rng), Decision::Forward { .. }))
+            .filter(|_| {
+                matches!(
+                    p.on_first_copy(&rreq(), &busy, &mut rng),
+                    Decision::Forward { .. }
+                )
+            })
             .count();
         let frac = fwd as f64 / n as f64;
-        assert!((frac - 0.35).abs() < 0.02, "saturated forwarding rate {frac}");
+        assert!(
+            (frac - 0.35).abs() < 0.02,
+            "saturated forwarding rate {frac}"
+        );
     }
 
     #[test]
@@ -362,14 +386,22 @@ mod tests {
     fn vap_floor_preserves_discovery() {
         let mut v = VapCnlr::new(
             CnlrConfig::default(),
-            VapConfig { v_ref: 1.0, p_floor: 0.2 },
+            VapConfig {
+                v_ref: 1.0,
+                p_floor: 0.2,
+            },
         );
         let mut c = ctx(1.0, Some(1.0), 8);
         c.sender_velocity = Some((100.0, 0.0));
         let mut rng = SimRng::new(2);
         let n = 20_000;
         let fwd = (0..n)
-            .filter(|_| matches!(v.on_first_copy(&rreq(), &c, &mut rng), Decision::Forward { .. }))
+            .filter(|_| {
+                matches!(
+                    v.on_first_copy(&rreq(), &c, &mut rng),
+                    Decision::Forward { .. }
+                )
+            })
             .count();
         let frac = fwd as f64 / n as f64;
         assert!((frac - 0.2).abs() < 0.02, "floored rate {frac}");
@@ -393,6 +425,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn invalid_config_rejected() {
-        CnlrPolicy::new(CnlrConfig { p_min: 0.9, p_max: 0.3, ..CnlrConfig::default() });
+        CnlrPolicy::new(CnlrConfig {
+            p_min: 0.9,
+            p_max: 0.3,
+            ..CnlrConfig::default()
+        });
     }
 }

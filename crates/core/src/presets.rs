@@ -13,10 +13,19 @@ pub fn parameter_table() -> Vec<(&'static str, String)> {
         ("Topology", "mesh-router grid, 15 % placement jitter".into()),
         ("Network sizes", "25–196 routers (5×5 … 14×14)".into()),
         ("PHY", "802.11b DSSS, two-ray ground".into()),
-        ("Tx power / ranges", "24.5 dBm; 250 m rx, 550 m carrier sense".into()),
+        (
+            "Tx power / ranges",
+            "24.5 dBm; 250 m rx, 550 m carrier sense".into(),
+        ),
         ("Rates", "2 Mb/s data, 1 Mb/s broadcast/basic".into()),
-        ("MAC", "CSMA/CA DCF, CW 31–1023, retry limit 7, ifq 50".into()),
-        ("Routing", "AODV-style reactive, destination-only replies".into()),
+        (
+            "MAC",
+            "CSMA/CA DCF, CW 31–1023, retry limit 7, ifq 50".into(),
+        ),
+        (
+            "Routing",
+            "AODV-style reactive, destination-only replies".into(),
+        ),
         ("HELLO interval", "1 s (load digests piggybacked)".into()),
         ("Traffic", "CBR 4 pkt/s, 512 B payload, 5–40 flows".into()),
         ("Duration / warm-up", "60 s / 10 s".into()),

@@ -1,9 +1,9 @@
 //! Run-level result collection.
 
 use crate::medium::MediumStats;
-use crate::network::{DropCounters, Network};
+use crate::network::{DropCounters, FaultCounters, Network};
 use wmn_mac::MacStats;
-use wmn_metrics::{hotspot_factor, jain_index};
+use wmn_metrics::{hotspot_factor, jain_index, pdr_during_outages, time_to_reconverge};
 use wmn_routing::RoutingStats;
 use wmn_sim::{RunReport, SimDuration};
 use wmn_telemetry::Counters;
@@ -45,6 +45,19 @@ pub struct RunResults {
     pub max_queue_peak: usize,
     /// Data losses by cause.
     pub drops: DropCounters,
+    /// Fault injections applied (all zero without a fault plan).
+    pub faults: FaultCounters,
+    /// Node outages as `(node, down_s, up_s)`; an outage still open at the
+    /// end of the run is closed at the horizon.
+    pub outages_s: Vec<(u32, f64, f64)>,
+    /// Route-repair latencies (crash → next end-to-end delivery), seconds.
+    pub repair_latency_s: Vec<f64>,
+    /// Delivery ratio restricted to outage windows (`None` without faults).
+    pub pdr_during_outage: Option<f64>,
+    /// Seconds from the first crash until the delivery rate sustains 80 %
+    /// of its pre-fault baseline (`None` without faults, or if it never
+    /// re-converges within the run).
+    pub reconverge_s: Option<f64>,
     /// Network-wide routing counters.
     pub routing: RoutingStats,
     /// Network-wide MAC counters.
@@ -83,7 +96,13 @@ impl RunResults {
         for node in &network.nodes {
             routing.accumulate(node.routing.stats());
             mac.accumulate(node.mac.stats());
-            per_node_forwarded.push(node.routing.stats().data_forwarded as f64);
+            // Stats retired by reboots: counters from previous incarnations
+            // must still reconcile with the trace.
+            routing.accumulate(&node.retired_routing);
+            mac.accumulate(&node.retired_mac);
+            per_node_forwarded.push(
+                (node.routing.stats().data_forwarded + node.retired_routing.data_forwarded) as f64,
+            );
             max_queue_peak = max_queue_peak.max(node.mac.queue().peak());
         }
         let mut energy_total = 0.0f64;
@@ -95,12 +114,25 @@ impl RunResults {
             energy_max = energy_max.max(e);
             comm_energy += network.medium.comm_energy_joules(i as u32, report.end_time);
         }
+        let horizon = report.end_time.as_secs_f64();
+        let outages_s: Vec<(u32, f64, f64)> = network
+            .outages
+            .iter()
+            .map(|&(node, down, up)| (node, down, up.unwrap_or(horizon)))
+            .collect();
+        let windows: Vec<(f64, f64)> = outages_s.iter().map(|&(_, a, b)| (a, b)).collect();
+        let pdr_during_outage =
+            pdr_during_outages(&network.sent_timeline, &network.delivery_timeline, &windows);
+        let reconverge_s = outages_s
+            .first()
+            .and_then(|&(_, down, _)| time_to_reconverge(&network.delivery_timeline, down, 0.8, 2));
         let summary = network.tracker.summary();
         let rreq_tx = routing.rreq_originated + routing.rreq_forwarded;
-        let first_copies = routing.rreq_received.saturating_sub(routing.rreq_duplicates);
+        let first_copies = routing
+            .rreq_received
+            .saturating_sub(routing.rreq_duplicates);
         let discoveries = routing.discoveries_started.max(1);
-        let finished =
-            routing.discoveries_succeeded + routing.discoveries_failed;
+        let finished = routing.discoveries_succeeded + routing.discoveries_failed;
         RunResults {
             scheme,
             nodes: network.nodes.len(),
@@ -120,12 +152,16 @@ impl RunResults {
                 routing.discoveries_succeeded as f64 / finished as f64
             },
             control_tx: routing.control_tx(),
-            normalized_routing_load: routing.control_tx() as f64
-                / summary.delivered.max(1) as f64,
+            normalized_routing_load: routing.control_tx() as f64 / summary.delivered.max(1) as f64,
             jain_forwarding: jain_index(&per_node_forwarded),
             hotspot: hotspot_factor(&per_node_forwarded),
             max_queue_peak,
             drops: network.drops,
+            faults: network.faults,
+            outages_s,
+            repair_latency_s: network.recovery.latencies().to_vec(),
+            pdr_during_outage,
+            reconverge_s,
             routing,
             mac,
             medium: *network.medium.stats(),
@@ -133,8 +169,7 @@ impl RunResults {
             delivery_rate_pps: network.delivery_timeline.rates().map(|(_, r)| r).collect(),
             energy_total_j: energy_total,
             energy_per_delivered_mj: energy_total * 1_000.0 / summary.delivered.max(1) as f64,
-            comm_energy_per_delivered_mj: comm_energy * 1_000.0
-                / summary.delivered.max(1) as f64,
+            comm_energy_per_delivered_mj: comm_energy * 1_000.0 / summary.delivered.max(1) as f64,
             energy_max_node_j: energy_max,
             summary,
         }
@@ -150,6 +185,7 @@ impl RunResults {
         self.mac.visit(&mut |name, v| c.add(name, v));
         self.medium.visit(&mut |name, v| c.add(name, v));
         self.drops.visit(&mut |name, v| c.add(name, v));
+        self.faults.visit(&mut |name, v| c.add(name, v));
         c
     }
 

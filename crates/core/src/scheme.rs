@@ -47,7 +47,10 @@ impl Scheme {
         vec![
             Scheme::Flooding,
             Scheme::Gossip { p: 0.65 },
-            Scheme::Counter { threshold: 3, rad: SimDuration::from_millis(10) },
+            Scheme::Counter {
+                threshold: 3,
+                rad: SimDuration::from_millis(10),
+            },
             Scheme::Cnlr(CnlrConfig::default()),
         ]
     }
@@ -89,13 +92,23 @@ mod tests {
         assert_eq!(Scheme::Gossip { p: 0.5 }.build().name(), "gossip");
         assert_eq!(Scheme::GossipK { p: 0.5, k: 2 }.build().name(), "gossip-k");
         assert_eq!(
-            Scheme::Counter { threshold: 3, rad: SimDuration::from_millis(10) }.build().name(),
+            Scheme::Counter {
+                threshold: 3,
+                rad: SimDuration::from_millis(10)
+            }
+            .build()
+            .name(),
             "counter"
         );
-        assert_eq!(Scheme::Distance { strong_dbm: -75.0 }.build().name(), "distance");
+        assert_eq!(
+            Scheme::Distance { strong_dbm: -75.0 }.build().name(),
+            "distance"
+        );
         assert_eq!(Scheme::Cnlr(CnlrConfig::default()).build().name(), "cnlr");
         assert_eq!(
-            Scheme::VapCnlr(CnlrConfig::default(), VapConfig::default()).build().name(),
+            Scheme::VapCnlr(CnlrConfig::default(), VapConfig::default())
+                .build()
+                .name(),
             "vap-cnlr"
         );
     }

@@ -76,7 +76,7 @@ proptest! {
         // invalidate and still reproduce the uncached run bit-for-bit.
         let scheme = scheme_from(pick);
         let mobile = MobilityConfig::RandomWaypoint { v_min: 1.0, v_max: 8.0, pause_s: 0.5 };
-        let b = || base(seed, scheme.clone(), 3).mobile_clients(3, mobile.clone());
+        let b = || base(seed, scheme.clone(), 3).mobile_clients(3, mobile);
         let cached = run(b(), true);
         let uncached = run(b(), false);
         prop_assert_eq!(signature(&cached), signature(&uncached));

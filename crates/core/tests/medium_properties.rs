@@ -40,7 +40,12 @@ fn drive(
         .map(|_| Vec2::new(rng.range_f64(0.0, 1200.0), rng.range_f64(0.0, 1200.0)))
         .collect();
     let idx = SpatialIndex::new(region, 300.0, &positions);
-    let mut medium = Medium::new(PhyParams::classic_802_11b(), n_nodes, SimRng::new(seed ^ 1), 25.0);
+    let mut medium = Medium::new(
+        PhyParams::classic_802_11b(),
+        n_nodes,
+        SimRng::new(seed ^ 1),
+        25.0,
+    );
 
     // Track which nodes are transmitting so we only inject legal start_tx
     // calls (the MAC guarantees no double transmit).
@@ -78,7 +83,11 @@ fn drive(
                     let frame = MacFrame {
                         kind: FrameKind::Data,
                         src: MacAddr(src as u32),
-                        dst: if bcast { BROADCAST } else { MacAddr(((src + 1) % n_nodes) as u32) },
+                        dst: if bcast {
+                            BROADCAST
+                        } else {
+                            MacAddr(((src + 1) % n_nodes) as u32)
+                        },
                         air_bytes: 100,
                         sdu_id: seq + 1,
                         nav_us: 0,
@@ -138,7 +147,8 @@ fn drive(
                                 delivered += 1;
                                 prop_assert_ne!(frame.src.0, node, "self-delivery");
                             }
-                            MediumEffect::ScheduleRxEnd { .. } | MediumEffect::ScheduleTxEnd { .. } => {
+                            MediumEffect::ScheduleRxEnd { .. }
+                            | MediumEffect::ScheduleTxEnd { .. } => {
                                 prop_assert!(false, "late scheduling from end events");
                             }
                             _ => {}

@@ -2,9 +2,21 @@ use cnlr::{presets, Scheme};
 
 #[test]
 fn small_scenario_delivers_packets() {
-    let r = presets::small(1).scheme(Scheme::Flooding).build().unwrap().run();
-    eprintln!("sent={} delivered={} pdr={:.3} delay={:.1}ms rreq_tx={} events={} disc_ok={:.2}",
-        r.summary.sent, r.summary.delivered, r.pdr(), r.mean_delay_ms(), r.rreq_tx, r.events, r.discovery_success);
+    let r = presets::small(1)
+        .scheme(Scheme::Flooding)
+        .build()
+        .unwrap()
+        .run();
+    eprintln!(
+        "sent={} delivered={} pdr={:.3} delay={:.1}ms rreq_tx={} events={} disc_ok={:.2}",
+        r.summary.sent,
+        r.summary.delivered,
+        r.pdr(),
+        r.mean_delay_ms(),
+        r.rreq_tx,
+        r.events,
+        r.discovery_success
+    );
     eprintln!("drops={:?}", r.drops);
     eprintln!("medium={:?}", r.medium);
     eprintln!("routing: {:?}", r.routing);

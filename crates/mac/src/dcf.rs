@@ -191,7 +191,11 @@ enum RespKind {
 enum Response {
     None,
     /// SIFS running; a control response is due.
-    Sifs { kind: RespKind, dst: MacAddr, nav_us: u32 },
+    Sifs {
+        kind: RespKind,
+        dst: MacAddr,
+        nav_us: u32,
+    },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -326,11 +330,19 @@ impl Mac {
     pub fn enqueue(&mut self, sdu: MacSdu, now: SimTime, out: &mut Vec<MacAction>) {
         if !self.queue.push(sdu) {
             self.stats.drops_queue_full += 1;
-            out.push(MacAction::Drop { sdu_id: sdu.id, reason: DropReason::QueueFull });
+            out.push(MacAction::Drop {
+                sdu_id: sdu.id,
+                reason: DropReason::QueueFull,
+            });
             return;
         }
         self.stats.enqueued += 1;
-        self.tel.emit(now, EventKind::MacEnqueue { depth: self.queue.len() as u32 });
+        self.tel.emit(
+            now,
+            EventKind::MacEnqueue {
+                depth: self.queue.len() as u32,
+            },
+        );
         self.service(now, out);
     }
 
@@ -350,7 +362,11 @@ impl Mac {
         self.nav_until = until;
         self.nav_gen += 1;
         self.stats.nav_updates += 1;
-        out.push(MacAction::SetTimer { kind: TimerKind::Nav, at: until, gen: self.nav_gen });
+        out.push(MacAction::SetTimer {
+            kind: TimerKind::Nav,
+            at: until,
+            gen: self.nav_gen,
+        });
         self.refresh_busy(now, out);
     }
 
@@ -362,7 +378,11 @@ impl Mac {
         if !for_me && !frame.dst.is_broadcast() {
             // Overheard: honour the NAV and stay silent.
             if frame.nav_us > 0 {
-                self.set_nav(now + SimDuration::from_micros(frame.nav_us as u64), now, out);
+                self.set_nav(
+                    now + SimDuration::from_micros(frame.nav_us as u64),
+                    now,
+                    out,
+                );
             }
             return;
         }
@@ -382,10 +402,10 @@ impl Mac {
                 if for_me {
                     // Respond with CTS after SIFS, echoing the remaining
                     // reservation.
-                    let consumed = self.params.sifs
-                        + self.params.est_airtime(self.params.cts_bytes, true);
-                    let echo = SimDuration::from_micros(frame.nav_us as u64)
-                        .saturating_sub(consumed);
+                    let consumed =
+                        self.params.sifs + self.params.est_airtime(self.params.cts_bytes, true);
+                    let echo =
+                        SimDuration::from_micros(frame.nav_us as u64).saturating_sub(consumed);
                     self.resp = Response::Sifs {
                         kind: RespKind::Cts,
                         dst: frame.src,
@@ -425,7 +445,11 @@ impl Mac {
                 if for_me {
                     // ACK even duplicates: a retransmission means our
                     // previous ACK was lost.
-                    self.resp = Response::Sifs { kind: RespKind::Ack, dst: frame.src, nav_us: 0 };
+                    self.resp = Response::Sifs {
+                        kind: RespKind::Ack,
+                        dst: frame.src,
+                        nav_us: 0,
+                    };
                     self.ack_gen += 1;
                     out.push(MacAction::SetTimer {
                         kind: TimerKind::Ack,
@@ -536,9 +560,18 @@ impl Mac {
         if self.head.is_none() && self.state == CoreState::Idle {
             if let Some(sdu) = self.queue.pop() {
                 self.stats.dequeued += 1;
-                self.tel.emit(now, EventKind::MacDequeue { depth: self.queue.len() as u32 });
-                self.head =
-                    Some(Head { sdu, attempts: 0, cw: self.params.cw_min, since: now });
+                self.tel.emit(
+                    now,
+                    EventKind::MacDequeue {
+                        depth: self.queue.len() as u32,
+                    },
+                );
+                self.head = Some(Head {
+                    sdu,
+                    attempts: 0,
+                    cw: self.params.cw_min,
+                    since: now,
+                });
                 self.begin_contention(now, out);
             }
         }
@@ -549,7 +582,12 @@ impl Mac {
         self.state = CoreState::Contend;
         self.remaining_slots = self.rng.below(cw as u64 + 1) as u32;
         self.stats.backoffs += 1;
-        self.tel.emit(now, EventKind::MacBackoff { slots: self.remaining_slots });
+        self.tel.emit(
+            now,
+            EventKind::MacBackoff {
+                slots: self.remaining_slots,
+            },
+        );
         self.countdown_from = None;
         // Invalidate any stray Main timer from the previous state before
         // (possibly) arming a fresh one.
@@ -569,7 +607,11 @@ impl Mac {
         self.countdown_from = Some(now);
         self.main_gen += 1;
         let expiry = now + self.params.difs + self.params.slot * self.remaining_slots as u64;
-        out.push(MacAction::SetTimer { kind: TimerKind::Main, at: expiry, gen: self.main_gen });
+        out.push(MacAction::SetTimer {
+            kind: TimerKind::Main,
+            at: expiry,
+            gen: self.main_gen,
+        });
     }
 
     fn freeze_contention(&mut self, now: SimTime) {
@@ -590,17 +632,27 @@ impl Mac {
         debug_assert!(
             !self.effective_busy(now),
             "tx while busy: medium={} on_air={:?} nav_until={} now={} last_busy={} state={:?}",
-            self.medium_busy, self.on_air, self.nav_until, now, self.last_busy, self.state
+            self.medium_busy,
+            self.on_air,
+            self.nav_until,
+            now,
+            self.last_busy,
+            self.state
         );
         self.countdown_from = None;
         let head = self.head.as_mut().expect("tx without head");
         head.attempts += 1;
         let attempts = head.attempts;
         let sdu = head.sdu;
-        self.tel.emit(now, EventKind::MacTxAttempt { retry: attempts - 1 });
+        self.tel.emit(
+            now,
+            EventKind::MacTxAttempt {
+                retry: attempts - 1,
+            },
+        );
         let air_bytes = sdu.bytes + self.params.data_overhead_bytes;
-        let use_rts = !sdu.dst.is_broadcast()
-            && self.params.rts_threshold.is_some_and(|t| air_bytes > t);
+        let use_rts =
+            !sdu.dst.is_broadcast() && self.params.rts_threshold.is_some_and(|t| air_bytes > t);
         if use_rts {
             self.on_air = Some(AirKind::Rts);
             self.stats.rts_sent += 1;
@@ -651,7 +703,10 @@ impl Mac {
         if head.attempts >= self.params.retry_limit {
             self.stats.drops_retry += 1;
             let sdu_id = head.sdu.id;
-            out.push(MacAction::Drop { sdu_id, reason: DropReason::RetryLimit });
+            out.push(MacAction::Drop {
+                sdu_id,
+                reason: DropReason::RetryLimit,
+            });
             self.finish_head(false, now, out);
         } else {
             head.cw = self.params.next_cw(head.cw);
@@ -684,16 +739,31 @@ mod tests {
     }
 
     fn mk_rts_mac() -> Mac {
-        let params = MacParams { rts_threshold: Some(200), ..MacParams::default() };
+        let params = MacParams {
+            rts_threshold: Some(200),
+            ..MacParams::default()
+        };
         Mac::new(MacAddr(0), params, SimRng::new(1))
     }
 
     fn sdu(id: u64, dst: MacAddr) -> MacSdu {
-        MacSdu { id, dst, bytes: 512, priority: false }
+        MacSdu {
+            id,
+            dst,
+            bytes: 512,
+            priority: false,
+        }
     }
 
     fn data_frame(src: u32, dst: MacAddr, sdu_id: u64) -> MacFrame {
-        MacFrame { kind: FrameKind::Data, src: MacAddr(src), dst, air_bytes: 546, sdu_id, nav_us: 0 }
+        MacFrame {
+            kind: FrameKind::Data,
+            src: MacAddr(src),
+            dst,
+            air_bytes: 546,
+            sdu_id,
+            nav_us: 0,
+        }
     }
 
     /// Extract the single SetTimer(Main) action.
@@ -701,7 +771,11 @@ mod tests {
         actions
             .iter()
             .find_map(|a| match *a {
-                MacAction::SetTimer { kind: TimerKind::Main, at, gen } => Some((at, gen)),
+                MacAction::SetTimer {
+                    kind: TimerKind::Main,
+                    at,
+                    gen,
+                } => Some((at, gen)),
                 _ => None,
             })
             .expect("no main timer in {actions:?}")
@@ -711,7 +785,11 @@ mod tests {
         actions
             .iter()
             .find_map(|a| match *a {
-                MacAction::SetTimer { kind: TimerKind::Ack, at, gen } => Some((at, gen)),
+                MacAction::SetTimer {
+                    kind: TimerKind::Ack,
+                    at,
+                    gen,
+                } => Some((at, gen)),
                 _ => None,
             })
             .expect("no ack timer")
@@ -757,7 +835,12 @@ mod tests {
         mac.on_tx_complete(t_end, &mut out);
         assert!(out.iter().any(|a| matches!(
             a,
-            MacAction::TxOutcome { sdu_id: 7, ok: true, retries: 0, .. }
+            MacAction::TxOutcome {
+                sdu_id: 7,
+                ok: true,
+                retries: 0,
+                ..
+            }
         )));
         assert_eq!(mac.stats().broadcast_tx, 1);
     }
@@ -784,7 +867,11 @@ mod tests {
         mac.on_rx_frame(ack, t_end + SimDuration::from_micros(314), &mut out);
         assert!(out.iter().any(|a| matches!(
             a,
-            MacAction::TxOutcome { sdu_id: 9, ok: true, .. }
+            MacAction::TxOutcome {
+                sdu_id: 9,
+                ok: true,
+                ..
+            }
         )));
     }
 
@@ -803,7 +890,7 @@ mod tests {
             if has_start_tx(&out).is_some() {
                 attempts += 1;
                 out.clear();
-                now = now + SimDuration::from_micros(2376);
+                now += SimDuration::from_micros(2376);
                 mac.on_tx_complete(now, &mut out);
                 continue;
             }
@@ -814,11 +901,18 @@ mod tests {
         assert_eq!(attempts, MacParams::default().retry_limit);
         assert!(out.iter().any(|a| matches!(
             a,
-            MacAction::Drop { sdu_id: 3, reason: DropReason::RetryLimit }
+            MacAction::Drop {
+                sdu_id: 3,
+                reason: DropReason::RetryLimit
+            }
         )));
         assert!(out.iter().any(|a| matches!(
             a,
-            MacAction::TxOutcome { sdu_id: 3, ok: false, .. }
+            MacAction::TxOutcome {
+                sdu_id: 3,
+                ok: false,
+                ..
+            }
         )));
         assert_eq!(mac.stats().drops_retry, 1);
     }
@@ -877,7 +971,9 @@ mod tests {
         let mut out = Vec::new();
         let t0 = SimTime(100 * US);
         mac.on_rx_frame(data_frame(4, MacAddr(0), 77), t0, &mut out);
-        assert!(out.iter().any(|a| matches!(a, MacAction::Deliver(f) if f.sdu_id == 77)));
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, MacAction::Deliver(f) if f.sdu_id == 77)));
         let (ack_at, ack_gen) = ack_timer(&out);
         assert_eq!(ack_at.since(t0), SimDuration::from_micros(10));
         out.clear();
@@ -899,7 +995,10 @@ mod tests {
         assert!(out.iter().any(|a| matches!(a, MacAction::Deliver(_))));
         assert!(!out.iter().any(|a| matches!(
             a,
-            MacAction::SetTimer { kind: TimerKind::Ack, .. }
+            MacAction::SetTimer {
+                kind: TimerKind::Ack,
+                ..
+            }
         )));
     }
 
@@ -909,7 +1008,10 @@ mod tests {
         let mut out = Vec::new();
         let frame = data_frame(4, MacAddr(0), 42);
         mac.on_rx_frame(frame, SimTime(0), &mut out);
-        let delivered = out.iter().filter(|a| matches!(a, MacAction::Deliver(_))).count();
+        let delivered = out
+            .iter()
+            .filter(|a| matches!(a, MacAction::Deliver(_)))
+            .count();
         assert_eq!(delivered, 1);
         out.clear();
         mac.on_rx_frame(frame, SimTime(5_000 * US), &mut out);
@@ -921,8 +1023,10 @@ mod tests {
 
     #[test]
     fn queue_overflow_drops() {
-        let mut params = MacParams::default();
-        params.queue_capacity = 2;
+        let params = MacParams {
+            queue_capacity: 2,
+            ..Default::default()
+        };
         let mut mac = Mac::new(MacAddr(0), params, SimRng::new(2));
         let mut out = Vec::new();
         // Make the channel busy so nothing dequeues.
@@ -932,7 +1036,15 @@ mod tests {
         }
         let drops = out
             .iter()
-            .filter(|a| matches!(a, MacAction::Drop { reason: DropReason::QueueFull, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    MacAction::Drop {
+                        reason: DropReason::QueueFull,
+                        ..
+                    }
+                )
+            })
             .count();
         // One SDU becomes head, two fill the queue, the fourth drops.
         assert_eq!(drops, 1);
@@ -951,7 +1063,9 @@ mod tests {
         out.clear();
         mac.on_tx_complete(at + SimDuration::from_micros(500), &mut out);
         // Outcome for 1 and a new contention timer for 2.
-        assert!(out.iter().any(|a| matches!(a, MacAction::TxOutcome { sdu_id: 1, .. })));
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, MacAction::TxOutcome { sdu_id: 1, .. })));
         let (_at2, _gen2) = main_timer(&out);
         assert_eq!(mac.queue_len(), 0);
     }
@@ -1010,7 +1124,11 @@ mod tests {
         let rts = has_start_tx(&out).expect("rts");
         assert_eq!(rts.kind, FrameKind::Rts);
         assert_eq!(rts.dst, MacAddr(5));
-        assert!(rts.nav_us > 2_000, "nav covers CTS+DATA+ACK: {}", rts.nav_us);
+        assert!(
+            rts.nav_us > 2_000,
+            "nav covers CTS+DATA+ACK: {}",
+            rts.nav_us
+        );
         out.clear();
         // RTS leaves the air → CTS timeout armed.
         let t1 = at + SimDuration::from_micros(352);
@@ -1033,10 +1151,18 @@ mod tests {
         let t3 = data_at + SimDuration::from_micros(2376);
         mac.on_tx_complete(t3, &mut out);
         out.clear();
-        mac.on_rx_frame(MacFrame::ack(MacAddr(5), MacAddr(0), 14), t3 + SimDuration::from_micros(314), &mut out);
+        mac.on_rx_frame(
+            MacFrame::ack(MacAddr(5), MacAddr(0), 14),
+            t3 + SimDuration::from_micros(314),
+            &mut out,
+        );
         assert!(out.iter().any(|a| matches!(
             a,
-            MacAction::TxOutcome { sdu_id: 9, ok: true, .. }
+            MacAction::TxOutcome {
+                sdu_id: 9,
+                ok: true,
+                ..
+            }
         )));
         assert_eq!(mac.stats().rts_sent, 1);
     }
@@ -1046,7 +1172,16 @@ mod tests {
         let mut mac = mk_rts_mac();
         let mut out = Vec::new();
         // 100 B + 34 B overhead = 134 < 200 threshold → plain data.
-        mac.enqueue(MacSdu { id: 1, dst: MacAddr(3), bytes: 100, priority: false }, SimTime::ZERO, &mut out);
+        mac.enqueue(
+            MacSdu {
+                id: 1,
+                dst: MacAddr(3),
+                bytes: 100,
+                priority: false,
+            },
+            SimTime::ZERO,
+            &mut out,
+        );
         let (at, gen) = main_timer(&out);
         out.clear();
         mac.on_timer(TimerKind::Main, gen, at, &mut out);
@@ -1111,13 +1246,22 @@ mod tests {
         assert_eq!(mac.stats().nav_updates, 1);
         assert!(out.iter().any(|a| matches!(
             a,
-            MacAction::SetTimer { kind: TimerKind::Nav, .. }
+            MacAction::SetTimer {
+                kind: TimerKind::Nav,
+                ..
+            }
         )));
         out.clear();
         // Enqueue during the NAV: contention must NOT arm a timer.
         mac.enqueue(sdu(1, BROADCAST), SimTime(1_000 * US), &mut out);
         assert!(
-            !out.iter().any(|a| matches!(a, MacAction::SetTimer { kind: TimerKind::Main, .. })),
+            !out.iter().any(|a| matches!(
+                a,
+                MacAction::SetTimer {
+                    kind: TimerKind::Main,
+                    ..
+                }
+            )),
             "armed contention during NAV: {out:?}"
         );
         out.clear();
@@ -1147,12 +1291,22 @@ mod tests {
         let mut mac = mk_mac();
         let mut out = Vec::new();
         // 1. Overhear a 2 ms NAV (cache → busy).
-        mac.on_rx_frame(MacFrame::rts(MacAddr(7), MacAddr(8), 20, 2_000), SimTime::ZERO, &mut out);
+        mac.on_rx_frame(
+            MacFrame::rts(MacAddr(7), MacAddr(8), 20, 2_000),
+            SimTime::ZERO,
+            &mut out,
+        );
         out.clear();
         // 2. Enqueue while NAV active: no contention timer armed.
         mac.enqueue(sdu(1, BROADCAST), SimTime(500 * US), &mut out);
         assert!(
-            !out.iter().any(|a| matches!(a, MacAction::SetTimer { kind: TimerKind::Main, .. })),
+            !out.iter().any(|a| matches!(
+                a,
+                MacAction::SetTimer {
+                    kind: TimerKind::Main,
+                    ..
+                }
+            )),
             "armed during NAV"
         );
         out.clear();
@@ -1178,17 +1332,35 @@ mod tests {
     fn nav_extension_keeps_latest_expiry() {
         let mut mac = mk_mac();
         let mut out = Vec::new();
-        mac.on_rx_frame(MacFrame::rts(MacAddr(7), MacAddr(8), 20, 5_000), SimTime::ZERO, &mut out);
+        mac.on_rx_frame(
+            MacFrame::rts(MacAddr(7), MacAddr(8), 20, 5_000),
+            SimTime::ZERO,
+            &mut out,
+        );
         out.clear();
         // A shorter overlapping reservation must not shrink the NAV.
-        mac.on_rx_frame(MacFrame::rts(MacAddr(6), MacAddr(8), 20, 1_000), SimTime(2_000 * US), &mut out);
+        mac.on_rx_frame(
+            MacFrame::rts(MacAddr(6), MacAddr(8), 20, 1_000),
+            SimTime(2_000 * US),
+            &mut out,
+        );
         assert!(
-            !out.iter().any(|a| matches!(a, MacAction::SetTimer { kind: TimerKind::Nav, .. })),
+            !out.iter().any(|a| matches!(
+                a,
+                MacAction::SetTimer {
+                    kind: TimerKind::Nav,
+                    ..
+                }
+            )),
             "shorter reservation re-armed NAV"
         );
         // A longer one extends it.
         out.clear();
-        mac.on_rx_frame(MacFrame::rts(MacAddr(5), MacAddr(8), 20, 9_000), SimTime(3_000 * US), &mut out);
+        mac.on_rx_frame(
+            MacFrame::rts(MacAddr(5), MacAddr(8), 20, 9_000),
+            SimTime(3_000 * US),
+            &mut out,
+        );
         assert!(out.iter().any(|a| matches!(
             a,
             MacAction::SetTimer { kind: TimerKind::Nav, at, .. } if *at == SimTime(12_000 * US)

@@ -84,7 +84,14 @@ impl MacFrame {
 
     /// Construct an RTS towards `dst` reserving `nav_us`.
     pub fn rts(me: MacAddr, dst: MacAddr, rts_bytes: usize, nav_us: u32) -> Self {
-        MacFrame { kind: FrameKind::Rts, src: me, dst, air_bytes: rts_bytes, sdu_id: 0, nav_us }
+        MacFrame {
+            kind: FrameKind::Rts,
+            src: me,
+            dst,
+            air_bytes: rts_bytes,
+            sdu_id: 0,
+            nav_us,
+        }
     }
 
     /// Construct a CTS answering an RTS from `rts_src`, echoing the

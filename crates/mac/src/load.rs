@@ -204,7 +204,11 @@ mod tests {
 
     #[test]
     fn digest_index_combines_and_clamps() {
-        let d = LoadDigest { queue_util: 0.5, busy_ratio: 1.0, mac_service_s: 0.0 };
+        let d = LoadDigest {
+            queue_util: 0.5,
+            busy_ratio: 1.0,
+            mac_service_s: 0.0,
+        };
         assert!((d.index(1.0, 1.0) - 0.75).abs() < 1e-12);
         assert!((d.index(1.0, 0.0) - 0.5).abs() < 1e-12);
         assert!((d.index(0.0, 1.0) - 1.0).abs() < 1e-12);

@@ -53,7 +53,7 @@ impl Default for MacParams {
         let slot = SimDuration::from_micros(20);
         let sifs = SimDuration::from_micros(10);
         let difs = SimDuration::from_micros(50); // SIFS + 2·slot
-        // ACK: SIFS + PLCP (192 µs) + 14 B at 1 Mb/s (112 µs) + margin.
+                                                 // ACK: SIFS + PLCP (192 µs) + 14 B at 1 Mb/s (112 µs) + margin.
         let ack_timeout = sifs + SimDuration::from_micros(192 + 112 + 20);
         // CTS: SIFS + PLCP (192 µs) + 14 B at 1 Mb/s (112 µs) + margin.
         let cts_timeout = sifs + SimDuration::from_micros(192 + 112 + 20);
@@ -91,7 +91,11 @@ impl MacParams {
     /// rate (used for NAV reservations; the authoritative airtime lives in
     /// the PHY).
     pub fn est_airtime(&self, bytes: usize, basic: bool) -> SimDuration {
-        let rate = if basic { self.basic_rate_bps } else { self.data_rate_bps };
+        let rate = if basic {
+            self.basic_rate_bps
+        } else {
+            self.data_rate_bps
+        };
         self.plcp + SimDuration::from_secs_f64(bytes as f64 * 8.0 / rate)
     }
 

@@ -124,11 +124,21 @@ mod tests {
     use crate::frame::MacAddr;
 
     fn sdu(id: u64) -> MacSdu {
-        MacSdu { id, dst: MacAddr(1), bytes: 100, priority: false }
+        MacSdu {
+            id,
+            dst: MacAddr(1),
+            bytes: 100,
+            priority: false,
+        }
     }
 
     fn ctl(id: u64) -> MacSdu {
-        MacSdu { id, dst: MacAddr(1), bytes: 32, priority: true }
+        MacSdu {
+            id,
+            dst: MacAddr(1),
+            bytes: 32,
+            priority: true,
+        }
     }
 
     #[test]
@@ -209,7 +219,11 @@ mod tests {
             q.pop();
             q.push(sdu(99));
         }
-        assert!((q.utilisation_ewma() - 0.8).abs() < 0.05, "{}", q.utilisation_ewma());
+        assert!(
+            (q.utilisation_ewma() - 0.8).abs() < 0.05,
+            "{}",
+            q.utilisation_ewma()
+        );
     }
 
     #[test]

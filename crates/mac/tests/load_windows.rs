@@ -35,7 +35,11 @@ fn service_time_first_sample_not_averaged_with_zero() {
 
 #[test]
 fn digest_index_weights_are_relative() {
-    let d = LoadDigest { queue_util: 1.0, busy_ratio: 0.0, mac_service_s: 0.0 };
+    let d = LoadDigest {
+        queue_util: 1.0,
+        busy_ratio: 0.0,
+        mac_service_s: 0.0,
+    };
     // Doubling both weights changes nothing.
     assert!((d.index(1.0, 3.0) - d.index(2.0, 6.0)).abs() < 1e-12);
     assert!((d.index(1.0, 3.0) - 0.25).abs() < 1e-12);
@@ -43,7 +47,11 @@ fn digest_index_weights_are_relative() {
 
 #[test]
 fn zero_weight_pair_is_safe() {
-    let d = LoadDigest { queue_util: 0.7, busy_ratio: 0.3, mac_service_s: 0.0 };
+    let d = LoadDigest {
+        queue_util: 0.7,
+        busy_ratio: 0.3,
+        mac_service_s: 0.0,
+    };
     // Degenerate weights must not divide by zero.
     let v = d.index(0.0, 0.0);
     assert!(v.is_finite());

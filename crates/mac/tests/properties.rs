@@ -1,7 +1,9 @@
 //! Property-based tests of the MAC layer.
 
 use proptest::prelude::*;
-use wmn_mac::{DropReason, IfQueue, Mac, MacAction, MacAddr, MacParams, MacSdu, TimerKind, BROADCAST};
+use wmn_mac::{
+    DropReason, IfQueue, Mac, MacAction, MacAddr, MacParams, MacSdu, TimerKind, BROADCAST,
+};
 use wmn_sim::{SimRng, SimTime};
 
 proptest! {

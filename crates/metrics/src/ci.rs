@@ -41,7 +41,11 @@ impl MeanCi {
         } else {
             t_critical_95(w.count() - 1) * w.std_err()
         };
-        MeanCi { mean: w.mean(), half_width: hw, n: w.count() }
+        MeanCi {
+            mean: w.mean(),
+            half_width: hw,
+            n: w.count(),
+        }
     }
 
     /// Compute directly from samples.
@@ -84,7 +88,11 @@ mod tests {
         let xs: Vec<f64> = vec![4.0, 5.0, 6.0, 5.0, 4.5, 5.5, 5.0, 4.0, 6.0, 5.0];
         let ci = MeanCi::from_samples(&xs);
         assert!((ci.mean - 5.0).abs() < 1e-12);
-        assert!(ci.half_width > 0.3 && ci.half_width < 0.8, "hw {}", ci.half_width);
+        assert!(
+            ci.half_width > 0.3 && ci.half_width < 0.8,
+            "hw {}",
+            ci.half_width
+        );
         assert_eq!(ci.n, 10);
     }
 
@@ -97,16 +105,32 @@ mod tests {
 
     #[test]
     fn overlap_detection() {
-        let a = MeanCi { mean: 1.0, half_width: 0.2, n: 5 };
-        let b = MeanCi { mean: 1.3, half_width: 0.2, n: 5 };
-        let c = MeanCi { mean: 2.0, half_width: 0.2, n: 5 };
+        let a = MeanCi {
+            mean: 1.0,
+            half_width: 0.2,
+            n: 5,
+        };
+        let b = MeanCi {
+            mean: 1.3,
+            half_width: 0.2,
+            n: 5,
+        };
+        let c = MeanCi {
+            mean: 2.0,
+            half_width: 0.2,
+            n: 5,
+        };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
     }
 
     #[test]
     fn display_format() {
-        let ci = MeanCi { mean: 0.91234, half_width: 0.0123, n: 10 };
+        let ci = MeanCi {
+            mean: 0.91234,
+            half_width: 0.0123,
+            n: 10,
+        };
         assert_eq!(ci.display(2), "0.91 ±0.01");
     }
 }

@@ -93,6 +93,9 @@ mod tests {
         assert_eq!(coefficient_of_variation(&[1.0]), 0.0);
         // mean 3, sample sd √2 → cov = √2/3.
         let c = coefficient_of_variation(&[2.0, 4.0]);
-        assert!((c - std::f64::consts::SQRT_2 / 3.0).abs() < 1e-12, "cov {c}");
+        assert!(
+            (c - std::f64::consts::SQRT_2 / 3.0).abs() < 1e-12,
+            "cov {c}"
+        );
     }
 }

@@ -11,6 +11,7 @@
 pub mod ci;
 pub mod fairness;
 pub mod histogram;
+pub mod recovery;
 pub mod replicate;
 pub mod series;
 pub mod table;
@@ -19,6 +20,7 @@ pub mod welford;
 pub use ci::{t_critical_95, MeanCi};
 pub use fairness::{coefficient_of_variation, hotspot_factor, jain_index};
 pub use histogram::LogHistogram;
+pub use recovery::{pdr_during_outages, time_to_reconverge, RecoveryTracker};
 pub use replicate::{default_threads, run_jobs, run_replications, seeds_from};
 pub use series::{Bin, ProbeSeries, TimeSeries};
 pub use table::{fmt_f, ResultTable};

@@ -56,7 +56,10 @@ where
             results[i] = Some(out);
         }
     });
-    results.into_iter().map(|o| o.expect("missing job result")).collect()
+    results
+        .into_iter()
+        .map(|o| o.expect("missing job result"))
+        .collect()
 }
 
 /// Run `f(seed)` for every seed in `seeds`, using up to `threads` worker

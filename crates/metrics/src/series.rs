@@ -37,7 +37,10 @@ impl TimeSeries {
     /// Create a series with the given bin width.
     pub fn new(bin_width: SimDuration) -> Self {
         assert!(!bin_width.is_zero(), "zero bin width");
-        TimeSeries { width: bin_width, bins: Vec::new() }
+        TimeSeries {
+            width: bin_width,
+            bins: Vec::new(),
+        }
     }
 
     fn bin_index(&self, t: SimTime) -> usize {
@@ -82,10 +85,12 @@ impl TimeSeries {
     /// `(bin_start_time, events_per_second)` pairs.
     pub fn rates(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
         let secs = self.width.as_secs_f64();
-        self.bins
-            .iter()
-            .enumerate()
-            .map(move |(i, b)| (SimTime(self.width.as_nanos() * i as u64), b.count as f64 / secs))
+        self.bins.iter().enumerate().map(move |(i, b)| {
+            (
+                SimTime(self.width.as_nanos() * i as u64),
+                b.count as f64 / secs,
+            )
+        })
     }
 
     /// Number of bins.

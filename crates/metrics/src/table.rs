@@ -81,9 +81,21 @@ impl ResultTable {
                 s.clone()
             }
         };
-        let _ = writeln!(out, "{}", self.headers.iter().map(escape).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(escape)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(escape).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(escape).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }

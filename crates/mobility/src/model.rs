@@ -78,19 +78,43 @@ impl Mobility {
     ) -> Self {
         match config {
             MobilityConfig::Static => Mobility::Static(StaticPoint::new(start)),
-            MobilityConfig::RandomWaypoint { v_min, v_max, pause_s } => {
-                Mobility::Rwp(RandomWaypoint::new(start, region, v_min, v_max, pause_s, now, rng))
-            }
-            MobilityConfig::GaussMarkov { mean_speed, alpha, sigma_speed, sigma_dir, update_s } => {
-                Mobility::Gm(GaussMarkov::new(
-                    start, region, mean_speed, alpha, sigma_speed, sigma_dir, update_s, now, rng,
-                ))
-            }
-            MobilityConfig::Manhattan { block_m, mean_speed, sigma_speed } => {
-                Mobility::Manhattan(Manhattan::new(
-                    start, region, block_m, mean_speed, sigma_speed, now, rng,
-                ))
-            }
+            MobilityConfig::RandomWaypoint {
+                v_min,
+                v_max,
+                pause_s,
+            } => Mobility::Rwp(RandomWaypoint::new(
+                start, region, v_min, v_max, pause_s, now, rng,
+            )),
+            MobilityConfig::GaussMarkov {
+                mean_speed,
+                alpha,
+                sigma_speed,
+                sigma_dir,
+                update_s,
+            } => Mobility::Gm(GaussMarkov::new(
+                start,
+                region,
+                mean_speed,
+                alpha,
+                sigma_speed,
+                sigma_dir,
+                update_s,
+                now,
+                rng,
+            )),
+            MobilityConfig::Manhattan {
+                block_m,
+                mean_speed,
+                sigma_speed,
+            } => Mobility::Manhattan(Manhattan::new(
+                start,
+                region,
+                block_m,
+                mean_speed,
+                sigma_speed,
+                now,
+                rng,
+            )),
         }
     }
 
@@ -150,7 +174,13 @@ mod tests {
         let region = Region::square(100.0);
         let mut rng = SimRng::new(1);
         let start = Vec2::new(10.0, 20.0);
-        let mut m = Mobility::new(MobilityConfig::Static, start, region, SimTime::ZERO, &mut rng);
+        let mut m = Mobility::new(
+            MobilityConfig::Static,
+            start,
+            region,
+            SimTime::ZERO,
+            &mut rng,
+        );
         assert_eq!(m.next_update(), SimTime::MAX);
         assert_eq!(m.position(SimTime::from_secs(1000)), start);
         assert_eq!(m.velocity(SimTime::from_secs(5)), Vec2::ZERO);
@@ -163,7 +193,11 @@ mod tests {
     fn all_mobile_models_stay_in_region() {
         let region = Region::square(300.0);
         let configs = [
-            MobilityConfig::RandomWaypoint { v_min: 1.0, v_max: 10.0, pause_s: 2.0 },
+            MobilityConfig::RandomWaypoint {
+                v_min: 1.0,
+                v_max: 10.0,
+                pause_s: 2.0,
+            },
             MobilityConfig::GaussMarkov {
                 mean_speed: 5.0,
                 alpha: 0.75,
@@ -171,7 +205,11 @@ mod tests {
                 sigma_dir: 0.5,
                 update_s: 1.0,
             },
-            MobilityConfig::Manhattan { block_m: 50.0, mean_speed: 8.0, sigma_speed: 2.0 },
+            MobilityConfig::Manhattan {
+                block_m: 50.0,
+                mean_speed: 8.0,
+                sigma_speed: 2.0,
+            },
         ];
         for (ci, config) in configs.into_iter().enumerate() {
             let mut rng = SimRng::new(100 + ci as u64);
@@ -189,10 +227,16 @@ mod tests {
                 assert!(next > t, "{config:?}: next_update did not advance");
                 // Sample the trajectory midway and at the update point.
                 let mid = SimTime((t.as_nanos() + next.as_nanos()) / 2);
-                assert!(region.contains(m.position(mid)), "{config:?} left region at {mid}");
+                assert!(
+                    region.contains(m.position(mid)),
+                    "{config:?} left region at {mid}"
+                );
                 assert!(m.position(mid).is_finite());
                 t = next;
-                assert!(region.contains(m.position(t)), "{config:?} left region at {t}");
+                assert!(
+                    region.contains(m.position(t)),
+                    "{config:?} left region at {t}"
+                );
                 m.advance(t, &mut rng);
             }
         }
@@ -202,7 +246,11 @@ mod tests {
     fn mobile_models_actually_move() {
         let region = Region::square(300.0);
         let configs = [
-            MobilityConfig::RandomWaypoint { v_min: 5.0, v_max: 10.0, pause_s: 0.0 },
+            MobilityConfig::RandomWaypoint {
+                v_min: 5.0,
+                v_max: 10.0,
+                pause_s: 0.0,
+            },
             MobilityConfig::GaussMarkov {
                 mean_speed: 5.0,
                 alpha: 0.5,
@@ -210,7 +258,11 @@ mod tests {
                 sigma_dir: 0.7,
                 update_s: 1.0,
             },
-            MobilityConfig::Manhattan { block_m: 50.0, mean_speed: 8.0, sigma_speed: 0.0 },
+            MobilityConfig::Manhattan {
+                block_m: 50.0,
+                mean_speed: 8.0,
+                sigma_speed: 0.0,
+            },
         ];
         for (ci, config) in configs.into_iter().enumerate() {
             let mut rng = SimRng::new(200 + ci as u64);

@@ -11,7 +11,12 @@ use wmn_topology::{Region, Vec2};
 #[derive(Clone, Copy, Debug)]
 enum Phase {
     /// Travelling `from → to`, departing/arriving at the stored times.
-    Leg { from: Vec2, to: Vec2, depart: SimTime, arrive: SimTime },
+    Leg {
+        from: Vec2,
+        to: Vec2,
+        depart: SimTime,
+        arrive: SimTime,
+    },
     /// Paused at a waypoint until the stored time.
     Pause { at: Vec2, until: SimTime },
 }
@@ -38,7 +43,10 @@ impl RandomWaypoint {
         now: SimTime,
         rng: &mut SimRng,
     ) -> Self {
-        assert!(v_min > 0.0, "v_min must be positive (RWP speed-decay pathology)");
+        assert!(
+            v_min > 0.0,
+            "v_min must be positive (RWP speed-decay pathology)"
+        );
         assert!(v_max >= v_min, "v_max < v_min");
         assert!(pause_s >= 0.0);
         let mut rwp = RandomWaypoint {
@@ -46,7 +54,10 @@ impl RandomWaypoint {
             v_min,
             v_max,
             pause: SimDuration::from_secs_f64(pause_s),
-            phase: Phase::Pause { at: region.clamp(start), until: now },
+            phase: Phase::Pause {
+                at: region.clamp(start),
+                until: now,
+            },
         };
         rwp.start_leg(now, rng);
         rwp
@@ -64,14 +75,24 @@ impl RandomWaypoint {
         let speed = rng.range_f64(self.v_min, self.v_max).max(self.v_min);
         let dist = from.distance(to);
         let travel = SimDuration::from_secs_f64(dist / speed);
-        self.phase = Phase::Leg { from, to, depart: now, arrive: now + travel };
+        self.phase = Phase::Leg {
+            from,
+            to,
+            depart: now,
+            arrive: now + travel,
+        };
     }
 
     /// Position at `t` (exact linear interpolation on a leg).
     pub fn position(&self, t: SimTime) -> Vec2 {
         match self.phase {
             Phase::Pause { at, .. } => at,
-            Phase::Leg { from, to, depart, arrive } => {
+            Phase::Leg {
+                from,
+                to,
+                depart,
+                arrive,
+            } => {
                 if t <= depart {
                     return from;
                 }
@@ -89,7 +110,12 @@ impl RandomWaypoint {
     pub fn velocity(&self, t: SimTime) -> Vec2 {
         match self.phase {
             Phase::Pause { .. } => Vec2::ZERO,
-            Phase::Leg { from, to, depart, arrive } => {
+            Phase::Leg {
+                from,
+                to,
+                depart,
+                arrive,
+            } => {
                 if t < depart || t >= arrive {
                     return Vec2::ZERO;
                 }
@@ -118,7 +144,10 @@ impl RandomWaypoint {
                     self.phase = Phase::Pause { at: to, until: now };
                     self.start_leg(now, rng);
                 } else {
-                    self.phase = Phase::Pause { at: to, until: now + self.pause };
+                    self.phase = Phase::Pause {
+                        at: to,
+                        until: now + self.pause,
+                    };
                 }
             }
             Phase::Pause { until, .. } if now >= until => {
@@ -161,7 +190,9 @@ mod tests {
     #[test]
     fn speed_within_bounds_on_leg() {
         let (rwp, _) = setup(1.0);
-        let v = rwp.velocity(SimTime(rwp.next_update().as_nanos() / 2)).norm();
+        let v = rwp
+            .velocity(SimTime(rwp.next_update().as_nanos() / 2))
+            .norm();
         assert!((2.0..=4.0 + 1e-9).contains(&v), "speed {v}");
     }
 

@@ -1,9 +1,9 @@
 //! Property-based containment/liveness tests for all mobility models.
 
 use proptest::prelude::*;
+use wmn_mobility::{Mobility, MobilityConfig};
 use wmn_sim::{SimRng, SimTime};
 use wmn_topology::{Region, Vec2};
-use wmn_mobility::{Mobility, MobilityConfig};
 
 fn check_model(config: MobilityConfig, seed: u64, steps: usize) -> Result<(), TestCaseError> {
     let region = Region::square(400.0);

@@ -170,7 +170,10 @@ mod tests {
         let nominal = p.nominal_range_m();
         assert!((nominal - 250.0).abs() < 1.0, "nominal {nominal}");
         let interference = p.interference_range_m();
-        assert!((interference - 550.0).abs() < 2.0, "interference {interference}");
+        assert!(
+            (interference - 550.0).abs() < 2.0,
+            "interference {interference}"
+        );
     }
 
     #[test]
@@ -190,7 +193,10 @@ mod tests {
     fn rx_power_is_tx_power_plus_link_gain() {
         let p = PhyParams::classic_802_11b();
         for d in [10.0, 120.0, 600.0] {
-            assert_eq!(p.rx_power_dbm(d, 2, 5), p.tx_power_dbm + p.link_gain_db(d, 2, 5));
+            assert_eq!(
+                p.rx_power_dbm(d, 2, 5),
+                p.tx_power_dbm + p.link_gain_db(d, 2, 5)
+            );
         }
         // Pure/deterministic: repeated evaluation is bit-identical.
         assert_eq!(p.link_gain_db(333.0, 1, 7), p.link_gain_db(333.0, 1, 7));

@@ -82,7 +82,12 @@ mod tests {
 
     #[test]
     fn ber_decreases_with_sinr() {
-        for rate in [Rate::Dbpsk1Mbps, Rate::Dqpsk2Mbps, Rate::Cck5_5Mbps, Rate::Cck11Mbps] {
+        for rate in [
+            Rate::Dbpsk1Mbps,
+            Rate::Dqpsk2Mbps,
+            Rate::Cck5_5Mbps,
+            Rate::Cck11Mbps,
+        ] {
             let mut last = 0.6;
             for i in 0..60 {
                 let sinr = 10f64.powf(-3.0 + i as f64 * 0.1); // −30…+30 dB
@@ -134,7 +139,10 @@ mod tests {
         let sinr = 1.0;
         let p_short = Rate::Dqpsk2Mbps.per(sinr, 500);
         let p_long = Rate::Dqpsk2Mbps.per(sinr, 5_000);
-        assert!(p_short > 0.0 && p_long < 1.0, "p_short {p_short} p_long {p_long}");
+        assert!(
+            p_short > 0.0 && p_long < 1.0,
+            "p_short {p_short} p_long {p_long}"
+        );
         assert!(p_long > p_short);
     }
 

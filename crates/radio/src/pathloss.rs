@@ -47,7 +47,11 @@ impl PathLoss {
     /// The standard 2.4 GHz two-ray-ground model with 1.5 m antennas
     /// (ns-2 defaults).
     pub fn default_two_ray() -> Self {
-        PathLoss::TwoRayGround { frequency_hz: 2.4e9, tx_height_m: 1.5, rx_height_m: 1.5 }
+        PathLoss::TwoRayGround {
+            frequency_hz: 2.4e9,
+            tx_height_m: 1.5,
+            rx_height_m: 1.5,
+        }
     }
 
     /// Carrier wavelength for this model, m.
@@ -71,7 +75,11 @@ impl PathLoss {
         let friis = |d: f64| 20.0 * (4.0 * std::f64::consts::PI * d / lambda).log10();
         match *self {
             PathLoss::FreeSpace { .. } => friis(d),
-            PathLoss::TwoRayGround { tx_height_m, rx_height_m, .. } => {
+            PathLoss::TwoRayGround {
+                tx_height_m,
+                rx_height_m,
+                ..
+            } => {
                 let crossover = 4.0 * std::f64::consts::PI * tx_height_m * rx_height_m / lambda;
                 if d <= crossover {
                     friis(d)
@@ -80,7 +88,11 @@ impl PathLoss {
                     40.0 * d.log10() - 20.0 * (tx_height_m * rx_height_m).log10()
                 }
             }
-            PathLoss::LogDistance { exponent, reference_m, .. } => {
+            PathLoss::LogDistance {
+                exponent,
+                reference_m,
+                ..
+            } => {
                 let d0 = reference_m.max(1.0);
                 friis(d0) + 10.0 * exponent * (d / d0).max(1.0).log10()
             }
@@ -142,7 +154,9 @@ mod tests {
 
     #[test]
     fn free_space_matches_friis_formula() {
-        let m = PathLoss::FreeSpace { frequency_hz: 2.4e9 };
+        let m = PathLoss::FreeSpace {
+            frequency_hz: 2.4e9,
+        };
         // FSPL(2.4 GHz, 100 m) = 20 log10(d) + 20 log10(f) − 147.55 ≈ 80.05 dB
         let loss = m.loss_db(100.0);
         assert!((loss - 80.05).abs() < 0.1, "loss {loss}");
@@ -151,9 +165,16 @@ mod tests {
     #[test]
     fn loss_is_monotonic_in_distance() {
         for m in [
-            PathLoss::FreeSpace { frequency_hz: 2.4e9 },
+            PathLoss::FreeSpace {
+                frequency_hz: 2.4e9,
+            },
             PathLoss::default_two_ray(),
-            PathLoss::LogDistance { frequency_hz: 2.4e9, exponent: 3.0, reference_m: 1.0, sigma_db: 0.0 },
+            PathLoss::LogDistance {
+                frequency_hz: 2.4e9,
+                exponent: 3.0,
+                reference_m: 1.0,
+                sigma_db: 0.0,
+            },
         ] {
             let mut last = -1.0;
             for i in 1..200 {
@@ -171,7 +192,10 @@ mod tests {
         let crossover = 4.0 * std::f64::consts::PI * 1.5 * 1.5 / lambda;
         let just_before = m.loss_db(crossover * 0.999);
         let just_after = m.loss_db(crossover * 1.001);
-        assert!((just_before - just_after).abs() < 0.5, "{just_before} vs {just_after}");
+        assert!(
+            (just_before - just_after).abs() < 0.5,
+            "{just_before} vs {just_after}"
+        );
         // Beyond crossover, doubling distance costs ~12 dB (d⁴ law).
         let l1 = m.loss_db(crossover * 2.0);
         let l2 = m.loss_db(crossover * 4.0);
@@ -180,7 +204,12 @@ mod tests {
 
     #[test]
     fn log_distance_exponent_slope() {
-        let m = PathLoss::LogDistance { frequency_hz: 2.4e9, exponent: 3.5, reference_m: 1.0, sigma_db: 0.0 };
+        let m = PathLoss::LogDistance {
+            frequency_hz: 2.4e9,
+            exponent: 3.5,
+            reference_m: 1.0,
+            sigma_db: 0.0,
+        };
         let l1 = m.loss_db(10.0);
         let l2 = m.loss_db(100.0);
         // One decade of distance = 10·n dB.
@@ -189,7 +218,9 @@ mod tests {
 
     #[test]
     fn near_field_clamped() {
-        let m = PathLoss::FreeSpace { frequency_hz: 2.4e9 };
+        let m = PathLoss::FreeSpace {
+            frequency_hz: 2.4e9,
+        };
         assert_eq!(m.loss_db(0.0), m.loss_db(1.0));
         assert_eq!(m.loss_db(0.5), m.loss_db(1.0));
     }
@@ -206,7 +237,12 @@ mod tests {
 
     #[test]
     fn shadowing_is_symmetric_and_deterministic() {
-        let m = PathLoss::LogDistance { frequency_hz: 2.4e9, exponent: 3.0, reference_m: 1.0, sigma_db: 6.0 };
+        let m = PathLoss::LogDistance {
+            frequency_hz: 2.4e9,
+            exponent: 3.0,
+            reference_m: 1.0,
+            sigma_db: 6.0,
+        };
         let ab = m.loss_db_link(100.0, 42, 3, 9);
         let ba = m.loss_db_link(100.0, 42, 9, 3);
         assert_eq!(ab, ba);
@@ -217,7 +253,12 @@ mod tests {
 
     #[test]
     fn shadowing_statistics() {
-        let m = PathLoss::LogDistance { frequency_hz: 2.4e9, exponent: 3.0, reference_m: 1.0, sigma_db: 8.0 };
+        let m = PathLoss::LogDistance {
+            frequency_hz: 2.4e9,
+            exponent: 3.0,
+            reference_m: 1.0,
+            sigma_db: 8.0,
+        };
         let base = m.loss_db(100.0);
         let n = 20_000u32;
         let samples: Vec<f64> = (0..n)

@@ -5,12 +5,22 @@ use wmn_radio::{PathLoss, PhyParams, Rate};
 #[test]
 fn shadowed_phy_extends_interference_margin() {
     let plain = PhyParams::calibrated(
-        PathLoss::LogDistance { frequency_hz: 2.4e9, exponent: 3.0, reference_m: 1.0, sigma_db: 0.0 },
+        PathLoss::LogDistance {
+            frequency_hz: 2.4e9,
+            exponent: 3.0,
+            reference_m: 1.0,
+            sigma_db: 0.0,
+        },
         250.0,
         2.0,
     );
     let shadowed = PhyParams::calibrated(
-        PathLoss::LogDistance { frequency_hz: 2.4e9, exponent: 3.0, reference_m: 1.0, sigma_db: 6.0 },
+        PathLoss::LogDistance {
+            frequency_hz: 2.4e9,
+            exponent: 3.0,
+            reference_m: 1.0,
+            sigma_db: 6.0,
+        },
         250.0,
         2.0,
     );
@@ -21,7 +31,12 @@ fn shadowed_phy_extends_interference_margin() {
 #[test]
 fn shadowing_makes_some_long_links_decodable() {
     let phy = PhyParams::calibrated(
-        PathLoss::LogDistance { frequency_hz: 2.4e9, exponent: 3.0, reference_m: 1.0, sigma_db: 8.0 },
+        PathLoss::LogDistance {
+            frequency_hz: 2.4e9,
+            exponent: 3.0,
+            reference_m: 1.0,
+            sigma_db: 8.0,
+        },
         250.0,
         2.0,
     );
@@ -35,8 +50,14 @@ fn shadowing_makes_some_long_links_decodable() {
             decodable += 1;
         }
     }
-    assert!(decodable > n / 50, "only {decodable}/{n} links shadow-boosted");
-    assert!(decodable < n / 2, "{decodable}/{n} — shadowing too generous");
+    assert!(
+        decodable > n / 50,
+        "only {decodable}/{n} links shadow-boosted"
+    );
+    assert!(
+        decodable < n / 2,
+        "{decodable}/{n} — shadowing too generous"
+    );
 }
 
 #[test]
@@ -61,7 +82,10 @@ fn free_space_range_exceeds_two_ray_range_at_same_budget() {
     // Beyond the crossover, two-ray decays faster, so for the same link
     // budget free space reaches farther.
     let budget = 95.0;
-    let fs = PathLoss::FreeSpace { frequency_hz: 2.4e9 }.range_for_loss(budget);
+    let fs = PathLoss::FreeSpace {
+        frequency_hz: 2.4e9,
+    }
+    .range_for_loss(budget);
     let tr = PathLoss::default_two_ray().range_for_loss(budget);
     assert!(fs > tr, "fs {fs} vs two-ray {tr}");
 }

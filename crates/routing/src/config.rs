@@ -77,9 +77,9 @@ impl RoutingConfig {
         if !self.expanding_ring {
             return self.rreq_ttl;
         }
-        let ttl = self.ring_start_ttl.saturating_add(
-            self.ring_increment.saturating_mul(retry.min(255) as u8),
-        );
+        let ttl = self
+            .ring_start_ttl
+            .saturating_add(self.ring_increment.saturating_mul(retry.min(255) as u8));
         if ttl > self.ring_threshold {
             self.rreq_ttl
         } else {

@@ -213,6 +213,19 @@ impl Routing {
         &self.table
     }
 
+    /// Empty every pending-discovery buffer and return the parked data
+    /// packets. Used when the node crashes: the packets had a
+    /// `DataOriginate` trace event, so the caller must account each one
+    /// with a terminal drop to keep packet conservation exact.
+    pub fn drain_buffered(&mut self) -> Vec<DataPacket> {
+        let mut out = Vec::new();
+        for (_, p) in self.pending.drain() {
+            out.extend(p.buffer);
+        }
+        out.sort_by_key(|d| (d.flow, d.seq));
+        out
+    }
+
     /// Neighbour-table access.
     pub fn neighbors(&self) -> &NeighborTable {
         &self.neighbors
@@ -222,8 +235,12 @@ impl Routing {
     pub fn start(&mut self, now: SimTime, out: &mut Vec<RoutingAction>) {
         // Stagger HELLOs uniformly over one interval so beacons do not
         // synchronise network-wide.
-        let hello_offset = SimDuration(self.rng.below(self.config.hello_interval.as_nanos().max(1)));
-        out.push(RoutingAction::SetTimer { timer: RoutingTimer::Hello, at: now + hello_offset });
+        let hello_offset =
+            SimDuration(self.rng.below(self.config.hello_interval.as_nanos().max(1)));
+        out.push(RoutingAction::SetTimer {
+            timer: RoutingTimer::Hello,
+            at: now + hello_offset,
+        });
         out.push(RoutingAction::SetTimer {
             timer: RoutingTimer::Sweep,
             at: now + self.config.sweep_interval,
@@ -245,8 +262,12 @@ impl Routing {
         }
         if let Some(entry) = self.table.valid_route(packet.dst, now) {
             let next_hop = entry.next_hop;
-            self.table.refresh(packet.dst, self.config.route_lifetime, now);
-            out.push(RoutingAction::Unicast { packet: Packet::Data(packet), next_hop });
+            self.table
+                .refresh(packet.dst, self.config.route_lifetime, now);
+            out.push(RoutingAction::Unicast {
+                packet: Packet::Data(packet),
+                next_hop,
+            });
             return;
         }
         self.buffer_and_discover(packet, now, out);
@@ -278,7 +299,14 @@ impl Routing {
         let gen = self.discovery_gen;
         let mut buffer = VecDeque::with_capacity(4);
         buffer.push_back(packet);
-        self.pending.insert(target, PendingDiscovery { retries: 0, gen, buffer });
+        self.pending.insert(
+            target,
+            PendingDiscovery {
+                retries: 0,
+                gen,
+                buffer,
+            },
+        );
         self.emit_rreq(target, 0, now, out);
         out.push(RoutingAction::SetTimer {
             timer: RoutingTimer::DiscoveryRetry { target, gen },
@@ -286,11 +314,20 @@ impl Routing {
         });
     }
 
-    fn emit_rreq(&mut self, target: NodeId, retry: u32, now: SimTime, out: &mut Vec<RoutingAction>) {
+    fn emit_rreq(
+        &mut self,
+        target: NodeId,
+        retry: u32,
+        now: SimTime,
+        out: &mut Vec<RoutingAction>,
+    ) {
         self.seq = self.seq.wrapping_add(1);
         self.rreq_id = self.rreq_id.wrapping_add(1);
         let rreq = Rreq {
-            key: RreqKey { origin: self.me, id: self.rreq_id },
+            key: RreqKey {
+                origin: self.me,
+                id: self.rreq_id,
+            },
             origin_seq: self.seq,
             target,
             target_seq: self.table.any_entry(target).map(|e| e.seq),
@@ -302,8 +339,17 @@ impl Routing {
         self.seen.record(rreq.key, now);
         self.seen.resolve(rreq.key);
         self.stats.rreq_originated += 1;
-        self.tel.emit(now, EventKind::RreqOriginate { id: self.rreq_id, target: target.0 });
-        out.push(RoutingAction::Broadcast { packet: Packet::Rreq(rreq), delay: SimDuration::ZERO });
+        self.tel.emit(
+            now,
+            EventKind::RreqOriginate {
+                id: self.rreq_id,
+                target: target.0,
+            },
+        );
+        out.push(RoutingAction::Broadcast {
+            packet: Packet::Rreq(rreq),
+            delay: SimDuration::ZERO,
+        });
     }
 
     // ------------------------------------------------------------------
@@ -324,7 +370,8 @@ impl Routing {
             Packet::Hello(h) => {
                 self.neighbors.heard_hello(from, h.load, h.velocity, now);
                 // A HELLO also constitutes a 1-hop route.
-                self.table.offer(from, from, 1, h.seq, 1.0, self.config.route_lifetime, now);
+                self.table
+                    .offer(from, from, 1, h.seq, 1.0, self.config.route_lifetime, now);
             }
             Packet::Rreq(rreq) => self.on_rreq(rreq, from, cross, now, out),
             Packet::Rrep(rrep) => self.on_rrep(rrep, from, cross, now, out),
@@ -333,7 +380,13 @@ impl Routing {
         }
     }
 
-    fn rreq_context(&mut self, from: NodeId, prior_copies: u32, cross: &CrossLayer, now: SimTime) -> RreqContext {
+    fn rreq_context(
+        &mut self,
+        from: NodeId,
+        prior_copies: u32,
+        cross: &CrossLayer,
+        now: SimTime,
+    ) -> RreqContext {
         RreqContext {
             now,
             prior_copies,
@@ -359,7 +412,13 @@ impl Routing {
             return; // own discovery echoed back
         }
         self.stats.rreq_received += 1;
-        self.tel.emit(now, EventKind::RreqRecv { origin: rreq.key.origin.0, id: rreq.key.id });
+        self.tel.emit(
+            now,
+            EventKind::RreqRecv {
+                origin: rreq.key.origin.0,
+                id: rreq.key.id,
+            },
+        );
         self.neighbors.heard_any(from, now);
 
         let prior = self.seen.record(rreq.key, now);
@@ -401,17 +460,28 @@ impl Routing {
                 self.stats.rrep_generated += 1;
                 self.tel.emit(
                     now,
-                    EventKind::RrepGenerate { origin: rrep.origin.0, target: rrep.target.0 },
+                    EventKind::RrepGenerate {
+                        origin: rrep.origin.0,
+                        target: rrep.target.0,
+                    },
                 );
-                out.push(RoutingAction::Unicast { packet: Packet::Rrep(rrep), next_hop: from });
+                out.push(RoutingAction::Unicast {
+                    packet: Packet::Rrep(rrep),
+                    next_hop: from,
+                });
             }
             return;
         }
 
         if prior > 0 {
             self.stats.rreq_duplicates += 1;
-            self.tel
-                .emit(now, EventKind::RreqDuplicate { origin: rreq.key.origin.0, id: rreq.key.id });
+            self.tel.emit(
+                now,
+                EventKind::RreqDuplicate {
+                    origin: rreq.key.origin.0,
+                    id: rreq.key.id,
+                },
+            );
             return;
         }
 
@@ -432,7 +502,10 @@ impl Routing {
                     self.stats.rrep_generated += 1;
                     self.tel.emit(
                         now,
-                        EventKind::RrepGenerate { origin: rrep.origin.0, target: rrep.target.0 },
+                        EventKind::RrepGenerate {
+                            origin: rrep.origin.0,
+                            target: rrep.target.0,
+                        },
                     );
                     self.seen.resolve(rreq.key);
                     out.push(RoutingAction::Unicast {
@@ -447,8 +520,13 @@ impl Routing {
         if rreq.ttl <= 1 {
             self.seen.resolve(rreq.key);
             self.stats.rreq_suppressed += 1;
-            self.tel
-                .emit(now, EventKind::RreqSuppress { origin: rreq.key.origin.0, id: rreq.key.id });
+            self.tel.emit(
+                now,
+                EventKind::RreqSuppress {
+                    origin: rreq.key.origin.0,
+                    id: rreq.key.id,
+                },
+            );
             return;
         }
 
@@ -458,16 +536,27 @@ impl Routing {
                 self.seen.resolve(rreq.key);
                 let fwd = self.prepare_forward(rreq, &ctx);
                 self.stats.rreq_forwarded += 1;
-                self.tel
-                    .emit(now, EventKind::RreqForward { origin: fwd.key.origin.0, id: fwd.key.id });
-                out.push(RoutingAction::Broadcast { packet: Packet::Rreq(fwd), delay: jitter });
+                self.tel.emit(
+                    now,
+                    EventKind::RreqForward {
+                        origin: fwd.key.origin.0,
+                        id: fwd.key.id,
+                    },
+                );
+                out.push(RoutingAction::Broadcast {
+                    packet: Packet::Rreq(fwd),
+                    delay: jitter,
+                });
             }
             Decision::Discard => {
                 self.seen.resolve(rreq.key);
                 self.stats.rreq_suppressed += 1;
                 self.tel.emit(
                     now,
-                    EventKind::RreqSuppress { origin: rreq.key.origin.0, id: rreq.key.id },
+                    EventKind::RreqSuppress {
+                        origin: rreq.key.origin.0,
+                        id: rreq.key.id,
+                    },
                 );
             }
             Decision::Defer { delay } => {
@@ -536,19 +625,33 @@ impl Routing {
         if let Some(e) = self.table.valid_route(rrep.origin, now) {
             let next_hop = e.next_hop;
             self.table.add_precursor(rrep.target, next_hop);
-            self.table.refresh(rrep.origin, self.config.route_lifetime, now);
+            self.table
+                .refresh(rrep.origin, self.config.route_lifetime, now);
             let mut fwd = rrep;
             fwd.hop_count = hops;
             // Cross-layer accumulation on the forward path as well.
             fwd.path_load += cross.own_load.index(1.0, 1.0);
             self.stats.rrep_forwarded += 1;
-            self.tel
-                .emit(now, EventKind::RrepForward { origin: fwd.origin.0, target: fwd.target.0 });
-            out.push(RoutingAction::Unicast { packet: Packet::Rrep(fwd), next_hop });
+            self.tel.emit(
+                now,
+                EventKind::RrepForward {
+                    origin: fwd.origin.0,
+                    target: fwd.target.0,
+                },
+            );
+            out.push(RoutingAction::Unicast {
+                packet: Packet::Rrep(fwd),
+                next_hop,
+            });
         } else {
             self.stats.rrep_dropped += 1;
-            self.tel
-                .emit(now, EventKind::RrepDrop { origin: rrep.origin.0, target: rrep.target.0 });
+            self.tel.emit(
+                now,
+                EventKind::RrepDrop {
+                    origin: rrep.origin.0,
+                    target: rrep.target.0,
+                },
+            );
         }
     }
 
@@ -562,38 +665,68 @@ impl Routing {
         }
         if !propagate.is_empty() {
             self.stats.rerr_sent += 1;
-            self.tel.emit(now, EventKind::RerrSend { count: propagate.len() as u32 });
+            self.tel.emit(
+                now,
+                EventKind::RerrSend {
+                    count: propagate.len() as u32,
+                },
+            );
             out.push(RoutingAction::Broadcast {
-                packet: Packet::Rerr(Rerr { unreachable: propagate }),
+                packet: Packet::Rerr(Rerr {
+                    unreachable: propagate,
+                }),
                 delay: SimDuration::ZERO,
             });
         }
     }
 
-    fn on_data(&mut self, data: DataPacket, from: NodeId, now: SimTime, out: &mut Vec<RoutingAction>) {
+    fn on_data(
+        &mut self,
+        data: DataPacket,
+        from: NodeId,
+        now: SimTime,
+        out: &mut Vec<RoutingAction>,
+    ) {
         self.neighbors.heard_any(from, now);
         if data.dst == self.me {
             self.stats.data_delivered += 1;
-            self.table.refresh(data.src, self.config.route_lifetime, now);
+            self.table
+                .refresh(data.src, self.config.route_lifetime, now);
             out.push(RoutingAction::Deliver(data));
             return;
         }
         if let Some(e) = self.table.valid_route(data.dst, now) {
             let next_hop = e.next_hop;
             self.table.add_precursor(data.dst, from);
-            self.table.refresh(data.dst, self.config.route_lifetime, now);
-            self.table.refresh(data.src, self.config.route_lifetime, now);
+            self.table
+                .refresh(data.dst, self.config.route_lifetime, now);
+            self.table
+                .refresh(data.src, self.config.route_lifetime, now);
             self.stats.data_forwarded += 1;
-            self.tel.emit(now, EventKind::DataForward { flow: data.flow.0, seq: data.seq });
-            out.push(RoutingAction::Unicast { packet: Packet::Data(data), next_hop });
+            self.tel.emit(
+                now,
+                EventKind::DataForward {
+                    flow: data.flow.0,
+                    seq: data.seq,
+                },
+            );
+            out.push(RoutingAction::Unicast {
+                packet: Packet::Data(data),
+                next_hop,
+            });
         } else {
             self.stats.data_dropped_no_route += 1;
             let seq = self.table.any_entry(data.dst).map_or(0, |e| e.seq);
             self.stats.rerr_sent += 1;
             self.tel.emit(now, EventKind::RerrSend { count: 1 });
-            out.push(RoutingAction::DataDropped { packet: data, reason: DataDropReason::NoRoute });
+            out.push(RoutingAction::DataDropped {
+                packet: data,
+                reason: DataDropReason::NoRoute,
+            });
             out.push(RoutingAction::Broadcast {
-                packet: Packet::Rerr(Rerr { unreachable: vec![(data.dst, seq)] }),
+                packet: Packet::Rerr(Rerr {
+                    unreachable: vec![(data.dst, seq)],
+                }),
                 delay: SimDuration::ZERO,
             });
         }
@@ -615,9 +748,16 @@ impl Routing {
         let broken = self.table.break_link(next_hop);
         if !broken.is_empty() {
             self.stats.rerr_sent += 1;
-            self.tel.emit(now, EventKind::RerrSend { count: broken.len() as u32 });
+            self.tel.emit(
+                now,
+                EventKind::RerrSend {
+                    count: broken.len() as u32,
+                },
+            );
             out.push(RoutingAction::Broadcast {
-                packet: Packet::Rerr(Rerr { unreachable: broken }),
+                packet: Packet::Rerr(Rerr {
+                    unreachable: broken,
+                }),
                 delay: SimDuration::ZERO,
             });
         }
@@ -639,8 +779,13 @@ impl Routing {
             // previously a silent drop).
             Some(Packet::Rrep(rrep)) => {
                 self.stats.rrep_dropped += 1;
-                self.tel
-                    .emit(now, EventKind::RrepDrop { origin: rrep.origin.0, target: rrep.target.0 });
+                self.tel.emit(
+                    now,
+                    EventKind::RrepDrop {
+                        origin: rrep.origin.0,
+                        target: rrep.target.0,
+                    },
+                );
             }
             _ => {}
         }
@@ -676,7 +821,10 @@ impl Routing {
                         self.stats.rreq_forwarded += 1;
                         self.tel.emit(
                             now,
-                            EventKind::RreqForward { origin: key.origin.0, id: key.id },
+                            EventKind::RreqForward {
+                                origin: key.origin.0,
+                                id: key.id,
+                            },
                         );
                         out.push(RoutingAction::Broadcast {
                             packet: Packet::Rreq(fwd),
@@ -686,7 +834,10 @@ impl Routing {
                         self.stats.rreq_suppressed += 1;
                         self.tel.emit(
                             now,
-                            EventKind::RreqSuppress { origin: key.origin.0, id: key.id },
+                            EventKind::RreqSuppress {
+                                origin: key.origin.0,
+                                id: key.id,
+                            },
                         );
                     }
                 }
@@ -694,7 +845,12 @@ impl Routing {
             RoutingTimer::Hello => {
                 self.hello_seq = self.hello_seq.wrapping_add(1);
                 self.stats.hello_sent += 1;
-                self.tel.emit(now, EventKind::HelloSend { seq: self.hello_seq });
+                self.tel.emit(
+                    now,
+                    EventKind::HelloSend {
+                        seq: self.hello_seq,
+                    },
+                );
                 let hello = Hello {
                     seq: self.hello_seq,
                     load: cross.own_load,
@@ -702,7 +858,10 @@ impl Routing {
                 };
                 // Small jitter so neighbours do not collide beacon-on-beacon.
                 let jitter = SimDuration(self.rng.below(10_000_000)); // ≤ 10 ms
-                out.push(RoutingAction::Broadcast { packet: Packet::Hello(hello), delay: jitter });
+                out.push(RoutingAction::Broadcast {
+                    packet: Packet::Hello(hello),
+                    delay: jitter,
+                });
                 out.push(RoutingAction::SetTimer {
                     timer: RoutingTimer::Hello,
                     at: now + self.config.hello_interval,
@@ -719,9 +878,16 @@ impl Routing {
                 }
                 if !all_broken.is_empty() {
                     self.stats.rerr_sent += 1;
-                    self.tel.emit(now, EventKind::RerrSend { count: all_broken.len() as u32 });
+                    self.tel.emit(
+                        now,
+                        EventKind::RerrSend {
+                            count: all_broken.len() as u32,
+                        },
+                    );
                     out.push(RoutingAction::Broadcast {
-                        packet: Packet::Rerr(Rerr { unreachable: all_broken }),
+                        packet: Packet::Rerr(Rerr {
+                            unreachable: all_broken,
+                        }),
                         delay: SimDuration::ZERO,
                     });
                 }
@@ -753,7 +919,10 @@ impl Routing {
             while let Some(data) = p.buffer.pop_front() {
                 if let Some(e) = self.table.valid_route(data.dst, now) {
                     let next_hop = e.next_hop;
-                    out.push(RoutingAction::Unicast { packet: Packet::Data(data), next_hop });
+                    out.push(RoutingAction::Unicast {
+                        packet: Packet::Data(data),
+                        next_hop,
+                    });
                 } else {
                     // Defensive: the buffer is keyed by `target == dst`, so
                     // this branch should be unreachable — but a buffered
@@ -828,7 +997,10 @@ mod tests {
 
     fn find_rreq(out: &[RoutingAction]) -> Option<Rreq> {
         out.iter().find_map(|a| match a {
-            RoutingAction::Broadcast { packet: Packet::Rreq(r), .. } => Some(*r),
+            RoutingAction::Broadcast {
+                packet: Packet::Rreq(r),
+                ..
+            } => Some(*r),
             _ => None,
         })
     }
@@ -856,7 +1028,10 @@ mod tests {
         assert_eq!(rreq.key.origin, NodeId(0));
         assert!(out.iter().any(|a| matches!(
             a,
-            RoutingAction::SetTimer { timer: RoutingTimer::DiscoveryRetry { .. }, .. }
+            RoutingAction::SetTimer {
+                timer: RoutingTimer::DiscoveryRetry { .. },
+                ..
+            }
         )));
         assert_eq!(r.stats().discoveries_started, 1);
         // Second packet buffers without a second RREQ.
@@ -870,7 +1045,10 @@ mod tests {
         let mut r = engine(5);
         let mut out = Vec::new();
         let rreq = Rreq {
-            key: RreqKey { origin: NodeId(0), id: 1 },
+            key: RreqKey {
+                origin: NodeId(0),
+                id: 1,
+            },
             origin_seq: 3,
             target: NodeId(9),
             target_seq: None,
@@ -883,7 +1061,10 @@ mod tests {
         assert_eq!(fwd.hop_count, 2);
         assert_eq!(fwd.ttl, 29);
         // Reverse route to origin via the sender.
-        let e = r.table().valid_route(NodeId(0), t(1)).expect("reverse route");
+        let e = r
+            .table()
+            .valid_route(NodeId(0), t(1))
+            .expect("reverse route");
         assert_eq!(e.next_hop, NodeId(2));
         assert_eq!(e.hop_count, 2);
         // Duplicate is not forwarded again.
@@ -898,7 +1079,10 @@ mod tests {
         let mut r = engine(9);
         let mut out = Vec::new();
         let rreq = Rreq {
-            key: RreqKey { origin: NodeId(0), id: 1 },
+            key: RreqKey {
+                origin: NodeId(0),
+                id: 1,
+            },
             origin_seq: 3,
             target: NodeId(9),
             target_seq: None,
@@ -910,9 +1094,10 @@ mod tests {
         let rrep = out
             .iter()
             .find_map(|a| match a {
-                RoutingAction::Unicast { packet: Packet::Rrep(p), next_hop } => {
-                    Some((*p, *next_hop))
-                }
+                RoutingAction::Unicast {
+                    packet: Packet::Rrep(p),
+                    next_hop,
+                } => Some((*p, *next_hop)),
                 _ => None,
             })
             .expect("rrep");
@@ -944,9 +1129,10 @@ mod tests {
         let sent = out
             .iter()
             .find_map(|a| match a {
-                RoutingAction::Unicast { packet: Packet::Data(d), next_hop } => {
-                    Some((*d, *next_hop))
-                }
+                RoutingAction::Unicast {
+                    packet: Packet::Data(d),
+                    next_hop,
+                } => Some((*d, *next_hop)),
                 _ => None,
             })
             .expect("data flushed");
@@ -957,9 +1143,13 @@ mod tests {
         out.clear();
         origin.send_data(data(0, 9), t(60), &mut out);
         assert!(find_rreq(&out).is_none());
-        assert!(out
-            .iter()
-            .any(|a| matches!(a, RoutingAction::Unicast { packet: Packet::Data(_), .. })));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            RoutingAction::Unicast {
+                packet: Packet::Data(_),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -968,7 +1158,10 @@ mod tests {
         let mut out = Vec::new();
         // Establish the reverse route via an RREQ from origin 0 through 2.
         let rreq = Rreq {
-            key: RreqKey { origin: NodeId(0), id: 1 },
+            key: RreqKey {
+                origin: NodeId(0),
+                id: 1,
+            },
             origin_seq: 3,
             target: NodeId(9),
             target_seq: None,
@@ -990,16 +1183,20 @@ mod tests {
         let (fwd, nh) = out
             .iter()
             .find_map(|a| match a {
-                RoutingAction::Unicast { packet: Packet::Rrep(p), next_hop } => {
-                    Some((*p, *next_hop))
-                }
+                RoutingAction::Unicast {
+                    packet: Packet::Rrep(p),
+                    next_hop,
+                } => Some((*p, *next_hop)),
                 _ => None,
             })
             .expect("rrep forwarded");
         assert_eq!(nh, NodeId(2));
         assert_eq!(fwd.hop_count, 1);
         // Forward route to 9 installed via 7.
-        assert_eq!(mid.table().valid_route(NodeId(9), t(11)).unwrap().next_hop, NodeId(7));
+        assert_eq!(
+            mid.table().valid_route(NodeId(9), t(11)).unwrap().next_hop,
+            NodeId(7)
+        );
     }
 
     #[test]
@@ -1016,7 +1213,13 @@ mod tests {
         };
         mid.on_packet(Packet::Rrep(rrep), NodeId(7), &cross(), t(0), &mut out);
         out.clear();
-        mid.on_packet(Packet::Data(data(0, 9)), NodeId(2), &cross(), t(1), &mut out);
+        mid.on_packet(
+            Packet::Data(data(0, 9)),
+            NodeId(2),
+            &cross(),
+            t(1),
+            &mut out,
+        );
         assert!(out.iter().any(|a| matches!(
             a,
             RoutingAction::Unicast { packet: Packet::Data(_), next_hop } if *next_hop == NodeId(7)
@@ -1025,7 +1228,13 @@ mod tests {
         // Delivery at the destination.
         let mut dst = engine(9);
         out.clear();
-        dst.on_packet(Packet::Data(data(0, 9)), NodeId(5), &cross(), t(2), &mut out);
+        dst.on_packet(
+            Packet::Data(data(0, 9)),
+            NodeId(5),
+            &cross(),
+            t(2),
+            &mut out,
+        );
         assert!(out.iter().any(|a| matches!(a, RoutingAction::Deliver(_))));
         assert_eq!(dst.stats().data_delivered, 1);
     }
@@ -1034,14 +1243,26 @@ mod tests {
     fn no_route_triggers_rerr_and_drop() {
         let mut mid = engine(5);
         let mut out = Vec::new();
-        mid.on_packet(Packet::Data(data(0, 9)), NodeId(2), &cross(), t(0), &mut out);
+        mid.on_packet(
+            Packet::Data(data(0, 9)),
+            NodeId(2),
+            &cross(),
+            t(0),
+            &mut out,
+        );
         assert!(out.iter().any(|a| matches!(
             a,
-            RoutingAction::DataDropped { reason: DataDropReason::NoRoute, .. }
+            RoutingAction::DataDropped {
+                reason: DataDropReason::NoRoute,
+                ..
+            }
         )));
         assert!(out.iter().any(|a| matches!(
             a,
-            RoutingAction::Broadcast { packet: Packet::Rerr(_), .. }
+            RoutingAction::Broadcast {
+                packet: Packet::Rerr(_),
+                ..
+            }
         )));
     }
 
@@ -1089,9 +1310,10 @@ mod tests {
         let (timer, at) = out
             .iter()
             .find_map(|a| match a {
-                RoutingAction::SetTimer { timer: t2 @ RoutingTimer::DiscoveryRetry { .. }, at } => {
-                    Some((*t2, *at))
-                }
+                RoutingAction::SetTimer {
+                    timer: t2 @ RoutingTimer::DiscoveryRetry { .. },
+                    at,
+                } => Some((*t2, *at)),
                 _ => None,
             })
             .unwrap();
@@ -1128,7 +1350,10 @@ mod tests {
         // RERR broadcast + fresh discovery for the salvaged packet.
         assert!(out.iter().any(|a| matches!(
             a,
-            RoutingAction::Broadcast { packet: Packet::Rerr(_), .. }
+            RoutingAction::Broadcast {
+                packet: Packet::Rerr(_),
+                ..
+            }
         )));
         assert!(find_rreq(&out).is_some(), "salvage re-discovers");
         assert!(r.table().valid_route(NodeId(9), t(11)).is_none());
@@ -1141,7 +1366,10 @@ mod tests {
         r.on_link_failure(NodeId(4), Some(Packet::Data(data(0, 9))), t(10), &mut out);
         assert!(out.iter().any(|a| matches!(
             a,
-            RoutingAction::DataDropped { reason: DataDropReason::LinkFailure, .. }
+            RoutingAction::DataDropped {
+                reason: DataDropReason::LinkFailure,
+                ..
+            }
         )));
         assert_eq!(r.stats().data_dropped_link, 1);
     }
@@ -1161,11 +1389,22 @@ mod tests {
         r.on_packet(Packet::Rrep(rrep), NodeId(4), &cross(), t(0), &mut out);
         out.clear();
         // RERR from node 4 about 9 → we invalidate and propagate.
-        let rerr = Rerr { unreachable: vec![(NodeId(9), 6)] };
-        r.on_packet(Packet::Rerr(rerr.clone()), NodeId(4), &cross(), t(1), &mut out);
+        let rerr = Rerr {
+            unreachable: vec![(NodeId(9), 6)],
+        };
+        r.on_packet(
+            Packet::Rerr(rerr.clone()),
+            NodeId(4),
+            &cross(),
+            t(1),
+            &mut out,
+        );
         assert!(out.iter().any(|a| matches!(
             a,
-            RoutingAction::Broadcast { packet: Packet::Rerr(_), .. }
+            RoutingAction::Broadcast {
+                packet: Packet::Rerr(_),
+                ..
+            }
         )));
         assert!(r.table().valid_route(NodeId(9), t(2)).is_none());
         // RERR from an unrelated node → nothing.
@@ -1180,7 +1419,11 @@ mod tests {
         let mut out = Vec::new();
         let hello = Hello {
             seq: 1,
-            load: LoadDigest { queue_util: 0.4, busy_ratio: 0.2, mac_service_s: 0.0 },
+            load: LoadDigest {
+                queue_util: 0.4,
+                busy_ratio: 0.2,
+                mac_service_s: 0.0,
+            },
             velocity: (1.0, 0.0),
         };
         r.on_packet(Packet::Hello(hello), NodeId(3), &cross(), t(0), &mut out);
@@ -1197,7 +1440,10 @@ mod tests {
         r.on_timer(RoutingTimer::Hello, &cross(), t(1000), &mut out);
         assert!(out.iter().any(|a| matches!(
             a,
-            RoutingAction::Broadcast { packet: Packet::Hello(_), .. }
+            RoutingAction::Broadcast {
+                packet: Packet::Hello(_),
+                ..
+            }
         )));
         assert!(out.iter().any(|a| matches!(
             a,
@@ -1210,7 +1456,11 @@ mod tests {
     fn sweep_expires_neighbors_and_breaks_their_routes() {
         let mut r = engine(0);
         let mut out = Vec::new();
-        let hello = Hello { seq: 1, load: LoadDigest::default(), velocity: (0.0, 0.0) };
+        let hello = Hello {
+            seq: 1,
+            load: LoadDigest::default(),
+            velocity: (0.0, 0.0),
+        };
         r.on_packet(Packet::Hello(hello), NodeId(3), &cross(), t(0), &mut out);
         // Also a 2-hop route via 3.
         let rrep = Rrep {
@@ -1226,12 +1476,18 @@ mod tests {
         r.on_timer(RoutingTimer::Sweep, &cross(), t(5000), &mut out);
         assert!(out.iter().any(|a| matches!(
             a,
-            RoutingAction::Broadcast { packet: Packet::Rerr(_), .. }
+            RoutingAction::Broadcast {
+                packet: Packet::Rerr(_),
+                ..
+            }
         )));
         assert!(r.table().valid_route(NodeId(9), t(5001)).is_none());
         assert!(out.iter().any(|a| matches!(
             a,
-            RoutingAction::SetTimer { timer: RoutingTimer::Sweep, .. }
+            RoutingAction::SetTimer {
+                timer: RoutingTimer::Sweep,
+                ..
+            }
         )));
     }
 
@@ -1240,7 +1496,10 @@ mod tests {
         let mut r = engine(5);
         let mut out = Vec::new();
         let rreq = Rreq {
-            key: RreqKey { origin: NodeId(0), id: 1 },
+            key: RreqKey {
+                origin: NodeId(0),
+                id: 1,
+            },
             origin_seq: 3,
             target: NodeId(9),
             target_seq: None,
@@ -1266,7 +1525,10 @@ mod tests {
         );
         let mut out = Vec::new();
         let rreq = Rreq {
-            key: RreqKey { origin: NodeId(0), id: 1 },
+            key: RreqKey {
+                origin: NodeId(0),
+                id: 1,
+            },
             origin_seq: 3,
             target: NodeId(9),
             target_seq: None,
@@ -1280,9 +1542,10 @@ mod tests {
         let (timer, at) = out
             .iter()
             .find_map(|a| match a {
-                RoutingAction::SetTimer { timer: t2 @ RoutingTimer::RadAssess { .. }, at } => {
-                    Some((*t2, *at))
-                }
+                RoutingAction::SetTimer {
+                    timer: t2 @ RoutingTimer::RadAssess { .. },
+                    at,
+                } => Some((*t2, *at)),
                 _ => None,
             })
             .expect("rad timer");
@@ -1306,7 +1569,10 @@ mod tests {
         );
         let mut out = Vec::new();
         let rreq = Rreq {
-            key: RreqKey { origin: NodeId(0), id: 1 },
+            key: RreqKey {
+                origin: NodeId(0),
+                id: 1,
+            },
             origin_seq: 3,
             target: NodeId(9),
             target_seq: None,
@@ -1318,9 +1584,10 @@ mod tests {
         let (timer, at) = out
             .iter()
             .find_map(|a| match a {
-                RoutingAction::SetTimer { timer: t2 @ RoutingTimer::RadAssess { .. }, at } => {
-                    Some((*t2, *at))
-                }
+                RoutingAction::SetTimer {
+                    timer: t2 @ RoutingTimer::RadAssess { .. },
+                    at,
+                } => Some((*t2, *at)),
                 _ => None,
             })
             .expect("rad timer");

@@ -32,7 +32,10 @@ impl NeighborTable {
     /// Neighbours not heard for `timeout` are considered gone (canonically
     /// `ALLOWED_HELLO_LOSS × hello_interval`).
     pub fn new(timeout: SimDuration) -> Self {
-        NeighborTable { entries: HashMap::new(), timeout }
+        NeighborTable {
+            entries: HashMap::new(),
+            timeout,
+        }
     }
 
     /// Record a HELLO (full update).
@@ -43,8 +46,14 @@ impl NeighborTable {
         velocity: (f64, f64),
         now: SimTime,
     ) {
-        self.entries
-            .insert(from, Neighbor { last_heard: now, load, velocity });
+        self.entries.insert(
+            from,
+            Neighbor {
+                last_heard: now,
+                load,
+                velocity,
+            },
+        );
     }
 
     /// Record that any frame was heard from `from` (refreshes liveness only;
@@ -77,11 +86,7 @@ impl NeighborTable {
 
     /// Mean of a neighbour-load statistic over live neighbours, or `None`
     /// when there are none.
-    pub fn mean_neighbor_load<F: Fn(&LoadDigest) -> f64>(
-        &self,
-        now: SimTime,
-        f: F,
-    ) -> Option<f64> {
+    pub fn mean_neighbor_load<F: Fn(&LoadDigest) -> f64>(&self, now: SimTime, f: F) -> Option<f64> {
         let mut sum = 0.0;
         let mut n = 0usize;
         for nb in self.entries.values() {
@@ -128,7 +133,11 @@ mod tests {
     }
 
     fn digest(q: f64) -> LoadDigest {
-        LoadDigest { queue_util: q, busy_ratio: q, mac_service_s: 0.0 }
+        LoadDigest {
+            queue_util: q,
+            busy_ratio: q,
+            mac_service_s: 0.0,
+        }
     }
 
     #[test]

@@ -148,7 +148,10 @@ mod tests {
     #[test]
     fn wire_sizes() {
         let rreq = Packet::Rreq(Rreq {
-            key: RreqKey { origin: NodeId(0), id: 1 },
+            key: RreqKey {
+                origin: NodeId(0),
+                id: 1,
+            },
             origin_seq: 1,
             target: NodeId(9),
             target_seq: None,
@@ -168,7 +171,9 @@ mod tests {
         });
         assert_eq!(rrep.wire_bytes(), 24);
 
-        let rerr = Packet::Rerr(Rerr { unreachable: vec![(NodeId(1), 5), (NodeId(2), 6)] });
+        let rerr = Packet::Rerr(Rerr {
+            unreachable: vec![(NodeId(1), 5), (NodeId(2), 6)],
+        });
         assert_eq!(rerr.wire_bytes(), 20);
 
         let hello = Packet::Hello(Hello {

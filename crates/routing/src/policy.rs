@@ -115,7 +115,9 @@ pub struct Flooding {
 impl Flooding {
     /// Create with the standard 10 ms jitter cap.
     pub fn new() -> Self {
-        Flooding { jitter_max: SimDuration::from_millis(10) }
+        Flooding {
+            jitter_max: SimDuration::from_millis(10),
+        }
     }
 }
 
@@ -127,7 +129,9 @@ impl Default for Flooding {
 
 impl RebroadcastPolicy for Flooding {
     fn on_first_copy(&mut self, _rreq: &Rreq, _ctx: &RreqContext, rng: &mut SimRng) -> Decision {
-        Decision::Forward { jitter: draw_jitter(self.jitter_max, rng) }
+        Decision::Forward {
+            jitter: draw_jitter(self.jitter_max, rng),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -147,14 +151,19 @@ impl Gossip {
     /// Fixed forwarding probability `p ∈ [0, 1]`.
     pub fn new(p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "p out of range");
-        Gossip { p, jitter_max: SimDuration::from_millis(10) }
+        Gossip {
+            p,
+            jitter_max: SimDuration::from_millis(10),
+        }
     }
 }
 
 impl RebroadcastPolicy for Gossip {
     fn on_first_copy(&mut self, _rreq: &Rreq, _ctx: &RreqContext, rng: &mut SimRng) -> Decision {
         if rng.chance(self.p) {
-            Decision::Forward { jitter: draw_jitter(self.jitter_max, rng) }
+            Decision::Forward {
+                jitter: draw_jitter(self.jitter_max, rng),
+            }
         } else {
             Decision::Discard
         }
@@ -182,7 +191,11 @@ impl GossipK {
     /// `p` beyond hop `k`, certainty within.
     pub fn new(p: f64, k: u8) -> Self {
         assert!((0.0..=1.0).contains(&p), "p out of range");
-        GossipK { p, k, jitter_max: SimDuration::from_millis(10) }
+        GossipK {
+            p,
+            k,
+            jitter_max: SimDuration::from_millis(10),
+        }
     }
 }
 
@@ -190,7 +203,9 @@ impl RebroadcastPolicy for GossipK {
     fn on_first_copy(&mut self, rreq: &Rreq, _ctx: &RreqContext, rng: &mut SimRng) -> Decision {
         let forward = rreq.hop_count < self.k || rng.chance(self.p);
         if forward {
-            Decision::Forward { jitter: draw_jitter(self.jitter_max, rng) }
+            Decision::Forward {
+                jitter: draw_jitter(self.jitter_max, rng),
+            }
         } else {
             Decision::Discard
         }
@@ -226,7 +241,9 @@ impl CounterBased {
 
 impl RebroadcastPolicy for CounterBased {
     fn on_first_copy(&mut self, _rreq: &Rreq, _ctx: &RreqContext, rng: &mut SimRng) -> Decision {
-        Decision::Defer { delay: draw_jitter(self.rad_max, rng) }
+        Decision::Defer {
+            delay: draw_jitter(self.rad_max, rng),
+        }
     }
 
     fn assess(&mut self, _rreq: &Rreq, copies: u32, _rng: &mut SimRng) -> bool {
@@ -253,7 +270,10 @@ impl DistanceBased {
     /// the receive threshold and the near-field power; −75 dBm ≈ 60 %
     /// of nominal range under the classic two-ray calibration).
     pub fn new(strong_dbm: f64) -> Self {
-        DistanceBased { strong_dbm, jitter_max: SimDuration::from_millis(10) }
+        DistanceBased {
+            strong_dbm,
+            jitter_max: SimDuration::from_millis(10),
+        }
     }
 }
 
@@ -263,7 +283,9 @@ impl RebroadcastPolicy for DistanceBased {
             // Strong signal ⇒ close sender ⇒ little extra coverage.
             Some(p) if p > self.strong_dbm => Decision::Discard,
             // Weak/unknown signal ⇒ border node ⇒ forward.
-            _ => Decision::Forward { jitter: draw_jitter(self.jitter_max, rng) },
+            _ => Decision::Forward {
+                jitter: draw_jitter(self.jitter_max, rng),
+            },
         }
     }
 
@@ -280,7 +302,10 @@ mod tests {
 
     fn rreq(hops: u8) -> Rreq {
         Rreq {
-            key: RreqKey { origin: NodeId(0), id: 1 },
+            key: RreqKey {
+                origin: NodeId(0),
+                id: 1,
+            },
             origin_seq: 1,
             target: NodeId(9),
             target_seq: None,
@@ -325,7 +350,12 @@ mod tests {
         let mut rng = SimRng::new(2);
         let n = 20_000;
         let fwd = (0..n)
-            .filter(|_| matches!(p.on_first_copy(&rreq(2), &ctx(), &mut rng), Decision::Forward { .. }))
+            .filter(|_| {
+                matches!(
+                    p.on_first_copy(&rreq(2), &ctx(), &mut rng),
+                    Decision::Forward { .. }
+                )
+            })
             .count();
         let frac = fwd as f64 / n as f64;
         assert!((frac - 0.6).abs() < 0.02, "forwarded {frac}");
@@ -336,8 +366,14 @@ mod tests {
         let mut rng = SimRng::new(3);
         let mut p0 = Gossip::new(0.0);
         let mut p1 = Gossip::new(1.0);
-        assert_eq!(p0.on_first_copy(&rreq(1), &ctx(), &mut rng), Decision::Discard);
-        assert!(matches!(p1.on_first_copy(&rreq(1), &ctx(), &mut rng), Decision::Forward { .. }));
+        assert_eq!(
+            p0.on_first_copy(&rreq(1), &ctx(), &mut rng),
+            Decision::Discard
+        );
+        assert!(matches!(
+            p1.on_first_copy(&rreq(1), &ctx(), &mut rng),
+            Decision::Forward { .. }
+        ));
     }
 
     #[test]
@@ -352,7 +388,10 @@ mod tests {
             ));
         }
         // Beyond: never (p = 0).
-        assert_eq!(p.on_first_copy(&rreq(3), &ctx(), &mut rng), Decision::Discard);
+        assert_eq!(
+            p.on_first_copy(&rreq(3), &ctx(), &mut rng),
+            Decision::Discard
+        );
     }
 
     #[test]
@@ -391,12 +430,21 @@ mod tests {
         let mut rng = SimRng::new(7);
         let mut near = ctx();
         near.rx_power_dbm = Some(-60.0);
-        assert_eq!(p.on_first_copy(&rreq(1), &near, &mut rng), Decision::Discard);
+        assert_eq!(
+            p.on_first_copy(&rreq(1), &near, &mut rng),
+            Decision::Discard
+        );
         let mut far = ctx();
         far.rx_power_dbm = Some(-85.0);
-        assert!(matches!(p.on_first_copy(&rreq(1), &far, &mut rng), Decision::Forward { .. }));
+        assert!(matches!(
+            p.on_first_copy(&rreq(1), &far, &mut rng),
+            Decision::Forward { .. }
+        ));
         // Unknown RSSI: forward (safe default).
-        assert!(matches!(p.on_first_copy(&rreq(1), &ctx(), &mut rng), Decision::Forward { .. }));
+        assert!(matches!(
+            p.on_first_copy(&rreq(1), &ctx(), &mut rng),
+            Decision::Forward { .. }
+        ));
         assert_eq!(p.name(), "distance");
     }
 

@@ -32,16 +32,20 @@ impl SeenCache {
     /// the network traversal time of an RREQ, per RFC 3561's
     /// `PATH_DISCOVERY_TIME`).
     pub fn new(lifetime: SimDuration) -> Self {
-        SeenCache { entries: HashMap::new(), lifetime }
+        SeenCache {
+            entries: HashMap::new(),
+            lifetime,
+        }
     }
 
     /// Record a reception; returns the number of copies seen *before* this
     /// one (0 ⇒ first copy).
     pub fn record(&mut self, key: RreqKey, now: SimTime) -> u32 {
-        let e = self
-            .entries
-            .entry(key)
-            .or_insert(SeenEntry { first_seen: now, copies: 0, resolved: false });
+        let e = self.entries.entry(key).or_insert(SeenEntry {
+            first_seen: now,
+            copies: 0,
+            resolved: false,
+        });
         let before = e.copies;
         e.copies += 1;
         before
@@ -90,7 +94,10 @@ mod tests {
     use crate::addr::NodeId;
 
     fn key(id: u32) -> RreqKey {
-        RreqKey { origin: NodeId(1), id }
+        RreqKey {
+            origin: NodeId(1),
+            id,
+        }
     }
 
     #[test]
@@ -129,8 +136,14 @@ mod tests {
     #[test]
     fn distinct_origins_are_distinct_keys() {
         let mut c = SeenCache::new(SimDuration::from_secs(5));
-        let a = RreqKey { origin: NodeId(1), id: 7 };
-        let b = RreqKey { origin: NodeId(2), id: 7 };
+        let a = RreqKey {
+            origin: NodeId(1),
+            id: 7,
+        };
+        let b = RreqKey {
+            origin: NodeId(2),
+            id: 7,
+        };
         c.record(a, SimTime::ZERO);
         assert_eq!(c.copies(b), 0);
     }

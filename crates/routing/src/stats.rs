@@ -151,8 +151,16 @@ mod tests {
 
     #[test]
     fn accumulate_sums() {
-        let mut a = RoutingStats { rreq_forwarded: 5, data_delivered: 7, ..Default::default() };
-        let b = RoutingStats { rreq_forwarded: 3, data_delivered: 2, ..Default::default() };
+        let mut a = RoutingStats {
+            rreq_forwarded: 5,
+            data_delivered: 7,
+            ..Default::default()
+        };
+        let b = RoutingStats {
+            rreq_forwarded: 3,
+            data_delivered: 2,
+            ..Default::default()
+        };
         a.accumulate(&b);
         assert_eq!(a.rreq_forwarded, 8);
         assert_eq!(a.data_delivered, 9);

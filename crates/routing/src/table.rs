@@ -43,7 +43,9 @@ pub enum UpdateOutcome {
 impl RouteTable {
     /// Empty table.
     pub fn new() -> Self {
-        RouteTable { entries: HashMap::new() }
+        RouteTable {
+            entries: HashMap::new(),
+        }
     }
 
     /// Look up a currently valid, unexpired route.
@@ -61,6 +63,7 @@ impl RouteTable {
     /// Offer a route learned from a RREQ/RREP/data overheard. AODV rules:
     /// install when (a) no entry, (b) strictly newer `seq`, or (c) same
     /// `seq` and strictly lower `cost`. An invalid entry is always replaced.
+    #[allow(clippy::too_many_arguments)]
     pub fn offer(
         &mut self,
         dst: NodeId,
@@ -89,9 +92,7 @@ impl RouteTable {
                 UpdateOutcome::Installed
             }
             Some(e) => {
-                let better = !e.valid
-                    || seq_newer(seq, e.seq)
-                    || (seq == e.seq && cost < e.cost);
+                let better = !e.valid || seq_newer(seq, e.seq) || (seq == e.seq && cost < e.cost);
                 if better {
                     e.next_hop = next_hop;
                     e.hop_count = hop_count;
@@ -276,7 +277,10 @@ mod tests {
         rt.add_precursor(NodeId(9), NodeId(5));
         rt.add_precursor(NodeId(9), NodeId(5));
         rt.add_precursor(NodeId(9), NodeId(6));
-        assert_eq!(rt.any_entry(NodeId(9)).unwrap().precursors, vec![NodeId(5), NodeId(6)]);
+        assert_eq!(
+            rt.any_entry(NodeId(9)).unwrap().precursors,
+            vec![NodeId(5), NodeId(6)]
+        );
     }
 
     #[test]

@@ -8,8 +8,8 @@
 use proptest::prelude::*;
 use wmn_mac::LoadDigest;
 use wmn_routing::{
-    CrossLayer, CounterBased, DataPacket, Flooding, FlowId, Gossip, Hello, NodeId, Packet, Rerr,
-    Rrep, Rreq, RreqKey, Routing, RoutingAction, RoutingConfig, RoutingTimer,
+    CounterBased, CrossLayer, DataPacket, Flooding, FlowId, Gossip, Hello, NodeId, Packet, Rerr,
+    Routing, RoutingAction, RoutingConfig, RoutingTimer, Rrep, Rreq, RreqKey,
 };
 use wmn_sim::{SimDuration, SimRng, SimTime};
 
@@ -17,7 +17,10 @@ fn make_packet(op: u8, rng: &mut SimRng, now: SimTime) -> Packet {
     let node = |r: &mut SimRng| NodeId(r.below(8) as u32);
     match op % 5 {
         0 => Packet::Rreq(Rreq {
-            key: RreqKey { origin: node(rng), id: rng.below(6) as u32 },
+            key: RreqKey {
+                origin: node(rng),
+                id: rng.below(6) as u32,
+            },
             origin_seq: rng.below(100) as u32,
             target: node(rng),
             target_seq: (rng.chance(0.5)).then(|| rng.below(100) as u32),
@@ -33,7 +36,9 @@ fn make_packet(op: u8, rng: &mut SimRng, now: SimTime) -> Packet {
             path_load: rng.f64() * 5.0,
         }),
         2 => Packet::Rerr(Rerr {
-            unreachable: (0..rng.below(4)).map(|_| (node(rng), rng.below(100) as u32)).collect(),
+            unreachable: (0..rng.below(4))
+                .map(|_| (node(rng), rng.below(100) as u32))
+                .collect(),
         }),
         3 => Packet::Hello(Hello {
             seq: rng.below(1000) as u32,
@@ -62,10 +67,11 @@ fn check_actions(me: NodeId, now: SimTime, actions: &[RoutingAction]) -> Result<
                 prop_assert_ne!(*next_hop, me, "self next hop");
                 prop_assert!(!next_hop.is_broadcast(), "broadcast next hop");
             }
-            RoutingAction::Broadcast { packet, .. } => {
-                if let Packet::Rreq(r) = packet {
-                    prop_assert!(r.ttl >= 1, "forwarded dead RREQ");
-                }
+            RoutingAction::Broadcast {
+                packet: Packet::Rreq(r),
+                ..
+            } => {
+                prop_assert!(r.ttl >= 1, "forwarded dead RREQ");
             }
             RoutingAction::SetTimer { at, .. } => {
                 prop_assert!(*at >= now, "timer in the past");
@@ -96,7 +102,7 @@ fn run_script(policy_sel: u8, seed: u64, script: Vec<(u8, u8, u64)>) -> Result<(
     let cross = CrossLayer::default();
 
     for (op, sub, dt) in script {
-        now = now + SimDuration::from_micros(1 + dt % 2_000_000);
+        now += SimDuration::from_micros(1 + dt % 2_000_000);
         out.clear();
         match op % 4 {
             0 => {
@@ -128,9 +134,7 @@ fn run_script(policy_sel: u8, seed: u64, script: Vec<(u8, u8, u64)>) -> Result<(
             _ => {
                 // Link failure report.
                 let nh = NodeId(1 + rng.below(7) as u32);
-                let pkt = rng
-                    .chance(0.5)
-                    .then(|| make_packet(4, &mut rng, now));
+                let pkt = rng.chance(0.5).then(|| make_packet(4, &mut rng, now));
                 engine.on_link_failure(nh, pkt, now, &mut out);
             }
         }

@@ -19,7 +19,11 @@ fn live_count_matches_iter_and_sweep_under_random_traffic() {
             0 => {
                 nt.heard_hello(
                     NodeId(id),
-                    LoadDigest { queue_util: rng.f64(), busy_ratio: rng.f64(), mac_service_s: 0.0 },
+                    LoadDigest {
+                        queue_util: rng.f64(),
+                        busy_ratio: rng.f64(),
+                        mac_service_s: 0.0,
+                    },
                     (0.0, 0.0),
                     now,
                 );
@@ -42,6 +46,9 @@ fn live_count_matches_iter_and_sweep_under_random_traffic() {
         assert_eq!(nt.live_count(now), expect, "at t={now_ms}ms");
         assert_eq!(nt.iter_live(now).count(), expect);
         // Mean load defined iff someone is live.
-        assert_eq!(nt.mean_neighbor_load(now, |d| d.queue_util).is_some(), expect > 0);
+        assert_eq!(
+            nt.mean_neighbor_load(now, |d| d.queue_util).is_some(),
+            expect > 0
+        );
     }
 }

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use wmn_routing::table::seq_newer;
-use wmn_routing::{NodeId, RouteTable, SeenCache, RreqKey};
+use wmn_routing::{NodeId, RouteTable, RreqKey, SeenCache};
 use wmn_sim::{SimDuration, SimTime};
 
 proptest! {
@@ -18,7 +18,7 @@ proptest! {
         let life = SimDuration::from_secs(3);
         let mut now = SimTime::ZERO;
         for (op, dst, via, seq, dt) in ops {
-            now = now + SimDuration::from_millis(dt * 100);
+            now += SimDuration::from_millis(dt * 100);
             let dst = NodeId(dst);
             let via = NodeId(via);
             match op {

@@ -196,7 +196,10 @@ mod tests {
 
     #[test]
     fn countdown_runs_to_queue_empty() {
-        let mut w = Countdown { remaining: 5, fired_at: vec![] };
+        let mut w = Countdown {
+            remaining: 5,
+            fired_at: vec![],
+        };
         let mut engine = Engine::new(SimTime::from_secs(100));
         engine.prime(SimTime::ZERO, ());
         let report = engine.run(&mut w);
@@ -208,7 +211,10 @@ mod tests {
 
     #[test]
     fn horizon_cuts_off() {
-        let mut w = Countdown { remaining: u32::MAX, fired_at: vec![] };
+        let mut w = Countdown {
+            remaining: u32::MAX,
+            fired_at: vec![],
+        };
         let mut engine = Engine::new(SimTime::from_secs(3));
         engine.prime(SimTime::ZERO, ());
         let report = engine.run(&mut w);
@@ -220,7 +226,10 @@ mod tests {
 
     #[test]
     fn event_budget_stops_runaway() {
-        let mut w = Countdown { remaining: u32::MAX, fired_at: vec![] };
+        let mut w = Countdown {
+            remaining: u32::MAX,
+            fired_at: vec![],
+        };
         let mut engine = Engine::new(SimTime::MAX).with_event_budget(10);
         engine.prime(SimTime::ZERO, ());
         let report = engine.run(&mut w);

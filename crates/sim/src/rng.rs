@@ -45,7 +45,10 @@ impl SimRng {
     pub fn new(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
         let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
-        SimRng { s, cached_normal: None }
+        SimRng {
+            s,
+            cached_normal: None,
+        }
     }
 
     /// Derive an independent stream keyed by `(domain, index)`.
@@ -65,10 +68,7 @@ impl SimRng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

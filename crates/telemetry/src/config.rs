@@ -35,7 +35,12 @@ impl Default for TelemetryConfig {
 impl TelemetryConfig {
     /// Telemetry fully off (the zero-cost default).
     pub fn disabled() -> Self {
-        TelemetryConfig { enabled: false, trace_path: None, probe_interval: None, profile: false }
+        TelemetryConfig {
+            enabled: false,
+            trace_path: None,
+            probe_interval: None,
+            profile: false,
+        }
     }
 
     /// Enabled with defaults: 1 s probes, no profiling, `trace.jsonl`.
@@ -64,8 +69,11 @@ impl TelemetryConfig {
         }
         if let Ok(ms) = std::env::var("WMN_PROBE_MS") {
             if let Ok(ms) = ms.trim().parse::<u64>() {
-                cfg.probe_interval =
-                    if ms == 0 { None } else { Some(SimDuration::from_millis(ms)) };
+                cfg.probe_interval = if ms == 0 {
+                    None
+                } else {
+                    Some(SimDuration::from_millis(ms))
+                };
             }
         }
         cfg
@@ -78,7 +86,10 @@ impl TelemetryConfig {
         if !self.enabled {
             return None;
         }
-        let path = self.trace_path.clone().unwrap_or_else(|| "trace.jsonl".into());
+        let path = self
+            .trace_path
+            .clone()
+            .unwrap_or_else(|| "trace.jsonl".into());
         Some(shared_file_sink(&path))
     }
 }

@@ -31,7 +31,10 @@ impl Counters {
 
     /// The value under `name` (0 when absent).
     pub fn get(&self, name: &str) -> u64 {
-        self.entries.iter().find(|(n, _)| *n == name).map_or(0, |(_, v)| *v)
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
     }
 
     /// True when `name` is present.
@@ -56,7 +59,11 @@ impl Counters {
 
     /// Sum of all entries whose name starts with `prefix`.
     pub fn sum_prefix(&self, prefix: &str) -> u64 {
-        self.entries.iter().filter(|(n, _)| n.starts_with(prefix)).map(|(_, v)| v).sum()
+        self.entries
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
     }
 
     /// Render as a flat JSON object.
@@ -104,7 +111,9 @@ pub fn counter_for_event(kind_name: &str) -> Option<&'static str> {
         "phy_collision" => "phy_collisions",
         "phy_capture" => "phy_captures",
         "phy_noise" => "phy_noise_losses",
-        "ctrl_drop" => "drop_ctrl_queue_full",
+        "node_down" => "fault_node_down",
+        "node_up" => "fault_node_up",
+        "fault_injected" => "fault_injected",
         _ => return None,
     })
 }
@@ -120,6 +129,20 @@ pub fn counter_for_drop(reason: crate::DropReason) -> &'static str {
         Expired => "drop_expired",
         QueueFull => "drop_queue_full",
         RetryLimit => "drop_retry_limit",
+        NodeDown => "drop_node_down",
+    }
+}
+
+/// The registry counter for a `ctrl_drop` event with `reason`, if any.
+///
+/// Control payloads are only ever discarded at a full MAC queue or at a
+/// crashed node; other reasons never appear on the control path.
+pub fn counter_for_ctrl_drop(reason: crate::DropReason) -> Option<&'static str> {
+    use crate::DropReason::*;
+    match reason {
+        QueueFull => Some("drop_ctrl_queue_full"),
+        NodeDown => Some("drop_ctrl_node_down"),
+        _ => None,
     }
 }
 
@@ -164,9 +187,30 @@ mod tests {
         assert_eq!(counter_for_event("node_probe"), None);
         assert_eq!(counter_for_event("engine_probe"), None);
         assert_eq!(counter_for_event("mac_tx_attempt"), None);
-        assert_eq!(counter_for_event("data_drop"), None, "data_drop maps per reason");
+        assert_eq!(
+            counter_for_event("data_drop"),
+            None,
+            "data_drop maps per reason"
+        );
+        assert_eq!(
+            counter_for_event("ctrl_drop"),
+            None,
+            "ctrl_drop maps per reason"
+        );
         for r in crate::DropReason::ALL {
             assert!(counter_for_drop(r).starts_with("drop_"));
+            if let Some(name) = counter_for_ctrl_drop(r) {
+                assert!(name.starts_with("drop_ctrl_"));
+            }
         }
+        assert_eq!(
+            counter_for_ctrl_drop(crate::DropReason::QueueFull),
+            Some("drop_ctrl_queue_full")
+        );
+        assert_eq!(
+            counter_for_ctrl_drop(crate::DropReason::NodeDown),
+            Some("drop_ctrl_node_down")
+        );
+        assert_eq!(counter_for_ctrl_drop(crate::DropReason::NoRoute), None);
     }
 }

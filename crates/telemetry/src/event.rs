@@ -32,11 +32,13 @@ pub enum DropReason {
     QueueFull,
     /// MAC: retry limit (control payloads that have no routing fallback).
     RetryLimit,
+    /// Faults: the packet was queued or buffered at a node that crashed.
+    NodeDown,
 }
 
 impl DropReason {
     /// All reasons, in stable reporting order.
-    pub const ALL: [DropReason; 7] = [
+    pub const ALL: [DropReason; 8] = [
         DropReason::NoRoute,
         DropReason::DiscoveryFailed,
         DropReason::BufferOverflow,
@@ -44,6 +46,7 @@ impl DropReason {
         DropReason::Expired,
         DropReason::QueueFull,
         DropReason::RetryLimit,
+        DropReason::NodeDown,
     ];
 
     /// Stable snake_case name.
@@ -56,12 +59,47 @@ impl DropReason {
             DropReason::Expired => "expired",
             DropReason::QueueFull => "queue_full",
             DropReason::RetryLimit => "retry_limit",
+            DropReason::NodeDown => "node_down",
         }
     }
 
     /// Inverse of [`DropReason::name`].
     pub fn from_name(s: &str) -> Option<Self> {
         DropReason::ALL.iter().copied().find(|r| r.name() == s)
+    }
+}
+
+/// Which fault model produced a [`EventKind::FaultInjected`] event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultCode {
+    /// A region-scoped noise-floor burst started.
+    NoiseStart,
+    /// A region-scoped noise-floor burst ended.
+    NoiseEnd,
+    /// A per-node pathloss/shadowing shift was applied (link flap).
+    LinkShift,
+}
+
+impl FaultCode {
+    /// All codes, in stable reporting order.
+    pub const ALL: [FaultCode; 3] = [
+        FaultCode::NoiseStart,
+        FaultCode::NoiseEnd,
+        FaultCode::LinkShift,
+    ];
+
+    /// Stable snake_case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultCode::NoiseStart => "noise_start",
+            FaultCode::NoiseEnd => "noise_end",
+            FaultCode::LinkShift => "link_shift",
+        }
+    }
+
+    /// Inverse of [`FaultCode::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        FaultCode::ALL.iter().copied().find(|c| c.name() == s)
     }
 }
 
@@ -227,6 +265,21 @@ pub enum EventKind {
         /// Rebroadcast probability the policy would apply right now.
         fwd_p: f64,
     },
+    /// A node crashed (fault schedule): radio off, all state lost.
+    NodeDown {
+        /// Incarnation being retired (0 for the boot-time instance).
+        incarnation: u32,
+    },
+    /// A node rebooted with cold routing/MAC/neighbour state.
+    NodeUp {
+        /// New incarnation number (1 for the first reboot).
+        incarnation: u32,
+    },
+    /// A non-churn fault was injected (noise burst edge or link shift).
+    FaultInjected {
+        /// Which fault model fired.
+        fault: FaultCode,
+    },
     /// Periodic event-loop sample (behind the `profile` flag).
     EngineProbe {
         /// Events processed since the run started.
@@ -267,6 +320,9 @@ impl EventKind {
             EventKind::PhyCapture { .. } => "phy_capture",
             EventKind::PhyNoise { .. } => "phy_noise",
             EventKind::NodeProbe { .. } => "node_probe",
+            EventKind::NodeDown { .. } => "node_down",
+            EventKind::NodeUp { .. } => "node_up",
+            EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::EngineProbe { .. } => "engine_probe",
         }
     }
@@ -325,7 +381,11 @@ impl TelemetryEvent {
                 let _ = write!(s, ",\"flow\":{flow},\"seq\":{seq}");
             }
             EventKind::DataDrop { reason, flow, seq } => {
-                let _ = write!(s, ",\"reason\":\"{}\",\"flow\":{flow},\"seq\":{seq}", reason.name());
+                let _ = write!(
+                    s,
+                    ",\"reason\":\"{}\",\"flow\":{flow},\"seq\":{seq}",
+                    reason.name()
+                );
             }
             EventKind::CtrlDrop { reason } => {
                 let _ = write!(s, ",\"reason\":\"{}\"", reason.name());
@@ -348,11 +408,22 @@ impl TelemetryEvent {
             | EventKind::PhyNoise { tx_id } => {
                 let _ = write!(s, ",\"tx_id\":{tx_id}");
             }
-            EventKind::NodeProbe { queue, busy, load, fwd_p } => {
+            EventKind::NodeProbe {
+                queue,
+                busy,
+                load,
+                fwd_p,
+            } => {
                 let _ = write!(
                     s,
                     ",\"queue\":{queue:.6},\"busy\":{busy:.6},\"load\":{load:.6},\"fwd_p\":{fwd_p:.6}"
                 );
+            }
+            EventKind::NodeDown { incarnation } | EventKind::NodeUp { incarnation } => {
+                let _ = write!(s, ",\"inc\":{incarnation}");
+            }
+            EventKind::FaultInjected { fault } => {
+                let _ = write!(s, ",\"fault\":\"{}\"", fault.name());
             }
             EventKind::EngineProbe { events, rate, heap } => {
                 let _ = write!(s, ",\"events\":{events},\"rate\":{rate:.1},\"heap\":{heap}");
@@ -373,37 +444,112 @@ impl TelemetryEvent {
         let run = u32_of("run")?;
         let node = u32_of("node")?;
         let kind_name = get(&pairs, "kind")?.as_str()?;
-        let reason = || get(&pairs, "reason").and_then(|v| v.as_str()).and_then(DropReason::from_name);
+        let reason = || {
+            get(&pairs, "reason")
+                .and_then(|v| v.as_str())
+                .and_then(DropReason::from_name)
+        };
         let kind = match kind_name {
-            "rreq_originate" => EventKind::RreqOriginate { id: u32_of("id")?, target: u32_of("target")? },
-            "rreq_recv" => EventKind::RreqRecv { origin: u32_of("origin")?, id: u32_of("id")? },
-            "rreq_duplicate" => EventKind::RreqDuplicate { origin: u32_of("origin")?, id: u32_of("id")? },
-            "rreq_forward" => EventKind::RreqForward { origin: u32_of("origin")?, id: u32_of("id")? },
-            "rreq_suppress" => EventKind::RreqSuppress { origin: u32_of("origin")?, id: u32_of("id")? },
-            "rrep_generate" => EventKind::RrepGenerate { origin: u32_of("origin")?, target: u32_of("target")? },
-            "rrep_forward" => EventKind::RrepForward { origin: u32_of("origin")?, target: u32_of("target")? },
-            "rrep_drop" => EventKind::RrepDrop { origin: u32_of("origin")?, target: u32_of("target")? },
-            "rerr_send" => EventKind::RerrSend { count: u32_of("count")? },
-            "hello_send" => EventKind::HelloSend { seq: u32_of("seq")? },
-            "data_originate" => EventKind::DataOriginate { flow: u32_of("flow")?, seq: u32_of("seq")? },
-            "data_forward" => EventKind::DataForward { flow: u32_of("flow")?, seq: u32_of("seq")? },
-            "data_deliver" => EventKind::DataDeliver { flow: u32_of("flow")?, seq: u32_of("seq")? },
-            "data_drop" => EventKind::DataDrop { reason: reason()?, flow: u32_of("flow")?, seq: u32_of("seq")? },
+            "rreq_originate" => EventKind::RreqOriginate {
+                id: u32_of("id")?,
+                target: u32_of("target")?,
+            },
+            "rreq_recv" => EventKind::RreqRecv {
+                origin: u32_of("origin")?,
+                id: u32_of("id")?,
+            },
+            "rreq_duplicate" => EventKind::RreqDuplicate {
+                origin: u32_of("origin")?,
+                id: u32_of("id")?,
+            },
+            "rreq_forward" => EventKind::RreqForward {
+                origin: u32_of("origin")?,
+                id: u32_of("id")?,
+            },
+            "rreq_suppress" => EventKind::RreqSuppress {
+                origin: u32_of("origin")?,
+                id: u32_of("id")?,
+            },
+            "rrep_generate" => EventKind::RrepGenerate {
+                origin: u32_of("origin")?,
+                target: u32_of("target")?,
+            },
+            "rrep_forward" => EventKind::RrepForward {
+                origin: u32_of("origin")?,
+                target: u32_of("target")?,
+            },
+            "rrep_drop" => EventKind::RrepDrop {
+                origin: u32_of("origin")?,
+                target: u32_of("target")?,
+            },
+            "rerr_send" => EventKind::RerrSend {
+                count: u32_of("count")?,
+            },
+            "hello_send" => EventKind::HelloSend {
+                seq: u32_of("seq")?,
+            },
+            "data_originate" => EventKind::DataOriginate {
+                flow: u32_of("flow")?,
+                seq: u32_of("seq")?,
+            },
+            "data_forward" => EventKind::DataForward {
+                flow: u32_of("flow")?,
+                seq: u32_of("seq")?,
+            },
+            "data_deliver" => EventKind::DataDeliver {
+                flow: u32_of("flow")?,
+                seq: u32_of("seq")?,
+            },
+            "data_drop" => EventKind::DataDrop {
+                reason: reason()?,
+                flow: u32_of("flow")?,
+                seq: u32_of("seq")?,
+            },
             "ctrl_drop" => EventKind::CtrlDrop { reason: reason()? },
-            "mac_enqueue" => EventKind::MacEnqueue { depth: u32_of("depth")? },
-            "mac_dequeue" => EventKind::MacDequeue { depth: u32_of("depth")? },
-            "mac_backoff" => EventKind::MacBackoff { slots: u32_of("slots")? },
-            "mac_tx_attempt" => EventKind::MacTxAttempt { retry: u32_of("retry")? },
-            "phy_tx_start" => EventKind::PhyTxStart { tx_id: u64_of("tx_id")?, bytes: u32_of("bytes")? },
-            "phy_rx" => EventKind::PhyRx { tx_id: u64_of("tx_id")? },
-            "phy_collision" => EventKind::PhyCollision { tx_id: u64_of("tx_id")? },
-            "phy_capture" => EventKind::PhyCapture { tx_id: u64_of("tx_id")? },
-            "phy_noise" => EventKind::PhyNoise { tx_id: u64_of("tx_id")? },
+            "mac_enqueue" => EventKind::MacEnqueue {
+                depth: u32_of("depth")?,
+            },
+            "mac_dequeue" => EventKind::MacDequeue {
+                depth: u32_of("depth")?,
+            },
+            "mac_backoff" => EventKind::MacBackoff {
+                slots: u32_of("slots")?,
+            },
+            "mac_tx_attempt" => EventKind::MacTxAttempt {
+                retry: u32_of("retry")?,
+            },
+            "phy_tx_start" => EventKind::PhyTxStart {
+                tx_id: u64_of("tx_id")?,
+                bytes: u32_of("bytes")?,
+            },
+            "phy_rx" => EventKind::PhyRx {
+                tx_id: u64_of("tx_id")?,
+            },
+            "phy_collision" => EventKind::PhyCollision {
+                tx_id: u64_of("tx_id")?,
+            },
+            "phy_capture" => EventKind::PhyCapture {
+                tx_id: u64_of("tx_id")?,
+            },
+            "phy_noise" => EventKind::PhyNoise {
+                tx_id: u64_of("tx_id")?,
+            },
             "node_probe" => EventKind::NodeProbe {
                 queue: f64_of("queue")?,
                 busy: f64_of("busy")?,
                 load: f64_of("load")?,
                 fwd_p: f64_of("fwd_p")?,
+            },
+            "node_down" => EventKind::NodeDown {
+                incarnation: u32_of("inc")?,
+            },
+            "node_up" => EventKind::NodeUp {
+                incarnation: u32_of("inc")?,
+            },
+            "fault_injected" => EventKind::FaultInjected {
+                fault: get(&pairs, "fault")
+                    .and_then(|v| v.as_str())
+                    .and_then(FaultCode::from_name)?,
             },
             "engine_probe" => EventKind::EngineProbe {
                 events: u64_of("events")?,
@@ -412,7 +558,12 @@ impl TelemetryEvent {
             },
             _ => return None,
         };
-        Some(TelemetryEvent { t_ns, run, node, kind })
+        Some(TelemetryEvent {
+            t_ns,
+            run,
+            node,
+            kind,
+        })
     }
 }
 
@@ -456,10 +607,18 @@ impl fmt::Display for TelemetryEvent {
             EventKind::PhyCollision { tx_id } => write!(f, "PHY collision #{tx_id}"),
             EventKind::PhyCapture { tx_id } => write!(f, "PHY capture #{tx_id}"),
             EventKind::PhyNoise { tx_id } => write!(f, "PHY noise loss #{tx_id}"),
-            EventKind::NodeProbe { queue, busy, load, fwd_p } => write!(
+            EventKind::NodeProbe {
+                queue,
+                busy,
+                load,
+                fwd_p,
+            } => write!(
                 f,
                 "PROBE queue={queue:.3} busy={busy:.3} load={load:.3} fwd_p={fwd_p:.3}"
             ),
+            EventKind::NodeDown { incarnation } => write!(f, "FAULT node down inc={incarnation}"),
+            EventKind::NodeUp { incarnation } => write!(f, "FAULT node up inc={incarnation}"),
+            EventKind::FaultInjected { fault } => write!(f, "FAULT inject [{}]", fault.name()),
             EventKind::EngineProbe { events, rate, heap } => {
                 write!(f, "ENGINE events={events} rate={rate:.0}/s heap={heap}")
             }
@@ -472,34 +631,71 @@ mod tests {
     use super::*;
 
     fn samples() -> Vec<TelemetryEvent> {
-        let mk = |kind| TelemetryEvent { t_ns: 1_500_000_000, run: 3, node: 7, kind };
+        let mk = |kind| TelemetryEvent {
+            t_ns: 1_500_000_000,
+            run: 3,
+            node: 7,
+            kind,
+        };
         vec![
             mk(EventKind::RreqOriginate { id: 4, target: 9 }),
             mk(EventKind::RreqRecv { origin: 1, id: 2 }),
             mk(EventKind::RreqDuplicate { origin: 1, id: 2 }),
             mk(EventKind::RreqForward { origin: 1, id: 2 }),
             mk(EventKind::RreqSuppress { origin: 1, id: 2 }),
-            mk(EventKind::RrepGenerate { origin: 0, target: 9 }),
-            mk(EventKind::RrepForward { origin: 0, target: 9 }),
-            mk(EventKind::RrepDrop { origin: 0, target: 9 }),
+            mk(EventKind::RrepGenerate {
+                origin: 0,
+                target: 9,
+            }),
+            mk(EventKind::RrepForward {
+                origin: 0,
+                target: 9,
+            }),
+            mk(EventKind::RrepDrop {
+                origin: 0,
+                target: 9,
+            }),
             mk(EventKind::RerrSend { count: 2 }),
             mk(EventKind::HelloSend { seq: 11 }),
             mk(EventKind::DataOriginate { flow: 1, seq: 42 }),
             mk(EventKind::DataForward { flow: 1, seq: 42 }),
             mk(EventKind::DataDeliver { flow: 1, seq: 42 }),
-            mk(EventKind::DataDrop { reason: DropReason::NoRoute, flow: 1, seq: 42 }),
-            mk(EventKind::CtrlDrop { reason: DropReason::QueueFull }),
+            mk(EventKind::DataDrop {
+                reason: DropReason::NoRoute,
+                flow: 1,
+                seq: 42,
+            }),
+            mk(EventKind::CtrlDrop {
+                reason: DropReason::QueueFull,
+            }),
             mk(EventKind::MacEnqueue { depth: 5 }),
             mk(EventKind::MacDequeue { depth: 4 }),
             mk(EventKind::MacBackoff { slots: 15 }),
             mk(EventKind::MacTxAttempt { retry: 2 }),
-            mk(EventKind::PhyTxStart { tx_id: 1234, bytes: 560 }),
+            mk(EventKind::PhyTxStart {
+                tx_id: 1234,
+                bytes: 560,
+            }),
             mk(EventKind::PhyRx { tx_id: 1234 }),
             mk(EventKind::PhyCollision { tx_id: 1234 }),
             mk(EventKind::PhyCapture { tx_id: 1234 }),
             mk(EventKind::PhyNoise { tx_id: 1234 }),
-            mk(EventKind::NodeProbe { queue: 0.25, busy: 0.5, load: 0.375, fwd_p: 0.8 }),
-            mk(EventKind::EngineProbe { events: 100_000, rate: 2.5e6, heap: 128 }),
+            mk(EventKind::NodeProbe {
+                queue: 0.25,
+                busy: 0.5,
+                load: 0.375,
+                fwd_p: 0.8,
+            }),
+            mk(EventKind::NodeDown { incarnation: 0 }),
+            mk(EventKind::NodeUp { incarnation: 1 }),
+            mk(EventKind::FaultInjected {
+                fault: FaultCode::NoiseStart,
+            }),
+            mk(EventKind::EngineProbe {
+                events: 100_000,
+                rate: 2.5e6,
+                heap: 128,
+            }),
         ]
     }
 
@@ -507,8 +703,8 @@ mod tests {
     fn jsonl_roundtrip_every_kind() {
         for ev in samples() {
             let line = ev.to_jsonl();
-            let back = TelemetryEvent::from_jsonl(&line)
-                .unwrap_or_else(|| panic!("unparseable: {line}"));
+            let back =
+                TelemetryEvent::from_jsonl(&line).unwrap_or_else(|| panic!("unparseable: {line}"));
             assert_eq!(back, ev, "roundtrip mismatch for {line}");
         }
     }
@@ -537,5 +733,13 @@ mod tests {
             assert_eq!(DropReason::from_name(r.name()), Some(r));
         }
         assert_eq!(DropReason::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn fault_code_names_roundtrip() {
+        for c in FaultCode::ALL {
+            assert_eq!(FaultCode::from_name(c.name()), Some(c));
+        }
+        assert_eq!(FaultCode::from_name("bogus"), None);
     }
 }

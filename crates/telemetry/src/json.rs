@@ -190,7 +190,10 @@ impl<'a> Parser<'a> {
 /// Parse one flat JSON object into ordered `(key, value)` pairs. Returns
 /// `None` on malformed input (nested objects are not supported).
 pub fn parse_object(line: &str) -> Option<Vec<(String, JsonValue)>> {
-    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     if !p.eat(b'{') {
         return None;
@@ -248,7 +251,10 @@ mod tests {
         assert_eq!(get(&pairs, "d"), Some(&JsonValue::Null));
         assert_eq!(
             get(&pairs, "e"),
-            Some(&JsonValue::Arr(vec![JsonValue::Num(1.0), JsonValue::Num(2.0)]))
+            Some(&JsonValue::Arr(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Num(2.0)
+            ]))
         );
         assert_eq!(get(&pairs, "f").unwrap().as_f64(), Some(-3.0));
         assert_eq!(get(&pairs, "f").unwrap().as_u64(), None);

@@ -23,8 +23,8 @@ pub mod manifest;
 pub mod sink;
 
 pub use config::{next_run_id, shared_file_sink, TelemetryConfig};
-pub use counters::{counter_for_drop, counter_for_event, Counters};
-pub use event::{DropReason, EventKind, TelemetryEvent};
+pub use counters::{counter_for_ctrl_drop, counter_for_drop, counter_for_event, Counters};
+pub use event::{DropReason, EventKind, FaultCode, TelemetryEvent};
 pub use json::{escape_json, parse_object, JsonValue};
 pub use manifest::{git_rev, RunManifest};
 pub use sink::{ConsoleSink, EventSink, FileSink, MemorySink, SharedSink, TeeSink, Tel};

@@ -35,9 +35,15 @@ impl RunManifest {
         let mut s = String::from("{\n");
         s.push_str(&format!("  \"id\": \"{}\",\n", escape_json(&self.id)));
         s.push_str(&format!("  \"title\": \"{}\",\n", escape_json(&self.title)));
-        s.push_str(&format!("  \"git_rev\": \"{}\",\n", escape_json(&self.git_rev)));
-        let schemes: Vec<String> =
-            self.schemes.iter().map(|l| format!("\"{}\"", escape_json(l))).collect();
+        s.push_str(&format!(
+            "  \"git_rev\": \"{}\",\n",
+            escape_json(&self.git_rev)
+        ));
+        let schemes: Vec<String> = self
+            .schemes
+            .iter()
+            .map(|l| format!("\"{}\"", escape_json(l)))
+            .collect();
         s.push_str(&format!("  \"schemes\": [{}],\n", schemes.join(", ")));
         let seeds: Vec<String> = self.seeds.iter().map(u64::to_string).collect();
         s.push_str(&format!("  \"seeds\": [{}],\n", seeds.join(", ")));
@@ -52,7 +58,10 @@ impl RunManifest {
         }
         s.push_str("},\n");
         s.push_str(&format!("  \"wall_s\": {:.3},\n", self.wall_s));
-        s.push_str(&format!("  \"events_processed\": {},\n", self.events_processed));
+        s.push_str(&format!(
+            "  \"events_processed\": {},\n",
+            self.events_processed
+        ));
         s.push_str(&format!("  \"counters\": {}\n", self.counters.to_json()));
         s.push_str("}\n");
         s
@@ -115,7 +124,10 @@ mod tests {
         }
         // The counters sub-object is itself parseable.
         let line = j.lines().find(|l| l.contains("\"counters\"")).unwrap();
-        let obj = line.trim().trim_start_matches("\"counters\": ").trim_end_matches(',');
+        let obj = line
+            .trim()
+            .trim_start_matches("\"counters\": ")
+            .trim_end_matches(',');
         let pairs = parse_object(obj).expect("counters parse");
         assert_eq!(get(&pairs, "rreq_originated"), Some(&JsonValue::Num(12.0)));
     }
@@ -123,7 +135,10 @@ mod tests {
     #[test]
     fn write_creates_named_file() {
         let dir = std::env::temp_dir().join("wmn_manifest_test");
-        let m = RunManifest { id: "figtest".into(), ..RunManifest::default() };
+        let m = RunManifest {
+            id: "figtest".into(),
+            ..RunManifest::default()
+        };
         let path = m.write(&dir).expect("write");
         assert!(path.ends_with("figtest_manifest.json"));
         assert!(path.exists());

@@ -43,7 +43,9 @@ impl FileSink {
     /// Create (truncate) `path` for JSONL output.
     pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
         let f = std::fs::File::create(path)?;
-        Ok(FileSink { w: std::io::BufWriter::new(f) })
+        Ok(FileSink {
+            w: std::io::BufWriter::new(f),
+        })
     }
 }
 
@@ -106,12 +108,20 @@ impl Tel {
     /// An enabled handle for `run`, reporting as node 0 until
     /// [`Tel::for_node`] re-homes it.
     pub fn new(sink: SharedSink, run: u32) -> Self {
-        Tel { sink: Some(sink), run, node: 0 }
+        Tel {
+            sink: Some(sink),
+            run,
+            node: 0,
+        }
     }
 
     /// A clone of this handle that reports as `node`.
     pub fn for_node(&self, node: u32) -> Self {
-        Tel { sink: self.sink.clone(), run: self.run, node }
+        Tel {
+            sink: self.sink.clone(),
+            run: self.run,
+            node,
+        }
     }
 
     /// True when events are being collected. Use to skip argument
@@ -132,7 +142,12 @@ impl Tel {
     #[inline]
     pub fn emit_at(&self, node: u32, now: SimTime, kind: EventKind) {
         if let Some(sink) = &self.sink {
-            let ev = TelemetryEvent { t_ns: now.as_nanos(), run: self.run, node, kind };
+            let ev = TelemetryEvent {
+                t_ns: now.as_nanos(),
+                run: self.run,
+                node,
+                kind,
+            };
             match sink.lock() {
                 Ok(mut s) => s.record(&ev),
                 Err(poisoned) => poisoned.into_inner().record(&ev),
@@ -197,7 +212,8 @@ mod tests {
         let (sink, inner) = memory();
         let tel = Tel::new(sink, 0);
         for n in 0..4 {
-            tel.for_node(n).emit(SimTime(n as u64), EventKind::HelloSend { seq: n });
+            tel.for_node(n)
+                .emit(SimTime(n as u64), EventKind::HelloSend { seq: n });
         }
         assert_eq!(inner.lock().unwrap().events.len(), 4);
     }
@@ -208,15 +224,13 @@ mod tests {
         let _ = std::fs::create_dir_all(&dir);
         let path = dir.join("trace.jsonl");
         {
-            let sink: SharedSink =
-                Arc::new(Mutex::new(FileSink::create(&path).expect("create")));
+            let sink: SharedSink = Arc::new(Mutex::new(FileSink::create(&path).expect("create")));
             let tel = Tel::new(sink, 1).for_node(2);
             tel.emit(SimTime(42), EventKind::PhyRx { tx_id: 99 });
             tel.flush();
         }
         let text = std::fs::read_to_string(&path).expect("read back");
-        let ev = TelemetryEvent::from_jsonl(text.lines().next().expect("one line"))
-            .expect("parse");
+        let ev = TelemetryEvent::from_jsonl(text.lines().next().expect("one line")).expect("parse");
         assert_eq!(ev.kind, EventKind::PhyRx { tx_id: 99 });
         assert_eq!((ev.t_ns, ev.run, ev.node), (42, 1, 2));
         let _ = std::fs::remove_file(&path);

@@ -122,7 +122,7 @@ impl ConnectivityGraph {
             return None;
         }
         let d0 = self.bfs_hops(0);
-        if d0.iter().any(|&d| d == u32::MAX) {
+        if d0.contains(&u32::MAX) {
             return None;
         }
         let far = d0
@@ -149,8 +149,14 @@ mod tests {
 
     fn line_graph(n: usize) -> ConnectivityGraph {
         // Nodes spaced 100 m apart on a line, radius 150 links only adjacent.
-        let positions: Vec<Vec2> = (0..n).map(|i| Vec2::new(100.0 * i as f64 + 1.0, 1.0)).collect();
-        ConnectivityGraph::from_positions(Region::square(100.0 * n as f64 + 10.0), &positions, 150.0)
+        let positions: Vec<Vec2> = (0..n)
+            .map(|i| Vec2::new(100.0 * i as f64 + 1.0, 1.0))
+            .collect();
+        ConnectivityGraph::from_positions(
+            Region::square(100.0 * n as f64 + 10.0),
+            &positions,
+            150.0,
+        )
     }
 
     #[test]
@@ -209,7 +215,11 @@ mod tests {
 
     #[test]
     fn adjacency_is_symmetric_from_positions() {
-        let positions = vec![Vec2::new(0.0, 0.0), Vec2::new(30.0, 0.0), Vec2::new(60.0, 0.0)];
+        let positions = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(30.0, 0.0),
+            Vec2::new(60.0, 0.0),
+        ];
         let g = ConnectivityGraph::from_positions(Region::square(100.0), &positions, 40.0);
         for u in 0..g.len() {
             for &v in g.neighbors(u) {

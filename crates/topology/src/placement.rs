@@ -49,6 +49,10 @@ pub enum Placement {
         /// Scatter standard deviation in metres.
         sigma: f64,
     },
+    /// Hand-authored positions, used verbatim (no RNG draw). The canonical
+    /// choice for protocol tests that need an exact topology — e.g. a chain
+    /// with a known detour for fault-recovery scenarios.
+    Explicit(Vec<Vec2>),
 }
 
 impl Placement {
@@ -59,29 +63,38 @@ impl Placement {
             Placement::UniformRandom { count } => count,
             Placement::MinSeparation { count, .. } => count,
             Placement::Clustered { count, .. } => count,
+            Placement::Explicit(ref pts) => pts.len(),
         }
     }
 
     /// Generate node positions inside `region` using `rng`.
     pub fn generate(&self, region: Region, rng: &mut SimRng) -> Vec<Vec2> {
         match *self {
-            Placement::Grid { rows, cols, jitter_frac } => {
-                grid(region, rows, cols, jitter_frac, rng)
-            }
+            Placement::Grid {
+                rows,
+                cols,
+                jitter_frac,
+            } => grid(region, rows, cols, jitter_frac, rng),
             Placement::UniformRandom { count } => uniform(region, count, rng),
             Placement::MinSeparation { count, min_dist } => {
                 min_separation(region, count, min_dist, rng)
             }
-            Placement::Clustered { count, clusters, sigma } => {
-                clustered(region, count, clusters, sigma, rng)
-            }
+            Placement::Clustered {
+                count,
+                clusters,
+                sigma,
+            } => clustered(region, count, clusters, sigma, rng),
+            Placement::Explicit(ref pts) => pts.clone(),
         }
     }
 }
 
 fn grid(region: Region, rows: usize, cols: usize, jitter_frac: f64, rng: &mut SimRng) -> Vec<Vec2> {
     assert!(rows > 0 && cols > 0, "empty grid");
-    assert!((0.0..=0.5).contains(&jitter_frac), "jitter_frac out of range");
+    assert!(
+        (0.0..=0.5).contains(&jitter_frac),
+        "jitter_frac out of range"
+    );
     let pitch_x = region.width / cols as f64;
     let pitch_y = region.height / rows as f64;
     let mut out = Vec::with_capacity(rows * cols);
@@ -103,7 +116,12 @@ fn grid(region: Region, rows: usize, cols: usize, jitter_frac: f64, rng: &mut Si
 
 fn uniform(region: Region, count: usize, rng: &mut SimRng) -> Vec<Vec2> {
     (0..count)
-        .map(|_| Vec2::new(rng.range_f64(0.0, region.width), rng.range_f64(0.0, region.height)))
+        .map(|_| {
+            Vec2::new(
+                rng.range_f64(0.0, region.width),
+                rng.range_f64(0.0, region.height),
+            )
+        })
         .collect()
 }
 
@@ -114,7 +132,10 @@ fn min_separation(region: Region, count: usize, min_dist: f64, rng: &mut SimRng)
     // that pathological parameters still terminate.
     let mut attempts_left: u64 = 1000 * count as u64;
     while out.len() < count {
-        let p = Vec2::new(rng.range_f64(0.0, region.width), rng.range_f64(0.0, region.height));
+        let p = Vec2::new(
+            rng.range_f64(0.0, region.width),
+            rng.range_f64(0.0, region.height),
+        );
         let ok = attempts_left == 0 || out.iter().all(|q| q.distance_sq(p) >= min_sq);
         attempts_left = attempts_left.saturating_sub(1);
         if ok {
@@ -124,7 +145,13 @@ fn min_separation(region: Region, count: usize, min_dist: f64, rng: &mut SimRng)
     out
 }
 
-fn clustered(region: Region, count: usize, clusters: usize, sigma: f64, rng: &mut SimRng) -> Vec<Vec2> {
+fn clustered(
+    region: Region,
+    count: usize,
+    clusters: usize,
+    sigma: f64,
+    rng: &mut SimRng,
+) -> Vec<Vec2> {
     assert!(clusters > 0, "need at least one cluster");
     let centers: Vec<Vec2> = uniform(region, clusters, rng);
     (0..count)
@@ -147,7 +174,11 @@ mod tests {
     #[test]
     fn grid_count_and_bounds() {
         let mut rng = SimRng::new(1);
-        let p = Placement::Grid { rows: 5, cols: 4, jitter_frac: 0.0 };
+        let p = Placement::Grid {
+            rows: 5,
+            cols: 4,
+            jitter_frac: 0.0,
+        };
         assert_eq!(p.count(), 20);
         let pts = p.generate(region(), &mut rng);
         assert_eq!(pts.len(), 20);
@@ -160,10 +191,18 @@ mod tests {
     #[test]
     fn grid_jitter_stays_in_field_and_perturbs() {
         let mut rng = SimRng::new(2);
-        let plain = Placement::Grid { rows: 7, cols: 7, jitter_frac: 0.0 }
-            .generate(region(), &mut rng);
-        let jit = Placement::Grid { rows: 7, cols: 7, jitter_frac: 0.3 }
-            .generate(region(), &mut rng);
+        let plain = Placement::Grid {
+            rows: 7,
+            cols: 7,
+            jitter_frac: 0.0,
+        }
+        .generate(region(), &mut rng);
+        let jit = Placement::Grid {
+            rows: 7,
+            cols: 7,
+            jitter_frac: 0.3,
+        }
+        .generate(region(), &mut rng);
         assert!(jit.iter().all(|&p| region().contains(p)));
         let moved = plain
             .iter()
@@ -187,8 +226,11 @@ mod tests {
     #[test]
     fn min_separation_is_respected() {
         let mut rng = SimRng::new(4);
-        let pts = Placement::MinSeparation { count: 50, min_dist: 80.0 }
-            .generate(region(), &mut rng);
+        let pts = Placement::MinSeparation {
+            count: 50,
+            min_dist: 80.0,
+        }
+        .generate(region(), &mut rng);
         assert_eq!(pts.len(), 50);
         for i in 0..pts.len() {
             for j in 0..i {
@@ -202,16 +244,23 @@ mod tests {
         let mut rng = SimRng::new(5);
         // 500 nodes with 200 m separation cannot fit in 1 km² — must still
         // return the requested count.
-        let pts = Placement::MinSeparation { count: 500, min_dist: 200.0 }
-            .generate(region(), &mut rng);
+        let pts = Placement::MinSeparation {
+            count: 500,
+            min_dist: 200.0,
+        }
+        .generate(region(), &mut rng);
         assert_eq!(pts.len(), 500);
     }
 
     #[test]
     fn clustered_concentrates_mass() {
         let mut rng = SimRng::new(6);
-        let pts = Placement::Clustered { count: 300, clusters: 3, sigma: 30.0 }
-            .generate(region(), &mut rng);
+        let pts = Placement::Clustered {
+            count: 300,
+            clusters: 3,
+            sigma: 30.0,
+        }
+        .generate(region(), &mut rng);
         assert_eq!(pts.len(), 300);
         assert!(pts.iter().all(|&p| region().contains(p)));
         // Nodes in the same cluster (stride 3 apart) are close to each other
@@ -221,6 +270,14 @@ mod tests {
             .filter(|w| w[0].distance(w[3]) < 200.0)
             .count();
         assert!(close > 200, "only {close} same-cluster neighbours close");
+    }
+
+    #[test]
+    fn explicit_positions_are_used_verbatim() {
+        let pts = vec![Vec2::new(1.0, 2.0), Vec2::new(3.0, 4.0)];
+        let p = Placement::Explicit(pts.clone());
+        assert_eq!(p.count(), 2);
+        assert_eq!(p.generate(region(), &mut SimRng::new(1)), pts);
     }
 
     #[test]

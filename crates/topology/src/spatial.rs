@@ -159,7 +159,11 @@ mod tests {
         let mut out = Vec::new();
         for i in 0..positions.len() {
             idx.query_radius(positions[i], 75.0, i, &mut out);
-            assert_eq!(out, brute_force(&positions, positions[i], 75.0, i), "node {i}");
+            assert_eq!(
+                out,
+                brute_force(&positions, positions[i], 75.0, i),
+                "node {i}"
+            );
         }
     }
 

@@ -31,7 +31,9 @@ impl TrafficPattern {
     /// CBR from a packets-per-second rate.
     pub fn cbr_pps(pps: f64) -> Self {
         assert!(pps > 0.0);
-        TrafficPattern::Cbr { interval: SimDuration::from_secs_f64(1.0 / pps) }
+        TrafficPattern::Cbr {
+            interval: SimDuration::from_secs_f64(1.0 / pps),
+        }
     }
 }
 
@@ -59,10 +61,15 @@ impl FlowSpec {
     pub fn offered_bps(&self) -> f64 {
         let bits = self.payload as f64 * 8.0;
         match self.pattern {
-            TrafficPattern::Cbr { interval } | TrafficPattern::Poisson { mean_interval: interval } => {
-                bits / interval.as_secs_f64()
-            }
-            TrafficPattern::OnOff { interval, mean_on, mean_off } => {
+            TrafficPattern::Cbr { interval }
+            | TrafficPattern::Poisson {
+                mean_interval: interval,
+            } => bits / interval.as_secs_f64(),
+            TrafficPattern::OnOff {
+                interval,
+                mean_on,
+                mean_off,
+            } => {
                 let duty = mean_on.as_secs_f64() / (mean_on + mean_off).as_secs_f64();
                 duty * bits / interval.as_secs_f64()
             }
@@ -82,7 +89,11 @@ pub struct FlowState {
 impl FlowState {
     /// Initialise; the first packet is due at `spec.start`.
     pub fn new(spec: FlowSpec) -> Self {
-        FlowState { spec, next_seq: 0, on_until: spec.start }
+        FlowState {
+            spec,
+            next_seq: 0,
+            on_until: spec.start,
+        }
     }
 
     /// The flow spec.
@@ -105,7 +116,11 @@ impl FlowState {
             TrafficPattern::Poisson { mean_interval } => {
                 SimDuration::from_secs_f64(rng.exponential(mean_interval.as_secs_f64()))
             }
-            TrafficPattern::OnOff { interval, mean_on, mean_off } => {
+            TrafficPattern::OnOff {
+                interval,
+                mean_on,
+                mean_off,
+            } => {
                 if now + interval <= self.on_until {
                     interval
                 } else {
@@ -166,7 +181,9 @@ mod tests {
         let mut rng = SimRng::new(2);
         let s = FlowSpec {
             stop: SimTime::from_secs(1001),
-            ..spec(TrafficPattern::Poisson { mean_interval: SimDuration::from_millis(250) })
+            ..spec(TrafficPattern::Poisson {
+                mean_interval: SimDuration::from_millis(250),
+            })
         };
         let mut f = FlowState::new(s);
         let mut now = s.start;
@@ -187,7 +204,10 @@ mod tests {
             mean_on: SimDuration::from_secs(1),
             mean_off: SimDuration::from_secs(1),
         };
-        let s = FlowSpec { stop: SimTime::from_secs(201), ..spec(pattern) };
+        let s = FlowSpec {
+            stop: SimTime::from_secs(201),
+            ..spec(pattern)
+        };
         let mut f = FlowState::new(s);
         let mut now = s.start;
         let mut count = 0u32;

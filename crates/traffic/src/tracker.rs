@@ -51,7 +51,11 @@ pub struct TrackerSummary {
 impl FlowTracker {
     /// Track deliveries, ignoring packets created before `warmup_end`.
     pub fn new(warmup_end: SimTime) -> Self {
-        FlowTracker { warmup_end, flows: BTreeMap::new(), delays_s: Vec::new() }
+        FlowTracker {
+            warmup_end,
+            flows: BTreeMap::new(),
+            delays_s: Vec::new(),
+        }
     }
 
     /// Record a packet handed to the routing layer at its source.
@@ -108,8 +112,16 @@ impl FlowTracker {
         TrackerSummary {
             sent,
             delivered,
-            delivery_ratio: if sent == 0 { 1.0 } else { delivered as f64 / sent as f64 },
-            mean_delay_s: if delivered == 0 { 0.0 } else { delay_sum / delivered as f64 },
+            delivery_ratio: if sent == 0 {
+                1.0
+            } else {
+                delivered as f64 / sent as f64
+            },
+            mean_delay_s: if delivered == 0 {
+                0.0
+            } else {
+                delay_sum / delivered as f64
+            },
             p95_delay_s: p95,
             max_delay_s: delay_max,
             delivered_bytes,
@@ -173,7 +185,11 @@ mod tests {
         }
         let s = tr.summary();
         assert!((s.max_delay_s - 0.100).abs() < 1e-9);
-        assert!((s.p95_delay_s - 0.096).abs() < 2e-3, "p95 {}", s.p95_delay_s);
+        assert!(
+            (s.p95_delay_s - 0.096).abs() < 2e-3,
+            "p95 {}",
+            s.p95_delay_s
+        );
     }
 
     #[test]

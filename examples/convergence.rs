@@ -28,5 +28,9 @@ fn main() {
         let bar = "#".repeat((rate / max * 50.0).round() as usize);
         println!("t={sec:>3}s {rate:>6.1} |{bar}");
     }
-    println!("\nsteady-state PDR {:.3}, mean delay {:.1} ms", r.pdr(), r.mean_delay_ms());
+    println!(
+        "\nsteady-state PDR {:.3}, mean delay {:.1} ms",
+        r.pdr(),
+        r.mean_delay_ms()
+    );
 }

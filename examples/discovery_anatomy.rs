@@ -28,7 +28,11 @@ fn main() {
     let sim = ScenarioBuilder::new()
         .seed(3)
         .region(region)
-        .placement(Placement::Grid { rows: 1, cols: n, jitter_frac: 0.0 })
+        .placement(Placement::Grid {
+            rows: 1,
+            cols: n,
+            jitter_frac: 0.0,
+        })
         .scheme(Scheme::Flooding)
         .explicit_flows(vec![flow])
         .duration(SimDuration::from_secs(20))
@@ -38,17 +42,32 @@ fn main() {
     let results = sim.run();
 
     println!("line of {n} nodes, 150 m apart — flow 0 → {}\n", n - 1);
-    println!("delivered {}/{} packets, mean delay {:.1} ms",
-        results.summary.delivered, results.summary.sent, results.mean_delay_ms());
-    println!("discoveries: {} started, {} succeeded",
-        results.routing.discoveries_started, results.routing.discoveries_succeeded);
-    println!("RREQ: {} originated, {} forwarded, {} received",
-        results.routing.rreq_originated, results.routing.rreq_forwarded,
-        results.routing.rreq_received);
-    println!("RREP: {} generated, {} forwarded",
-        results.routing.rrep_generated, results.routing.rrep_forwarded);
-    println!("MAC: {} data tx attempts, {} acks, {} retries",
-        results.mac.data_tx_attempts, results.mac.acks_sent, results.mac.retries);
-    println!("medium: {} tx, {} collisions, {} noise losses",
-        results.medium.tx_started, results.medium.collisions, results.medium.noise_losses);
+    println!(
+        "delivered {}/{} packets, mean delay {:.1} ms",
+        results.summary.delivered,
+        results.summary.sent,
+        results.mean_delay_ms()
+    );
+    println!(
+        "discoveries: {} started, {} succeeded",
+        results.routing.discoveries_started, results.routing.discoveries_succeeded
+    );
+    println!(
+        "RREQ: {} originated, {} forwarded, {} received",
+        results.routing.rreq_originated,
+        results.routing.rreq_forwarded,
+        results.routing.rreq_received
+    );
+    println!(
+        "RREP: {} generated, {} forwarded",
+        results.routing.rrep_generated, results.routing.rrep_forwarded
+    );
+    println!(
+        "MAC: {} data tx attempts, {} acks, {} retries",
+        results.mac.data_tx_attempts, results.mac.acks_sent, results.mac.retries
+    );
+    println!(
+        "medium: {} tx, {} collisions, {} noise losses",
+        results.medium.tx_started, results.medium.collisions, results.medium.noise_losses
+    );
 }

@@ -33,7 +33,9 @@ fn run(rts: bool) -> wmn::RunResults {
             payload: 512,
             start: SimTime::from_secs(2),
             stop: SimTime::from_secs(30),
-            pattern: TrafficPattern::Poisson { mean_interval: SimDuration::from_millis(50) },
+            pattern: TrafficPattern::Poisson {
+                mean_interval: SimDuration::from_millis(50),
+            },
         },
         FlowSpec {
             id: FlowId(1),
@@ -42,13 +44,19 @@ fn run(rts: bool) -> wmn::RunResults {
             payload: 512,
             start: SimTime::from_millis(2050),
             stop: SimTime::from_secs(30),
-            pattern: TrafficPattern::Poisson { mean_interval: SimDuration::from_millis(50) },
+            pattern: TrafficPattern::Poisson {
+                mean_interval: SimDuration::from_millis(50),
+            },
         },
     ];
     ScenarioBuilder::new()
         .seed(5)
         .region(Region::new(720.0, 200.0))
-        .placement(Placement::Grid { rows: 1, cols: 3, jitter_frac: 0.0 })
+        .placement(Placement::Grid {
+            rows: 1,
+            cols: 3,
+            jitter_frac: 0.0,
+        })
         .phy(phy)
         .mac(mac)
         .scheme(Scheme::Flooding)

@@ -24,7 +24,11 @@ fn main() {
             .scheme(scheme)
             .mobile_clients(
                 15,
-                MobilityConfig::RandomWaypoint { v_min: 1.0, v_max: 15.0, pause_s: 2.0 },
+                MobilityConfig::RandomWaypoint {
+                    v_min: 1.0,
+                    v_max: 15.0,
+                    pause_s: 2.0,
+                },
             )
             .flows(12, 4.0, 512)
             .duration(SimDuration::from_secs(40))

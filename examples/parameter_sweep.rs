@@ -14,14 +14,21 @@ use wmn::{CnlrConfig, ScenarioBuilder, Scheme};
 fn main() {
     let threads = default_threads();
     let seeds = seeds_from(0xF00D, 4);
-    println!("sweeping p_min with {} seeds on {} threads\n", seeds.len(), threads);
+    println!(
+        "sweeping p_min with {} seeds on {} threads\n",
+        seeds.len(),
+        threads
+    );
 
     let mut table = ResultTable::new(
         "CNLR probability-floor sweep (7×7 mesh, 24 flows @ 8 pkt/s)",
         &["p_min", "PDR", "rreq/disc", "discovery success"],
     );
     for p_min in [0.15, 0.25, 0.35, 0.5, 0.7] {
-        let cfg = CnlrConfig { p_min, ..CnlrConfig::default() };
+        let cfg = CnlrConfig {
+            p_min,
+            ..CnlrConfig::default()
+        };
         let runs = run_replications(&seeds, threads, |seed| {
             ScenarioBuilder::new()
                 .seed(seed)
@@ -35,7 +42,7 @@ fn main() {
                 .run()
         });
         let col = |f: &dyn Fn(&wmn::RunResults) -> f64| {
-            MeanCi::from_samples(&runs.iter().map(|r| f(r)).collect::<Vec<_>>()).display(3)
+            MeanCi::from_samples(&runs.iter().map(f).collect::<Vec<_>>()).display(3)
         };
         table.add_row(vec![
             format!("{p_min}"),

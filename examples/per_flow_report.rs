@@ -25,7 +25,11 @@ fn main() {
             .run_with_network();
 
         let mut table = ResultTable::new(
-            format!("{} — per-flow delivery (aggregate PDR {:.3})", results.scheme, results.pdr()),
+            format!(
+                "{} — per-flow delivery (aggregate PDR {:.3})",
+                results.scheme,
+                results.pdr()
+            ),
             &["flow", "src", "dst", "pdr"],
         );
         let mut pdrs = Vec::new();

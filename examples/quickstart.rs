@@ -4,8 +4,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use wmn::{CnlrConfig, ScenarioBuilder, Scheme};
 use wmn::sim::SimDuration;
+use wmn::{CnlrConfig, ScenarioBuilder, Scheme};
 
 fn main() {
     // A 6×6 mesh-router grid at 180 m pitch (≈ 1.1 km² field), eight CBR
@@ -22,12 +22,18 @@ fn main() {
         .run();
 
     println!("scheme              : {}", results.scheme);
-    println!("nodes / flows       : {} / {}", results.nodes, results.flows);
+    println!(
+        "nodes / flows       : {} / {}",
+        results.nodes, results.flows
+    );
     println!("packets sent        : {}", results.summary.sent);
     println!("packets delivered   : {}", results.summary.delivered);
     println!("delivery ratio      : {:.3}", results.pdr());
     println!("mean delay          : {:.1} ms", results.mean_delay_ms());
-    println!("p95 delay           : {:.1} ms", results.summary.p95_delay_s * 1e3);
+    println!(
+        "p95 delay           : {:.1} ms",
+        results.summary.p95_delay_s * 1e3
+    );
     println!("goodput             : {:.1} kb/s", results.goodput_kbps);
     println!("RREQ tx / discovery : {:.1}", results.rreq_tx_per_discovery);
     println!("discovery success   : {:.2}", results.discovery_success);

@@ -14,7 +14,14 @@ use wmn::{ScenarioBuilder, Scheme};
 fn main() {
     let mut table = ResultTable::new(
         "Loaded 8×8 backbone, 30 flows @ 8 pkt/s (seed 7)",
-        &["scheme", "PDR", "delay_ms", "goodput_kbps", "rreq/disc", "Jain"],
+        &[
+            "scheme",
+            "PDR",
+            "delay_ms",
+            "goodput_kbps",
+            "rreq/disc",
+            "Jain",
+        ],
     );
     for scheme in Scheme::evaluation_set() {
         let r = ScenarioBuilder::new()

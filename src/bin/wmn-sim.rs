@@ -10,9 +10,9 @@
 //! Arguments are hand-parsed (no CLI dependency); `--help` lists them.
 
 use wmn::mobility::MobilityConfig;
-use wmn::sim::SimDuration;
+use wmn::sim::{SimDuration, SimTime};
 use wmn::telemetry::{ConsoleSink, SharedSink, TelemetryConfig};
-use wmn::{CnlrConfig, ScenarioBuilder, Scheme, VapConfig};
+use wmn::{CnlrConfig, FaultPlan, ScenarioBuilder, Scheme, VapConfig};
 
 /// Parsed CLI options.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +30,10 @@ pub struct Options {
     pub client_speed: f64,
     pub csv: bool,
     pub trace: bool,
+    /// Scripted crashes: `(node, down_s, Some(up_s))` reboots, `None` stays down.
+    pub fails: Vec<(u32, f64, Option<f64>)>,
+    /// Stochastic churn `(mtbf_s, mttr_s)` applied to every node.
+    pub churn: Option<(f64, f64)>,
 }
 
 impl Default for Options {
@@ -48,6 +52,8 @@ impl Default for Options {
             client_speed: 10.0,
             csv: false,
             trace: false,
+            fails: Vec::new(),
+            churn: None,
         }
     }
 }
@@ -67,6 +73,8 @@ OPTIONS (defaults in brackets):
   --seed N          master seed [1]
   --clients N       mobile RWP clients [0]
   --client-speed V  client max speed m/s [10]
+  --fail N@T[:U]    crash node N at T s; reboot at U s if given (repeatable)
+  --churn MTBF,MTTR every node crashes/reboots stochastically (seconds)
   --csv             emit one CSV line instead of the report
   --trace           print every telemetry event to stderr as it happens
   --help            this text
@@ -99,7 +107,10 @@ pub fn parse_scheme(s: &str) -> Result<Scheme, String> {
                 .ok_or("counter needs :C")?
                 .parse()
                 .map_err(|e| format!("bad counter threshold: {e}"))?;
-            Ok(Scheme::Counter { threshold: c, rad: SimDuration::from_millis(10) })
+            Ok(Scheme::Counter {
+                threshold: c,
+                rad: SimDuration::from_millis(10),
+            })
         }
         "distance" => {
             let dbm: f64 = parts
@@ -115,6 +126,39 @@ pub fn parse_scheme(s: &str) -> Result<Scheme, String> {
     }
 }
 
+/// Parse a `--fail` spec: `N@T` (permanent) or `N@T:U` (reboot at `U`).
+pub fn parse_fail(s: &str) -> Result<(u32, f64, Option<f64>), String> {
+    let (node, times) = s.split_once('@').ok_or("--fail needs N@T[:U]")?;
+    let node: u32 = node.parse().map_err(|e| format!("bad --fail node: {e}"))?;
+    let (down, up) = match times.split_once(':') {
+        Some((d, u)) => {
+            let u: f64 = u.parse().map_err(|e| format!("bad --fail up time: {e}"))?;
+            (d, Some(u))
+        }
+        None => (times, None),
+    };
+    let down: f64 = down
+        .parse()
+        .map_err(|e| format!("bad --fail down time: {e}"))?;
+    if let Some(u) = up {
+        if u <= down {
+            return Err("--fail reboot time must be after the crash".into());
+        }
+    }
+    Ok((node, down, up))
+}
+
+/// Parse a `--churn` spec: `MTBF,MTTR` in seconds.
+pub fn parse_churn(s: &str) -> Result<(f64, f64), String> {
+    let (mtbf, mttr) = s.split_once(',').ok_or("--churn needs MTBF,MTTR")?;
+    let mtbf: f64 = mtbf.parse().map_err(|e| format!("bad --churn mtbf: {e}"))?;
+    let mttr: f64 = mttr.parse().map_err(|e| format!("bad --churn mttr: {e}"))?;
+    if mtbf <= 0.0 || mttr <= 0.0 {
+        return Err("--churn times must be positive".into());
+    }
+    Ok((mtbf, mttr))
+}
+
 /// Parse an argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut o = Options::default();
@@ -125,27 +169,46 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         };
         match flag.as_str() {
             "--grid" => o.grid = val("--grid")?.parse().map_err(|e| format!("--grid: {e}"))?,
-            "--pitch" => o.pitch = val("--pitch")?.parse().map_err(|e| format!("--pitch: {e}"))?,
+            "--pitch" => {
+                o.pitch = val("--pitch")?
+                    .parse()
+                    .map_err(|e| format!("--pitch: {e}"))?
+            }
             "--scheme" => o.scheme = parse_scheme(val("--scheme")?)?,
-            "--flows" => o.flows = val("--flows")?.parse().map_err(|e| format!("--flows: {e}"))?,
+            "--flows" => {
+                o.flows = val("--flows")?
+                    .parse()
+                    .map_err(|e| format!("--flows: {e}"))?
+            }
             "--pps" => o.pps = val("--pps")?.parse().map_err(|e| format!("--pps: {e}"))?,
             "--payload" => {
-                o.payload = val("--payload")?.parse().map_err(|e| format!("--payload: {e}"))?
+                o.payload = val("--payload")?
+                    .parse()
+                    .map_err(|e| format!("--payload: {e}"))?
             }
             "--duration" => {
-                o.duration_s = val("--duration")?.parse().map_err(|e| format!("--duration: {e}"))?
+                o.duration_s = val("--duration")?
+                    .parse()
+                    .map_err(|e| format!("--duration: {e}"))?
             }
             "--warmup" => {
-                o.warmup_s = val("--warmup")?.parse().map_err(|e| format!("--warmup: {e}"))?
+                o.warmup_s = val("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?
             }
             "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--clients" => {
-                o.clients = val("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?
+                o.clients = val("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
             }
             "--client-speed" => {
-                o.client_speed =
-                    val("--client-speed")?.parse().map_err(|e| format!("--client-speed: {e}"))?
+                o.client_speed = val("--client-speed")?
+                    .parse()
+                    .map_err(|e| format!("--client-speed: {e}"))?
             }
+            "--fail" => o.fails.push(parse_fail(val("--fail")?)?),
+            "--churn" => o.churn = Some(parse_churn(val("--churn")?)?),
             "--csv" => o.csv = true,
             "--trace" => o.trace = true,
             "--help" | "-h" => return Err(HELP.to_string()),
@@ -182,7 +245,29 @@ fn main() {
         // Console tracing: typed events rendered human-readably on stderr
         // (what the old string-ring tracer used to do).
         let sink: SharedSink = std::sync::Arc::new(std::sync::Mutex::new(ConsoleSink));
-        builder = builder.telemetry(TelemetryConfig::enabled()).telemetry_sink(sink);
+        builder = builder
+            .telemetry(TelemetryConfig::enabled())
+            .telemetry_sink(sink);
+    }
+    if !opts.fails.is_empty() || opts.churn.is_some() {
+        let mut plan = FaultPlan::new();
+        for &(node, down_s, up_s) in &opts.fails {
+            plan = match up_s {
+                Some(u) => plan.fail_node_for(
+                    node,
+                    SimTime::from_secs_f64(down_s),
+                    SimDuration::from_secs_f64(u - down_s),
+                ),
+                None => plan.fail_node(node, SimTime::from_secs_f64(down_s)),
+            };
+        }
+        if let Some((mtbf, mttr)) = opts.churn {
+            plan = plan.churn(
+                SimDuration::from_secs_f64(mtbf),
+                SimDuration::from_secs_f64(mttr),
+            );
+        }
+        builder = builder.faults(plan);
     }
     if opts.clients > 0 {
         builder = builder.mobile_clients(
@@ -228,22 +313,67 @@ fn main() {
     }
 
     println!("scheme                  : {}", r.scheme);
-    println!("nodes / flows / seed    : {} / {} / {}", r.nodes, r.flows, opts.seed);
-    println!("sent / delivered        : {} / {}", r.summary.sent, r.summary.delivered);
+    println!(
+        "nodes / flows / seed    : {} / {} / {}",
+        r.nodes, r.flows, opts.seed
+    );
+    println!(
+        "sent / delivered        : {} / {}",
+        r.summary.sent, r.summary.delivered
+    );
     println!("delivery ratio          : {:.4}", r.pdr());
-    println!("mean / p95 delay        : {:.1} / {:.1} ms", r.mean_delay_ms(), r.summary.p95_delay_s * 1e3);
+    println!(
+        "mean / p95 delay        : {:.1} / {:.1} ms",
+        r.mean_delay_ms(),
+        r.summary.p95_delay_s * 1e3
+    );
     println!("goodput                 : {:.1} kb/s", r.goodput_kbps);
     println!("RREQ tx / discovery     : {:.1}", r.rreq_tx_per_discovery);
-    println!("saved rebroadcasts      : {:.1} %", r.saved_rebroadcast * 100.0);
+    println!(
+        "saved rebroadcasts      : {:.1} %",
+        r.saved_rebroadcast * 100.0
+    );
     println!("normalized routing load : {:.3}", r.normalized_routing_load);
     println!("discovery success       : {:.3}", r.discovery_success);
-    println!("Jain fairness / hotspot : {:.3} / {:.1}", r.jain_forwarding, r.hotspot);
-    println!("collisions / noise loss : {} / {}", r.medium.collisions, r.medium.noise_losses);
-    println!("drops (q/nr/bo/df/lf/ex): {}/{}/{}/{}/{}/{}",
-        r.drops.queue_full, r.drops.no_route, r.drops.buffer_overflow,
-        r.drops.discovery_failed, r.drops.link_failure, r.drops.expired);
+    println!(
+        "Jain fairness / hotspot : {:.3} / {:.1}",
+        r.jain_forwarding, r.hotspot
+    );
+    println!(
+        "collisions / noise loss : {} / {}",
+        r.medium.collisions, r.medium.noise_losses
+    );
+    println!(
+        "drops (q/nr/bo/df/lf/ex): {}/{}/{}/{}/{}/{}",
+        r.drops.queue_full,
+        r.drops.no_route,
+        r.drops.buffer_overflow,
+        r.drops.discovery_failed,
+        r.drops.link_failure,
+        r.drops.expired
+    );
     println!("ctrl drops (queue full) : {}", r.drops.ctrl_queue_full);
-    println!("comm energy / delivered : {:.2} mJ", r.comm_energy_per_delivered_mj);
+    println!(
+        "comm energy / delivered : {:.2} mJ",
+        r.comm_energy_per_delivered_mj
+    );
+    if r.faults.node_down + r.faults.injected > 0 {
+        println!(
+            "faults (down/up/other)  : {}/{}/{}",
+            r.faults.node_down, r.faults.node_up, r.faults.injected
+        );
+        let repair = if r.repair_latency_s.is_empty() {
+            "-".to_string()
+        } else {
+            let mean = r.repair_latency_s.iter().sum::<f64>() / r.repair_latency_s.len() as f64;
+            format!("{mean:.2} s")
+        };
+        println!("mean route repair       : {repair}");
+        match r.pdr_during_outage {
+            Some(p) => println!("PDR during outages      : {p:.4}"),
+            None => println!("PDR during outages      : -"),
+        }
+    }
     println!("events processed        : {}", r.events);
 }
 
@@ -282,16 +412,41 @@ mod tests {
     #[test]
     fn scheme_parsing() {
         assert_eq!(parse_scheme("flooding").unwrap(), Scheme::Flooding);
-        assert_eq!(parse_scheme("gossip:0.5").unwrap(), Scheme::Gossip { p: 0.5 });
-        assert_eq!(parse_scheme("gossip:0.5:2").unwrap(), Scheme::GossipK { p: 0.5, k: 2 });
-        assert!(matches!(parse_scheme("counter:4").unwrap(), Scheme::Counter { threshold: 4, .. }));
-        assert!(matches!(parse_scheme("distance:-75").unwrap(), Scheme::Distance { .. }));
+        assert_eq!(
+            parse_scheme("gossip:0.5").unwrap(),
+            Scheme::Gossip { p: 0.5 }
+        );
+        assert_eq!(
+            parse_scheme("gossip:0.5:2").unwrap(),
+            Scheme::GossipK { p: 0.5, k: 2 }
+        );
+        assert!(matches!(
+            parse_scheme("counter:4").unwrap(),
+            Scheme::Counter { threshold: 4, .. }
+        ));
+        assert!(matches!(
+            parse_scheme("distance:-75").unwrap(),
+            Scheme::Distance { .. }
+        ));
         assert!(parse_scheme("distance").is_err());
         assert!(matches!(parse_scheme("cnlr").unwrap(), Scheme::Cnlr(_)));
         assert!(matches!(parse_scheme("vap").unwrap(), Scheme::VapCnlr(..)));
         assert!(parse_scheme("nope").is_err());
         assert!(parse_scheme("gossip").is_err());
         assert!(parse_scheme("gossip:x").is_err());
+    }
+
+    #[test]
+    fn fault_flags() {
+        let o = parse_args(&argv("--fail 5@10 --fail 7@12:20 --churn 120,8")).unwrap();
+        assert_eq!(o.fails, vec![(5, 10.0, None), (7, 12.0, Some(20.0))]);
+        assert_eq!(o.churn, Some((120.0, 8.0)));
+        assert!(parse_fail("5").is_err());
+        assert!(parse_fail("x@10").is_err());
+        assert!(parse_fail("5@10:9").is_err());
+        assert!(parse_churn("120").is_err());
+        assert!(parse_churn("0,8").is_err());
+        assert!(parse_churn("120,-1").is_err());
     }
 
     #[test]

@@ -14,10 +14,12 @@
 
 pub use cnlr;
 pub use cnlr::{
-    BuildError, CnlrConfig, CnlrPolicy, DropCounters, Event, Medium, MediumEffect, MediumStats,
-    Network, Node, RunResults, ScenarioBuilder, Scheme, Simulation, VapCnlr, VapConfig,
+    BuildError, ChurnModel, CnlrConfig, CnlrPolicy, DropCounters, Event, FaultCounters, FaultKind,
+    FaultPlan, LinkFlapModel, Medium, MediumEffect, MediumStats, Network, Node, NoiseStormModel,
+    RunResults, ScenarioBuilder, Scheme, Simulation, TimedFault, VapCnlr, VapConfig,
 };
 
+pub use cnlr::faults;
 pub use wmn_mac as mac;
 pub use wmn_metrics as metrics;
 pub use wmn_mobility as mobility;

@@ -1,7 +1,7 @@
 //! Scenario-builder API contract.
 
-use wmn::topology::{Placement, Region};
 use wmn::sim::SimDuration;
+use wmn::topology::{Placement, Region};
 use wmn::{BuildError, ScenarioBuilder, Scheme};
 
 #[test]
@@ -9,7 +9,11 @@ fn disconnected_topology_is_rejected() {
     // Two nodes 2 km apart can never connect at 250 m range.
     let err = ScenarioBuilder::new()
         .region(Region::new(3000.0, 3000.0))
-        .placement(Placement::Grid { rows: 1, cols: 2, jitter_frac: 0.0 })
+        .placement(Placement::Grid {
+            rows: 1,
+            cols: 2,
+            jitter_frac: 0.0,
+        })
         .build()
         .err()
         .expect("must fail");
@@ -21,7 +25,11 @@ fn disconnected_topology_is_rejected() {
 fn disconnected_allowed_when_not_required() {
     let sim = ScenarioBuilder::new()
         .region(Region::new(3000.0, 3000.0))
-        .placement(Placement::Grid { rows: 1, cols: 2, jitter_frac: 0.0 })
+        .placement(Placement::Grid {
+            rows: 1,
+            cols: 2,
+            jitter_frac: 0.0,
+        })
         .require_connected(false)
         .duration(SimDuration::from_secs(5))
         .build();
@@ -31,7 +39,11 @@ fn disconnected_allowed_when_not_required() {
 #[test]
 fn single_node_is_too_small() {
     let err = ScenarioBuilder::new()
-        .placement(Placement::Grid { rows: 1, cols: 1, jitter_frac: 0.0 })
+        .placement(Placement::Grid {
+            rows: 1,
+            cols: 1,
+            jitter_frac: 0.0,
+        })
         .build()
         .err()
         .expect("must fail");
@@ -43,7 +55,11 @@ fn impossible_flow_pairs_rejected() {
     // A 2-node network cannot host flows requiring ≥ 4 hops.
     let err = ScenarioBuilder::new()
         .region(Region::new(400.0, 200.0))
-        .placement(Placement::Grid { rows: 1, cols: 2, jitter_frac: 0.0 })
+        .placement(Placement::Grid {
+            rows: 1,
+            cols: 2,
+            jitter_frac: 0.0,
+        })
         .flows_min_hops(1, 4.0, 512, 4)
         .build()
         .err()
@@ -53,7 +69,11 @@ fn impossible_flow_pairs_rejected() {
 
 #[test]
 fn event_budget_caps_runaway() {
-    let r = wmn::presets::small(1).event_budget(5_000).build().unwrap().run();
+    let r = wmn::presets::small(1)
+        .event_budget(5_000)
+        .build()
+        .unwrap()
+        .run();
     assert!(r.events <= 5_000);
 }
 

@@ -1,10 +1,17 @@
 //! Reproducibility: runs are a pure function of the master seed.
 
+use std::sync::{Arc, Mutex};
 use wmn::presets;
-use wmn::{Scheme, CnlrConfig};
+use wmn::sim::SimDuration;
+use wmn::telemetry::{MemorySink, SharedSink, TelemetryConfig, TelemetryEvent};
+use wmn::{CnlrConfig, FaultPlan, Scheme};
 
 fn run(seed: u64, scheme: Scheme) -> wmn::RunResults {
-    presets::small(seed).scheme(scheme).build().expect("build").run()
+    presets::small(seed)
+        .scheme(scheme)
+        .build()
+        .expect("build")
+        .run()
 }
 
 #[test]
@@ -37,4 +44,74 @@ fn scheme_changes_only_discovery_behaviour_not_determinism() {
     let b = run(5, Scheme::Gossip { p: 0.7 });
     assert_eq!(a.rreq_tx, b.rreq_tx);
     assert_eq!(a.events, b.events);
+}
+
+fn run_churned(seed: u64) -> (wmn::RunResults, Vec<TelemetryEvent>) {
+    let plan = FaultPlan::new()
+        .churn(SimDuration::from_secs(20), SimDuration::from_secs(3))
+        .noise_burst(
+            400.0,
+            400.0,
+            250.0,
+            12.0,
+            wmn::sim::SimTime::from_secs_f64(4.0),
+            SimDuration::from_secs(2),
+        );
+    let inner = Arc::new(Mutex::new(MemorySink::default()));
+    let sink: SharedSink = inner.clone();
+    // Probes off: a NodeProbe's load estimate averages neighbour loads in
+    // HashMap order, so its last float bit is not run-stable. Every
+    // protocol-visible event must still replay exactly.
+    let tel = TelemetryConfig {
+        probe_interval: None,
+        ..TelemetryConfig::enabled()
+    };
+    let results = presets::small(seed)
+        .scheme(Scheme::Cnlr(CnlrConfig::default()))
+        .faults(plan)
+        .telemetry(tel)
+        .telemetry_sink(sink)
+        .build()
+        .expect("build")
+        .run();
+    let events = inner.lock().unwrap().events.clone();
+    (results, events)
+}
+
+#[test]
+fn stochastic_fault_schedules_are_a_pure_function_of_the_seed() {
+    // Same seed ⇒ the same crashes, reboots and noise bursts at the same
+    // instants, the same RunResults and an identical event trace.
+    let (a, ta) = run_churned(42);
+    let (b, tb) = run_churned(42);
+    assert!(a.faults.node_down > 0, "churn must crash at least one node");
+    assert_eq!(a.faults.node_down, b.faults.node_down);
+    assert_eq!(a.faults.node_up, b.faults.node_up);
+    assert_eq!(a.faults.injected, b.faults.injected);
+    assert_eq!(a.summary.sent, b.summary.sent);
+    assert_eq!(a.summary.delivered, b.summary.delivered);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.outages_s, b.outages_s);
+    assert_eq!(a.repair_latency_s, b.repair_latency_s);
+    assert_eq!(a.counters(), b.counters());
+    // Identical trace event-for-event (modulo the process-global run id).
+    let key = |evs: &[TelemetryEvent]| -> Vec<(u64, u32, wmn::telemetry::EventKind)> {
+        evs.iter().map(|e| (e.t_ns, e.node, e.kind)).collect()
+    };
+    let (ka, kb) = (key(&ta), key(&tb));
+    for (i, (x, y)) in ka.iter().zip(kb.iter()).enumerate() {
+        assert_eq!(x, y, "trace diverges at event {i}");
+    }
+    assert_eq!(
+        ka.len(),
+        kb.len(),
+        "trace must be identical event-for-event"
+    );
+
+    // A different seed draws a different fault schedule.
+    let (c, _) = run_churned(43);
+    assert_ne!(
+        (a.events, a.faults.node_down, a.summary.delivered),
+        (c.events, c.faults.node_down, c.summary.delivered)
+    );
 }

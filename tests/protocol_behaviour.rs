@@ -11,7 +11,11 @@ use wmn::{ScenarioBuilder, Scheme};
 /// non-target node exactly once: RREQ tx per discovery ≈ N − 1.
 #[test]
 fn flooding_overhead_is_n_minus_one() {
-    let r = presets::small(3).scheme(Scheme::Flooding).build().unwrap().run();
+    let r = presets::small(3)
+        .scheme(Scheme::Flooding)
+        .build()
+        .unwrap()
+        .run();
     let n = r.nodes as f64;
     // Origin + every forwarder; the target never forwards, and edge nodes
     // may be suppressed by TTL — allow a small band.
@@ -61,7 +65,11 @@ fn line_topology_multihop_delivery() {
         ScenarioBuilder::new()
             .seed(seed)
             .region(Region::new(150.0 * (n as f64), 200.0))
-            .placement(Placement::Grid { rows: 1, cols: n, jitter_frac: 0.0 })
+            .placement(Placement::Grid {
+                rows: 1,
+                cols: n,
+                jitter_frac: 0.0,
+            })
             .scheme(Scheme::Flooding)
             .explicit_flows(vec![flow])
             .duration(SimDuration::from_secs(18))
@@ -88,7 +96,11 @@ fn line_topology_multihop_delivery() {
 /// cause, or still in flight at the horizon.
 #[test]
 fn packet_conservation() {
-    let r = presets::small(8).scheme(Scheme::Flooding).build().unwrap().run();
+    let r = presets::small(8)
+        .scheme(Scheme::Flooding)
+        .build()
+        .unwrap()
+        .run();
     let accounted = r.summary.delivered + r.drops.total();
     assert!(
         accounted <= r.routing.data_originated,
@@ -105,21 +117,34 @@ fn packet_conservation() {
 /// HELLO beacons go out on schedule from every node.
 #[test]
 fn hello_cadence() {
-    let r = presets::small(9).scheme(Scheme::Flooding).build().unwrap().run();
+    let r = presets::small(9)
+        .scheme(Scheme::Flooding)
+        .build()
+        .unwrap()
+        .run();
     // 25 nodes × 20 s / 1 s interval, starts staggered inside 1 interval.
     let expect = 25.0 * 19.0;
     let got = r.routing.hello_sent as f64;
-    assert!((got - expect).abs() <= 30.0, "hello_sent {got}, expected ≈ {expect}");
+    assert!(
+        (got - expect).abs() <= 30.0,
+        "hello_sent {got}, expected ≈ {expect}"
+    );
 }
 
 /// Destination-only replies: RREP generation equals successful discoveries
 /// (plus re-answers for better paths).
 #[test]
 fn rrep_accounting() {
-    let r = presets::small(10).scheme(Scheme::Flooding).build().unwrap().run();
+    let r = presets::small(10)
+        .scheme(Scheme::Flooding)
+        .build()
+        .unwrap()
+        .run();
     assert!(r.routing.rrep_generated >= r.routing.discoveries_succeeded);
-    assert!(r.routing.discoveries_succeeded + r.routing.discoveries_failed
-        <= r.routing.discoveries_started + 1);
+    assert!(
+        r.routing.discoveries_succeeded + r.routing.discoveries_failed
+            <= r.routing.discoveries_started + 1
+    );
 }
 
 /// Longer HELLO intervals mean fewer control packets.
@@ -148,7 +173,11 @@ fn hello_interval_controls_overhead() {
 /// −64.4 dBm at the 250 m edge vs −60.7 dBm at the 180 m grid pitch.)
 #[test]
 fn distance_scheme_end_to_end() {
-    let flood = presets::small(14).scheme(Scheme::Flooding).build().unwrap().run();
+    let flood = presets::small(14)
+        .scheme(Scheme::Flooding)
+        .build()
+        .unwrap()
+        .run();
     let dist = presets::small(14)
         .scheme(Scheme::Distance { strong_dbm: -61.0 })
         .build()
@@ -162,5 +191,8 @@ fn distance_scheme_end_to_end() {
         dist.routing.rreq_forwarded,
         flood.routing.rreq_forwarded
     );
-    assert!(dist.routing.rreq_suppressed > 0, "never suppressed a near copy");
+    assert!(
+        dist.routing.rreq_suppressed > 0,
+        "never suppressed a near copy"
+    );
 }

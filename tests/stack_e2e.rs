@@ -55,7 +55,11 @@ fn saturation_stresses_the_mac() {
         .build()
         .unwrap()
         .run();
-    assert!(r.pdr() < 0.95, "expected losses at saturation, pdr {}", r.pdr());
+    assert!(
+        r.pdr() < 0.95,
+        "expected losses at saturation, pdr {}",
+        r.pdr()
+    );
     assert!(r.medium.collisions > 0, "no collisions under saturation?");
     assert!(r.mac.retries > 0, "no MAC retries under saturation?");
     assert!(r.drops.total() > 0, "losses must be attributed");
@@ -70,7 +74,14 @@ fn mobility_triggers_repair_machinery() {
         .seed(4)
         .grid(5, 5, 180.0)
         .scheme(Scheme::Cnlr(CnlrConfig::default()))
-        .mobile_clients(8, MobilityConfig::RandomWaypoint { v_min: 2.0, v_max: 12.0, pause_s: 1.0 })
+        .mobile_clients(
+            8,
+            MobilityConfig::RandomWaypoint {
+                v_min: 2.0,
+                v_max: 12.0,
+                pause_s: 1.0,
+            },
+        )
         .flows(8, 4.0, 512)
         .duration(SimDuration::from_secs(30))
         .warmup(SimDuration::from_secs(6))
@@ -92,13 +103,16 @@ fn vap_cnlr_runs_with_mobility() {
         .seed(5)
         .grid(5, 5, 180.0)
         .scheme(Scheme::VapCnlr(CnlrConfig::default(), VapConfig::default()))
-        .mobile_clients(6, MobilityConfig::GaussMarkov {
-            mean_speed: 8.0,
-            alpha: 0.8,
-            sigma_speed: 2.0,
-            sigma_dir: 0.5,
-            update_s: 1.0,
-        })
+        .mobile_clients(
+            6,
+            MobilityConfig::GaussMarkov {
+                mean_speed: 8.0,
+                alpha: 0.8,
+                sigma_speed: 2.0,
+                sigma_dir: 0.5,
+                update_s: 1.0,
+            },
+        )
         .flows(6, 3.0, 512)
         .duration(SimDuration::from_secs(25))
         .warmup(SimDuration::from_secs(5))
@@ -125,12 +139,18 @@ fn warmup_window_excluded_from_stats() {
 #[test]
 fn counter_scheme_end_to_end() {
     let r = presets::small(7)
-        .scheme(Scheme::Counter { threshold: 2, rad: SimDuration::from_millis(12) })
+        .scheme(Scheme::Counter {
+            threshold: 2,
+            rad: SimDuration::from_millis(12),
+        })
         .build()
         .unwrap()
         .run();
     assert!(r.pdr() > 0.8, "counter pdr {}", r.pdr());
-    assert!(r.routing.rreq_suppressed > 0, "counter never suppressed anything");
+    assert!(
+        r.routing.rreq_suppressed > 0,
+        "counter never suppressed anything"
+    );
 }
 
 /// RTS/CTS suppresses hidden-terminal collisions: two mutually-hidden
@@ -165,7 +185,11 @@ fn rts_cts_suppresses_hidden_terminal_collisions() {
         ScenarioBuilder::new()
             .seed(5)
             .region(Region::new(720.0, 200.0))
-            .placement(Placement::Grid { rows: 1, cols: 3, jitter_frac: 0.0 })
+            .placement(Placement::Grid {
+                rows: 1,
+                cols: 3,
+                jitter_frac: 0.0,
+            })
             .phy(phy)
             .mac(mac)
             .scheme(Scheme::Flooding)
@@ -178,7 +202,10 @@ fn rts_cts_suppresses_hidden_terminal_collisions() {
     };
     let plain = run(false);
     let protected = run(true);
-    assert!(plain.medium.collisions > 50, "no hidden-terminal problem to solve");
+    assert!(
+        plain.medium.collisions > 50,
+        "no hidden-terminal problem to solve"
+    );
     assert!(
         protected.medium.collisions * 3 < plain.medium.collisions,
         "RTS/CTS did not suppress collisions: {} vs {}",
@@ -201,7 +228,11 @@ fn energy_accounting_is_coherent() {
     for r in [&quiet, &busy] {
         let lo = 25.0 * 20.0 * 0.739 * 0.99;
         let hi = 25.0 * 20.0 * 1.327 * 1.01;
-        assert!(r.energy_total_j > lo && r.energy_total_j < hi, "{}", r.energy_total_j);
+        assert!(
+            r.energy_total_j > lo && r.energy_total_j < hi,
+            "{}",
+            r.energy_total_j
+        );
     }
     let quiet_comm: f64 = quiet.energy_total_j;
     let busy_comm: f64 = busy.energy_total_j;
@@ -234,7 +265,10 @@ fn expanding_ring_limits_discovery_scope() {
             .seed(9)
             .grid(7, 7, 180.0)
             .scheme(Scheme::Flooding)
-            .routing(RoutingConfig { expanding_ring: ring, ..RoutingConfig::default() })
+            .routing(RoutingConfig {
+                expanding_ring: ring,
+                ..RoutingConfig::default()
+            })
             .explicit_flows(vec![flow])
             .duration(SimDuration::from_secs(15))
             .warmup(SimDuration::from_secs(2))
@@ -262,7 +296,10 @@ fn control_priority_queue_end_to_end() {
     use wmn::mac::MacParams;
     let run = |priority: bool| {
         presets::backbone(6, 0, 3)
-            .mac(MacParams { control_priority: priority, ..MacParams::default() })
+            .mac(MacParams {
+                control_priority: priority,
+                ..MacParams::default()
+            })
             .flows(24, 10.0, 512)
             .duration(SimDuration::from_secs(25))
             .warmup(SimDuration::from_secs(5))
@@ -272,7 +309,11 @@ fn control_priority_queue_end_to_end() {
     };
     let plain = run(false);
     let prio = run(true);
-    assert!(prio.summary.sent > 0 && prio.pdr() > 0.2, "prio pdr {}", prio.pdr());
+    assert!(
+        prio.summary.sent > 0 && prio.pdr() > 0.2,
+        "prio pdr {}",
+        prio.pdr()
+    );
     // Priority must not *hurt* discovery; with saturated queues it
     // typically helps it.
     assert!(

@@ -47,7 +47,10 @@ const SAMPLE_BUDGET: Duration = Duration::from_millis(5);
 
 impl Bencher {
     fn new(samples: usize) -> Self {
-        Bencher { samples, result: None }
+        Bencher {
+            samples,
+            result: None,
+        }
     }
 
     /// Measure `routine` repeatedly.
@@ -149,7 +152,11 @@ impl Criterion {
 
     /// Start a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { prefix: name.to_string(), sample_size: self.sample_size, _parent: self }
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
     }
 }
 
@@ -209,7 +216,8 @@ mod tests {
     #[test]
     fn iter_produces_a_mean() {
         let mut c = Criterion::default();
-        c.sample_size(3).bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        c.sample_size(3)
+            .bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
     }
 
     #[test]
