@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use wmn_radio::{PathLoss, PhyParams, Rate};
 use wmn_sim::{EventQueue, SimRng, SimTime};
+use wmn_topology::{Region, SpatialIndex, Vec2};
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue/push_pop_10k", |b| {
@@ -75,6 +76,47 @@ fn bench_physics(c: &mut Criterion) {
     });
 }
 
+/// `query_radius` on a 1k-node field at backbone density, for both a
+/// grid-ordered layout (ids correlate with space: the append fast path) and
+/// a shuffled one (ids arrive out of order: the insertion path). The sorted
+/// buckets make both return ascending ids without a final sort.
+fn bench_spatial(c: &mut Criterion) {
+    let side = 32usize; // 1024 nodes
+    let pitch = 180.0;
+    let extent = side as f64 * pitch;
+    let region = Region::new(extent, extent);
+    let grid: Vec<Vec2> = (0..side * side)
+        .map(|i| Vec2::new((i % side) as f64 * pitch, (i / side) as f64 * pitch))
+        .collect();
+    let mut shuffled = grid.clone();
+    // Deterministic Fisher-Yates: decorrelate id from position.
+    let mut rng = SimRng::new(7);
+    for i in (1..shuffled.len()).rev() {
+        shuffled.swap(i, rng.below(i as u64 + 1) as usize);
+    }
+    let radius = 575.0; // interference range + slack, the medium's query
+
+    let mut g = c.benchmark_group("spatial");
+    for (name, positions) in [
+        ("query_radius_1k_grid_ids", &grid),
+        ("query_radius_1k_shuffled_ids", &shuffled),
+    ] {
+        let idx = SpatialIndex::new(region, radius / 2.0, positions);
+        g.bench_function(name, |b| {
+            let mut out = Vec::with_capacity(128);
+            b.iter(|| {
+                let mut total = 0usize;
+                for i in (0..positions.len()).step_by(37) {
+                    idx.query_radius(positions[i], radius, i, &mut out);
+                    total += out.len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_full_scenario(c: &mut Criterion) {
     let mut g = c.benchmark_group("scenario");
     g.sample_size(10);
@@ -100,6 +142,7 @@ criterion_group!(
     bench_event_queue,
     bench_rng,
     bench_physics,
+    bench_spatial,
     bench_full_scenario
 );
 criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Fig. 12 — the scale path: wall-clock and medium-cache behaviour as the
+//! network grows from 100 to 10 000 routers at constant density.
+//!
+//! Sweeps N over the scale presets (grid placement for flooding/CNLR, plus
+//! a uniform-random CNLR column) and reports, per scheme:
+//! wall-clock seconds, engine events per second, pathloss evaluations per
+//! transmission, the transmission-level link-cache hit rate, and the
+//! budget-level reuse rate. Runs execute *sequentially* — unlike the other
+//! figures there is no job pool, so the per-run wall-clock is honest.
+//!
+//! `QUICK=1` shrinks the sweep to {100, 1000} nodes and short runs (the CI
+//! smoke job); the full sweep covers {100, 400, 1000, 4000, 10000}.
+
+use cnlr::{presets, CnlrConfig, RunResults, Scheme};
+use wmn_bench::{emit, quick_mode, record_bench, replication_seeds, write_manifest, FigureSpec};
+use wmn_metrics::ResultTable;
+use wmn_sim::SimDuration;
+
+struct Column {
+    label: &'static str,
+    scheme: Scheme,
+    random_placement: bool,
+}
+
+fn main() {
+    let spec = FigureSpec {
+        id: "fig12",
+        title: "Scale sweep: wall-clock and cache behaviour vs network size",
+        x_label: "nodes",
+    };
+    let xs: Vec<f64> = if quick_mode() {
+        vec![100.0, 1000.0]
+    } else {
+        vec![100.0, 400.0, 1000.0, 4000.0, 10000.0]
+    };
+    // Short horizons: the figure measures throughput of the simulator, not
+    // steady-state protocol behaviour, and 10k nodes at 60 s would dominate
+    // the whole bench suite.
+    let (dur, warm) = if quick_mode() {
+        (SimDuration::from_secs(10), SimDuration::from_secs(2))
+    } else {
+        (SimDuration::from_secs(20), SimDuration::from_secs(5))
+    };
+    let columns = [
+        Column {
+            label: "flooding",
+            scheme: Scheme::Flooding,
+            random_placement: false,
+        },
+        Column {
+            label: "cnlr",
+            scheme: Scheme::Cnlr(CnlrConfig::default()),
+            random_placement: false,
+        },
+        Column {
+            label: "cnlr-random",
+            scheme: Scheme::Cnlr(CnlrConfig::default()),
+            random_placement: true,
+        },
+    ];
+    let seed = replication_seeds()[0];
+
+    type Metric = (&'static str, &'static str, fn(&RunResults, f64) -> f64);
+    let metrics: [Metric; 6] = [
+        ("wall-clock s", "", |_, wall| wall),
+        ("events per second", "events", |r, wall| {
+            r.events as f64 / wall.max(1e-9)
+        }),
+        ("pathloss evals per tx", "evals", |r, _| {
+            r.medium.pathloss_evals as f64 / r.medium.tx_started.max(1) as f64
+        }),
+        ("link cache hit rate", "cache", |r, _| {
+            r.medium.link_cache_hits as f64 / r.medium.tx_started.max(1) as f64
+        }),
+        ("link budget reuse rate", "reuse", |r, _| {
+            1.0 - r.medium.pathloss_evals as f64 / r.medium.link_budgets.max(1) as f64
+        }),
+        ("PDR", "pdr", |r, _| r.pdr()),
+    ];
+
+    let mut headers: Vec<&str> = vec![spec.x_label];
+    headers.extend(columns.iter().map(|c| c.label));
+    let mut tables: Vec<ResultTable> = metrics
+        .iter()
+        .map(|(name, _, _)| {
+            ResultTable::new(format!("{} — {} ({name})", spec.id, spec.title), &headers)
+        })
+        .collect();
+
+    let t0 = std::time::Instant::now();
+    let mut runs: Vec<RunResults> = Vec::new();
+    for &x in &xs {
+        let n = x as usize;
+        // Offered load scales with the network: one flow per ~40 routers.
+        let flows = (n / 40).max(5);
+        let mut rows: Vec<Vec<String>> = metrics.iter().map(|_| vec![format!("{n}")]).collect();
+        for col in &columns {
+            let builder = if col.random_placement {
+                presets::scale_random(n, flows, seed)
+            } else {
+                presets::scale_grid(n, flows, seed)
+            };
+            let sim = builder
+                .scheme(col.scheme.clone())
+                .duration(dur)
+                .warmup(warm)
+                .build()
+                .unwrap_or_else(|e| panic!("scale scenario build failed at n={n}: {e}"));
+            let run_t0 = std::time::Instant::now();
+            let r = sim.run();
+            let wall = run_t0.elapsed().as_secs_f64();
+            eprintln!(
+                "[fig12] n={n} {}: {:.2}s wall, {:.0} ev/s, {:.2} evals/tx, hit {:.3}, reuse {:.3}",
+                col.label,
+                wall,
+                r.events as f64 / wall.max(1e-9),
+                r.medium.pathloss_evals as f64 / r.medium.tx_started.max(1) as f64,
+                r.medium.link_cache_hits as f64 / r.medium.tx_started.max(1) as f64,
+                1.0 - r.medium.pathloss_evals as f64 / r.medium.link_budgets.max(1) as f64,
+            );
+            for (mi, (_, _, f)) in metrics.iter().enumerate() {
+                rows[mi].push(format!("{:.4}", f(&r, wall)));
+            }
+            runs.push(r);
+        }
+        for (table, row) in tables.iter_mut().zip(rows) {
+            table.add_row(row);
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let n_jobs = xs.len() * columns.len();
+    record_bench("sweep", spec.id, wall_s, n_jobs);
+
+    let schemes = vec![Scheme::Flooding, Scheme::Cnlr(CnlrConfig::default())];
+    write_manifest(
+        &spec,
+        &schemes,
+        &[seed],
+        &xs,
+        wall_s,
+        &runs,
+        &[
+            ("placements", "grid, grid, uniform-random".to_string()),
+            ("fig12_duration_s", format!("{}", dur.as_secs_f64())),
+            ("fig12_warmup_s", format!("{}", warm.as_secs_f64())),
+            ("sequential", "true".to_string()),
+        ],
+    );
+    for ((_, suffix, _), table) in metrics.iter().zip(&tables) {
+        emit(&spec, suffix, table);
+    }
+}

@@ -54,6 +54,14 @@ fn main() {
             ("RREQ tx per discovery", &|r: &cnlr::RunResults| {
                 r.rreq_tx_per_discovery
             }),
+            // Link-cache effectiveness under mobility (the scenario the
+            // neighbourhood-sharded invalidation scheme targets).
+            ("link cache hit rate", &|r: &cnlr::RunResults| {
+                r.medium.link_cache_hits as f64 / r.medium.tx_started.max(1) as f64
+            }),
+            ("link budget reuse rate", &|r: &cnlr::RunResults| {
+                1.0 - r.medium.pathloss_evals as f64 / r.medium.link_budgets.max(1) as f64
+            }),
         ],
         &xs,
         &schemes,
@@ -61,4 +69,6 @@ fn main() {
     );
     emit(&spec, "", &tables[0]);
     emit(&spec, "overhead", &tables[1]);
+    emit(&spec, "cache", &tables[2]);
+    emit(&spec, "reuse", &tables[3]);
 }

@@ -425,10 +425,11 @@ impl ScenarioBuilder {
         // --- Engine priming --------------------------------------------
         let mut engine =
             Engine::new(SimTime::ZERO + self.duration).with_event_budget(self.event_budget);
+        let mut acts = Vec::new();
         for i in 0..network.nodes.len() {
-            let mut acts = Vec::new();
+            acts.clear();
             network.nodes[i].routing.start(SimTime::ZERO, &mut acts);
-            for a in acts {
+            for a in acts.drain(..) {
                 if let RoutingAction::SetTimer { timer, at } = a {
                     engine.prime(
                         at,

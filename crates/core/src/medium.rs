@@ -79,6 +79,12 @@ pub struct MediumStats {
     pub pathloss_evals: u64,
     /// Perf counter: transmissions served entirely from the link cache.
     pub link_cache_hits: u64,
+    /// Perf counter: link budgets consumed (Σ sensible receivers per
+    /// transmission). With `pathloss_evals` this yields the budget-level
+    /// reuse rate `1 − evals/budgets`: the fraction of per-receiver
+    /// budgets served from memory. Identical cached/uncached (the entry
+    /// lists are identical), unlike the eval/hit counters.
+    pub link_budgets: u64,
 }
 
 impl MediumStats {
@@ -119,24 +125,66 @@ impl MediumStats {
     }
 }
 
-/// Memoized link budgets for one transmitter, valid while both the spatial
-/// index's position epoch and the medium's link-gain epoch are unchanged.
+/// Memoized link budgets for one transmitter.
+///
+/// Validity is checked at two levels. **L1** (O(1), the static fast path):
+/// the global position epoch and global gain-event count are unchanged, so
+/// *nothing* in the world moved or faulted. **L2** (neighbourhood-sharded):
+/// the transmitter itself is where it was (`src_pos` bit-equal) and the
+/// epoch-sums over the grid cells covering its interference disc — position
+/// epochs plus the medium's per-cell fault-gain epochs — match the sums at
+/// compute time. Cell epochs are monotone, so for the fixed rectangle an
+/// unchanged sum proves no node moved or changed gain in, into, or out of
+/// the disc; a mobile client or crash on the far side of the field no
+/// longer touches this transmitter's cache. The `src_pos` guard is what
+/// pins the rectangle: if the transmitter moved, sums over *different*
+/// rectangles could coincide.
 #[derive(Clone, Debug)]
 struct CachedLinks {
-    /// Position epoch the entries were computed at (`u64::MAX` = never).
+    /// Global position epoch at compute time (`u64::MAX` = never).
     epoch: u64,
-    /// Link-gain epoch (bumped by node crashes/reboots and attenuation
-    /// shifts) the entries were computed at.
-    gain_epoch: u64,
-    /// Sensible receivers in ascending id order with their rx power, dBm.
-    entries: Vec<(u32, f64)>,
+    /// Global gain-event count at compute time.
+    gain_events: u64,
+    /// Transmitter position the entries were computed at (NaN = never,
+    /// which can never compare equal).
+    src_pos: Vec2,
+    /// Transmitter gain version at compute time.
+    src_gain_ver: u64,
+    /// Position epoch-sum over the disc's cell rectangle at compute time.
+    pos_sum: u64,
+    /// Fault-gain epoch-sum over the same rectangle at compute time.
+    gain_sum: u64,
+    /// Sensible receivers in ascending id order.
+    entries: Vec<LinkEntry>,
+}
+
+/// One memoized link budget. `rx_dbm` is a pure function of the two
+/// endpoint positions and gain states, so an entry whose receiver is
+/// bit-identically where it was (and at the same gain version) can be
+/// reused without re-evaluating the pathloss — even when *other* nodes in
+/// the transmitter's disc moved. This per-entry reuse is what keeps the
+/// recompute cost proportional to the disturbance, not the disc population.
+#[derive(Clone, Copy, Debug)]
+struct LinkEntry {
+    /// Receiver id.
+    r: u32,
+    /// Receive power at `r`, dBm.
+    rx_dbm: f64,
+    /// Receiver position the budget was evaluated at.
+    rx_pos: Vec2,
+    /// Receiver gain version the budget was evaluated at.
+    gain_ver: u64,
 }
 
 impl CachedLinks {
     fn empty() -> Self {
         CachedLinks {
             epoch: u64::MAX,
-            gain_epoch: u64::MAX,
+            gain_events: u64::MAX,
+            src_pos: Vec2::new(f64::NAN, f64::NAN),
+            src_gain_ver: 0,
+            pos_sum: 0,
+            gain_sum: 0,
             entries: Vec::new(),
         }
     }
@@ -207,6 +255,8 @@ pub struct Medium {
     range_slack: f64,
     /// Scratch buffer for neighbour queries.
     scratch: Vec<u32>,
+    /// Scratch buffer for partial cache rebuilds.
+    scratch_entries: Vec<LinkEntry>,
     /// Per-transmitter link-budget cache, keyed on the spatial epoch.
     links: Vec<CachedLinks>,
     /// Whether the link cache is consulted (disable to cross-check
@@ -226,9 +276,16 @@ pub struct Medium {
     /// Active noise bursts: id → (delta_db, affected nodes), so the
     /// matching burst end can subtract exactly what it added.
     bursts: HashMap<u32, (f64, Vec<u32>)>,
-    /// Bumped whenever down/up or attenuation state changes; invalidates
-    /// the per-transmitter link cache. Constant 0 in no-fault runs.
-    gain_epoch: u64,
+    /// Count of gain-affecting fault events (crash/reboot/attenuation
+    /// shift). Constant 0 in no-fault runs; the L1 cache key.
+    gain_events: u64,
+    /// Per-node gain versions: how many gain events have hit each node.
+    gain_version: Vec<u64>,
+    /// Per-cell gain epochs mirroring the spatial index's cell geometry
+    /// (lazily sized on the first fault; empty means "no gain event ever").
+    /// A node's gain bump lands in the cell it currently occupies, so the
+    /// disc rect-sum scopes fault invalidation exactly like movement.
+    gain_cells: Vec<u64>,
     /// True once any fault touched the medium (relaxes the unknown-tx
     /// assertions: a crash mid-transmission retires the record before its
     /// TxEnd/RxEnd events fire).
@@ -242,15 +299,10 @@ impl Medium {
         Medium {
             phy,
             prop: SimDuration::from_micros(radio_frame::PROPAGATION_US),
-            // Pre-reserve the signal lists: a handful of concurrent signals
-            // per radio is the steady state, and reserving up front keeps
-            // per-tx allocation out of the hot path.
-            states: (0..n)
-                .map(|_| RadioState {
-                    signals: Vec::with_capacity(8),
-                    ..RadioState::default()
-                })
-                .collect(),
+            // Signal lists start empty and grow on first use: a radio that
+            // ever senses a frame pays one small allocation for the whole
+            // run, while idle nodes in a large network pay nothing.
+            states: vec![RadioState::default(); n],
             active: HashMap::new(),
             next_tx_id: 0,
             rng,
@@ -258,6 +310,7 @@ impl Medium {
             interference_range,
             range_slack,
             scratch: Vec::new(),
+            scratch_entries: Vec::new(),
             links: vec![CachedLinks::empty(); n],
             cache_enabled: true,
             energy_params: EnergyParams::default(),
@@ -267,7 +320,9 @@ impl Medium {
             node_atten_db: vec![0.0; n],
             extra_noise_db: vec![0.0; n],
             bursts: HashMap::new(),
-            gain_epoch: 0,
+            gain_events: 0,
+            gain_version: vec![0; n],
+            gain_cells: Vec::new(),
             faults_seen: false,
         }
     }
@@ -322,11 +377,29 @@ impl Medium {
         self.down[node as usize]
     }
 
+    /// Record a gain-affecting fault event at `node`: bump its version,
+    /// the global event count, and the gain epoch of the cell it currently
+    /// occupies — so only link caches whose disc covers that cell recompute.
+    fn bump_gain(&mut self, node: u32, positions: &SpatialIndex) {
+        self.gain_events += 1;
+        self.gain_version[node as usize] += 1;
+        if self.gain_cells.is_empty() {
+            self.gain_cells.resize(positions.cell_count(), 0);
+        }
+        self.gain_cells[positions.cell_index(node as usize)] += 1;
+    }
+
     /// Crash `node`'s radio: abort any transmission mid-air (receivers
     /// lose the signal — the frame is cut off, never decodable), drop all
     /// incoming signal state, power the radio off. `out` receives the
     /// carrier-sense transitions of receivers that go quiet.
-    pub fn set_node_down(&mut self, node: u32, now: SimTime, out: &mut Vec<MediumEffect>) {
+    pub fn set_node_down(
+        &mut self,
+        node: u32,
+        now: SimTime,
+        positions: &SpatialIndex,
+        out: &mut Vec<MediumEffect>,
+    ) {
         self.faults_seen = true;
         self.down[node as usize] = true;
         // Abort an outgoing frame mid-air. Its TxEnd/RxEnd events still
@@ -353,15 +426,15 @@ impl Medium {
         // Dead radios sense nothing; no Channel effect — the MAC state is
         // about to be discarded anyway, and a rebooted MAC starts idle.
         st.sensed_busy = false;
-        self.gain_epoch += 1;
+        self.bump_gain(node, positions);
         self.update_energy(node, now);
     }
 
     /// Power `node`'s radio back on (state was cleaned at crash time).
-    pub fn set_node_up(&mut self, node: u32, now: SimTime) {
+    pub fn set_node_up(&mut self, node: u32, now: SimTime, positions: &SpatialIndex) {
         self.faults_seen = true;
         self.down[node as usize] = false;
-        self.gain_epoch += 1;
+        self.bump_gain(node, positions);
         self.update_energy(node, now);
     }
 
@@ -387,10 +460,10 @@ impl Medium {
 
     /// Shift `node`'s pathloss by `delta_db` on every link it terminates
     /// (link-flap faults; negative deltas undo prior shifts).
-    pub fn shift_node_atten(&mut self, node: u32, delta_db: f64) {
+    pub fn shift_node_atten(&mut self, node: u32, delta_db: f64, positions: &SpatialIndex) {
         self.faults_seen = true;
         self.node_atten_db[node as usize] += delta_db;
-        self.gain_epoch += 1;
+        self.bump_gain(node, positions);
     }
 
     /// Loss/delivery counters.
@@ -474,22 +547,70 @@ impl Medium {
             at: end,
         });
 
-        // Find every radio that can sense this transmission. On a static
-        // topology the (receiver, rx power) list is invariant per
-        // transmitter, so it is memoized keyed on the position epoch; any
-        // node movement bumps the epoch and forces recomputation.
+        // Find every radio that can sense this transmission. The
+        // (receiver, rx power) list is invariant while nothing inside the
+        // transmitter's interference disc changed, so it is memoized with a
+        // two-level check: L1 compares the global position epoch and
+        // gain-event count (O(1); always current on a quiet world), L2
+        // falls back to the neighbourhood-sharded epoch-sums over the
+        // disc's cell rectangle — movement or faults *elsewhere* leave
+        // this transmitter's cache valid (see [`CachedLinks`]).
         let epoch = positions.epoch();
-        let hit = self.cache_enabled
-            && self.links[src as usize].epoch == epoch
-            && self.links[src as usize].gain_epoch == self.gain_epoch;
+        let radius = self.interference_range + self.range_slack;
+        let src_pos = positions.position(src as usize);
+        let mut pos_sum = 0u64;
+        let mut gain_sum = 0u64;
+        let mut sums_current = false;
+        // The transmitter's side of every budget is unchanged: entries may
+        // be reused (wholesale on an L2 hit, per-entry on a partial miss).
+        let reusable = self.cache_enabled
+            && self.links[src as usize].src_pos == src_pos
+            && self.links[src as usize].src_gain_ver == self.gain_version[src as usize];
+        let hit = self.cache_enabled && {
+            let cl = &self.links[src as usize];
+            if cl.epoch == epoch && cl.gain_events == self.gain_events {
+                true
+            } else if reusable {
+                pos_sum = positions.epoch_sum(src_pos, radius);
+                gain_sum = if self.gain_cells.is_empty() {
+                    0
+                } else {
+                    positions.rect_sum(src_pos, radius, &self.gain_cells)
+                };
+                sums_current = true;
+                cl.pos_sum == pos_sum && cl.gain_sum == gain_sum
+            } else {
+                false
+            }
+        };
         let mut entries = std::mem::take(&mut self.links[src as usize].entries);
         if hit {
             self.stats.link_cache_hits += 1;
         } else {
-            self.compute_links(src, positions, &mut entries);
+            let evals_before = self.stats.pathloss_evals;
+            if reusable {
+                self.merge_links(src, positions, &mut entries);
+            } else {
+                self.compute_links(src, positions, &mut entries);
+            }
+            if !sums_current {
+                pos_sum = positions.epoch_sum(src_pos, radius);
+                gain_sum = if self.gain_cells.is_empty() {
+                    0
+                } else {
+                    positions.rect_sum(src_pos, radius, &self.gain_cells)
+                };
+            }
+            // A partial rebuild that re-evaluated nothing was served
+            // entirely from the cache (everything that changed was outside
+            // this transmitter's disc — e.g. in an uncovered rect corner).
+            if reusable && self.stats.pathloss_evals == evals_before && !entries.is_empty() {
+                self.stats.link_cache_hits += 1;
+            }
         }
+        self.stats.link_budgets += entries.len() as u64;
         let mut receivers = Vec::with_capacity(entries.len());
-        for &(r, rx_dbm) in entries.iter() {
+        for &LinkEntry { r, rx_dbm, .. } in entries.iter() {
             receivers.push(r);
             let st = &mut self.states[r as usize];
             st.signals.push((tx_id, rx_dbm));
@@ -539,13 +660,29 @@ impl Medium {
                 at: end + self.prop,
             });
         }
+        // Write back, refreshing the L1 keys (an L2 hit proves the cache
+        // is current as of `epoch`, so later transmissions on a quiet
+        // world take the O(1) path again). On an L1 hit the sums were not
+        // recomputed — the stored ones are still current by definition.
+        if !sums_current && hit {
+            pos_sum = self.links[src as usize].pos_sum;
+            gain_sum = self.links[src as usize].gain_sum;
+        }
         self.links[src as usize] = CachedLinks {
             epoch: if self.cache_enabled { epoch } else { u64::MAX },
-            gain_epoch: if self.cache_enabled {
-                self.gain_epoch
+            gain_events: if self.cache_enabled {
+                self.gain_events
             } else {
                 u64::MAX
             },
+            src_pos: if self.cache_enabled {
+                src_pos
+            } else {
+                Vec2::new(f64::NAN, f64::NAN)
+            },
+            src_gain_ver: self.gain_version[src as usize],
+            pos_sum,
+            gain_sum,
             entries,
         };
 
@@ -560,8 +697,41 @@ impl Medium {
         );
     }
 
-    /// Recompute the sensible-receiver list and link budgets for `src`.
-    fn compute_links(&mut self, src: u32, positions: &SpatialIndex, entries: &mut Vec<(u32, f64)>) {
+    /// Evaluate the link budget from `src` at `src_pos` to `r`, returning
+    /// an entry when `r` can sense the frame.
+    fn eval_link(
+        &mut self,
+        src: u32,
+        src_pos: Vec2,
+        r: u32,
+        positions: &SpatialIndex,
+    ) -> Option<LinkEntry> {
+        if self.down[r as usize] {
+            return None; // dead radios sense nothing
+        }
+        let rx_pos = positions.position(r as usize);
+        self.stats.pathloss_evals += 1;
+        // The fault attenuations are exactly 0.0 unless a link-flap
+        // model is active (x - 0.0 is bitwise x, so no-fault runs are
+        // untouched).
+        let rx_dbm = self.rx_power(src_pos, rx_pos, src, r)
+            - self.node_atten_db[src as usize]
+            - self.node_atten_db[r as usize];
+        if self.phy.is_sensed(rx_dbm) {
+            Some(LinkEntry {
+                r,
+                rx_dbm,
+                rx_pos,
+                gain_ver: self.gain_version[r as usize],
+            })
+        } else {
+            None // too weak to matter
+        }
+    }
+
+    /// Recompute the sensible-receiver list and link budgets for `src`
+    /// from scratch.
+    fn compute_links(&mut self, src: u32, positions: &SpatialIndex, entries: &mut Vec<LinkEntry>) {
         entries.clear();
         let src_pos = positions.position(src as usize);
         let mut nbrs = std::mem::take(&mut self.scratch);
@@ -572,22 +742,56 @@ impl Medium {
             &mut nbrs,
         );
         for &r in nbrs.iter() {
-            if self.down[r as usize] {
-                continue; // dead radios sense nothing
+            if let Some(e) = self.eval_link(src, src_pos, r, positions) {
+                entries.push(e);
             }
-            let rx_pos = positions.position(r as usize);
-            self.stats.pathloss_evals += 1;
-            // The fault attenuations are exactly 0.0 unless a link-flap
-            // model is active (x - 0.0 is bitwise x, so no-fault runs are
-            // untouched).
-            let rx_dbm = self.rx_power(src_pos, rx_pos, src, r)
-                - self.node_atten_db[src as usize]
-                - self.node_atten_db[r as usize];
-            if self.phy.is_sensed(rx_dbm) {
-                entries.push((r, rx_dbm));
-            }
-            // else: too weak to matter.
         }
+        nbrs.clear();
+        self.scratch = nbrs;
+    }
+
+    /// Rebuild `src`'s entry list, reusing every memoized budget whose
+    /// receiver is bit-identically where it was at the same gain version
+    /// (the budget is a pure function of those inputs, so the stored value
+    /// is exactly what a re-evaluation would produce). Only disturbed or
+    /// newly-in-range links are evaluated; candidates come from a fresh
+    /// spatial query, so departures drop out naturally. Requires the
+    /// caller to have checked that the transmitter's own position and gain
+    /// version are unchanged.
+    fn merge_links(&mut self, src: u32, positions: &SpatialIndex, entries: &mut Vec<LinkEntry>) {
+        let src_pos = positions.position(src as usize);
+        let mut nbrs = std::mem::take(&mut self.scratch);
+        positions.query_radius(
+            src_pos,
+            self.interference_range + self.range_slack,
+            src as usize,
+            &mut nbrs,
+        );
+        let mut fresh = std::mem::take(&mut self.scratch_entries);
+        fresh.clear();
+        // Both the old entries and the query result are in ascending id
+        // order: one forward pass pairs them up.
+        let mut old_i = 0;
+        for &r in nbrs.iter() {
+            while old_i < entries.len() && entries[old_i].r < r {
+                old_i += 1;
+            }
+            if old_i < entries.len() && entries[old_i].r == r {
+                let e = entries[old_i];
+                if e.rx_pos == positions.position(r as usize)
+                    && e.gain_ver == self.gain_version[r as usize]
+                {
+                    fresh.push(e);
+                    continue;
+                }
+            }
+            if let Some(e) = self.eval_link(src, src_pos, r, positions) {
+                fresh.push(e);
+            }
+        }
+        std::mem::swap(entries, &mut fresh);
+        fresh.clear();
+        self.scratch_entries = fresh;
         nbrs.clear();
         self.scratch = nbrs;
     }
@@ -1037,7 +1241,7 @@ mod tests {
         let pos = vec![Vec2::new(900.0, 1000.0), Vec2::new(1100.0, 1000.0)];
         let (mut m, idx) = setup(pos);
         let mut fx = Vec::new();
-        m.set_node_down(1, SimTime::ZERO, &mut fx);
+        m.set_node_down(1, SimTime::ZERO, &idx, &mut fx);
         assert!(m.is_down(1));
         m.start_tx(0, bcast_frame(0), None, SimTime::ZERO, &idx, &mut fx);
         let done = run_rx_ends(&mut m, &fx);
@@ -1049,7 +1253,7 @@ mod tests {
             "dead radio interacted with the medium"
         );
         // Reboot: the link cache must be invalidated so the node reappears.
-        m.set_node_up(1, SimTime::from_millis(10));
+        m.set_node_up(1, SimTime::from_millis(10), &idx);
         let mut fx = Vec::new();
         m.start_tx(
             0,
@@ -1073,7 +1277,7 @@ mod tests {
         m.start_tx(0, bcast_frame(0), None, SimTime::ZERO, &idx, &mut fx);
         assert!(m.sensed_busy(1));
         let mut cut = Vec::new();
-        m.set_node_down(0, SimTime(1000), &mut cut);
+        m.set_node_down(0, SimTime(1000), &idx, &mut cut);
         // The receiver's carrier sense clears with the aborted frame.
         assert!(cut.iter().any(|e| matches!(
             e,
@@ -1130,7 +1334,7 @@ mod tests {
         let mut fx = Vec::new();
         m.start_tx(0, bcast_frame(0), None, SimTime::ZERO, &idx, &mut fx);
         let _ = run_rx_ends(&mut m, &fx);
-        m.shift_node_atten(1, 60.0);
+        m.shift_node_atten(1, 60.0, &idx);
         let mut fx = Vec::new();
         m.start_tx(
             0,
@@ -1145,7 +1349,7 @@ mod tests {
             .iter()
             .any(|e| matches!(e, MediumEffect::Deliver { node: 1, .. })));
         // Undo restores the link exactly.
-        m.shift_node_atten(1, -60.0);
+        m.shift_node_atten(1, -60.0, &idx);
         assert_eq!(m.node_atten_db[1].to_bits(), 0f64.to_bits());
         let mut fx = Vec::new();
         m.start_tx(

@@ -167,6 +167,9 @@ pub struct Network {
     probe_anchor: Option<(std::time::Instant, u64)>,
     traffic_rng: SimRng,
     position_sample: SimDuration,
+    /// Ids of nodes with a mobility model, fixed at build time: position
+    /// sampling iterates these instead of scanning all N nodes.
+    mobile_ids: Vec<u32>,
     work: VecDeque<Work>,
     /// Reusable action/effect buffers: one short-lived `Vec` per event adds
     /// up to hundreds of thousands of allocations per run, so each layer's
@@ -235,6 +238,12 @@ impl Network {
         position_sample: SimDuration,
     ) -> Self {
         let n_nodes = nodes.len();
+        let mobile_ids: Vec<u32> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.mobility.is_mobile())
+            .map(|(i, _)| i as u32)
+            .collect();
         Network {
             nodes,
             medium,
@@ -255,6 +264,7 @@ impl Network {
             probe_anchor: None,
             traffic_rng,
             position_sample,
+            mobile_ids,
             work: VecDeque::with_capacity(64),
             scratch_mac: Vec::with_capacity(8),
             scratch_routing: Vec::with_capacity(8),
@@ -281,7 +291,7 @@ impl Network {
 
     /// True if any node can move.
     pub fn any_mobile(&self) -> bool {
-        self.nodes.iter().any(|n| n.mobility.is_mobile())
+        !self.mobile_ids.is_empty()
     }
 
     /// Wire a telemetry handle through every layer: the medium, each
@@ -713,12 +723,11 @@ impl Network {
                 );
                 // Membership is decided once, at burst onset: a node that
                 // wanders in or out keeps its onset-time exposure until the
-                // burst ends. Spatial query order is grid order, so sort
-                // for a schedule-independent medium state.
+                // burst ends. Spatial queries return ascending ids, so the
+                // medium state is schedule-independent as-is.
                 let mut hit = Vec::new();
                 self.spatial
                     .query_radius(Vec2::new(x_m, y_m), radius_m, usize::MAX, &mut hit);
-                hit.sort_unstable();
                 self.medium.apply_noise(id, delta_db, &hit);
             }
             FaultKind::NoiseEnd { id } => {
@@ -741,7 +750,7 @@ impl Network {
                         fault: FaultCode::LinkShift,
                     },
                 );
-                self.medium.shift_node_atten(node, delta_db);
+                self.medium.shift_node_atten(node, delta_db, &self.spatial);
             }
         }
     }
@@ -766,7 +775,7 @@ impl Network {
         // Radio off: abort any frame mid-air, strip the node from every
         // in-flight reception, silence its carrier sense.
         let mut fx = std::mem::take(&mut self.scratch_fx);
-        self.medium.set_node_down(node, now, &mut fx);
+        self.medium.set_node_down(node, now, &self.spatial, &mut fx);
         self.queue_medium(&mut fx);
         self.scratch_fx = fx;
         // Everything queued at the interface dies with the node. HashMap
@@ -842,7 +851,7 @@ impl Network {
         let t = self.tel.for_node(node);
         self.nodes[node as usize].mac.set_telemetry(t.clone());
         self.nodes[node as usize].routing.set_telemetry(t);
-        self.medium.set_node_up(node, now);
+        self.medium.set_node_up(node, now, &self.spatial);
         let inc = self.nodes[node as usize].incarnation;
         self.tel
             .emit_at(node, now, EventKind::NodeUp { incarnation: inc });
@@ -963,11 +972,14 @@ impl World for Network {
                 }
             }
             Event::PositionSample => {
-                for i in 0..self.nodes.len() {
-                    if self.nodes[i].mobility.is_mobile() {
-                        self.update_position(i as u32, now);
-                    }
+                // Only the mobile minority can have drifted; the id list is
+                // fixed at build time, so iterate it instead of scanning
+                // all N nodes every sample tick.
+                let mut mobile = std::mem::take(&mut self.mobile_ids);
+                for &i in &mobile {
+                    self.update_position(i, now);
                 }
+                std::mem::swap(&mut self.mobile_ids, &mut mobile);
                 let next = now + self.position_sample;
                 if next <= sched.horizon() {
                     sched.at(next, Event::PositionSample);

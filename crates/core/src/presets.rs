@@ -63,6 +63,39 @@ pub fn small(seed: u64) -> ScenarioBuilder {
         .warmup(SimDuration::from_secs(5))
 }
 
+/// Large-scale grid preset: about `n` routers on a near-square grid at the
+/// standard 180 m pitch (the side is rounded to the nearest square, so the
+/// actual count is `side²`). Density — and therefore mean degree and the
+/// interference-disc population — matches [`backbone`]; only the field
+/// grows, which is exactly the regime the neighbourhood-sharded medium
+/// targets (disc ≪ field).
+pub fn scale_grid(n: usize, flows: usize, seed: u64) -> ScenarioBuilder {
+    let side = (n as f64).sqrt().round().max(2.0) as usize;
+    ScenarioBuilder::new()
+        .seed(seed)
+        .grid(side, side, 180.0)
+        .flows(flows, 4.0, 512)
+        .duration(SimDuration::from_secs(60))
+        .warmup(SimDuration::from_secs(10))
+}
+
+/// Large-scale random preset: exactly `n` routers placed uniformly in a
+/// field sized for the same density as [`scale_grid`] (one node per
+/// 180 m × 180 m on average). Uniform placement at this density can leave
+/// small disconnected pockets at large `n`, so connectivity is not
+/// required — flow endpoints are still drawn reachable-pairs-only.
+pub fn scale_random(n: usize, flows: usize, seed: u64) -> ScenarioBuilder {
+    let side_m = (n as f64).sqrt() * 180.0;
+    ScenarioBuilder::new()
+        .seed(seed)
+        .region(wmn_topology::Region::new(side_m, side_m))
+        .placement(wmn_topology::Placement::UniformRandom { count: n })
+        .require_connected(false)
+        .flows(flows, 4.0, 512)
+        .duration(SimDuration::from_secs(60))
+        .warmup(SimDuration::from_secs(10))
+}
+
 /// The scheme set every figure sweeps, in presentation order.
 pub fn schemes() -> Vec<Scheme> {
     Scheme::evaluation_set()
@@ -83,5 +116,16 @@ mod tests {
     fn presets_build() {
         assert!(small(1).build().is_ok());
         assert!(backbone(5, 3, 2).build().is_ok());
+    }
+
+    #[test]
+    fn scale_presets_build_and_size() {
+        let sim = scale_grid(100, 3, 1).build().expect("scale grid");
+        assert_eq!(sim.network.nodes.len(), 100);
+        let sim = scale_grid(1000, 3, 1).build().expect("1k grid");
+        // Nearest square to 1000 is 32² = 1024.
+        assert_eq!(sim.network.nodes.len(), 1024);
+        let sim = scale_random(200, 3, 1).build().expect("scale random");
+        assert_eq!(sim.network.nodes.len(), 200);
     }
 }

@@ -4,10 +4,10 @@
 //! property tests drive full scenarios both ways and compare everything
 //! except the cache's own bookkeeping counters.
 
-use cnlr::{RunResults, ScenarioBuilder, Scheme};
+use cnlr::{FaultPlan, LinkFlapModel, NoiseStormModel, RunResults, ScenarioBuilder, Scheme};
 use proptest::prelude::*;
 use wmn_mobility::MobilityConfig;
-use wmn_sim::SimDuration;
+use wmn_sim::{SimDuration, SimTime};
 
 /// Everything observable about a run except the cache's perf counters
 /// (`pathloss_evals` / `link_cache_hits` differ by design). Floats are
@@ -85,6 +85,49 @@ proptest! {
         prop_assert!(
             cached.medium.tx_started >= cached.medium.link_cache_hits,
             "hit counter outran transmissions"
+        );
+    }
+
+    /// The hardest invalidation workload: RWP mobility *and* a stochastic
+    /// fault schedule (crash/reboot churn, noise storms, link flapping) in
+    /// the same run. Every invalidation path of the sharded cache fires —
+    /// per-cell position epochs, per-node gain versions, noise-burst
+    /// re-sensing — and the run must still be bit-identical to uncached.
+    #[test]
+    fn mobility_plus_faults_cached_equals_uncached(
+        seed in 0u64..1_000,
+        pick in 0u8..8,
+        mtbf_s in 4u64..12,
+        storm in any::<bool>(),
+    ) {
+        let scheme = scheme_from(pick);
+        let mobile = MobilityConfig::RandomWaypoint { v_min: 1.0, v_max: 10.0, pause_s: 0.25 };
+        let mut plan = FaultPlan::new()
+            .churn(SimDuration::from_secs(mtbf_s), SimDuration::from_secs(1))
+            .link_flap(LinkFlapModel {
+                interarrival: SimDuration::from_secs(6),
+                hold: SimDuration::from_secs(2),
+                delta_db: 12.0,
+            })
+            // One scripted crash/reboot so at least one down-node window is
+            // guaranteed regardless of how the stochastic draws land.
+            .fail_node_for(5, SimTime::from_secs(3), SimDuration::from_secs(2));
+        if storm {
+            plan = plan.noise_storm(NoiseStormModel {
+                interarrival: SimDuration::from_secs(5),
+                duration: SimDuration::from_secs(2),
+                radius_m: 300.0,
+                delta_db: 15.0,
+            });
+        }
+        let b = || base(seed, scheme.clone(), 3).mobile_clients(3, mobile).faults(plan.clone());
+        let cached = run(b(), true);
+        let uncached = run(b(), false);
+        prop_assert_eq!(signature(&cached), signature(&uncached));
+        prop_assert!(
+            cached.medium.pathloss_evals <= uncached.medium.pathloss_evals,
+            "cache increased pathloss work: {} vs {}",
+            cached.medium.pathloss_evals, uncached.medium.pathloss_evals
         );
     }
 }

@@ -35,7 +35,10 @@ impl IfQueue {
     pub fn with_priority(capacity: usize, priority_enabled: bool) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
         IfQueue {
-            items: VecDeque::with_capacity(capacity.min(64)),
+            // Lazy backing storage: most nodes in a large network idle at
+            // zero occupancy, so pre-reserving `capacity` slots per node
+            // would dominate per-node memory at the 10k-node scale.
+            items: VecDeque::new(),
             prio: VecDeque::new(),
             priority_enabled,
             capacity,

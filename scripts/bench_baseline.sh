@@ -40,6 +40,10 @@ cargo bench -p wmn-bench --bench engine_micro 2>&1 \
 # record (wall seconds, job count, thread count) to $BENCH_JSON.
 BENCH_JSON="$TMP_SWEEPS" QUICK=1 ./target/release/fig1_overhead_size >/dev/null
 
+# The scale sweep (100 and 1000 nodes in QUICK mode) — tracks the 1k-node
+# wall-clock and the sharded medium-cache hit rates as the tree evolves.
+BENCH_JSON="$TMP_SWEEPS" QUICK=1 ./target/release/fig12_scale >/dev/null
+
 # QUICK output is a reduced sweep, not a figure update: restore the
 # committed full-resolution CSVs if we are in a clean checkout.
 git checkout -- results 2>/dev/null || true

@@ -19,6 +19,10 @@ use wmn::{CnlrConfig, FaultPlan, ScenarioBuilder, Scheme, VapConfig};
 pub struct Options {
     pub grid: usize,
     pub pitch: f64,
+    /// Large-scale preset: overrides `--grid` with ~N nodes at standard
+    /// density (`grid` placement or `random`).
+    pub nodes: Option<usize>,
+    pub random_placement: bool,
     pub scheme: Scheme,
     pub flows: usize,
     pub pps: f64,
@@ -41,6 +45,8 @@ impl Default for Options {
         Options {
             grid: 8,
             pitch: 180.0,
+            nodes: None,
+            random_placement: false,
             scheme: Scheme::Cnlr(CnlrConfig::default()),
             flows: 20,
             pps: 4.0,
@@ -64,6 +70,9 @@ wmn-sim — run one wireless-mesh scenario
 OPTIONS (defaults in brackets):
   --grid N          N×N router grid [8]
   --pitch M         grid pitch in metres [180]
+  --nodes N         large-scale preset: ~N routers at standard density
+                    (overrides --grid/--pitch; tested up to 10000)
+  --random          with --nodes: uniform-random placement instead of grid
   --scheme S        flooding | gossip:P | gossip:P:K | counter:C | distance:DBM | cnlr | vap [cnlr]
   --flows N         random CBR flows [20]
   --pps R           packets per second per flow [4]
@@ -174,6 +183,14 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--pitch: {e}"))?
             }
+            "--nodes" => {
+                o.nodes = Some(
+                    val("--nodes")?
+                        .parse()
+                        .map_err(|e| format!("--nodes: {e}"))?,
+                )
+            }
+            "--random" => o.random_placement = true,
             "--scheme" => o.scheme = parse_scheme(val("--scheme")?)?,
             "--flows" => {
                 o.flows = val("--flows")?
@@ -218,6 +235,17 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     if o.grid < 2 {
         return Err("--grid must be ≥ 2".into());
     }
+    if let Some(n) = o.nodes {
+        if n < 4 {
+            return Err("--nodes must be ≥ 4".into());
+        }
+        if n > 10_000 {
+            return Err("--nodes is supported up to 10000".into());
+        }
+    }
+    if o.random_placement && o.nodes.is_none() {
+        return Err("--random requires --nodes".into());
+    }
     if o.warmup_s >= o.duration_s {
         return Err("--warmup must be below --duration".into());
     }
@@ -234,13 +262,19 @@ fn main() {
         }
     };
 
-    let mut builder = ScenarioBuilder::new()
-        .seed(opts.seed)
-        .grid(opts.grid, opts.grid, opts.pitch)
-        .scheme(opts.scheme.clone())
-        .flows(opts.flows, opts.pps, opts.payload)
-        .duration(SimDuration::from_secs_f64(opts.duration_s))
-        .warmup(SimDuration::from_secs_f64(opts.warmup_s));
+    let mut builder = match opts.nodes {
+        // The scale presets pin placement density; everything else on the
+        // command line still applies.
+        Some(n) if opts.random_placement => wmn::presets::scale_random(n, opts.flows, opts.seed),
+        Some(n) => wmn::presets::scale_grid(n, opts.flows, opts.seed),
+        None => ScenarioBuilder::new()
+            .seed(opts.seed)
+            .grid(opts.grid, opts.grid, opts.pitch),
+    }
+    .scheme(opts.scheme.clone())
+    .flows(opts.flows, opts.pps, opts.payload)
+    .duration(SimDuration::from_secs_f64(opts.duration_s))
+    .warmup(SimDuration::from_secs_f64(opts.warmup_s));
     if opts.trace {
         // Console tracing: typed events rendered human-readably on stderr
         // (what the old string-ring tracer used to do).
@@ -447,6 +481,17 @@ mod tests {
         assert!(parse_churn("120").is_err());
         assert!(parse_churn("0,8").is_err());
         assert!(parse_churn("120,-1").is_err());
+    }
+
+    #[test]
+    fn scale_flags() {
+        let o = parse_args(&argv("--nodes 1000 --random --flows 50")).unwrap();
+        assert_eq!(o.nodes, Some(1000));
+        assert!(o.random_placement);
+        assert_eq!(o.flows, 50);
+        assert!(parse_args(&argv("--nodes 2")).is_err());
+        assert!(parse_args(&argv("--nodes 20000")).is_err());
+        assert!(parse_args(&argv("--random")).is_err(), "--random alone");
     }
 
     #[test]
