@@ -5,15 +5,18 @@
 //! a uniform-random CNLR column) and reports, per scheme:
 //! wall-clock seconds, engine events per second, pathloss evaluations per
 //! transmission, the transmission-level link-cache hit rate, and the
-//! budget-level reuse rate. Runs execute *sequentially* — unlike the other
-//! figures there is no job pool, so the per-run wall-clock is honest.
+//! budget-level reuse rate. Sweep cells run in parallel (bounded by
+//! `WMN_THREADS`), but each cell's wall-clock is measured around its own
+//! `sim.run()` inside the job, so the per-run numbers stay honest; results
+//! are aggregated in job order, so tables and CSVs are identical to the
+//! sequential version at `WMN_THREADS=1`.
 //!
 //! `QUICK=1` shrinks the sweep to {100, 1000} nodes and short runs (the CI
 //! smoke job); the full sweep covers {100, 400, 1000, 4000, 10000}.
 
 use cnlr::{presets, CnlrConfig, RunResults, Scheme};
 use wmn_bench::{emit, quick_mode, record_bench, replication_seeds, write_manifest, FigureSpec};
-use wmn_metrics::ResultTable;
+use wmn_metrics::{run_jobs, ResultTable};
 use wmn_sim::SimDuration;
 
 struct Column {
@@ -88,36 +91,51 @@ fn main() {
         .collect();
 
     let t0 = std::time::Instant::now();
-    let mut runs: Vec<RunResults> = Vec::new();
-    for &x in &xs {
-        let n = x as usize;
+    // One job per (n, column) cell, executed by the shared pool. The
+    // closure measures wall-clock around its own run, so per-run numbers
+    // are honest even when cells co-run; `run_jobs` returns results in job
+    // order, so the aggregation below is byte-identical to a serial sweep.
+    let n_cells = xs.len() * columns.len();
+    let threads = wmn_metrics::default_threads().min(n_cells);
+    eprintln!("[fig12] {n_cells} cells on {threads} threads");
+    let cell_results: Vec<(RunResults, f64)> = run_jobs(n_cells, threads, |i| {
+        let (xi, ci) = (i / columns.len(), i % columns.len());
+        let n = xs[xi] as usize;
         // Offered load scales with the network: one flow per ~40 routers.
         let flows = (n / 40).max(5);
+        let col = &columns[ci];
+        let builder = if col.random_placement {
+            presets::scale_random(n, flows, seed)
+        } else {
+            presets::scale_grid(n, flows, seed)
+        };
+        let sim = builder
+            .scheme(col.scheme.clone())
+            .duration(dur)
+            .warmup(warm)
+            .build()
+            .unwrap_or_else(|e| panic!("scale scenario build failed at n={n}: {e}"));
+        let run_t0 = std::time::Instant::now();
+        let r = sim.run();
+        let wall = run_t0.elapsed().as_secs_f64();
+        eprintln!(
+            "[fig12] n={n} {}: {:.2}s wall, {:.0} ev/s, {:.2} evals/tx, hit {:.3}, reuse {:.3}",
+            col.label,
+            wall,
+            r.events as f64 / wall.max(1e-9),
+            r.medium.pathloss_evals as f64 / r.medium.tx_started.max(1) as f64,
+            r.medium.link_cache_hits as f64 / r.medium.tx_started.max(1) as f64,
+            1.0 - r.medium.pathloss_evals as f64 / r.medium.link_budgets.max(1) as f64,
+        );
+        (r, wall)
+    });
+    let mut runs: Vec<RunResults> = Vec::new();
+    let mut cells = cell_results.into_iter();
+    for &x in &xs {
+        let n = x as usize;
         let mut rows: Vec<Vec<String>> = metrics.iter().map(|_| vec![format!("{n}")]).collect();
-        for col in &columns {
-            let builder = if col.random_placement {
-                presets::scale_random(n, flows, seed)
-            } else {
-                presets::scale_grid(n, flows, seed)
-            };
-            let sim = builder
-                .scheme(col.scheme.clone())
-                .duration(dur)
-                .warmup(warm)
-                .build()
-                .unwrap_or_else(|e| panic!("scale scenario build failed at n={n}: {e}"));
-            let run_t0 = std::time::Instant::now();
-            let r = sim.run();
-            let wall = run_t0.elapsed().as_secs_f64();
-            eprintln!(
-                "[fig12] n={n} {}: {:.2}s wall, {:.0} ev/s, {:.2} evals/tx, hit {:.3}, reuse {:.3}",
-                col.label,
-                wall,
-                r.events as f64 / wall.max(1e-9),
-                r.medium.pathloss_evals as f64 / r.medium.tx_started.max(1) as f64,
-                r.medium.link_cache_hits as f64 / r.medium.tx_started.max(1) as f64,
-                1.0 - r.medium.pathloss_evals as f64 / r.medium.link_budgets.max(1) as f64,
-            );
+        for _ in &columns {
+            let (r, wall) = cells.next().expect("one result per cell");
             for (mi, (_, _, f)) in metrics.iter().enumerate() {
                 rows[mi].push(format!("{:.4}", f(&r, wall)));
             }
@@ -143,7 +161,7 @@ fn main() {
             ("placements", "grid, grid, uniform-random".to_string()),
             ("fig12_duration_s", format!("{}", dur.as_secs_f64())),
             ("fig12_warmup_s", format!("{}", warm.as_secs_f64())),
-            ("sequential", "true".to_string()),
+            ("cell_threads", threads.to_string()),
         ],
     );
     for ((_, suffix, _), table) in metrics.iter().zip(&tables) {

@@ -22,13 +22,15 @@ use wmn_telemetry::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wmn-trace <summary|drops|timeline|convergence|profile> [trace.jsonl] [options]\n\
+        "usage: wmn-trace <summary|drops|timeline|convergence|profile|diff> [trace.jsonl] [options]\n\
          \n\
          summary      event totals per kind   [--verify <manifest.json>]\n\
          drops        discard breakdown       [--by-reason] [--by-node]\n\
          timeline     one node's event log    --node N [--limit K]\n\
          convergence  per-bin data counts     [--bin-s S]\n\
-         profile      event-loop probe histograms"
+         profile      event-loop probe histograms\n\
+         diff         first divergence between two traces\n\
+         \u{20}             wmn-trace diff a.jsonl b.jsonl [--ignore f1,f2]"
     );
     std::process::exit(2);
 }
@@ -36,6 +38,7 @@ fn usage() -> ! {
 struct Args {
     command: String,
     path: std::path::PathBuf,
+    path2: Option<std::path::PathBuf>,
     flags: Vec<(String, Option<String>)>,
 }
 
@@ -44,6 +47,7 @@ impl Args {
         let mut argv = std::env::args().skip(1);
         let Some(command) = argv.next() else { usage() };
         let mut path: Option<std::path::PathBuf> = None;
+        let mut path2: Option<std::path::PathBuf> = None;
         let mut flags = Vec::new();
         let mut argv = argv.peekable();
         while let Some(a) = argv.next() {
@@ -55,6 +59,8 @@ impl Args {
                 flags.push((name.to_string(), value));
             } else if path.is_none() {
                 path = Some(a.into());
+            } else if path2.is_none() {
+                path2 = Some(a.into());
             } else {
                 usage();
             }
@@ -70,6 +76,7 @@ impl Args {
         Args {
             command,
             path,
+            path2,
             flags,
         }
     }
@@ -442,8 +449,82 @@ fn profile(events: &[TelemetryEvent]) {
     histogram("heap depth", "events", &heaps);
 }
 
+/// `wmn-trace diff a.jsonl b.jsonl [--ignore f1,f2]`: localise the first
+/// event where two traces disagree. Exit 0 when identical (modulo ignored
+/// fields), 1 at the first divergence.
+fn diff(args: &Args) {
+    let Some(path_b) = args.path2.as_deref() else {
+        eprintln!("diff requires two trace paths");
+        std::process::exit(2);
+    };
+    let read_lines = |path: &std::path::Path| -> Vec<String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => text
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .map(str::to_string)
+                .collect(),
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    };
+    let a = read_lines(&args.path);
+    let b = read_lines(path_b);
+    let ignore: Vec<String> = args
+        .value("ignore")
+        .map(|s| s.split(',').map(str::to_string).collect())
+        .unwrap_or_default();
+    match wmn_telemetry::first_divergence(&a, &b, &ignore) {
+        None => {
+            println!(
+                "traces identical: {} events ({} vs {})",
+                a.len(),
+                args.path.display(),
+                path_b.display()
+            );
+        }
+        Some(d) => {
+            let t = |ns: Option<u64>| match ns {
+                Some(ns) => format!("{:.6}s", ns as f64 / 1e9),
+                None => "-".to_string(),
+            };
+            println!(
+                "traces diverge at event {} (t {} vs {})",
+                d.index,
+                t(d.t_left),
+                t(d.t_right)
+            );
+            match (&d.left, &d.right) {
+                (Some(l), Some(r)) => {
+                    println!("  a: {l}");
+                    println!("  b: {r}");
+                    for f in &d.fields {
+                        println!("  field {}: {} != {}", f.field, f.left, f.right);
+                    }
+                }
+                (Some(l), None) => {
+                    println!("  a: {l}");
+                    println!("  b: <trace ended at {} events>", b.len());
+                }
+                (None, Some(r)) => {
+                    println!("  a: <trace ended at {} events>", a.len());
+                    println!("  b: {r}");
+                }
+                (None, None) => unreachable!("divergence with no sides"),
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = Args::parse();
+    if args.command == "diff" {
+        diff(&args);
+        return;
+    }
     let events = load(&args.path);
     match args.command.as_str() {
         "summary" => summary(&events, &args),

@@ -42,6 +42,7 @@ pub mod event;
 pub mod medium;
 pub mod network;
 pub mod node;
+pub mod parmesh;
 pub mod policy;
 pub mod presets;
 pub mod results;
@@ -53,6 +54,7 @@ pub use event::Event;
 pub use medium::{Medium, MediumEffect, MediumStats};
 pub use network::{DropCounters, FaultCounters, Network, RebootKit};
 pub use node::Node;
+pub use parmesh::{ParMesh, ParMeshOutcome, ParMeshReport};
 pub use policy::{CnlrConfig, CnlrPolicy, VapCnlr, VapConfig};
 pub use results::RunResults;
 pub use scheme::Scheme;

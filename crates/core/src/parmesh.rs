@@ -1,0 +1,1003 @@
+//! ParMesh — the region-partitioned mesh model for shard-parallel runs.
+//!
+//! The classic [`Network`](crate::Network) world models carrier sense
+//! exactly, which makes cross-node influence instantaneous — correct, but
+//! unshardable: zero lookahead between regions means no conservative
+//! parallelism. ParMesh is the scale path: it keeps the paper's
+//! *neighbourhood-load routing* mechanism (periodic HELLO load digests,
+//! load-aware next-hop choice) but abstracts the MAC into a **latency
+//! floor** — every relayed packet pays at least [`HOP_FLOOR`] between
+//! reception and re-transmission (DIFS + mean backoff + airtime), which is
+//! physically honest and is exactly the lookahead the sharded engine needs.
+//!
+//! Design rules that make the model shardable *and* bit-identical across
+//! worker counts:
+//!
+//! * **Static ownership.** The field is split into a near-square region
+//!   grid; a node is owned by the region containing its *home* position,
+//!   forever. All mutable state of a node (its load counters, its packets
+//!   in flight at it) lives in its owner region.
+//! * **Pure-function mobility.** A node's position is a closed-form
+//!   function of time and immutable per-node parameters (circular drift of
+//!   bounded amplitude), so *any* region can evaluate *any* node's current
+//!   position without shared mutable state.
+//! * **Precomputed churn.** Crash/reboot intervals are drawn from the
+//!   master seed at build time and shared read-only; `is_up(node, t)` is a
+//!   pure function every region evaluates identically. Owner regions
+//!   additionally schedule the transition events for telemetry and load
+//!   resets.
+//! * **Digested load.** A region knows its own nodes' loads exactly;
+//!   neighbours' loads arrive via periodic HELLO digests (one cross-region
+//!   event per neighbour region per interval) — stale by up to one
+//!   interval, exactly like real HELLO-carried load advertisements.
+//!
+//! Geometry guarantees the lookahead structure: region sides are kept at
+//! least [`MIN_REGION_SIDE_M`] (> max hop distance = radio range plus two
+//! drift amplitudes), so a packet can only ever hop into a Chebyshev-
+//! adjacent region. Non-adjacent regions exchange nothing directly; the
+//! engine's shortest-path closure turns that ring structure into
+//! distance-proportional lookahead — the discrete analogue of propagation
+//! delay between separated areas.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use wmn_sim::shard::{Lookahead, RegionCtx, RegionId, RegionWorld, ShardedEngine};
+use wmn_sim::{SimDuration, SimRng, SimTime};
+use wmn_telemetry::{
+    merge_region_traces, DropReason, EventKind, MemorySink, SharedSink, Tel, TelemetryEvent,
+};
+
+/// Grid pitch the node density is derived from (matches the scale presets).
+pub const PITCH_M: f64 = 180.0;
+/// Radio range: nodes within this distance of each other are neighbours.
+pub const RX_RANGE_M: f64 = 250.0;
+/// Maximum mobility drift amplitude around the home position.
+pub const DRIFT_AMP_M: f64 = 25.0;
+/// Spatial-hash cell size for neighbour search.
+const CELL_M: f64 = 250.0;
+/// Minimum region side: must exceed the maximum hop distance
+/// (`RX_RANGE_M + 2 × DRIFT_AMP_M` = 300 m) so hops stay within the
+/// adjacent region ring.
+pub const MIN_REGION_SIDE_M: f64 = 560.0;
+/// The MAC latency floor: minimum delay between receiving a packet and the
+/// relayed copy becoming receivable at the next hop (DIFS + mean backoff +
+/// ~512 B airtime at mesh rates). This is the sharding lookahead.
+pub const HOP_FLOOR: SimDuration = SimDuration(1_000_000);
+/// Extra per-hop jitter span (contention variability), drawn per hop from
+/// the owning region's RNG stream.
+const HOP_JITTER_US: u64 = 250;
+/// HELLO / load-digest interval.
+const HELLO_INTERVAL: SimDuration = SimDuration(1_000_000_000);
+/// Initial packet TTL (hops).
+const TTL_INIT: u32 = 48;
+
+const DOMAIN_PLACE: u64 = 0x70_61_72_01;
+const DOMAIN_DRIFT: u64 = 0x70_61_72_02;
+const DOMAIN_CHURN: u64 = 0x70_61_72_03;
+const DOMAIN_FLOWS: u64 = 0x70_61_72_04;
+const DOMAIN_REGION: u64 = 0x70_61_72_05;
+
+/// Scenario description for a ParMesh run (builder-style).
+#[derive(Clone, Debug)]
+pub struct ParMesh {
+    nodes: usize,
+    flows: usize,
+    duration: SimDuration,
+    interval: SimDuration,
+    seed: u64,
+    regions: Option<usize>,
+    threads: usize,
+    mobility: bool,
+    churn: bool,
+    telemetry: bool,
+}
+
+impl ParMesh {
+    /// A scenario with `nodes` routers and scale-preset defaults: one flow
+    /// per 4 nodes at 10 pkt/s, 10 s horizon, mobility and churn on.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes >= 2, "need at least two nodes");
+        ParMesh {
+            nodes,
+            flows: (nodes / 4).max(1),
+            duration: SimDuration::from_secs(10),
+            interval: SimDuration::from_millis(100),
+            seed: 1,
+            regions: None,
+            threads: 1,
+            mobility: true,
+            churn: true,
+            telemetry: false,
+        }
+    }
+
+    /// Set the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the number of CBR flows.
+    pub fn flows(mut self, flows: usize) -> Self {
+        self.flows = flows;
+        self
+    }
+
+    /// Set the simulated duration.
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Set the per-flow packet interval.
+    pub fn interval(mut self, d: SimDuration) -> Self {
+        self.interval = d;
+        self
+    }
+
+    /// Request a region count (clamped to the geometric minimum side; the
+    /// default derives one region per ~384 nodes). The region count is part
+    /// of the scenario: changing it changes event timestamps slightly;
+    /// changing *threads* never does.
+    pub fn regions(mut self, regions: usize) -> Self {
+        self.regions = Some(regions.max(1));
+        self
+    }
+
+    /// Set the worker thread count (wall-clock only; results identical).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enable or disable mobility drift.
+    pub fn mobility(mut self, on: bool) -> Self {
+        self.mobility = on;
+        self
+    }
+
+    /// Enable or disable node churn.
+    pub fn churn(mut self, on: bool) -> Self {
+        self.churn = on;
+        self
+    }
+
+    /// Enable or disable telemetry collection (the merged trace is
+    /// returned in [`ParMeshOutcome::trace`]).
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Run the scenario. Results are a pure function of the scenario
+    /// (including the region count) and never of the thread count.
+    pub fn run(&self) -> ParMeshOutcome {
+        run_parmesh(self)
+    }
+}
+
+/// Aggregated results of a ParMesh run.
+#[derive(Clone, Debug, Default)]
+pub struct ParMeshReport {
+    /// Node count.
+    pub nodes: usize,
+    /// Region count actually used.
+    pub regions: usize,
+    /// Data packets originated.
+    pub originated: u64,
+    /// Data packets delivered to their destination.
+    pub delivered: u64,
+    /// Packets dropped: no neighbour with positive progress.
+    pub dropped_no_route: u64,
+    /// Packets dropped: TTL exhausted.
+    pub dropped_expired: u64,
+    /// Packets dropped: relay or destination was crashed.
+    pub dropped_node_down: u64,
+    /// Relay transmissions (hops after the first).
+    pub forwards: u64,
+    /// Mean end-to-end delay over delivered packets, seconds.
+    pub mean_delay_s: f64,
+    /// Mean hop count over delivered packets.
+    pub mean_hops: f64,
+    /// Engine events dispatched.
+    pub events: u64,
+    /// Epoch barriers executed.
+    pub epochs: u64,
+    /// Cross-region events exchanged.
+    pub cross_region: u64,
+    /// Final simulation time.
+    pub end_time: SimTime,
+}
+
+impl ParMeshReport {
+    /// Packet delivery ratio.
+    pub fn pdr(&self) -> f64 {
+        if self.originated == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.originated as f64
+    }
+}
+
+/// A finished run: the report plus the merged telemetry trace (empty when
+/// telemetry was off).
+#[derive(Clone, Debug)]
+pub struct ParMeshOutcome {
+    /// Aggregated measurements.
+    pub report: ParMeshReport,
+    /// Deterministically merged trace, ordered by `(t, region, index)`.
+    pub trace: Vec<TelemetryEvent>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct NodeParams {
+    home: (f64, f64),
+    amp: f64,
+    omega: f64,
+    phase: f64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Flow {
+    src: u32,
+    dst: u32,
+    start: SimTime,
+}
+
+/// Immutable world data shared read-only by every region.
+struct Statics {
+    params: Vec<NodeParams>,
+    /// Down intervals per node `(down_ns, up_ns)`, sorted; almost all empty.
+    churn: Vec<Vec<(u64, u64)>>,
+    /// Spatial hash over *home* positions.
+    cells: Vec<Vec<u32>>,
+    ncx: usize,
+    ncy: usize,
+    side: f64,
+    /// Region grid dimensions.
+    rx: usize,
+    ry: usize,
+    region_of_node: Vec<RegionId>,
+    flows: Vec<Flow>,
+    interval: SimDuration,
+    horizon: SimTime,
+}
+
+impl Statics {
+    fn pos(&self, node: u32, t: SimTime) -> (f64, f64) {
+        let p = &self.params[node as usize];
+        if p.amp == 0.0 {
+            return p.home;
+        }
+        let th = p.phase + p.omega * (t.as_nanos() as f64 * 1e-9);
+        (p.home.0 + p.amp * th.cos(), p.home.1 + p.amp * th.sin())
+    }
+
+    fn is_up(&self, node: u32, t: SimTime) -> bool {
+        let ns = t.as_nanos();
+        self.churn[node as usize]
+            .iter()
+            .all(|&(down, up)| ns < down || ns >= up)
+    }
+
+    fn cell_of(&self, x: f64, y: f64) -> (usize, usize) {
+        let cx = ((x / CELL_M) as usize).min(self.ncx - 1);
+        let cy = ((y / CELL_M) as usize).min(self.ncy - 1);
+        (cx, cy)
+    }
+
+    fn region_at(&self, x: f64, y: f64) -> RegionId {
+        let gx = ((x / self.side * self.rx as f64) as usize).min(self.rx - 1);
+        let gy = ((y / self.side * self.ry as f64) as usize).min(self.ry - 1);
+        (gy * self.rx + gx) as RegionId
+    }
+
+    fn region_coords(&self, r: RegionId) -> (usize, usize) {
+        (r as usize % self.rx, r as usize / self.rx)
+    }
+
+    /// Chebyshev ring-1 neighbours of a region, ascending.
+    fn adjacent_regions(&self, r: RegionId) -> Vec<RegionId> {
+        let (gx, gy) = self.region_coords(r);
+        let mut out = Vec::new();
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let nx = gx as i64 + dx;
+                let ny = gy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= self.rx as i64 || ny >= self.ry as i64 {
+                    continue;
+                }
+                out.push((ny as usize * self.rx + nx as usize) as RegionId);
+            }
+        }
+        out
+    }
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (dx, dy) = (a.0 - b.0, a.1 - b.1);
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// One in-flight data packet.
+#[derive(Clone, Copy, Debug)]
+struct Packet {
+    flow: u32,
+    seq: u32,
+    node: u32,
+    dst: u32,
+    ttl: u32,
+    origin_ns: u64,
+}
+
+enum PmEvent {
+    /// Periodic per-region load refresh + digest broadcast.
+    HelloTick,
+    /// A neighbour region's load digest.
+    Digest(Arc<Vec<(u32, u32)>>),
+    /// A flow source emits its next packet.
+    Originate { flow: u32 },
+    /// A data packet arrived at `pkt.node` (owned by this region).
+    Forward(Packet),
+    /// Scheduled churn transition for an owned node.
+    ChurnDown { node: u32 },
+    /// Scheduled churn recovery for an owned node.
+    ChurnUp { node: u32 },
+}
+
+#[derive(Clone, Copy, Default)]
+struct NodeLoad {
+    load: u32,
+    recent: u32,
+}
+
+#[derive(Clone, Debug, Default)]
+struct RegionStats {
+    originated: u64,
+    delivered: u64,
+    dropped_no_route: u64,
+    dropped_expired: u64,
+    dropped_node_down: u64,
+    forwards: u64,
+    delay_sum_ns: u64,
+    hops_sum: u64,
+}
+
+struct RegionNet {
+    id: RegionId,
+    st: Arc<Statics>,
+    /// Owned node ids, ascending.
+    own: Vec<u32>,
+    /// Exact loads of owned nodes. Never iterated — only keyed access, so
+    /// `HashMap` order can't leak into results.
+    loads: HashMap<u32, NodeLoad>,
+    /// Last digested loads of other regions' nodes (stale by design).
+    remote: HashMap<u32, u32>,
+    rng: SimRng,
+    tel: Tel,
+    hello_seq: u32,
+    flow_seq: HashMap<u32, u32>,
+    stats: RegionStats,
+}
+
+impl RegionNet {
+    fn load_of(&self, node: u32) -> u32 {
+        if let Some(nl) = self.loads.get(&node) {
+            nl.load + nl.recent
+        } else {
+            self.remote.get(&node).copied().unwrap_or(0)
+        }
+    }
+
+    /// Load-aware geographic next hop from `u` towards `pkt.dst` at `now`:
+    /// among up neighbours with positive progress, maximise
+    /// `progress / (1 + load)` — the neighbourhood-load rule — with
+    /// deterministic iteration order (cells, then ascending node id).
+    fn next_hop(&self, u: u32, dst: u32, now: SimTime) -> Option<u32> {
+        let st = &self.st;
+        let pu = st.pos(u, now);
+        let pdst = st.pos(dst, now);
+        // Direct delivery beats any relay.
+        if dist(pu, pdst) <= RX_RANGE_M && st.is_up(dst, now) {
+            return Some(dst);
+        }
+        let d_u = dist(pu, pdst);
+        let (cx, cy) = st.cell_of(pu.0, pu.1);
+        let mut best: Option<(f64, u32)> = None;
+        for dy in -2i64..=2 {
+            for dx in -2i64..=2 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= st.ncx as i64 || ny >= st.ncy as i64 {
+                    continue;
+                }
+                for &v in &st.cells[ny as usize * st.ncx + nx as usize] {
+                    if v == u || !st.is_up(v, now) {
+                        continue;
+                    }
+                    let pv = st.pos(v, now);
+                    if dist(pu, pv) > RX_RANGE_M {
+                        continue;
+                    }
+                    let progress = d_u - dist(pv, pdst);
+                    if progress <= 1.0 {
+                        continue;
+                    }
+                    let score = progress / (1.0 + self.load_of(v) as f64);
+                    let better = match best {
+                        None => true,
+                        Some((bs, bv)) => score > bs || (score == bs && v < bv),
+                    };
+                    if better {
+                        best = Some((score, v));
+                    }
+                }
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    fn transmit(&mut self, pkt: Packet, ctx: &mut RegionCtx<'_, PmEvent>) {
+        let now = ctx.now();
+        let Some(next) = self.next_hop(pkt.node, pkt.dst, now) else {
+            self.stats.dropped_no_route += 1;
+            self.tel.emit_at(
+                pkt.node,
+                now,
+                EventKind::DataDrop {
+                    reason: DropReason::NoRoute,
+                    flow: pkt.flow,
+                    seq: pkt.seq,
+                },
+            );
+            return;
+        };
+        // The transmitting node is always owned here; account its work.
+        self.loads.entry(pkt.node).or_default().recent += 1;
+        let latency = HOP_FLOOR + SimDuration::from_micros(self.rng.below(HOP_JITTER_US + 1));
+        let dst_region = self.st.region_of_node[next as usize];
+        ctx.send(
+            dst_region,
+            now + latency,
+            PmEvent::Forward(Packet {
+                node: next,
+                ttl: pkt.ttl - 1,
+                ..pkt
+            }),
+        );
+    }
+
+    fn handle_forward(&mut self, pkt: Packet, ctx: &mut RegionCtx<'_, PmEvent>) {
+        let now = ctx.now();
+        if !self.st.is_up(pkt.node, now) {
+            self.stats.dropped_node_down += 1;
+            self.tel.emit_at(
+                pkt.node,
+                now,
+                EventKind::DataDrop {
+                    reason: DropReason::NodeDown,
+                    flow: pkt.flow,
+                    seq: pkt.seq,
+                },
+            );
+            return;
+        }
+        if pkt.node == pkt.dst {
+            self.stats.delivered += 1;
+            self.stats.delay_sum_ns += now.as_nanos() - pkt.origin_ns;
+            self.stats.hops_sum += (TTL_INIT - pkt.ttl) as u64;
+            self.tel.emit_at(
+                pkt.node,
+                now,
+                EventKind::DataDeliver {
+                    flow: pkt.flow,
+                    seq: pkt.seq,
+                },
+            );
+            return;
+        }
+        if pkt.ttl == 0 {
+            self.stats.dropped_expired += 1;
+            self.tel.emit_at(
+                pkt.node,
+                now,
+                EventKind::DataDrop {
+                    reason: DropReason::Expired,
+                    flow: pkt.flow,
+                    seq: pkt.seq,
+                },
+            );
+            return;
+        }
+        self.stats.forwards += 1;
+        self.tel.emit_at(
+            pkt.node,
+            now,
+            EventKind::DataForward {
+                flow: pkt.flow,
+                seq: pkt.seq,
+            },
+        );
+        self.transmit(pkt, ctx);
+    }
+}
+
+impl RegionWorld for RegionNet {
+    type Event = PmEvent;
+
+    fn handle(&mut self, event: PmEvent, ctx: &mut RegionCtx<'_, PmEvent>) {
+        match event {
+            PmEvent::HelloTick => {
+                let now = ctx.now();
+                self.hello_seq += 1;
+                // EWMA load refresh for owned nodes; digest the busy ones.
+                let mut digest: Vec<(u32, u32)> = Vec::new();
+                for &node in &self.own {
+                    let nl = self.loads.entry(node).or_default();
+                    nl.load = nl.load / 2 + nl.recent;
+                    nl.recent = 0;
+                    if nl.load > 0 {
+                        digest.push((node, nl.load));
+                    }
+                }
+                if let Some(&first) = self.own.first() {
+                    self.tel.emit_at(
+                        first,
+                        now,
+                        EventKind::HelloSend {
+                            seq: self.hello_seq,
+                        },
+                    );
+                }
+                if !digest.is_empty() {
+                    let digest = Arc::new(digest);
+                    for r in self.st.adjacent_regions(self.id) {
+                        ctx.send(r, now + HOP_FLOOR, PmEvent::Digest(digest.clone()));
+                    }
+                }
+                let next = now + HELLO_INTERVAL;
+                if next <= ctx.horizon() {
+                    ctx.at(next, PmEvent::HelloTick);
+                }
+            }
+            PmEvent::Digest(loads) => {
+                for &(node, load) in loads.iter() {
+                    self.remote.insert(node, load);
+                }
+            }
+            PmEvent::Originate { flow } => {
+                let now = ctx.now();
+                let f = self.st.flows[flow as usize];
+                // Schedule the next packet first so a down source keeps
+                // its cadence.
+                let next = now + self.st.interval;
+                if next <= self.st.horizon {
+                    ctx.at(next, PmEvent::Originate { flow });
+                }
+                if !self.st.is_up(f.src, now) {
+                    return;
+                }
+                let seq = self.flow_seq.entry(flow).or_insert(0);
+                *seq += 1;
+                let seq = *seq;
+                self.stats.originated += 1;
+                self.tel
+                    .emit_at(f.src, now, EventKind::DataOriginate { flow, seq });
+                self.transmit(
+                    Packet {
+                        flow,
+                        seq,
+                        node: f.src,
+                        dst: f.dst,
+                        ttl: TTL_INIT,
+                        origin_ns: now.as_nanos(),
+                    },
+                    ctx,
+                );
+            }
+            PmEvent::Forward(pkt) => self.handle_forward(pkt, ctx),
+            PmEvent::ChurnDown { node } => {
+                self.loads.insert(node, NodeLoad::default());
+                self.tel
+                    .emit_at(node, ctx.now(), EventKind::NodeDown { incarnation: 0 });
+            }
+            PmEvent::ChurnUp { node } => {
+                self.tel
+                    .emit_at(node, ctx.now(), EventKind::NodeUp { incarnation: 1 });
+            }
+        }
+    }
+}
+
+/// Resolve the region grid: near-square, sides at least
+/// [`MIN_REGION_SIDE_M`], honouring an explicit request when geometry
+/// allows.
+fn region_grid(side: f64, nodes: usize, requested: Option<usize>) -> (usize, usize) {
+    let max_axis = ((side / MIN_REGION_SIDE_M).floor() as usize).max(1);
+    let target = requested
+        .unwrap_or_else(|| (nodes / 384).max(1))
+        .clamp(1, 256);
+    let mut rx = (target as f64).sqrt().floor() as usize;
+    rx = rx.clamp(1, max_axis);
+    let mut ry = (target / rx).max(1);
+    ry = ry.clamp(1, max_axis);
+    (rx, ry)
+}
+
+fn run_parmesh(cfg: &ParMesh) -> ParMeshOutcome {
+    let n = cfg.nodes;
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let side = cols as f64 * PITCH_M;
+    let horizon = SimTime::ZERO + cfg.duration;
+
+    // --- placement + mobility parameters (master RNG, build thread) ---
+    // Jittered grid at the scale presets' pitch: same density as the
+    // classic topology, but no geographic voids for greedy forwarding to
+    // fall into.
+    let mut params = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut rng = SimRng::derive(cfg.seed, DOMAIN_PLACE, i as u64);
+        let gx = (i % cols) as f64 * PITCH_M + PITCH_M / 2.0;
+        let gy = (i / cols) as f64 * PITCH_M + PITCH_M / 2.0;
+        let home = (
+            (gx + rng.range_f64(-40.0, 40.0)).clamp(0.0, side),
+            (gy + rng.range_f64(-40.0, 40.0)).clamp(0.0, side),
+        );
+        let mut drift = SimRng::derive(cfg.seed, DOMAIN_DRIFT, i as u64);
+        let (amp, omega, phase) = if cfg.mobility {
+            (
+                drift.range_f64(5.0, DRIFT_AMP_M),
+                drift.range_f64(0.05, 0.3),
+                drift.range_f64(0.0, std::f64::consts::TAU),
+            )
+        } else {
+            (0.0, 0.0, 0.0)
+        };
+        params.push(NodeParams {
+            home,
+            amp,
+            omega,
+            phase,
+        });
+    }
+
+    // --- churn schedule (pure function of the seed) ---
+    let dur_ns = cfg.duration.as_nanos();
+    let mut churn: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+    if cfg.churn {
+        for (i, intervals) in churn.iter_mut().enumerate() {
+            let mut rng = SimRng::derive(cfg.seed, DOMAIN_CHURN, i as u64);
+            if rng.chance(0.04) {
+                let start = (rng.range_f64(0.15, 0.7) * dur_ns as f64) as u64;
+                let len = (rng.range_f64(0.05, 0.2) * dur_ns as f64) as u64;
+                intervals.push((start, (start + len).min(dur_ns)));
+            }
+        }
+    }
+
+    // --- spatial hash over homes ---
+    let ncx = ((side / CELL_M).ceil() as usize).max(1);
+    let ncy = ncx;
+    let mut cells: Vec<Vec<u32>> = vec![Vec::new(); ncx * ncy];
+    for (i, p) in params.iter().enumerate() {
+        let cx = ((p.home.0 / CELL_M) as usize).min(ncx - 1);
+        let cy = ((p.home.1 / CELL_M) as usize).min(ncy - 1);
+        cells[cy * ncx + cx].push(i as u32);
+    }
+
+    // --- region grid + ownership ---
+    let (rx, ry) = region_grid(side, n, cfg.regions);
+    let regions = rx * ry;
+    let mut region_of_node = Vec::with_capacity(n);
+    {
+        let probe = Statics {
+            params: Vec::new(),
+            churn: Vec::new(),
+            cells: Vec::new(),
+            ncx,
+            ncy,
+            side,
+            rx,
+            ry,
+            region_of_node: Vec::new(),
+            flows: Vec::new(),
+            interval: cfg.interval,
+            horizon,
+        };
+        for p in &params {
+            region_of_node.push(probe.region_at(p.home.0, p.home.1));
+        }
+    }
+
+    // --- flows: local destinations a few hops away ---
+    let mut flow_rng = SimRng::derive(cfg.seed, DOMAIN_FLOWS, 0);
+    let nearest_to = |x: f64, y: f64, exclude: u32| -> Option<u32> {
+        let cx = ((x / CELL_M) as usize).min(ncx - 1);
+        let cy = ((y / CELL_M) as usize).min(ncy - 1);
+        let mut best: Option<(f64, u32)> = None;
+        for ring in 0..ncx.max(ncy) {
+            let r = ring as i64;
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    if dx.abs() != r && dy.abs() != r {
+                        continue; // ring boundary only
+                    }
+                    let nx = cx as i64 + dx;
+                    let ny = cy as i64 + dy;
+                    if nx < 0 || ny < 0 || nx >= ncx as i64 || ny >= ncy as i64 {
+                        continue;
+                    }
+                    for &v in &cells[ny as usize * ncx + nx as usize] {
+                        if v == exclude {
+                            continue;
+                        }
+                        let d = dist(params[v as usize].home, (x, y));
+                        let better = match best {
+                            None => true,
+                            Some((bd, bv)) => d < bd || (d == bd && v < bv),
+                        };
+                        if better {
+                            best = Some((d, v));
+                        }
+                    }
+                }
+            }
+            // One extra ring after the first hit guarantees the true
+            // nearest (a closer node can live one ring out at most).
+            if best.is_some() && ring > 0 {
+                break;
+            }
+        }
+        best.map(|(_, v)| v)
+    };
+    let mut flows = Vec::with_capacity(cfg.flows);
+    for _ in 0..cfg.flows {
+        let src = flow_rng.below(n as u64) as u32;
+        let angle = flow_rng.range_f64(0.0, std::f64::consts::TAU);
+        let reach = flow_rng.range_f64(500.0, 2_500.0);
+        let tx = (params[src as usize].home.0 + reach * angle.cos()).clamp(0.0, side);
+        let ty = (params[src as usize].home.1 + reach * angle.sin()).clamp(0.0, side);
+        let Some(dst) = nearest_to(tx, ty, src) else {
+            continue;
+        };
+        let start = SimTime::from_secs_f64(flow_rng.range_f64(0.5, 1.5));
+        flows.push(Flow { src, dst, start });
+    }
+
+    let st = Arc::new(Statics {
+        params,
+        churn,
+        cells,
+        ncx,
+        ncy,
+        side,
+        rx,
+        ry,
+        region_of_node,
+        flows,
+        interval: cfg.interval,
+        horizon,
+    });
+
+    // --- per-region worlds, sinks, RNG streams ---
+    let mut own: Vec<Vec<u32>> = vec![Vec::new(); regions];
+    for (i, &r) in st.region_of_node.iter().enumerate() {
+        own[r as usize].push(i as u32);
+    }
+    let mut sinks: Vec<Option<Arc<Mutex<MemorySink>>>> = Vec::with_capacity(regions);
+    let worlds: Vec<RegionNet> = (0..regions)
+        .map(|r| {
+            let tel = if cfg.telemetry {
+                let inner = Arc::new(Mutex::new(MemorySink::default()));
+                sinks.push(Some(inner.clone()));
+                Tel::new(inner as SharedSink, 0)
+            } else {
+                sinks.push(None);
+                Tel::off()
+            };
+            RegionNet {
+                id: r as RegionId,
+                st: st.clone(),
+                own: own[r].clone(),
+                loads: HashMap::new(),
+                remote: HashMap::new(),
+                rng: SimRng::derive(cfg.seed, DOMAIN_REGION, r as u64),
+                tel,
+                hello_seq: 0,
+                flow_seq: HashMap::new(),
+                stats: RegionStats::default(),
+            }
+        })
+        .collect();
+
+    // Ring-1 regions interact with HOP_FLOOR lookahead; farther regions
+    // only transitively (the engine's closure derives the multi-hop
+    // bounds). Geometry (MIN_REGION_SIDE_M > max hop) guarantees no direct
+    // send ever spans more than one ring.
+    let lookahead = if regions == 1 {
+        Lookahead::uniform(1, SimDuration::ZERO)
+    } else {
+        let st2 = st.clone();
+        Lookahead::from_fn(regions, move |a, b| {
+            let (ax, ay) = st2.region_coords(a);
+            let (bx, by) = st2.region_coords(b);
+            let cheb = ax.abs_diff(bx).max(ay.abs_diff(by));
+            if cheb <= 1 {
+                HOP_FLOOR
+            } else {
+                wmn_sim::shard::NEVER
+            }
+        })
+    };
+
+    let mut engine = ShardedEngine::new(worlds, lookahead, horizon).with_event_budget(500_000_000);
+
+    // --- prime: hellos, flows, churn transitions ---
+    for (r, owned) in own.iter().enumerate().take(regions) {
+        if !owned.is_empty() {
+            engine.prime(
+                r as RegionId,
+                SimTime::ZERO + HELLO_INTERVAL,
+                PmEvent::HelloTick,
+            );
+        }
+    }
+    for (f, flow) in st.flows.iter().enumerate() {
+        let r = st.region_of_node[flow.src as usize];
+        engine.prime(r, flow.start, PmEvent::Originate { flow: f as u32 });
+    }
+    for (i, intervals) in st.churn.iter().enumerate() {
+        let r = st.region_of_node[i];
+        for &(down, up) in intervals {
+            engine.prime(r, SimTime(down), PmEvent::ChurnDown { node: i as u32 });
+            if up < dur_ns {
+                engine.prime(r, SimTime(up), PmEvent::ChurnUp { node: i as u32 });
+            }
+        }
+    }
+
+    let (report, worlds) = engine.run(cfg.threads);
+
+    // --- aggregate ---
+    let mut agg = ParMeshReport {
+        nodes: n,
+        regions,
+        events: report.events_processed,
+        epochs: report.epochs,
+        cross_region: report.cross_region,
+        end_time: report.end_time,
+        ..ParMeshReport::default()
+    };
+    let mut delay_sum = 0u64;
+    let mut hops_sum = 0u64;
+    for w in &worlds {
+        agg.originated += w.stats.originated;
+        agg.delivered += w.stats.delivered;
+        agg.dropped_no_route += w.stats.dropped_no_route;
+        agg.dropped_expired += w.stats.dropped_expired;
+        agg.dropped_node_down += w.stats.dropped_node_down;
+        agg.forwards += w.stats.forwards;
+        delay_sum += w.stats.delay_sum_ns;
+        hops_sum += w.stats.hops_sum;
+    }
+    if agg.delivered > 0 {
+        agg.mean_delay_s = delay_sum as f64 / 1e9 / agg.delivered as f64;
+        agg.mean_hops = hops_sum as f64 / agg.delivered as f64;
+    }
+
+    let trace = if cfg.telemetry {
+        let per_region: Vec<Vec<TelemetryEvent>> = sinks
+            .into_iter()
+            .map(|s| match s {
+                Some(inner) => std::mem::take(&mut inner.lock().unwrap().events),
+                None => Vec::new(),
+            })
+            .collect();
+        merge_region_traces(per_region)
+    } else {
+        Vec::new()
+    };
+
+    ParMeshOutcome { report: agg, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(threads: usize) -> ParMeshOutcome {
+        ParMesh::new(400)
+            .seed(7)
+            .flows(40)
+            .regions(9) // force a real grid; 400 nodes would default to 1
+            .duration(SimDuration::from_secs(5))
+            .threads(threads)
+            .telemetry(true)
+            .run()
+    }
+
+    #[test]
+    fn delivers_most_packets() {
+        let out = small(1);
+        assert!(out.report.originated > 500, "{:?}", out.report);
+        assert!(
+            out.report.pdr() > 0.5,
+            "pdr {} report {:?}",
+            out.report.pdr(),
+            out.report
+        );
+        assert!(out.report.mean_hops >= 1.0);
+        assert!(out.report.regions >= 1);
+    }
+
+    #[test]
+    fn thread_count_is_invisible_in_results_and_trace() {
+        let base = small(1);
+        for threads in [2, 8] {
+            let out = small(threads);
+            assert_eq!(base.report.originated, out.report.originated);
+            assert_eq!(base.report.delivered, out.report.delivered);
+            assert_eq!(base.report.forwards, out.report.forwards);
+            assert_eq!(base.report.events, out.report.events);
+            assert_eq!(base.report.epochs, out.report.epochs);
+            assert_eq!(base.trace.len(), out.trace.len());
+            for (i, (a, b)) in base.trace.iter().zip(&out.trace).enumerate() {
+                assert_eq!(a, b, "trace diverges at event {i} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn seed_changes_results() {
+        let a = ParMesh::new(300)
+            .seed(1)
+            .duration(SimDuration::from_secs(3))
+            .run();
+        let b = ParMesh::new(300)
+            .seed(2)
+            .duration(SimDuration::from_secs(3))
+            .run();
+        assert_ne!(
+            (a.report.delivered, a.report.forwards),
+            (b.report.delivered, b.report.forwards)
+        );
+    }
+
+    #[test]
+    fn churn_drops_packets_somewhere() {
+        // With churn on, a large enough scenario sees node-down drops or at
+        // least some crashed nodes in the schedule.
+        let out = ParMesh::new(800)
+            .seed(3)
+            .flows(200)
+            .duration(SimDuration::from_secs(6))
+            .telemetry(true)
+            .run();
+        let downs = out
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::NodeDown { .. }))
+            .count();
+        assert!(downs > 0, "churn schedule produced no crashes");
+    }
+
+    #[test]
+    fn trace_is_time_ordered() {
+        let out = small(2);
+        assert!(!out.trace.is_empty());
+        assert!(out.trace.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+    }
+
+    #[test]
+    fn region_grid_respects_geometry() {
+        // 400 nodes: side = 3.6 km; minimum side 560 m allows at most 6
+        // regions per axis even when far more are requested.
+        let side = (400f64).sqrt() * PITCH_M;
+        let (rx, ry) = region_grid(side, 400, Some(10_000));
+        assert!(rx as f64 * MIN_REGION_SIDE_M <= side);
+        assert!(ry as f64 * MIN_REGION_SIDE_M <= side);
+    }
+}

@@ -45,9 +45,13 @@
 pub mod engine;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod time;
 
 pub use engine::{Engine, RunReport, Scheduler, StopReason, World};
 pub use queue::EventQueue;
 pub use rng::{SimRng, SplitMix64};
+pub use shard::{
+    Lookahead, RegionCtx, RegionId, RegionWorld, ShardRunReport, ShardStopReason, ShardedEngine,
+};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,918 @@
+//! Shard-parallel conservative event execution.
+//!
+//! The sequential [`Engine`](crate::Engine) dispatches one global
+//! future-event list. This module partitions a model into **regions**, each
+//! with its own event queue, clock and (by convention) RNG streams, and
+//! advances regions concurrently under the classic *conservative* parallel
+//! discrete-event rule (Chandy–Misra / bounded lag): a region may safely
+//! process every event strictly before its **safe horizon**
+//!
+//! ```text
+//! H_i = min over non-idle j of ( T_j + D(j → i) )    (including j = i)
+//! ```
+//!
+//! where `T_j` is region `j`'s next pending event time and `D` is the
+//! shortest-path closure of the **lookahead** matrix `δ`: `δ(j → i)` is a
+//! lower bound on how far in the future any event that region `j` sends
+//! directly to region `i` must land, measured from the event `j` is
+//! currently processing, and `D` extends that bound to multi-hop influence
+//! chains (`D(i → i)` is the minimum cycle — a region's own events can
+//! come back to bite it via its neighbours). In a radio mesh the bound is
+//! physical — a station cannot react to a reception and put a new frame on
+//! the air in less than the PHY preamble/turnaround, and influence between
+//! non-adjacent spatial regions additionally pays propagation over the
+//! inter-region distance — so the lookahead is free: no model change is
+//! needed to expose it.
+//!
+//! Execution proceeds in epochs. Every epoch the coordinator computes each
+//! region's safe horizon from the current queue states, hands the *active*
+//! regions (those with an event below their horizon) to a fixed worker
+//! pool, waits for all of them, and then merges the cross-region events
+//! produced during the epoch into the destination queues in one
+//! deterministic pass sorted by `(timestamp, source region, emission
+//! sequence)`. Because region state only changes inside `handle` calls that
+//! are fully ordered per region, and because the merge order is a pure
+//! function of the epoch's outputs (never of worker scheduling), **a run is
+//! bit-identical for any worker count, including one**. The worker count
+//! changes wall-clock time only; the region count is part of the scenario.
+//!
+//! The conservative invariant — no cross-region event may arrive below the
+//! timestamp its destination has already committed — is enforced at
+//! runtime: [`RegionCtx::send`] panics when a world under-declares its
+//! lookahead, and the merge re-checks every arrival against the
+//! destination's committed horizon.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+use std::sync::mpsc;
+
+/// Identifies one region (shard) of a partitioned model.
+pub type RegionId = u32;
+
+/// A pair that never exchanges events directly (see [`Lookahead`]).
+pub const NEVER: SimDuration = SimDuration(u64::MAX);
+
+/// Lower bounds on cross-region event latency.
+///
+/// `between(src, dst)` is the minimum delay, measured from the event being
+/// processed at `src`, after which an event emitted by `src` may activate
+/// at `dst`. [`NEVER`] marks pairs that never communicate.
+#[derive(Clone, Debug)]
+pub struct Lookahead {
+    n: usize,
+    /// Row-major `n × n` matrix of *direct* bounds; the diagonal is unused.
+    delta: Vec<SimDuration>,
+    /// All-pairs shortest-path closure of `delta` (Floyd–Warshall). The
+    /// diagonal holds the minimum cycle back to oneself: an event at `i`
+    /// can influence `i` again only via some other region, so `D(i, i)` is
+    /// the cheapest round trip. Safe horizons must use this closure — the
+    /// direct matrix alone under-counts multi-hop influence chains.
+    closed: Vec<SimDuration>,
+}
+
+fn close_over(n: usize, delta: &[SimDuration]) -> Vec<SimDuration> {
+    let mut d = delta.to_vec();
+    // Self-influence must pass through a cycle; seed the diagonal as ∞.
+    for i in 0..n {
+        d[i * n + i] = NEVER;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[i * n + k];
+            if dik == NEVER {
+                continue;
+            }
+            for j in 0..n {
+                let dkj = d[k * n + j];
+                if dkj == NEVER {
+                    continue;
+                }
+                let via = SimDuration(dik.0.saturating_add(dkj.0));
+                if via < d[i * n + j] {
+                    d[i * n + j] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+impl Lookahead {
+    /// A uniform bound: every ordered pair of distinct regions shares the
+    /// same minimum latency `delta`.
+    pub fn uniform(n: usize, delta: SimDuration) -> Self {
+        assert!(n >= 1, "at least one region");
+        assert!(
+            n == 1 || delta > SimDuration::ZERO,
+            "zero lookahead cannot make progress with more than one region"
+        );
+        let matrix = vec![delta; n * n];
+        let closed = close_over(n, &matrix);
+        Lookahead {
+            n,
+            delta: matrix,
+            closed,
+        }
+    }
+
+    /// Build from a per-pair function (e.g. turnaround floor plus
+    /// propagation over the inter-region distance). Return [`NEVER`] for
+    /// pairs that cannot interact. Every finite bound must be positive.
+    pub fn from_fn(n: usize, mut f: impl FnMut(RegionId, RegionId) -> SimDuration) -> Self {
+        assert!(n >= 1, "at least one region");
+        let mut delta = vec![NEVER; n * n];
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let v = f(s as RegionId, d as RegionId);
+                assert!(v > SimDuration::ZERO, "lookahead {s}->{d} must be positive");
+                delta[s * n + d] = v;
+            }
+        }
+        let closed = close_over(n, &delta);
+        Lookahead { n, delta, closed }
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.n
+    }
+
+    /// The declared *direct* bound for `src → dst` ([`NEVER`] when they
+    /// never interact directly). This is the contract [`RegionCtx::send`]
+    /// enforces.
+    #[inline]
+    pub fn between(&self, src: RegionId, dst: RegionId) -> SimDuration {
+        self.delta[src as usize * self.n + dst as usize]
+    }
+
+    /// The shortest influence path `src → … → dst` through any chain of
+    /// regions; `influence(i, i)` is the minimum cycle. Safe horizons are
+    /// computed from this.
+    #[inline]
+    pub fn influence(&self, src: RegionId, dst: RegionId) -> SimDuration {
+        self.closed[src as usize * self.n + dst as usize]
+    }
+}
+
+/// A cross-region event buffered during an epoch.
+struct Outgoing<E> {
+    dst: RegionId,
+    time: SimTime,
+    event: E,
+}
+
+/// Scheduling interface handed to a region's world while it processes an
+/// event (the sharded analogue of [`Scheduler`](crate::Scheduler)).
+pub struct RegionCtx<'a, E> {
+    now: SimTime,
+    region: RegionId,
+    queue: &'a mut EventQueue<E>,
+    outbox: &'a mut Vec<Outgoing<E>>,
+    lookahead: &'a Lookahead,
+    horizon: SimTime,
+    stopped: &'a mut bool,
+}
+
+impl<E> RegionCtx<'_, E> {
+    /// The current simulation time (the event's activation time).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This region's id.
+    #[inline]
+    pub fn region(&self) -> RegionId {
+        self.region
+    }
+
+    /// The configured end-of-simulation time.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Schedule a **local** event after `delay` (same region; any
+    /// non-negative delay is allowed, including zero).
+    #[inline]
+    pub fn after(&mut self, delay: SimDuration, event: E) {
+        self.queue.schedule(self.now + delay, event);
+    }
+
+    /// Schedule a **local** event at an absolute time (not in the past).
+    #[inline]
+    pub fn at(&mut self, time: SimTime, event: E) {
+        debug_assert!(time >= self.now, "scheduling into the past");
+        self.queue.schedule(time, event);
+    }
+
+    /// Send an event to another region, activating at `time`.
+    ///
+    /// Conservative contract: `time` must be at least `now() +
+    /// lookahead(self → dst)`. Violations panic — an under-declared
+    /// lookahead would silently corrupt causality under parallel execution,
+    /// so it is rejected loudly in every mode, single-threaded included.
+    /// Sending to one's own region is an ordinary local schedule.
+    #[inline]
+    pub fn send(&mut self, dst: RegionId, time: SimTime, event: E) {
+        if dst == self.region {
+            self.at(time, event);
+            return;
+        }
+        let bound = self.lookahead.between(self.region, dst);
+        assert!(
+            bound != NEVER,
+            "region {} sent to region {dst} declared unreachable",
+            self.region
+        );
+        assert!(
+            time >= self.now + bound,
+            "lookahead violation: region {} -> {dst} event at {time} < now {} + delta {bound}",
+            self.region,
+            self.now
+        );
+        self.outbox.push(Outgoing { dst, time, event });
+    }
+
+    /// Request the whole run to stop once the current epoch completes (the
+    /// epoch boundary is the earliest deterministic cut across regions).
+    pub fn stop(&mut self) {
+        *self.stopped = true;
+    }
+}
+
+/// A model shard: the per-region analogue of [`World`](crate::World).
+///
+/// Implementations own all state of one region. State shared between
+/// regions must be immutable for the duration of the run (e.g. behind an
+/// `Arc`); every mutation must live in exactly one region and be driven by
+/// that region's events.
+pub trait RegionWorld: Send {
+    /// The unified event type (shared by all regions of the model).
+    type Event: Send;
+
+    /// Process one event. `ctx.now()` is the event's activation time.
+    fn handle(&mut self, event: Self::Event, ctx: &mut RegionCtx<'_, Self::Event>);
+}
+
+/// Why a sharded run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardStopReason {
+    /// Every region's queue drained completely.
+    QueueEmpty,
+    /// The earliest pending event lay beyond the configured horizon.
+    HorizonReached,
+    /// A region called [`RegionCtx::stop`].
+    Stopped,
+    /// The event budget was exhausted (runaway protection).
+    EventBudget,
+}
+
+/// Summary of a completed sharded run.
+#[derive(Clone, Debug)]
+pub struct ShardRunReport {
+    /// Why the run ended.
+    pub reason: ShardStopReason,
+    /// Events dispatched across all regions.
+    pub events_processed: u64,
+    /// Events dispatched per region.
+    pub per_region: Vec<u64>,
+    /// Cross-region events exchanged at epoch barriers.
+    pub cross_region: u64,
+    /// Number of epochs (barrier rounds).
+    pub epochs: u64,
+    /// Final simulation time (max over regions' committed clocks, capped
+    /// at the horizon).
+    pub end_time: SimTime,
+}
+
+/// One region's execution state: world, queue, outbox and bookkeeping.
+struct Slot<W: RegionWorld> {
+    region: RegionId,
+    world: W,
+    queue: EventQueue<W::Event>,
+    outbox: Vec<Outgoing<W::Event>>,
+    /// Everything strictly before this instant is committed: no future
+    /// arrival below it is legal.
+    committed: SimTime,
+    processed: u64,
+    stopped: bool,
+}
+
+impl<W: RegionWorld> Slot<W> {
+    /// Process every pending event strictly below `window_end` (and at or
+    /// below the run horizon), then commit the window.
+    fn run_window(&mut self, window_end: SimTime, horizon: SimTime, lookahead: &Lookahead) {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= window_end || t > horizon {
+                break;
+            }
+            let (now, event) = self.queue.pop().expect("peeked event vanished");
+            self.processed += 1;
+            let mut ctx = RegionCtx {
+                now,
+                region: self.region,
+                queue: &mut self.queue,
+                outbox: &mut self.outbox,
+                lookahead,
+                horizon,
+                stopped: &mut self.stopped,
+            };
+            self.world.handle(event, &mut ctx);
+        }
+        // The window is committed even when it held no events: adjacent
+        // regions may have advanced on the promise that nothing older will
+        // appear here.
+        self.committed = self.committed.max(window_end);
+    }
+}
+
+/// A job shipped to a worker for one epoch: the region slot plus its safe
+/// window end.
+struct Job<W: RegionWorld> {
+    index: usize,
+    slot: Box<Slot<W>>,
+    window_end: SimTime,
+}
+
+/// The shard-parallel conservative engine.
+///
+/// Build with one world per region plus a [`Lookahead`]; prime initial
+/// events; [`run`](ShardedEngine::run). Results are identical for every
+/// worker count — see the module docs for the argument.
+pub struct ShardedEngine<W: RegionWorld> {
+    /// `Some` between epochs; taken while a worker owns the slot.
+    slots: Vec<Option<Box<Slot<W>>>>,
+    lookahead: Lookahead,
+    horizon: SimTime,
+    event_budget: u64,
+}
+
+impl<W: RegionWorld> ShardedEngine<W> {
+    /// Create an engine over `worlds` (one per region, in region-id order)
+    /// that will run until `horizon` (inclusive, matching the sequential
+    /// engine's convention).
+    pub fn new(worlds: Vec<W>, lookahead: Lookahead, horizon: SimTime) -> Self {
+        assert_eq!(
+            worlds.len(),
+            lookahead.regions(),
+            "one world per lookahead region"
+        );
+        let slots = worlds
+            .into_iter()
+            .enumerate()
+            .map(|(i, world)| {
+                Some(Box::new(Slot {
+                    region: i as RegionId,
+                    world,
+                    queue: EventQueue::with_capacity(256),
+                    outbox: Vec::new(),
+                    committed: SimTime::ZERO,
+                    processed: 0,
+                    stopped: false,
+                }))
+            })
+            .collect();
+        ShardedEngine {
+            slots,
+            lookahead,
+            horizon,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Cap the total number of dispatched events (runaway protection). The
+    /// budget is checked at epoch boundaries, so a run may overshoot by at
+    /// most one epoch — deterministically, whatever the worker count.
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Schedule an initial event in `region` before the run starts.
+    pub fn prime(&mut self, region: RegionId, time: SimTime, event: W::Event) {
+        self.slots[region as usize]
+            .as_mut()
+            .expect("slot present between epochs")
+            .queue
+            .schedule(time, event);
+    }
+
+    fn slot(&self, i: usize) -> &Slot<W> {
+        self.slots[i]
+            .as_deref()
+            .expect("slot present between epochs")
+    }
+
+    /// Compute every region's safe horizon from current queue states.
+    /// Region `i` may process events strictly below
+    /// `min_j (T_j + D(j → i))` over **non-idle** regions `j`, where `D`
+    /// is the shortest-path influence closure — including `j = i`, whose
+    /// pending events can cascade back through other regions (minimum
+    /// cycle). An idle region constrains nobody: any future activity there
+    /// descends from some region's currently pending event, which the
+    /// closure already accounts for.
+    fn compute_safe_horizons(&self, out: &mut Vec<SimTime>) {
+        let n = self.slots.len();
+        out.clear();
+        if n == 1 {
+            out.push(SimTime::MAX);
+            return;
+        }
+        let peeks: Vec<Option<SimTime>> = (0..n).map(|i| self.slot(i).queue.peek_time()).collect();
+        for i in 0..n {
+            let mut h = SimTime::MAX;
+            for (j, peek) in peeks.iter().enumerate() {
+                let Some(t) = peek else { continue };
+                let d = self.lookahead.influence(j as RegionId, i as RegionId);
+                if d == NEVER {
+                    continue;
+                }
+                h = h.min(t.saturating_add(d));
+            }
+            out.push(h);
+        }
+    }
+
+    /// Merge every region's outbox into the destination queues in
+    /// deterministic `(timestamp, source region, emission sequence)` order,
+    /// checking the conservative invariant against each destination's
+    /// committed horizon. Returns the number of events exchanged.
+    fn merge_outboxes(&mut self) -> u64 {
+        // (time, src, seq-within-src) is a total order: seq disambiguates
+        // within one source and src disambiguates across sources, so no two
+        // entries share a key and the merge order is unique.
+        let mut batch: Vec<(SimTime, RegionId, u32, RegionId, W::Event)> = Vec::new();
+        for i in 0..self.slots.len() {
+            let slot = self.slots[i].as_mut().expect("slot present between epochs");
+            let region = slot.region;
+            for (seq, out) in slot.outbox.drain(..).enumerate() {
+                batch.push((out.time, region, seq as u32, out.dst, out.event));
+            }
+        }
+        if batch.is_empty() {
+            return 0;
+        }
+        batch.sort_by_key(|(t, src, seq, _, _)| (*t, *src, *seq));
+        let n = batch.len() as u64;
+        for (time, src, _, dst, event) in batch {
+            let slot = self.slots[dst as usize]
+                .as_mut()
+                .expect("slot present between epochs");
+            assert!(
+                time >= slot.committed,
+                "conservative invariant violated: region {src} delivered an event at {time:?} \
+                 below region {dst}'s committed horizon {:?}",
+                slot.committed
+            );
+            slot.queue.schedule(time, event);
+        }
+        n
+    }
+
+    /// One epoch preamble: decide whether to continue and which regions are
+    /// active. Fills `safe` with per-region safe horizons and `jobs` with
+    /// the active region indices; returns `Err(reason)` when the run is
+    /// over.
+    fn epoch_plan(
+        &self,
+        safe: &mut Vec<SimTime>,
+        jobs: &mut Vec<usize>,
+    ) -> Result<(), ShardStopReason> {
+        if (0..self.slots.len()).any(|i| self.slot(i).stopped) {
+            return Err(ShardStopReason::Stopped);
+        }
+        let processed: u64 = (0..self.slots.len()).map(|i| self.slot(i).processed).sum();
+        if processed >= self.event_budget {
+            return Err(ShardStopReason::EventBudget);
+        }
+        let Some(t_min) = (0..self.slots.len())
+            .filter_map(|i| self.slot(i).queue.peek_time())
+            .min()
+        else {
+            return Err(ShardStopReason::QueueEmpty);
+        };
+        if t_min > self.horizon {
+            return Err(ShardStopReason::HorizonReached);
+        }
+        self.compute_safe_horizons(safe);
+        jobs.clear();
+        for (i, &safe_i) in safe.iter().enumerate().take(self.slots.len()) {
+            if let Some(t) = self.slot(i).queue.peek_time() {
+                if t < safe_i && t <= self.horizon {
+                    jobs.push(i);
+                }
+            }
+        }
+        // Progress is guaranteed: the region holding t_min has
+        // H = min_j(T_j + δ) > t_min because every T_j ≥ t_min and every
+        // finite δ is positive, so it is always active.
+        debug_assert!(
+            !jobs.is_empty(),
+            "conservative stall: global min {t_min:?} but no region is active"
+        );
+        Ok(())
+    }
+
+    /// Run to completion using `threads` workers (clamped to the region
+    /// count; 1 executes every window on the calling thread).
+    pub fn run(mut self, threads: usize) -> (ShardRunReport, Vec<W>) {
+        assert!(threads >= 1, "at least one thread");
+        let workers = threads.min(self.slots.len());
+        let mut epochs = 0u64;
+        let mut cross_region = 0u64;
+        let mut safe: Vec<SimTime> = Vec::with_capacity(self.slots.len());
+        let mut jobs: Vec<usize> = Vec::with_capacity(self.slots.len());
+
+        let reason = if workers <= 1 {
+            loop {
+                if let Err(reason) = self.epoch_plan(&mut safe, &mut jobs) {
+                    break reason;
+                }
+                epochs += 1;
+                for &i in &jobs {
+                    let mut slot = self.slots[i].take().expect("slot present");
+                    slot.run_window(safe[i], self.horizon, &self.lookahead);
+                    self.slots[i] = Some(slot);
+                }
+                cross_region += self.merge_outboxes();
+            }
+        } else {
+            // Persistent pool: regions are assigned to workers statically
+            // (`region % workers`) so per-region state tends to stay in one
+            // worker's cache; each epoch ships the active slots over
+            // channels and collects them all back — the channel round-trip
+            // is the barrier. Which thread runs a window cannot influence
+            // results: a window touches only its own slot.
+            let horizon = self.horizon;
+            let lookahead = self.lookahead.clone();
+            std::thread::scope(|scope| {
+                let (done_tx, done_rx) = mpsc::channel::<Job<W>>();
+                let mut work_txs: Vec<mpsc::Sender<Job<W>>> = Vec::with_capacity(workers);
+                for _ in 0..workers {
+                    let (tx, rx) = mpsc::channel::<Job<W>>();
+                    let done = done_tx.clone();
+                    let lookahead = lookahead.clone();
+                    work_txs.push(tx);
+                    scope.spawn(move || {
+                        while let Ok(mut job) = rx.recv() {
+                            job.slot.run_window(job.window_end, horizon, &lookahead);
+                            if done.send(job).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(done_tx);
+                loop {
+                    if let Err(reason) = self.epoch_plan(&mut safe, &mut jobs) {
+                        break reason;
+                    }
+                    epochs += 1;
+                    if jobs.len() == 1 {
+                        // A serial epoch: skip the pool round-trip.
+                        let i = jobs[0];
+                        let mut slot = self.slots[i].take().expect("slot present");
+                        slot.run_window(safe[i], horizon, &lookahead);
+                        self.slots[i] = Some(slot);
+                    } else {
+                        for &i in &jobs {
+                            let slot = self.slots[i].take().expect("slot present");
+                            let job = Job {
+                                index: i,
+                                slot,
+                                window_end: safe[i],
+                            };
+                            work_txs[i % workers]
+                                .send(job)
+                                .expect("worker alive for the whole run");
+                        }
+                        for _ in 0..jobs.len() {
+                            let job = done_rx.recv().expect("worker returned its slot");
+                            self.slots[job.index] = Some(job.slot);
+                        }
+                    }
+                    cross_region += self.merge_outboxes();
+                }
+            })
+        };
+
+        let end_time = (0..self.slots.len())
+            .map(|i| self.slot(i).committed)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .min(self.horizon);
+        let per_region: Vec<u64> = (0..self.slots.len())
+            .map(|i| self.slot(i).processed)
+            .collect();
+        let report = ShardRunReport {
+            reason,
+            events_processed: per_region.iter().sum(),
+            per_region,
+            cross_region,
+            epochs,
+            end_time,
+        };
+        let worlds = self
+            .slots
+            .into_iter()
+            .map(|s| s.expect("slot present after run").world)
+            .collect();
+        (report, worlds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ring of regions passing one token carrying its remaining hop
+    /// count; every region logs each visit.
+    struct Ring {
+        n: u32,
+        hop: SimDuration,
+        visits: Vec<(u64, u32)>,
+    }
+
+    #[derive(Debug)]
+    struct Token(u32);
+
+    impl RegionWorld for Ring {
+        type Event = Token;
+        fn handle(&mut self, ev: Token, ctx: &mut RegionCtx<'_, Token>) {
+            self.visits.push((ctx.now().as_nanos(), ctx.region()));
+            if ev.0 == 0 {
+                return;
+            }
+            let dst = (ctx.region() + 1) % self.n;
+            let at = ctx.now() + self.hop;
+            ctx.send(dst, at, Token(ev.0 - 1));
+        }
+    }
+
+    fn ring_engine(n: u32, hops: u32, threads: usize) -> (ShardRunReport, Vec<Ring>) {
+        let hop = SimDuration::from_micros(250);
+        let worlds: Vec<Ring> = (0..n)
+            .map(|_| Ring {
+                n,
+                hop,
+                visits: vec![],
+            })
+            .collect();
+        let mut eng = ShardedEngine::new(
+            worlds,
+            Lookahead::uniform(n as usize, hop),
+            SimTime::from_secs(10),
+        );
+        eng.prime(0, SimTime::ZERO, Token(hops));
+        eng.run(threads)
+    }
+
+    #[test]
+    fn token_ring_runs_to_completion() {
+        let (report, worlds) = ring_engine(4, 11, 1);
+        assert_eq!(report.reason, ShardStopReason::QueueEmpty);
+        assert_eq!(report.events_processed, 12);
+        assert_eq!(report.cross_region, 11);
+        let visited: usize = worlds.iter().map(|w| w.visits.len()).sum();
+        assert_eq!(visited, 12);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_ring_results() {
+        let (r1, w1) = ring_engine(6, 100, 1);
+        for threads in [2, 3, 8] {
+            let (rt, wt) = ring_engine(6, 100, threads);
+            assert_eq!(r1.events_processed, rt.events_processed);
+            assert_eq!(r1.epochs, rt.epochs);
+            assert_eq!(r1.end_time, rt.end_time);
+            for (a, b) in w1.iter().zip(&wt) {
+                assert_eq!(a.visits, b.visits);
+            }
+        }
+    }
+
+    /// All regions concurrently active: periodic local ticks plus
+    /// cross-region messages every third tick. Exercises the real worker
+    /// pool (several jobs per epoch), unlike the single-token ring.
+    struct Chatter {
+        n: u32,
+        log: Vec<(u64, u32)>,
+    }
+
+    #[derive(Debug)]
+    enum ChatterEv {
+        Tick(u32),
+        Msg(u32),
+    }
+
+    impl RegionWorld for Chatter {
+        type Event = ChatterEv;
+        fn handle(&mut self, ev: ChatterEv, ctx: &mut RegionCtx<'_, ChatterEv>) {
+            match ev {
+                ChatterEv::Tick(k) => {
+                    self.log.push((ctx.now().as_nanos(), k));
+                    if k < 200 {
+                        ctx.after(SimDuration::from_millis(1), ChatterEv::Tick(k + 1));
+                    }
+                    if k % 3 == 0 {
+                        let dst = (ctx.region() + 1) % self.n;
+                        ctx.send(
+                            dst,
+                            ctx.now() + SimDuration::from_micros(250),
+                            ChatterEv::Msg(k),
+                        );
+                    }
+                }
+                ChatterEv::Msg(k) => {
+                    self.log.push((ctx.now().as_nanos(), 1_000_000 + k));
+                }
+            }
+        }
+    }
+
+    fn chatter_engine(n: u32, threads: usize) -> (ShardRunReport, Vec<Chatter>) {
+        let worlds: Vec<Chatter> = (0..n).map(|_| Chatter { n, log: vec![] }).collect();
+        let mut eng = ShardedEngine::new(
+            worlds,
+            Lookahead::uniform(n as usize, SimDuration::from_micros(250)),
+            SimTime::from_secs(5),
+        );
+        for r in 0..n {
+            // Staggered starts so timestamps across regions interleave.
+            eng.prime(r, SimTime::from_micros(7 * r as u64), ChatterEv::Tick(0));
+        }
+        eng.run(threads)
+    }
+
+    #[test]
+    fn concurrent_regions_are_bit_identical_across_worker_counts() {
+        let (r1, w1) = chatter_engine(8, 1);
+        assert_eq!(r1.reason, ShardStopReason::QueueEmpty);
+        // 8 regions × (201 ticks + 67 messages received).
+        assert_eq!(r1.events_processed, 8 * (201 + 67));
+        for threads in [2, 4, 8] {
+            let (rt, wt) = chatter_engine(8, threads);
+            assert_eq!(r1.events_processed, rt.events_processed);
+            assert_eq!(r1.cross_region, rt.cross_region);
+            assert_eq!(r1.epochs, rt.epochs);
+            assert_eq!(r1.per_region, rt.per_region);
+            assert_eq!(r1.end_time, rt.end_time);
+            for (a, b) in w1.iter().zip(&wt) {
+                assert_eq!(a.log, b.log);
+            }
+        }
+    }
+
+    #[test]
+    fn horizon_cuts_off() {
+        // 250 µs per hop, 10 s horizon ⇒ visits at 0, 250 µs, …, 10 s
+        // exactly: 40 001 events; the next lies past the horizon.
+        let (report, worlds) = ring_engine(3, 100_000, 2);
+        assert_eq!(report.reason, ShardStopReason::HorizonReached);
+        let visited: usize = worlds.iter().map(|w| w.visits.len()).sum();
+        assert_eq!(visited, 40_001);
+    }
+
+    #[test]
+    fn event_budget_stops() {
+        let hop = SimDuration::from_micros(250);
+        let worlds: Vec<Ring> = (0..4)
+            .map(|_| Ring {
+                n: 4,
+                hop,
+                visits: vec![],
+            })
+            .collect();
+        let mut eng = ShardedEngine::new(
+            worlds,
+            Lookahead::uniform(4, hop),
+            SimTime::MAX - SimDuration::from_secs(1),
+        )
+        .with_event_budget(57);
+        eng.prime(0, SimTime::ZERO, Token(u32::MAX));
+        let (report, _) = eng.run(2);
+        assert_eq!(report.reason, ShardStopReason::EventBudget);
+        assert!(report.events_processed >= 57);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn under_declared_lookahead_panics() {
+        struct Cheater;
+        impl RegionWorld for Cheater {
+            type Event = ();
+            fn handle(&mut self, _ev: (), ctx: &mut RegionCtx<'_, ()>) {
+                // Declared lookahead is 1 ms but the send arrives in 1 µs.
+                let at = ctx.now() + SimDuration::from_micros(1);
+                ctx.send(1, at, ());
+            }
+        }
+        let mut eng = ShardedEngine::new(
+            vec![Cheater, Cheater],
+            Lookahead::uniform(2, SimDuration::from_millis(1)),
+            SimTime::from_secs(1),
+        );
+        eng.prime(0, SimTime::ZERO, ());
+        let _ = eng.run(1);
+    }
+
+    #[test]
+    fn stop_is_deterministic_across_threads() {
+        /// Stops the run at the 10th visit of region 0.
+        struct Stopper {
+            n: u32,
+            seen: u32,
+        }
+        impl RegionWorld for Stopper {
+            type Event = ();
+            fn handle(&mut self, _ev: (), ctx: &mut RegionCtx<'_, ()>) {
+                if ctx.region() == 0 {
+                    self.seen += 1;
+                    if self.seen == 10 {
+                        ctx.stop();
+                        return;
+                    }
+                }
+                let dst = (ctx.region() + 1) % self.n;
+                ctx.send(dst, ctx.now() + SimDuration::from_micros(100), ());
+            }
+        }
+        let run = |threads: usize| {
+            let worlds: Vec<Stopper> = (0..5).map(|_| Stopper { n: 5, seen: 0 }).collect();
+            let mut eng = ShardedEngine::new(
+                worlds,
+                Lookahead::uniform(5, SimDuration::from_micros(100)),
+                SimTime::from_secs(60),
+            );
+            eng.prime(0, SimTime::ZERO, ());
+            let (report, worlds) = eng.run(threads);
+            (report.reason, report.events_processed, worlds[0].seen)
+        };
+        let (ra, ea, sa) = run(1);
+        let (rb, eb, sb) = run(4);
+        assert_eq!(ra, ShardStopReason::Stopped);
+        assert_eq!((ra, ea, sa), (rb, eb, sb));
+    }
+
+    #[test]
+    fn single_region_degenerates_to_sequential() {
+        struct Count {
+            fired: Vec<u64>,
+        }
+        impl RegionWorld for Count {
+            type Event = u64;
+            fn handle(&mut self, ev: u64, ctx: &mut RegionCtx<'_, u64>) {
+                self.fired.push(ev);
+                if ev < 5 {
+                    ctx.after(SimDuration::from_secs(1), ev + 1);
+                }
+            }
+        }
+        let mut eng = ShardedEngine::new(
+            vec![Count { fired: vec![] }],
+            Lookahead::uniform(1, SimDuration::ZERO),
+            SimTime::from_secs(100),
+        );
+        eng.prime(0, SimTime::ZERO, 0);
+        let (report, worlds) = eng.run(1);
+        assert_eq!(report.reason, ShardStopReason::QueueEmpty);
+        assert_eq!(worlds[0].fired, vec![0, 1, 2, 3, 4, 5]);
+        // One region means one unbounded window: the whole run is a single
+        // epoch.
+        assert_eq!(report.epochs, 1);
+    }
+
+    #[test]
+    fn never_linked_regions_run_fully_independently() {
+        struct Island {
+            ticks: u32,
+        }
+        impl RegionWorld for Island {
+            type Event = ();
+            fn handle(&mut self, _ev: (), ctx: &mut RegionCtx<'_, ()>) {
+                self.ticks += 1;
+                if self.ticks < 1000 {
+                    ctx.after(SimDuration::from_millis(1), ());
+                }
+            }
+        }
+        let worlds: Vec<Island> = (0..4).map(|_| Island { ticks: 0 }).collect();
+        let mut eng = ShardedEngine::new(
+            worlds,
+            Lookahead::from_fn(4, |_, _| NEVER),
+            SimTime::from_secs(10),
+        );
+        for r in 0..4 {
+            eng.prime(r, SimTime(r as u64), ());
+        }
+        let (report, worlds) = eng.run(4);
+        assert_eq!(report.reason, ShardStopReason::QueueEmpty);
+        assert!(worlds.iter().all(|w| w.ticks == 1000));
+        // No links ⇒ every safe horizon is ∞ ⇒ each region drains in one
+        // window and the run is a single epoch.
+        assert_eq!(report.epochs, 1);
+    }
+}

@@ -20,6 +20,7 @@ pub mod counters;
 pub mod event;
 pub mod json;
 pub mod manifest;
+pub mod merge;
 pub mod sink;
 
 pub use config::{next_run_id, shared_file_sink, TelemetryConfig};
@@ -27,4 +28,5 @@ pub use counters::{counter_for_ctrl_drop, counter_for_drop, counter_for_event, C
 pub use event::{DropReason, EventKind, FaultCode, TelemetryEvent};
 pub use json::{escape_json, parse_object, JsonValue};
 pub use manifest::{git_rev, RunManifest};
+pub use merge::{first_divergence, merge_region_traces, Divergence, FieldDelta};
 pub use sink::{ConsoleSink, EventSink, FileSink, MemorySink, SharedSink, TeeSink, Tel};

@@ -44,6 +44,11 @@ BENCH_JSON="$TMP_SWEEPS" QUICK=1 ./target/release/fig1_overhead_size >/dev/null
 # wall-clock and the sharded medium-cache hit rates as the tree evolves.
 BENCH_JSON="$TMP_SWEEPS" QUICK=1 ./target/release/fig12_scale >/dev/null
 
+# Shard-parallel engine (QUICK: 1k nodes at 1 and 2 workers). Records one
+# "parallel" entry per (nodes, threads) cell — single- vs multi-thread
+# wall-clock on this host — and asserts results are thread-count-invariant.
+BENCH_JSON="$TMP_SWEEPS" QUICK=1 ./target/release/fig13_parallel >/dev/null
+
 # QUICK output is a reduced sweep, not a figure update: restore the
 # committed full-resolution CSVs if we are in a clean checkout.
 git checkout -- results 2>/dev/null || true
@@ -57,11 +62,16 @@ def jsonl(path):
     with open(path) as f:
         return [json.loads(line) for line in f if line.strip()]
 
+records = jsonl(sweeps_path)
 doc = {
     "date": datetime.date.today().isoformat(),
     "threads": int(os.environ.get("WMN_THREADS") or os.cpu_count() or 1),
+    "host_cores": os.cpu_count() or 1,
     "micro": jsonl(micro_path),
-    "sweeps": jsonl(sweeps_path),
+    "sweeps": [r for r in records if r.get("kind") != "parallel"],
+    # Sharded-engine wall-clocks per (nodes, threads) cell: the single- vs
+    # multi-thread comparison on this host (flat on a single-core machine).
+    "parallel": [r for r in records if r.get("kind") == "parallel"],
 }
 ref_path = os.path.join("scripts", "bench_reference.json")
 if os.path.exists(ref_path):

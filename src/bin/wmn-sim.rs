@@ -34,6 +34,15 @@ pub struct Options {
     pub client_speed: f64,
     pub csv: bool,
     pub trace: bool,
+    /// Run the shard-parallel ParMesh scale model instead of the classic
+    /// full-MAC stack (requires `--nodes`).
+    pub parmesh: bool,
+    /// Worker threads for the sharded engine (ParMesh only).
+    pub threads: usize,
+    /// Region-count override for the sharded engine (ParMesh only).
+    pub regions: Option<usize>,
+    /// Write the merged telemetry trace as JSONL to this path (ParMesh only).
+    pub trace_out: Option<String>,
     /// Scripted crashes: `(node, down_s, Some(up_s))` reboots, `None` stays down.
     pub fails: Vec<(u32, f64, Option<f64>)>,
     /// Stochastic churn `(mtbf_s, mttr_s)` applied to every node.
@@ -58,6 +67,10 @@ impl Default for Options {
             client_speed: 10.0,
             csv: false,
             trace: false,
+            parmesh: false,
+            threads: 1,
+            regions: None,
+            trace_out: None,
             fails: Vec::new(),
             churn: None,
         }
@@ -86,6 +99,11 @@ OPTIONS (defaults in brackets):
   --churn MTBF,MTTR every node crashes/reboots stochastically (seconds)
   --csv             emit one CSV line instead of the report
   --trace           print every telemetry event to stderr as it happens
+  --parmesh         shard-parallel scale model (requires --nodes; results
+                    are identical for any --threads value)
+  --threads N       worker threads for the sharded engine [1]
+  --regions N       region-count override for the sharded engine
+  --trace-out PATH  write the merged JSONL trace (with --parmesh)
   --help            this text
 
 Set WMN_TELEMETRY=1 (and optionally WMN_TRACE_PATH, WMN_PROBE_MS) to
@@ -228,6 +246,20 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--churn" => o.churn = Some(parse_churn(val("--churn")?)?),
             "--csv" => o.csv = true,
             "--trace" => o.trace = true,
+            "--parmesh" => o.parmesh = true,
+            "--threads" => {
+                o.threads = val("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--regions" => {
+                o.regions = Some(
+                    val("--regions")?
+                        .parse()
+                        .map_err(|e| format!("--regions: {e}"))?,
+                )
+            }
+            "--trace-out" => o.trace_out = Some(val("--trace-out")?.clone()),
             "--help" | "-h" => return Err(HELP.to_string()),
             other => return Err(format!("unknown flag '{other}'\n\n{HELP}")),
         }
@@ -239,9 +271,19 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         if n < 4 {
             return Err("--nodes must be ≥ 4".into());
         }
-        if n > 10_000 {
-            return Err("--nodes is supported up to 10000".into());
+        let cap = if o.parmesh { 200_000 } else { 10_000 };
+        if n > cap {
+            return Err(format!("--nodes is supported up to {cap}"));
         }
+    }
+    if o.parmesh && o.nodes.is_none() {
+        return Err("--parmesh requires --nodes".into());
+    }
+    if o.threads < 1 {
+        return Err("--threads must be ≥ 1".into());
+    }
+    if !o.parmesh && (o.threads > 1 || o.regions.is_some() || o.trace_out.is_some()) {
+        return Err("--threads/--regions/--trace-out apply only with --parmesh".into());
     }
     if o.random_placement && o.nodes.is_none() {
         return Err("--random requires --nodes".into());
@@ -250,6 +292,87 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         return Err("--warmup must be below --duration".into());
     }
     Ok(o)
+}
+
+/// Run the shard-parallel ParMesh scale model and print its report.
+fn run_parmesh(opts: &Options) {
+    let n = opts.nodes.expect("validated");
+    let mut pm = wmn::ParMesh::new(n)
+        .seed(opts.seed)
+        .flows(opts.flows)
+        .duration(SimDuration::from_secs_f64(opts.duration_s))
+        .threads(opts.threads)
+        .telemetry(opts.trace_out.is_some());
+    if opts.pps > 0.0 {
+        pm = pm.interval(SimDuration::from_secs_f64(1.0 / opts.pps));
+    }
+    if let Some(r) = opts.regions {
+        pm = pm.regions(r);
+    }
+    let t0 = std::time::Instant::now();
+    let out = pm.run();
+    let wall = t0.elapsed().as_secs_f64();
+    let r = &out.report;
+
+    if let Some(path) = &opts.trace_out {
+        let mut body = String::new();
+        for ev in &out.trace {
+            body.push_str(&ev.to_jsonl());
+            body.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} events to {path}", out.trace.len());
+    }
+
+    if opts.csv {
+        println!("nodes,regions,threads,seed,pdr,mean_delay_ms,mean_hops,originated,delivered,forwards,events,epochs,cross_region,wall_s");
+        println!(
+            "{},{},{},{},{:.4},{:.2},{:.2},{},{},{},{},{},{},{:.3}",
+            r.nodes,
+            r.regions,
+            opts.threads,
+            opts.seed,
+            r.pdr(),
+            r.mean_delay_s * 1e3,
+            r.mean_hops,
+            r.originated,
+            r.delivered,
+            r.forwards,
+            r.events,
+            r.epochs,
+            r.cross_region,
+            wall,
+        );
+        return;
+    }
+
+    println!("model                   : parmesh (shard-parallel)");
+    println!(
+        "nodes / regions / threads: {} / {} / {}",
+        r.nodes, r.regions, opts.threads
+    );
+    println!(
+        "originated / delivered  : {} / {}",
+        r.originated, r.delivered
+    );
+    println!("delivery ratio          : {:.4}", r.pdr());
+    println!(
+        "mean delay / hops       : {:.1} ms / {:.2}",
+        r.mean_delay_s * 1e3,
+        r.mean_hops
+    );
+    println!(
+        "drops (nr/exp/down)     : {}/{}/{}",
+        r.dropped_no_route, r.dropped_expired, r.dropped_node_down
+    );
+    println!(
+        "events / epochs / cross : {} / {} / {}",
+        r.events, r.epochs, r.cross_region
+    );
+    println!("wall-clock              : {wall:.3} s");
 }
 
 fn main() {
@@ -261,6 +384,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if opts.parmesh {
+        run_parmesh(&opts);
+        return;
+    }
 
     let mut builder = match opts.nodes {
         // The scale presets pin placement density; everything else on the
@@ -492,6 +620,29 @@ mod tests {
         assert!(parse_args(&argv("--nodes 2")).is_err());
         assert!(parse_args(&argv("--nodes 20000")).is_err());
         assert!(parse_args(&argv("--random")).is_err(), "--random alone");
+    }
+
+    #[test]
+    fn parmesh_flags() {
+        let o = parse_args(&argv(
+            "--parmesh --nodes 100000 --threads 8 --regions 64 --trace-out /tmp/t.jsonl",
+        ))
+        .unwrap();
+        assert!(o.parmesh);
+        assert_eq!(o.nodes, Some(100_000));
+        assert_eq!(o.threads, 8);
+        assert_eq!(o.regions, Some(64));
+        assert_eq!(o.trace_out.as_deref(), Some("/tmp/t.jsonl"));
+        assert!(parse_args(&argv("--parmesh")).is_err(), "needs --nodes");
+        assert!(
+            parse_args(&argv("--nodes 1000 --threads 2")).is_err(),
+            "--threads without --parmesh"
+        );
+        assert!(
+            parse_args(&argv("--nodes 100000")).is_err(),
+            "classic stack caps at 10000"
+        );
+        assert!(parse_args(&argv("--parmesh --nodes 100000 --threads 0")).is_err());
     }
 
     #[test]

@@ -16,7 +16,8 @@ pub use cnlr;
 pub use cnlr::{
     BuildError, ChurnModel, CnlrConfig, CnlrPolicy, DropCounters, Event, FaultCounters, FaultKind,
     FaultPlan, LinkFlapModel, Medium, MediumEffect, MediumStats, Network, Node, NoiseStormModel,
-    RunResults, ScenarioBuilder, Scheme, Simulation, TimedFault, VapCnlr, VapConfig,
+    ParMesh, ParMeshOutcome, ParMeshReport, RunResults, ScenarioBuilder, Scheme, Simulation,
+    TimedFault, VapCnlr, VapConfig,
 };
 
 pub use cnlr::faults;

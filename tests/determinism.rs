@@ -115,3 +115,42 @@ fn stochastic_fault_schedules_are_a_pure_function_of_the_seed() {
         (c.events, c.faults.node_down, c.summary.delivered)
     );
 }
+
+#[test]
+fn parmesh_trace_is_identical_across_worker_counts() {
+    // The shard-parallel engine's core guarantee, end to end: the scale
+    // model under mobility + churn produces a bit-identical merged trace
+    // and report for any worker count.
+    let run = |threads: usize| {
+        wmn::ParMesh::new(1_000)
+            .seed(11)
+            .flows(100)
+            .regions(4)
+            .duration(SimDuration::from_secs(5))
+            .mobility(true)
+            .churn(true)
+            .threads(threads)
+            .telemetry(true)
+            .run()
+    };
+    let base = run(1);
+    assert!(base.report.originated > 0, "{:?}", base.report);
+    assert!(!base.trace.is_empty());
+    for threads in [2, 8] {
+        let out = run(threads);
+        assert_eq!(base.report.originated, out.report.originated);
+        assert_eq!(base.report.delivered, out.report.delivered);
+        assert_eq!(base.report.forwards, out.report.forwards);
+        assert_eq!(base.report.dropped_no_route, out.report.dropped_no_route);
+        assert_eq!(base.report.dropped_node_down, out.report.dropped_node_down);
+        assert_eq!(base.report.events, out.report.events);
+        assert_eq!(base.report.epochs, out.report.epochs);
+        assert_eq!(base.trace.len(), out.trace.len());
+        for (i, (a, b)) in base.trace.iter().zip(&out.trace).enumerate() {
+            assert_eq!(
+                a, b,
+                "parmesh trace diverges at event {i} with {threads} threads"
+            );
+        }
+    }
+}
