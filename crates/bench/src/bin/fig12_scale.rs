@@ -129,6 +129,12 @@ fn main() {
         );
         (r, wall)
     });
+    // Load-imbalance across the cell pool: the honest per-cell walls are
+    // the profiling signal here (cell-parallelism has no epoch barriers,
+    // so barrier-wait share is not applicable to this figure).
+    let cell_walls: Vec<f64> = cell_results.iter().map(|(_, w)| *w).collect();
+    let wall_max = cell_walls.iter().cloned().fold(0.0f64, f64::max);
+    let wall_mean = cell_walls.iter().sum::<f64>() / cell_walls.len().max(1) as f64;
     let mut runs: Vec<RunResults> = Vec::new();
     let mut cells = cell_results.into_iter();
     for &x in &xs {
@@ -162,6 +168,11 @@ fn main() {
             ("fig12_duration_s", format!("{}", dur.as_secs_f64())),
             ("fig12_warmup_s", format!("{}", warm.as_secs_f64())),
             ("cell_threads", threads.to_string()),
+            (
+                "cell_wall_imbalance",
+                format!("{:.3}", wall_max / wall_mean.max(1e-9)),
+            ),
+            ("barrier_wait_share", "n/a (cell-parallel)".to_string()),
         ],
     );
     for ((_, suffix, _), table) in metrics.iter().zip(&tables) {

@@ -55,11 +55,18 @@ fn main() {
         format!("{} — {} (events per second)", spec.id, spec.title),
         &header_refs,
     );
+    let mut waitshare_table = ResultTable::new(
+        format!("{} — {} (barrier-wait share)", spec.id, spec.title),
+        &header_refs,
+    );
 
     let t0 = std::time::Instant::now();
     // walls[ni][ti], baselines[ni] = 1-thread report for identity checks.
     let mut walls: Vec<Vec<f64>> = vec![Vec::new(); node_counts.len()];
+    let mut wait_shares: Vec<Vec<f64>> = vec![Vec::new(); node_counts.len()];
     let mut baselines: Vec<Option<ParMeshReport>> = vec![None; node_counts.len()];
+    let mut fingerprints: Vec<Option<String>> = vec![None; node_counts.len()];
+    let mut imbalances: Vec<f64> = vec![0.0; node_counts.len()];
     let mut total_events = 0u64;
     let mut params: Vec<(String, String)> = vec![
         ("host_cores".to_string(), host_cores.to_string()),
@@ -76,21 +83,29 @@ fn main() {
                 .seed(seed)
                 .duration(duration)
                 .threads(t)
+                .profile(true)
                 .run();
             let wall = run_t0.elapsed().as_secs_f64();
             let r = &out.report;
+            let profile = out.profile.as_ref().expect("profiling enabled");
             eprintln!(
                 "[fig13] n={n} threads={t}: {:.2}s wall, {:.0} ev/s, pdr {:.3}, \
-                 {} regions, {} epochs, {} cross-region",
+                 {} regions, {} epochs, {} cross-region, imbalance {:.2}, wait share {:.3}",
                 wall,
                 r.events as f64 / wall.max(1e-9),
                 r.pdr(),
                 r.regions,
                 r.epochs,
                 r.cross_region,
+                profile.imbalance_factor(),
+                profile.barrier_wait_share(),
             );
             match &baselines[ni] {
-                None => baselines[ni] = Some(r.clone()),
+                None => {
+                    baselines[ni] = Some(r.clone());
+                    fingerprints[ni] = Some(profile.sim_fingerprint());
+                    imbalances[ni] = profile.imbalance_factor();
+                }
                 Some(base) => {
                     // The engine's guarantee, enforced in the figure itself.
                     assert_eq!(
@@ -98,36 +113,50 @@ fn main() {
                         (r.originated, r.delivered, r.forwards, r.events),
                         "results changed with thread count at n={n} threads={t}"
                     );
+                    // Same for the profile's simulation-derived fields.
+                    assert_eq!(
+                        fingerprints[ni].as_deref(),
+                        Some(profile.sim_fingerprint().as_str()),
+                        "profile sim fields changed with thread count at n={n} threads={t}"
+                    );
                 }
             }
             total_events += r.events;
             walls[ni].push(wall);
+            wait_shares[ni].push(profile.barrier_wait_share());
             record_bench("parallel", &format!("{}_n{}_t{}", spec.id, n, t), wall, 1);
         }
         let r = baselines[ni].as_ref().expect("at least one run");
         params.push((format!("pdr_n{n}"), format!("{:.4}", r.pdr())));
         params.push((format!("events_n{n}"), r.events.to_string()));
         params.push((format!("regions_n{n}"), r.regions.to_string()));
+        params.push((format!("imbalance_n{n}"), format!("{:.4}", imbalances[ni])));
+        let mean_wait = wait_shares[ni].iter().sum::<f64>() / wait_shares[ni].len().max(1) as f64;
+        params.push((format!("mean_wait_share_n{n}"), format!("{mean_wait:.4}")));
     }
 
     for (ti, &t) in threads.iter().enumerate() {
         let mut wall_row = vec![format!("{t}")];
         let mut speedup_row = vec![format!("{t}")];
         let mut rate_row = vec![format!("{t}")];
+        let mut waitshare_row = vec![format!("{t}")];
         for (ni, _) in node_counts.iter().enumerate() {
             let wall = walls[ni][ti];
             let events = baselines[ni].as_ref().expect("baseline").events;
             wall_row.push(format!("{wall:.3}"));
             speedup_row.push(format!("{:.3}", walls[ni][0] / wall.max(1e-9)));
             rate_row.push(format!("{:.0}", events as f64 / wall.max(1e-9)));
+            waitshare_row.push(format!("{:.3}", wait_shares[ni][ti]));
         }
         wall_table.add_row(wall_row);
         speedup_table.add_row(speedup_row);
         rate_table.add_row(rate_row);
+        waitshare_table.add_row(waitshare_row);
     }
 
     let wall_s = t0.elapsed().as_secs_f64();
     record_bench("sweep", spec.id, wall_s, node_counts.len() * threads.len());
+    let host = wmn_telemetry::sample_host();
     let manifest = RunManifest {
         id: spec.id.to_string(),
         title: spec.title.to_string(),
@@ -138,6 +167,8 @@ fn main() {
         params,
         wall_s,
         events_processed: total_events,
+        host_cores: host.host_cores,
+        peak_rss_bytes: host.peak_rss_bytes,
         counters: Counters::new(),
     };
     match manifest.write(std::path::Path::new("results")) {
@@ -147,4 +178,5 @@ fn main() {
     emit(&spec, "", &wall_table);
     emit(&spec, "speedup", &speedup_table);
     emit(&spec, "events", &rate_table);
+    emit(&spec, "waitshare", &waitshare_table);
 }

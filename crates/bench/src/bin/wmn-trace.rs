@@ -1,34 +1,41 @@
-//! `wmn-trace` — query a JSONL telemetry trace.
+//! `wmn-trace` — query a JSONL telemetry trace or a ShardProfile artifact.
 //!
 //! ```text
-//! wmn-trace summary [trace.jsonl] [--verify results/fig3_manifest.json]
-//! wmn-trace drops [trace.jsonl] [--by-reason] [--by-node]
-//! wmn-trace timeline [trace.jsonl] --node N [--limit K]
-//! wmn-trace convergence [trace.jsonl] [--bin-s S]
-//! wmn-trace profile [trace.jsonl]
+//! wmn-trace summary [trace.jsonl] [--verify results/fig3_manifest.json] [--run N]
+//! wmn-trace drops [trace.jsonl] [--by-reason] [--by-node] [--run N]
+//! wmn-trace timeline [trace.jsonl] --node N [--limit K] [--run N]
+//! wmn-trace convergence [trace.jsonl] [--bin-s S] [--run N]
+//! wmn-trace profile [profile.json | trace.jsonl] [--prometheus]
+//! wmn-trace diff a.jsonl b.jsonl [--ignore f1,f2]
 //! ```
 //!
 //! The trace file defaults to `$WMN_TRACE_PATH`, then `trace.jsonl`.
 //! `summary --verify` cross-checks the trace's event totals against the
 //! counter registry a run manifest recorded; any mismatch is a non-zero
 //! exit (the invariant is exact because instrumentation emits each event
-//! adjacent to its counter increment).
+//! adjacent to its counter increment). Traces holding several replications
+//! that share one sink record distinct `run` ids — pass `--run N` to count
+//! a single replication when verifying against a single-run manifest
+//! (merged multi-*region* traces of one run share an id and never
+//! double-count). Unknown flags are an error (exit 2), never ignored.
 
 use std::collections::BTreeMap;
 use wmn_telemetry::{
-    counter_for_ctrl_drop, counter_for_drop, counter_for_event, parse_object, EventKind,
-    TelemetryEvent,
+    counter_for_ctrl_drop, counter_for_drop, counter_for_event, parse_object,
+    profile_to_prometheus, EventKind, LogHistogram, ShardProfile, TelemetryEvent,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: wmn-trace <summary|drops|timeline|convergence|profile|diff> [trace.jsonl] [options]\n\
          \n\
-         summary      event totals per kind   [--verify <manifest.json>]\n\
-         drops        discard breakdown       [--by-reason] [--by-node]\n\
-         timeline     one node's event log    --node N [--limit K]\n\
-         convergence  per-bin data counts     [--bin-s S]\n\
-         profile      event-loop probe histograms\n\
+         summary      event totals per kind   [--verify <manifest.json>] [--run N]\n\
+         drops        discard breakdown       [--by-reason] [--by-node] [--run N]\n\
+         timeline     one node's event log    --node N [--limit K] [--run N]\n\
+         convergence  per-bin data counts     [--bin-s S] [--run N]\n\
+         profile      engine profile report   [--prometheus]\n\
+         \u{20}             reads a --profile-out JSON artifact, or falls back\n\
+         \u{20}             to the trace's event-loop probe histograms\n\
          diff         first divergence between two traces\n\
          \u{20}             wmn-trace diff a.jsonl b.jsonl [--ignore f1,f2]"
     );
@@ -42,19 +49,45 @@ struct Args {
     flags: Vec<(String, Option<String>)>,
 }
 
+/// Flags each command accepts, as `(name, takes_value)`. The parser
+/// rejects anything else: a silently ignored flag (or a `--verify` with a
+/// missing path) would report success without doing the requested check.
+fn known_flags(command: &str) -> &'static [(&'static str, bool)] {
+    match command {
+        "summary" => &[("verify", true), ("run", true)],
+        "drops" => &[("by-reason", false), ("by-node", false), ("run", true)],
+        "timeline" => &[("node", true), ("limit", true), ("run", true)],
+        "convergence" => &[("bin-s", true), ("run", true)],
+        "profile" => &[("prometheus", false), ("run", true)],
+        "diff" => &[("ignore", true)],
+        _ => usage(),
+    }
+}
+
 impl Args {
     fn parse() -> Self {
         let mut argv = std::env::args().skip(1);
         let Some(command) = argv.next() else { usage() };
+        let known = known_flags(&command);
         let mut path: Option<std::path::PathBuf> = None;
         let mut path2: Option<std::path::PathBuf> = None;
         let mut flags = Vec::new();
-        let mut argv = argv.peekable();
         while let Some(a) = argv.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = match argv.peek() {
-                    Some(v) if !v.starts_with("--") => argv.next(),
-                    _ => None,
+                let Some(&(_, takes_value)) = known.iter().find(|(n, _)| *n == name) else {
+                    eprintln!("error: unknown flag --{name} for `{command}`");
+                    std::process::exit(2);
+                };
+                let value = if takes_value {
+                    match argv.next() {
+                        Some(v) => Some(v),
+                        None => {
+                            eprintln!("error: --{name} requires a value");
+                            std::process::exit(2);
+                        }
+                    }
+                } else {
+                    None
                 };
                 flags.push((name.to_string(), value));
             } else if path.is_none() {
@@ -91,16 +124,19 @@ impl Args {
             .find(|(n, _)| n == name)
             .and_then(|(_, v)| v.as_deref())
     }
+
+    /// The `--run N` replication filter, if given (exit 2 on a bad value).
+    fn run_filter(&self) -> Option<u32> {
+        self.value("run").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --run expects a replication id, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+    }
 }
 
-fn load(path: &std::path::Path) -> Vec<TelemetryEvent> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", path.display());
-            std::process::exit(1);
-        }
-    };
+fn parse_events(text: &str) -> Vec<TelemetryEvent> {
     let mut events = Vec::new();
     let mut skipped = 0usize;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
@@ -113,6 +149,26 @@ fn load(path: &std::path::Path) -> Vec<TelemetryEvent> {
         eprintln!("note: skipped {skipped} unparseable line(s)");
     }
     events
+}
+
+fn load(path: &std::path::Path) -> Vec<TelemetryEvent> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    parse_events(&text)
+}
+
+/// Apply the `--run N` replication filter in place.
+fn retain_run(events: &mut Vec<TelemetryEvent>, args: &Args) {
+    if let Some(run) = args.run_filter() {
+        let before = events.len();
+        events.retain(|ev| ev.run == run);
+        eprintln!("note: --run {run} kept {} of {before} events", events.len());
+    }
 }
 
 fn summary(events: &[TelemetryEvent], args: &Args) {
@@ -449,6 +505,135 @@ fn profile(events: &[TelemetryEvent]) {
     histogram("heap depth", "events", &heaps);
 }
 
+/// Render a fixed-bucket log histogram with `#` bars (same visual idiom as
+/// [`histogram`], but over the profile's pre-bucketed counts).
+fn log_histogram(label: &str, unit: &str, h: &LogHistogram) {
+    if h.count() == 0 {
+        println!("{label}: no samples");
+        return;
+    }
+    println!(
+        "{label}: {} samples, mean {:.1} {unit}, p50 {} {unit}, p99 {} {unit}, max {} {unit}",
+        h.count(),
+        h.mean(),
+        h.quantile(0.5),
+        h.quantile(0.99),
+        h.max()
+    );
+    let widest = h.nonzero_buckets().map(|(_, _, c)| c).max().unwrap_or(1) as usize;
+    for (lo, hi, count) in h.nonzero_buckets() {
+        let bar = "#".repeat(((count as usize) * 40).div_ceil(widest));
+        println!("  [{lo:>12}, {hi:>12}) {count:>6} {bar}");
+    }
+}
+
+/// The `wmn-trace profile` report over a `--profile-out` artifact:
+/// run totals, per-region utilisation table, top stall sources, and the
+/// three engine histograms.
+fn shard_profile_report(p: &ShardProfile) {
+    println!(
+        "shard profile ({}) | {} regions | {} threads | host cores {}",
+        p.schema, p.regions, p.threads, p.host.host_cores
+    );
+    let wall_s = p.wall_ns as f64 / 1e9;
+    println!(
+        "{} events in {} epochs | {:.3} s wall | {:.0} ev/s | merge share {:.1}%",
+        p.events,
+        p.epochs,
+        wall_s,
+        p.events as f64 / wall_s.max(1e-9),
+        100.0 * p.merge_ns as f64 / p.wall_ns.max(1) as f64
+    );
+    println!(
+        "cross-region events     : {} ({:.2}% of total)",
+        p.cross_region,
+        100.0 * p.cross_region as f64 / p.events.max(1) as f64
+    );
+    println!("load-imbalance factor   : {:.3}", p.imbalance_factor());
+    println!(
+        "barrier-wait share      : {:.3} (mean over regions)",
+        p.barrier_wait_share()
+    );
+    if p.host.peak_rss_bytes > 0 {
+        println!(
+            "peak RSS                : {:.1} MiB",
+            p.host.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+
+    println!("\n| region | events | share | busy ms | wait ms | util | outbox | stalled | bound others | max queue |");
+    println!("|---|---|---|---|---|---|---|---|---|---|");
+    for r in &p.per_region {
+        println!(
+            "| {} | {} | {:.1}% | {:.2} | {:.2} | {:.3} | {} | {} | {} | {} |",
+            r.region,
+            r.events,
+            100.0 * r.events as f64 / p.events.max(1) as f64,
+            r.busy_ns as f64 / 1e6,
+            r.wait_ns as f64 / 1e6,
+            r.utilisation(),
+            r.outbox,
+            r.stalled_windows,
+            r.bound_others,
+            r.max_queue
+        );
+    }
+
+    let top = p.top_stall_sources(3);
+    if top.is_empty() {
+        println!("\ntop stall sources: none (no bounded windows)");
+    } else {
+        println!("\ntop stall sources (whose horizon bound the barrier):");
+        // One window per region per epoch, so a single region can bound up
+        // to `regions` windows each epoch — normalise by total windows.
+        let windows = (p.epochs * p.regions).max(1);
+        for (i, (region, bound)) in top.iter().enumerate() {
+            println!(
+                "  {}. region {region} bound others in {bound} window(s) ({:.1}% of windows)",
+                i + 1,
+                100.0 * *bound as f64 / windows as f64
+            );
+        }
+    }
+
+    println!();
+    log_histogram("event service time", "ns", &p.service_ns);
+    println!();
+    log_histogram("queue depth at epoch boundaries", "events", &p.queue_depth);
+    println!();
+    log_histogram("bounded epoch width", "ns", &p.epoch_width_ns);
+}
+
+/// `wmn-trace profile`: prefer a ShardProfile JSON artifact; fall back to
+/// the legacy event-loop probe histograms when given a JSONL trace.
+fn profile_cmd(args: &Args) {
+    let text = match std::fs::read_to_string(&args.path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.path.display());
+            std::process::exit(1);
+        }
+    };
+    if let Some(p) = ShardProfile::from_json(&text) {
+        if args.flag("prometheus") {
+            print!("{}", profile_to_prometheus(&p));
+        } else {
+            shard_profile_report(&p);
+        }
+        return;
+    }
+    if args.flag("prometheus") {
+        eprintln!(
+            "error: --prometheus needs a ShardProfile artifact (wmn-sim --profile-out), \
+             not a trace"
+        );
+        std::process::exit(2);
+    }
+    let mut events = parse_events(&text);
+    retain_run(&mut events, args);
+    profile(&events);
+}
+
 /// `wmn-trace diff a.jsonl b.jsonl [--ignore f1,f2]`: localise the first
 /// event where two traces disagree. Exit 0 when identical (modulo ignored
 /// fields), 1 at the first divergence.
@@ -521,17 +706,18 @@ fn diff(args: &Args) {
 
 fn main() {
     let args = Args::parse();
-    if args.command == "diff" {
-        diff(&args);
-        return;
+    match args.command.as_str() {
+        "diff" => return diff(&args),
+        "profile" => return profile_cmd(&args),
+        _ => {}
     }
-    let events = load(&args.path);
+    let mut events = load(&args.path);
+    retain_run(&mut events, &args);
     match args.command.as_str() {
         "summary" => summary(&events, &args),
         "drops" => drops(&events, &args),
         "timeline" => timeline(&events, &args),
         "convergence" => convergence(&events, &args),
-        "profile" => profile(&events),
         _ => usage(),
     }
 }

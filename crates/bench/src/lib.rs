@@ -189,6 +189,7 @@ pub fn write_manifest(
         ("runs".to_string(), runs.len().to_string()),
     ];
     params.extend(extra_params.iter().map(|(k, v)| (k.to_string(), v.clone())));
+    let host = wmn_telemetry::sample_host();
     let manifest = RunManifest {
         id: spec.id.to_string(),
         title: spec.title.to_string(),
@@ -199,6 +200,8 @@ pub fn write_manifest(
         params,
         wall_s,
         events_processed: events,
+        host_cores: host.host_cores,
+        peak_rss_bytes: host.peak_rss_bytes,
         counters,
     };
     match manifest.write(std::path::Path::new("results")) {

@@ -41,10 +41,12 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use wmn_metrics::ProbeSeries;
 use wmn_sim::shard::{Lookahead, RegionCtx, RegionId, RegionWorld, ShardedEngine};
 use wmn_sim::{SimDuration, SimRng, SimTime};
 use wmn_telemetry::{
-    merge_region_traces, DropReason, EventKind, MemorySink, SharedSink, Tel, TelemetryEvent,
+    merge_region_traces, DropReason, EventKind, MemorySink, ShardProfile, ShardProfiler,
+    SharedSink, Tel, TelemetryEvent,
 };
 
 /// Grid pitch the node density is derived from (matches the scale presets).
@@ -90,6 +92,7 @@ pub struct ParMesh {
     mobility: bool,
     churn: bool,
     telemetry: bool,
+    profile: bool,
 }
 
 impl ParMesh {
@@ -108,6 +111,7 @@ impl ParMesh {
             mobility: true,
             churn: true,
             telemetry: false,
+            profile: false,
         }
     }
 
@@ -169,6 +173,15 @@ impl ParMesh {
         self
     }
 
+    /// Enable or disable engine profiling (the profile is returned in
+    /// [`ParMeshOutcome::profile`]). Profiling observes the engine from
+    /// the coordinator thread only and never changes simulation results
+    /// or the telemetry trace.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
     /// Run the scenario. Results are a pure function of the scenario
     /// (including the region count) and never of the thread count.
     pub fn run(&self) -> ParMeshOutcome {
@@ -227,6 +240,11 @@ pub struct ParMeshOutcome {
     pub report: ParMeshReport,
     /// Deterministically merged trace, ordered by `(t, region, index)`.
     pub trace: Vec<TelemetryEvent>,
+    /// Engine execution profile (present when profiling was requested).
+    pub profile: Option<ShardProfile>,
+    /// 1 Hz cross-layer probe feed, rebuilt from the merged trace (empty
+    /// when telemetry was off).
+    pub probes: ProbeSeries,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -535,12 +553,34 @@ impl RegionWorld for RegionNet {
                 self.hello_seq += 1;
                 // EWMA load refresh for owned nodes; digest the busy ones.
                 let mut digest: Vec<(u32, u32)> = Vec::new();
+                let probing = self.tel.on();
                 for &node in &self.own {
                     let nl = self.loads.entry(node).or_default();
+                    let recent = nl.recent;
                     nl.load = nl.load / 2 + nl.recent;
                     nl.recent = 0;
-                    if nl.load > 0 {
-                        digest.push((node, nl.load));
+                    let load = nl.load;
+                    if load > 0 {
+                        digest.push((node, load));
+                    }
+                    if probing && self.st.is_up(node, now) {
+                        // 1 Hz cross-layer probe, from region-local integer
+                        // state only (thread-count invisible): `busy` is the
+                        // share of a ~100 pkt/s nominal relay capacity used
+                        // this tick, `load` squashes the EWMA into [0, 1].
+                        // ParMesh has no interface queue and greedy
+                        // forwarding always relays, so those signals are
+                        // honest constants.
+                        self.tel.emit_at(
+                            node,
+                            now,
+                            EventKind::NodeProbe {
+                                queue: 0.0,
+                                busy: (recent as f64 / 100.0).min(1.0),
+                                load: load as f64 / (load as f64 + 8.0),
+                                fwd_p: 1.0,
+                            },
+                        );
                     }
                 }
                 if let Some(&first) = self.own.first() {
@@ -859,7 +899,15 @@ fn run_parmesh(cfg: &ParMesh) -> ParMeshOutcome {
         }
     }
 
-    let (report, worlds) = engine.run(cfg.threads);
+    let mut profile = None;
+    let (report, worlds) = if cfg.profile {
+        let mut profiler = ShardProfiler::new(cfg.threads);
+        let out = engine.run_probed(cfg.threads, Some(&mut profiler));
+        profile = Some(profiler.finish());
+        out
+    } else {
+        engine.run(cfg.threads)
+    };
 
     // --- aggregate ---
     let mut agg = ParMeshReport {
@@ -901,7 +949,27 @@ fn run_parmesh(cfg: &ParMesh) -> ParMeshOutcome {
         Vec::new()
     };
 
-    ParMeshOutcome { report: agg, trace }
+    // Rebuild the 1 Hz cross-layer probe feed from the merged trace; the
+    // merge order makes the series independent of region/thread layout.
+    let mut probes = ProbeSeries::new(HELLO_INTERVAL);
+    for ev in &trace {
+        if let EventKind::NodeProbe {
+            queue,
+            busy,
+            load,
+            fwd_p,
+        } = ev.kind
+        {
+            probes.record(SimTime(ev.t_ns), queue, busy, load, fwd_p);
+        }
+    }
+
+    ParMeshOutcome {
+        report: agg,
+        trace,
+        profile,
+        probes,
+    }
 }
 
 #[cfg(test)]
@@ -989,6 +1057,52 @@ mod tests {
         let out = small(2);
         assert!(!out.trace.is_empty());
         assert!(out.trace.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+    }
+
+    #[test]
+    fn probes_fire_at_one_hertz() {
+        let out = small(2);
+        assert!(!out.probes.is_empty());
+        let n_probes = out
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::NodeProbe { .. }))
+            .count();
+        // 400 nodes × ~4 in-horizon ticks, minus nodes down during churn.
+        assert!(n_probes > 1000, "only {n_probes} probe events");
+        // Probe events land exactly on HELLO ticks.
+        assert!(out
+            .trace
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::NodeProbe { .. }))
+            .all(|e| e.t_ns % HELLO_INTERVAL.as_nanos() == 0));
+    }
+
+    #[test]
+    fn profiling_changes_nothing_and_fingerprint_is_thread_invariant() {
+        let profiled = |threads: usize| {
+            ParMesh::new(400)
+                .seed(7)
+                .flows(40)
+                .regions(9)
+                .duration(SimDuration::from_secs(5))
+                .threads(threads)
+                .telemetry(true)
+                .profile(true)
+                .run()
+        };
+        let base = small(2);
+        let a = profiled(2);
+        assert!(base.profile.is_none());
+        assert_eq!(base.report.events, a.report.events);
+        assert_eq!(base.trace, a.trace);
+        let pa = a.profile.as_ref().expect("profile present");
+        assert_eq!(pa.events, a.report.events);
+        assert_eq!(pa.epochs, a.report.epochs);
+        assert_eq!(pa.regions as usize, a.report.regions);
+        let b = profiled(8);
+        let pb = b.profile.as_ref().expect("profile present");
+        assert_eq!(pa.sim_fingerprint(), pb.sim_fingerprint());
     }
 
     #[test]

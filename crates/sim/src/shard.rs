@@ -45,6 +45,7 @@
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// Identifies one region (shard) of a partitioned model.
 pub type RegionId = u32;
@@ -257,6 +258,67 @@ pub trait RegionWorld: Send {
     fn handle(&mut self, event: Self::Event, ctx: &mut RegionCtx<'_, Self::Event>);
 }
 
+/// One region's observation for one epoch, delivered to a [`ShardProbe`].
+///
+/// Every field except `busy_ns` is **simulation-derived**: a pure function
+/// of the scenario, identical for any worker count (the engine computes
+/// epoch plans, queue states and horizons before any worker touches a
+/// slot). `busy_ns` is wall-clock and varies run to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowSample {
+    /// Epoch number (1-based).
+    pub epoch: u64,
+    /// The observed region.
+    pub region: RegionId,
+    /// Whether the region had an event below its safe horizon this epoch.
+    pub active: bool,
+    /// Events executed in this window.
+    pub events: u64,
+    /// Wall-clock nanoseconds spent inside the window (0 when inactive).
+    /// The only wall-clock field in the sample.
+    pub busy_ns: u64,
+    /// Pending-queue depth before the window ran.
+    pub queue_depth: u64,
+    /// Cross-region events buffered in the outbox after the window.
+    pub outbox: u64,
+    /// Committed horizon before the window (ns).
+    pub window_start_ns: u64,
+    /// Safe horizon granted this epoch (ns; `u64::MAX` when unbounded).
+    pub window_end_ns: u64,
+    /// The region whose pending event bound this horizon (stall
+    /// attribution: the barrier cannot open wider than `bound_by`'s next
+    /// event plus its influence lookahead). `-1` when unbounded.
+    pub bound_by: i64,
+}
+
+/// Observer interface for the sharded engine's execution structure.
+///
+/// Pass one to [`ShardedEngine::run_probed`] to receive per-region window
+/// samples and per-epoch barrier timings. All callbacks fire on the
+/// coordinator thread in deterministic order (regions ascending within an
+/// epoch, epochs ascending); a probe can never influence simulation
+/// results — it observes slots only between epochs.
+pub trait ShardProbe {
+    /// One region's window observation (called for every region each
+    /// epoch, active or not, in ascending region order, before the merge).
+    fn window(&mut self, sample: &WindowSample);
+    /// An epoch completed: total barrier-to-barrier wall time, events
+    /// merged across regions, and the merge's own wall cost.
+    fn epoch_end(&mut self, epoch: u64, wall_ns: u64, merged: u64, merge_ns: u64);
+    /// The run completed.
+    fn run_end(&mut self, report: &ShardRunReport, wall_ns: u64);
+}
+
+/// Pre-epoch snapshots needed to compute per-window deltas for a probe.
+#[derive(Default)]
+struct EpochScratch {
+    processed: Vec<u64>,
+    queue: Vec<u64>,
+    committed: Vec<u64>,
+    /// Which region bound each region's safe horizon (`-1` = unbounded).
+    sources: Vec<i64>,
+}
+
 /// Why a sharded run ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ShardStopReason {
@@ -299,12 +361,23 @@ struct Slot<W: RegionWorld> {
     committed: SimTime,
     processed: u64,
     stopped: bool,
+    /// Wall-clock cost of the last window (filled only when timed).
+    last_busy_ns: u64,
 }
 
 impl<W: RegionWorld> Slot<W> {
     /// Process every pending event strictly below `window_end` (and at or
-    /// below the run horizon), then commit the window.
-    fn run_window(&mut self, window_end: SimTime, horizon: SimTime, lookahead: &Lookahead) {
+    /// below the run horizon), then commit the window. `timed` records the
+    /// window's wall-clock cost into `last_busy_ns` (profiling only — it
+    /// cannot affect event execution).
+    fn run_window(
+        &mut self,
+        window_end: SimTime,
+        horizon: SimTime,
+        lookahead: &Lookahead,
+        timed: bool,
+    ) {
+        let t0 = timed.then(Instant::now);
         while let Some(t) = self.queue.peek_time() {
             if t >= window_end || t > horizon {
                 break;
@@ -326,6 +399,9 @@ impl<W: RegionWorld> Slot<W> {
         // regions may have advanced on the promise that nothing older will
         // appear here.
         self.committed = self.committed.max(window_end);
+        if let Some(t0) = t0 {
+            self.last_busy_ns = t0.elapsed().as_nanos() as u64;
+        }
     }
 }
 
@@ -335,6 +411,7 @@ struct Job<W: RegionWorld> {
     index: usize,
     slot: Box<Slot<W>>,
     window_end: SimTime,
+    timed: bool,
 }
 
 /// The shard-parallel conservative engine.
@@ -372,6 +449,7 @@ impl<W: RegionWorld> ShardedEngine<W> {
                     committed: SimTime::ZERO,
                     processed: 0,
                     stopped: false,
+                    last_busy_ns: 0,
                 }))
             })
             .collect();
@@ -414,25 +492,44 @@ impl<W: RegionWorld> ShardedEngine<W> {
     /// cycle). An idle region constrains nobody: any future activity there
     /// descends from some region's currently pending event, which the
     /// closure already accounts for.
-    fn compute_safe_horizons(&self, out: &mut Vec<SimTime>) {
+    ///
+    /// When `sources` is given (profiling), it is filled with the argmin
+    /// region `j` that bound each horizon — which pending event the barrier
+    /// is waiting on (`-1` when unbounded). Ties break to the lowest `j`,
+    /// so attribution is deterministic.
+    fn compute_safe_horizons(&self, out: &mut Vec<SimTime>, mut sources: Option<&mut Vec<i64>>) {
         let n = self.slots.len();
         out.clear();
+        if let Some(s) = sources.as_deref_mut() {
+            s.clear();
+        }
         if n == 1 {
             out.push(SimTime::MAX);
+            if let Some(s) = sources {
+                s.push(-1);
+            }
             return;
         }
         let peeks: Vec<Option<SimTime>> = (0..n).map(|i| self.slot(i).queue.peek_time()).collect();
         for i in 0..n {
             let mut h = SimTime::MAX;
+            let mut src = -1i64;
             for (j, peek) in peeks.iter().enumerate() {
                 let Some(t) = peek else { continue };
                 let d = self.lookahead.influence(j as RegionId, i as RegionId);
                 if d == NEVER {
                     continue;
                 }
-                h = h.min(t.saturating_add(d));
+                let bound = t.saturating_add(d);
+                if bound < h {
+                    h = bound;
+                    src = j as i64;
+                }
             }
             out.push(h);
+            if let Some(s) = sources.as_deref_mut() {
+                s.push(src);
+            }
         }
     }
 
@@ -480,6 +577,7 @@ impl<W: RegionWorld> ShardedEngine<W> {
         &self,
         safe: &mut Vec<SimTime>,
         jobs: &mut Vec<usize>,
+        sources: Option<&mut Vec<i64>>,
     ) -> Result<(), ShardStopReason> {
         if (0..self.slots.len()).any(|i| self.slot(i).stopped) {
             return Err(ShardStopReason::Stopped);
@@ -497,7 +595,7 @@ impl<W: RegionWorld> ShardedEngine<W> {
         if t_min > self.horizon {
             return Err(ShardStopReason::HorizonReached);
         }
-        self.compute_safe_horizons(safe);
+        self.compute_safe_horizons(safe, sources);
         jobs.clear();
         for (i, &safe_i) in safe.iter().enumerate().take(self.slots.len()) {
             if let Some(t) = self.slot(i).queue.peek_time() {
@@ -516,28 +614,104 @@ impl<W: RegionWorld> ShardedEngine<W> {
         Ok(())
     }
 
+    /// Snapshot per-region counters before an epoch's windows run, so
+    /// window samples can report deltas (profiling only).
+    fn snapshot_pre_epoch(&self, s: &mut EpochScratch) {
+        s.processed.clear();
+        s.queue.clear();
+        s.committed.clear();
+        for i in 0..self.slots.len() {
+            let slot = self.slot(i);
+            s.processed.push(slot.processed);
+            s.queue.push(slot.queue.len() as u64);
+            s.committed.push(slot.committed.as_nanos());
+        }
+    }
+
+    /// Deliver one [`WindowSample`] per region (ascending) for the epoch
+    /// just executed. Must run before the merge drains the outboxes.
+    fn emit_window_samples(
+        &self,
+        probe: &mut dyn ShardProbe,
+        s: &EpochScratch,
+        safe: &[SimTime],
+        jobs: &[usize],
+        epoch: u64,
+    ) {
+        for (i, &window_end) in safe.iter().enumerate().take(self.slots.len()) {
+            let slot = self.slot(i);
+            // `jobs` is built by an ascending scan, so it is sorted.
+            let active = jobs.binary_search(&i).is_ok();
+            probe.window(&WindowSample {
+                epoch,
+                region: i as RegionId,
+                active,
+                events: slot.processed - s.processed[i],
+                busy_ns: if active { slot.last_busy_ns } else { 0 },
+                queue_depth: s.queue[i],
+                outbox: slot.outbox.len() as u64,
+                window_start_ns: s.committed[i],
+                window_end_ns: window_end.as_nanos(),
+                bound_by: s.sources[i],
+            });
+        }
+    }
+
     /// Run to completion using `threads` workers (clamped to the region
     /// count; 1 executes every window on the calling thread).
-    pub fn run(mut self, threads: usize) -> (ShardRunReport, Vec<W>) {
+    pub fn run(self, threads: usize) -> (ShardRunReport, Vec<W>) {
+        self.run_probed(threads, None)
+    }
+
+    /// [`run`](ShardedEngine::run) with an optional execution profiler.
+    ///
+    /// With `None` this is exactly `run` — no timing calls, no extra
+    /// branches beyond one `Option` check per epoch. With a probe, windows
+    /// are timed and per-epoch samples are delivered on the coordinator
+    /// thread; simulation results are identical either way (the probe only
+    /// observes slots between epochs).
+    pub fn run_probed(
+        mut self,
+        threads: usize,
+        mut probe: Option<&mut dyn ShardProbe>,
+    ) -> (ShardRunReport, Vec<W>) {
         assert!(threads >= 1, "at least one thread");
         let workers = threads.min(self.slots.len());
+        let t_run = Instant::now();
         let mut epochs = 0u64;
         let mut cross_region = 0u64;
         let mut safe: Vec<SimTime> = Vec::with_capacity(self.slots.len());
         let mut jobs: Vec<usize> = Vec::with_capacity(self.slots.len());
+        let mut scratch = EpochScratch::default();
 
         let reason = if workers <= 1 {
             loop {
-                if let Err(reason) = self.epoch_plan(&mut safe, &mut jobs) {
+                let sources = probe.is_some().then_some(&mut scratch.sources);
+                if let Err(reason) = self.epoch_plan(&mut safe, &mut jobs, sources) {
                     break reason;
+                }
+                let timed = probe.is_some();
+                let t_epoch = timed.then(Instant::now);
+                if timed {
+                    self.snapshot_pre_epoch(&mut scratch);
                 }
                 epochs += 1;
                 for &i in &jobs {
                     let mut slot = self.slots[i].take().expect("slot present");
-                    slot.run_window(safe[i], self.horizon, &self.lookahead);
+                    slot.run_window(safe[i], self.horizon, &self.lookahead, timed);
                     self.slots[i] = Some(slot);
                 }
-                cross_region += self.merge_outboxes();
+                if let Some(p) = probe.as_deref_mut() {
+                    self.emit_window_samples(p, &scratch, &safe, &jobs, epochs);
+                }
+                let t_merge = timed.then(Instant::now);
+                let merged = self.merge_outboxes();
+                cross_region += merged;
+                if let Some(p) = probe.as_deref_mut() {
+                    let merge_ns = t_merge.expect("timed").elapsed().as_nanos() as u64;
+                    let wall_ns = t_epoch.expect("timed").elapsed().as_nanos() as u64;
+                    p.epoch_end(epochs, wall_ns, merged, merge_ns);
+                }
             }
         } else {
             // Persistent pool: regions are assigned to workers statically
@@ -558,7 +732,8 @@ impl<W: RegionWorld> ShardedEngine<W> {
                     work_txs.push(tx);
                     scope.spawn(move || {
                         while let Ok(mut job) = rx.recv() {
-                            job.slot.run_window(job.window_end, horizon, &lookahead);
+                            job.slot
+                                .run_window(job.window_end, horizon, &lookahead, job.timed);
                             if done.send(job).is_err() {
                                 break;
                             }
@@ -567,15 +742,21 @@ impl<W: RegionWorld> ShardedEngine<W> {
                 }
                 drop(done_tx);
                 loop {
-                    if let Err(reason) = self.epoch_plan(&mut safe, &mut jobs) {
+                    let sources = probe.is_some().then_some(&mut scratch.sources);
+                    if let Err(reason) = self.epoch_plan(&mut safe, &mut jobs, sources) {
                         break reason;
+                    }
+                    let timed = probe.is_some();
+                    let t_epoch = timed.then(Instant::now);
+                    if timed {
+                        self.snapshot_pre_epoch(&mut scratch);
                     }
                     epochs += 1;
                     if jobs.len() == 1 {
                         // A serial epoch: skip the pool round-trip.
                         let i = jobs[0];
                         let mut slot = self.slots[i].take().expect("slot present");
-                        slot.run_window(safe[i], horizon, &lookahead);
+                        slot.run_window(safe[i], horizon, &lookahead, timed);
                         self.slots[i] = Some(slot);
                     } else {
                         for &i in &jobs {
@@ -584,6 +765,7 @@ impl<W: RegionWorld> ShardedEngine<W> {
                                 index: i,
                                 slot,
                                 window_end: safe[i],
+                                timed,
                             };
                             work_txs[i % workers]
                                 .send(job)
@@ -594,7 +776,17 @@ impl<W: RegionWorld> ShardedEngine<W> {
                             self.slots[job.index] = Some(job.slot);
                         }
                     }
-                    cross_region += self.merge_outboxes();
+                    if let Some(p) = probe.as_deref_mut() {
+                        self.emit_window_samples(p, &scratch, &safe, &jobs, epochs);
+                    }
+                    let t_merge = timed.then(Instant::now);
+                    let merged = self.merge_outboxes();
+                    cross_region += merged;
+                    if let Some(p) = probe.as_deref_mut() {
+                        let merge_ns = t_merge.expect("timed").elapsed().as_nanos() as u64;
+                        let wall_ns = t_epoch.expect("timed").elapsed().as_nanos() as u64;
+                        p.epoch_end(epochs, wall_ns, merged, merge_ns);
+                    }
                 }
             })
         };
@@ -615,6 +807,9 @@ impl<W: RegionWorld> ShardedEngine<W> {
             epochs,
             end_time,
         };
+        if let Some(p) = probe {
+            p.run_end(&report, t_run.elapsed().as_nanos() as u64);
+        }
         let worlds = self
             .slots
             .into_iter()
@@ -914,5 +1109,97 @@ mod tests {
         // No links ⇒ every safe horizon is ∞ ⇒ each region drains in one
         // window and the run is a single epoch.
         assert_eq!(report.epochs, 1);
+    }
+
+    /// Records everything a probe sees, keeping only sim-derived fields so
+    /// runs can be compared across worker counts.
+    #[derive(Default)]
+    struct Recorder {
+        // (epoch, region, active, events, queue_depth, outbox, start, end, bound_by)
+        windows: Vec<(u64, u32, bool, u64, u64, u64, u64, u64, i64)>,
+        merges: Vec<(u64, u64)>, // (epoch, merged)
+        run: Option<(u64, u64)>, // (events_processed, epochs)
+    }
+
+    impl ShardProbe for Recorder {
+        fn window(&mut self, s: &WindowSample) {
+            self.windows.push((
+                s.epoch,
+                s.region,
+                s.active,
+                s.events,
+                s.queue_depth,
+                s.outbox,
+                s.window_start_ns,
+                s.window_end_ns,
+                s.bound_by,
+            ));
+        }
+        fn epoch_end(&mut self, epoch: u64, _wall_ns: u64, merged: u64, _merge_ns: u64) {
+            self.merges.push((epoch, merged));
+        }
+        fn run_end(&mut self, report: &ShardRunReport, _wall_ns: u64) {
+            self.run = Some((report.events_processed, report.epochs));
+        }
+    }
+
+    #[test]
+    fn probe_samples_are_identical_across_worker_counts() {
+        let run = |threads: usize| {
+            let hop = SimDuration::from_micros(250);
+            let worlds: Vec<Ring> = (0..6)
+                .map(|_| Ring {
+                    n: 6,
+                    hop,
+                    visits: vec![],
+                })
+                .collect();
+            let mut eng =
+                ShardedEngine::new(worlds, Lookahead::uniform(6, hop), SimTime::from_secs(1));
+            eng.prime(0, SimTime::ZERO, Token(300));
+            let mut rec = Recorder::default();
+            let (report, _) = eng.run_probed(threads, Some(&mut rec));
+            (report.events_processed, rec)
+        };
+        let (e1, r1) = run(1);
+        let (e2, r2) = run(2);
+        let (e8, r8) = run(8);
+        assert_eq!(e1, 301);
+        assert_eq!((e1, e2), (e2, e8));
+        assert!(!r1.windows.is_empty());
+        assert_eq!(r1.windows, r2.windows);
+        assert_eq!(r1.windows, r8.windows);
+        assert_eq!(r1.merges, r2.merges);
+        assert_eq!(r1.merges, r8.merges);
+        assert_eq!(r1.run, r2.run);
+        assert_eq!(r1.run, r8.run);
+        // Every window's bound is attributable: either a region index or -1.
+        assert!(r1
+            .windows
+            .iter()
+            .all(|w| w.8 == -1 || (w.8 >= 0 && w.8 < 6)));
+    }
+
+    #[test]
+    fn probing_does_not_change_results() {
+        let base = ring_engine(5, 400, 2);
+        let hop = SimDuration::from_micros(250);
+        let worlds: Vec<Ring> = (0..5)
+            .map(|_| Ring {
+                n: 5,
+                hop,
+                visits: vec![],
+            })
+            .collect();
+        let mut eng =
+            ShardedEngine::new(worlds, Lookahead::uniform(5, hop), SimTime::from_secs(10));
+        eng.prime(0, SimTime::ZERO, Token(400));
+        let mut rec = Recorder::default();
+        let (report, worlds) = eng.run_probed(2, Some(&mut rec));
+        assert_eq!(report.events_processed, base.0.events_processed);
+        assert_eq!(report.epochs, base.0.epochs);
+        for (a, b) in worlds.iter().zip(base.1.iter()) {
+            assert_eq!(a.visits, b.visits);
+        }
     }
 }

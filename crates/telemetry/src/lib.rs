@@ -18,15 +18,21 @@
 pub mod config;
 pub mod counters;
 pub mod event;
+pub mod export;
+pub mod histogram;
 pub mod json;
 pub mod manifest;
 pub mod merge;
+pub mod profile;
 pub mod sink;
 
 pub use config::{next_run_id, shared_file_sink, TelemetryConfig};
 pub use counters::{counter_for_ctrl_drop, counter_for_drop, counter_for_event, Counters};
 pub use event::{DropReason, EventKind, FaultCode, TelemetryEvent};
+pub use export::{counters_to_prometheus, profile_to_prometheus};
+pub use histogram::LogHistogram;
 pub use json::{escape_json, parse_object, JsonValue};
 pub use manifest::{git_rev, RunManifest};
 pub use merge::{first_divergence, merge_region_traces, Divergence, FieldDelta};
+pub use profile::{sample_host, HostSample, RegionProfile, ShardProfile, ShardProfiler};
 pub use sink::{ConsoleSink, EventSink, FileSink, MemorySink, SharedSink, TeeSink, Tel};

@@ -25,6 +25,11 @@ pub struct RunManifest {
     pub wall_s: f64,
     /// Total engine events processed across all replications.
     pub events_processed: u64,
+    /// Logical cores on the host that produced this run (0 = unknown).
+    pub host_cores: u64,
+    /// Peak resident set size of the producing process in bytes
+    /// (`VmHWM`; 0 = unavailable).
+    pub peak_rss_bytes: u64,
     /// Aggregated counter registry across all replications.
     pub counters: Counters,
 }
@@ -62,6 +67,8 @@ impl RunManifest {
             "  \"events_processed\": {},\n",
             self.events_processed
         ));
+        s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
+        s.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
         s.push_str(&format!("  \"counters\": {}\n", self.counters.to_json()));
         s.push_str("}\n");
         s
@@ -108,6 +115,8 @@ mod tests {
             params: vec![("duration_s".into(), "60".into())],
             wall_s: 1.25,
             events_processed: 1000,
+            host_cores: 4,
+            peak_rss_bytes: 123_456_789,
             counters,
         };
         let j = m.to_json();
@@ -118,6 +127,8 @@ mod tests {
             "\"seeds\": [1, 2, 3]",
             "\"duration_s\": \"60\"",
             "\"events_processed\": 1000",
+            "\"host_cores\": 4",
+            "\"peak_rss_bytes\": 123456789",
             "\"rreq_originated\":12",
         ] {
             assert!(j.contains(needle), "missing {needle} in:\n{j}");

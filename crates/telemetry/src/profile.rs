@@ -1,0 +1,521 @@
+//! Shard-engine execution profiling.
+//!
+//! [`ShardProfiler`] implements [`wmn_sim::shard::ShardProbe`] and folds the
+//! per-epoch window samples delivered by the engine into a [`ShardProfile`]:
+//! per-region totals (events, busy/barrier-wait wall time, outbox volume,
+//! stall attribution) plus log-scale histograms for event service time,
+//! queue depth, and epoch width, and a host sample (cores, peak RSS).
+//!
+//! Field discipline: everything in the profile except `*_ns` wall-clock
+//! fields and the host sample is derived purely from simulation state, so it
+//! is bit-identical for any worker count. [`ShardProfile::sim_fingerprint`]
+//! captures exactly that deterministic subset for tests.
+
+use crate::histogram::LogHistogram;
+use crate::json::{escape_json, get, parse_object, JsonValue};
+use wmn_sim::shard::{ShardProbe, ShardRunReport, WindowSample};
+
+/// Schema tag written into every profile artifact.
+pub const PROFILE_SCHEMA: &str = "wmn-shard-profile/1";
+
+/// A point-in-time sample of the host and process.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HostSample {
+    /// Logical cores available to this process.
+    pub host_cores: u64,
+    /// Peak resident set size in bytes (`VmHWM`), 0 if unavailable.
+    pub peak_rss_bytes: u64,
+    /// OS threads in this process, 0 if unavailable.
+    pub process_threads: u64,
+}
+
+/// Sample the host: core count from the runtime, peak RSS and thread count
+/// from `/proc/self/status` (zeros on platforms without procfs).
+pub fn sample_host() -> HostSample {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(0);
+    let mut s = HostSample {
+        host_cores,
+        ..HostSample::default()
+    };
+    if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                if let Some(kb) = rest
+                    .split_whitespace()
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                {
+                    s.peak_rss_bytes = 1024 * kb;
+                }
+            } else if let Some(rest) = line.strip_prefix("Threads:") {
+                s.process_threads = rest.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    s
+}
+
+/// Per-region execution totals accumulated over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegionProfile {
+    /// Region index.
+    pub region: u32,
+    /// Events executed by this region.
+    pub events: u64,
+    /// Wall time spent executing windows (wall-clock; excluded from the
+    /// deterministic fingerprint).
+    pub busy_ns: u64,
+    /// Wall time spent waiting at epoch barriers: epoch wall minus this
+    /// region's own window time, summed over epochs (wall-clock).
+    pub wait_ns: u64,
+    /// Cross-region events this region emitted (outbox volume).
+    pub outbox: u64,
+    /// Epochs in which this region had a window to run.
+    pub active_windows: u64,
+    /// Epochs in which this region had pending events but no window — it
+    /// was stalled behind another region's safe horizon.
+    pub stalled_windows: u64,
+    /// Epochs in which this region's clock was the binding constraint on
+    /// some other region's safe horizon (stall-source count).
+    pub bound_others: u64,
+    /// Largest event-queue depth observed at an epoch boundary.
+    pub max_queue: u64,
+}
+
+impl RegionProfile {
+    /// Share of barrier-synchronised wall time this region spent busy
+    /// (`busy / (busy + wait)`), or 0.0 with no samples.
+    pub fn utilisation(&self) -> f64 {
+        let total = self.busy_ns + self.wait_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / total as f64
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"region\":{},\"events\":{},\"busy_ns\":{},\"wait_ns\":{},\"outbox\":{},\"active_windows\":{},\"stalled_windows\":{},\"bound_others\":{},\"max_queue\":{}}}",
+            self.region,
+            self.events,
+            self.busy_ns,
+            self.wait_ns,
+            self.outbox,
+            self.active_windows,
+            self.stalled_windows,
+            self.bound_others,
+            self.max_queue,
+        )
+    }
+
+    fn from_json(line: &str) -> Option<Self> {
+        let obj = parse_object(line)?;
+        let f = |k: &str| get(&obj, k).and_then(JsonValue::as_u64);
+        Some(Self {
+            region: f("region")? as u32,
+            events: f("events")?,
+            busy_ns: f("busy_ns")?,
+            wait_ns: f("wait_ns")?,
+            outbox: f("outbox")?,
+            active_windows: f("active_windows")?,
+            stalled_windows: f("stalled_windows")?,
+            bound_others: f("bound_others")?,
+            max_queue: f("max_queue")?,
+        })
+    }
+}
+
+/// A complete execution profile of one sharded-engine run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardProfile {
+    /// Schema tag ([`PROFILE_SCHEMA`]).
+    pub schema: String,
+    /// Worker threads requested for the run.
+    pub threads: u64,
+    /// Number of regions.
+    pub regions: u64,
+    /// Epoch barriers executed.
+    pub epochs: u64,
+    /// Total events processed.
+    pub events: u64,
+    /// Cross-region events merged.
+    pub cross_region: u64,
+    /// Committed simulation end time in nanoseconds.
+    pub end_time_ns: u64,
+    /// Total run wall time (wall-clock).
+    pub wall_ns: u64,
+    /// Wall time spent in the deterministic outbox merge (wall-clock).
+    pub merge_ns: u64,
+    /// Host sample taken when the profile was finalised.
+    pub host: HostSample,
+    /// Per-region totals, ascending by region index.
+    pub per_region: Vec<RegionProfile>,
+    /// Wall time per event within a window (`busy_ns / events`; wall-clock).
+    pub service_ns: LogHistogram,
+    /// Event-queue depth per region per epoch boundary.
+    pub queue_depth: LogHistogram,
+    /// Width of bounded safe windows in nanoseconds (sim time).
+    pub epoch_width_ns: LogHistogram,
+}
+
+impl ShardProfile {
+    /// Ratio of the busiest region's event count to the mean region event
+    /// count (1.0 = perfectly balanced), or 0.0 with no events.
+    pub fn imbalance_factor(&self) -> f64 {
+        if self.per_region.is_empty() || self.events == 0 {
+            return 0.0;
+        }
+        let max = self.per_region.iter().map(|r| r.events).max().unwrap_or(0);
+        let mean = self.events as f64 / self.per_region.len() as f64;
+        max as f64 / mean
+    }
+
+    /// Share of all regions' barrier-synchronised wall time spent waiting
+    /// rather than executing (`Σ wait / Σ (busy + wait)`).
+    pub fn barrier_wait_share(&self) -> f64 {
+        let busy: u64 = self.per_region.iter().map(|r| r.busy_ns).sum();
+        let wait: u64 = self.per_region.iter().map(|r| r.wait_ns).sum();
+        if busy + wait == 0 {
+            0.0
+        } else {
+            wait as f64 / (busy + wait) as f64
+        }
+    }
+
+    /// Regions that most often set the binding safe horizon for others,
+    /// as `(region, epochs_bound)` descending; ties broken by region index.
+    pub fn top_stall_sources(&self, k: usize) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self
+            .per_region
+            .iter()
+            .filter(|r| r.bound_others > 0)
+            .map(|r| (r.region, r.bound_others))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// A canonical string over only the simulation-derived fields (no wall
+    /// clocks, no host sample). Equal across worker counts by construction;
+    /// tests assert exactly that.
+    pub fn sim_fingerprint(&self) -> String {
+        let mut out = format!(
+            "regions={} epochs={} events={} cross_region={} end_time_ns={}\n",
+            self.regions, self.epochs, self.events, self.cross_region, self.end_time_ns
+        );
+        for r in &self.per_region {
+            out.push_str(&format!(
+                "r{} events={} outbox={} active={} stalled={} bound_others={} max_queue={}\n",
+                r.region,
+                r.events,
+                r.outbox,
+                r.active_windows,
+                r.stalled_windows,
+                r.bound_others,
+                r.max_queue
+            ));
+        }
+        out.push_str(&format!("queue_depth={}\n", self.queue_depth.to_json()));
+        out.push_str(&format!(
+            "epoch_width_ns={}\n",
+            self.epoch_width_ns.to_json()
+        ));
+        out
+    }
+
+    /// Serialise as line-oriented JSON: scalars one per line, each region
+    /// and each histogram a single flat object on its own line (parseable
+    /// by the offline flat codec).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"schema\": \"{}\",\n",
+            escape_json(&self.schema)
+        ));
+        for (k, v) in [
+            ("threads", self.threads),
+            ("regions", self.regions),
+            ("epochs", self.epochs),
+            ("events", self.events),
+            ("cross_region", self.cross_region),
+            ("end_time_ns", self.end_time_ns),
+            ("wall_ns", self.wall_ns),
+            ("merge_ns", self.merge_ns),
+            ("host_cores", self.host.host_cores),
+            ("peak_rss_bytes", self.host.peak_rss_bytes),
+            ("process_threads", self.host.process_threads),
+        ] {
+            out.push_str(&format!("  \"{}\": {},\n", k, v));
+        }
+        out.push_str("  \"per_region\": [\n");
+        for (i, r) in self.per_region.iter().enumerate() {
+            let sep = if i + 1 < self.per_region.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!("    {}{}\n", r.to_json(), sep));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"service_ns\": {},\n",
+            self.service_ns.to_json()
+        ));
+        out.push_str(&format!(
+            "  \"queue_depth\": {},\n",
+            self.queue_depth.to_json()
+        ));
+        out.push_str(&format!(
+            "  \"epoch_width_ns\": {}\n",
+            self.epoch_width_ns.to_json()
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parse the line-oriented encoding written by
+    /// [`to_json`](ShardProfile::to_json).
+    pub fn from_json(text: &str) -> Option<Self> {
+        let mut p = ShardProfile::default();
+        let mut saw_schema = false;
+        for line in text.lines() {
+            let t = line.trim();
+            let t = t.strip_suffix(',').unwrap_or(t);
+            if t.starts_with("{\"region\":") {
+                p.per_region.push(RegionProfile::from_json(t)?);
+            } else if let Some(rest) = t.strip_prefix("\"service_ns\": ") {
+                p.service_ns = LogHistogram::from_json(rest)?;
+            } else if let Some(rest) = t.strip_prefix("\"queue_depth\": ") {
+                p.queue_depth = LogHistogram::from_json(rest)?;
+            } else if let Some(rest) = t.strip_prefix("\"epoch_width_ns\": ") {
+                p.epoch_width_ns = LogHistogram::from_json(rest)?;
+            } else if let Some(rest) = t.strip_prefix("\"schema\": ") {
+                p.schema = rest.trim_matches('"').to_string();
+                saw_schema = true;
+            } else if let Some((key, val)) = t
+                .strip_prefix('"')
+                .and_then(|r| r.split_once("\": "))
+                .and_then(|(k, v)| v.parse::<u64>().ok().map(|n| (k.to_string(), n)))
+            {
+                match key.as_str() {
+                    "threads" => p.threads = val,
+                    "regions" => p.regions = val,
+                    "epochs" => p.epochs = val,
+                    "events" => p.events = val,
+                    "cross_region" => p.cross_region = val,
+                    "end_time_ns" => p.end_time_ns = val,
+                    "wall_ns" => p.wall_ns = val,
+                    "merge_ns" => p.merge_ns = val,
+                    "host_cores" => p.host.host_cores = val,
+                    "peak_rss_bytes" => p.host.peak_rss_bytes = val,
+                    "process_threads" => p.host.process_threads = val,
+                    _ => {}
+                }
+            }
+        }
+        if !saw_schema {
+            return None;
+        }
+        Some(p)
+    }
+}
+
+/// A [`ShardProbe`] that accumulates a [`ShardProfile`].
+///
+/// Create one, pass `Some(&mut profiler)` to
+/// [`ShardedEngine::run_probed`](wmn_sim::shard::ShardedEngine::run_probed),
+/// then call [`finish`](ShardProfiler::finish).
+#[derive(Debug, Default)]
+pub struct ShardProfiler {
+    threads: u64,
+    acc: Vec<RegionProfile>,
+    cur_busy: Vec<u64>,
+    service_ns: LogHistogram,
+    queue_depth: LogHistogram,
+    epoch_width_ns: LogHistogram,
+    epochs: u64,
+    merge_ns: u64,
+    wall_ns: u64,
+    events: u64,
+    cross_region: u64,
+    end_time_ns: u64,
+}
+
+impl ShardProfiler {
+    /// New profiler for a run with `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads as u64,
+            ..Self::default()
+        }
+    }
+
+    fn grow_to(&mut self, region: u32) {
+        while self.acc.len() <= region as usize {
+            let next = self.acc.len() as u32;
+            self.acc.push(RegionProfile {
+                region: next,
+                ..RegionProfile::default()
+            });
+            self.cur_busy.push(0);
+        }
+    }
+
+    /// Finalise into a [`ShardProfile`], sampling the host.
+    pub fn finish(self) -> ShardProfile {
+        ShardProfile {
+            schema: PROFILE_SCHEMA.to_string(),
+            threads: self.threads,
+            regions: self.acc.len() as u64,
+            epochs: self.epochs,
+            events: self.events,
+            cross_region: self.cross_region,
+            end_time_ns: self.end_time_ns,
+            wall_ns: self.wall_ns,
+            merge_ns: self.merge_ns,
+            host: sample_host(),
+            per_region: self.acc,
+            service_ns: self.service_ns,
+            queue_depth: self.queue_depth,
+            epoch_width_ns: self.epoch_width_ns,
+        }
+    }
+}
+
+impl ShardProbe for ShardProfiler {
+    fn window(&mut self, s: &WindowSample) {
+        self.grow_to(s.region);
+        if s.bound_by >= 0 {
+            self.grow_to(s.bound_by as u32);
+            self.acc[s.bound_by as usize].bound_others += 1;
+        }
+        let r = &mut self.acc[s.region as usize];
+        r.events += s.events;
+        r.outbox += s.outbox;
+        r.max_queue = r.max_queue.max(s.queue_depth);
+        if s.active {
+            r.active_windows += 1;
+            r.busy_ns += s.busy_ns;
+            self.cur_busy[s.region as usize] = s.busy_ns;
+            self.service_ns.record(s.busy_ns / s.events.max(1));
+        } else if s.queue_depth > 0 {
+            r.stalled_windows += 1;
+        }
+        self.queue_depth.record(s.queue_depth);
+        if s.window_end_ns != u64::MAX {
+            self.epoch_width_ns
+                .record(s.window_end_ns.saturating_sub(s.window_start_ns));
+        }
+    }
+
+    fn epoch_end(&mut self, epoch: u64, wall_ns: u64, _merged: u64, merge_ns: u64) {
+        self.epochs = epoch;
+        self.merge_ns += merge_ns;
+        for (r, busy) in self.acc.iter_mut().zip(self.cur_busy.iter_mut()) {
+            r.wait_ns += wall_ns.saturating_sub(*busy);
+            *busy = 0;
+        }
+    }
+
+    fn run_end(&mut self, report: &ShardRunReport, wall_ns: u64) {
+        self.wall_ns = wall_ns;
+        self.events = report.events_processed;
+        self.cross_region = report.cross_region;
+        self.end_time_ns = report.end_time.as_nanos();
+        // Regions that never sent a window sample still exist; size from
+        // the report so `regions` is right even for degenerate runs.
+        if report.per_region.len() > self.acc.len() {
+            self.grow_to(report.per_region.len() as u32 - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> ShardProfile {
+        let mut profiler = ShardProfiler::new(2);
+        for epoch in 1..=3u64 {
+            for region in 0..2u32 {
+                profiler.window(&WindowSample {
+                    epoch,
+                    region,
+                    active: region == 0 || epoch > 1,
+                    events: 10 * (region as u64 + 1),
+                    busy_ns: 500 + region as u64,
+                    queue_depth: 4 + epoch,
+                    outbox: region as u64,
+                    window_start_ns: epoch * 1000,
+                    window_end_ns: epoch * 1000 + 250,
+                    bound_by: if region == 0 { 1 } else { -1 },
+                });
+            }
+            profiler.epoch_end(epoch, 2000, 3, 100);
+        }
+        profiler.run_end(
+            &ShardRunReport {
+                reason: wmn_sim::shard::ShardStopReason::QueueEmpty,
+                events_processed: 60,
+                per_region: vec![30, 30],
+                cross_region: 9,
+                epochs: 3,
+                end_time: wmn_sim::SimTime(4000),
+            },
+            123_456,
+        );
+        profiler.finish()
+    }
+
+    #[test]
+    fn profiler_accumulates_and_attributes() {
+        let p = sample_profile();
+        assert_eq!(p.schema, PROFILE_SCHEMA);
+        assert_eq!(p.regions, 2);
+        assert_eq!(p.epochs, 3);
+        assert_eq!(p.events, 60);
+        assert_eq!(p.per_region[1].bound_others, 3);
+        assert_eq!(p.per_region[0].bound_others, 0);
+        assert_eq!(p.top_stall_sources(3), vec![(1, 3)]);
+        assert!(p.barrier_wait_share() > 0.0 && p.barrier_wait_share() < 1.0);
+        assert!(p.imbalance_factor() >= 1.0);
+        assert_eq!(p.queue_depth.count(), 6);
+        assert_eq!(p.epoch_width_ns.count(), 6);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let p = sample_profile();
+        let parsed = ShardProfile::from_json(&p.to_json()).expect("parse");
+        assert_eq!(parsed, p);
+        assert_eq!(parsed.sim_fingerprint(), p.sim_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_excludes_wall_fields() {
+        let a = sample_profile();
+        let mut b = a.clone();
+        b.wall_ns = 1;
+        b.merge_ns = 2;
+        b.host = HostSample::default();
+        for r in &mut b.per_region {
+            r.busy_ns = 7;
+            r.wait_ns = 7;
+        }
+        b.service_ns = LogHistogram::new();
+        assert_eq!(a.sim_fingerprint(), b.sim_fingerprint());
+    }
+
+    #[test]
+    fn host_sample_sees_this_process() {
+        let h = sample_host();
+        assert!(h.host_cores >= 1);
+        // procfs is present on the CI hosts; both fields should be live.
+        assert!(h.peak_rss_bytes > 0);
+        assert!(h.process_threads >= 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests of the profiling layer.
+//!
+//! 1. **Histogram merge is a commutative monoid**: merging in any order or
+//!    grouping yields the same histogram, and merging the empty histogram
+//!    is the identity — the algebra that lets per-region profiles fold
+//!    deterministically regardless of worker scheduling.
+//! 2. **The profile's simulation-derived fields are worker-count
+//!    invariant**: a `ShardProfiler` attached to the same scenario run
+//!    with 1, 2, or 8 workers produces identical `sim_fingerprint()`s
+//!    (wall-clock fields excluded by construction).
+
+use proptest::prelude::*;
+use wmn_sim::shard::{Lookahead, RegionCtx, RegionWorld, ShardedEngine};
+use wmn_sim::{SimDuration, SimRng, SimTime};
+use wmn_telemetry::{LogHistogram, ShardProfile, ShardProfiler};
+
+fn hist_of(samples: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// merge(a, b) == merge(b, a).
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..64),
+        b in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        // And the merge equals recording the union directly.
+        let mut union: Vec<u64> = a.clone();
+        union.extend_from_slice(&b);
+        prop_assert_eq!(&ab, &hist_of(&union));
+    }
+
+    /// merge(merge(a, b), c) == merge(a, merge(b, c)); empty is identity.
+    #[test]
+    fn histogram_merge_is_associative_with_identity(
+        a in prop::collection::vec(any::<u64>(), 0..48),
+        b in prop::collection::vec(any::<u64>(), 0..48),
+        c in prop::collection::vec(any::<u64>(), 0..48),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        let mut with_empty = left.clone();
+        with_empty.merge(&LogHistogram::new());
+        prop_assert_eq!(&with_empty, &left);
+    }
+
+    /// JSON encoding is lossless for arbitrary sample sets.
+    #[test]
+    fn histogram_json_roundtrips(samples in prop::collection::vec(any::<u64>(), 0..64)) {
+        let h = hist_of(&samples);
+        let parsed = LogHistogram::from_json(&h.to_json());
+        prop_assert_eq!(parsed, Some(h));
+    }
+}
+
+/// A small multi-region world: every region ticks periodically and
+/// forwards a pseudo-random share of its ticks to a pseudo-random
+/// neighbour, so queues, outboxes, and stalls all exercise.
+struct Mixer {
+    id: u32,
+    n: u32,
+    rng: SimRng,
+    remaining: u32,
+}
+
+#[derive(Debug)]
+struct Nudge;
+
+impl RegionWorld for Mixer {
+    type Event = Nudge;
+    fn handle(&mut self, _ev: Nudge, ctx: &mut RegionCtx<'_, Nudge>) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        let delay = SimDuration::from_micros(500 + self.rng.below(1_500));
+        ctx.after(delay, Nudge);
+        if self.rng.chance(0.4) {
+            let dst = self.rng.below(self.n as u64) as u32;
+            if dst != self.id {
+                ctx.send(dst, ctx.now() + SimDuration::from_millis(2), Nudge);
+            }
+        }
+    }
+}
+
+fn profiled_run(seed: u64, regions: u32, threads: usize) -> ShardProfile {
+    let worlds: Vec<Mixer> = (0..regions)
+        .map(|r| Mixer {
+            id: r,
+            n: regions,
+            rng: SimRng::derive(seed, 0x4D495845, r as u64),
+            remaining: 300,
+        })
+        .collect();
+    let mut eng = ShardedEngine::new(
+        worlds,
+        Lookahead::uniform(regions as usize, SimDuration::from_millis(2)),
+        SimTime::from_secs(2),
+    );
+    for r in 0..regions {
+        eng.prime(r, SimTime(1000 * r as u64), Nudge);
+    }
+    let mut profiler = ShardProfiler::new(threads);
+    eng.run_probed(threads, Some(&mut profiler));
+    profiler.finish()
+}
+
+proptest! {
+    /// Worker counts {1, 2, 8} yield identical simulation-derived profile
+    /// fields for random scenarios (the acceptance-criteria invariant).
+    #[test]
+    fn profile_sim_fields_are_worker_count_invariant(
+        seed in any::<u64>(),
+        regions in 2u32..7,
+    ) {
+        let p1 = profiled_run(seed, regions, 1);
+        let p2 = profiled_run(seed, regions, 2);
+        let p8 = profiled_run(seed, regions, 8);
+        prop_assert!(p1.events > 0);
+        prop_assert_eq!(p1.sim_fingerprint(), p2.sim_fingerprint());
+        prop_assert_eq!(p1.sim_fingerprint(), p8.sim_fingerprint());
+        // Wall-clock fields exist but are excluded from the fingerprint.
+        prop_assert!(p1.per_region.iter().map(|r| r.busy_ns).sum::<u64>() > 0);
+    }
+}

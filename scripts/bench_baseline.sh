@@ -53,6 +53,34 @@ BENCH_JSON="$TMP_SWEEPS" QUICK=1 ./target/release/fig13_parallel >/dev/null
 # committed full-resolution CSVs if we are in a clean checkout.
 git checkout -- results 2>/dev/null || true
 
+# Profiling-overhead guard: the shard profiler must stay near-free. Take
+# the best of 3 wall-clocks for the same 1k-node 2-thread parmesh run with
+# and without --profile-out (the CSV line's last field is wall seconds)
+# and fail if profiling costs more than 10 %. BENCH_NO_GUARD=1 skips the
+# failure (e.g. on a noisy shared host).
+parmesh_wall() {
+  local best="" wall
+  for _ in 1 2 3; do
+    wall=$(./target/release/wmn-sim --parmesh --nodes 1000 --flows 100 \
+      --duration 10 --warmup 2 --seed 3 --threads 2 --csv "$@" 2>/dev/null \
+      | tail -1 | awk -F, '{print $NF}')
+    if [ -z "$best" ] || awk -v a="$wall" -v b="$best" 'BEGIN{exit !(a<b)}'; then
+      best="$wall"
+    fi
+  done
+  echo "$best"
+}
+PLAIN_WALL=$(parmesh_wall)
+PROF_WALL=$(parmesh_wall --profile-out /dev/null)
+echo "profiling overhead guard: plain ${PLAIN_WALL}s, profiled ${PROF_WALL}s"
+if ! awk -v p="$PROF_WALL" -v b="$PLAIN_WALL" 'BEGIN{exit !(p <= b * 1.10)}'; then
+  if [ -z "${BENCH_NO_GUARD:-}" ]; then
+    echo "FAIL: profiling overhead exceeds 10% (${PROF_WALL}s vs ${PLAIN_WALL}s)" >&2
+    exit 1
+  fi
+  echo "WARN: profiling overhead exceeds 10% (guard disabled)" >&2
+fi
+
 python3 - "$OUT" "$TMP_MICRO" "$TMP_SWEEPS" <<'EOF'
 import datetime, json, os, sys
 

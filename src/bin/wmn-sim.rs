@@ -43,6 +43,8 @@ pub struct Options {
     pub regions: Option<usize>,
     /// Write the merged telemetry trace as JSONL to this path (ParMesh only).
     pub trace_out: Option<String>,
+    /// Write the engine execution profile as JSON to this path (ParMesh only).
+    pub profile_out: Option<String>,
     /// Scripted crashes: `(node, down_s, Some(up_s))` reboots, `None` stays down.
     pub fails: Vec<(u32, f64, Option<f64>)>,
     /// Stochastic churn `(mtbf_s, mttr_s)` applied to every node.
@@ -71,6 +73,7 @@ impl Default for Options {
             threads: 1,
             regions: None,
             trace_out: None,
+            profile_out: None,
             fails: Vec::new(),
             churn: None,
         }
@@ -104,6 +107,8 @@ OPTIONS (defaults in brackets):
   --threads N       worker threads for the sharded engine [1]
   --regions N       region-count override for the sharded engine
   --trace-out PATH  write the merged JSONL trace (with --parmesh)
+  --profile-out PATH  write the engine execution profile as JSON (with
+                    --parmesh; inspect with `wmn-trace profile`)
   --help            this text
 
 Set WMN_TELEMETRY=1 (and optionally WMN_TRACE_PATH, WMN_PROBE_MS) to
@@ -260,6 +265,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--trace-out" => o.trace_out = Some(val("--trace-out")?.clone()),
+            "--profile-out" => o.profile_out = Some(val("--profile-out")?.clone()),
             "--help" | "-h" => return Err(HELP.to_string()),
             other => return Err(format!("unknown flag '{other}'\n\n{HELP}")),
         }
@@ -282,8 +288,15 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     if o.threads < 1 {
         return Err("--threads must be ≥ 1".into());
     }
-    if !o.parmesh && (o.threads > 1 || o.regions.is_some() || o.trace_out.is_some()) {
-        return Err("--threads/--regions/--trace-out apply only with --parmesh".into());
+    if !o.parmesh
+        && (o.threads > 1
+            || o.regions.is_some()
+            || o.trace_out.is_some()
+            || o.profile_out.is_some())
+    {
+        return Err(
+            "--threads/--regions/--trace-out/--profile-out apply only with --parmesh".into(),
+        );
     }
     if o.random_placement && o.nodes.is_none() {
         return Err("--random requires --nodes".into());
@@ -302,7 +315,8 @@ fn run_parmesh(opts: &Options) {
         .flows(opts.flows)
         .duration(SimDuration::from_secs_f64(opts.duration_s))
         .threads(opts.threads)
-        .telemetry(opts.trace_out.is_some());
+        .telemetry(opts.trace_out.is_some())
+        .profile(opts.profile_out.is_some());
     if opts.pps > 0.0 {
         pm = pm.interval(SimDuration::from_secs_f64(1.0 / opts.pps));
     }
@@ -325,6 +339,19 @@ fn run_parmesh(opts: &Options) {
             std::process::exit(1);
         }
         eprintln!("wrote {} events to {path}", out.trace.len());
+    }
+
+    if let Some(path) = &opts.profile_out {
+        let p = out.profile.as_ref().expect("profiling was enabled");
+        if let Err(e) = std::fs::write(path, p.to_json()) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote profile to {path} (imbalance {:.2}, barrier-wait share {:.3})",
+            p.imbalance_factor(),
+            p.barrier_wait_share()
+        );
     }
 
     if opts.csv {
@@ -625,7 +652,8 @@ mod tests {
     #[test]
     fn parmesh_flags() {
         let o = parse_args(&argv(
-            "--parmesh --nodes 100000 --threads 8 --regions 64 --trace-out /tmp/t.jsonl",
+            "--parmesh --nodes 100000 --threads 8 --regions 64 --trace-out /tmp/t.jsonl \
+             --profile-out /tmp/p.json",
         ))
         .unwrap();
         assert!(o.parmesh);
@@ -633,10 +661,15 @@ mod tests {
         assert_eq!(o.threads, 8);
         assert_eq!(o.regions, Some(64));
         assert_eq!(o.trace_out.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(o.profile_out.as_deref(), Some("/tmp/p.json"));
         assert!(parse_args(&argv("--parmesh")).is_err(), "needs --nodes");
         assert!(
             parse_args(&argv("--nodes 1000 --threads 2")).is_err(),
             "--threads without --parmesh"
+        );
+        assert!(
+            parse_args(&argv("--nodes 1000 --profile-out /tmp/p.json")).is_err(),
+            "--profile-out without --parmesh"
         );
         assert!(
             parse_args(&argv("--nodes 100000")).is_err(),

@@ -117,6 +117,48 @@ fn stochastic_fault_schedules_are_a_pure_function_of_the_seed() {
 }
 
 #[test]
+fn parmesh_profiling_is_invisible_to_the_simulation() {
+    // Attaching the shard profiler must not perturb results: for every
+    // worker count the merged trace and report are byte-identical with
+    // profiling on and off, and the profile's simulation-derived fields
+    // are themselves identical across worker counts.
+    let run = |threads: usize, profile: bool| {
+        wmn::ParMesh::new(1_000)
+            .seed(11)
+            .flows(100)
+            .regions(4)
+            .duration(SimDuration::from_secs(3))
+            .threads(threads)
+            .telemetry(true)
+            .profile(profile)
+            .run()
+    };
+    let mut fingerprint: Option<String> = None;
+    for threads in [1usize, 2, 8] {
+        let plain = run(threads, false);
+        let profiled = run(threads, true);
+        assert!(plain.profile.is_none());
+        let p = profiled.profile.as_ref().expect("profile requested");
+        assert_eq!(
+            plain.trace, profiled.trace,
+            "profiling changed the trace at {threads} threads"
+        );
+        assert_eq!(plain.report.events, profiled.report.events);
+        assert_eq!(plain.report.delivered, profiled.report.delivered);
+        assert_eq!(p.events, profiled.report.events);
+        assert_eq!(p.epochs, profiled.report.epochs);
+        match &fingerprint {
+            None => fingerprint = Some(p.sim_fingerprint()),
+            Some(fp) => assert_eq!(
+                fp,
+                &p.sim_fingerprint(),
+                "profile sim fields changed at {threads} threads"
+            ),
+        }
+    }
+}
+
+#[test]
 fn parmesh_trace_is_identical_across_worker_counts() {
     // The shard-parallel engine's core guarantee, end to end: the scale
     // model under mobility + churn produces a bit-identical merged trace
