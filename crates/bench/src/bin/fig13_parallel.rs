@@ -170,6 +170,7 @@ fn main() {
         host_cores: host.host_cores,
         peak_rss_bytes: host.peak_rss_bytes,
         counters: Counters::new(),
+        lineage: vec![],
     };
     match manifest.write(std::path::Path::new("results")) {
         Ok(path) => eprintln!("[{}] wrote {}", spec.id, path.display()),

@@ -7,6 +7,7 @@
 //! wmn-trace convergence [trace.jsonl] [--bin-s S] [--run N]
 //! wmn-trace profile [profile.json | trace.jsonl] [--prometheus]
 //! wmn-trace diff a.jsonl b.jsonl [--ignore f1,f2]
+//! wmn-trace ckpt <checkpoint-dir | file.wmnckpt>
 //! ```
 //!
 //! The trace file defaults to `$WMN_TRACE_PATH`, then `trace.jsonl`.
@@ -27,7 +28,7 @@ use wmn_telemetry::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wmn-trace <summary|drops|timeline|convergence|profile|diff> [trace.jsonl] [options]\n\
+        "usage: wmn-trace <summary|drops|timeline|convergence|profile|diff|ckpt> [trace.jsonl] [options]\n\
          \n\
          summary      event totals per kind   [--verify <manifest.json>] [--run N]\n\
          drops        discard breakdown       [--by-reason] [--by-node] [--run N]\n\
@@ -37,7 +38,11 @@ fn usage() -> ! {
          \u{20}             reads a --profile-out JSON artifact, or falls back\n\
          \u{20}             to the trace's event-loop probe histograms\n\
          diff         first divergence between two traces\n\
-         \u{20}             wmn-trace diff a.jsonl b.jsonl [--ignore f1,f2]"
+         \u{20}             wmn-trace diff a.jsonl b.jsonl [--ignore f1,f2]\n\
+         ckpt         list checkpoints in a dir (or inspect one file):\n\
+         \u{20}             epoch, committed horizon, regions, events, size,\n\
+         \u{20}             checksum status, manifest lineage; corrupt files\n\
+         \u{20}             are reported and exit non-zero"
     );
     std::process::exit(2);
 }
@@ -60,6 +65,7 @@ fn known_flags(command: &str) -> &'static [(&'static str, bool)] {
         "convergence" => &[("bin-s", true), ("run", true)],
         "profile" => &[("prometheus", false), ("run", true)],
         "diff" => &[("ignore", true)],
+        "ckpt" => &[],
         _ => usage(),
     }
 }
@@ -704,11 +710,106 @@ fn diff(args: &Args) {
     }
 }
 
+/// `wmn-trace ckpt <dir|file>`: audit checkpoints without loading them.
+/// A directory lists every `.wmnckpt` inside (epoch order, stray names
+/// last); a single file is inspected alone. Each row shows the epoch,
+/// committed horizon, region/event counts, file size and integrity
+/// verdict; the run manifest's lineage (if the directory holds one) is
+/// echoed afterwards. Any unreadable or corrupt checkpoint exits 1 so CI
+/// can gate on the listing itself.
+fn ckpt_cmd(args: &Args) {
+    use wmn_sim::checkpoint;
+
+    let entries: Vec<(Option<u64>, std::path::PathBuf)> = if args.path.is_dir() {
+        match checkpoint::list_dir(&args.path) {
+            Ok(list) => list,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        vec![(None, args.path.clone())]
+    };
+    if entries.is_empty() {
+        println!("no checkpoints in {}", args.path.display());
+        return;
+    }
+
+    println!(
+        "{:>8}  {:>12}  {:>7}  {:>10}  {:>10}  status",
+        "epoch", "horizon_s", "regions", "events", "bytes"
+    );
+    let mut bad = 0usize;
+    for (_, path) in &entries {
+        let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let verdict = checkpoint::read_file(path).and_then(|bytes| checkpoint::inspect(&bytes));
+        match verdict {
+            Ok(meta) => {
+                println!(
+                    "{:>8}  {:>12.3}  {:>7}  {:>10}  {:>10}  ok  {}",
+                    meta.epoch,
+                    meta.committed_ns as f64 / 1e9,
+                    meta.regions,
+                    meta.events,
+                    size,
+                    path.file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_else(|| path.display().to_string()),
+                );
+            }
+            Err(e) => {
+                bad += 1;
+                println!(
+                    "{:>8}  {:>12}  {:>7}  {:>10}  {:>10}  CORRUPT  {}",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    size,
+                    path.display()
+                );
+                eprintln!("error: {}: {e}", path.display());
+            }
+        }
+    }
+
+    // Lineage comes from the run manifest wmn-sim drops next to its
+    // checkpoints; absent for bare files or dirs written by other tools.
+    let manifest = if args.path.is_dir() {
+        args.path.join("run_manifest.json")
+    } else {
+        args.path.with_file_name("run_manifest.json")
+    };
+    if let Ok(text) = std::fs::read_to_string(&manifest) {
+        if let Some(line) = text.lines().find(|l| l.contains("\"lineage\"")) {
+            let inner = line
+                .split_once('[')
+                .and_then(|(_, rest)| rest.rsplit_once(']'))
+                .map(|(inner, _)| inner)
+                .unwrap_or("");
+            println!("\nlineage ({}):", manifest.display());
+            for entry in inner.split("\", \"") {
+                let entry = entry.trim().trim_matches('"');
+                if !entry.is_empty() {
+                    println!("  - {entry}");
+                }
+            }
+        }
+    }
+
+    if bad > 0 {
+        eprintln!("{bad} corrupt checkpoint(s)");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = Args::parse();
     match args.command.as_str() {
         "diff" => return diff(&args),
         "profile" => return profile_cmd(&args),
+        "ckpt" => return ckpt_cmd(&args),
         _ => {}
     }
     let mut events = load(&args.path);

@@ -203,6 +203,7 @@ pub fn write_manifest(
         host_cores: host.host_cores,
         peak_rss_bytes: host.peak_rss_bytes,
         counters,
+        lineage: vec![],
     };
     match manifest.write(std::path::Path::new("results")) {
         Ok(path) => eprintln!("[{}] wrote {}", spec.id, path.display()),

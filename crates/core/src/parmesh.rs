@@ -40,9 +40,15 @@
 //! delay between separated areas.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Mutex};
 use wmn_metrics::ProbeSeries;
-use wmn_sim::shard::{Lookahead, RegionCtx, RegionId, RegionWorld, ShardedEngine};
+use wmn_sim::checkpoint::{self, ByteReader, ByteWriter, CheckpointError};
+use wmn_sim::shard::{
+    CheckpointState, CrashPlan, Lookahead, RegionCtx, RegionId, RegionWorld, ShardedEngine,
+    SupervisorConfig, SupervisorReport,
+};
 use wmn_sim::{SimDuration, SimRng, SimTime};
 use wmn_telemetry::{
     merge_region_traces, DropReason, EventKind, MemorySink, ShardProfile, ShardProfiler,
@@ -93,6 +99,11 @@ pub struct ParMesh {
     churn: bool,
     telemetry: bool,
     profile: bool,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: Option<SimDuration>,
+    resume: bool,
+    crash_plan: CrashPlan,
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl ParMesh {
@@ -112,6 +123,11 @@ impl ParMesh {
             churn: true,
             telemetry: false,
             profile: false,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            resume: false,
+            crash_plan: CrashPlan::default(),
+            interrupt: None,
         }
     }
 
@@ -182,9 +198,91 @@ impl ParMesh {
         self
     }
 
+    /// Write epoch-barrier checkpoints into `dir` (atomic temp+rename).
+    /// Implies the supervised engine; with no explicit
+    /// [`checkpoint_every`](ParMesh::checkpoint_every) the cadence defaults
+    /// to one simulated second.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Sim-time cadence between checkpoints.
+    pub fn checkpoint_every(mut self, every: SimDuration) -> Self {
+        self.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Resume from the highest-epoch checkpoint in
+    /// [`checkpoint_dir`](ParMesh::checkpoint_dir). Starts fresh when the
+    /// directory holds no checkpoints; refuses (structured error from
+    /// [`try_run`](ParMesh::try_run)) when the latest one is corrupt or
+    /// belongs to a different scenario.
+    pub fn resume(mut self, on: bool) -> Self {
+        self.resume = on;
+        self
+    }
+
+    /// Inject harness-level worker crashes (supervisor exercise; strictly
+    /// separate from in-sim node churn).
+    pub fn crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+
+    /// Cooperative interrupt flag, checked at every epoch barrier; when it
+    /// goes true the run writes a final checkpoint (if a checkpoint dir is
+    /// set) and stops with [`SupervisorReport::interrupted`].
+    pub fn interrupt(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.interrupt = Some(flag);
+        self
+    }
+
+    /// True when any robustness feature routes this run through the
+    /// supervised engine. Plain runs take the exact pre-existing path, so
+    /// checkpoints-off behaviour is byte-identical by construction.
+    fn supervised(&self) -> bool {
+        self.checkpoint_dir.is_some()
+            || self.checkpoint_every.is_some()
+            || self.resume
+            || !self.crash_plan.is_empty()
+            || self.interrupt.is_some()
+    }
+
+    /// The scenario fingerprint stamped into checkpoints: a hash of every
+    /// result-affecting knob. Thread count and profiling are excluded (both
+    /// are wall-clock-only), so a resume may use a different worker count.
+    pub fn scenario_fingerprint(&self) -> u64 {
+        let mut w = ByteWriter::new();
+        w.u64(self.nodes as u64);
+        w.u64(self.flows as u64);
+        w.u64(self.duration.as_nanos());
+        w.u64(self.interval.as_nanos());
+        w.u64(self.seed);
+        w.u64(self.regions.map(|r| r as u64 + 1).unwrap_or(0));
+        w.u8(self.mobility as u8);
+        w.u8(self.churn as u8);
+        w.u8(self.telemetry as u8);
+        checkpoint::fnv1a(&w.into_inner())
+    }
+
     /// Run the scenario. Results are a pure function of the scenario
     /// (including the region count) and never of the thread count.
+    ///
+    /// Panics on checkpoint errors (corrupt resume file, unwritable
+    /// checkpoint dir); callers that need structured errors use
+    /// [`try_run`](ParMesh::try_run).
     pub fn run(&self) -> ParMeshOutcome {
+        match self.try_run() {
+            Ok(out) => out,
+            Err(e) => panic!("parmesh run failed: {e}"),
+        }
+    }
+
+    /// Run the scenario, surfacing checkpoint/resume failures as structured
+    /// errors instead of panics. Without robustness features this cannot
+    /// fail.
+    pub fn try_run(&self) -> Result<ParMeshOutcome, CheckpointError> {
         run_parmesh(self)
     }
 }
@@ -245,6 +343,10 @@ pub struct ParMeshOutcome {
     /// 1 Hz cross-layer probe feed, rebuilt from the merged trace (empty
     /// when telemetry was off).
     pub probes: ProbeSeries,
+    /// Supervisor summary (recoveries, checkpoints written, interrupt and
+    /// resume lineage); present only when the run used a robustness
+    /// feature — plain runs never take the supervised path.
+    pub supervisor: Option<SupervisorReport>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -396,6 +498,10 @@ struct RegionNet {
     remote: HashMap<u32, u32>,
     rng: SimRng,
     tel: Tel,
+    /// The region's own telemetry buffer (what `tel` writes into), kept so
+    /// checkpoints can capture and restore buffered trace events; `None`
+    /// when telemetry is off.
+    sink: Option<Arc<Mutex<MemorySink>>>,
     hello_seq: u32,
     flow_seq: HashMap<u32, u32>,
     stats: RegionStats,
@@ -652,6 +758,188 @@ impl RegionWorld for RegionNet {
     }
 }
 
+impl CheckpointState for RegionNet {
+    fn encode_event(event: &PmEvent, out: &mut ByteWriter) {
+        match event {
+            PmEvent::HelloTick => out.u8(0),
+            PmEvent::Digest(loads) => {
+                out.u8(1);
+                out.u32(loads.len() as u32);
+                for &(node, load) in loads.iter() {
+                    out.u32(node);
+                    out.u32(load);
+                }
+            }
+            PmEvent::Originate { flow } => {
+                out.u8(2);
+                out.u32(*flow);
+            }
+            PmEvent::Forward(p) => {
+                out.u8(3);
+                out.u32(p.flow);
+                out.u32(p.seq);
+                out.u32(p.node);
+                out.u32(p.dst);
+                out.u32(p.ttl);
+                out.u64(p.origin_ns);
+            }
+            PmEvent::ChurnDown { node } => {
+                out.u8(4);
+                out.u32(*node);
+            }
+            PmEvent::ChurnUp { node } => {
+                out.u8(5);
+                out.u32(*node);
+            }
+        }
+    }
+
+    fn decode_event(r: &mut ByteReader<'_>) -> Result<PmEvent, CheckpointError> {
+        Ok(match r.u8()? {
+            0 => PmEvent::HelloTick,
+            1 => {
+                let n = r.u32()? as usize;
+                let mut loads = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    loads.push((r.u32()?, r.u32()?));
+                }
+                PmEvent::Digest(Arc::new(loads))
+            }
+            2 => PmEvent::Originate { flow: r.u32()? },
+            3 => PmEvent::Forward(Packet {
+                flow: r.u32()?,
+                seq: r.u32()?,
+                node: r.u32()?,
+                dst: r.u32()?,
+                ttl: r.u32()?,
+                origin_ns: r.u64()?,
+            }),
+            4 => PmEvent::ChurnDown { node: r.u32()? },
+            5 => PmEvent::ChurnUp { node: r.u32()? },
+            other => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "unknown ParMesh event tag {other}"
+                )))
+            }
+        })
+    }
+
+    fn encode_state(&self, out: &mut ByteWriter) {
+        let (s, cached) = self.rng.save_state();
+        for word in s {
+            out.u64(word);
+        }
+        match cached {
+            Some(bits) => {
+                out.u8(1);
+                out.u64(bits);
+            }
+            None => out.u8(0),
+        }
+        out.u32(self.hello_seq);
+        // Hash maps in sorted key order — the encoding must be a pure
+        // function of logical state, never of map iteration order.
+        let mut loads: Vec<(u32, NodeLoad)> = self.loads.iter().map(|(&k, &v)| (k, v)).collect();
+        loads.sort_by_key(|&(k, _)| k);
+        out.u32(loads.len() as u32);
+        for (node, nl) in loads {
+            out.u32(node);
+            out.u32(nl.load);
+            out.u32(nl.recent);
+        }
+        let mut remote: Vec<(u32, u32)> = self.remote.iter().map(|(&k, &v)| (k, v)).collect();
+        remote.sort_by_key(|&(k, _)| k);
+        out.u32(remote.len() as u32);
+        for (node, load) in remote {
+            out.u32(node);
+            out.u32(load);
+        }
+        let mut flow_seq: Vec<(u32, u32)> = self.flow_seq.iter().map(|(&k, &v)| (k, v)).collect();
+        flow_seq.sort_by_key(|&(k, _)| k);
+        out.u32(flow_seq.len() as u32);
+        for (flow, seq) in flow_seq {
+            out.u32(flow);
+            out.u32(seq);
+        }
+        out.u64(self.stats.originated);
+        out.u64(self.stats.delivered);
+        out.u64(self.stats.dropped_no_route);
+        out.u64(self.stats.dropped_expired);
+        out.u64(self.stats.dropped_node_down);
+        out.u64(self.stats.forwards);
+        out.u64(self.stats.delay_sum_ns);
+        out.u64(self.stats.hops_sum);
+        // Buffered telemetry: the trace accumulated so far, so a resumed
+        // run reproduces the full JSONL output from t = 0 byte-for-byte.
+        match &self.sink {
+            Some(sink) => {
+                let events = &sink.lock().unwrap().events;
+                out.u32(events.len() as u32);
+                for ev in events {
+                    ev.encode_binary(out);
+                }
+            }
+            None => out.u32(0),
+        }
+    }
+
+    fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CheckpointError> {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.u64()?;
+        }
+        let cached = if r.u8()? == 1 { Some(r.u64()?) } else { None };
+        self.rng.restore_state(s, cached);
+        self.hello_seq = r.u32()?;
+        self.loads.clear();
+        for _ in 0..r.u32()? {
+            let node = r.u32()?;
+            let load = r.u32()?;
+            let recent = r.u32()?;
+            self.loads.insert(node, NodeLoad { load, recent });
+        }
+        self.remote.clear();
+        for _ in 0..r.u32()? {
+            let node = r.u32()?;
+            let load = r.u32()?;
+            self.remote.insert(node, load);
+        }
+        self.flow_seq.clear();
+        for _ in 0..r.u32()? {
+            let flow = r.u32()?;
+            let seq = r.u32()?;
+            self.flow_seq.insert(flow, seq);
+        }
+        self.stats = RegionStats {
+            originated: r.u64()?,
+            delivered: r.u64()?,
+            dropped_no_route: r.u64()?,
+            dropped_expired: r.u64()?,
+            dropped_node_down: r.u64()?,
+            forwards: r.u64()?,
+            delay_sum_ns: r.u64()?,
+            hops_sum: r.u64()?,
+        };
+        let n_events = r.u32()? as usize;
+        match &self.sink {
+            Some(sink) => {
+                let mut events = Vec::with_capacity(n_events);
+                for _ in 0..n_events {
+                    events.push(TelemetryEvent::decode_binary(r)?);
+                }
+                sink.lock().unwrap().events = events;
+            }
+            None if n_events > 0 => {
+                return Err(CheckpointError::Corrupt(
+                    "checkpoint carries telemetry but this run has it off".into(),
+                ));
+            }
+            None => {}
+        }
+        Ok(())
+    }
+}
+
 /// Resolve the region grid: near-square, sides at least
 /// [`MIN_REGION_SIDE_M`], honouring an explicit request when geometry
 /// allows.
@@ -667,7 +955,7 @@ fn region_grid(side: f64, nodes: usize, requested: Option<usize>) -> (usize, usi
     (rx, ry)
 }
 
-fn run_parmesh(cfg: &ParMesh) -> ParMeshOutcome {
+fn run_parmesh(cfg: &ParMesh) -> Result<ParMeshOutcome, CheckpointError> {
     let n = cfg.nodes;
     let cols = (n as f64).sqrt().ceil() as usize;
     let side = cols as f64 * PITCH_M;
@@ -830,13 +1118,13 @@ fn run_parmesh(cfg: &ParMesh) -> ParMeshOutcome {
     let mut sinks: Vec<Option<Arc<Mutex<MemorySink>>>> = Vec::with_capacity(regions);
     let worlds: Vec<RegionNet> = (0..regions)
         .map(|r| {
-            let tel = if cfg.telemetry {
+            let (tel, sink) = if cfg.telemetry {
                 let inner = Arc::new(Mutex::new(MemorySink::default()));
                 sinks.push(Some(inner.clone()));
-                Tel::new(inner as SharedSink, 0)
+                (Tel::new(inner.clone() as SharedSink, 0), Some(inner))
             } else {
                 sinks.push(None);
-                Tel::off()
+                (Tel::off(), None)
             };
             RegionNet {
                 id: r as RegionId,
@@ -846,6 +1134,7 @@ fn run_parmesh(cfg: &ParMesh) -> ParMeshOutcome {
                 remote: HashMap::new(),
                 rng: SimRng::derive(cfg.seed, DOMAIN_REGION, r as u64),
                 tel,
+                sink,
                 hello_seq: 0,
                 flow_seq: HashMap::new(),
                 stats: RegionStats::default(),
@@ -900,7 +1189,48 @@ fn run_parmesh(cfg: &ParMesh) -> ParMeshOutcome {
     }
 
     let mut profile = None;
-    let (report, worlds) = if cfg.profile {
+    let mut supervisor = None;
+    let (report, worlds) = if cfg.supervised() {
+        // Robustness path: resume from the newest checkpoint if asked, then
+        // run under the crash-tolerant supervisor.
+        let scenario = cfg.scenario_fingerprint();
+        if cfg.resume {
+            let dir = cfg.checkpoint_dir.as_ref().ok_or_else(|| {
+                CheckpointError::NotFound("--resume needs a checkpoint dir".into())
+            })?;
+            let newest = checkpoint::list_dir(dir)
+                .unwrap_or_default()
+                .into_iter()
+                .filter(|(epoch, _)| epoch.is_some())
+                .max_by_key(|&(epoch, _)| epoch);
+            if let Some((_, path)) = newest {
+                let bytes = checkpoint::read_file(&path)?;
+                engine.restore(&bytes, scenario)?;
+            }
+            // No checkpoints yet: start fresh (first leg of a resumable run).
+        }
+        let scfg = SupervisorConfig {
+            scenario,
+            checkpoint_dir: cfg.checkpoint_dir.clone(),
+            checkpoint_every: cfg.checkpoint_every.or_else(|| {
+                cfg.checkpoint_dir
+                    .is_some()
+                    .then(|| SimDuration::from_secs(1))
+            }),
+            crash_plan: cfg.crash_plan.clone(),
+            interrupt: cfg.interrupt.clone(),
+        };
+        let (report, worlds, sup) = if cfg.profile {
+            let mut profiler = ShardProfiler::new(cfg.threads);
+            let out = engine.run_supervised(cfg.threads, Some(&mut profiler), &scfg)?;
+            profile = Some(profiler.finish());
+            out
+        } else {
+            engine.run_supervised(cfg.threads, None, &scfg)?
+        };
+        supervisor = Some(sup);
+        (report, worlds)
+    } else if cfg.profile {
         let mut profiler = ShardProfiler::new(cfg.threads);
         let out = engine.run_probed(cfg.threads, Some(&mut profiler));
         profile = Some(profiler.finish());
@@ -964,12 +1294,13 @@ fn run_parmesh(cfg: &ParMesh) -> ParMeshOutcome {
         }
     }
 
-    ParMeshOutcome {
+    Ok(ParMeshOutcome {
         report: agg,
         trace,
         profile,
         probes,
-    }
+        supervisor,
+    })
 }
 
 #[cfg(test)]
@@ -1103,6 +1434,100 @@ mod tests {
         let b = profiled(8);
         let pb = b.profile.as_ref().expect("profile present");
         assert_eq!(pa.sim_fingerprint(), pb.sim_fingerprint());
+    }
+
+    #[test]
+    fn injected_crashes_recover_to_identical_results() {
+        let base = small(2);
+        for threads in [1, 4] {
+            let out = ParMesh::new(400)
+                .seed(7)
+                .flows(40)
+                .regions(9)
+                .duration(SimDuration::from_secs(5))
+                .threads(threads)
+                .telemetry(true)
+                .crash_plan(CrashPlan {
+                    scripted: Vec::new(),
+                    stochastic: Some(wmn_sim::shard::StochasticCrash {
+                        rate: 0.002,
+                        seed: 5,
+                        max: 3,
+                    }),
+                })
+                .run();
+            let sup = out.supervisor.as_ref().expect("supervised run");
+            // Crash decisions are coordinator-side and consumed, so the
+            // number of recoveries is a pure function of the scenario.
+            assert!(sup.recoveries >= 1, "stochastic plan never fired");
+            assert_eq!(sup.recoveries, 3, "{threads} threads");
+            assert!(!sup.interrupted);
+            assert_eq!(base.report.delivered, out.report.delivered);
+            assert_eq!(base.report.events, out.report.events);
+            assert_eq!(base.trace, out.trace, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_uninterrupted_run() {
+        let dir = std::env::temp_dir().join(format!("wmn_parmesh_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let scenario = |threads: usize| {
+            ParMesh::new(400)
+                .seed(7)
+                .flows(40)
+                .regions(9)
+                .duration(SimDuration::from_secs(5))
+                .threads(threads)
+                .telemetry(true)
+        };
+        let base = small(1);
+
+        // Leg 1: run to completion while writing checkpoints.
+        let full = scenario(2)
+            .checkpoint_dir(&dir)
+            .checkpoint_every(SimDuration::from_secs(1))
+            .run();
+        let sup = full.supervisor.as_ref().expect("supervised");
+        assert!(sup.checkpoints_written >= 2, "{sup:?}");
+        assert_eq!(
+            base.trace, full.trace,
+            "checkpointing must not alter results"
+        );
+        assert_eq!(base.report.delivered, full.report.delivered);
+
+        // Leg 2: resume from the newest on-disk checkpoint at a different
+        // thread count; the finished run must be bit-identical.
+        let resumed = scenario(4)
+            .checkpoint_dir(&dir)
+            .checkpoint_every(SimDuration::from_secs(1))
+            .resume(true)
+            .run();
+        let sup = resumed.supervisor.as_ref().expect("supervised");
+        assert!(sup.resumed_from_epoch.is_some(), "{sup:?}");
+        assert_eq!(base.trace, resumed.trace);
+        assert_eq!(base.report.delivered, resumed.report.delivered);
+        assert_eq!(base.report.events, resumed.report.events);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_corrupt_checkpoint_is_a_structured_error() {
+        let dir = std::env::temp_dir().join(format!("wmn_parmesh_bad_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("ckpt_epoch_5.wmnckpt"), b"not a checkpoint").unwrap();
+        let err = ParMesh::new(100)
+            .duration(SimDuration::from_secs(1))
+            .checkpoint_dir(&dir)
+            .resume(true)
+            .try_run()
+            .expect_err("corrupt checkpoint must refuse");
+        assert!(
+            matches!(err, CheckpointError::Corrupt(_)),
+            "unexpected error: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

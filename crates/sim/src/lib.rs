@@ -42,16 +42,19 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod queue;
 pub mod rng;
 pub mod shard;
 pub mod time;
 
+pub use checkpoint::{ByteReader, ByteWriter, CheckpointError, CheckpointMeta};
 pub use engine::{Engine, RunReport, Scheduler, StopReason, World};
 pub use queue::EventQueue;
 pub use rng::{SimRng, SplitMix64};
 pub use shard::{
-    Lookahead, RegionCtx, RegionId, RegionWorld, ShardRunReport, ShardStopReason, ShardedEngine,
+    CheckpointState, CrashPlan, Lookahead, RegionCtx, RegionId, RegionWorld, ShardRunReport,
+    ShardStopReason, ShardedEngine, StochasticCrash, SupervisorConfig, SupervisorReport,
 };
 pub use time::{SimDuration, SimTime};

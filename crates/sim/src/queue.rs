@@ -109,6 +109,37 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Pending entries in deterministic `(time, seq)` order, with their
+    /// tie-breaking sequence numbers, for checkpoint serialization.
+    pub fn snapshot_entries(&self) -> Vec<(SimTime, u64, &E)> {
+        let mut out: Vec<(SimTime, u64, &E)> = self
+            .heap
+            .iter()
+            .map(|s| (s.time, s.seq, &s.event))
+            .collect();
+        out.sort_by_key(|&(t, seq, _)| (t, seq));
+        out
+    }
+
+    /// Re-insert an event with an explicit sequence number (checkpoint
+    /// restore). Does not advance `next_seq` or `scheduled_total`; restore
+    /// those separately via [`EventQueue::set_seq_state`].
+    pub fn schedule_with_seq(&mut self, time: SimTime, seq: u64, event: E) {
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// The `(next_seq, scheduled_total)` counters — persistent tie-break
+    /// state that a checkpoint must carry.
+    pub fn seq_state(&self) -> (u64, u64) {
+        (self.next_seq, self.scheduled_total)
+    }
+
+    /// Restore the counters captured by [`EventQueue::seq_state`].
+    pub fn set_seq_state(&mut self, next_seq: u64, scheduled_total: u64) {
+        self.next_seq = next_seq;
+        self.scheduled_total = scheduled_total;
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +204,39 @@ mod tests {
         assert!(q.is_empty());
         // scheduled_total is cumulative and unaffected by clear.
         assert_eq!(q.scheduled_total(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_order_and_counters() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10u32 {
+            q.schedule(t, i); // all ties — order is pure seq
+        }
+        q.schedule(SimTime::ZERO, 99);
+        assert_eq!(q.pop().unwrap().1, 99);
+
+        let entries: Vec<(SimTime, u64, u32)> = q
+            .snapshot_entries()
+            .iter()
+            .map(|&(time, seq, ev)| (time, seq, *ev))
+            .collect();
+        let seq_state = q.seq_state();
+
+        let mut r: EventQueue<u32> = EventQueue::new();
+        for (time, seq, ev) in entries {
+            r.schedule_with_seq(time, seq, ev);
+        }
+        r.set_seq_state(seq_state.0, seq_state.1);
+        assert_eq!(r.seq_state(), seq_state);
+        // Restored queue pops identically and continues the seq stream so
+        // later same-time events still lose ties to the restored ones.
+        r.schedule(t, 500);
+        q.schedule(t, 500);
+        while let Some(a) = q.pop() {
+            assert_eq!(Some(a), r.pop());
+        }
+        assert!(r.pop().is_none());
     }
 
     #[test]

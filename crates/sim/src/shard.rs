@@ -42,9 +42,14 @@
 //! lookahead, and the merge re-checks every arrival against the
 //! destination's committed horizon.
 
+use crate::checkpoint::{self, ByteReader, ByteWriter, CheckpointError, CheckpointMeta};
 use crate::queue::EventQueue;
+use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use std::sync::mpsc;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 /// Identifies one region (shard) of a partitioned model.
@@ -258,6 +263,30 @@ pub trait RegionWorld: Send {
     fn handle(&mut self, event: Self::Event, ctx: &mut RegionCtx<'_, Self::Event>);
 }
 
+/// Serialize/restore contract a [`RegionWorld`] implements to make its runs
+/// checkpointable and crash-recoverable.
+///
+/// Contract: `decode_state` must leave the world **exactly** equal to the
+/// one `encode_state` captured, regardless of the world's current state —
+/// rollback overlays a snapshot onto a world that has since processed more
+/// events, so every mutable field must be overwritten, every collection
+/// cleared and rebuilt. Floats must round-trip as raw bits
+/// ([`ByteWriter::f64_bits`]), never through decimal text. Iteration-order-
+/// sensitive collections (hash maps) must be encoded in a sorted order so
+/// the byte stream itself is deterministic.
+pub trait CheckpointState: RegionWorld {
+    /// Append this region's complete mutable state to `out`.
+    fn encode_state(&self, out: &mut ByteWriter);
+    /// Overwrite this region's mutable state from `r` (written by
+    /// [`encode_state`](CheckpointState::encode_state)).
+    fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CheckpointError>;
+    /// Append one pending event to `out`.
+    fn encode_event(event: &Self::Event, out: &mut ByteWriter);
+    /// Read one event (written by
+    /// [`encode_event`](CheckpointState::encode_event)).
+    fn decode_event(r: &mut ByteReader<'_>) -> Result<Self::Event, CheckpointError>;
+}
+
 /// One region's observation for one epoch, delivered to a [`ShardProbe`].
 ///
 /// Every field except `busy_ns` is **simulation-derived**: a pure function
@@ -307,6 +336,17 @@ pub trait ShardProbe {
     fn epoch_end(&mut self, epoch: u64, wall_ns: u64, merged: u64, merge_ns: u64);
     /// The run completed.
     fn run_end(&mut self, report: &ShardRunReport, wall_ns: u64);
+    /// Serialize accumulated observer state into a checkpoint (default:
+    /// nothing). A probe that wants its profile to survive a kill-and-resume
+    /// overrides this pair; the engine includes the bytes in every
+    /// checkpoint and feeds them back through
+    /// [`decode_probe`](ShardProbe::decode_probe) on resume.
+    fn encode_probe(&self, _out: &mut ByteWriter) {}
+    /// Restore observer state captured by
+    /// [`encode_probe`](ShardProbe::encode_probe) (default: nothing).
+    fn decode_probe(&mut self, _r: &mut ByteReader<'_>) -> Result<(), CheckpointError> {
+        Ok(())
+    }
 }
 
 /// Pre-epoch snapshots needed to compute per-window deltas for a probe.
@@ -330,6 +370,9 @@ pub enum ShardStopReason {
     Stopped,
     /// The event budget was exhausted (runaway protection).
     EventBudget,
+    /// The supervisor's interrupt flag was raised (e.g. SIGINT); the run
+    /// stopped at an epoch barrier after writing a final checkpoint.
+    Interrupted,
 }
 
 /// Summary of a completed sharded run.
@@ -348,6 +391,198 @@ pub struct ShardRunReport {
     /// Final simulation time (max over regions' committed clocks, capped
     /// at the horizon).
     pub end_time: SimTime,
+}
+
+/// Panic payload of a harness-injected worker crash (see [`CrashPlan`]).
+/// The supervisor recognises this type and recovers; any other panic is an
+/// invariant violation or a genuine bug and aborts loudly.
+#[derive(Debug)]
+pub struct InjectedCrash {
+    /// Epoch (1-based) the crash fired in.
+    pub epoch: u64,
+    /// Region whose window was killed.
+    pub region: RegionId,
+}
+
+/// Seeded stochastic crash injection (see [`CrashPlan`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StochasticCrash {
+    /// Per-window crash probability.
+    pub rate: f64,
+    /// Seed of the coordinator-side decision stream.
+    pub seed: u64,
+    /// Maximum number of crashes to inject over the run.
+    pub max: u32,
+}
+
+/// Harness-level worker-crash schedule, strictly separate from in-sim
+/// faults (`wmn-faults` kills simulated nodes; this kills the *host
+/// worker* executing a region's window, to exercise the supervisor).
+///
+/// Crash decisions are made on the coordinator thread in ascending region
+/// order before windows are dispatched, so they are identical for every
+/// worker count; each decision fires at most once and is **not** rolled
+/// back with the simulation state, so a recovered replay does not crash
+/// again at the same point.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CrashPlan {
+    /// Scripted crashes: kill `region`'s window in `epoch` (1-based).
+    pub scripted: Vec<(u64, RegionId)>,
+    /// Seeded stochastic mode, applied to every dispatched window.
+    pub stochastic: Option<StochasticCrash>,
+}
+
+impl CrashPlan {
+    /// True when no crashes will ever be injected.
+    pub fn is_empty(&self) -> bool {
+        self.scripted.is_empty() && self.stochastic.is_none()
+    }
+
+    /// Build from the environment: `WMN_CRASH_AT=epoch:region[,epoch:region…]`
+    /// for scripted crashes and `WMN_CRASH_RATE=p:seed[:max]` for the
+    /// stochastic mode (`max` defaults to 1). Malformed entries are ignored.
+    pub fn from_env() -> Self {
+        let mut plan = CrashPlan::default();
+        if let Ok(v) = std::env::var("WMN_CRASH_AT") {
+            for part in v.split(',').filter(|s| !s.trim().is_empty()) {
+                if let Some((e, r)) = part.split_once(':') {
+                    if let (Ok(e), Ok(r)) = (e.trim().parse(), r.trim().parse()) {
+                        plan.scripted.push((e, r));
+                    }
+                }
+            }
+        }
+        if let Ok(v) = std::env::var("WMN_CRASH_RATE") {
+            let mut it = v.split(':');
+            let rate = it.next().and_then(|s| s.trim().parse::<f64>().ok());
+            let seed = it.next().and_then(|s| s.trim().parse::<u64>().ok());
+            if let (Some(rate), Some(seed)) = (rate, seed) {
+                let max = it
+                    .next()
+                    .and_then(|s| s.trim().parse::<u32>().ok())
+                    .unwrap_or(1);
+                plan.stochastic = Some(StochasticCrash { rate, seed, max });
+            }
+        }
+        plan
+    }
+}
+
+/// Mutable crash-decision state, owned by the coordinator and deliberately
+/// outside the rollback scope.
+struct CrashState {
+    scripted: Vec<(u64, RegionId)>,
+    stochastic: Option<(f64, SimRng, u32)>,
+}
+
+impl CrashState {
+    fn new(plan: &CrashPlan) -> Self {
+        CrashState {
+            scripted: plan.scripted.clone(),
+            stochastic: plan
+                .stochastic
+                .map(|s| (s.rate, SimRng::new(s.seed), s.max)),
+        }
+    }
+
+    /// Decide whether to kill `region`'s window in `epoch`. Consumes the
+    /// matching scripted entry / stochastic budget so it cannot re-fire on
+    /// replay.
+    fn decide(&mut self, epoch: u64, region: RegionId) -> bool {
+        if let Some(pos) = self
+            .scripted
+            .iter()
+            .position(|&(e, r)| e == epoch && r == region)
+        {
+            self.scripted.remove(pos);
+            return true;
+        }
+        if let Some((rate, rng, remaining)) = &mut self.stochastic {
+            if *remaining > 0 && rng.chance(*rate) {
+                *remaining -= 1;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// How a worker panic should be handled.
+enum PanicClass {
+    /// A [`CrashPlan`] injection: recover by rollback + replay.
+    Injected,
+    /// A conservative-invariant or lookahead violation: the simulation
+    /// state cannot be trusted; abort loudly.
+    Invariant,
+    /// Anything else: a genuine bug; abort loudly.
+    Unknown,
+}
+
+fn classify_panic(payload: &(dyn std::any::Any + Send)) -> PanicClass {
+    if payload.is::<InjectedCrash>() {
+        return PanicClass::Injected;
+    }
+    let msg = payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+    if let Some(m) = msg {
+        if m.contains("lookahead violation") || m.contains("conservative invariant") {
+            return PanicClass::Invariant;
+        }
+    }
+    PanicClass::Unknown
+}
+
+/// Silence the default panic printer for [`InjectedCrash`] payloads — they
+/// are expected, caught, and recovered; their backtraces are pure noise.
+/// All other panics keep the previous hook. Installed at most once.
+fn install_quiet_crash_hook() {
+    static QUIET: std::sync::Once = std::sync::Once::new();
+    QUIET.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<InjectedCrash>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Configuration for [`ShardedEngine::run_supervised`].
+#[derive(Clone, Debug, Default)]
+pub struct SupervisorConfig {
+    /// Scenario fingerprint stamped into every checkpoint; a resume with a
+    /// different fingerprint is refused.
+    pub scenario: u64,
+    /// Where to write checkpoint files (`None` = in-memory rollback points
+    /// only, nothing on disk).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Sim-time cadence between checkpoints, keyed on the global minimum
+    /// pending-event time crossing each multiple (`None` = only the
+    /// run-start rollback anchor; a crash then replays from the beginning).
+    pub checkpoint_every: Option<SimDuration>,
+    /// Harness-level crash injection schedule.
+    pub crash_plan: CrashPlan,
+    /// Cooperative interrupt flag (typically set from a SIGINT handler);
+    /// checked at every epoch barrier.
+    pub interrupt: Option<Arc<AtomicBool>>,
+}
+
+/// What the supervisor did during a [`ShardedEngine::run_supervised`] run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SupervisorReport {
+    /// Worker panics recovered by rollback + replay.
+    pub recoveries: u64,
+    /// Checkpoint files written (cadence plus any final interrupt one).
+    pub checkpoints_written: u64,
+    /// True when the run stopped on the interrupt flag.
+    pub interrupted: bool,
+    /// Epoch of the checkpoint this run resumed from, if any.
+    pub resumed_from_epoch: Option<u64>,
+    /// Path of the most recent checkpoint file written.
+    pub last_checkpoint: Option<PathBuf>,
 }
 
 /// One region's execution state: world, queue, outbox and bookkeeping.
@@ -403,6 +638,43 @@ impl<W: RegionWorld> Slot<W> {
             self.last_busy_ns = t0.elapsed().as_nanos() as u64;
         }
     }
+
+    /// [`run_window`](Slot::run_window), but when `crash` carries an epoch,
+    /// process at most one event and then die with an [`InjectedCrash`]
+    /// panic — deliberately leaving partially-mutated, uncommitted state,
+    /// the worst case the supervisor's rollback must handle.
+    fn run_window_crashing(
+        &mut self,
+        window_end: SimTime,
+        horizon: SimTime,
+        lookahead: &Lookahead,
+        timed: bool,
+        crash: Option<u64>,
+    ) {
+        let Some(epoch) = crash else {
+            return self.run_window(window_end, horizon, lookahead, timed);
+        };
+        if let Some(t) = self.queue.peek_time() {
+            if t < window_end && t <= horizon {
+                let (now, event) = self.queue.pop().expect("peeked event vanished");
+                self.processed += 1;
+                let mut ctx = RegionCtx {
+                    now,
+                    region: self.region,
+                    queue: &mut self.queue,
+                    outbox: &mut self.outbox,
+                    lookahead,
+                    horizon,
+                    stopped: &mut self.stopped,
+                };
+                self.world.handle(event, &mut ctx);
+            }
+        }
+        std::panic::panic_any(InjectedCrash {
+            epoch,
+            region: self.region,
+        });
+    }
 }
 
 /// A job shipped to a worker for one epoch: the region slot plus its safe
@@ -425,6 +697,14 @@ pub struct ShardedEngine<W: RegionWorld> {
     lookahead: Lookahead,
     horizon: SimTime,
     event_budget: u64,
+    /// Counters restored by [`ShardedEngine::restore`]; zero on a fresh run.
+    resume_epochs: u64,
+    resume_cross: u64,
+    /// Probe bytes restored from a checkpoint, handed to the probe when
+    /// [`run_supervised`](ShardedEngine::run_supervised) starts.
+    resume_probe: Vec<u8>,
+    /// Epoch of the checkpoint this engine was restored from.
+    resume_from: Option<u64>,
 }
 
 impl<W: RegionWorld> ShardedEngine<W> {
@@ -458,6 +738,10 @@ impl<W: RegionWorld> ShardedEngine<W> {
             lookahead,
             horizon,
             event_budget: u64::MAX,
+            resume_epochs: 0,
+            resume_cross: 0,
+            resume_probe: Vec::new(),
+            resume_from: None,
         }
     }
 
@@ -819,6 +1103,430 @@ impl<W: RegionWorld> ShardedEngine<W> {
     }
 }
 
+/// A supervised job: a region slot, its safe window end, and an optional
+/// injected-crash marker decided by the coordinator.
+struct SupJob<W: RegionWorld> {
+    index: usize,
+    slot: Box<Slot<W>>,
+    window_end: SimTime,
+    timed: bool,
+    crash: Option<u64>,
+}
+
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+impl<W: RegionWorld + CheckpointState> ShardedEngine<W> {
+    /// Global minimum pending-event time across regions (the next barrier's
+    /// cut position; `None` when every queue is empty).
+    fn min_peek(&self) -> Option<SimTime> {
+        (0..self.slots.len())
+            .filter_map(|i| self.slot(i).queue.peek_time())
+            .min()
+    }
+
+    fn total_processed(&self) -> u64 {
+        (0..self.slots.len()).map(|i| self.slot(i).processed).sum()
+    }
+
+    /// Serialize the complete engine state at an epoch barrier: run
+    /// counters, then one length-prefixed block per region (committed
+    /// horizon, processed count, stop flag, queue tie-break counters, every
+    /// pending event with its sequence number, and the world's own state),
+    /// then the probe's observer state. Must only be called at a barrier —
+    /// outboxes drained, no slot checked out.
+    fn encode_payload(
+        &self,
+        epochs: u64,
+        cross_region: u64,
+        probe: Option<&dyn ShardProbe>,
+    ) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u64(epochs);
+        w.u64(cross_region);
+        w.u32(self.slots.len() as u32);
+        for i in 0..self.slots.len() {
+            let slot = self.slot(i);
+            debug_assert!(
+                slot.outbox.is_empty(),
+                "checkpoint off a barrier: outbox not drained"
+            );
+            let mut b = ByteWriter::new();
+            b.u64(slot.committed.as_nanos());
+            b.u64(slot.processed);
+            b.u8(slot.stopped as u8);
+            let (next_seq, sched_total) = slot.queue.seq_state();
+            b.u64(next_seq);
+            b.u64(sched_total);
+            let entries = slot.queue.snapshot_entries();
+            b.u64(entries.len() as u64);
+            for (t, seq, ev) in entries {
+                b.u64(t.as_nanos());
+                b.u64(seq);
+                W::encode_event(ev, &mut b);
+            }
+            let mut wb = ByteWriter::new();
+            slot.world.encode_state(&mut wb);
+            b.bytes(&wb.into_inner());
+            w.bytes(&b.into_inner());
+        }
+        let mut pb = ByteWriter::new();
+        if let Some(p) = probe {
+            p.encode_probe(&mut pb);
+        }
+        w.bytes(&pb.into_inner());
+        w.into_inner()
+    }
+
+    /// Overwrite the engine's state from a payload written by
+    /// [`encode_payload`](ShardedEngine::encode_payload). Returns the
+    /// restored `(epochs, cross_region, probe_bytes)`. On error the engine
+    /// may be partially overwritten and must be discarded.
+    fn restore_payload(&mut self, payload: &[u8]) -> Result<(u64, u64, Vec<u8>), CheckpointError> {
+        let mut r = ByteReader::new(payload);
+        let epochs = r.u64()?;
+        let cross_region = r.u64()?;
+        let n = r.u32()? as usize;
+        if n != self.slots.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "region count mismatch: checkpoint has {n}, engine has {}",
+                self.slots.len()
+            )));
+        }
+        for i in 0..n {
+            let block = r.bytes()?;
+            let mut br = ByteReader::new(block);
+            let slot = self.slots[i].as_mut().expect("slot present between epochs");
+            slot.committed = SimTime(br.u64()?);
+            slot.processed = br.u64()?;
+            slot.stopped = br.u8()? != 0;
+            let next_seq = br.u64()?;
+            let sched_total = br.u64()?;
+            slot.outbox.clear();
+            slot.queue.clear();
+            let pending = br.u64()?;
+            for _ in 0..pending {
+                let t = SimTime(br.u64()?);
+                let seq = br.u64()?;
+                let ev = W::decode_event(&mut br)?;
+                slot.queue.schedule_with_seq(t, seq, ev);
+            }
+            slot.queue.set_seq_state(next_seq, sched_total);
+            let wblob = br.bytes()?;
+            let mut wr = ByteReader::new(wblob);
+            slot.world.decode_state(&mut wr)?;
+            wr.expect_end()?;
+            br.expect_end()?;
+        }
+        let probe_bytes = r.bytes()?.to_vec();
+        r.expect_end()?;
+        Ok((epochs, cross_region, probe_bytes))
+    }
+
+    /// Restore a checkpoint image into this (freshly built, identically
+    /// configured) engine. Validates magic, version, checksum, and the
+    /// scenario fingerprint; a subsequent
+    /// [`run_supervised`](ShardedEngine::run_supervised) continues exactly
+    /// where the checkpointed run stood. On error the engine must be
+    /// discarded.
+    pub fn restore(
+        &mut self,
+        bytes: &[u8],
+        expected_scenario: u64,
+    ) -> Result<CheckpointMeta, CheckpointError> {
+        let (meta, payload) = checkpoint::open(bytes)?;
+        if meta.scenario != expected_scenario {
+            return Err(CheckpointError::ScenarioMismatch {
+                found: meta.scenario,
+                expected: expected_scenario,
+            });
+        }
+        let (epochs, cross, probe) = self.restore_payload(payload)?;
+        self.resume_epochs = epochs;
+        self.resume_cross = cross;
+        self.resume_probe = probe;
+        self.resume_from = Some(meta.epoch);
+        Ok(meta)
+    }
+
+    /// [`run_probed`](ShardedEngine::run_probed) under a crash-tolerant
+    /// supervisor: worker panics are caught and classified — harness-
+    /// injected crashes ([`CrashPlan`]) roll every region back to the last
+    /// checkpoint anchor and replay; invariant violations and unknown
+    /// panics abort loudly. Checkpoints are taken at epoch barriers (the
+    /// engine's globally consistent cuts) whenever the global minimum
+    /// pending-event time crosses a multiple of
+    /// [`SupervisorConfig::checkpoint_every`], and written atomically to
+    /// [`SupervisorConfig::checkpoint_dir`]. The interrupt flag stops the
+    /// run at the next barrier after writing a final checkpoint.
+    ///
+    /// Recovery and resume are bit-identical: a replayed or resumed run
+    /// produces exactly the worlds, report counters, and probe observations
+    /// of an uninterrupted one, for any worker count. Probe callbacks for
+    /// epochs already observed (before a rollback, or before the resumed
+    /// checkpoint) are suppressed, so observers see each epoch exactly
+    /// once.
+    pub fn run_supervised(
+        mut self,
+        threads: usize,
+        mut probe: Option<&mut dyn ShardProbe>,
+        cfg: &SupervisorConfig,
+    ) -> Result<(ShardRunReport, Vec<W>, SupervisorReport), CheckpointError> {
+        assert!(threads >= 1, "at least one thread");
+        if !cfg.crash_plan.is_empty() {
+            install_quiet_crash_hook();
+        }
+        let workers = threads.min(self.slots.len());
+        let t_run = Instant::now();
+
+        let mut epochs = self.resume_epochs;
+        let mut cross_region = self.resume_cross;
+        // Epochs at or below this were already observed (in this process or
+        // the checkpointed one); suppress probe callbacks for them.
+        let mut max_emitted = self.resume_epochs;
+        let mut sup = SupervisorReport {
+            resumed_from_epoch: self.resume_from,
+            ..SupervisorReport::default()
+        };
+        if !self.resume_probe.is_empty() {
+            if let Some(p) = probe.as_deref_mut() {
+                let bytes = std::mem::take(&mut self.resume_probe);
+                let mut r = ByteReader::new(&bytes);
+                p.decode_probe(&mut r)?;
+                r.expect_end()?;
+            }
+        }
+        let mut crash = CrashState::new(&cfg.crash_plan);
+        let every_ns = cfg.checkpoint_every.map(|d| d.0.max(1));
+        // Cadence marks are keyed on the global minimum pending time (the
+        // committed-horizon minimum never advances for idle regions).
+        let mut last_mark: u64 = match (every_ns, self.min_peek()) {
+            (Some(e), Some(t)) => t.as_nanos() / e,
+            _ => 0,
+        };
+        // Rollback anchor: a full serialized cut at the current barrier,
+        // refreshed at every checkpoint mark. Always present, so recovery
+        // works even with checkpointing off (replay from the start).
+        let mut anchor = self.encode_payload(epochs, cross_region, probe.as_deref());
+
+        let mut safe: Vec<SimTime> = Vec::with_capacity(self.slots.len());
+        let mut jobs: Vec<usize> = Vec::with_capacity(self.slots.len());
+        let mut scratch = EpochScratch::default();
+        let horizon = self.horizon;
+        let lookahead = self.lookahead.clone();
+
+        let reason = std::thread::scope(|scope| -> Result<ShardStopReason, CheckpointError> {
+            let (done_tx, done_rx) = mpsc::channel::<(SupJob<W>, Option<PanicPayload>)>();
+            let mut work_txs: Vec<mpsc::Sender<SupJob<W>>> = Vec::with_capacity(workers);
+            if workers > 1 {
+                for _ in 0..workers {
+                    let (tx, rx) = mpsc::channel::<SupJob<W>>();
+                    let done = done_tx.clone();
+                    let lookahead = lookahead.clone();
+                    work_txs.push(tx);
+                    scope.spawn(move || {
+                        while let Ok(mut job) = rx.recv() {
+                            let res = catch_unwind(AssertUnwindSafe(|| {
+                                job.slot.run_window_crashing(
+                                    job.window_end,
+                                    horizon,
+                                    &lookahead,
+                                    job.timed,
+                                    job.crash,
+                                )
+                            }));
+                            if done.send((job, res.err())).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+            }
+            drop(done_tx);
+            loop {
+                // Barrier: outboxes drained, no slot checked out — a
+                // globally consistent cut.
+                if cfg
+                    .interrupt
+                    .as_ref()
+                    .is_some_and(|f| f.load(Ordering::Relaxed))
+                {
+                    if let Some(dir) = &cfg.checkpoint_dir {
+                        let payload = self.encode_payload(epochs, cross_region, probe.as_deref());
+                        let committed =
+                            self.min_peek().map(|t| t.as_nanos()).unwrap_or_else(|| {
+                                (0..self.slots.len())
+                                    .map(|i| self.slot(i).committed.as_nanos())
+                                    .max()
+                                    .unwrap_or(0)
+                            });
+                        let img = checkpoint::seal(
+                            cfg.scenario,
+                            epochs,
+                            committed,
+                            self.slots.len() as u32,
+                            self.total_processed(),
+                            &payload,
+                        );
+                        let path = dir.join(checkpoint::file_name(epochs));
+                        checkpoint::write_atomic(&path, &img)?;
+                        sup.checkpoints_written += 1;
+                        sup.last_checkpoint = Some(path);
+                    }
+                    sup.interrupted = true;
+                    break Ok(ShardStopReason::Interrupted);
+                }
+                if let (Some(every), Some(t_min)) = (every_ns, self.min_peek()) {
+                    let mark = t_min.as_nanos() / every;
+                    if mark > last_mark {
+                        last_mark = mark;
+                        anchor = self.encode_payload(epochs, cross_region, probe.as_deref());
+                        if let Some(dir) = &cfg.checkpoint_dir {
+                            let img = checkpoint::seal(
+                                cfg.scenario,
+                                epochs,
+                                t_min.as_nanos(),
+                                self.slots.len() as u32,
+                                self.total_processed(),
+                                &anchor,
+                            );
+                            let path = dir.join(checkpoint::file_name(epochs));
+                            checkpoint::write_atomic(&path, &img)?;
+                            sup.checkpoints_written += 1;
+                            sup.last_checkpoint = Some(path);
+                        }
+                    }
+                }
+                let will_emit = probe.is_some() && epochs + 1 > max_emitted;
+                let sources = will_emit.then_some(&mut scratch.sources);
+                if let Err(reason) = self.epoch_plan(&mut safe, &mut jobs, sources) {
+                    break Ok(reason);
+                }
+                let timed = will_emit;
+                let t_epoch = timed.then(Instant::now);
+                if timed {
+                    self.snapshot_pre_epoch(&mut scratch);
+                }
+                epochs += 1;
+                // Crash decisions are made here, on the coordinator, in
+                // ascending region order — identical for every worker
+                // count, and consumed so a replay cannot re-fire them.
+                let crashes: Vec<Option<u64>> = jobs
+                    .iter()
+                    .map(|&i| crash.decide(epochs, i as RegionId).then_some(epochs))
+                    .collect();
+                let mut payloads: Vec<PanicPayload> = Vec::new();
+                if workers <= 1 || jobs.len() == 1 {
+                    // Serial epoch (or serial engine): skip the pool
+                    // round-trip, exactly like the plain run loop. Crash
+                    // injection and panic isolation still apply.
+                    for (k, &i) in jobs.iter().enumerate() {
+                        let mut slot = self.slots[i].take().expect("slot present");
+                        let res = catch_unwind(AssertUnwindSafe(|| {
+                            slot.run_window_crashing(
+                                safe[i], horizon, &lookahead, timed, crashes[k],
+                            )
+                        }));
+                        self.slots[i] = Some(slot);
+                        if let Err(p) = res {
+                            payloads.push(p);
+                        }
+                    }
+                } else {
+                    for (k, &i) in jobs.iter().enumerate() {
+                        let slot = self.slots[i].take().expect("slot present");
+                        let job = SupJob {
+                            index: i,
+                            slot,
+                            window_end: safe[i],
+                            timed,
+                            crash: crashes[k],
+                        };
+                        work_txs[i % workers]
+                            .send(job)
+                            .expect("worker alive for the whole run");
+                    }
+                    for _ in 0..jobs.len() {
+                        let (job, payload) = done_rx.recv().expect("worker returned its slot");
+                        self.slots[job.index] = Some(job.slot);
+                        if let Some(p) = payload {
+                            payloads.push(p);
+                        }
+                    }
+                }
+                if !payloads.is_empty() {
+                    // A fatal panic wins over recovery, whatever order the
+                    // payloads arrived in.
+                    if let Some(pos) = payloads
+                        .iter()
+                        .position(|p| !matches!(classify_panic(p.as_ref()), PanicClass::Injected))
+                    {
+                        let p = payloads.swap_remove(pos);
+                        let what = match classify_panic(p.as_ref()) {
+                            PanicClass::Invariant => "conservative-invariant violation",
+                            _ => "unclassified worker panic",
+                        };
+                        eprintln!(
+                            "shard supervisor: {what} in epoch {epochs}; state cannot be \
+                             trusted, aborting"
+                        );
+                        resume_unwind(p);
+                    }
+                    // All injected: roll every region back to the anchor
+                    // and replay. Counters and probe gating make the replay
+                    // invisible in the results.
+                    sup.recoveries += 1;
+                    let (e, c, _) = self.restore_payload(&anchor)?;
+                    epochs = e;
+                    cross_region = c;
+                    continue;
+                }
+                if will_emit {
+                    if let Some(p) = probe.as_deref_mut() {
+                        self.emit_window_samples(p, &scratch, &safe, &jobs, epochs);
+                    }
+                    max_emitted = epochs;
+                }
+                let t_merge = timed.then(Instant::now);
+                let merged = self.merge_outboxes();
+                cross_region += merged;
+                if will_emit {
+                    if let Some(p) = probe.as_deref_mut() {
+                        let merge_ns = t_merge.expect("timed").elapsed().as_nanos() as u64;
+                        let wall_ns = t_epoch.expect("timed").elapsed().as_nanos() as u64;
+                        p.epoch_end(epochs, wall_ns, merged, merge_ns);
+                    }
+                }
+            }
+        })?;
+
+        let end_time = (0..self.slots.len())
+            .map(|i| self.slot(i).committed)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .min(self.horizon);
+        let per_region: Vec<u64> = (0..self.slots.len())
+            .map(|i| self.slot(i).processed)
+            .collect();
+        let report = ShardRunReport {
+            reason,
+            events_processed: per_region.iter().sum(),
+            per_region,
+            cross_region,
+            epochs,
+            end_time,
+        };
+        if let Some(p) = probe {
+            p.run_end(&report, t_run.elapsed().as_nanos() as u64);
+        }
+        let worlds = self
+            .slots
+            .into_iter()
+            .map(|s| s.expect("slot present after run").world)
+            .collect();
+        Ok((report, worlds, sup))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1113,10 +1821,12 @@ mod tests {
 
     /// Records everything a probe sees, keeping only sim-derived fields so
     /// runs can be compared across worker counts.
+    // (epoch, region, active, events, queue_depth, outbox, start, end, bound_by)
+    type WindowRow = (u64, u32, bool, u64, u64, u64, u64, u64, i64);
+
     #[derive(Default)]
     struct Recorder {
-        // (epoch, region, active, events, queue_depth, outbox, start, end, bound_by)
-        windows: Vec<(u64, u32, bool, u64, u64, u64, u64, u64, i64)>,
+        windows: Vec<WindowRow>,
         merges: Vec<(u64, u64)>, // (epoch, merged)
         run: Option<(u64, u64)>, // (events_processed, epochs)
     }
@@ -1201,5 +1911,359 @@ mod tests {
         for (a, b) in worlds.iter().zip(base.1.iter()) {
             assert_eq!(a.visits, b.visits);
         }
+    }
+
+    // ---- crash tolerance & checkpointing ----
+
+    impl CheckpointState for Chatter {
+        fn encode_state(&self, out: &mut ByteWriter) {
+            out.u32(self.n);
+            out.u64(self.log.len() as u64);
+            for &(t, k) in &self.log {
+                out.u64(t);
+                out.u32(k);
+            }
+        }
+        fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CheckpointError> {
+            self.n = r.u32()?;
+            let len = r.u64()?;
+            self.log.clear();
+            for _ in 0..len {
+                let t = r.u64()?;
+                let k = r.u32()?;
+                self.log.push((t, k));
+            }
+            Ok(())
+        }
+        fn encode_event(event: &ChatterEv, out: &mut ByteWriter) {
+            match event {
+                ChatterEv::Tick(k) => {
+                    out.u8(0);
+                    out.u32(*k);
+                }
+                ChatterEv::Msg(k) => {
+                    out.u8(1);
+                    out.u32(*k);
+                }
+            }
+        }
+        fn decode_event(r: &mut ByteReader<'_>) -> Result<ChatterEv, CheckpointError> {
+            match r.u8()? {
+                0 => Ok(ChatterEv::Tick(r.u32()?)),
+                1 => Ok(ChatterEv::Msg(r.u32()?)),
+                t => Err(CheckpointError::Corrupt(format!("bad chatter tag {t}"))),
+            }
+        }
+    }
+
+    fn chatter_worlds(n: u32) -> Vec<Chatter> {
+        (0..n).map(|_| Chatter { n, log: vec![] }).collect()
+    }
+
+    fn chatter_sup_engine(n: u32) -> ShardedEngine<Chatter> {
+        let mut eng = ShardedEngine::new(
+            chatter_worlds(n),
+            Lookahead::uniform(n as usize, SimDuration::from_micros(250)),
+            SimTime::from_secs(5),
+        );
+        for r in 0..n {
+            eng.prime(r, SimTime::from_micros(7 * r as u64), ChatterEv::Tick(0));
+        }
+        eng
+    }
+
+    fn temp_ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("wmn_shard_ckpt_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn supervised_without_features_matches_plain() {
+        let (rp, wp) = chatter_engine(6, 2);
+        let cfg = SupervisorConfig::default();
+        let (rs, ws, sup) = chatter_sup_engine(6)
+            .run_supervised(2, None, &cfg)
+            .expect("supervised run");
+        assert_eq!(rp.events_processed, rs.events_processed);
+        assert_eq!(rp.epochs, rs.epochs);
+        assert_eq!(rp.cross_region, rs.cross_region);
+        assert_eq!(rp.per_region, rs.per_region);
+        for (a, b) in wp.iter().zip(&ws) {
+            assert_eq!(a.log, b.log);
+        }
+        assert_eq!(sup, SupervisorReport::default());
+    }
+
+    #[test]
+    fn injected_crashes_recover_bit_identically_across_threads() {
+        let (rp, wp) = chatter_engine(6, 1);
+        for threads in [1usize, 4] {
+            let cfg = SupervisorConfig {
+                crash_plan: CrashPlan {
+                    scripted: vec![(3, 1), (5, 0)],
+                    stochastic: None,
+                },
+                checkpoint_every: Some(SimDuration::from_millis(20)),
+                ..SupervisorConfig::default()
+            };
+            let (rs, ws, sup) = chatter_sup_engine(6)
+                .run_supervised(threads, None, &cfg)
+                .expect("supervised run");
+            assert_eq!(sup.recoveries, 2, "threads={threads}");
+            assert_eq!(
+                rp.events_processed, rs.events_processed,
+                "threads={threads}"
+            );
+            assert_eq!(rp.epochs, rs.epochs);
+            assert_eq!(rp.cross_region, rs.cross_region);
+            for (a, b) in wp.iter().zip(&ws) {
+                assert_eq!(a.log, b.log);
+            }
+        }
+    }
+
+    #[test]
+    fn stochastic_crashes_recover_bit_identically() {
+        let (rp, wp) = chatter_engine(4, 1);
+        let cfg = SupervisorConfig {
+            crash_plan: CrashPlan {
+                scripted: vec![],
+                stochastic: Some(StochasticCrash {
+                    rate: 0.05,
+                    seed: 99,
+                    max: 3,
+                }),
+            },
+            ..SupervisorConfig::default()
+        };
+        let (rs, ws, sup) = chatter_sup_engine(4)
+            .run_supervised(4, None, &cfg)
+            .expect("supervised run");
+        assert!(sup.recoveries >= 1, "stochastic plan never fired");
+        assert_eq!(rp.events_processed, rs.events_processed);
+        for (a, b) in wp.iter().zip(&ws) {
+            assert_eq!(a.log, b.log);
+        }
+    }
+
+    #[test]
+    fn crash_recovery_preserves_probe_observations() {
+        // Plain probed run as the reference observation stream.
+        let mut plain = Recorder::default();
+        let (base, _) = chatter_sup_engine(6).run_probed(2, Some(&mut plain));
+        let mut rec = Recorder::default();
+        let cfg = SupervisorConfig {
+            crash_plan: CrashPlan {
+                scripted: vec![(4, 2)],
+                stochastic: None,
+            },
+            checkpoint_every: Some(SimDuration::from_millis(20)),
+            ..SupervisorConfig::default()
+        };
+        let (rs, _, sup) = chatter_sup_engine(6)
+            .run_supervised(2, Some(&mut rec), &cfg)
+            .expect("supervised run");
+        assert_eq!(sup.recoveries, 1);
+        assert_eq!(base.events_processed, rs.events_processed);
+        assert_eq!(plain.windows, rec.windows);
+        assert_eq!(plain.merges, rec.merges);
+        assert_eq!(plain.run, rec.run);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let dir = temp_ckpt_dir("resume");
+        let (rp, wp) = chatter_engine(6, 1);
+        let cfg = SupervisorConfig {
+            scenario: 0x5EED,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: Some(SimDuration::from_millis(20)),
+            ..SupervisorConfig::default()
+        };
+        let (_, _, sup) = chatter_sup_engine(6)
+            .run_supervised(2, None, &cfg)
+            .expect("checkpointed run");
+        assert!(sup.checkpoints_written >= 2, "want several checkpoints");
+        let files = checkpoint::list_dir(&dir).expect("list");
+        // Resume from a mid-run checkpoint in a fresh engine (not primed:
+        // restore overwrites every queue) at a different worker count.
+        let (epoch, mid) = &files[files.len() / 2];
+        let bytes = checkpoint::read_file(mid).expect("read");
+        let mut eng = ShardedEngine::new(
+            chatter_worlds(6),
+            Lookahead::uniform(6, SimDuration::from_micros(250)),
+            SimTime::from_secs(5),
+        );
+        let meta = eng.restore(&bytes, 0x5EED).expect("restore");
+        assert_eq!(Some(meta.epoch), *epoch);
+        let (rr, wr, sup2) = eng
+            .run_supervised(4, None, &SupervisorConfig::default())
+            .expect("resumed run");
+        assert_eq!(sup2.resumed_from_epoch, Some(meta.epoch));
+        assert_eq!(rp.events_processed, rr.events_processed);
+        assert_eq!(rp.epochs, rr.epochs);
+        assert_eq!(rp.cross_region, rr.cross_region);
+        assert_eq!(rp.end_time, rr.end_time);
+        for (a, b) in wp.iter().zip(&wr) {
+            assert_eq!(a.log, b.log);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_checkpoints_are_refused() {
+        let dir = temp_ckpt_dir("corrupt");
+        let cfg = SupervisorConfig {
+            scenario: 42,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: Some(SimDuration::from_millis(20)),
+            ..SupervisorConfig::default()
+        };
+        let (_, _, sup) = chatter_sup_engine(4)
+            .run_supervised(1, None, &cfg)
+            .expect("checkpointed run");
+        let path = sup.last_checkpoint.expect("a checkpoint was written");
+        let mut bytes = checkpoint::read_file(&path).expect("read");
+        let fresh = || {
+            ShardedEngine::new(
+                chatter_worlds(4),
+                Lookahead::uniform(4, SimDuration::from_micros(250)),
+                SimTime::from_secs(5),
+            )
+        };
+        // Wrong scenario fingerprint.
+        assert!(matches!(
+            fresh().restore(&bytes, 43),
+            Err(CheckpointError::ScenarioMismatch {
+                found: 42,
+                expected: 43
+            })
+        ));
+        // A flipped payload bit fails the checksum — structured, no panic.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        assert!(matches!(
+            fresh().restore(&bytes, 42),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupt_checkpoints_and_resumes_to_identical_results() {
+        let dir = temp_ckpt_dir("interrupt");
+        let (rp, wp) = chatter_engine(4, 1);
+        // Let a few epochs run, then trip the flag from a probe callback
+        // (the supervisor checks it at the next barrier).
+        struct Tripwire {
+            flag: Arc<AtomicBool>,
+            after: u64,
+        }
+        impl ShardProbe for Tripwire {
+            fn window(&mut self, _s: &WindowSample) {}
+            fn epoch_end(&mut self, epoch: u64, _w: u64, _m: u64, _mn: u64) {
+                if epoch == self.after {
+                    self.flag.store(true, Ordering::Relaxed);
+                }
+            }
+            fn run_end(&mut self, _r: &ShardRunReport, _w: u64) {}
+        }
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut trip = Tripwire {
+            flag: Arc::clone(&flag),
+            after: 6,
+        };
+        let cfg = SupervisorConfig {
+            scenario: 7,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: Some(SimDuration::from_millis(20)),
+            interrupt: Some(flag),
+            ..SupervisorConfig::default()
+        };
+        let (ri, _, sup) = chatter_sup_engine(4)
+            .run_supervised(2, Some(&mut trip), &cfg)
+            .expect("interrupted run");
+        assert_eq!(ri.reason, ShardStopReason::Interrupted);
+        assert!(sup.interrupted);
+        let path = sup.last_checkpoint.expect("final checkpoint written");
+        let bytes = checkpoint::read_file(&path).expect("read");
+        let mut eng = ShardedEngine::new(
+            chatter_worlds(4),
+            Lookahead::uniform(4, SimDuration::from_micros(250)),
+            SimTime::from_secs(5),
+        );
+        eng.restore(&bytes, 7).expect("restore");
+        let (rr, wr, _) = eng
+            .run_supervised(2, None, &SupervisorConfig::default())
+            .expect("resumed run");
+        assert_eq!(rp.events_processed, rr.events_processed);
+        assert_eq!(rp.epochs, rr.epochs);
+        assert_eq!(rp.end_time, rr.end_time);
+        for (a, b) in wp.iter().zip(&wr) {
+            assert_eq!(a.log, b.log);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_plan_from_env_shapes() {
+        // from_env reads process-global env; set unique vars and restore.
+        std::env::set_var("WMN_CRASH_AT", "3:1, 7:0,bad,9");
+        std::env::set_var("WMN_CRASH_RATE", "0.25:1234:5");
+        let plan = CrashPlan::from_env();
+        std::env::remove_var("WMN_CRASH_AT");
+        std::env::remove_var("WMN_CRASH_RATE");
+        assert_eq!(plan.scripted, vec![(3, 1), (7, 0)]);
+        assert_eq!(
+            plan.stochastic,
+            Some(StochasticCrash {
+                rate: 0.25,
+                seed: 1234,
+                max: 5
+            })
+        );
+        assert!(CrashPlan::default().is_empty());
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn non_injected_panic_aborts_loudly() {
+        struct Bomb;
+        impl RegionWorld for Bomb {
+            type Event = u32;
+            fn handle(&mut self, ev: u32, ctx: &mut RegionCtx<'_, u32>) {
+                if ev == 3 {
+                    panic!("model bug: unexpected state");
+                }
+                ctx.send(
+                    (ctx.region() + 1) % 2,
+                    ctx.now() + SimDuration::from_millis(1),
+                    ev + 1,
+                );
+            }
+        }
+        impl CheckpointState for Bomb {
+            fn encode_state(&self, _out: &mut ByteWriter) {}
+            fn decode_state(&mut self, _r: &mut ByteReader<'_>) -> Result<(), CheckpointError> {
+                Ok(())
+            }
+            fn encode_event(event: &u32, out: &mut ByteWriter) {
+                out.u32(*event);
+            }
+            fn decode_event(r: &mut ByteReader<'_>) -> Result<u32, CheckpointError> {
+                r.u32()
+            }
+        }
+        let mut eng = ShardedEngine::new(
+            vec![Bomb, Bomb],
+            Lookahead::uniform(2, SimDuration::from_millis(1)),
+            SimTime::from_secs(1),
+        );
+        eng.prime(0, SimTime::ZERO, 0);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            eng.run_supervised(1, None, &SupervisorConfig::default())
+        }));
+        assert!(res.is_err(), "a genuine bug must not be swallowed");
     }
 }

@@ -13,6 +13,7 @@
 
 use crate::json::{get, parse_object, JsonValue};
 use std::fmt;
+use wmn_sim::checkpoint::{ByteReader, ByteWriter, CheckpointError};
 
 /// Why a packet was discarded — the single namespace every layer's drops
 /// map into (exactly one `DropReason` per discarded packet).
@@ -565,6 +566,293 @@ impl TelemetryEvent {
             kind,
         })
     }
+
+    /// Serialize into a checkpoint payload. Unlike [`TelemetryEvent::to_jsonl`]
+    /// (which rounds floats to six decimals), this encoding carries `f64`
+    /// fields as raw bits, so a decode is bit-identical to the original —
+    /// a requirement for checkpoint/resume byte-equivalence of trace files.
+    pub fn encode_binary(&self, out: &mut ByteWriter) {
+        out.u64(self.t_ns);
+        out.u32(self.run);
+        out.u32(self.node);
+        match self.kind {
+            EventKind::RreqOriginate { id, target } => {
+                out.u8(0);
+                out.u32(id);
+                out.u32(target);
+            }
+            EventKind::RreqRecv { origin, id } => {
+                out.u8(1);
+                out.u32(origin);
+                out.u32(id);
+            }
+            EventKind::RreqDuplicate { origin, id } => {
+                out.u8(2);
+                out.u32(origin);
+                out.u32(id);
+            }
+            EventKind::RreqForward { origin, id } => {
+                out.u8(3);
+                out.u32(origin);
+                out.u32(id);
+            }
+            EventKind::RreqSuppress { origin, id } => {
+                out.u8(4);
+                out.u32(origin);
+                out.u32(id);
+            }
+            EventKind::RrepGenerate { origin, target } => {
+                out.u8(5);
+                out.u32(origin);
+                out.u32(target);
+            }
+            EventKind::RrepForward { origin, target } => {
+                out.u8(6);
+                out.u32(origin);
+                out.u32(target);
+            }
+            EventKind::RrepDrop { origin, target } => {
+                out.u8(7);
+                out.u32(origin);
+                out.u32(target);
+            }
+            EventKind::RerrSend { count } => {
+                out.u8(8);
+                out.u32(count);
+            }
+            EventKind::HelloSend { seq } => {
+                out.u8(9);
+                out.u32(seq);
+            }
+            EventKind::DataOriginate { flow, seq } => {
+                out.u8(10);
+                out.u32(flow);
+                out.u32(seq);
+            }
+            EventKind::DataForward { flow, seq } => {
+                out.u8(11);
+                out.u32(flow);
+                out.u32(seq);
+            }
+            EventKind::DataDeliver { flow, seq } => {
+                out.u8(12);
+                out.u32(flow);
+                out.u32(seq);
+            }
+            EventKind::DataDrop { reason, flow, seq } => {
+                out.u8(13);
+                out.u8(drop_reason_code(reason));
+                out.u32(flow);
+                out.u32(seq);
+            }
+            EventKind::CtrlDrop { reason } => {
+                out.u8(14);
+                out.u8(drop_reason_code(reason));
+            }
+            EventKind::MacEnqueue { depth } => {
+                out.u8(15);
+                out.u32(depth);
+            }
+            EventKind::MacDequeue { depth } => {
+                out.u8(16);
+                out.u32(depth);
+            }
+            EventKind::MacBackoff { slots } => {
+                out.u8(17);
+                out.u32(slots);
+            }
+            EventKind::MacTxAttempt { retry } => {
+                out.u8(18);
+                out.u32(retry);
+            }
+            EventKind::PhyTxStart { tx_id, bytes } => {
+                out.u8(19);
+                out.u64(tx_id);
+                out.u32(bytes);
+            }
+            EventKind::PhyRx { tx_id } => {
+                out.u8(20);
+                out.u64(tx_id);
+            }
+            EventKind::PhyCollision { tx_id } => {
+                out.u8(21);
+                out.u64(tx_id);
+            }
+            EventKind::PhyCapture { tx_id } => {
+                out.u8(22);
+                out.u64(tx_id);
+            }
+            EventKind::PhyNoise { tx_id } => {
+                out.u8(23);
+                out.u64(tx_id);
+            }
+            EventKind::NodeProbe {
+                queue,
+                busy,
+                load,
+                fwd_p,
+            } => {
+                out.u8(24);
+                out.f64_bits(queue);
+                out.f64_bits(busy);
+                out.f64_bits(load);
+                out.f64_bits(fwd_p);
+            }
+            EventKind::NodeDown { incarnation } => {
+                out.u8(25);
+                out.u32(incarnation);
+            }
+            EventKind::NodeUp { incarnation } => {
+                out.u8(26);
+                out.u32(incarnation);
+            }
+            EventKind::FaultInjected { fault } => {
+                out.u8(27);
+                out.u8(fault_code_byte(fault));
+            }
+            EventKind::EngineProbe { events, rate, heap } => {
+                out.u8(28);
+                out.u64(events);
+                out.f64_bits(rate);
+                out.u64(heap);
+            }
+        }
+    }
+
+    /// Inverse of [`TelemetryEvent::encode_binary`].
+    pub fn decode_binary(r: &mut ByteReader<'_>) -> Result<Self, CheckpointError> {
+        let t_ns = r.u64()?;
+        let run = r.u32()?;
+        let node = r.u32()?;
+        let tag = r.u8()?;
+        let kind = match tag {
+            0 => EventKind::RreqOriginate {
+                id: r.u32()?,
+                target: r.u32()?,
+            },
+            1 => EventKind::RreqRecv {
+                origin: r.u32()?,
+                id: r.u32()?,
+            },
+            2 => EventKind::RreqDuplicate {
+                origin: r.u32()?,
+                id: r.u32()?,
+            },
+            3 => EventKind::RreqForward {
+                origin: r.u32()?,
+                id: r.u32()?,
+            },
+            4 => EventKind::RreqSuppress {
+                origin: r.u32()?,
+                id: r.u32()?,
+            },
+            5 => EventKind::RrepGenerate {
+                origin: r.u32()?,
+                target: r.u32()?,
+            },
+            6 => EventKind::RrepForward {
+                origin: r.u32()?,
+                target: r.u32()?,
+            },
+            7 => EventKind::RrepDrop {
+                origin: r.u32()?,
+                target: r.u32()?,
+            },
+            8 => EventKind::RerrSend { count: r.u32()? },
+            9 => EventKind::HelloSend { seq: r.u32()? },
+            10 => EventKind::DataOriginate {
+                flow: r.u32()?,
+                seq: r.u32()?,
+            },
+            11 => EventKind::DataForward {
+                flow: r.u32()?,
+                seq: r.u32()?,
+            },
+            12 => EventKind::DataDeliver {
+                flow: r.u32()?,
+                seq: r.u32()?,
+            },
+            13 => EventKind::DataDrop {
+                reason: drop_reason_from_code(r.u8()?)?,
+                flow: r.u32()?,
+                seq: r.u32()?,
+            },
+            14 => EventKind::CtrlDrop {
+                reason: drop_reason_from_code(r.u8()?)?,
+            },
+            15 => EventKind::MacEnqueue { depth: r.u32()? },
+            16 => EventKind::MacDequeue { depth: r.u32()? },
+            17 => EventKind::MacBackoff { slots: r.u32()? },
+            18 => EventKind::MacTxAttempt { retry: r.u32()? },
+            19 => EventKind::PhyTxStart {
+                tx_id: r.u64()?,
+                bytes: r.u32()?,
+            },
+            20 => EventKind::PhyRx { tx_id: r.u64()? },
+            21 => EventKind::PhyCollision { tx_id: r.u64()? },
+            22 => EventKind::PhyCapture { tx_id: r.u64()? },
+            23 => EventKind::PhyNoise { tx_id: r.u64()? },
+            24 => EventKind::NodeProbe {
+                queue: r.f64_bits()?,
+                busy: r.f64_bits()?,
+                load: r.f64_bits()?,
+                fwd_p: r.f64_bits()?,
+            },
+            25 => EventKind::NodeDown {
+                incarnation: r.u32()?,
+            },
+            26 => EventKind::NodeUp {
+                incarnation: r.u32()?,
+            },
+            27 => EventKind::FaultInjected {
+                fault: fault_code_from_byte(r.u8()?)?,
+            },
+            28 => EventKind::EngineProbe {
+                events: r.u64()?,
+                rate: r.f64_bits()?,
+                heap: r.u64()?,
+            },
+            other => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "unknown event tag {other}"
+                )))
+            }
+        };
+        Ok(TelemetryEvent {
+            t_ns,
+            run,
+            node,
+            kind,
+        })
+    }
+}
+
+fn drop_reason_code(reason: DropReason) -> u8 {
+    DropReason::ALL
+        .iter()
+        .position(|r| *r == reason)
+        .expect("reason in ALL") as u8
+}
+
+fn drop_reason_from_code(code: u8) -> Result<DropReason, CheckpointError> {
+    DropReason::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| CheckpointError::Corrupt(format!("unknown drop reason code {code}")))
+}
+
+fn fault_code_byte(fault: FaultCode) -> u8 {
+    FaultCode::ALL
+        .iter()
+        .position(|c| *c == fault)
+        .expect("fault in ALL") as u8
+}
+
+fn fault_code_from_byte(code: u8) -> Result<FaultCode, CheckpointError> {
+    FaultCode::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| CheckpointError::Corrupt(format!("unknown fault code {code}")))
 }
 
 /// Human-oriented one-line rendering (the `--trace` console format that
@@ -725,6 +1013,71 @@ mod tests {
             "{\"t\":1,\"run\":0,\"node\":0,\"kind\":\"weird_future_thing\"}"
         )
         .is_none());
+    }
+
+    #[test]
+    fn binary_roundtrip_every_kind_bit_exact() {
+        // Use float values that the six-decimal JSONL form would mangle, to
+        // prove the binary codec is lossless where JSONL is not.
+        let mut events = samples();
+        events.push(TelemetryEvent {
+            t_ns: u64::MAX,
+            run: u32::MAX,
+            node: u32::MAX,
+            kind: EventKind::NodeProbe {
+                queue: 0.1 + 0.2,
+                busy: f64::MIN_POSITIVE,
+                load: 1.0 / 3.0,
+                fwd_p: -0.0,
+            },
+        });
+        let mut w = ByteWriter::new();
+        w.u64(events.len() as u64);
+        for ev in &events {
+            ev.encode_binary(&mut w);
+        }
+        let buf = w.into_inner();
+        let mut r = ByteReader::new(&buf);
+        let n = r.u64().unwrap();
+        assert_eq!(n as usize, events.len());
+        for ev in &events {
+            let back = TelemetryEvent::decode_binary(&mut r).unwrap();
+            assert_eq!(back, *ev);
+            if let (EventKind::NodeProbe { queue: a, .. }, EventKind::NodeProbe { queue: b, .. }) =
+                (ev.kind, back.kind)
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn binary_decode_rejects_bad_tags() {
+        let mut w = ByteWriter::new();
+        w.u64(1);
+        w.u32(0);
+        w.u32(0);
+        w.u8(200); // no such event tag
+        let buf = w.into_inner();
+        let mut r = ByteReader::new(&buf);
+        assert!(matches!(
+            TelemetryEvent::decode_binary(&mut r),
+            Err(CheckpointError::Corrupt(_))
+        ));
+
+        let mut w = ByteWriter::new();
+        w.u64(1);
+        w.u32(0);
+        w.u32(0);
+        w.u8(14); // CtrlDrop
+        w.u8(99); // no such drop reason
+        let buf = w.into_inner();
+        let mut r = ByteReader::new(&buf);
+        assert!(matches!(
+            TelemetryEvent::decode_binary(&mut r),
+            Err(CheckpointError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -32,6 +32,11 @@ pub struct RunManifest {
     pub peak_rss_bytes: u64,
     /// Aggregated counter registry across all replications.
     pub counters: Counters,
+    /// Checkpoint lineage: one entry per run segment, oldest first
+    /// (`"fresh"`, then `"resumed from ckpt_epoch_N at <dir>"` per resume).
+    /// Empty for runs without checkpointing, and omitted from the JSON so
+    /// pre-existing manifests are byte-identical.
+    pub lineage: Vec<String>,
 }
 
 impl RunManifest {
@@ -69,6 +74,14 @@ impl RunManifest {
         ));
         s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
         s.push_str(&format!("  \"peak_rss_bytes\": {},\n", self.peak_rss_bytes));
+        if !self.lineage.is_empty() {
+            let lineage: Vec<String> = self
+                .lineage
+                .iter()
+                .map(|l| format!("\"{}\"", escape_json(l)))
+                .collect();
+            s.push_str(&format!("  \"lineage\": [{}],\n", lineage.join(", ")));
+        }
         s.push_str(&format!("  \"counters\": {}\n", self.counters.to_json()));
         s.push_str("}\n");
         s
@@ -118,8 +131,13 @@ mod tests {
             host_cores: 4,
             peak_rss_bytes: 123_456_789,
             counters,
+            lineage: vec![],
         };
         let j = m.to_json();
+        assert!(
+            !j.contains("lineage"),
+            "empty lineage must be omitted for byte-compat"
+        );
         for needle in [
             "\"id\": \"figX\"",
             "\"git_rev\": \"abc123\"",
@@ -141,6 +159,22 @@ mod tests {
             .trim_end_matches(',');
         let pairs = parse_object(obj).expect("counters parse");
         assert_eq!(get(&pairs, "rreq_originated"), Some(&JsonValue::Num(12.0)));
+    }
+
+    #[test]
+    fn lineage_is_emitted_when_present() {
+        let m = RunManifest {
+            id: "figY".into(),
+            lineage: vec![
+                "fresh".into(),
+                "resumed from ckpt_epoch_42 at results/ckpt".into(),
+            ],
+            ..RunManifest::default()
+        };
+        let j = m.to_json();
+        assert!(
+            j.contains("\"lineage\": [\"fresh\", \"resumed from ckpt_epoch_42 at results/ckpt\"]")
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::histogram::LogHistogram;
 use crate::json::{escape_json, get, parse_object, JsonValue};
+use wmn_sim::checkpoint::{ByteReader, ByteWriter, CheckpointError};
 use wmn_sim::shard::{ShardProbe, ShardRunReport, WindowSample};
 
 /// Schema tag written into every profile artifact.
@@ -432,6 +433,63 @@ impl ShardProbe for ShardProfiler {
             self.grow_to(report.per_region.len() as u32 - 1);
         }
     }
+
+    fn encode_probe(&self, out: &mut ByteWriter) {
+        out.u64(self.epochs);
+        out.u64(self.merge_ns);
+        out.u32(self.acc.len() as u32);
+        for r in &self.acc {
+            out.u32(r.region);
+            out.u64(r.events);
+            out.u64(r.busy_ns);
+            out.u64(r.wait_ns);
+            out.u64(r.outbox);
+            out.u64(r.active_windows);
+            out.u64(r.stalled_windows);
+            out.u64(r.bound_others);
+            out.u64(r.max_queue);
+        }
+        // Histograms are pure u64 state; their flat JSON codec is lossless,
+        // so the checkpoint reuses it rather than duplicating the layout.
+        out.bytes(self.service_ns.to_json().as_bytes());
+        out.bytes(self.queue_depth.to_json().as_bytes());
+        out.bytes(self.epoch_width_ns.to_json().as_bytes());
+    }
+
+    fn decode_probe(&mut self, r: &mut ByteReader<'_>) -> Result<(), CheckpointError> {
+        self.epochs = r.u64()?;
+        self.merge_ns = r.u64()?;
+        let n = r.u32()? as usize;
+        self.acc.clear();
+        self.cur_busy.clear();
+        for _ in 0..n {
+            self.acc.push(RegionProfile {
+                region: r.u32()?,
+                events: r.u64()?,
+                busy_ns: r.u64()?,
+                wait_ns: r.u64()?,
+                outbox: r.u64()?,
+                active_windows: r.u64()?,
+                stalled_windows: r.u64()?,
+                bound_others: r.u64()?,
+                max_queue: r.u64()?,
+            });
+            // Checkpoints land at epoch barriers, after epoch_end zeroed the
+            // per-epoch busy scratch — all-zero is the exact saved state.
+            self.cur_busy.push(0);
+        }
+        let hist = |r: &mut ByteReader<'_>| -> Result<LogHistogram, CheckpointError> {
+            let raw = r.bytes()?;
+            let text = std::str::from_utf8(raw)
+                .map_err(|_| CheckpointError::Corrupt("histogram blob not utf-8".into()))?;
+            LogHistogram::from_json(text)
+                .ok_or_else(|| CheckpointError::Corrupt("unparseable histogram blob".into()))
+        };
+        self.service_ns = hist(r)?;
+        self.queue_depth = hist(r)?;
+        self.epoch_width_ns = hist(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -493,6 +551,54 @@ mod tests {
         let parsed = ShardProfile::from_json(&p.to_json()).expect("parse");
         assert_eq!(parsed, p);
         assert_eq!(parsed.sim_fingerprint(), p.sim_fingerprint());
+    }
+
+    #[test]
+    fn probe_state_roundtrips_through_checkpoint_codec() {
+        // Build a mid-run profiler (no run_end — checkpoints happen before
+        // the run finishes), snapshot it, and restore into a fresh one.
+        let mut profiler = ShardProfiler::new(4);
+        for epoch in 1..=5u64 {
+            for region in 0..3u32 {
+                profiler.window(&WindowSample {
+                    epoch,
+                    region,
+                    active: true,
+                    events: 7 * (region as u64 + 1),
+                    busy_ns: 900 + epoch,
+                    queue_depth: epoch + region as u64,
+                    outbox: 2,
+                    window_start_ns: epoch * 1000,
+                    window_end_ns: epoch * 1000 + 400,
+                    bound_by: -1,
+                });
+            }
+            profiler.epoch_end(epoch, 1500, 6, 80);
+        }
+        let mut w = ByteWriter::new();
+        profiler.encode_probe(&mut w);
+        let buf = w.into_inner();
+
+        let mut restored = ShardProfiler::new(4);
+        let mut r = ByteReader::new(&buf);
+        restored.decode_probe(&mut r).expect("decode");
+        r.expect_end().expect("fully consumed");
+
+        // Finishing both must yield identical profiles (host sample aside).
+        let mut a = profiler.finish();
+        let mut b = restored.finish();
+        a.host = HostSample::default();
+        b.host = HostSample::default();
+        assert_eq!(a, b);
+        assert_eq!(a.sim_fingerprint(), b.sim_fingerprint());
+    }
+
+    #[test]
+    fn probe_decode_rejects_garbage() {
+        let mut restored = ShardProfiler::new(1);
+        let garbage = vec![0xFFu8; 16];
+        let mut r = ByteReader::new(&garbage);
+        assert!(restored.decode_probe(&mut r).is_err());
     }
 
     #[test]

@@ -53,25 +53,28 @@ BENCH_JSON="$TMP_SWEEPS" QUICK=1 ./target/release/fig13_parallel >/dev/null
 # committed full-resolution CSVs if we are in a clean checkout.
 git checkout -- results 2>/dev/null || true
 
-# Profiling-overhead guard: the shard profiler must stay near-free. Take
-# the best of 3 wall-clocks for the same 1k-node 2-thread parmesh run with
-# and without --profile-out (the CSV line's last field is wall seconds)
-# and fail if profiling costs more than 10 %. BENCH_NO_GUARD=1 skips the
-# failure (e.g. on a noisy shared host).
-parmesh_wall() {
-  local best="" wall
-  for _ in 1 2 3; do
-    wall=$(./target/release/wmn-sim --parmesh --nodes 1000 --flows 100 \
-      --duration 10 --warmup 2 --seed 3 --threads 2 --csv "$@" 2>/dev/null \
-      | tail -1 | awk -F, '{print $NF}')
-    if [ -z "$best" ] || awk -v a="$wall" -v b="$best" 'BEGIN{exit !(a<b)}'; then
-      best="$wall"
-    fi
-  done
-  echo "$best"
+# Overhead guards: the shard profiler must stay within 10 % and
+# epoch-barrier checkpointing at the default 1 s cadence within 5 % of the
+# plain run — snapshots happen at barriers where every region is already
+# quiesced, so anything above that means serialization crept onto the
+# critical path. One run of each variant per round, interleaved so host
+# drift hits every variant equally; the best wall per variant is the
+# least-noisy estimate (the CSV line's last field is wall seconds).
+# BENCH_NO_GUARD=1 reports without failing (e.g. on a noisy shared host).
+one_wall() {
+  ./target/release/wmn-sim --parmesh --nodes 1000 --flows 100 \
+    --duration 10 --warmup 2 --seed 3 --threads 2 --csv "$@" 2>/dev/null \
+    | tail -1 | awk -F, '{print $NF}'
 }
-PLAIN_WALL=$(parmesh_wall)
-PROF_WALL=$(parmesh_wall --profile-out /dev/null)
+best_of() { awk -v a="$1" -v b="$2" 'BEGIN{print (b == "" || a < b) ? a : b}'; }
+CKPT_DIR=$(mktemp -d)
+trap 'rm -rf "$CKPT_DIR"; rm -f "$TMP_SWEEPS" "$TMP_MICRO"' EXIT
+PLAIN_WALL=""; PROF_WALL=""; CKPT_WALL=""
+for _ in 1 2 3 4 5; do
+  PLAIN_WALL=$(best_of "$(one_wall)" "$PLAIN_WALL")
+  PROF_WALL=$(best_of "$(one_wall --profile-out /dev/null)" "$PROF_WALL")
+  CKPT_WALL=$(best_of "$(one_wall --checkpoint-dir "$CKPT_DIR")" "$CKPT_WALL")
+done
 echo "profiling overhead guard: plain ${PLAIN_WALL}s, profiled ${PROF_WALL}s"
 if ! awk -v p="$PROF_WALL" -v b="$PLAIN_WALL" 'BEGIN{exit !(p <= b * 1.10)}'; then
   if [ -z "${BENCH_NO_GUARD:-}" ]; then
@@ -79,6 +82,14 @@ if ! awk -v p="$PROF_WALL" -v b="$PLAIN_WALL" 'BEGIN{exit !(p <= b * 1.10)}'; th
     exit 1
   fi
   echo "WARN: profiling overhead exceeds 10% (guard disabled)" >&2
+fi
+echo "checkpoint overhead guard: plain ${PLAIN_WALL}s, checkpointed ${CKPT_WALL}s"
+if ! awk -v c="$CKPT_WALL" -v b="$PLAIN_WALL" 'BEGIN{exit !(c <= b * 1.05)}'; then
+  if [ -z "${BENCH_NO_GUARD:-}" ]; then
+    echo "FAIL: checkpointing overhead exceeds 5% (${CKPT_WALL}s vs ${PLAIN_WALL}s)" >&2
+    exit 1
+  fi
+  echo "WARN: checkpointing overhead exceeds 5% (guard disabled)" >&2
 fi
 
 python3 - "$OUT" "$TMP_MICRO" "$TMP_SWEEPS" <<'EOF'

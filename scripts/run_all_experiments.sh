@@ -1,12 +1,35 @@
 #!/usr/bin/env bash
 # Regenerate every reconstructed table/figure. QUICK=1 for a fast pass.
-set -uo pipefail
+#
+# Each figure that succeeds is stamped with the git revision that produced
+# it (results/.<bin>.ok); a rerun skips figures whose stamp matches HEAD so
+# a failed sweep can be retried without redoing finished figures. FORCE=1
+# reruns everything. Failures don't stop the sweep — every remaining figure
+# still runs, and the script reports the failed set and exits non-zero.
+set -euo pipefail
 cd "$(dirname "$0")/.."
 bins=(tab1_params fig1_overhead_size fig2_reachability fig3_pdr_load fig4_delay_load \
       fig5_throughput fig6_load_balance fig7_mobility fig8_hello_ablation fig9_energy fig10_gateway tab2_summary)
 mkdir -p results
+rev=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+failed=()
 for b in "${bins[@]}"; do
+  stamp="results/.${b}.ok"
+  if [ -z "${FORCE:-}" ] && [ -f "$stamp" ] && [ "$(cat "$stamp")" = "$rev" ]; then
+    echo "=== $b: results current for $rev, skipping (FORCE=1 reruns) ==="
+    continue
+  fi
   echo "=== $b ==="
-  cargo run --release -q -p wmn-bench --bin "$b" 2>&1 | tee "results/${b}.log"
+  if cargo run --release -q -p wmn-bench --bin "$b" 2>&1 | tee "results/${b}.log"; then
+    echo "$rev" > "$stamp"
+  else
+    echo "!!! $b FAILED (log: results/${b}.log)" >&2
+    failed+=("$b")
+  fi
 done
+if [ "${#failed[@]}" -gt 0 ]; then
+  echo "FAILED figures: ${failed[*]}" >&2
+  echo "rerun ./scripts/run_all_experiments.sh — finished figures are skipped" >&2
+  exit 1
+fi
 echo "ALL EXPERIMENTS DONE"

@@ -49,6 +49,12 @@ pub struct Options {
     pub fails: Vec<(u32, f64, Option<f64>)>,
     /// Stochastic churn `(mtbf_s, mttr_s)` applied to every node.
     pub churn: Option<(f64, f64)>,
+    /// Write epoch-barrier checkpoints to this directory (ParMesh only).
+    pub checkpoint_dir: Option<String>,
+    /// Simulated seconds between checkpoints (requires `--checkpoint-dir`).
+    pub checkpoint_every_s: Option<f64>,
+    /// Resume from the newest checkpoint in `--checkpoint-dir`.
+    pub resume: bool,
 }
 
 impl Default for Options {
@@ -76,6 +82,9 @@ impl Default for Options {
             profile_out: None,
             fails: Vec::new(),
             churn: None,
+            checkpoint_dir: None,
+            checkpoint_every_s: None,
+            resume: false,
         }
     }
 }
@@ -109,10 +118,18 @@ OPTIONS (defaults in brackets):
   --trace-out PATH  write the merged JSONL trace (with --parmesh)
   --profile-out PATH  write the engine execution profile as JSON (with
                     --parmesh; inspect with `wmn-trace profile`)
+  --checkpoint-dir DIR  write epoch-barrier checkpoints (with --parmesh;
+                    inspect with `wmn-trace ckpt`); Ctrl-C checkpoints and
+                    exits with code 130
+  --checkpoint-every S  simulated seconds between checkpoints [1]
+  --resume          continue from the newest checkpoint in --checkpoint-dir;
+                    the finished run is byte-identical to an uninterrupted one
   --help            this text
 
 Set WMN_TELEMETRY=1 (and optionally WMN_TRACE_PATH, WMN_PROBE_MS) to
 record a JSONL trace instead; inspect it with wmn-trace.
+Set WMN_CRASH_AT=epoch:region[,…] or WMN_CRASH_RATE=p:seed[:max] to inject
+harness-level worker crashes (supervisor exercise; ParMesh only).
 ";
 
 /// Parse a scheme spec like `gossip:0.65` or `counter:3`.
@@ -266,6 +283,15 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--trace-out" => o.trace_out = Some(val("--trace-out")?.clone()),
             "--profile-out" => o.profile_out = Some(val("--profile-out")?.clone()),
+            "--checkpoint-dir" => o.checkpoint_dir = Some(val("--checkpoint-dir")?.clone()),
+            "--checkpoint-every" => {
+                o.checkpoint_every_s = Some(
+                    val("--checkpoint-every")?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-every: {e}"))?,
+                )
+            }
+            "--resume" => o.resume = true,
             "--help" | "-h" => return Err(HELP.to_string()),
             other => return Err(format!("unknown flag '{other}'\n\n{HELP}")),
         }
@@ -292,11 +318,22 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         && (o.threads > 1
             || o.regions.is_some()
             || o.trace_out.is_some()
-            || o.profile_out.is_some())
+            || o.profile_out.is_some()
+            || o.checkpoint_dir.is_some()
+            || o.checkpoint_every_s.is_some()
+            || o.resume)
     {
         return Err(
-            "--threads/--regions/--trace-out/--profile-out apply only with --parmesh".into(),
+            "--threads/--regions/--trace-out/--profile-out/--checkpoint-dir/\
+             --checkpoint-every/--resume apply only with --parmesh"
+                .into(),
         );
+    }
+    if (o.checkpoint_every_s.is_some() || o.resume) && o.checkpoint_dir.is_none() {
+        return Err("--checkpoint-every/--resume need --checkpoint-dir".into());
+    }
+    if o.checkpoint_every_s.is_some_and(|s| s <= 0.0) {
+        return Err("--checkpoint-every must be positive".into());
     }
     if o.random_placement && o.nodes.is_none() {
         return Err("--random requires --nodes".into());
@@ -307,26 +344,163 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(o)
 }
 
+/// Exit code for an interrupted (SIGINT, checkpointed) run, matching the
+/// shell convention for `128 + SIGINT`.
+const EXIT_INTERRUPTED: i32 = 130;
+
+/// SIGINT → cooperative interrupt flag, installed without a libc
+/// dependency: `signal(2)` is in every libc the workspace links anyway.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    extern "C" fn on_sigint(_sig: i32) {
+        // Only async-signal-safe work here: one relaxed load + one store.
+        if let Some(flag) = FLAG.get() {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Install the handler; every SIGINT afterwards sets the returned flag.
+    pub fn install() -> Arc<AtomicBool> {
+        let flag = FLAG
+            .get_or_init(|| Arc::new(AtomicBool::new(false)))
+            .clone();
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(
+                SIGINT,
+                on_sigint as extern "C" fn(i32) as *const () as usize,
+            );
+        }
+        flag
+    }
+}
+
+/// Extract the `"lineage": [...]` entries from a previously written run
+/// manifest, so a resumed run extends the chain rather than restarting it.
+fn read_lineage(path: &std::path::Path) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Some(line) = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("\"lineage\""))
+    else {
+        return Vec::new();
+    };
+    let Some(open) = line.find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = line.rfind(']') else {
+        return Vec::new();
+    };
+    line[open + 1..close]
+        .split(',')
+        .map(|s| s.trim().trim_matches('"').to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
 /// Run the shard-parallel ParMesh scale model and print its report.
 fn run_parmesh(opts: &Options) {
-    let n = opts.nodes.expect("validated");
+    let Some(n) = opts.nodes else {
+        eprintln!("--parmesh requires --nodes");
+        std::process::exit(2);
+    };
     let mut pm = wmn::ParMesh::new(n)
         .seed(opts.seed)
         .flows(opts.flows)
         .duration(SimDuration::from_secs_f64(opts.duration_s))
         .threads(opts.threads)
         .telemetry(opts.trace_out.is_some())
-        .profile(opts.profile_out.is_some());
+        .profile(opts.profile_out.is_some())
+        .crash_plan(wmn::sim::shard::CrashPlan::from_env());
     if opts.pps > 0.0 {
         pm = pm.interval(SimDuration::from_secs_f64(1.0 / opts.pps));
     }
     if let Some(r) = opts.regions {
         pm = pm.regions(r);
     }
+    if let Some(dir) = &opts.checkpoint_dir {
+        pm = pm.checkpoint_dir(dir).resume(opts.resume);
+        if let Some(s) = opts.checkpoint_every_s {
+            pm = pm.checkpoint_every(SimDuration::from_secs_f64(s));
+        }
+        #[cfg(unix)]
+        {
+            pm = pm.interrupt(sigint::install());
+        }
+    }
+    // Checkpointed runs carry their provenance: a run manifest in the
+    // checkpoint dir whose lineage records every fresh start and resume.
+    // It is written *before* the run starts (and refreshed with real
+    // stats after), so the chain survives a kill -9 mid-run.
+    let write_manifest = |lineage: Vec<String>, wall: f64, events: u64| {
+        let Some(dir) = &opts.checkpoint_dir else {
+            return;
+        };
+        let manifest = wmn::telemetry::RunManifest {
+            id: "run".into(),
+            title: "parmesh checkpointed run".into(),
+            git_rev: wmn::telemetry::git_rev(),
+            seeds: vec![opts.seed],
+            params: vec![
+                ("nodes".into(), n.to_string()),
+                ("flows".into(), opts.flows.to_string()),
+                ("duration_s".into(), format!("{}", opts.duration_s)),
+                ("threads".into(), opts.threads.to_string()),
+                (
+                    "scenario_fingerprint".into(),
+                    format!("{:016x}", pm.scenario_fingerprint()),
+                ),
+            ],
+            wall_s: wall,
+            events_processed: events,
+            lineage,
+            ..wmn::telemetry::RunManifest::default()
+        };
+        if let Err(e) = manifest.write(std::path::Path::new(dir)) {
+            eprintln!("could not write run manifest: {e}");
+        }
+    };
+    let prior_lineage = opts.checkpoint_dir.as_ref().map(|dir| {
+        let dir = std::path::Path::new(dir);
+        let prior = read_lineage(&dir.join("run_manifest.json"));
+        // Provisional entry: what this leg is about to do. The post-run
+        // rewrite replaces it with the supervisor's ground truth.
+        let entry = if opts.resume {
+            wmn::sim::checkpoint::list_dir(dir)
+                .ok()
+                .and_then(|files| files.into_iter().filter_map(|(e, _)| e).max())
+                .map(|e| format!("resumed from epoch {e}"))
+                .unwrap_or_else(|| "fresh".to_string())
+        } else {
+            "fresh".to_string()
+        };
+        let mut provisional = prior.clone();
+        provisional.push(entry);
+        write_manifest(provisional, 0.0, 0);
+        prior
+    });
     let t0 = std::time::Instant::now();
-    let out = pm.run();
+    let out = match pm.try_run() {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let wall = t0.elapsed().as_secs_f64();
     let r = &out.report;
+    let interrupted = out.supervisor.as_ref().is_some_and(|sup| sup.interrupted);
 
     if let Some(path) = &opts.trace_out {
         let mut body = String::new();
@@ -342,7 +516,10 @@ fn run_parmesh(opts: &Options) {
     }
 
     if let Some(path) = &opts.profile_out {
-        let p = out.profile.as_ref().expect("profiling was enabled");
+        let Some(p) = out.profile.as_ref() else {
+            eprintln!("profile missing from outcome despite --profile-out");
+            std::process::exit(1);
+        };
         if let Err(e) = std::fs::write(path, p.to_json()) {
             eprintln!("could not write {path}: {e}");
             std::process::exit(1);
@@ -351,6 +528,29 @@ fn run_parmesh(opts: &Options) {
             "wrote profile to {path} (imbalance {:.2}, barrier-wait share {:.3})",
             p.imbalance_factor(),
             p.barrier_wait_share()
+        );
+    }
+
+    // Refresh the provisional manifest with the supervisor's ground truth
+    // and the finished run's stats.
+    if let Some(sup) = out.supervisor.as_ref() {
+        let mut lineage = prior_lineage.clone().unwrap_or_default();
+        lineage.push(match sup.resumed_from_epoch {
+            Some(e) => format!("resumed from epoch {e}"),
+            None => "fresh".to_string(),
+        });
+        if sup.interrupted {
+            lineage.push(format!("interrupted at epoch {}", r.epochs));
+        }
+        write_manifest(lineage, wall, r.events);
+        eprintln!(
+            "checkpoints: {} written, {} recoveries{}",
+            sup.checkpoints_written,
+            sup.recoveries,
+            match sup.resumed_from_epoch {
+                Some(e) => format!(", resumed from epoch {e}"),
+                None => String::new(),
+            }
         );
     }
 
@@ -373,6 +573,9 @@ fn run_parmesh(opts: &Options) {
             r.cross_region,
             wall,
         );
+        if interrupted {
+            std::process::exit(EXIT_INTERRUPTED);
+        }
         return;
     }
 
@@ -400,6 +603,10 @@ fn run_parmesh(opts: &Options) {
         r.events, r.epochs, r.cross_region
     );
     println!("wall-clock              : {wall:.3} s");
+    if interrupted {
+        eprintln!("interrupted — state checkpointed; rerun with --resume to continue");
+        std::process::exit(EXIT_INTERRUPTED);
+    }
 }
 
 fn main() {
@@ -685,5 +892,36 @@ mod tests {
         assert!(parse_args(&argv("--grid 1")).is_err());
         assert!(parse_args(&argv("--duration 5 --warmup 9")).is_err());
         assert!(parse_args(&argv("--help")).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flags() {
+        let o = parse_args(&argv(
+            "--parmesh --nodes 1000 --checkpoint-dir /tmp/ck --checkpoint-every 2.5 --resume",
+        ))
+        .unwrap();
+        assert_eq!(o.checkpoint_dir.as_deref(), Some("/tmp/ck"));
+        assert_eq!(o.checkpoint_every_s, Some(2.5));
+        assert!(o.resume);
+        // Parmesh-only and dependency validation.
+        assert!(
+            parse_args(&argv("--nodes 1000 --checkpoint-dir /tmp/ck")).is_err(),
+            "--checkpoint-dir without --parmesh"
+        );
+        assert!(
+            parse_args(&argv("--parmesh --nodes 1000 --resume")).is_err(),
+            "--resume without --checkpoint-dir"
+        );
+        assert!(
+            parse_args(&argv("--parmesh --nodes 1000 --checkpoint-every 1")).is_err(),
+            "--checkpoint-every without --checkpoint-dir"
+        );
+        assert!(parse_args(&argv(
+            "--parmesh --nodes 1000 --checkpoint-dir /tmp/ck --checkpoint-every 0"
+        ))
+        .is_err());
+        // Strict parsing: missing values exit through the error path.
+        assert!(parse_args(&argv("--checkpoint-dir")).is_err());
+        assert!(parse_args(&argv("--checkpoint-every")).is_err());
     }
 }

@@ -1,0 +1,169 @@
+//! End-to-end crash tolerance: ParMesh runs that are killed — by an
+//! injected worker crash or by being cut off mid-run — and then resumed
+//! must be indistinguishable from an uninterrupted run: byte-identical
+//! trace JSONL, identical reports, and identical `ShardProfile`
+//! sim-fingerprints, at every tested worker count.
+
+use proptest::prelude::*;
+use wmn::sim::shard::{CrashPlan, StochasticCrash};
+use wmn::sim::SimDuration;
+use wmn::telemetry::TelemetryEvent;
+use wmn::ParMesh;
+
+/// A small mobility+churn ParMesh scenario, sized so several regions stay
+/// concurrently active (hundreds of epochs) while finishing in tens of
+/// milliseconds of wall-clock.
+fn scenario(nodes: usize, seed: u64) -> ParMesh {
+    ParMesh::new(nodes)
+        .seed(seed)
+        .regions(9)
+        .flows(nodes / 20)
+        .duration(SimDuration::from_secs(5))
+        .mobility(true)
+        .churn(true)
+        .telemetry(true)
+        .profile(true)
+}
+
+fn trace_bytes(trace: &[TelemetryEvent]) -> String {
+    let mut s = String::new();
+    for ev in trace {
+        s.push_str(&ev.to_jsonl());
+        s.push('\n');
+    }
+    s
+}
+
+fn temp_dir(tag: &str, seed: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "wmn_resume_e2e_{tag}_{seed:x}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random mobility+churn scenarios: a run whose workers crash (and
+    /// recover) and a run resumed from a mid-run checkpoint both
+    /// reproduce the uninterrupted run's trace and profile fingerprint
+    /// at worker counts {1, 2, 8}.
+    #[test]
+    fn crash_and_resume_reproduce_uninterrupted_runs(
+        seed in 1u64..1_000,
+        nodes in 300usize..500,
+        crash_seed in any::<u64>(),
+    ) {
+        let base = scenario(nodes, seed).threads(1).run();
+        let base_trace = trace_bytes(&base.trace);
+        let base_fp = base.profile.as_ref().expect("profile").sim_fingerprint();
+        prop_assert!(!base.trace.is_empty());
+
+        for threads in [1usize, 2, 8] {
+            // Leg A: same scenario with injected worker crashes.
+            let crashed = scenario(nodes, seed)
+                .threads(threads)
+                .crash_plan(CrashPlan {
+                    scripted: vec![],
+                    stochastic: Some(StochasticCrash {
+                        rate: 0.001,
+                        seed: crash_seed,
+                        max: 2,
+                    }),
+                })
+                .run();
+            let sup = crashed.supervisor.as_ref().expect("supervised");
+            prop_assert!(sup.recoveries <= 2);
+            prop_assert_eq!(
+                &trace_bytes(&crashed.trace), &base_trace,
+                "crash-recovery changed the trace (threads={}, recoveries={})",
+                threads, sup.recoveries
+            );
+            prop_assert_eq!(
+                crashed.profile.as_ref().expect("profile").sim_fingerprint(),
+                base_fp.clone(),
+                "crash-recovery changed the sim fingerprint (threads={})", threads
+            );
+
+            // Leg B: checkpoint the run, then resume it in a fresh
+            // process-equivalent (new ParMesh value) at this thread count.
+            let dir = temp_dir("resume", seed ^ threads as u64);
+            let first = scenario(nodes, seed)
+                .threads(2)
+                .checkpoint_dir(&dir)
+                .checkpoint_every(SimDuration::from_secs(1))
+                .run();
+            let sup = first.supervisor.as_ref().expect("supervised");
+            prop_assert!(sup.checkpoints_written >= 2, "want mid-run checkpoints");
+            prop_assert_eq!(&trace_bytes(&first.trace), &base_trace);
+
+            let resumed = scenario(nodes, seed)
+                .threads(threads)
+                .checkpoint_dir(&dir)
+                .resume(true)
+                .run();
+            let sup = resumed.supervisor.as_ref().expect("supervised");
+            prop_assert!(sup.resumed_from_epoch.is_some(), "resume found no checkpoint");
+            prop_assert_eq!(
+                &trace_bytes(&resumed.trace), &base_trace,
+                "resumed run diverged (threads={})", threads
+            );
+            prop_assert_eq!(
+                resumed.profile.as_ref().expect("profile").sim_fingerprint(),
+                base_fp.clone(),
+                "resumed run changed the sim fingerprint (threads={})", threads
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// A worker killed mid-epoch rolls back cleanly: the recovery replays the
+/// aborted epoch and nothing from the half-finished attempt leaks into
+/// the merged trace (every event appears exactly once, in merge order).
+#[test]
+fn killed_worker_leaks_nothing_into_the_trace() {
+    let base = scenario(400, 42).threads(1).run();
+    let crashed = scenario(400, 42)
+        .threads(4)
+        .crash_plan(CrashPlan {
+            scripted: vec![],
+            stochastic: Some(StochasticCrash {
+                rate: 0.002,
+                seed: 7,
+                max: 3,
+            }),
+        })
+        .run();
+    let sup = crashed.supervisor.as_ref().expect("supervised");
+    assert!(sup.recoveries >= 1, "crash plan never fired");
+    assert_eq!(base.trace.len(), crashed.trace.len(), "event count changed");
+    for (i, (a, b)) in base.trace.iter().zip(&crashed.trace).enumerate() {
+        assert_eq!(
+            a.to_jsonl(),
+            b.to_jsonl(),
+            "event {i} differs after {} recoveries",
+            sup.recoveries
+        );
+    }
+}
+
+/// Resuming against a corrupt newest checkpoint is a structured error.
+#[test]
+fn corrupt_checkpoint_resume_is_an_error() {
+    let dir = temp_dir("corrupt", 1);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("ckpt_epoch_5.wmnckpt"), b"not a checkpoint").unwrap();
+    let err = scenario(300, 1)
+        .checkpoint_dir(&dir)
+        .resume(true)
+        .try_run()
+        .expect_err("corrupt checkpoint must refuse to load");
+    assert!(
+        matches!(err, wmn::sim::CheckpointError::Corrupt(_)),
+        "want Corrupt, got {err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
