@@ -4,10 +4,17 @@
 //! Expected shape: all schemes ≈ 1 at light load; CNLR degrades latest and
 //! leads at saturation (it discovers through, and routes around, quiet
 //! regions); flooding and counter collapse together (both storm-limited).
+//!
+//! `--served SOCKET` submits the sweep to a running `wmn-served` daemon
+//! instead; the emitted CSV is byte-identical (the CI smoke job diffs it).
 
-use wmn_bench::{emit, standard_schemes, sweep_durations, sweep_figure, FigureSpec};
+use wmn_bench::{
+    emit, parse_fig_args, standard_schemes, sweep_durations, sweep_figure, FigureSpec,
+};
+use wmn_served::ScenarioSpec;
 
 fn main() {
+    let served = parse_fig_args("fig3_pdr_load");
     let spec = FigureSpec {
         id: "fig3",
         title: "Packet delivery ratio vs offered load",
@@ -20,13 +27,39 @@ fn main() {
         vec![5.0, 10.0, 20.0, 30.0, 40.0, 50.0]
     };
     let schemes = standard_schemes();
-    let build = move |flows: f64, scheme: &cnlr::Scheme, seed: u64| {
-        cnlr::presets::backbone(8, 0, seed)
-            .scheme(scheme.clone())
-            .flows(flows as usize, 8.0, 512)
-            .duration(dur)
-            .warmup(warm)
+    let t = if let Some(socket) = served {
+        let build = move |flows: f64, scheme: &cnlr::Scheme, seed: u64| ScenarioSpec {
+            seed,
+            scheme: scheme.spec_string(),
+            grid_rows: 8,
+            grid_cols: 8,
+            pitch_m: 180.0,
+            flows: flows as usize,
+            pps: 8.0,
+            payload: 512,
+            duration_s: dur.as_secs_f64(),
+            warmup_s: warm.as_secs_f64(),
+            ..ScenarioSpec::default()
+        };
+        wmn_bench::served::sweep_figure_multi_served(
+            &spec,
+            &[("PDR", "pdr")],
+            &xs,
+            &schemes,
+            &socket,
+            build,
+        )
+        .pop()
+        .expect("one table")
+    } else {
+        let build = move |flows: f64, scheme: &cnlr::Scheme, seed: u64| {
+            cnlr::presets::backbone(8, 0, seed)
+                .scheme(scheme.clone())
+                .flows(flows as usize, 8.0, 512)
+                .duration(dur)
+                .warmup(warm)
+        };
+        sweep_figure(&spec, "PDR", &xs, &schemes, build, |r| r.pdr())
     };
-    let t = sweep_figure(&spec, "PDR", &xs, &schemes, build, |r| r.pdr());
     emit(&spec, "", &t);
 }

@@ -8,6 +8,7 @@
 //! wmn-trace profile [profile.json | trace.jsonl] [--prometheus]
 //! wmn-trace diff a.jsonl b.jsonl [--ignore f1,f2]
 //! wmn-trace ckpt <checkpoint-dir | file.wmnckpt>
+//! wmn-trace jobs <socket> [--json]
 //! ```
 //!
 //! The trace file defaults to `$WMN_TRACE_PATH`, then `trace.jsonl`.
@@ -28,7 +29,7 @@ use wmn_telemetry::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wmn-trace <summary|drops|timeline|convergence|profile|diff|ckpt> [trace.jsonl] [options]\n\
+        "usage: wmn-trace <summary|drops|timeline|convergence|profile|diff|ckpt|jobs> [trace.jsonl] [options]\n\
          \n\
          summary      event totals per kind   [--verify <manifest.json>] [--run N]\n\
          drops        discard breakdown       [--by-reason] [--by-node] [--run N]\n\
@@ -42,7 +43,11 @@ fn usage() -> ! {
          ckpt         list checkpoints in a dir (or inspect one file):\n\
          \u{20}             epoch, committed horizon, regions, events, size,\n\
          \u{20}             checksum status, manifest lineage; corrupt files\n\
-         \u{20}             are reported and exit non-zero"
+         \u{20}             are reported and exit non-zero\n\
+         jobs         query a wmn-served daemon's queue:\n\
+         \u{20}             wmn-trace jobs <socket> [--json]\n\
+         \u{20}             queue depth, running/queued/cancelled counts,\n\
+         \u{20}             dedup economics and a per-job status table"
     );
     std::process::exit(2);
 }
@@ -50,6 +55,9 @@ fn usage() -> ! {
 struct Args {
     command: String,
     path: std::path::PathBuf,
+    /// Whether `path` came from the command line (vs the trace default) —
+    /// `jobs` needs an explicit socket, never a fallback trace path.
+    explicit_path: bool,
     path2: Option<std::path::PathBuf>,
     flags: Vec<(String, Option<String>)>,
 }
@@ -66,6 +74,7 @@ fn known_flags(command: &str) -> &'static [(&'static str, bool)] {
         "profile" => &[("prometheus", false), ("run", true)],
         "diff" => &[("ignore", true)],
         "ckpt" => &[],
+        "jobs" => &[("json", false)],
         _ => usage(),
     }
 }
@@ -104,6 +113,7 @@ impl Args {
                 usage();
             }
         }
+        let explicit_path = path.is_some();
         let path = path
             .or_else(|| {
                 std::env::var("WMN_TRACE_PATH")
@@ -115,6 +125,7 @@ impl Args {
         Args {
             command,
             path,
+            explicit_path,
             path2,
             flags,
         }
@@ -804,12 +815,83 @@ fn ckpt_cmd(args: &Args) {
     }
 }
 
+/// `wmn-trace jobs <socket> [--json]`: query a running `wmn-served`
+/// daemon over its admin protocol. Prints queue depth, lifecycle counts,
+/// the batch-dedup economics (prefix builds/hits, warm cache traffic) and
+/// a per-job status table; `--json` passes the daemon's raw one-line
+/// `status` and `jobs` responses through for scripting.
+fn jobs_cmd(args: &Args) {
+    if !args.explicit_path {
+        eprintln!("jobs requires a daemon socket path");
+        std::process::exit(2);
+    }
+    let mut client = wmn_served::Client::connect(&args.path).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {}: {e}", args.path.display());
+        std::process::exit(1);
+    });
+    if args.flag("json") {
+        let status = client.status_raw();
+        let jobs = client.jobs_raw();
+        match (status, jobs) {
+            (Ok(s), Ok(j)) => {
+                println!("{s}");
+                println!("{j}");
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let fail = |e: wmn_served::ClientError| -> ! {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    };
+    let status = client.status().unwrap_or_else(|e| fail(e));
+    let jobs = client.jobs().unwrap_or_else(|e| fail(e));
+    println!(
+        "daemon at {} | {} worker(s), queue {}/{}{}",
+        args.path.display(),
+        status.workers,
+        status.queued,
+        status.capacity,
+        if status.draining { " | DRAINING" } else { "" }
+    );
+    println!(
+        "jobs: {} submitted | {} running | {} queued | {} done | {} cancelled | {} failed | {} refused busy",
+        status.submitted,
+        status.running,
+        status.queued,
+        status.done,
+        status.cancelled,
+        status.failed,
+        status.rejected_busy
+    );
+    println!(
+        "dedup: {} prefix build(s), {} prefix hit(s) | warm cache: {} export(s), {} import(s)",
+        status.prefix_builds, status.prefix_hits, status.warm_exports, status.warm_imports
+    );
+    if jobs.is_empty() {
+        println!("\nno jobs on record");
+        return;
+    }
+    println!("\n| job | state | scheme | seed | priority |\n|---|---|---|---|---|");
+    for j in &jobs {
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            j.id, j.state, j.scheme, j.seed, j.priority
+        );
+    }
+}
+
 fn main() {
     let args = Args::parse();
     match args.command.as_str() {
         "diff" => return diff(&args),
         "profile" => return profile_cmd(&args),
         "ckpt" => return ckpt_cmd(&args),
+        "jobs" => return jobs_cmd(&args),
         _ => {}
     }
     let mut events = load(&args.path);

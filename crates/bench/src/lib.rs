@@ -9,6 +9,8 @@ use cnlr::{RunResults, ScenarioBuilder, Scheme};
 use wmn_metrics::{run_jobs, run_replications, seeds_from, MeanCi, ResultTable};
 use wmn_telemetry::{git_rev, Counters, RunManifest};
 
+pub mod served;
+
 /// Metadata of one reconstructed figure.
 #[derive(Clone, Copy, Debug)]
 pub struct FigureSpec {
@@ -56,7 +58,7 @@ pub type Metric<'a> = (&'a str, &'a (dyn Fn(&RunResults) -> f64 + Sync));
 /// Decompose a flattened sweep job index into `(x, scheme, seed)` indices.
 /// Seed is the fastest-varying axis so one cell's replications stay
 /// contiguous in the result vector.
-fn job_coords(i: usize, n_schemes: usize, n_seeds: usize) -> (usize, usize, usize) {
+pub(crate) fn job_coords(i: usize, n_schemes: usize, n_seeds: usize) -> (usize, usize, usize) {
     let (cell, si) = (i / n_seeds, i % n_seeds);
     (cell / n_schemes, cell % n_schemes, si)
 }
@@ -250,6 +252,44 @@ pub fn emit(spec: &FigureSpec, suffix: &str, table: &ResultTable) {
 /// The standard scheme set.
 pub fn standard_schemes() -> Vec<Scheme> {
     Scheme::evaluation_set()
+}
+
+/// Strict argv parsing for the figure binaries: the only accepted flags
+/// are `--served SOCKET` (route the sweep through a `wmn-served` daemon)
+/// and `--help`. Anything else exits 2 with usage — a silently ignored
+/// flag would run the wrong experiment and report success.
+pub fn parse_fig_args(bin: &str) -> Option<String> {
+    let mut served = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--served" => match args.next() {
+                Some(socket) => served = Some(socket),
+                None => {
+                    eprintln!("error: --served requires a socket path");
+                    eprintln!("usage: {bin} [--served SOCKET]");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: {bin} [--served SOCKET]\n\
+                     \n\
+                     --served SOCKET  submit the sweep to a wmn-served daemon instead of\n\
+                     \u{20}                running in-process (CSV output is byte-identical)\n\
+                     \n\
+                     env: QUICK=1 shrinks seeds/durations; WMN_THREADS caps parallelism"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unknown argument '{other}' for {bin}");
+                eprintln!("usage: {bin} [--served SOCKET]");
+                std::process::exit(2);
+            }
+        }
+    }
+    served
 }
 
 /// Run duration knobs shared by the figure binaries:

@@ -18,7 +18,7 @@
 //! ```
 
 use crate::event::Event;
-use crate::medium::Medium;
+use crate::medium::{LinkCacheSnapshot, Medium};
 use crate::network::{Network, RebootKit};
 use crate::node::{rng_domain, Node};
 use crate::results::RunResults;
@@ -43,6 +43,10 @@ pub enum BuildError {
     /// Could not find enough flow endpoint pairs with the requested
     /// separation.
     NoFlowPairs,
+    /// [`ScenarioBuilder::build_with_prefix`] was handed a prefix built
+    /// from different prefix-relevant settings (see
+    /// [`ScenarioBuilder::prefix_fingerprint`]).
+    PrefixMismatch,
 }
 
 impl std::fmt::Display for BuildError {
@@ -51,6 +55,9 @@ impl std::fmt::Display for BuildError {
             BuildError::Disconnected => write!(f, "topology not connected"),
             BuildError::TooSmall => write!(f, "need at least 2 nodes"),
             BuildError::NoFlowPairs => write!(f, "could not draw flow endpoints"),
+            BuildError::PrefixMismatch => {
+                write!(f, "scenario prefix built from different settings")
+            }
         }
     }
 }
@@ -297,8 +304,47 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Construct the simulation.
-    pub fn build(self) -> Result<Simulation, BuildError> {
+    /// FNV-1a over the prefix-relevant settings: everything that determines
+    /// node positions and flow endpoints — seed, field, placement, PHY
+    /// (its nominal range gates connectivity), mobile-client *count*,
+    /// flow plan, duration/warmup (flow start/stop times) and the
+    /// connectivity requirement. Deliberately excluded: the scheme, MAC /
+    /// routing parameters, mobility models, faults, telemetry and cache
+    /// settings — none of them are consulted before the world is assembled,
+    /// so two builders that agree on this fingerprint draw bit-identical
+    /// topologies and flows and may share one [`ScenarioPrefix`].
+    pub fn prefix_fingerprint(&self) -> u64 {
+        fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        }
+        let key = format!(
+            "seed={};region={:?}x{:?};placement={:?};phy={:?};clients={};\
+             flows={:?};dur={};warm={};conn={}",
+            self.seed,
+            self.region.width,
+            self.region.height,
+            self.placement,
+            self.phy,
+            self.mobile_clients.as_ref().map_or(0, |(c, _)| *c),
+            self.flow_plan,
+            self.duration.as_nanos(),
+            self.warmup.as_nanos(),
+            self.require_connected,
+        );
+        fnv(0xCBF2_9CE4_8422_2325, key.as_bytes())
+    }
+
+    /// Build only the scheme-independent prefix: run the topology retry
+    /// loop and draw the flow endpoints. The scenario RNG is consumed
+    /// exclusively here, so [`ScenarioBuilder::build_with_prefix`] over the
+    /// result is bit-identical to a direct [`ScenarioBuilder::build`] —
+    /// that identity is what lets a batch scheduler build the prefix once
+    /// and fan many schemes out over it.
+    pub fn build_prefix(&self) -> Result<ScenarioPrefix, BuildError> {
         let mut scen_rng = SimRng::derive(self.seed, rng_domain::SCENARIO, 0);
 
         // --- Topology -------------------------------------------------
@@ -375,6 +421,33 @@ impl ScenarioBuilder {
             }
         };
 
+        Ok(ScenarioPrefix {
+            fingerprint: self.prefix_fingerprint(),
+            positions,
+            flow_specs,
+        })
+    }
+
+    /// Construct the simulation.
+    pub fn build(self) -> Result<Simulation, BuildError> {
+        let prefix = self.build_prefix()?;
+        self.build_with_prefix(&prefix)
+    }
+
+    /// Assemble the world on top of a previously built prefix. The prefix
+    /// must come from a builder that agrees on every prefix-relevant
+    /// setting (same [`ScenarioBuilder::prefix_fingerprint`]); the scheme,
+    /// MAC/routing parameters, mobility models, faults and telemetry may
+    /// differ freely.
+    pub fn build_with_prefix(self, prefix: &ScenarioPrefix) -> Result<Simulation, BuildError> {
+        if prefix.fingerprint != self.prefix_fingerprint() {
+            return Err(BuildError::PrefixMismatch);
+        }
+        let backbone_count = self.placement.count();
+        let positions = &prefix.positions;
+        let flow_specs = &prefix.flow_specs;
+        let total = positions.len();
+
         // --- Nodes ----------------------------------------------------
         let mut nodes = Vec::with_capacity(total);
         for (i, &pos) in positions.iter().enumerate() {
@@ -401,7 +474,7 @@ impl ScenarioBuilder {
 
         // --- Assembly ---------------------------------------------------
         let interference = self.phy.interference_range_m();
-        let spatial = SpatialIndex::new(self.region, interference.max(50.0) / 2.0, &positions);
+        let spatial = SpatialIndex::new(self.region, interference.max(50.0) / 2.0, positions);
         let medium = Medium::new(
             self.phy.clone(),
             total,
@@ -518,6 +591,35 @@ impl ScenarioBuilder {
     }
 }
 
+/// The scheme-independent prefix of a scenario: the accepted topology
+/// (backbone + client positions) and the drawn flow specs. Everything the
+/// scenario RNG ever produces lives here, so any builder with the same
+/// [`ScenarioBuilder::prefix_fingerprint`] can assemble a bit-identical
+/// world from one shared prefix — the dedup unit of the batch scheduler.
+#[derive(Clone, Debug)]
+pub struct ScenarioPrefix {
+    fingerprint: u64,
+    positions: Vec<Vec2>,
+    flow_specs: Vec<FlowSpec>,
+}
+
+impl ScenarioPrefix {
+    /// The fingerprint of the builder settings this prefix was drawn from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Total node count (backbone + clients).
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of flows drawn.
+    pub fn flow_count(&self) -> usize {
+        self.flow_specs.len()
+    }
+}
+
 /// A fully-primed simulation, ready to run.
 pub struct Simulation {
     engine: Engine<Event>,
@@ -528,6 +630,26 @@ pub struct Simulation {
 }
 
 impl Simulation {
+    /// Install a cooperative cancellation flag (see
+    /// [`Engine::with_interrupt`]): once set, the run stops within 1024
+    /// events and [`Simulation::run_with_reason`] reports
+    /// [`wmn_sim::StopReason::Interrupted`]. A flag that is never raised
+    /// leaves the run byte-identical.
+    pub fn interrupt(mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) -> Self {
+        self.engine = self.engine.with_interrupt(flag);
+        self
+    }
+
+    /// Import a warm link-budget cache exported from an identical-topology
+    /// run (see [`Medium::import_link_cache`]). Returns whether the import
+    /// was accepted. Purely a performance hand-off: accepted or not, the
+    /// run's results are bit-identical.
+    pub fn import_link_cache(&mut self, snap: &LinkCacheSnapshot) -> bool {
+        self.network
+            .medium
+            .import_link_cache(snap, &self.network.spatial)
+    }
+
     /// Run to the horizon and collect results.
     pub fn run(self) -> RunResults {
         self.run_with_network().0
@@ -536,10 +658,19 @@ impl Simulation {
     /// Run to the horizon, returning both the aggregate results and the
     /// final network state (per-flow trackers, per-node tables and stats —
     /// for white-box analysis and the per-flow examples).
-    pub fn run_with_network(mut self) -> (RunResults, Network) {
+    pub fn run_with_network(self) -> (RunResults, Network) {
+        let (results, network, _) = self.run_full();
+        (results, network)
+    }
+
+    /// Like [`Simulation::run_with_network`], additionally reporting why
+    /// the engine stopped — the scheduler uses this to distinguish a
+    /// cancelled run (results must be discarded) from a completed one.
+    pub fn run_full(mut self) -> (RunResults, Network, wmn_sim::StopReason) {
         let report = self.engine.run(&mut self.network);
         self.network.flush_telemetry();
         let results = RunResults::collect(&self.network, &report, self.scheme_label, self.measured);
-        (results, self.network)
+        let reason = report.reason;
+        (results, self.network, reason)
     }
 }

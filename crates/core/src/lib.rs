@@ -48,10 +48,10 @@ pub mod presets;
 pub mod results;
 pub mod scheme;
 
-pub use builder::{BuildError, ScenarioBuilder, Simulation};
+pub use builder::{BuildError, ScenarioBuilder, ScenarioPrefix, Simulation};
 pub use energy::{EnergyMeter, EnergyParams, RadioMode};
 pub use event::Event;
-pub use medium::{Medium, MediumEffect, MediumStats};
+pub use medium::{LinkCacheSnapshot, Medium, MediumEffect, MediumStats};
 pub use network::{DropCounters, FaultCounters, Network, RebootKit};
 pub use node::Node;
 pub use parmesh::{ParMesh, ParMeshOutcome, ParMeshReport};

@@ -176,6 +176,24 @@ struct LinkEntry {
     gain_ver: u64,
 }
 
+/// An exported link-budget cache: the warm state of one medium's
+/// per-transmitter memo, transferable to another run over the *same*
+/// topology (see [`Medium::export_link_cache`] /
+/// [`Medium::import_link_cache`]). Opaque by design — the validity rules
+/// live with the cache implementation.
+#[derive(Clone, Debug)]
+pub struct LinkCacheSnapshot {
+    links: Vec<CachedLinks>,
+}
+
+impl LinkCacheSnapshot {
+    /// Number of transmitters whose cache line is warm (has been computed
+    /// at least once).
+    pub fn warmed(&self) -> usize {
+        self.links.iter().filter(|c| !c.src_pos.x.is_nan()).count()
+    }
+}
+
 impl CachedLinks {
     fn empty() -> Self {
         CachedLinks {
@@ -340,6 +358,61 @@ impl Medium {
     pub fn with_link_cache(mut self, enabled: bool) -> Self {
         self.cache_enabled = enabled;
         self
+    }
+
+    /// Export the per-transmitter link-budget cache for warm-starting an
+    /// identical-topology run (see [`Medium::import_link_cache`]).
+    ///
+    /// Returns `None` when there is nothing safely transferable: the cache
+    /// is disabled, or faults/gain events have touched this medium (a
+    /// donor with gain history would smuggle stale epoch keys into a fresh
+    /// world).
+    pub fn export_link_cache(&self) -> Option<LinkCacheSnapshot> {
+        if !self.cache_enabled || self.faults_seen || self.gain_events != 0 {
+            return None;
+        }
+        Some(LinkCacheSnapshot {
+            links: self.links.clone(),
+        })
+    }
+
+    /// Warm this medium's link-budget cache from a snapshot exported by an
+    /// **identical-topology** run: same node count and bit-identical
+    /// positions (in practice: the same
+    /// [`ScenarioBuilder::prefix_fingerprint`](crate::ScenarioBuilder::prefix_fingerprint),
+    /// which pins seed, placement and PHY). Purely a performance hand-off —
+    /// a warmed run is bit-identical to a cold one except for the
+    /// `pathloss_evals`/`link_cache_hits` perf counters, exactly like the
+    /// cache itself.
+    ///
+    /// Returns `false` (importing nothing) unless the guarantees hold:
+    /// cache enabled, fault-free fresh medium, matching node count, and
+    /// every warmed entry's transmitter position bit-equal to the current
+    /// position in `positions` — the defence against a caller sharing
+    /// caches across genuinely different topologies, where the O(1) epoch
+    /// check alone could falsely validate foreign budgets.
+    pub fn import_link_cache(
+        &mut self,
+        snap: &LinkCacheSnapshot,
+        positions: &SpatialIndex,
+    ) -> bool {
+        if !self.cache_enabled
+            || self.faults_seen
+            || self.gain_events != 0
+            || snap.links.len() != self.states.len()
+        {
+            return false;
+        }
+        for (i, cl) in snap.links.iter().enumerate() {
+            if cl.src_pos.x.is_nan() {
+                continue; // never warmed; carries no entries worth guarding
+            }
+            if cl.src_pos != positions.position(i) {
+                return false;
+            }
+        }
+        self.links = snap.links.clone();
+        true
     }
 
     /// Energy consumed by `node` up to `until`, joules.

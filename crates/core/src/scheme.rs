@@ -68,6 +68,83 @@ impl Scheme {
         }
     }
 
+    /// Parse a scheme spec string — the grammar shared by `wmn-sim
+    /// --scheme`, scenario-service job specs and `wmn-submit`:
+    ///
+    /// ```text
+    /// flooding | gossip:P | gossip:P:K | counter:C | counter:C:RAD_MS |
+    /// distance:DBM | cnlr | vap
+    /// ```
+    pub fn parse(s: &str) -> Result<Scheme, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        match parts[0] {
+            "flooding" | "flood" => Ok(Scheme::Flooding),
+            "gossip" => {
+                let p: f64 = parts
+                    .get(1)
+                    .ok_or("gossip needs :P")?
+                    .parse()
+                    .map_err(|e| format!("bad gossip p: {e}"))?;
+                if let Some(k) = parts.get(2) {
+                    let k: u8 = k.parse().map_err(|e| format!("bad gossip k: {e}"))?;
+                    Ok(Scheme::GossipK { p, k })
+                } else {
+                    Ok(Scheme::Gossip { p })
+                }
+            }
+            "counter" => {
+                let c: u32 = parts
+                    .get(1)
+                    .ok_or("counter needs :C")?
+                    .parse()
+                    .map_err(|e| format!("bad counter threshold: {e}"))?;
+                let rad = match parts.get(2) {
+                    Some(ms) => {
+                        let ms: f64 = ms.parse().map_err(|e| format!("bad counter rad: {e}"))?;
+                        if ms.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                            return Err("counter rad must be positive".into());
+                        }
+                        SimDuration::from_secs_f64(ms / 1000.0)
+                    }
+                    None => SimDuration::from_millis(10),
+                };
+                Ok(Scheme::Counter { threshold: c, rad })
+            }
+            "distance" => {
+                let dbm: f64 = parts
+                    .get(1)
+                    .ok_or("distance needs :DBM")?
+                    .parse()
+                    .map_err(|e| format!("bad distance threshold: {e}"))?;
+                Ok(Scheme::Distance { strong_dbm: dbm })
+            }
+            "cnlr" => Ok(Scheme::Cnlr(CnlrConfig::default())),
+            "vap" | "vap-cnlr" => Ok(Scheme::VapCnlr(CnlrConfig::default(), VapConfig::default())),
+            other => Err(format!("unknown scheme '{other}'")),
+        }
+    }
+
+    /// The spec string [`Scheme::parse`] round-trips. CNLR/VAP policy
+    /// parameter overrides are not expressible in the grammar, so those
+    /// variants serialise as their default-config spec.
+    pub fn spec_string(&self) -> String {
+        match self {
+            Scheme::Flooding => "flooding".into(),
+            Scheme::Gossip { p } => format!("gossip:{p}"),
+            Scheme::GossipK { p, k } => format!("gossip:{p}:{k}"),
+            Scheme::Counter { threshold, rad } => {
+                if *rad == SimDuration::from_millis(10) {
+                    format!("counter:{threshold}")
+                } else {
+                    format!("counter:{threshold}:{}", rad.as_secs_f64() * 1000.0)
+                }
+            }
+            Scheme::Distance { strong_dbm } => format!("distance:{strong_dbm}"),
+            Scheme::Cnlr(_) => "cnlr".into(),
+            Scheme::VapCnlr(..) => "vap".into(),
+        }
+    }
+
     /// Short label for tables.
     pub fn label(&self) -> String {
         match self {
@@ -111,6 +188,66 @@ mod tests {
                 .name(),
             "vap-cnlr"
         );
+    }
+
+    #[test]
+    fn parse_covers_the_grammar() {
+        assert_eq!(Scheme::parse("flooding").unwrap(), Scheme::Flooding);
+        assert_eq!(Scheme::parse("flood").unwrap(), Scheme::Flooding);
+        assert_eq!(
+            Scheme::parse("gossip:0.5").unwrap(),
+            Scheme::Gossip { p: 0.5 }
+        );
+        assert_eq!(
+            Scheme::parse("gossip:0.5:2").unwrap(),
+            Scheme::GossipK { p: 0.5, k: 2 }
+        );
+        assert_eq!(
+            Scheme::parse("counter:4").unwrap(),
+            Scheme::Counter {
+                threshold: 4,
+                rad: SimDuration::from_millis(10)
+            }
+        );
+        assert_eq!(
+            Scheme::parse("counter:3:25").unwrap(),
+            Scheme::Counter {
+                threshold: 3,
+                rad: SimDuration::from_millis(25)
+            }
+        );
+        assert!(matches!(
+            Scheme::parse("distance:-75").unwrap(),
+            Scheme::Distance { .. }
+        ));
+        assert!(matches!(Scheme::parse("cnlr").unwrap(), Scheme::Cnlr(_)));
+        assert!(matches!(Scheme::parse("vap").unwrap(), Scheme::VapCnlr(..)));
+        for bad in [
+            "nope",
+            "gossip",
+            "gossip:x",
+            "counter",
+            "counter:2:0",
+            "distance",
+        ] {
+            assert!(Scheme::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn spec_strings_roundtrip() {
+        let mut set = Scheme::evaluation_set();
+        set.push(Scheme::GossipK { p: 0.7, k: 2 });
+        set.push(Scheme::Distance { strong_dbm: -75.5 });
+        set.push(Scheme::Counter {
+            threshold: 5,
+            rad: SimDuration::from_millis(25),
+        });
+        set.push(Scheme::VapCnlr(CnlrConfig::default(), VapConfig::default()));
+        for s in set {
+            let spec = s.spec_string();
+            assert_eq!(Scheme::parse(&spec).unwrap(), s, "roundtrip of {spec}");
+        }
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! `wmn-served` — the scenario-service daemon.
+//!
+//! ```text
+//! wmn-served --socket PATH [--workers N] [--queue-cap N]
+//! ```
+//!
+//! Listens on a Unix-domain socket for newline-delimited JSON job requests
+//! (protocol v1, DESIGN.md §4.6). SIGTERM or SIGINT begins a graceful
+//! drain: in-flight jobs finish, queued jobs run, new submissions are
+//! refused with `draining`, then the process exits 0. The `shutdown` op
+//! does the same over the wire.
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+use wmn_served::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wmn-served --socket PATH [--workers N] [--queue-cap N]\n\
+         \n\
+         --socket PATH    Unix-domain socket to listen on (required)\n\
+         --workers N      worker threads (default: WMN_THREADS or all cores)\n\
+         --queue-cap N    max queued jobs before `busy` (default 64)"
+    );
+    std::process::exit(2);
+}
+
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Only async-signal-safe work here: one store.
+        if let Some(flag) = FLAG.get() {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Install SIGTERM + SIGINT handlers; either sets the returned flag.
+    pub fn install() -> Arc<AtomicBool> {
+        let flag = FLAG
+            .get_or_init(|| Arc::new(AtomicBool::new(false)))
+            .clone();
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+        flag
+    }
+}
+
+fn main() {
+    let mut socket: Option<std::path::PathBuf> = None;
+    let mut workers: Option<usize> = None;
+    let mut queue_cap: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("error: {name} requires a value");
+                std::process::exit(2);
+            }
+        };
+        match a.as_str() {
+            "--socket" => socket = Some(value("--socket").into()),
+            "--workers" => match value("--workers").parse() {
+                Ok(n) => workers = Some(n),
+                Err(_) => {
+                    eprintln!("error: --workers needs an integer");
+                    std::process::exit(2);
+                }
+            },
+            "--queue-cap" => match value("--queue-cap").parse() {
+                Ok(n) => queue_cap = Some(n),
+                Err(_) => {
+                    eprintln!("error: --queue-cap needs an integer");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    let Some(socket) = socket else {
+        eprintln!("error: --socket is required");
+        usage();
+    };
+    let mut cfg = ServerConfig::new(socket);
+    if let Some(w) = workers {
+        cfg.workers = w;
+    }
+    if let Some(c) = queue_cap {
+        cfg.queue_cap = c;
+    }
+    let socket_display = cfg.socket.display().to_string();
+    let (workers, cap) = (cfg.workers, cfg.queue_cap);
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot listen on {socket_display}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("wmn-served: listening on {socket_display} ({workers} workers, queue cap {cap})");
+    let term = signals::install();
+    while !server.shutdown_requested() {
+        if term.load(Ordering::SeqCst) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("wmn-served: draining (in-flight jobs finish, new submissions refused)");
+    let stats = server.join();
+    eprintln!(
+        "wmn-served: drained; {} submitted, {} done, {} cancelled, {} failed, \
+         {} busy-rejected; prefix cache {} hits / {} builds, warm link cache \
+         {} imports / {} exports",
+        stats.submitted,
+        stats.done,
+        stats.cancelled,
+        stats.failed,
+        stats.rejected_busy,
+        stats.prefix_hits,
+        stats.prefix_builds,
+        stats.warm_imports,
+        stats.warm_exports,
+    );
+}

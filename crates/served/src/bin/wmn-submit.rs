@@ -1,0 +1,323 @@
+//! `wmn-submit` — thin client for the scenario-service daemon.
+//!
+//! ```text
+//! wmn-submit --socket PATH [scenario flags] [--priority P] [--stream] [--json]
+//! wmn-submit --socket PATH --status [--json]
+//! wmn-submit --socket PATH --cancel JOB
+//! wmn-submit --socket PATH --shutdown
+//! wmn-submit --socket PATH --ping
+//! ```
+//!
+//! Default action submits one job and waits for its result. `--stream`
+//! additionally prints the daemon's 1 Hz probe lines and the job manifest
+//! as they arrive. Exit codes: 0 success, 1 job failed/cancelled or
+//! connection error, 2 usage, 3 daemon busy.
+
+use std::time::Duration;
+use wmn_served::{Client, ClientError, ScenarioSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wmn-submit --socket PATH [options]\n\
+         \n\
+         actions (default: submit one job and wait)\n\
+         --status            print daemon status\n\
+         --jobs              print per-job listing\n\
+         --cancel JOB        cancel a job by id\n\
+         --shutdown          ask the daemon to drain and exit\n\
+         --ping              liveness check\n\
+         \n\
+         scenario (defaults in parentheses)\n\
+         --scheme S          flooding|gossip:P[:K]|counter:C[:RAD_MS]|distance:DBM|cnlr|vap (cnlr)\n\
+         --seed N            master seed (1)\n\
+         --grid R[xC]        backbone grid (8x8)\n\
+         --pitch M           grid pitch, metres (180)\n\
+         --flows N           CBR flow count (20)\n\
+         --pps F             packets/s per flow (4)\n\
+         --payload B         payload bytes (512)\n\
+         --duration S        simulated seconds (60)\n\
+         --warmup S          warm-up seconds (10)\n\
+         --clients N         mobile clients (0)\n\
+         --client-speed V    client max speed m/s (10)\n\
+         --churn MTBF,MTTR   node churn, seconds (off)\n\
+         \n\
+         submission\n\
+         --priority P        higher runs first (0)\n\
+         --stream            stream 1 Hz probes + manifest to stdout\n\
+         --retry-busy S      retry on busy for up to S seconds (0)\n\
+         --json              raw JSON output instead of a summary"
+    );
+    std::process::exit(2);
+}
+
+fn bail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run `wmn-submit --help` for usage");
+    std::process::exit(2);
+}
+
+enum Action {
+    Submit,
+    Status,
+    Jobs,
+    Cancel(u64),
+    Shutdown,
+    Ping,
+}
+
+fn main() {
+    let mut socket: Option<String> = None;
+    let mut action = Action::Submit;
+    let mut spec = ScenarioSpec::default();
+    let mut priority: i64 = 0;
+    let mut stream = false;
+    let mut json = false;
+    let mut retry_busy = Duration::ZERO;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| -> String {
+            match args.next() {
+                Some(v) => v,
+                None => bail(&format!("{name} requires a value")),
+            }
+        };
+        match a.as_str() {
+            "--socket" => socket = Some(value("--socket")),
+            "--status" => action = Action::Status,
+            "--jobs" => action = Action::Jobs,
+            "--cancel" => {
+                let id = value("--cancel");
+                match id.parse() {
+                    Ok(id) => action = Action::Cancel(id),
+                    Err(_) => bail(&format!("bad job id '{id}'")),
+                }
+            }
+            "--shutdown" => action = Action::Shutdown,
+            "--ping" => action = Action::Ping,
+            "--scheme" => spec.scheme = value("--scheme"),
+            "--seed" => {
+                spec.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| bail("bad --seed"))
+            }
+            "--grid" => {
+                let g = value("--grid");
+                let (r, c) = match g.split_once('x') {
+                    Some((r, c)) => (r.parse(), c.parse()),
+                    None => (g.parse(), g.parse()),
+                };
+                match (r, c) {
+                    (Ok(r), Ok(c)) => {
+                        spec.grid_rows = r;
+                        spec.grid_cols = c;
+                    }
+                    _ => bail(&format!("bad --grid '{g}' (expect R or RxC)")),
+                }
+            }
+            "--pitch" => {
+                spec.pitch_m = value("--pitch")
+                    .parse()
+                    .unwrap_or_else(|_| bail("bad --pitch"))
+            }
+            "--flows" => {
+                spec.flows = value("--flows")
+                    .parse()
+                    .unwrap_or_else(|_| bail("bad --flows"))
+            }
+            "--pps" => spec.pps = value("--pps").parse().unwrap_or_else(|_| bail("bad --pps")),
+            "--payload" => {
+                spec.payload = value("--payload")
+                    .parse()
+                    .unwrap_or_else(|_| bail("bad --payload"))
+            }
+            "--duration" => {
+                spec.duration_s = value("--duration")
+                    .parse()
+                    .unwrap_or_else(|_| bail("bad --duration"))
+            }
+            "--warmup" => {
+                spec.warmup_s = value("--warmup")
+                    .parse()
+                    .unwrap_or_else(|_| bail("bad --warmup"))
+            }
+            "--clients" => {
+                spec.clients = value("--clients")
+                    .parse()
+                    .unwrap_or_else(|_| bail("bad --clients"))
+            }
+            "--client-speed" => {
+                spec.client_speed = value("--client-speed")
+                    .parse()
+                    .unwrap_or_else(|_| bail("bad --client-speed"))
+            }
+            "--churn" => {
+                let v = value("--churn");
+                let parts: Option<(f64, f64)> = v
+                    .split_once(',')
+                    .and_then(|(a, b)| Some((a.trim().parse().ok()?, b.trim().parse().ok()?)));
+                match parts {
+                    Some(pair) => spec.churn = Some(pair),
+                    None => bail(&format!("bad --churn '{v}' (expect MTBF,MTTR seconds)")),
+                }
+            }
+            "--priority" => {
+                priority = value("--priority")
+                    .parse()
+                    .unwrap_or_else(|_| bail("bad --priority"))
+            }
+            "--stream" => stream = true,
+            "--retry-busy" => {
+                let s: f64 = value("--retry-busy")
+                    .parse()
+                    .unwrap_or_else(|_| bail("bad --retry-busy"));
+                retry_busy = Duration::from_secs_f64(s.max(0.0));
+            }
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            other => bail(&format!("unknown argument '{other}'")),
+        }
+    }
+    let Some(socket) = socket else {
+        bail("--socket is required");
+    };
+    let mut client = match Client::connect(&socket) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {socket}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let outcome = match action {
+        Action::Ping => client.ping().map(|()| println!("pong")),
+        Action::Shutdown => client.shutdown().map(|()| println!("draining")),
+        Action::Cancel(id) => client.cancel(id).map(|o| println!("job {id}: {o}")),
+        Action::Status => {
+            if json {
+                client.status_raw().map(|s| println!("{s}"))
+            } else {
+                client.status().map(|s| {
+                    println!(
+                        "queued {} | running {} | done {} | cancelled {} | failed {} | \
+                         busy-rejected {} | capacity {} | workers {}{}",
+                        s.queued,
+                        s.running,
+                        s.done,
+                        s.cancelled,
+                        s.failed,
+                        s.rejected_busy,
+                        s.capacity,
+                        s.workers,
+                        if s.draining { " | DRAINING" } else { "" }
+                    );
+                    println!(
+                        "prefix cache: {} hits / {} builds; warm link cache: {} imports / {} exports",
+                        s.prefix_hits, s.prefix_builds, s.warm_imports, s.warm_exports
+                    );
+                })
+            }
+        }
+        Action::Jobs => {
+            if json {
+                client.jobs_raw().map(|s| println!("{s}"))
+            } else {
+                client.jobs().map(|jobs| {
+                    println!(
+                        "{:>5}  {:<10} {:<16} {:>6}  seed",
+                        "job", "state", "scheme", "prio"
+                    );
+                    for j in jobs {
+                        println!(
+                            "{:>5}  {:<10} {:<16} {:>6}  {}",
+                            j.id, j.state, j.scheme, j.priority, j.seed
+                        );
+                    }
+                })
+            }
+        }
+        Action::Submit => {
+            let run = if retry_busy.is_zero() {
+                client.run_streamed(&spec, priority, stream)
+            } else {
+                // Bounded busy-retry wraps the whole submit.
+                let deadline = std::time::Instant::now() + retry_busy;
+                loop {
+                    match client.run_streamed(&spec, priority, stream) {
+                        Err(ClientError::Busy) if std::time::Instant::now() < deadline => {
+                            std::thread::sleep(Duration::from_millis(100));
+                        }
+                        other => break other,
+                    }
+                }
+            };
+            match run {
+                Ok(result) if result.ok => {
+                    if json {
+                        println!("{}", result.to_line());
+                    } else {
+                        println!(
+                            "job {}: done in {:.2}s ({} events, prefix {}, warm cache {})",
+                            result.job,
+                            result.wall_s,
+                            result.events,
+                            if result.prefix_reused {
+                                "reused"
+                            } else {
+                                "built"
+                            },
+                            if result.warm_import {
+                                "imported"
+                            } else {
+                                "cold"
+                            },
+                        );
+                        for (k, v) in &result.metrics {
+                            println!("  {k:<20} {v}");
+                        }
+                    }
+                    Ok(())
+                }
+                Ok(result) => {
+                    eprintln!(
+                        "job {}: {}",
+                        result.job,
+                        result.error.as_deref().unwrap_or("failed")
+                    );
+                    std::process::exit(1);
+                }
+                Err(e) => Err(e),
+            }
+        }
+    };
+    match outcome {
+        Ok(()) => {}
+        Err(ClientError::Busy) => {
+            eprintln!("error: daemon busy (queue full)");
+            std::process::exit(3);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+trait RunStreamed {
+    fn run_streamed(
+        &mut self,
+        spec: &ScenarioSpec,
+        priority: i64,
+        stream: bool,
+    ) -> Result<wmn_served::JobResult, ClientError>;
+}
+
+impl RunStreamed for Client {
+    fn run_streamed(
+        &mut self,
+        spec: &ScenarioSpec,
+        priority: i64,
+        stream: bool,
+    ) -> Result<wmn_served::JobResult, ClientError> {
+        let job = self.submit(spec, priority, stream)?;
+        self.wait(job, |line| println!("{line}"))
+    }
+}

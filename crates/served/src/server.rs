@@ -1,0 +1,816 @@
+//! The service core: Unix-socket listener, bounded priority queue, worker
+//! pool, prefix-dedup cache and graceful drain.
+//!
+//! Correctness stance: the daemon never writes result files — it streams
+//! metrics, counters and a per-job `RunManifest` back over the socket and
+//! lets the *client* persist them, so a cancelled job can never leave a
+//! partial CSV or manifest on disk. Dedup and warm-cache hand-offs are
+//! pure performance; every guarantee is re-checked at the `cnlr` layer
+//! (`prefix_fingerprint` equality on build, position bit-equality on
+//! cache import).
+
+use crate::proto::{fmt_f64, standard_metrics, JobResult, Request, PROTOCOL_VERSION};
+use crate::spec::ScenarioSpec;
+use cnlr::{LinkCacheSnapshot, ScenarioPrefix, Scheme};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use wmn_sim::{SimDuration, StopReason};
+use wmn_telemetry::{
+    escape_json, git_rev, sample_host, EventKind, EventSink, RunManifest, SharedSink,
+    TelemetryConfig, TelemetryEvent,
+};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Unix-domain socket path (removed and re-bound on start).
+    pub socket: PathBuf,
+    /// Worker threads. `0` is permitted (jobs queue but never run) — the
+    /// backpressure tests use it to pin queue states deterministically.
+    pub workers: usize,
+    /// Maximum *queued* (not yet running) jobs before `run` is refused
+    /// with `busy`.
+    pub queue_cap: usize,
+}
+
+impl ServerConfig {
+    /// Defaults: `WMN_THREADS`-derived worker count, queue capacity 64.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        ServerConfig {
+            socket: socket.into(),
+            workers: wmn_metrics::default_threads(),
+            queue_cap: 64,
+        }
+    }
+}
+
+/// Lifecycle of one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// On a worker.
+    Running,
+    /// Completed successfully.
+    Done,
+    /// Cancelled (queued-cancel or mid-run interrupt).
+    Cancelled,
+    /// Build or validation failure.
+    Failed,
+}
+
+impl JobState {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// Service-level counters (monotonic over the daemon's life).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs accepted.
+    pub submitted: u64,
+    /// Jobs completed successfully.
+    pub done: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Jobs failed (bad spec / build error).
+    pub failed: u64,
+    /// `run` requests refused with `busy`.
+    pub rejected_busy: u64,
+    /// Scenario prefixes built from scratch.
+    pub prefix_builds: u64,
+    /// Jobs that reused a cached prefix.
+    pub prefix_hits: u64,
+    /// Jobs that imported a warm link-budget cache.
+    pub warm_imports: u64,
+    /// Warm link-budget caches exported into the dedup slot.
+    pub warm_exports: u64,
+}
+
+/// One line streamed back to the submitting connection.
+struct JobLine {
+    text: String,
+    /// True for the terminal `result` line.
+    last: bool,
+}
+
+struct JobEntry {
+    spec: ScenarioSpec,
+    priority: i64,
+    stream: bool,
+    state: JobState,
+    interrupt: Arc<AtomicBool>,
+    reply: mpsc::Sender<JobLine>,
+}
+
+struct CoreState {
+    next_id: u64,
+    /// Queued job ids in submission order (selection scans for the best
+    /// priority; FIFO within a level).
+    queue: Vec<u64>,
+    jobs: HashMap<u64, JobEntry>,
+    draining: bool,
+    stats: ServiceStats,
+}
+
+/// Scheme-independent build products shared across a prefix's jobs.
+#[derive(Default)]
+struct SlotInner {
+    prefix: Option<Arc<ScenarioPrefix>>,
+    warm: Option<Arc<LinkCacheSnapshot>>,
+}
+
+struct Core {
+    state: Mutex<CoreState>,
+    cv: Condvar,
+    /// fingerprint → slot. The slot's own mutex is held across a prefix
+    /// build so concurrent same-prefix jobs wait for one build instead of
+    /// racing to duplicate it.
+    prefixes: Mutex<HashMap<u64, Arc<Mutex<SlotInner>>>>,
+    /// External shutdown request (signal handler or `shutdown` op).
+    shutdown: AtomicBool,
+    workers: usize,
+    queue_cap: usize,
+    /// Set once the drain has fully completed (workers idle, queue empty);
+    /// the accept loop keeps answering status/cancel until then.
+    finished: AtomicBool,
+}
+
+/// Why a `run` request was refused.
+enum SubmitError {
+    Busy,
+    Draining,
+}
+
+impl Core {
+    fn submit(
+        &self,
+        spec: ScenarioSpec,
+        priority: i64,
+        stream: bool,
+        reply: mpsc::Sender<JobLine>,
+    ) -> Result<u64, SubmitError> {
+        let mut st = self.state.lock().unwrap();
+        if st.draining {
+            return Err(SubmitError::Draining);
+        }
+        if st.queue.len() >= self.queue_cap {
+            st.stats.rejected_busy += 1;
+            return Err(SubmitError::Busy);
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.jobs.insert(
+            id,
+            JobEntry {
+                spec,
+                priority,
+                stream,
+                state: JobState::Queued,
+                interrupt: Arc::new(AtomicBool::new(false)),
+                reply,
+            },
+        );
+        st.queue.push(id);
+        st.stats.submitted += 1;
+        self.cv.notify_one();
+        Ok(id)
+    }
+
+    /// Cancel a job in any state; returns the wire outcome string.
+    fn cancel(&self, id: u64) -> &'static str {
+        let mut st = self.state.lock().unwrap();
+        let Some(state) = st.jobs.get(&id).map(|e| e.state) else {
+            return "unknown";
+        };
+        match state {
+            JobState::Queued => {
+                st.queue.retain(|&q| q != id);
+                {
+                    let entry = st.jobs.get_mut(&id).unwrap();
+                    entry.state = JobState::Cancelled;
+                    let _ = entry.reply.send(JobLine {
+                        text: JobResult::failure(id, "cancelled").to_line(),
+                        last: true,
+                    });
+                }
+                st.stats.cancelled += 1;
+                "cancelled"
+            }
+            JobState::Running => {
+                st.jobs[&id].interrupt.store(true, Ordering::SeqCst);
+                "cancelling"
+            }
+            _ => "finished",
+        }
+    }
+
+    fn begin_drain(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.draining = true;
+        self.cv.notify_all();
+    }
+
+    fn status_line(&self) -> String {
+        let st = self.state.lock().unwrap();
+        let running = st
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count();
+        let s = st.stats;
+        format!(
+            "{{\"ok\":true,\"v\":{PROTOCOL_VERSION},\"queued\":{},\"running\":{running},\
+             \"submitted\":{},\"done\":{},\"cancelled\":{},\"failed\":{},\
+             \"rejected_busy\":{},\"capacity\":{},\"workers\":{},\"draining\":{},\
+             \"prefix_builds\":{},\"prefix_hits\":{},\"warm_imports\":{},\"warm_exports\":{}}}",
+            st.queue.len(),
+            s.submitted,
+            s.done,
+            s.cancelled,
+            s.failed,
+            s.rejected_busy,
+            self.queue_cap,
+            self.workers,
+            st.draining,
+            s.prefix_builds,
+            s.prefix_hits,
+            s.warm_imports,
+            s.warm_exports,
+        )
+    }
+
+    fn jobs_line(&self) -> String {
+        let st = self.state.lock().unwrap();
+        let mut ids: Vec<u64> = st.jobs.keys().copied().collect();
+        ids.sort_unstable();
+        let states: Vec<String> = ids
+            .iter()
+            .map(|id| format!("\"{}\"", st.jobs[id].state.name()))
+            .collect();
+        let schemes: Vec<String> = ids
+            .iter()
+            .map(|id| format!("\"{}\"", escape_json(&st.jobs[id].spec.scheme)))
+            .collect();
+        let seeds: Vec<String> = ids
+            .iter()
+            .map(|id| format!("\"{}\"", st.jobs[id].spec.seed))
+            .collect();
+        let priorities: Vec<String> = ids
+            .iter()
+            .map(|id| st.jobs[id].priority.to_string())
+            .collect();
+        let ids_s: Vec<String> = ids.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"ok\":true,\"ids\":[{}],\"states\":[{}],\"schemes\":[{}],\
+             \"seeds\":[{}],\"priorities\":[{}]}}",
+            ids_s.join(","),
+            states.join(","),
+            schemes.join(","),
+            seeds.join(","),
+            priorities.join(","),
+        )
+    }
+
+    fn set_state(&self, id: u64, state: JobState) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(e) = st.jobs.get_mut(&id) {
+            e.state = state;
+        }
+        match state {
+            JobState::Done => st.stats.done += 1,
+            JobState::Cancelled => st.stats.cancelled += 1,
+            JobState::Failed => st.stats.failed += 1,
+            _ => {}
+        }
+    }
+
+    fn bump<F: FnOnce(&mut ServiceStats)>(&self, f: F) {
+        f(&mut self.state.lock().unwrap().stats);
+    }
+}
+
+/// Forwards 1 Hz probe events onto the job's reply channel as `probe`
+/// stream lines; everything else is discarded (full traces stay a
+/// client-side concern via `wmn-sim`).
+struct ProbeForwardSink {
+    job: u64,
+    reply: mpsc::Sender<JobLine>,
+}
+
+impl EventSink for ProbeForwardSink {
+    fn record(&mut self, ev: &TelemetryEvent) {
+        if !matches!(
+            ev.kind,
+            EventKind::NodeProbe { .. } | EventKind::EngineProbe { .. }
+        ) {
+            return;
+        }
+        // Splice the job tag into the event's own JSON object.
+        let body = ev.to_jsonl();
+        let _ = self.reply.send(JobLine {
+            text: format!("{{\"stream\":\"probe\",\"job\":{},{}", self.job, &body[1..]),
+            last: false,
+        });
+    }
+}
+
+/// A running service instance.
+pub struct Server {
+    core: Arc<Core>,
+    socket: PathBuf,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind the socket and start the worker pool and accept loop.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let _ = std::fs::remove_file(&cfg.socket);
+        let listener = UnixListener::bind(&cfg.socket)?;
+        listener.set_nonblocking(true)?;
+        let core = Arc::new(Core {
+            state: Mutex::new(CoreState {
+                next_id: 1,
+                queue: Vec::new(),
+                jobs: HashMap::new(),
+                draining: false,
+                stats: ServiceStats::default(),
+            }),
+            cv: Condvar::new(),
+            prefixes: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            workers: cfg.workers,
+            queue_cap: cfg.queue_cap,
+            finished: AtomicBool::new(false),
+        });
+        let worker_handles: Vec<_> = (0..cfg.workers)
+            .map(|_| {
+                let core = core.clone();
+                std::thread::spawn(move || worker_loop(&core))
+            })
+            .collect();
+        let accept_core = core.clone();
+        let accept_handle = std::thread::spawn(move || accept_loop(&accept_core, listener));
+        Ok(Server {
+            core,
+            socket: cfg.socket,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// Ask the service to drain: in-flight jobs finish, new submissions
+    /// are refused with `draining`. Idempotent; also triggered by the
+    /// `shutdown` op.
+    pub fn request_shutdown(&self) {
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        self.core.begin_drain();
+    }
+
+    /// Whether a shutdown/drain has been requested (by either side).
+    pub fn shutdown_requested(&self) -> bool {
+        self.core.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Current service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.core.state.lock().unwrap().stats
+    }
+
+    /// Drain and wait for every thread; removes the socket file. Returns
+    /// the final counters.
+    pub fn join(mut self) -> ServiceStats {
+        self.request_shutdown();
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        // Workers are gone: anything still queued (possible only with a
+        // zero-worker pool) is cancelled so waiting submitters get their
+        // terminal line instead of a silent hang.
+        {
+            let mut st = self.core.state.lock().unwrap();
+            let leftover: Vec<u64> = st.queue.drain(..).collect();
+            for id in leftover {
+                if let Some(e) = st.jobs.get_mut(&id) {
+                    e.state = JobState::Cancelled;
+                    let _ = e.reply.send(JobLine {
+                        text: JobResult::failure(id, "cancelled").to_line(),
+                        last: true,
+                    });
+                    st.stats.cancelled += 1;
+                }
+            }
+        }
+        self.core.finished.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.socket);
+        self.core.state.lock().unwrap().stats
+    }
+}
+
+fn accept_loop(core: &Arc<Core>, listener: UnixListener) {
+    // Stays alive through the drain so status/jobs/cancel keep answering;
+    // exits only once the drain has fully completed.
+    while !core.finished.load(Ordering::SeqCst) {
+        if core.shutdown.load(Ordering::SeqCst) {
+            core.begin_drain();
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let _ = stream.set_nonblocking(false);
+                let core = core.clone();
+                std::thread::spawn(move || {
+                    let _ = handle_connection(&core, stream);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn handle_connection(core: &Arc<Core>, stream: UnixStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // EOF: client closed.
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::parse(&line) {
+            Err(e) => {
+                writeln!(writer, "{{\"ok\":false,\"error\":\"{}\"}}", escape_json(&e))?;
+            }
+            Ok(Request::Ping) => {
+                writeln!(writer, "{{\"ok\":true,\"pong\":{PROTOCOL_VERSION}}}")?;
+            }
+            Ok(Request::Status) => {
+                writeln!(writer, "{}", core.status_line())?;
+            }
+            Ok(Request::Jobs) => {
+                writeln!(writer, "{}", core.jobs_line())?;
+            }
+            Ok(Request::Cancel { job }) => {
+                let outcome = core.cancel(job);
+                let ok = outcome != "unknown";
+                writeln!(
+                    writer,
+                    "{{\"ok\":{ok},\"job\":{job},\"outcome\":\"{outcome}\"}}"
+                )?;
+            }
+            Ok(Request::Shutdown) => {
+                writeln!(writer, "{{\"ok\":true,\"draining\":true}}")?;
+                core.shutdown.store(true, Ordering::SeqCst);
+                core.begin_drain();
+            }
+            Ok(Request::Run {
+                spec,
+                priority,
+                stream: want_stream,
+            }) => {
+                let (tx, rx) = mpsc::channel();
+                match core.submit(spec, priority, want_stream, tx) {
+                    Err(SubmitError::Busy) => {
+                        writeln!(writer, "{{\"ok\":false,\"error\":\"busy\"}}")?;
+                    }
+                    Err(SubmitError::Draining) => {
+                        writeln!(writer, "{{\"ok\":false,\"error\":\"draining\"}}")?;
+                    }
+                    Ok(id) => {
+                        writeln!(writer, "{{\"ok\":true,\"job\":{id}}}")?;
+                        writer.flush()?;
+                        // Pump stream lines until the terminal result. A
+                        // write failure means the client vanished: cancel
+                        // the job rather than burn a worker for nobody.
+                        for jl in rx {
+                            if writeln!(writer, "{}", jl.text).is_err() {
+                                core.cancel(id);
+                                break;
+                            }
+                            if jl.last {
+                                break;
+                            }
+                            writer.flush()?;
+                        }
+                    }
+                }
+            }
+        }
+        writer.flush()?;
+    }
+}
+
+fn worker_loop(core: &Arc<Core>) {
+    loop {
+        let claimed = {
+            let mut st = core.state.lock().unwrap();
+            loop {
+                // Best = highest priority; FIFO (lowest queue index) within
+                // a level.
+                let best = st
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .max_by(|(ai, &a), (bi, &b)| {
+                        let (pa, pb) = (st.jobs[&a].priority, st.jobs[&b].priority);
+                        pa.cmp(&pb).then(bi.cmp(ai))
+                    })
+                    .map(|(i, _)| i);
+                if let Some(i) = best {
+                    let id = st.queue.remove(i);
+                    let e = st.jobs.get_mut(&id).unwrap();
+                    e.state = JobState::Running;
+                    break Some((
+                        id,
+                        e.spec.clone(),
+                        e.stream,
+                        e.interrupt.clone(),
+                        e.reply.clone(),
+                    ));
+                }
+                if st.draining {
+                    break None;
+                }
+                st = core.cv.wait(st).unwrap();
+            }
+        };
+        match claimed {
+            Some((id, spec, stream, interrupt, reply)) => {
+                run_job(core, id, &spec, stream, &interrupt, &reply)
+            }
+            None => return,
+        }
+    }
+}
+
+fn run_job(
+    core: &Arc<Core>,
+    id: u64,
+    spec: &ScenarioSpec,
+    stream: bool,
+    interrupt: &Arc<AtomicBool>,
+    reply: &mpsc::Sender<JobLine>,
+) {
+    let t0 = std::time::Instant::now();
+    let fail = |msg: String| {
+        core.set_state(id, JobState::Failed);
+        let _ = reply.send(JobLine {
+            text: JobResult::failure(id, msg).to_line(),
+            last: true,
+        });
+    };
+    let builder = match spec.to_builder() {
+        Ok(b) => b,
+        Err(e) => return fail(format!("bad spec: {e}")),
+    };
+    let fp = builder.prefix_fingerprint();
+    let slot = {
+        let mut map = core.prefixes.lock().unwrap();
+        // Crude bound: a figure sweep reuses a handful of prefixes; a
+        // pathological stream of distinct ones just flushes the cache.
+        if map.len() >= 64 && !map.contains_key(&fp) {
+            map.clear();
+        }
+        map.entry(fp)
+            .or_insert_with(|| Arc::new(Mutex::new(SlotInner::default())))
+            .clone()
+    };
+    let (prefix, warm_snap, prefix_reused) = {
+        let mut inner = slot.lock().unwrap();
+        let (prefix, reused) = match &inner.prefix {
+            Some(p) => (p.clone(), true),
+            None => match builder.build_prefix() {
+                Ok(p) => {
+                    let p = Arc::new(p);
+                    inner.prefix = Some(p.clone());
+                    (p, false)
+                }
+                Err(e) => return fail(format!("build failed: {e}")),
+            },
+        };
+        let warm = if spec.warm_cache_eligible() {
+            inner.warm.clone()
+        } else {
+            None
+        };
+        (prefix, warm, reused)
+    };
+    core.bump(|s| {
+        if prefix_reused {
+            s.prefix_hits += 1;
+        } else {
+            s.prefix_builds += 1;
+        }
+    });
+    let mut builder = builder;
+    if stream {
+        let sink: SharedSink = Arc::new(Mutex::new(ProbeForwardSink {
+            job: id,
+            reply: reply.clone(),
+        }));
+        builder = builder
+            .telemetry(TelemetryConfig {
+                enabled: true,
+                trace_path: None,
+                probe_interval: Some(SimDuration::from_secs(1)),
+                profile: false,
+            })
+            .telemetry_sink(sink);
+    } else {
+        // Explicitly disabled (not from_env): a daemon inheriting
+        // WMN_TELEMETRY must not change job event counts vs the one-shot
+        // binaries run without it.
+        builder = builder.telemetry(TelemetryConfig::disabled());
+    }
+    let mut sim = match builder.build_with_prefix(&prefix) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("build failed: {e}")),
+    };
+    let warm_import = warm_snap.as_ref().is_some_and(|s| sim.import_link_cache(s));
+    if warm_import {
+        core.bump(|s| s.warm_imports += 1);
+    }
+    let (results, network, reason) = sim.interrupt(interrupt.clone()).run_full();
+    let wall_s = t0.elapsed().as_secs_f64();
+    if reason == StopReason::Interrupted {
+        core.set_state(id, JobState::Cancelled);
+        let _ = reply.send(JobLine {
+            text: JobResult::failure(id, "cancelled").to_line(),
+            last: true,
+        });
+        return;
+    }
+    if spec.warm_cache_eligible() && warm_snap.is_none() {
+        if let Some(snapshot) = network.medium.export_link_cache() {
+            let mut inner = slot.lock().unwrap();
+            if inner.warm.is_none() {
+                inner.warm = Some(Arc::new(snapshot));
+                drop(inner);
+                core.bump(|s| s.warm_exports += 1);
+            }
+        }
+    }
+    let manifest = job_manifest(id, spec, &results, wall_s, fp, prefix_reused, warm_import);
+    let _ = reply.send(JobLine {
+        text: format!(
+            "{{\"stream\":\"manifest\",\"job\":{id},\"manifest\":\"{}\"}}",
+            escape_json(&manifest.to_json())
+        ),
+        last: false,
+    });
+    let result = JobResult {
+        job: id,
+        ok: true,
+        error: None,
+        wall_s,
+        events: results.events,
+        metrics: standard_metrics(&results)
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+        counters: results
+            .counters()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+        pathloss_evals: results.medium.pathloss_evals,
+        link_cache_hits: results.medium.link_cache_hits,
+        link_budgets: results.medium.link_budgets,
+        prefix_reused,
+        warm_import,
+    };
+    core.set_state(id, JobState::Done);
+    let _ = reply.send(JobLine {
+        text: result.to_line(),
+        last: true,
+    });
+}
+
+/// The per-job provenance manifest streamed after a successful run. It
+/// records the dedup facts (fingerprint, prefix reuse, warm-cache import)
+/// next to the run's own counters — "the batch reports link-budget cache
+/// reuse in its manifest" lives here and in the aggregated sweep manifest.
+fn job_manifest(
+    id: u64,
+    spec: &ScenarioSpec,
+    results: &cnlr::RunResults,
+    wall_s: f64,
+    fingerprint: u64,
+    prefix_reused: bool,
+    warm_import: bool,
+) -> RunManifest {
+    let host = sample_host();
+    let scheme_label = Scheme::parse(&spec.scheme)
+        .map(|s| s.label())
+        .unwrap_or_else(|_| spec.scheme.clone());
+    RunManifest {
+        id: format!("job{id}"),
+        title: "wmn-served job".into(),
+        git_rev: git_rev(),
+        schemes: vec![scheme_label],
+        seeds: vec![spec.seed],
+        xs: vec![],
+        params: vec![
+            ("scheme".into(), spec.scheme.clone()),
+            (
+                "grid".into(),
+                format!("{}x{}", spec.grid_rows, spec.grid_cols),
+            ),
+            ("flows".into(), spec.flows.to_string()),
+            ("pps".into(), fmt_f64(spec.pps)),
+            ("duration_s".into(), fmt_f64(spec.duration_s)),
+            ("warmup_s".into(), fmt_f64(spec.warmup_s)),
+            ("prefix_fingerprint".into(), format!("{fingerprint:016x}")),
+            ("prefix_reused".into(), prefix_reused.to_string()),
+            ("warm_cache_import".into(), warm_import.to_string()),
+            (
+                "pathloss_evals".into(),
+                results.medium.pathloss_evals.to_string(),
+            ),
+            (
+                "link_cache_hits".into(),
+                results.medium.link_cache_hits.to_string(),
+            ),
+            (
+                "link_budgets".into(),
+                results.medium.link_budgets.to_string(),
+            ),
+        ],
+        wall_s,
+        events_processed: results.events,
+        host_cores: host.host_cores,
+        peak_rss_bytes: host.peak_rss_bytes,
+        counters: results.counters(),
+        lineage: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_entry(priority: i64) -> JobEntry {
+        let (tx, _rx) = mpsc::channel();
+        JobEntry {
+            spec: ScenarioSpec::default(),
+            priority,
+            stream: false,
+            state: JobState::Queued,
+            interrupt: Arc::new(AtomicBool::new(false)),
+            reply: tx,
+        }
+    }
+
+    #[test]
+    fn selection_is_priority_then_fifo() {
+        // Mirror of the worker's selection expression, driven directly.
+        let mut st = CoreState {
+            next_id: 5,
+            queue: vec![1, 2, 3, 4],
+            jobs: HashMap::new(),
+            draining: false,
+            stats: ServiceStats::default(),
+        };
+        for (id, prio) in [(1u64, 0i64), (2, 5), (3, 5), (4, 1)] {
+            st.jobs.insert(id, dummy_entry(prio));
+        }
+        let mut order = Vec::new();
+        while !st.queue.is_empty() {
+            let i = st
+                .queue
+                .iter()
+                .enumerate()
+                .max_by(|(ai, &a), (bi, &b)| {
+                    let (pa, pb) = (st.jobs[&a].priority, st.jobs[&b].priority);
+                    pa.cmp(&pb).then(bi.cmp(ai))
+                })
+                .map(|(i, _)| i)
+                .unwrap();
+            order.push(st.queue.remove(i));
+        }
+        assert_eq!(order, vec![2, 3, 4, 1], "priority desc, FIFO within level");
+    }
+}

@@ -1,0 +1,314 @@
+//! The wire-level scenario description shared by daemon, client and the
+//! `--served` figure sweeps.
+
+use cnlr::{FaultPlan, ScenarioBuilder, Scheme};
+use wmn_mobility::MobilityConfig;
+use wmn_sim::SimDuration;
+use wmn_telemetry::escape_json;
+use wmn_telemetry::json::{get, JsonValue};
+
+/// A scenario job as it travels over the socket. Field set mirrors the
+/// `wmn-sim` CLI: enough to express every served figure sweep (fig3's 8×8
+/// load sweep, fig11's 6×6 churn sweep) exactly, while staying a flat JSON
+/// object the hand-rolled parser can read.
+///
+/// Seeds are serialised as JSON *strings*: replication seeds are raw
+/// 64-bit values that would lose precision through the parser's `f64`
+/// number path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Master seed.
+    pub seed: u64,
+    /// Scheme spec string ([`Scheme::parse`] grammar).
+    pub scheme: String,
+    /// Backbone grid rows.
+    pub grid_rows: usize,
+    /// Backbone grid columns.
+    pub grid_cols: usize,
+    /// Grid pitch, metres.
+    pub pitch_m: f64,
+    /// Number of random CBR flows.
+    pub flows: usize,
+    /// Per-flow packet rate, packets/s.
+    pub pps: f64,
+    /// Payload size, bytes.
+    pub payload: usize,
+    /// Simulated duration, seconds.
+    pub duration_s: f64,
+    /// Statistics warm-up, seconds.
+    pub warmup_s: f64,
+    /// Mobile client count (0 = static mesh).
+    pub clients: usize,
+    /// Mobile client max speed, m/s.
+    pub client_speed: f64,
+    /// Node churn as `(mtbf_s, mttr_s)`, absent for fault-free runs.
+    pub churn: Option<(f64, f64)>,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            seed: 1,
+            scheme: "cnlr".into(),
+            grid_rows: 8,
+            grid_cols: 8,
+            pitch_m: 180.0,
+            flows: 20,
+            pps: 4.0,
+            payload: 512,
+            duration_s: 60.0,
+            warmup_s: 10.0,
+            clients: 0,
+            client_speed: 10.0,
+            churn: None,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// Validate every field, returning the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        Scheme::parse(&self.scheme)?;
+        if self.grid_rows < 2 || self.grid_cols < 2 {
+            return Err("grid must be at least 2x2".into());
+        }
+        if self.grid_rows * self.grid_cols + self.clients > 10_000 {
+            return Err("more than 10000 nodes".into());
+        }
+        if !(self.pitch_m > 0.0 && self.pitch_m.is_finite()) {
+            return Err("pitch_m must be positive".into());
+        }
+        if !(self.pps > 0.0 && self.pps.is_finite()) {
+            return Err("pps must be positive".into());
+        }
+        if self.payload == 0 {
+            return Err("payload must be positive".into());
+        }
+        if !(self.duration_s > 0.0 && self.duration_s.is_finite()) {
+            return Err("duration_s must be positive".into());
+        }
+        if !(self.warmup_s >= 0.0 && self.warmup_s < self.duration_s) {
+            return Err("warmup_s must be in [0, duration_s)".into());
+        }
+        if !(self.client_speed > 0.0 && self.client_speed.is_finite()) {
+            return Err("client_speed must be positive".into());
+        }
+        if let Some((mtbf, mttr)) = self.churn {
+            if !(mtbf > 0.0 && mtbf.is_finite() && mttr > 0.0 && mttr.is_finite()) {
+                return Err("churn mtbf/mttr must be positive".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Lower into a [`ScenarioBuilder`]. The mapping is fixed so that a
+    /// spec submitted over the socket builds the *same* scenario as the
+    /// equivalent one-shot figure binary — the byte-identity guarantee
+    /// depends on it.
+    pub fn to_builder(&self) -> Result<ScenarioBuilder, String> {
+        self.validate()?;
+        let scheme = Scheme::parse(&self.scheme)?;
+        let mut b = ScenarioBuilder::new()
+            .seed(self.seed)
+            .grid(self.grid_rows, self.grid_cols, self.pitch_m)
+            .scheme(scheme)
+            .flows(self.flows, self.pps, self.payload)
+            .duration(SimDuration::from_secs_f64(self.duration_s))
+            .warmup(SimDuration::from_secs_f64(self.warmup_s));
+        if self.clients > 0 {
+            b = b.mobile_clients(
+                self.clients,
+                MobilityConfig::RandomWaypoint {
+                    v_min: 1.0,
+                    v_max: self.client_speed.max(1.0),
+                    pause_s: 2.0,
+                },
+            );
+        }
+        if let Some((mtbf, mttr)) = self.churn {
+            b = b.faults(FaultPlan::new().churn(
+                SimDuration::from_secs_f64(mtbf),
+                SimDuration::from_secs_f64(mttr),
+            ));
+        }
+        Ok(b)
+    }
+
+    /// Whether a warm link-budget cache may be handed between runs of this
+    /// spec's prefix. Mobility and faults bump the medium's position epoch
+    /// / gain state mid-run, so only static fault-free worlds qualify (the
+    /// medium re-checks on both export and import).
+    pub fn warm_cache_eligible(&self) -> bool {
+        self.clients == 0 && self.churn.is_none()
+    }
+
+    /// The spec's fields as a JSON fragment (no surrounding braces), for
+    /// embedding in a request line.
+    pub fn json_fields(&self) -> String {
+        let mut s = format!(
+            "\"seed\":\"{}\",\"scheme\":\"{}\",\"grid_rows\":{},\"grid_cols\":{},\
+             \"pitch_m\":{},\"flows\":{},\"pps\":{},\"payload\":{},\
+             \"duration_s\":{},\"warmup_s\":{}",
+            self.seed,
+            escape_json(&self.scheme),
+            self.grid_rows,
+            self.grid_cols,
+            self.pitch_m,
+            self.flows,
+            self.pps,
+            self.payload,
+            self.duration_s,
+            self.warmup_s,
+        );
+        if self.clients > 0 {
+            s.push_str(&format!(
+                ",\"clients\":{},\"client_speed\":{}",
+                self.clients, self.client_speed
+            ));
+        }
+        if let Some((mtbf, mttr)) = self.churn {
+            s.push_str(&format!(",\"churn_mtbf_s\":{mtbf},\"churn_mttr_s\":{mttr}"));
+        }
+        s
+    }
+
+    /// Reconstruct a spec from parsed request pairs. Missing fields take
+    /// their defaults; present fields must have the right shape.
+    pub fn from_pairs(pairs: &[(String, JsonValue)]) -> Result<ScenarioSpec, String> {
+        let mut spec = ScenarioSpec::default();
+        if let Some(v) = get(pairs, "seed") {
+            spec.seed = match v {
+                JsonValue::Str(s) => s.parse::<u64>().map_err(|_| format!("bad seed '{s}'"))?,
+                other => other.as_u64().ok_or("bad seed")?,
+            };
+        }
+        if let Some(v) = get(pairs, "scheme") {
+            spec.scheme = v.as_str().ok_or("scheme must be a string")?.to_string();
+        }
+        let usize_field = |key: &str, slot: &mut usize| -> Result<(), String> {
+            if let Some(v) = get(pairs, key) {
+                *slot = v.as_u64().ok_or_else(|| format!("bad {key}"))? as usize;
+            }
+            Ok(())
+        };
+        usize_field("grid_rows", &mut spec.grid_rows)?;
+        usize_field("grid_cols", &mut spec.grid_cols)?;
+        usize_field("flows", &mut spec.flows)?;
+        usize_field("payload", &mut spec.payload)?;
+        usize_field("clients", &mut spec.clients)?;
+        let f64_field = |key: &str, slot: &mut f64| -> Result<(), String> {
+            if let Some(v) = get(pairs, key) {
+                *slot = v.as_f64().ok_or_else(|| format!("bad {key}"))?;
+            }
+            Ok(())
+        };
+        f64_field("pitch_m", &mut spec.pitch_m)?;
+        f64_field("pps", &mut spec.pps)?;
+        f64_field("duration_s", &mut spec.duration_s)?;
+        f64_field("warmup_s", &mut spec.warmup_s)?;
+        f64_field("client_speed", &mut spec.client_speed)?;
+        let mtbf = get(pairs, "churn_mtbf_s").map(|v| v.as_f64().ok_or("bad churn_mtbf_s"));
+        let mttr = get(pairs, "churn_mttr_s").map(|v| v.as_f64().ok_or("bad churn_mttr_s"));
+        spec.churn = match (mtbf, mttr) {
+            (Some(a), Some(b)) => Some((a?, b?)),
+            (None, None) => None,
+            _ => return Err("churn needs both churn_mtbf_s and churn_mttr_s".into()),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wmn_telemetry::parse_object;
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let spec = ScenarioSpec {
+            // A seed above 2^53 would corrupt through an f64 number path.
+            seed: 0xDEAD_BEEF_CAFE_F00D,
+            scheme: "gossip:0.65".into(),
+            grid_rows: 6,
+            grid_cols: 7,
+            pitch_m: 170.5,
+            flows: 12,
+            pps: 4.25,
+            payload: 256,
+            duration_s: 20.5,
+            warmup_s: 5.25,
+            clients: 3,
+            client_speed: 12.5,
+            churn: Some((30.0, 10.0)),
+        };
+        let line = format!("{{{}}}", spec.json_fields());
+        let pairs = parse_object(&line).expect("parses");
+        let back = ScenarioSpec::from_pairs(&pairs).expect("valid");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn defaults_fill_missing_fields() {
+        let pairs = parse_object("{\"seed\":\"7\",\"flows\":3}").unwrap();
+        let spec = ScenarioSpec::from_pairs(&pairs).unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.flows, 3);
+        assert_eq!(spec.scheme, "cnlr");
+        assert_eq!(spec.churn, None);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        for bad in [
+            "{\"scheme\":\"nope\"}",
+            "{\"grid_rows\":1}",
+            "{\"pps\":0}",
+            "{\"payload\":0}",
+            "{\"duration_s\":0}",
+            "{\"warmup_s\":99,\"duration_s\":10}",
+            "{\"churn_mtbf_s\":30}",
+            "{\"churn_mtbf_s\":0,\"churn_mttr_s\":10}",
+        ] {
+            let pairs = parse_object(bad).unwrap();
+            assert!(ScenarioSpec::from_pairs(&pairs).is_err(), "{bad} accepted");
+        }
+    }
+
+    #[test]
+    fn builder_mapping_matches_fig3_preset() {
+        // The served fig3 sweep must build the same scenario as
+        // `presets::backbone(8, 0, seed).flows(x, 8.0, 512)`.
+        let spec = ScenarioSpec {
+            seed: 42,
+            scheme: "flooding".into(),
+            flows: 10,
+            pps: 8.0,
+            duration_s: 20.0,
+            warmup_s: 5.0,
+            ..ScenarioSpec::default()
+        };
+        let via_spec = spec.to_builder().unwrap();
+        let direct = cnlr::presets::backbone(8, 0, 42)
+            .scheme(Scheme::Flooding)
+            .flows(10, 8.0, 512)
+            .duration(SimDuration::from_secs(20))
+            .warmup(SimDuration::from_secs(5));
+        assert_eq!(
+            via_spec.prefix_fingerprint(),
+            direct.prefix_fingerprint(),
+            "spec lowering drifted from the one-shot preset"
+        );
+    }
+
+    #[test]
+    fn warm_cache_eligibility() {
+        let mut spec = ScenarioSpec::default();
+        assert!(spec.warm_cache_eligible());
+        spec.clients = 2;
+        assert!(!spec.warm_cache_eligible());
+        spec.clients = 0;
+        spec.churn = Some((30.0, 10.0));
+        assert!(!spec.warm_cache_eligible());
+    }
+}

@@ -6,12 +6,48 @@
 # a failed sweep can be retried without redoing finished figures. FORCE=1
 # reruns everything. Failures don't stop the sweep — every remaining figure
 # still runs, and the script reports the failed set and exits non-zero.
+#
+# --served: route the service-ported figures (fig3, fig11) through a
+# wmn-served daemon instead of in-process sweeps. The CSVs are
+# byte-identical either way; the daemon's prefix-dedup and warm
+# link-budget-cache counters are recorded in EXPERIMENTS.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+served=""
+if [ "${1:-}" = "--served" ]; then
+  served=1
+  shift
+fi
+if [ "$#" -gt 0 ]; then
+  echo "usage: $0 [--served]" >&2
+  exit 2
+fi
+
 bins=(tab1_params fig1_overhead_size fig2_reachability fig3_pdr_load fig4_delay_load \
-      fig5_throughput fig6_load_balance fig7_mobility fig8_hello_ablation fig9_energy fig10_gateway tab2_summary)
+      fig5_throughput fig6_load_balance fig7_mobility fig8_hello_ablation fig9_energy \
+      fig10_gateway fig11_churn tab2_summary)
+# Figures that accept --served SOCKET (byte-identical CSV contract).
+served_bins=" fig3_pdr_load fig11_churn "
 mkdir -p results
 rev=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+
+daemon=""
+sock=""
+if [ -n "$served" ]; then
+  echo "=== starting wmn-served daemon ==="
+  cargo build --release -q -p wmn-served
+  sock="${TMPDIR:-/tmp}/wmn_served_$$.sock"
+  ./target/release/wmn-served --socket "$sock" --workers "${WMN_THREADS:-$(nproc)}" &
+  daemon=$!
+  trap '[ -n "$daemon" ] && kill "$daemon" 2>/dev/null || true' EXIT
+  for _ in $(seq 50); do
+    ./target/release/wmn-submit --socket "$sock" --ping >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  ./target/release/wmn-submit --socket "$sock" --ping >/dev/null
+fi
+
 failed=()
 for b in "${bins[@]}"; do
   stamp="results/.${b}.ok"
@@ -19,14 +55,61 @@ for b in "${bins[@]}"; do
     echo "=== $b: results current for $rev, skipping (FORCE=1 reruns) ==="
     continue
   fi
-  echo "=== $b ==="
-  if cargo run --release -q -p wmn-bench --bin "$b" 2>&1 | tee "results/${b}.log"; then
+  args=()
+  if [ -n "$served" ] && [[ "$served_bins" == *" $b "* ]]; then
+    args=(-- --served "$sock")
+    echo "=== $b (via wmn-served) ==="
+  else
+    echo "=== $b ==="
+  fi
+  if cargo run --release -q -p wmn-bench --bin "$b" "${args[@]}" 2>&1 | tee "results/${b}.log"; then
     echo "$rev" > "$stamp"
   else
     echo "!!! $b FAILED (log: results/${b}.log)" >&2
     failed+=("$b")
   fi
 done
+
+if [ -n "$served" ]; then
+  # Record the batch's dedup economics before draining the daemon.
+  status=$(./target/release/wmn-submit --socket "$sock" --status)
+  echo "$status"
+  manifest_facts=""
+  for m in results/fig3_served_manifest.json results/fig11_served_manifest.json; do
+    if [ -f "$m" ]; then
+      facts=$(grep -o '"prefix_reused_jobs": "[^"]*"\|"warm_cache_import_jobs": "[^"]*"\|"link_cache_hits": "[^"]*"' "$m" \
+                | tr -d '"' | sed ':a;N;$!ba;s/\n/; /g')
+      manifest_facts="${manifest_facts}* \`$(basename "$m")\`: ${facts}
+"
+    fi
+  done
+  sed -i '/^<!-- served-begin -->$/,/^<!-- served-end -->$/d' EXPERIMENTS.md
+  cat >> EXPERIMENTS.md <<EOF
+<!-- served-begin -->
+## Served mode — batch dedup economics
+
+\`./scripts/run_all_experiments.sh --served\` routed fig3 and fig11
+through a \`wmn-served\` daemon (rev ${rev}, QUICK=${QUICK:-0}); the
+emitted CSVs are byte-identical to the one-shot binaries. Daemon counters
+at end of batch:
+
+\`\`\`
+${status}
+\`\`\`
+
+${manifest_facts}
+Jobs differing only in scheme/replication share one built topology
+(prefix hits) and chain a warm link-budget cache (imports); both are
+pure perf wins — bit-identity is proptested in
+\`crates/served/tests/dedup_properties.rs\`.
+<!-- served-end -->
+EOF
+  echo "=== draining wmn-served daemon ==="
+  ./target/release/wmn-submit --socket "$sock" --shutdown
+  wait "$daemon"
+  daemon=""
+fi
+
 if [ "${#failed[@]}" -gt 0 ]; then
   echo "FAILED figures: ${failed[*]}" >&2
   echo "rerun ./scripts/run_all_experiments.sh — finished figures are skipped" >&2

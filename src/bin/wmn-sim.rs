@@ -12,7 +12,7 @@
 use wmn::mobility::MobilityConfig;
 use wmn::sim::{SimDuration, SimTime};
 use wmn::telemetry::{ConsoleSink, SharedSink, TelemetryConfig};
-use wmn::{CnlrConfig, FaultPlan, ScenarioBuilder, Scheme, VapConfig};
+use wmn::{CnlrConfig, FaultPlan, ScenarioBuilder, Scheme};
 
 /// Parsed CLI options.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,7 +98,8 @@ OPTIONS (defaults in brackets):
   --nodes N         large-scale preset: ~N routers at standard density
                     (overrides --grid/--pitch; tested up to 10000)
   --random          with --nodes: uniform-random placement instead of grid
-  --scheme S        flooding | gossip:P | gossip:P:K | counter:C | distance:DBM | cnlr | vap [cnlr]
+  --scheme S        flooding | gossip:P[:K] | counter:C[:RAD_MS] |
+                    distance:DBM | cnlr | vap [cnlr]
   --flows N         random CBR flows [20]
   --pps R           packets per second per flow [4]
   --payload B       payload bytes [512]
@@ -132,47 +133,10 @@ Set WMN_CRASH_AT=epoch:region[,…] or WMN_CRASH_RATE=p:seed[:max] to inject
 harness-level worker crashes (supervisor exercise; ParMesh only).
 ";
 
-/// Parse a scheme spec like `gossip:0.65` or `counter:3`.
+/// Parse a scheme spec like `gossip:0.65` or `counter:3` — one grammar,
+/// shared with the daemon and the figure binaries via [`Scheme::parse`].
 pub fn parse_scheme(s: &str) -> Result<Scheme, String> {
-    let parts: Vec<&str> = s.split(':').collect();
-    match parts[0] {
-        "flooding" | "flood" => Ok(Scheme::Flooding),
-        "gossip" => {
-            let p: f64 = parts
-                .get(1)
-                .ok_or("gossip needs :P")?
-                .parse()
-                .map_err(|e| format!("bad gossip p: {e}"))?;
-            if let Some(k) = parts.get(2) {
-                let k: u8 = k.parse().map_err(|e| format!("bad gossip k: {e}"))?;
-                Ok(Scheme::GossipK { p, k })
-            } else {
-                Ok(Scheme::Gossip { p })
-            }
-        }
-        "counter" => {
-            let c: u32 = parts
-                .get(1)
-                .ok_or("counter needs :C")?
-                .parse()
-                .map_err(|e| format!("bad counter threshold: {e}"))?;
-            Ok(Scheme::Counter {
-                threshold: c,
-                rad: SimDuration::from_millis(10),
-            })
-        }
-        "distance" => {
-            let dbm: f64 = parts
-                .get(1)
-                .ok_or("distance needs :DBM")?
-                .parse()
-                .map_err(|e| format!("bad distance threshold: {e}"))?;
-            Ok(Scheme::Distance { strong_dbm: dbm })
-        }
-        "cnlr" => Ok(Scheme::Cnlr(CnlrConfig::default())),
-        "vap" | "vap-cnlr" => Ok(Scheme::VapCnlr(CnlrConfig::default(), VapConfig::default())),
-        other => Err(format!("unknown scheme '{other}'")),
-    }
+    Scheme::parse(s)
 }
 
 /// Parse a `--fail` spec: `N@T` (permanent) or `N@T:U` (reboot at `U`).
@@ -208,8 +172,17 @@ pub fn parse_churn(s: &str) -> Result<(f64, f64), String> {
     Ok((mtbf, mttr))
 }
 
-/// Parse an argument vector (without the program name).
-pub fn parse_args(args: &[String]) -> Result<Options, String> {
+/// What an argument vector parses to: a runnable scenario, or an explicit
+/// help request (which exits 0 — asking for usage is not an error).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Parsed {
+    Run(Box<Options>),
+    Help,
+}
+
+/// Parse an argument vector (without the program name). Unknown flags and
+/// missing values are errors (exit 2 in `main`), never ignored.
+pub fn parse_args(args: &[String]) -> Result<Parsed, String> {
     let mut o = Options::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -292,8 +265,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--resume" => o.resume = true,
-            "--help" | "-h" => return Err(HELP.to_string()),
-            other => return Err(format!("unknown flag '{other}'\n\n{HELP}")),
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("unknown flag '{other}'")),
         }
     }
     if o.grid < 2 {
@@ -341,7 +314,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     if o.warmup_s >= o.duration_s {
         return Err("--warmup must be below --duration".into());
     }
-    Ok(o)
+    Ok(Parsed::Run(Box::new(o)))
 }
 
 /// Exit code for an interrupted (SIGINT, checkpointed) run, matching the
@@ -612,9 +585,13 @@ fn run_parmesh(opts: &Options) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
-        Ok(o) => o,
+        Ok(Parsed::Run(o)) => *o,
+        Ok(Parsed::Help) => {
+            print!("{HELP}");
+            return;
+        }
         Err(msg) => {
-            eprintln!("{msg}");
+            eprintln!("error: {msg} (run wmn-sim --help for usage)");
             std::process::exit(2);
         }
     };
@@ -781,20 +758,27 @@ mod tests {
         s.split_whitespace().map(str::to_string).collect()
     }
 
+    /// Parse and unwrap to runnable options (panics on Help or error).
+    fn opts(s: &str) -> Options {
+        match parse_args(&argv(s)).unwrap() {
+            Parsed::Run(o) => *o,
+            Parsed::Help => panic!("unexpected help request"),
+        }
+    }
+
     #[test]
     fn defaults_when_empty() {
-        let o = parse_args(&[]).unwrap();
+        let o = opts("");
         assert_eq!(o, Options::default());
     }
 
     #[test]
     fn full_parse() {
-        let o = parse_args(&argv(
+        let o = opts(
             "--grid 6 --pitch 200 --scheme gossip:0.7 --flows 12 --pps 6 \
              --payload 256 --duration 30 --warmup 5 --seed 9 --clients 4 \
              --client-speed 15 --csv",
-        ))
-        .unwrap();
+        );
         assert_eq!(o.grid, 6);
         assert_eq!(o.pitch, 200.0);
         assert_eq!(o.scheme, Scheme::Gossip { p: 0.7 });
@@ -834,7 +818,7 @@ mod tests {
 
     #[test]
     fn fault_flags() {
-        let o = parse_args(&argv("--fail 5@10 --fail 7@12:20 --churn 120,8")).unwrap();
+        let o = opts("--fail 5@10 --fail 7@12:20 --churn 120,8");
         assert_eq!(o.fails, vec![(5, 10.0, None), (7, 12.0, Some(20.0))]);
         assert_eq!(o.churn, Some((120.0, 8.0)));
         assert!(parse_fail("5").is_err());
@@ -847,7 +831,7 @@ mod tests {
 
     #[test]
     fn scale_flags() {
-        let o = parse_args(&argv("--nodes 1000 --random --flows 50")).unwrap();
+        let o = opts("--nodes 1000 --random --flows 50");
         assert_eq!(o.nodes, Some(1000));
         assert!(o.random_placement);
         assert_eq!(o.flows, 50);
@@ -858,11 +842,10 @@ mod tests {
 
     #[test]
     fn parmesh_flags() {
-        let o = parse_args(&argv(
+        let o = opts(
             "--parmesh --nodes 100000 --threads 8 --regions 64 --trace-out /tmp/t.jsonl \
              --profile-out /tmp/p.json",
-        ))
-        .unwrap();
+        );
         assert!(o.parmesh);
         assert_eq!(o.nodes, Some(100_000));
         assert_eq!(o.threads, 8);
@@ -891,15 +874,20 @@ mod tests {
         assert!(parse_args(&argv("--bogus 1")).is_err());
         assert!(parse_args(&argv("--grid 1")).is_err());
         assert!(parse_args(&argv("--duration 5 --warmup 9")).is_err());
-        assert!(parse_args(&argv("--help")).is_err());
+    }
+
+    #[test]
+    fn help_is_not_an_error() {
+        assert_eq!(parse_args(&argv("--help")).unwrap(), Parsed::Help);
+        assert_eq!(parse_args(&argv("-h")).unwrap(), Parsed::Help);
+        // --help wins even mid-line: the user asked for usage, print it.
+        assert_eq!(parse_args(&argv("--grid 6 --help")).unwrap(), Parsed::Help);
     }
 
     #[test]
     fn checkpoint_flags() {
-        let o = parse_args(&argv(
-            "--parmesh --nodes 1000 --checkpoint-dir /tmp/ck --checkpoint-every 2.5 --resume",
-        ))
-        .unwrap();
+        let o =
+            opts("--parmesh --nodes 1000 --checkpoint-dir /tmp/ck --checkpoint-every 2.5 --resume");
         assert_eq!(o.checkpoint_dir.as_deref(), Some("/tmp/ck"));
         assert_eq!(o.checkpoint_every_s, Some(2.5));
         assert!(o.resume);
