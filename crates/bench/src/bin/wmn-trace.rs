@@ -571,6 +571,19 @@ fn shard_profile_report(p: &ShardProfile) {
         "barrier-wait share      : {:.3} (mean over regions)",
         p.barrier_wait_share()
     );
+    if p.steal_epochs > 0 {
+        println!(
+            "work stealing           : {:.1} regions moved/epoch over {} epochs",
+            p.regions_moved_per_epoch(),
+            p.steal_epochs
+        );
+        println!(
+            "post-steal imbalance    : {:.3} (ideal 1.0 = perfectly packed)",
+            p.post_steal_imbalance()
+        );
+    } else {
+        println!("work stealing           : off (static region assignment)");
+    }
     if p.host.peak_rss_bytes > 0 {
         println!(
             "peak RSS                : {:.1} MiB",

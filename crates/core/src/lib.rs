@@ -54,7 +54,7 @@ pub use event::Event;
 pub use medium::{LinkCacheSnapshot, Medium, MediumEffect, MediumStats};
 pub use network::{DropCounters, FaultCounters, Network, RebootKit};
 pub use node::Node;
-pub use parmesh::{ParMesh, ParMeshOutcome, ParMeshReport};
+pub use parmesh::{region_grid, ParMesh, ParMeshOutcome, ParMeshReport};
 pub use policy::{CnlrConfig, CnlrPolicy, VapCnlr, VapConfig};
 pub use results::RunResults;
 pub use scheme::Scheme;

@@ -38,6 +38,17 @@
 //! engine's shortest-path closure turns that ring structure into
 //! distance-proportional lookahead — the discrete analogue of propagation
 //! delay between separated areas.
+//!
+//! The world data is laid out for million-node runs: the shared read-only
+//! tables ([`Statics`]) keep per-node state in flat structure-of-arrays
+//! vectors with CSR-flattened adjacency (churn intervals, spatial-hash
+//! cells) instead of nested `Vec<Vec<…>>`, node ids are `u32` throughout,
+//! and per-region hot state (exact node loads) is a dense vector parallel
+//! to the sorted owned-id list rather than a hash map. At full trace
+//! volume a merged in-memory trace would dwarf the world itself, so
+//! [`ParMesh::trace_hash`] streams events into O(1)-memory per-region
+//! fingerprints instead — the scale-run stand-in for a byte-level trace
+//! diff.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -51,8 +62,8 @@ use wmn_sim::shard::{
 };
 use wmn_sim::{SimDuration, SimRng, SimTime};
 use wmn_telemetry::{
-    merge_region_traces, DropReason, EventKind, MemorySink, ShardProfile, ShardProfiler,
-    SharedSink, Tel, TelemetryEvent,
+    merge_region_traces, DropReason, EventKind, EventSink, HashSink, MemorySink, ShardProfile,
+    ShardProfiler, SharedSink, Tel, TelemetryEvent,
 };
 
 /// Grid pitch the node density is derived from (matches the scale presets).
@@ -95,9 +106,11 @@ pub struct ParMesh {
     seed: u64,
     regions: Option<usize>,
     threads: usize,
+    steal: bool,
     mobility: bool,
     churn: bool,
     telemetry: bool,
+    trace_hash: bool,
     profile: bool,
     checkpoint_dir: Option<PathBuf>,
     checkpoint_every: Option<SimDuration>,
@@ -119,9 +132,11 @@ impl ParMesh {
             seed: 1,
             regions: None,
             threads: 1,
+            steal: true,
             mobility: true,
             churn: true,
             telemetry: false,
+            trace_hash: false,
             profile: false,
             checkpoint_dir: None,
             checkpoint_every: None,
@@ -155,10 +170,13 @@ impl ParMesh {
         self
     }
 
-    /// Request a region count (clamped to the geometric minimum side; the
-    /// default derives one region per ~384 nodes). The region count is part
-    /// of the scenario: changing it changes event timestamps slightly;
-    /// changing *threads* never does.
+    /// Request a region count. The auto-tuner grants the nearest grid the
+    /// geometry can honour (sides must stay ≥ [`MIN_REGION_SIDE_M`]); when
+    /// that differs from an explicit request the run warns on stderr with
+    /// the granted value. The default derives one region per ~384 nodes
+    /// with no upper cap — a million-node field auto-tunes past 2500
+    /// regions. The region count is part of the scenario: changing it
+    /// changes event timestamps slightly; changing *threads* never does.
     pub fn regions(mut self, regions: usize) -> Self {
         self.regions = Some(regions.max(1));
         self
@@ -167,6 +185,16 @@ impl ParMesh {
     /// Set the worker thread count (wall-clock only; results identical).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enable or disable work stealing between epoch barriers (on by
+    /// default). Stealing only remaps which worker thread executes a
+    /// region's window — results, traces and checkpoints are bit-identical
+    /// either way, so this knob is excluded from the scenario fingerprint
+    /// and a resume may flip it.
+    pub fn steal(mut self, on: bool) -> Self {
+        self.steal = on;
         self
     }
 
@@ -186,6 +214,18 @@ impl ParMesh {
     /// returned in [`ParMeshOutcome::trace`]).
     pub fn telemetry(mut self, on: bool) -> Self {
         self.telemetry = on;
+        self
+    }
+
+    /// Fold every telemetry event into O(1)-memory per-region fingerprints
+    /// instead of materialising a trace; the combined value is returned in
+    /// [`ParMeshOutcome::trace_fp`]. The per-region event streams are the
+    /// same ones full telemetry would record, so a hash-only run and a
+    /// full-trace run of the same scenario produce the same fingerprint —
+    /// this is the million-node stand-in for a byte-level trace diff.
+    /// Incompatible with checkpointing (which must buffer the trace).
+    pub fn trace_hash(mut self, on: bool) -> Self {
+        self.trace_hash = on;
         self
     }
 
@@ -338,6 +378,12 @@ pub struct ParMeshOutcome {
     pub report: ParMeshReport,
     /// Deterministically merged trace, ordered by `(t, region, index)`.
     pub trace: Vec<TelemetryEvent>,
+    /// `(events, fingerprint)` of the full telemetry stream, folded from
+    /// per-region [`HashSink`]s in region order; present when
+    /// [`trace_hash`](ParMesh::trace_hash) was requested. Identical for
+    /// any thread count and steal schedule, and identical to the value a
+    /// full-telemetry run of the same scenario would hash to.
+    pub trace_fp: Option<(u64, u64)>,
     /// Engine execution profile (present when profiling was requested).
     pub profile: Option<ShardProfile>,
     /// 1 Hz cross-layer probe feed, rebuilt from the merged trace (empty
@@ -364,13 +410,20 @@ struct Flow {
     start: SimTime,
 }
 
-/// Immutable world data shared read-only by every region.
+/// Immutable world data shared read-only by every region. Per-node tables
+/// are CSR-flattened (`*_idx` holds row offsets into the flat payload
+/// vector) so a million-node world is a handful of large allocations
+/// instead of millions of tiny `Vec`s.
 struct Statics {
     params: Vec<NodeParams>,
-    /// Down intervals per node `(down_ns, up_ns)`, sorted; almost all empty.
-    churn: Vec<Vec<(u64, u64)>>,
-    /// Spatial hash over *home* positions.
-    cells: Vec<Vec<u32>>,
+    /// Down intervals `(down_ns, up_ns)`, sorted per node; node `i` owns
+    /// `churn_iv[churn_idx[i]..churn_idx[i+1]]`. Almost all rows empty.
+    churn_idx: Vec<u32>,
+    churn_iv: Vec<(u64, u64)>,
+    /// Spatial hash over *home* positions; cell `c` owns
+    /// `cell_nodes[cell_idx[c]..cell_idx[c+1]]`.
+    cell_idx: Vec<u32>,
+    cell_nodes: Vec<u32>,
     ncx: usize,
     ncy: usize,
     side: f64,
@@ -393,9 +446,20 @@ impl Statics {
         (p.home.0 + p.amp * th.cos(), p.home.1 + p.amp * th.sin())
     }
 
+    /// Node `i`'s sorted down intervals (CSR row).
+    fn churn_of(&self, node: u32) -> &[(u64, u64)] {
+        let i = node as usize;
+        &self.churn_iv[self.churn_idx[i] as usize..self.churn_idx[i + 1] as usize]
+    }
+
+    /// The node ids hashed into spatial cell `c` (CSR row).
+    fn cell_members(&self, c: usize) -> &[u32] {
+        &self.cell_nodes[self.cell_idx[c] as usize..self.cell_idx[c + 1] as usize]
+    }
+
     fn is_up(&self, node: u32, t: SimTime) -> bool {
         let ns = t.as_nanos();
-        self.churn[node as usize]
+        self.churn_of(node)
             .iter()
             .all(|&(down, up)| ns < down || ns >= up)
     }
@@ -435,6 +499,38 @@ impl Statics {
         }
         out
     }
+}
+
+/// Flatten ragged rows into CSR form: `(row_offsets, payload)` with
+/// `rows[i] == payload[idx[i]..idx[i+1]]`.
+fn flatten_csr<T: Copy>(rows: &[Vec<T>]) -> (Vec<u32>, Vec<T>) {
+    let total: usize = rows.iter().map(Vec::len).sum();
+    assert!(
+        total <= u32::MAX as usize,
+        "CSR payload exceeds u32 offsets"
+    );
+    let mut idx = Vec::with_capacity(rows.len() + 1);
+    let mut flat = Vec::with_capacity(total);
+    idx.push(0);
+    for row in rows {
+        flat.extend_from_slice(row);
+        idx.push(flat.len() as u32);
+    }
+    (idx, flat)
+}
+
+/// Fold per-region `(count, fp)` trace fingerprints, in region order, into
+/// one run-level fingerprint. Region order is scenario-determined, so the
+/// result is invariant to threads and steal schedule.
+fn combine_region_fps(fps: &[(u64, u64)]) -> (u64, u64) {
+    let mut w = ByteWriter::new();
+    let mut count = 0u64;
+    for &(c, f) in fps {
+        w.u64(c);
+        w.u64(f);
+        count += c;
+    }
+    (count, checkpoint::fnv1a(&w.into_inner()))
 }
 
 fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
@@ -491,9 +587,9 @@ struct RegionNet {
     st: Arc<Statics>,
     /// Owned node ids, ascending.
     own: Vec<u32>,
-    /// Exact loads of owned nodes. Never iterated — only keyed access, so
-    /// `HashMap` order can't leak into results.
-    loads: HashMap<u32, NodeLoad>,
+    /// Exact loads of owned nodes, parallel to `own` (dense hot state —
+    /// 8 B per node; look up by binary search over the sorted ids).
+    loads: Vec<NodeLoad>,
     /// Last digested loads of other regions' nodes (stale by design).
     remote: HashMap<u32, u32>,
     rng: SimRng,
@@ -509,10 +605,12 @@ struct RegionNet {
 
 impl RegionNet {
     fn load_of(&self, node: u32) -> u32 {
-        if let Some(nl) = self.loads.get(&node) {
-            nl.load + nl.recent
-        } else {
-            self.remote.get(&node).copied().unwrap_or(0)
+        match self.own.binary_search(&node) {
+            Ok(i) => {
+                let nl = self.loads[i];
+                nl.load + nl.recent
+            }
+            Err(_) => self.remote.get(&node).copied().unwrap_or(0),
         }
     }
 
@@ -538,7 +636,7 @@ impl RegionNet {
                 if nx < 0 || ny < 0 || nx >= st.ncx as i64 || ny >= st.ncy as i64 {
                     continue;
                 }
-                for &v in &st.cells[ny as usize * st.ncx + nx as usize] {
+                for &v in st.cell_members(ny as usize * st.ncx + nx as usize) {
                     if v == u || !st.is_up(v, now) {
                         continue;
                     }
@@ -580,7 +678,11 @@ impl RegionNet {
             return;
         };
         // The transmitting node is always owned here; account its work.
-        self.loads.entry(pkt.node).or_default().recent += 1;
+        let i = self
+            .own
+            .binary_search(&pkt.node)
+            .expect("transmitting node is owned by this region");
+        self.loads[i].recent += 1;
         let latency = HOP_FLOOR + SimDuration::from_micros(self.rng.below(HOP_JITTER_US + 1));
         let dst_region = self.st.region_of_node[next as usize];
         ctx.send(
@@ -660,8 +762,8 @@ impl RegionWorld for RegionNet {
                 // EWMA load refresh for owned nodes; digest the busy ones.
                 let mut digest: Vec<(u32, u32)> = Vec::new();
                 let probing = self.tel.on();
-                for &node in &self.own {
-                    let nl = self.loads.entry(node).or_default();
+                for (i, &node) in self.own.iter().enumerate() {
+                    let nl = &mut self.loads[i];
                     let recent = nl.recent;
                     nl.load = nl.load / 2 + nl.recent;
                     nl.recent = 0;
@@ -746,7 +848,11 @@ impl RegionWorld for RegionNet {
             }
             PmEvent::Forward(pkt) => self.handle_forward(pkt, ctx),
             PmEvent::ChurnDown { node } => {
-                self.loads.insert(node, NodeLoad::default());
+                let i = self
+                    .own
+                    .binary_search(&node)
+                    .expect("churn events are primed at the owner region");
+                self.loads[i] = NodeLoad::default();
                 self.tel
                     .emit_at(node, ctx.now(), EventKind::NodeDown { incarnation: 0 });
             }
@@ -837,13 +943,12 @@ impl CheckpointState for RegionNet {
             None => out.u8(0),
         }
         out.u32(self.hello_seq);
-        // Hash maps in sorted key order — the encoding must be a pure
-        // function of logical state, never of map iteration order.
-        let mut loads: Vec<(u32, NodeLoad)> = self.loads.iter().map(|(&k, &v)| (k, v)).collect();
-        loads.sort_by_key(|&(k, _)| k);
-        out.u32(loads.len() as u32);
-        for (node, nl) in loads {
-            out.u32(node);
+        // Owned loads are dense and parallel to the sorted `own` list, so
+        // the node ids are implicit; hash maps go in sorted key order — the
+        // encoding must be a pure function of logical state, never of map
+        // iteration order.
+        out.u32(self.loads.len() as u32);
+        for nl in &self.loads {
             out.u32(nl.load);
             out.u32(nl.recent);
         }
@@ -891,12 +996,16 @@ impl CheckpointState for RegionNet {
         let cached = if r.u8()? == 1 { Some(r.u64()?) } else { None };
         self.rng.restore_state(s, cached);
         self.hello_seq = r.u32()?;
-        self.loads.clear();
-        for _ in 0..r.u32()? {
-            let node = r.u32()?;
-            let load = r.u32()?;
-            let recent = r.u32()?;
-            self.loads.insert(node, NodeLoad { load, recent });
+        let n_loads = r.u32()? as usize;
+        if n_loads != self.own.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "checkpoint carries {n_loads} owned loads, region has {}",
+                self.own.len()
+            )));
+        }
+        for nl in self.loads.iter_mut() {
+            nl.load = r.u32()?;
+            nl.recent = r.u32()?;
         }
         self.remote.clear();
         for _ in 0..r.u32()? {
@@ -940,14 +1049,17 @@ impl CheckpointState for RegionNet {
     }
 }
 
-/// Resolve the region grid: near-square, sides at least
-/// [`MIN_REGION_SIDE_M`], honouring an explicit request when geometry
-/// allows.
-fn region_grid(side: f64, nodes: usize, requested: Option<usize>) -> (usize, usize) {
+/// Resolve the region grid for a `side` × `side` field: near-square, sides
+/// at least [`MIN_REGION_SIDE_M`], honouring an explicit request when
+/// geometry allows. With no request the tuner targets one region per ~384
+/// nodes with **no upper cap** — a million-node field resolves to a
+/// 51 × 51 grid (2601 regions), far past the 256 regions older revisions
+/// silently clamped to. Deliberately *not* a function of the worker thread
+/// count: the grid is part of the scenario and must stay identical when a
+/// run (or a checkpoint resume) changes its thread count.
+pub fn region_grid(side: f64, nodes: usize, requested: Option<usize>) -> (usize, usize) {
     let max_axis = ((side / MIN_REGION_SIDE_M).floor() as usize).max(1);
-    let target = requested
-        .unwrap_or_else(|| (nodes / 384).max(1))
-        .clamp(1, 256);
+    let target = requested.unwrap_or_else(|| (nodes / 384).max(1)).max(1);
     let mut rx = (target as f64).sqrt().floor() as usize;
     rx = rx.clamp(1, max_axis);
     let mut ry = (target / rx).max(1);
@@ -956,6 +1068,11 @@ fn region_grid(side: f64, nodes: usize, requested: Option<usize>) -> (usize, usi
 }
 
 fn run_parmesh(cfg: &ParMesh) -> Result<ParMeshOutcome, CheckpointError> {
+    assert!(
+        !(cfg.trace_hash && cfg.supervised()),
+        "trace_hash folds events away as they are emitted; checkpoints need \
+         the buffered trace, so the two are incompatible"
+    );
     let n = cfg.nodes;
     let cols = (n as f64).sqrt().ceil() as usize;
     let side = cols as f64 * PITCH_M;
@@ -1019,12 +1136,23 @@ fn run_parmesh(cfg: &ParMesh) -> Result<ParMeshOutcome, CheckpointError> {
     // --- region grid + ownership ---
     let (rx, ry) = region_grid(side, n, cfg.regions);
     let regions = rx * ry;
+    if let Some(req) = cfg.regions {
+        if regions != req {
+            eprintln!(
+                "wmn: --regions {req} cannot be honoured on a {side:.0} m field \
+                 (region sides must stay >= {MIN_REGION_SIDE_M:.0} m); \
+                 granted {rx}x{ry} = {regions} regions"
+            );
+        }
+    }
     let mut region_of_node = Vec::with_capacity(n);
     {
         let probe = Statics {
             params: Vec::new(),
-            churn: Vec::new(),
-            cells: Vec::new(),
+            churn_idx: vec![0],
+            churn_iv: Vec::new(),
+            cell_idx: vec![0],
+            cell_nodes: Vec::new(),
             ncx,
             ncy,
             side,
@@ -1095,10 +1223,16 @@ fn run_parmesh(cfg: &ParMesh) -> Result<ParMeshOutcome, CheckpointError> {
         flows.push(Flow { src, dst, start });
     }
 
+    let (churn_idx, churn_iv) = flatten_csr(&churn);
+    let (cell_idx, cell_nodes) = flatten_csr(&cells);
+    drop(churn);
+    drop(cells);
     let st = Arc::new(Statics {
         params,
-        churn,
-        cells,
+        churn_idx,
+        churn_iv,
+        cell_idx,
+        cell_nodes,
         ncx,
         ncy,
         side,
@@ -1116,12 +1250,18 @@ fn run_parmesh(cfg: &ParMesh) -> Result<ParMeshOutcome, CheckpointError> {
         own[r as usize].push(i as u32);
     }
     let mut sinks: Vec<Option<Arc<Mutex<MemorySink>>>> = Vec::with_capacity(regions);
+    let mut hash_sinks: Vec<Arc<Mutex<HashSink>>> = Vec::new();
     let worlds: Vec<RegionNet> = (0..regions)
         .map(|r| {
             let (tel, sink) = if cfg.telemetry {
                 let inner = Arc::new(Mutex::new(MemorySink::default()));
                 sinks.push(Some(inner.clone()));
                 (Tel::new(inner.clone() as SharedSink, 0), Some(inner))
+            } else if cfg.trace_hash {
+                let inner = Arc::new(Mutex::new(HashSink::new()));
+                hash_sinks.push(inner.clone());
+                sinks.push(None);
+                (Tel::new(inner as SharedSink, 0), None)
             } else {
                 sinks.push(None);
                 (Tel::off(), None)
@@ -1129,8 +1269,8 @@ fn run_parmesh(cfg: &ParMesh) -> Result<ParMeshOutcome, CheckpointError> {
             RegionNet {
                 id: r as RegionId,
                 st: st.clone(),
+                loads: vec![NodeLoad::default(); own[r].len()],
                 own: own[r].clone(),
-                loads: HashMap::new(),
                 remote: HashMap::new(),
                 rng: SimRng::derive(cfg.seed, DOMAIN_REGION, r as u64),
                 tel,
@@ -1162,7 +1302,27 @@ fn run_parmesh(cfg: &ParMesh) -> Result<ParMeshOutcome, CheckpointError> {
         })
     };
 
-    let mut engine = ShardedEngine::new(worlds, lookahead, horizon).with_event_budget(500_000_000);
+    // The event budget is a runaway guard, not a scenario knob; scale it
+    // with the world so million-node runs don't trip it.
+    let budget = 500_000_000u64.max(n as u64 * 1_000);
+    let mut engine = ShardedEngine::new(worlds, lookahead, horizon)
+        .with_event_budget(budget)
+        .with_stealing(cfg.steal);
+
+    // Pre-size region queues from the event plan — the pending set holds
+    // one HELLO timer, one Originate timer per sourced flow, the scheduled
+    // churn transitions, plus in-flight packets (a few per flow routed
+    // through); reserving up front keeps the steady state reallocation-free.
+    let mut plan: Vec<usize> = own.iter().map(|o| 1 + o.len() / 16).collect();
+    for flow in &st.flows {
+        plan[st.region_of_node[flow.src as usize] as usize] += 4;
+    }
+    for (i, &r) in st.region_of_node.iter().enumerate() {
+        plan[r as usize] += st.churn_of(i as u32).len() * 2;
+    }
+    for (r, extra) in plan.into_iter().enumerate() {
+        engine.reserve_region(r as RegionId, extra);
+    }
 
     // --- prime: hellos, flows, churn transitions ---
     for (r, owned) in own.iter().enumerate().take(regions) {
@@ -1178,9 +1338,9 @@ fn run_parmesh(cfg: &ParMesh) -> Result<ParMeshOutcome, CheckpointError> {
         let r = st.region_of_node[flow.src as usize];
         engine.prime(r, flow.start, PmEvent::Originate { flow: f as u32 });
     }
-    for (i, intervals) in st.churn.iter().enumerate() {
+    for i in 0..n {
         let r = st.region_of_node[i];
-        for &(down, up) in intervals {
+        for &(down, up) in st.churn_of(i as u32) {
             engine.prime(r, SimTime(down), PmEvent::ChurnDown { node: i as u32 });
             if up < dur_ns {
                 engine.prime(r, SimTime(up), PmEvent::ChurnUp { node: i as u32 });
@@ -1266,7 +1426,7 @@ fn run_parmesh(cfg: &ParMesh) -> Result<ParMeshOutcome, CheckpointError> {
         agg.mean_hops = hops_sum as f64 / agg.delivered as f64;
     }
 
-    let trace = if cfg.telemetry {
+    let (trace, trace_fp) = if cfg.telemetry {
         let per_region: Vec<Vec<TelemetryEvent>> = sinks
             .into_iter()
             .map(|s| match s {
@@ -1274,9 +1434,31 @@ fn run_parmesh(cfg: &ParMesh) -> Result<ParMeshOutcome, CheckpointError> {
                 None => Vec::new(),
             })
             .collect();
-        merge_region_traces(per_region)
+        // With both telemetry and trace_hash on, fold the buffered traces
+        // through the same per-region hashing a hash-only run streams, so
+        // the two modes cross-validate each other.
+        let fp = cfg.trace_hash.then(|| {
+            let fps: Vec<(u64, u64)> = per_region
+                .iter()
+                .map(|evs| {
+                    let mut h = HashSink::new();
+                    for ev in evs {
+                        h.record(ev);
+                    }
+                    h.fingerprint()
+                })
+                .collect();
+            combine_region_fps(&fps)
+        });
+        (merge_region_traces(per_region), fp)
+    } else if cfg.trace_hash {
+        let fps: Vec<(u64, u64)> = hash_sinks
+            .iter()
+            .map(|s| s.lock().unwrap().fingerprint())
+            .collect();
+        (Vec::new(), Some(combine_region_fps(&fps)))
     } else {
-        Vec::new()
+        (Vec::new(), None)
     };
 
     // Rebuild the 1 Hz cross-layer probe feed from the merged trace; the
@@ -1297,6 +1479,7 @@ fn run_parmesh(cfg: &ParMesh) -> Result<ParMeshOutcome, CheckpointError> {
     Ok(ParMeshOutcome {
         report: agg,
         trace,
+        trace_fp,
         profile,
         probes,
         supervisor,
@@ -1538,5 +1721,86 @@ mod tests {
         let (rx, ry) = region_grid(side, 400, Some(10_000));
         assert!(rx as f64 * MIN_REGION_SIDE_M <= side);
         assert!(ry as f64 * MIN_REGION_SIDE_M <= side);
+    }
+
+    #[test]
+    fn region_grid_auto_tunes_past_the_old_256_cap() {
+        // A million-node field used to be silently clamped to 256 regions;
+        // the auto-tuner now grants the density-derived grid.
+        let side = 1000.0 * PITCH_M;
+        let (rx, ry) = region_grid(side, 1_000_000, None);
+        assert_eq!((rx, ry), (51, 51));
+        assert!(rx * ry > 256);
+        // The grids behind the committed fig12/fig13 CSVs must not move.
+        assert_eq!(
+            region_grid((10_000f64).sqrt() * PITCH_M, 10_000, None),
+            (5, 5)
+        );
+        assert_eq!(region_grid(317.0 * PITCH_M, 100_000, None), (16, 16));
+    }
+
+    #[test]
+    fn steal_setting_is_invisible_in_results_and_trace() {
+        let run = |threads: usize, steal: bool| {
+            ParMesh::new(400)
+                .seed(7)
+                .flows(40)
+                .regions(9)
+                .duration(SimDuration::from_secs(5))
+                .threads(threads)
+                .steal(steal)
+                .telemetry(true)
+                .run()
+        };
+        let base = run(1, false);
+        for (threads, steal) in [(1, true), (2, true), (8, true), (8, false)] {
+            let out = run(threads, steal);
+            assert_eq!(base.report.delivered, out.report.delivered);
+            assert_eq!(base.report.events, out.report.events);
+            assert_eq!(
+                base.trace, out.trace,
+                "trace diverges at {threads} threads, steal={steal}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_hash_matches_full_telemetry_and_is_schedule_invariant() {
+        let run = |threads: usize, steal: bool, telemetry: bool| {
+            ParMesh::new(400)
+                .seed(7)
+                .flows(40)
+                .regions(9)
+                .duration(SimDuration::from_secs(5))
+                .threads(threads)
+                .steal(steal)
+                .telemetry(telemetry)
+                .trace_hash(true)
+                .run()
+        };
+        // Hash-only run vs full-telemetry run: same per-region streams,
+        // same fingerprint — and a real trace only in the latter.
+        let hashed = run(1, true, false);
+        let full = run(1, true, true);
+        assert!(hashed.trace.is_empty());
+        assert!(!full.trace.is_empty());
+        let fp = hashed.trace_fp.expect("fingerprint present");
+        assert!(fp.0 > 0, "fingerprint counted no events");
+        assert_eq!(Some(fp), full.trace_fp);
+        // Threads and steal schedule are invisible to the fingerprint.
+        for (threads, steal) in [(2, true), (8, true), (4, false)] {
+            assert_eq!(Some(fp), run(threads, steal, false).trace_fp);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn trace_hash_refuses_checkpointing() {
+        let dir = std::env::temp_dir().join("wmn_parmesh_hash_ckpt");
+        let _ = ParMesh::new(100)
+            .duration(SimDuration::from_secs(1))
+            .trace_hash(true)
+            .checkpoint_dir(&dir)
+            .run();
     }
 }

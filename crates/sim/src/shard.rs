@@ -36,6 +36,20 @@
 //! bit-identical for any worker count, including one**. The worker count
 //! changes wall-clock time only; the region count is part of the scenario.
 //!
+//! Region→worker assignment is a free variable under that argument: *which
+//! thread* runs a window is invisible to the simulation, so the engine may
+//! re-chunk regions onto workers every epoch. With
+//! [`ShardedEngine::with_stealing`] enabled, a coordinator-side
+//! [`StealPlanner`] packs the epoch's active regions onto workers by
+//! longest-predicted-first (LPT) bin packing, predicting each region's cost
+//! from its previous window's measured busy time — the same wall-clock
+//! figure the profiler reports in [`WindowSample::busy_ns`]. The schedule
+//! is wall-clock-derived and therefore non-deterministic run to run, but it
+//! only ever remaps slot→thread; traces, telemetry, and checkpoints stay
+//! bit-identical for any steal schedule, and a checkpoint carries no
+//! scheduler state, so a resume may change both the worker count and the
+//! steal setting freely.
+//!
 //! The conservative invariant — no cross-region event may arrive below the
 //! timestamp its destination has already committed — is enforced at
 //! runtime: [`RegionCtx::send`] panics when a world under-declares its
@@ -336,6 +350,14 @@ pub trait ShardProbe {
     fn epoch_end(&mut self, epoch: u64, wall_ns: u64, merged: u64, merge_ns: u64);
     /// The run completed.
     fn run_end(&mut self, report: &ShardRunReport, wall_ns: u64);
+    /// One epoch's scheduler decision under work stealing (default:
+    /// ignore). `moved` counts active regions that ran on a different
+    /// worker than their previous window; `imbalance_milli` is the
+    /// post-steal load balance — the busiest worker's measured window time
+    /// over the mean across the pool, ×1000. Both are wall-clock-derived
+    /// and must never enter a simulation fingerprint. Fires after the
+    /// epoch's windows complete, before [`epoch_end`](ShardProbe::epoch_end).
+    fn steal(&mut self, _epoch: u64, _moved: u64, _imbalance_milli: u64) {}
     /// Serialize accumulated observer state into a checkpoint (default:
     /// nothing). A probe that wants its profile to survive a kill-and-resume
     /// overrides this pair; the engine includes the bytes in every
@@ -686,6 +708,110 @@ struct Job<W: RegionWorld> {
     timed: bool,
 }
 
+/// Coordinator-side dynamic region→worker packer (work stealing by
+/// deficit re-chunking at the barrier).
+///
+/// Every epoch, [`plan`](StealPlanner::plan) sorts the active regions by
+/// predicted cost — the region's previous window's measured busy time —
+/// and assigns each, longest first, to the currently least-loaded worker
+/// (LPT bin packing). The decision consumes only data the barrier already
+/// produces and costs `O(jobs · workers)` per epoch, so it stays cheap and
+/// local in the sense of Sliwa et al.'s load-aware-decision constraint.
+/// Decisions are wall-clock-derived and may differ between runs; they can
+/// only remap slot→thread, never change what a window computes, so results
+/// stay bit-identical for every schedule. Nothing here is checkpointed: a
+/// resumed run starts with a cold planner, which is exactly as valid as
+/// any other schedule.
+struct StealPlanner {
+    /// Last measured window cost per region (ns); 0 until first observed.
+    cost_ns: Vec<u64>,
+    /// Worker that ran each region's last window (static home initially).
+    home: Vec<u32>,
+    workers: usize,
+    /// Scratch: predicted load per worker while packing.
+    loads: Vec<u64>,
+    /// Scratch: job indices in packing order.
+    order: Vec<usize>,
+    /// Output: worker for `jobs[k]`, parallel to the epoch's job list.
+    assignment: Vec<u32>,
+}
+
+impl StealPlanner {
+    fn new(regions: usize, workers: usize) -> Self {
+        StealPlanner {
+            cost_ns: vec![0; regions],
+            home: (0..regions).map(|i| (i % workers) as u32).collect(),
+            workers,
+            loads: Vec::with_capacity(workers),
+            order: Vec::new(),
+            assignment: Vec::new(),
+        }
+    }
+
+    /// Pack `jobs` (active region indices) onto workers; fills
+    /// [`assignment`](StealPlanner::assignment) and returns how many
+    /// regions moved off the worker that ran their previous window.
+    fn plan(&mut self, jobs: &[usize]) -> u64 {
+        self.loads.clear();
+        self.loads.resize(self.workers, 0);
+        self.order.clear();
+        self.order.extend(0..jobs.len());
+        let cost_ns = &self.cost_ns;
+        self.order.sort_unstable_by(|&a, &b| {
+            cost_ns[jobs[b]]
+                .cmp(&cost_ns[jobs[a]])
+                .then_with(|| jobs[a].cmp(&jobs[b]))
+        });
+        self.assignment.clear();
+        self.assignment.resize(jobs.len(), 0);
+        let mut moved = 0u64;
+        for &k in &self.order {
+            let region = jobs[k];
+            let mut w = 0usize;
+            for (cand, &load) in self.loads.iter().enumerate().skip(1) {
+                if load < self.loads[w] {
+                    w = cand;
+                }
+            }
+            // A floor of 1 ns keeps unmeasured regions spreading across
+            // the pool instead of piling onto worker 0.
+            self.loads[w] += self.cost_ns[region].max(1);
+            self.assignment[k] = w as u32;
+            if self.home[region] != w as u32 {
+                self.home[region] = w as u32;
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Record a region's measured window cost (feeds the next epoch's
+    /// prediction).
+    fn observe(&mut self, region: usize, busy_ns: u64) {
+        self.cost_ns[region] = busy_ns;
+    }
+
+    /// Post-steal imbalance of the epoch just measured: busiest worker's
+    /// summed window time over the pool mean, ×1000 (1000 = perfectly
+    /// balanced). Uses the fresh costs recorded by
+    /// [`observe`](StealPlanner::observe) grouped by this epoch's
+    /// assignment.
+    fn measured_imbalance_milli(&mut self, jobs: &[usize]) -> u64 {
+        self.loads.clear();
+        self.loads.resize(self.workers, 0);
+        for (k, &region) in jobs.iter().enumerate() {
+            self.loads[self.assignment[k] as usize] += self.cost_ns[region];
+        }
+        let total: u64 = self.loads.iter().sum();
+        if total == 0 {
+            return 1000;
+        }
+        let max = *self.loads.iter().max().expect("workers >= 1");
+        // max / (total / workers), in milli.
+        max.saturating_mul(1000).saturating_mul(self.workers as u64) / total
+    }
+}
+
 /// The shard-parallel conservative engine.
 ///
 /// Build with one world per region plus a [`Lookahead`]; prime initial
@@ -697,6 +823,12 @@ pub struct ShardedEngine<W: RegionWorld> {
     lookahead: Lookahead,
     horizon: SimTime,
     event_budget: u64,
+    /// Dynamic region→worker packing (see [`StealPlanner`]); static
+    /// `region % workers` assignment when off.
+    steal: bool,
+    /// Reused merge batch so the epoch barrier stops allocating once the
+    /// cross-region rate stabilizes.
+    merge_buf: Vec<(SimTime, RegionId, u32, RegionId, W::Event)>,
     /// Counters restored by [`ShardedEngine::restore`]; zero on a fresh run.
     resume_epochs: u64,
     resume_cross: u64,
@@ -738,6 +870,8 @@ impl<W: RegionWorld> ShardedEngine<W> {
             lookahead,
             horizon,
             event_budget: u64::MAX,
+            steal: false,
+            merge_buf: Vec::new(),
             resume_epochs: 0,
             resume_cross: 0,
             resume_probe: Vec::new(),
@@ -751,6 +885,28 @@ impl<W: RegionWorld> ShardedEngine<W> {
     pub fn with_event_budget(mut self, budget: u64) -> Self {
         self.event_budget = budget;
         self
+    }
+
+    /// Enable work stealing: re-pack active regions onto workers every
+    /// epoch from the previous window's measured busy times instead of the
+    /// static `region % workers` assignment. Results are bit-identical
+    /// either way (the schedule only picks threads); with one worker the
+    /// setting is inert. Not part of the scenario fingerprint — a resumed
+    /// run may flip it.
+    pub fn with_stealing(mut self, on: bool) -> Self {
+        self.steal = on;
+        self
+    }
+
+    /// Grow `region`'s event-queue backing storage by `additional` slots
+    /// (capacity pre-sizing from a scenario's flow/churn plans, so the
+    /// steady state never reallocates mid-window).
+    pub fn reserve_region(&mut self, region: RegionId, additional: usize) {
+        self.slots[region as usize]
+            .as_mut()
+            .expect("slot present between epochs")
+            .queue
+            .reserve(additional);
     }
 
     /// Schedule an initial event in `region` before the run starts.
@@ -824,8 +980,10 @@ impl<W: RegionWorld> ShardedEngine<W> {
     fn merge_outboxes(&mut self) -> u64 {
         // (time, src, seq-within-src) is a total order: seq disambiguates
         // within one source and src disambiguates across sources, so no two
-        // entries share a key and the merge order is unique.
-        let mut batch: Vec<(SimTime, RegionId, u32, RegionId, W::Event)> = Vec::new();
+        // entries share a key and the merge order is unique — which also
+        // means an unstable sort is deterministic here.
+        let mut batch = std::mem::take(&mut self.merge_buf);
+        debug_assert!(batch.is_empty());
         for i in 0..self.slots.len() {
             let slot = self.slots[i].as_mut().expect("slot present between epochs");
             let region = slot.region;
@@ -834,11 +992,12 @@ impl<W: RegionWorld> ShardedEngine<W> {
             }
         }
         if batch.is_empty() {
+            self.merge_buf = batch;
             return 0;
         }
-        batch.sort_by_key(|(t, src, seq, _, _)| (*t, *src, *seq));
+        batch.sort_unstable_by_key(|(t, src, seq, _, _)| (*t, *src, *seq));
         let n = batch.len() as u64;
-        for (time, src, _, dst, event) in batch {
+        for (time, src, _, dst, event) in batch.drain(..) {
             let slot = self.slots[dst as usize]
                 .as_mut()
                 .expect("slot present between epochs");
@@ -850,6 +1009,7 @@ impl<W: RegionWorld> ShardedEngine<W> {
             );
             slot.queue.schedule(time, event);
         }
+        self.merge_buf = batch;
         n
     }
 
@@ -998,12 +1158,15 @@ impl<W: RegionWorld> ShardedEngine<W> {
                 }
             }
         } else {
-            // Persistent pool: regions are assigned to workers statically
-            // (`region % workers`) so per-region state tends to stay in one
-            // worker's cache; each epoch ships the active slots over
+            // Persistent pool: each epoch ships the active slots over
             // channels and collects them all back — the channel round-trip
             // is the barrier. Which thread runs a window cannot influence
-            // results: a window touches only its own slot.
+            // results: a window touches only its own slot. Assignment is
+            // static (`region % workers`, so per-region state tends to stay
+            // in one worker's cache) unless stealing re-packs regions from
+            // the previous epoch's measured busy times.
+            let stealing = self.steal;
+            let mut planner = stealing.then(|| StealPlanner::new(self.slots.len(), workers));
             let horizon = self.horizon;
             let lookahead = self.lookahead.clone();
             std::thread::scope(|scope| {
@@ -1030,9 +1193,11 @@ impl<W: RegionWorld> ShardedEngine<W> {
                     if let Err(reason) = self.epoch_plan(&mut safe, &mut jobs, sources) {
                         break reason;
                     }
-                    let timed = probe.is_some();
-                    let t_epoch = timed.then(Instant::now);
-                    if timed {
+                    // Stealing needs window timings even without a probe —
+                    // they are next epoch's cost predictions.
+                    let timed = probe.is_some() || stealing;
+                    let t_epoch = probe.is_some().then(Instant::now);
+                    if probe.is_some() {
                         self.snapshot_pre_epoch(&mut scratch);
                     }
                     epochs += 1;
@@ -1042,8 +1207,12 @@ impl<W: RegionWorld> ShardedEngine<W> {
                         let mut slot = self.slots[i].take().expect("slot present");
                         slot.run_window(safe[i], horizon, &lookahead, timed);
                         self.slots[i] = Some(slot);
+                        if let Some(pl) = planner.as_mut() {
+                            pl.observe(i, self.slot(i).last_busy_ns);
+                        }
                     } else {
-                        for &i in &jobs {
+                        let moved = planner.as_mut().map(|pl| pl.plan(&jobs));
+                        for (k, &i) in jobs.iter().enumerate() {
                             let slot = self.slots[i].take().expect("slot present");
                             let job = Job {
                                 index: i,
@@ -1051,13 +1220,26 @@ impl<W: RegionWorld> ShardedEngine<W> {
                                 window_end: safe[i],
                                 timed,
                             };
-                            work_txs[i % workers]
+                            let w = match planner.as_ref() {
+                                Some(pl) => pl.assignment[k] as usize,
+                                None => i % workers,
+                            };
+                            work_txs[w]
                                 .send(job)
                                 .expect("worker alive for the whole run");
                         }
                         for _ in 0..jobs.len() {
                             let job = done_rx.recv().expect("worker returned its slot");
                             self.slots[job.index] = Some(job.slot);
+                        }
+                        if let Some(pl) = planner.as_mut() {
+                            for &i in &jobs {
+                                pl.observe(i, self.slot(i).last_busy_ns);
+                            }
+                            if let Some(p) = probe.as_deref_mut() {
+                                let imb = pl.measured_imbalance_milli(&jobs);
+                                p.steal(epochs, moved.unwrap_or(0), imb);
+                            }
                         }
                     }
                     if let Some(p) = probe.as_deref_mut() {
@@ -1313,6 +1495,12 @@ impl<W: RegionWorld + CheckpointState> ShardedEngine<W> {
         let mut scratch = EpochScratch::default();
         let horizon = self.horizon;
         let lookahead = self.lookahead.clone();
+        // Planner state is wall-clock-only and deliberately not part of the
+        // anchor or any checkpoint: rollback, replay and resume all start
+        // from whatever (possibly cold, possibly stale) predictions are at
+        // hand — any schedule is equally correct.
+        let stealing = self.steal && workers > 1;
+        let mut planner = stealing.then(|| StealPlanner::new(self.slots.len(), workers));
 
         let reason = std::thread::scope(|scope| -> Result<ShardStopReason, CheckpointError> {
             let (done_tx, done_rx) = mpsc::channel::<(SupJob<W>, Option<PanicPayload>)>();
@@ -1401,9 +1589,9 @@ impl<W: RegionWorld + CheckpointState> ShardedEngine<W> {
                 if let Err(reason) = self.epoch_plan(&mut safe, &mut jobs, sources) {
                     break Ok(reason);
                 }
-                let timed = will_emit;
-                let t_epoch = timed.then(Instant::now);
-                if timed {
+                let timed = will_emit || stealing;
+                let t_epoch = will_emit.then(Instant::now);
+                if will_emit {
                     self.snapshot_pre_epoch(&mut scratch);
                 }
                 epochs += 1;
@@ -1415,6 +1603,8 @@ impl<W: RegionWorld + CheckpointState> ShardedEngine<W> {
                     .map(|&i| crash.decide(epochs, i as RegionId).then_some(epochs))
                     .collect();
                 let mut payloads: Vec<PanicPayload> = Vec::new();
+                // `Some(moved)` when the planner packed this epoch.
+                let mut steal_moved: Option<u64> = None;
                 if workers <= 1 || jobs.len() == 1 {
                     // Serial epoch (or serial engine): skip the pool
                     // round-trip, exactly like the plain run loop. Crash
@@ -1431,7 +1621,13 @@ impl<W: RegionWorld + CheckpointState> ShardedEngine<W> {
                             payloads.push(p);
                         }
                     }
+                    if let Some(pl) = planner.as_mut() {
+                        for &i in &jobs {
+                            pl.observe(i, self.slot(i).last_busy_ns);
+                        }
+                    }
                 } else {
+                    steal_moved = planner.as_mut().map(|pl| pl.plan(&jobs));
                     for (k, &i) in jobs.iter().enumerate() {
                         let slot = self.slots[i].take().expect("slot present");
                         let job = SupJob {
@@ -1441,7 +1637,11 @@ impl<W: RegionWorld + CheckpointState> ShardedEngine<W> {
                             timed,
                             crash: crashes[k],
                         };
-                        work_txs[i % workers]
+                        let w = match planner.as_ref() {
+                            Some(pl) => pl.assignment[k] as usize,
+                            None => i % workers,
+                        };
+                        work_txs[w]
                             .send(job)
                             .expect("worker alive for the whole run");
                     }
@@ -1450,6 +1650,11 @@ impl<W: RegionWorld + CheckpointState> ShardedEngine<W> {
                         self.slots[job.index] = Some(job.slot);
                         if let Some(p) = payload {
                             payloads.push(p);
+                        }
+                    }
+                    if let Some(pl) = planner.as_mut() {
+                        for &i in &jobs {
+                            pl.observe(i, self.slot(i).last_busy_ns);
                         }
                     }
                 }
@@ -1483,6 +1688,10 @@ impl<W: RegionWorld + CheckpointState> ShardedEngine<W> {
                 if will_emit {
                     if let Some(p) = probe.as_deref_mut() {
                         self.emit_window_samples(p, &scratch, &safe, &jobs, epochs);
+                        if let (Some(moved), Some(pl)) = (steal_moved, planner.as_mut()) {
+                            let imb = pl.measured_imbalance_milli(&jobs);
+                            p.steal(epochs, moved, imb);
+                        }
                     }
                     max_emitted = epochs;
                 }
@@ -1667,6 +1876,72 @@ mod tests {
                 assert_eq!(a.log, b.log);
             }
         }
+    }
+
+    fn chatter_engine_steal(n: u32, threads: usize) -> (ShardRunReport, Vec<Chatter>) {
+        let worlds: Vec<Chatter> = (0..n).map(|_| Chatter { n, log: vec![] }).collect();
+        let mut eng = ShardedEngine::new(
+            worlds,
+            Lookahead::uniform(n as usize, SimDuration::from_micros(250)),
+            SimTime::from_secs(5),
+        )
+        .with_stealing(true);
+        for r in 0..n {
+            eng.prime(r, SimTime::from_micros(7 * r as u64), ChatterEv::Tick(0));
+        }
+        eng.run(threads)
+    }
+
+    #[test]
+    fn stealing_is_bit_identical_to_static_assignment() {
+        let (r_static, w_static) = chatter_engine(8, 1);
+        for threads in [1, 2, 3, 8] {
+            let (rs, ws) = chatter_engine_steal(8, threads);
+            assert_eq!(r_static.events_processed, rs.events_processed);
+            assert_eq!(r_static.cross_region, rs.cross_region);
+            assert_eq!(r_static.epochs, rs.epochs);
+            assert_eq!(r_static.per_region, rs.per_region);
+            assert_eq!(r_static.end_time, rs.end_time);
+            for (a, b) in w_static.iter().zip(&ws) {
+                assert_eq!(a.log, b.log);
+            }
+        }
+    }
+
+    #[test]
+    fn steal_planner_packs_longest_first_and_counts_moves() {
+        let mut pl = StealPlanner::new(6, 2);
+        // Region costs: 0:100, 1:10, 2:90, 3:10, 4:0, 5:0.
+        pl.observe(0, 100);
+        pl.observe(1, 10);
+        pl.observe(2, 90);
+        pl.observe(3, 10);
+        let jobs = vec![0, 1, 2, 3, 4, 5];
+        let moved = pl.plan(&jobs);
+        // LPT: 0→w0(100), 2→w1(90), 1→w1(100), 3→w0(110), 4→w1(101),
+        // 5→w0(111)... assignment is deterministic given the costs.
+        assert_eq!(pl.assignment.len(), jobs.len());
+        let w0: u64 = jobs
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| pl.assignment[k] == 0)
+            .map(|(_, &r)| [100u64, 10, 90, 10, 0, 0][r].max(1))
+            .sum();
+        let w1: u64 = jobs
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| pl.assignment[k] == 1)
+            .map(|(_, &r)| [100u64, 10, 90, 10, 0, 0][r].max(1))
+            .sum();
+        // LPT on these costs lands within one smallest item of even.
+        assert!(w0.abs_diff(w1) <= 10, "w0={w0} w1={w1}");
+        // Static homes were region % 2; some regions must have moved.
+        assert!(moved > 0);
+        // Re-planning with unchanged costs is stable: nothing moves again.
+        let moved2 = pl.plan(&jobs);
+        assert_eq!(moved2, 0);
+        let imb = pl.measured_imbalance_milli(&jobs);
+        assert!((1000..1200).contains(&imb), "imbalance {imb}");
     }
 
     #[test]
@@ -2107,6 +2382,49 @@ mod tests {
         assert_eq!(rp.end_time, rr.end_time);
         for (a, b) in wp.iter().zip(&wr) {
             assert_eq!(a.log, b.log);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A checkpoint carries no scheduler state: a run checkpointed with
+    /// stealing on may resume with it off (and vice versa) at any worker
+    /// count and still reproduce the uninterrupted run exactly.
+    #[test]
+    fn resume_may_change_the_steal_schedule() {
+        let dir = temp_ckpt_dir("steal_resume");
+        let (rp, wp) = chatter_engine(6, 1);
+        let cfg = SupervisorConfig {
+            scenario: 0x57EA1,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: Some(SimDuration::from_millis(20)),
+            ..SupervisorConfig::default()
+        };
+        let (_, _, sup) = chatter_sup_engine(6)
+            .with_stealing(true)
+            .run_supervised(3, None, &cfg)
+            .expect("checkpointed stealing run");
+        assert!(sup.checkpoints_written >= 2, "want several checkpoints");
+        let files = checkpoint::list_dir(&dir).expect("list");
+        let (_, mid) = &files[files.len() / 2];
+        let bytes = checkpoint::read_file(mid).expect("read");
+        for (threads, steal) in [(2usize, false), (4usize, true)] {
+            let mut eng = ShardedEngine::new(
+                chatter_worlds(6),
+                Lookahead::uniform(6, SimDuration::from_micros(250)),
+                SimTime::from_secs(5),
+            )
+            .with_stealing(steal);
+            eng.restore(&bytes, 0x57EA1).expect("restore");
+            let (rr, wr, _) = eng
+                .run_supervised(threads, None, &SupervisorConfig::default())
+                .expect("resumed run");
+            assert_eq!(rp.events_processed, rr.events_processed);
+            assert_eq!(rp.epochs, rr.epochs);
+            assert_eq!(rp.cross_region, rr.cross_region);
+            assert_eq!(rp.end_time, rr.end_time);
+            for (a, b) in wp.iter().zip(&wr) {
+                assert_eq!(a.log, b.log);
+            }
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -60,12 +60,21 @@ pub fn profile_to_prometheus(p: &ShardProfile) -> String {
         ("shard_regions", p.regions),
         ("shard_wall_ns", p.wall_ns),
         ("shard_merge_ns", p.merge_ns),
+        ("shard_steal_epochs", p.steal_epochs),
+        ("shard_regions_moved_total", p.regions_moved),
         ("host_cores", p.host.host_cores),
         ("process_peak_rss_bytes", p.host.peak_rss_bytes),
         ("process_threads", p.host.process_threads),
     ] {
         push_metric(&mut out, name, "gauge", "", &value.to_string());
     }
+    push_metric(
+        &mut out,
+        "shard_post_steal_imbalance",
+        "gauge",
+        "",
+        &format!("{:.6}", p.post_steal_imbalance()),
+    );
     push_metric(
         &mut out,
         "shard_imbalance_factor",

@@ -150,6 +150,17 @@ pub struct ShardProfile {
     pub wall_ns: u64,
     /// Wall time spent in the deterministic outbox merge (wall-clock).
     pub merge_ns: u64,
+    /// Epochs in which the work-stealing scheduler packed regions onto
+    /// workers (0 when stealing was off or the run was serial).
+    pub steal_epochs: u64,
+    /// Total regions moved off their previous worker by the scheduler
+    /// (wall-clock-derived: the schedule follows measured busy times).
+    pub regions_moved: u64,
+    /// Sum over steal epochs of the post-steal imbalance (busiest worker's
+    /// measured window time over the pool mean, ×1000); divide by
+    /// [`steal_epochs`](ShardProfile::steal_epochs) for the mean
+    /// (wall-clock-derived).
+    pub steal_imbalance_milli_sum: u64,
     /// Host sample taken when the profile was finalised.
     pub host: HostSample,
     /// Per-region totals, ascending by region index.
@@ -183,6 +194,25 @@ impl ShardProfile {
             0.0
         } else {
             wait as f64 / (busy + wait) as f64
+        }
+    }
+
+    /// Mean regions moved per steal epoch (0.0 when stealing never ran).
+    pub fn regions_moved_per_epoch(&self) -> f64 {
+        if self.steal_epochs == 0 {
+            0.0
+        } else {
+            self.regions_moved as f64 / self.steal_epochs as f64
+        }
+    }
+
+    /// Mean post-steal imbalance factor (busiest worker over pool mean;
+    /// 1.0 = perfectly balanced, 0.0 when stealing never ran).
+    pub fn post_steal_imbalance(&self) -> f64 {
+        if self.steal_epochs == 0 {
+            0.0
+        } else {
+            self.steal_imbalance_milli_sum as f64 / self.steal_epochs as f64 / 1000.0
         }
     }
 
@@ -246,6 +276,9 @@ impl ShardProfile {
             ("end_time_ns", self.end_time_ns),
             ("wall_ns", self.wall_ns),
             ("merge_ns", self.merge_ns),
+            ("steal_epochs", self.steal_epochs),
+            ("regions_moved", self.regions_moved),
+            ("steal_imbalance_milli_sum", self.steal_imbalance_milli_sum),
             ("host_cores", self.host.host_cores),
             ("peak_rss_bytes", self.host.peak_rss_bytes),
             ("process_threads", self.host.process_threads),
@@ -311,6 +344,9 @@ impl ShardProfile {
                     "end_time_ns" => p.end_time_ns = val,
                     "wall_ns" => p.wall_ns = val,
                     "merge_ns" => p.merge_ns = val,
+                    "steal_epochs" => p.steal_epochs = val,
+                    "regions_moved" => p.regions_moved = val,
+                    "steal_imbalance_milli_sum" => p.steal_imbalance_milli_sum = val,
                     "host_cores" => p.host.host_cores = val,
                     "peak_rss_bytes" => p.host.peak_rss_bytes = val,
                     "process_threads" => p.host.process_threads = val,
@@ -344,6 +380,9 @@ pub struct ShardProfiler {
     events: u64,
     cross_region: u64,
     end_time_ns: u64,
+    steal_epochs: u64,
+    regions_moved: u64,
+    steal_imbalance_milli_sum: u64,
 }
 
 impl ShardProfiler {
@@ -378,6 +417,9 @@ impl ShardProfiler {
             end_time_ns: self.end_time_ns,
             wall_ns: self.wall_ns,
             merge_ns: self.merge_ns,
+            steal_epochs: self.steal_epochs,
+            regions_moved: self.regions_moved,
+            steal_imbalance_milli_sum: self.steal_imbalance_milli_sum,
             host: sample_host(),
             per_region: self.acc,
             service_ns: self.service_ns,
@@ -422,6 +464,12 @@ impl ShardProbe for ShardProfiler {
         }
     }
 
+    fn steal(&mut self, _epoch: u64, moved: u64, imbalance_milli: u64) {
+        self.steal_epochs += 1;
+        self.regions_moved += moved;
+        self.steal_imbalance_milli_sum += imbalance_milli;
+    }
+
     fn run_end(&mut self, report: &ShardRunReport, wall_ns: u64) {
         self.wall_ns = wall_ns;
         self.events = report.events_processed;
@@ -437,6 +485,9 @@ impl ShardProbe for ShardProfiler {
     fn encode_probe(&self, out: &mut ByteWriter) {
         out.u64(self.epochs);
         out.u64(self.merge_ns);
+        out.u64(self.steal_epochs);
+        out.u64(self.regions_moved);
+        out.u64(self.steal_imbalance_milli_sum);
         out.u32(self.acc.len() as u32);
         for r in &self.acc {
             out.u32(r.region);
@@ -459,6 +510,9 @@ impl ShardProbe for ShardProfiler {
     fn decode_probe(&mut self, r: &mut ByteReader<'_>) -> Result<(), CheckpointError> {
         self.epochs = r.u64()?;
         self.merge_ns = r.u64()?;
+        self.steal_epochs = r.u64()?;
+        self.regions_moved = r.u64()?;
+        self.steal_imbalance_milli_sum = r.u64()?;
         let n = r.u32()? as usize;
         self.acc.clear();
         self.cur_busy.clear();
@@ -607,6 +661,11 @@ mod tests {
         let mut b = a.clone();
         b.wall_ns = 1;
         b.merge_ns = 2;
+        // Scheduler decisions follow measured wall time, so they are
+        // wall-clock-derived and must not perturb the fingerprint either.
+        b.steal_epochs = 5;
+        b.regions_moved = 17;
+        b.steal_imbalance_milli_sum = 9001;
         b.host = HostSample::default();
         for r in &mut b.per_region {
             r.busy_ns = 7;
@@ -614,6 +673,30 @@ mod tests {
         }
         b.service_ns = LogHistogram::new();
         assert_eq!(a.sim_fingerprint(), b.sim_fingerprint());
+    }
+
+    #[test]
+    fn steal_decisions_accumulate_and_roundtrip() {
+        let mut profiler = ShardProfiler::new(2);
+        profiler.steal(1, 3, 1500);
+        profiler.steal(2, 0, 1100);
+        profiler.steal(3, 1, 1000);
+        let mut w = ByteWriter::new();
+        profiler.encode_probe(&mut w);
+        let buf = w.into_inner();
+        let mut restored = ShardProfiler::new(2);
+        let mut r = ByteReader::new(&buf);
+        restored.decode_probe(&mut r).expect("decode");
+        let p = restored.finish();
+        assert_eq!(p.steal_epochs, 3);
+        assert_eq!(p.regions_moved, 4);
+        assert!((p.regions_moved_per_epoch() - 4.0 / 3.0).abs() < 1e-9);
+        assert!((p.post_steal_imbalance() - 1.2).abs() < 1e-9);
+        // JSON roundtrip carries the steal fields too.
+        let parsed = ShardProfile::from_json(&p.to_json()).expect("parse");
+        assert_eq!(parsed.steal_epochs, 3);
+        assert_eq!(parsed.regions_moved, 4);
+        assert_eq!(parsed.steal_imbalance_milli_sum, 3600);
     }
 
     #[test]

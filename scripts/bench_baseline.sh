@@ -121,6 +121,11 @@ if os.path.exists(ref_path):
         base = ref_sweeps.get(s["name"])
         if base and s["wall_s"] > 0:
             s["speedup_vs_reference"] = round(base / s["wall_s"], 2)
+    ref_micro = {m["name"]: m["ns_per_iter"] for m in doc["reference"].get("micro", [])}
+    for m in doc["micro"]:
+        base = ref_micro.get(m["name"])
+        if base and m["ns_per_iter"] > 0:
+            m["speedup_vs_reference"] = round(base / m["ns_per_iter"], 2)
 
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)

@@ -39,6 +39,12 @@ pub struct Options {
     pub parmesh: bool,
     /// Worker threads for the sharded engine (ParMesh only).
     pub threads: usize,
+    /// Work stealing between epoch barriers (ParMesh only; `None` keeps
+    /// the engine default, which is on). Never changes results.
+    pub steal: Option<bool>,
+    /// Fold telemetry into O(1)-memory per-region fingerprints instead of
+    /// a trace (ParMesh only; the scale alternative to --trace-out).
+    pub trace_hash: bool,
     /// Region-count override for the sharded engine (ParMesh only).
     pub regions: Option<usize>,
     /// Write the merged telemetry trace as JSONL to this path (ParMesh only).
@@ -77,6 +83,8 @@ impl Default for Options {
             trace: false,
             parmesh: false,
             threads: 1,
+            steal: None,
+            trace_hash: false,
             regions: None,
             trace_out: None,
             profile_out: None,
@@ -96,7 +104,8 @@ OPTIONS (defaults in brackets):
   --grid N          N×N router grid [8]
   --pitch M         grid pitch in metres [180]
   --nodes N         large-scale preset: ~N routers at standard density
-                    (overrides --grid/--pitch; tested up to 10000)
+                    (overrides --grid/--pitch; up to 10000 for the classic
+                    stack, 1000000 with --parmesh)
   --random          with --nodes: uniform-random placement instead of grid
   --scheme S        flooding | gossip:P[:K] | counter:C[:RAD_MS] |
                     distance:DBM | cnlr | vap [cnlr]
@@ -115,8 +124,16 @@ OPTIONS (defaults in brackets):
   --parmesh         shard-parallel scale model (requires --nodes; results
                     are identical for any --threads value)
   --threads N       worker threads for the sharded engine [1]
-  --regions N       region-count override for the sharded engine
+  --steal on|off    work stealing between epoch barriers (with --parmesh)
+                    [on]; rebalances regions across workers from measured
+                    busy times — results are bit-identical either way
+  --regions N       region-count override for the sharded engine; the
+                    auto-tuner warns and grants the nearest geometry-legal
+                    grid when a request cannot be honoured
   --trace-out PATH  write the merged JSONL trace (with --parmesh)
+  --trace-hash      fold telemetry into an O(1)-memory fingerprint and
+                    print it (with --parmesh; the million-node alternative
+                    to --trace-out, incompatible with --checkpoint-dir)
   --profile-out PATH  write the engine execution profile as JSON (with
                     --parmesh; inspect with `wmn-trace profile`)
   --checkpoint-dir DIR  write epoch-barrier checkpoints (with --parmesh;
@@ -247,6 +264,14 @@ pub fn parse_args(args: &[String]) -> Result<Parsed, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?
             }
+            "--steal" => {
+                o.steal = Some(match val("--steal")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--steal takes on|off, got '{other}'")),
+                })
+            }
+            "--trace-hash" => o.trace_hash = true,
             "--regions" => {
                 o.regions = Some(
                     val("--regions")?
@@ -276,7 +301,7 @@ pub fn parse_args(args: &[String]) -> Result<Parsed, String> {
         if n < 4 {
             return Err("--nodes must be ≥ 4".into());
         }
-        let cap = if o.parmesh { 200_000 } else { 10_000 };
+        let cap = if o.parmesh { 1_000_000 } else { 10_000 };
         if n > cap {
             return Err(format!("--nodes is supported up to {cap}"));
         }
@@ -289,6 +314,8 @@ pub fn parse_args(args: &[String]) -> Result<Parsed, String> {
     }
     if !o.parmesh
         && (o.threads > 1
+            || o.steal.is_some()
+            || o.trace_hash
             || o.regions.is_some()
             || o.trace_out.is_some()
             || o.profile_out.is_some()
@@ -297,13 +324,20 @@ pub fn parse_args(args: &[String]) -> Result<Parsed, String> {
             || o.resume)
     {
         return Err(
-            "--threads/--regions/--trace-out/--profile-out/--checkpoint-dir/\
-             --checkpoint-every/--resume apply only with --parmesh"
+            "--threads/--steal/--trace-hash/--regions/--trace-out/--profile-out/\
+             --checkpoint-dir/--checkpoint-every/--resume apply only with --parmesh"
                 .into(),
         );
     }
     if (o.checkpoint_every_s.is_some() || o.resume) && o.checkpoint_dir.is_none() {
         return Err("--checkpoint-every/--resume need --checkpoint-dir".into());
+    }
+    if o.trace_hash && o.checkpoint_dir.is_some() {
+        return Err(
+            "--trace-hash folds events away as they happen; checkpoints need \
+             the buffered trace, so it cannot combine with --checkpoint-dir"
+                .into(),
+        );
     }
     if o.checkpoint_every_s.is_some_and(|s| s <= 0.0) {
         return Err("--checkpoint-every must be positive".into());
@@ -393,7 +427,9 @@ fn run_parmesh(opts: &Options) {
         .flows(opts.flows)
         .duration(SimDuration::from_secs_f64(opts.duration_s))
         .threads(opts.threads)
+        .steal(opts.steal.unwrap_or(true))
         .telemetry(opts.trace_out.is_some())
+        .trace_hash(opts.trace_hash)
         .profile(opts.profile_out.is_some())
         .crash_plan(wmn::sim::shard::CrashPlan::from_env());
     if opts.pps > 0.0 {
@@ -488,6 +524,12 @@ fn run_parmesh(opts: &Options) {
         eprintln!("wrote {} events to {path}", out.trace.len());
     }
 
+    if let Some((count, fp)) = out.trace_fp {
+        // The fingerprint is invariant to --threads and --steal; compare it
+        // across runs instead of diffing traces that would not fit.
+        eprintln!("trace fingerprint: {count} events, {fp:016x}");
+    }
+
     if let Some(path) = &opts.profile_out {
         let Some(p) = out.profile.as_ref() else {
             eprintln!("profile missing from outcome despite --profile-out");
@@ -498,9 +540,11 @@ fn run_parmesh(opts: &Options) {
             std::process::exit(1);
         }
         eprintln!(
-            "wrote profile to {path} (imbalance {:.2}, barrier-wait share {:.3})",
+            "wrote profile to {path} (imbalance {:.2}, barrier-wait share {:.3}, \
+             {:.1} regions moved/epoch)",
             p.imbalance_factor(),
-            p.barrier_wait_share()
+            p.barrier_wait_share(),
+            p.regions_moved_per_epoch()
         );
     }
 
@@ -866,6 +910,34 @@ mod tests {
             "classic stack caps at 10000"
         );
         assert!(parse_args(&argv("--parmesh --nodes 100000 --threads 0")).is_err());
+    }
+
+    #[test]
+    fn million_node_cap_and_steal_flags() {
+        let o = opts("--parmesh --nodes 1000000 --steal off --trace-hash");
+        assert_eq!(o.nodes, Some(1_000_000));
+        assert_eq!(o.steal, Some(false));
+        assert!(o.trace_hash);
+        assert_eq!(opts("--parmesh --nodes 1000 --steal on").steal, Some(true));
+        assert_eq!(opts("--parmesh --nodes 1000").steal, None, "engine default");
+        assert!(
+            parse_args(&argv("--parmesh --nodes 1000001")).is_err(),
+            "parmesh caps at one million nodes"
+        );
+        assert!(
+            parse_args(&argv("--nodes 200000")).is_err(),
+            "classic stack still caps at 10000"
+        );
+        assert!(parse_args(&argv("--parmesh --nodes 1000 --steal maybe")).is_err());
+        assert!(parse_args(&argv("--nodes 1000 --steal off")).is_err());
+        assert!(parse_args(&argv("--trace-hash")).is_err());
+        assert!(
+            parse_args(&argv(
+                "--parmesh --nodes 1000 --trace-hash --checkpoint-dir /tmp/ck"
+            ))
+            .is_err(),
+            "--trace-hash cannot combine with checkpoints"
+        );
     }
 
     #[test]

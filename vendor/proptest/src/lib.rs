@@ -224,6 +224,32 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 
 /// Strategy namespace (mirrors the `proptest::prop` re-export module).
 pub mod prop {
+    /// `Option` strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `Option<S::Value>`: `None` one time in four,
+        /// `Some` drawn from the inner strategy otherwise (the real
+        /// crate's default weighting).
+        pub struct OptionStrategy<S>(S);
+
+        /// `Option` strategy over `inner`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy(inner)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+    }
+
     /// Collection strategies.
     pub mod collection {
         use crate::{Strategy, TestRng};
